@@ -1,0 +1,56 @@
+"""Shared benchmark fixtures and helpers.
+
+Benchmarks regenerate the series behind every figure in the paper's
+evaluation (§VI).  Each test prints its figure's table — run with::
+
+    pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt
+
+Dataset/index construction is memoized in :mod:`repro.experiments.harness`
+so figures sharing a configuration do not rebuild.  Scale is governed by
+the ``REPRO_SCALE`` env var (``quick`` default / ``full``).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import active_profile
+
+#: Figure tables accumulated during the run and replayed in the terminal
+#: summary (pytest captures stdout, so plain prints would be invisible).
+_REPORTS: list[str] = []
+
+
+def report(text: str) -> None:
+    """Print a figure table now (visible with ``-s``) and queue it for the
+    end-of-run summary (visible always)."""
+    _REPORTS.append(text)
+    print(text)
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if _REPORTS:
+        terminalreporter.section("paper figure tables")
+        for text in _REPORTS:
+            terminalreporter.write_line(text)
+
+
+@pytest.fixture(scope="session")
+def profile():
+    p = active_profile()
+    report(
+        f"\n[repro] scale profile: {p.name} "
+        f"(sizes={p.scaling_sizes}, dataset_size={p.dataset_size}, "
+        f"k={p.k_values})"
+    )
+    return p
+
+
+def once(benchmark, fn):
+    """Register ``fn`` with pytest-benchmark, running it exactly once.
+
+    The figure tables are produced from simulated-time ledgers, so the
+    pytest-benchmark column for these tests is a single representative
+    wall-time measurement, not a statistical microbenchmark.
+    """
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,103 @@
+"""Ablation: signature-conversion and table-lookup engineering.
+
+(a) Cardinality conversion: iSAX-T's string dropRight (Eq. 2) vs the
+    character-level word's per-segment bit arithmetic.  This operation
+    runs once per record per layer during construction and once per probe
+    during search, so its throughput matters.
+(b) Partition-table lookup: DPiSAX's faithful per-key covers() scan vs
+    the pattern-grouped hash lookup (an optimization DPiSAX lacks) vs
+    Tardis-G sigTree routing.  Quantifies how much of the baseline's
+    shuffle-time disadvantage is algorithmic.
+"""
+
+import time
+
+import numpy as np
+from conftest import once, report
+
+from repro.core.isaxt import reduce_signature, signature_of_series
+from repro.experiments import banner, get_dataset_and_queries, get_dpisax, get_tardis, render_table
+from repro.tsdb.isax import isax_from_series
+
+N_OPS = 30_000
+
+
+def _time(fn, repeat: int) -> float:
+    start = time.perf_counter()
+    for _ in range(repeat):
+        fn()
+    return time.perf_counter() - start
+
+
+def test_ablation_conversion_throughput(benchmark, profile):
+    rng = np.random.default_rng(0)
+    series = np.cumsum(rng.standard_normal(64))
+    signature = signature_of_series(series, 8, 6)
+    word = isax_from_series(series, 8, 9)
+
+    def drop_right():
+        reduce_signature(signature, 3, 8)
+
+    def char_reconvert():
+        # Re-express every segment at 3 bits (what iBT matching must do).
+        tuple(sym >> (bits - 3) for sym, bits in zip(word.symbols, word.bits))
+
+    t_drop = _time(drop_right, N_OPS)
+    t_char = _time(char_reconvert, N_OPS)
+    report(banner("Ablation — cardinality conversion throughput"))
+    report(
+        render_table(
+            ["operation", f"time for {N_OPS:,} ops", "ops/sec"],
+            [
+                ["iSAX-T dropRight (Eq. 2)", f"{t_drop*1000:.1f} ms",
+                 f"{N_OPS/t_drop:,.0f}"],
+                ["character-level reconvert", f"{t_char*1000:.1f} ms",
+                 f"{N_OPS/t_char:,.0f}"],
+            ],
+        )
+    )
+    assert t_drop < t_char, "dropRight must beat per-segment arithmetic"
+    once(benchmark, lambda: reduce_signature(signature, 3, 8))
+
+
+def test_ablation_routing_throughput(benchmark, profile):
+    n = profile.dataset_size
+    dataset, _ = get_dataset_and_queries("Rw", n)
+    tardis, _tr = get_tardis("Rw", n)
+    dpisax, _br = get_dpisax("Rw", n)
+
+    rows = dataset.values[:2000]
+    tardis_sigs = [
+        signature_of_series(r, tardis.config.word_length,
+                            tardis.config.cardinality_bits)
+        for r in rows
+    ]
+    words = [
+        isax_from_series(r, dpisax.config.word_length,
+                         dpisax.config.cardinality_bits)
+        for r in rows
+    ]
+
+    t_tree = _time(lambda: [tardis.global_index.route(s) for s in tardis_sigs], 1)
+    t_faithful = _time(lambda: [dpisax.table.route(w) for w in words], 1)
+    t_grouped = _time(
+        lambda: [dpisax.table.lookup_grouped(w) for w in words], 1
+    )
+    report(banner(f"Ablation — per-record routing cost ({len(rows):,} records, "
+                 f"{len(dpisax.table)} table keys)"))
+    report(
+        render_table(
+            ["router", "total", "per record"],
+            [
+                ["Tardis-G sigTree descend", f"{t_tree*1000:.1f} ms",
+                 f"{t_tree/len(rows)*1e6:.2f} µs"],
+                ["Partition table (faithful scan)", f"{t_faithful*1000:.1f} ms",
+                 f"{t_faithful/len(rows)*1e6:.2f} µs"],
+                ["Partition table (pattern-grouped)", f"{t_grouped*1000:.1f} ms",
+                 f"{t_grouped/len(rows)*1e6:.2f} µs"],
+            ],
+        )
+    )
+    # The construction-time story of Fig. 10 in one line:
+    assert t_tree < t_faithful
+    once(benchmark, lambda: tardis.global_index.route(tardis_sigs[0]))

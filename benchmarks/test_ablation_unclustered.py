@@ -1,0 +1,64 @@
+"""Ablation: clustered vs un-clustered (signature-only) answering.
+
+The paper (§II-D) criticizes DPiSAX's un-clustered design: answering from
+signatures alone further degrades accuracy, while refining against raw
+series scattered across the cluster costs random I/O.  TARDIS therefore
+builds *clustered* local indices.  This ablation quantifies the accuracy
+gap on the same index: the clustered target-node strategy vs the
+signature-only variant, for both systems.
+"""
+
+from conftest import once, report
+
+from repro.baseline import knn_baseline
+from repro.core import brute_force_knn, knn_target_node_access
+from repro.core.unclustered import (
+    knn_signature_only_baseline,
+    knn_signature_only_tardis,
+)
+from repro.experiments import (
+    banner,
+    get_dataset_and_queries,
+    get_dpisax,
+    get_tardis,
+    render_table,
+)
+from repro.metrics import mean, recall
+
+
+def test_ablation_clustered_vs_signature_only(benchmark, profile):
+    k = profile.default_k
+    dataset, queries = get_dataset_and_queries("Rw", profile.dataset_size)
+    queries = queries[: profile.n_knn_queries]
+    tardis, _ = get_tardis("Rw", profile.dataset_size)
+    dpisax, _ = get_dpisax("Rw", profile.dataset_size)
+
+    scores = {name: [] for name in
+              ("tardis clustered", "tardis signature-only",
+               "baseline clustered", "baseline signature-only")}
+    for q in queries:
+        truth = [n.record_id for n in brute_force_knn(dataset, q, k)]
+        scores["tardis clustered"].append(
+            recall(knn_target_node_access(tardis, q, k).record_ids, truth)
+        )
+        scores["tardis signature-only"].append(
+            recall(knn_signature_only_tardis(tardis, q, k).record_ids, truth)
+        )
+        scores["baseline clustered"].append(
+            recall(knn_baseline(dpisax, q, k).record_ids, truth)
+        )
+        scores["baseline signature-only"].append(
+            recall(knn_signature_only_baseline(dpisax, q, k).record_ids, truth)
+        )
+    means = {name: mean(vals) for name, vals in scores.items()}
+    report(banner(f"Ablation — clustered vs signature-only answering (k={k})"))
+    report(
+        render_table(
+            ["variant", "recall"],
+            [[name, f"{value:.1%}"] for name, value in means.items()],
+        )
+    )
+    # The paper's claim: dropping the raw-series refine step costs recall.
+    assert means["tardis signature-only"] <= means["tardis clustered"]
+    assert means["baseline signature-only"] <= means["baseline clustered"]
+    once(benchmark, lambda: means)

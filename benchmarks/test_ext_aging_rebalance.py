@@ -1,0 +1,76 @@
+"""Extension study: index aging under inserts, and rebalancing.
+
+The paper builds once and queries; a live deployment keeps inserting.
+Inserts route into existing partitions, so hot regions overflow their
+block capacity and every query touching them pays proportionally larger
+loads.  This study ages an index with a skewed insert stream, measures
+the query-latency drift, rebalances, and measures again.
+"""
+
+import numpy as np
+from conftest import once, report
+
+from repro.core import TardisConfig, build_tardis_index, knn_target_node_access
+from repro.experiments import (
+    banner,
+    fmt_seconds,
+    get_dataset_and_queries,
+    render_table,
+    save_csv,
+)
+from repro.tsdb import random_walk
+
+
+def _avg_latency(index, queries, k) -> float:
+    times = [
+        knn_target_node_access(index, q, k).simulated_seconds for q in queries
+    ]
+    return float(np.mean(times))
+
+
+def test_ext_aging_and_rebalance(benchmark, profile):
+    n = 20_000
+    dataset, queries = get_dataset_and_queries("Rw", n)
+    queries = queries[: profile.n_knn_queries]
+    k = profile.default_k
+    index = build_tardis_index(dataset, TardisConfig())
+
+    fresh_latency = _avg_latency(index, queries, k)
+    fresh_max = max(p.n_records for p in index.partitions.values())
+
+    # Age: insert 60% more data drawn from a *narrow* region of the space
+    # (a hot sensor with per-reading noise), concentrating growth in a few
+    # partitions while keeping signatures diverse enough to split.
+    hot = random_walk(3, length=256, seed=4040).z_normalized()
+    rng = np.random.default_rng(7)
+    for i in range(int(n * 0.6)):
+        base = hot.values[i % len(hot)]
+        noisy = base + rng.normal(0, 0.4, size=base.shape)
+        index.insert_series((noisy - noisy.mean()) / noisy.std())
+    aged_latency = _avg_latency(index, queries, k)
+    aged_max = max(p.n_records for p in index.partitions.values())
+
+    rebalance_report = index.rebalance()
+    index.validate()
+    rebalanced_latency = _avg_latency(index, queries, k)
+    rebalanced_max = max(p.n_records for p in index.partitions.values())
+
+    headers = ["state", "partitions", "max partition", "avg kNN latency"]
+    rows = [
+        ["fresh", len(index.partitions) - rebalance_report.partitions_created,
+         fresh_max, fmt_seconds(fresh_latency)],
+        ["aged (+60% skewed inserts)",
+         len(index.partitions) - rebalance_report.partitions_created,
+         aged_max, fmt_seconds(aged_latency)],
+        ["rebalanced", len(index.partitions), rebalanced_max,
+         fmt_seconds(rebalanced_latency)],
+    ]
+    report(banner("Extension — index aging under skewed inserts"))
+    report(render_table(headers, rows))
+    save_csv("ext_aging_rebalance", headers, rows)
+
+    # Aging concentrates records; rebalancing restores the cap.
+    assert aged_max > fresh_max
+    assert rebalance_report.partitions_split >= 1
+    assert rebalanced_max < aged_max
+    once(benchmark, lambda: rows)

@@ -1,0 +1,81 @@
+"""Figure 11: global index construction time breakdown.
+
+(a) RandomWalk scaling: TARDIS's node-statistic / skeleton / partition-
+    assignment stages stay near-flat with dataset size (they operate on
+    the small sampled aggregate), while the baseline's "build index tree"
+    grows with the sample size because every sampled signature is inserted
+    into the master iBT one at a time.
+(b) The same breakdown across all datasets.
+"""
+
+from conftest import once, report
+
+from repro.experiments import (
+    banner,
+    fmt_seconds,
+    get_dpisax,
+    get_tardis,
+    render_table,
+)
+from repro.tsdb import DATASET_GENERATORS
+
+TARDIS_STAGES = (
+    "global/sample+convert",
+    "global/node statistic",
+    "global/build index tree",
+    "global/partition assignment",
+)
+BASELINE_STAGES = (
+    "global/sample+convert",
+    "global/build index tree",
+    "global/partition assignment",
+)
+
+
+def _breakdown_row(report, stages):
+    return [fmt_seconds(report.breakdown.get(stage, 0.0)) for stage in stages]
+
+
+def test_fig11a_global_breakdown_scaling(benchmark, profile):
+    t_rows, b_rows = [], []
+    baseline_tree_times = []
+    for n in profile.scaling_sizes:
+        _t, trep = get_tardis("Rw", n)
+        _d, brep = get_dpisax("Rw", n)
+        t_rows.append([f"{n:,}"] + _breakdown_row(trep, TARDIS_STAGES))
+        b_rows.append([f"{n:,}"] + _breakdown_row(brep, BASELINE_STAGES))
+        baseline_tree_times.append(
+            brep.breakdown.get("global/build index tree", 0.0)
+        )
+    report(banner("Figure 11a — TARDIS global index breakdown (RandomWalk)"))
+    report(
+        render_table(
+            ["series", "sample+convert", "node statistic",
+             "build index tree", "partition assignment"],
+            t_rows,
+        )
+    )
+    report(banner("Figure 11a — Baseline global index breakdown (RandomWalk)"))
+    report(
+        render_table(
+            ["series", "sample+convert", "build index tree",
+             "partition assignment"],
+            b_rows,
+        )
+    )
+    # Paper: the baseline's tree build grows with dataset size.
+    assert baseline_tree_times[-1] > baseline_tree_times[0]
+    once(benchmark, lambda: t_rows)
+
+
+def test_fig11b_global_breakdown_all_datasets(benchmark, profile):
+    rows = []
+    for key in DATASET_GENERATORS:
+        _t, trep = get_tardis(key, profile.dataset_size)
+        _d, brep = get_dpisax(key, profile.dataset_size)
+        rows.append(
+            [trep.dataset, fmt_seconds(trep.global_s), fmt_seconds(brep.global_s)]
+        )
+    report(banner("Figure 11b — global index construction, all datasets"))
+    report(render_table(["dataset", "TARDIS global", "Baseline global"], rows))
+    once(benchmark, lambda: rows)

@@ -1,0 +1,57 @@
+"""Figure 13: index sizes.
+
+(a) Global index: TARDIS stores the whole sigTree (larger), the baseline
+    stores only the leaf partition table (smaller) — the paper's stated
+    trade-off, with TARDIS still small enough to broadcast.
+(b) Local index (excluding the indexed raw data): TARDIS is smaller
+    because iSAX-T signatures at initial cardinality 64 are much more
+    compact than the baseline's 512-cardinality character-level words.
+"""
+
+from conftest import once, report
+
+from repro.experiments import (
+    banner,
+    fmt_bytes,
+    get_dpisax,
+    get_tardis,
+    render_table,
+)
+
+
+def test_fig13a_global_index_size(benchmark, profile):
+    rows = []
+    for n in profile.scaling_sizes:
+        tardis, trep = get_tardis("Rw", n)
+        _d, brep = get_dpisax("Rw", n)
+        rows.append(
+            [
+                f"{n:,}",
+                fmt_bytes(trep.global_index_nbytes),
+                fmt_bytes(brep.global_index_nbytes),
+            ]
+        )
+        # Paper: TARDIS keeps the whole tree -> bigger global index.
+        assert trep.global_index_nbytes > brep.global_index_nbytes
+    report(banner("Figure 13a — global index size (RandomWalk)"))
+    report(render_table(["series", "TARDIS (sigTree)", "Baseline (table)"], rows))
+    once(benchmark, lambda: rows)
+
+
+def test_fig13b_local_index_size(benchmark, profile):
+    rows = []
+    for n in profile.scaling_sizes:
+        _t, trep = get_tardis("Rw", n)
+        _d, brep = get_dpisax("Rw", n)
+        rows.append(
+            [
+                f"{n:,}",
+                fmt_bytes(trep.local_index_nbytes),
+                fmt_bytes(brep.local_index_nbytes),
+            ]
+        )
+        # Paper: compact iSAX-T signatures -> smaller local indices.
+        assert trep.local_index_nbytes < brep.local_index_nbytes
+    report(banner("Figure 13b — local index size excl. data (RandomWalk)"))
+    report(render_table(["series", "TARDIS", "Baseline"], rows))
+    once(benchmark, lambda: rows)

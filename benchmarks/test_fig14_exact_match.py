@@ -1,0 +1,88 @@
+"""Figure 14: exact-match average query time.
+
+100 queries per configuration, 50 % drawn from the dataset and 50 %
+guaranteed absent (the paper's workload).  Expected shape: recall is 100 %
+for every system; Tardis-BF roughly halves the baseline's average time
+because absent queries skip the partition load entirely; Tardis-NoBF sits
+near the baseline (both always load one partition); dataset size barely
+moves the numbers since every query touches exactly one partition.
+"""
+
+from conftest import once, report
+
+from repro.experiments import (
+    banner,
+    evaluate_exact_match,
+    exact_match_workload,
+    fmt_seconds,
+    get_dataset_and_queries,
+    get_dpisax,
+    get_tardis,
+    render_table,
+)
+from repro.tsdb import DATASET_GENERATORS
+
+
+def _eval_three(key: str, n: int, n_queries: int):
+    dataset, _ = get_dataset_and_queries(key, n)
+    tardis, _tr = get_tardis(key, n)
+    dpisax, _br = get_dpisax(key, n)
+    workload = exact_match_workload(dataset, n_queries)
+    return (
+        evaluate_exact_match(tardis, workload, use_bloom=True),
+        evaluate_exact_match(tardis, workload, use_bloom=False),
+        evaluate_exact_match(dpisax, workload),
+    )
+
+
+def test_fig14a_exact_match_all_datasets(benchmark, profile):
+    rows = []
+    for key in DATASET_GENERATORS:
+        bf, nobf, base = _eval_three(key, profile.dataset_size,
+                                     profile.n_exact_queries)
+        dataset, _ = get_dataset_and_queries(key, profile.dataset_size)
+        rows.append(
+            [
+                dataset.name,
+                fmt_seconds(bf.avg_time_s),
+                fmt_seconds(nobf.avg_time_s),
+                fmt_seconds(base.avg_time_s),
+                f"{bf.recall:.0%}/{nobf.recall:.0%}/{base.recall:.0%}",
+                bf.bloom_rejections,
+            ]
+        )
+        assert bf.recall == nobf.recall == base.recall == 1.0
+        # Paper: the Bloom filter roughly halves the average query time.
+        assert bf.avg_time_s < nobf.avg_time_s
+        assert bf.avg_time_s < base.avg_time_s
+    report(banner("Figure 14a — exact match avg query time, all datasets"))
+    report(
+        render_table(
+            ["dataset", "Tardis-BF", "Tardis-NoBF", "Baseline",
+             "recall BF/NoBF/Base", "BF rejections"],
+            rows,
+        )
+    )
+    once(benchmark, lambda: rows)
+
+
+def test_fig14b_exact_match_scaling(benchmark, profile):
+    rows = []
+    times = []
+    for n in profile.scaling_sizes:
+        bf, nobf, base = _eval_three("Rw", n, profile.n_exact_queries)
+        times.append(bf.avg_time_s)
+        rows.append(
+            [
+                f"{n:,}",
+                fmt_seconds(bf.avg_time_s),
+                fmt_seconds(nobf.avg_time_s),
+                fmt_seconds(base.avg_time_s),
+            ]
+        )
+    report(banner("Figure 14b — exact match avg query time vs dataset size (RandomWalk)"))
+    report(render_table(["series", "Tardis-BF", "Tardis-NoBF", "Baseline"], rows))
+    # Paper: "the scale of the dataset has no obvious impact" — each query
+    # touches one partition regardless of size.  Allow 3x slack.
+    assert max(times) < 3 * min(times) + 1e-9
+    once(benchmark, lambda: rows)

@@ -1,0 +1,78 @@
+"""Figure 15: kNN-approximate performance across datasets (fixed k).
+
+For every dataset the paper reports recall, error ratio and average query
+time of the baseline and the three TARDIS strategies.  Expected shape:
+recall baseline < Target-Node < One-Partition < Multi-Partitions; error
+ratio in the reverse order; Multi-Partitions' time stays in the same
+ballpark as the baseline despite loading up to ``pth`` partitions, thanks
+to parallel loads/scans.
+"""
+
+from conftest import once, report
+
+from repro.experiments import (
+    KNN_METHOD_ORDER,
+    banner,
+    evaluate_knn,
+    fmt_seconds,
+    get_dataset_and_queries,
+    get_dpisax,
+    get_tardis,
+    render_table,
+    save_csv,
+)
+from repro.tsdb import DATASET_GENERATORS
+
+
+def test_fig15_knn_all_datasets(benchmark, profile):
+    k = profile.default_k
+    all_rows = []
+    orderings_ok = 0
+    for key in DATASET_GENERATORS:
+        dataset, queries = get_dataset_and_queries(key, profile.dataset_size)
+        tardis, _tr = get_tardis(key, profile.dataset_size)
+        dpisax, _br = get_dpisax(key, profile.dataset_size)
+        reports = evaluate_knn(
+            dataset,
+            queries[: profile.n_knn_queries],
+            k,
+            tardis=tardis,
+            dpisax=dpisax,
+        )
+        by_method = {r.method: r for r in reports}
+        for r in reports:
+            all_rows.append(
+                [
+                    dataset.name,
+                    r.method,
+                    f"{r.recall:.1%}",
+                    f"{r.error_ratio:.3f}",
+                    fmt_seconds(r.avg_time_s),
+                    f"{r.avg_candidates:,.0f}",
+                    f"{r.avg_partitions:.1f}",
+                ]
+            )
+        if (
+            by_method["baseline"].recall
+            <= by_method["target-node"].recall + 0.05
+            <= by_method["one-partition"].recall + 0.10
+            <= by_method["multi-partitions"].recall + 0.15
+        ):
+            orderings_ok += 1
+        # Hard requirement: MPA beats the baseline on every dataset.
+        assert (
+            by_method["multi-partitions"].recall
+            > by_method["baseline"].recall
+        ), f"MPA must beat baseline recall on {dataset.name}"
+        assert (
+            by_method["multi-partitions"].error_ratio
+            <= by_method["baseline"].error_ratio + 1e-9
+        )
+    headers = ["dataset", "method", "recall", "error ratio", "avg time",
+               "avg candidates", "avg partitions"]
+    report(banner(f"Figure 15 — kNN approximate performance (k={k})"))
+    report(render_table(headers, all_rows))
+    save_csv("fig15_knn_datasets", headers, all_rows)
+    assert orderings_ok >= 3, "recall ordering should hold on most datasets"
+    assert set(r[1] for r in all_rows) == set(KNN_METHOD_ORDER)
+    once(benchmark, lambda: all_rows)

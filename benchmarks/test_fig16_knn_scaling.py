@@ -1,0 +1,83 @@
+"""Figure 16: kNN-approximate performance vs dataset size and vs k
+(RandomWalk).
+
+Left (dataset size, fixed k): recall decreases with dataset size — the
+true neighbors disperse over more partitions while each strategy's
+candidate scope stays fixed; Multi-Partitions keeps the best accuracy
+throughout.  Average time stays roughly flat (same partitions loaded).
+
+Right (k, fixed size): larger k spreads the truth thinner; One/Multi-
+Partition recall decays while the baseline stays flat-and-low; error
+ratios rise slowly; Multi-Partitions keeps the best accuracy at every k.
+"""
+
+from conftest import once, report
+
+from repro.experiments import (
+    banner,
+    evaluate_knn,
+    fmt_seconds,
+    get_dataset_and_queries,
+    get_dpisax,
+    get_tardis,
+    render_table,
+    save_csv,
+)
+
+
+def _rows_for(profile, n: int, k: int):
+    dataset, queries = get_dataset_and_queries("Rw", n)
+    tardis, _ = get_tardis("Rw", n)
+    dpisax, _ = get_dpisax("Rw", n)
+    reports = evaluate_knn(
+        dataset, queries[: profile.n_knn_queries], k,
+        tardis=tardis, dpisax=dpisax,
+    )
+    return {r.method: r for r in reports}
+
+
+def test_fig16_left_vs_dataset_size(benchmark, profile):
+    k = profile.default_k
+    rows = []
+    mpa_recalls = []
+    for n in profile.scaling_sizes:
+        by_method = _rows_for(profile, n, k)
+        mpa_recalls.append(by_method["multi-partitions"].recall)
+        for method, r in by_method.items():
+            rows.append(
+                [f"{n:,}", method, f"{r.recall:.1%}",
+                 f"{r.error_ratio:.3f}", fmt_seconds(r.avg_time_s)]
+            )
+        assert (
+            by_method["multi-partitions"].recall
+            >= by_method["baseline"].recall
+        )
+    headers = ["series", "method", "recall", "error ratio", "avg time"]
+    report(banner(f"Figure 16 (left) — kNN vs dataset size (RandomWalk, k={k})"))
+    report(render_table(headers, rows))
+    save_csv("fig16_left_knn_vs_size", headers, rows)
+    # Paper: recall decays as the dataset grows (truth disperses).
+    assert mpa_recalls[-1] <= mpa_recalls[0] + 0.05
+    once(benchmark, lambda: rows)
+
+
+def test_fig16_right_vs_k(benchmark, profile):
+    n = profile.dataset_size
+    rows = []
+    for k in profile.k_values:
+        by_method = _rows_for(profile, n, k)
+        for method, r in by_method.items():
+            rows.append(
+                [k, method, f"{r.recall:.1%}", f"{r.error_ratio:.3f}",
+                 fmt_seconds(r.avg_time_s), r.short_answers]
+            )
+        # Multi-Partitions keeps the best accuracy for every k (paper).
+        assert by_method["multi-partitions"].recall == max(
+            r.recall for r in by_method.values()
+        )
+    headers = ["k", "method", "recall", "error ratio", "avg time",
+               "short answers"]
+    report(banner(f"Figure 16 (right) — kNN vs k (RandomWalk, {n:,} series)"))
+    report(render_table(headers, rows))
+    save_csv("fig16_right_knn_vs_k", headers, rows)
+    once(benchmark, lambda: rows)

@@ -1,0 +1,59 @@
+"""Technical-report figure: local index construction breakdown.
+
+The paper's §VI-B points to its technical report for the per-stage
+breakdown of *local* index construction; the text quotes the headline
+numbers (TARDIS reads-and-converts 1 B series in 66 min vs the baseline's
+2007 min, the gap being the per-record partition-table matching).  This
+benchmark regenerates that breakdown: read, convert, shuffle/route, and
+local tree build for both systems across the scaling sweep.
+"""
+
+from conftest import once, report
+
+from repro.experiments import (
+    banner,
+    fmt_seconds,
+    get_dpisax,
+    get_tardis,
+    render_table,
+    save_csv,
+)
+
+STAGES = (
+    ("read", "local/read data"),
+    ("convert", "local/convert data"),
+    ("shuffle+route", "local/shuffle"),
+    ("build trees", "local/build index"),
+)
+
+
+def test_figTR_local_breakdown(benchmark, profile):
+    rows = []
+    for n in profile.scaling_sizes:
+        _t, trep = get_tardis("Rw", n)
+        _d, brep = get_dpisax("Rw", n)
+        for system, rep in (("TARDIS", trep), ("Baseline", brep)):
+            rows.append(
+                [f"{n:,}", system]
+                + [fmt_seconds(rep.breakdown.get(key, 0.0)) for _label, key in STAGES]
+            )
+    headers = ["series", "system"] + [label for label, _key in STAGES]
+    report(banner("TR figure — local index construction breakdown (RandomWalk)"))
+    report(render_table(headers, rows))
+    save_csv("figTR_local_breakdown", headers, rows)
+
+    # The paper's headline: the shuffle/route stage is where the baseline
+    # loses, and its disadvantage grows with scale.
+    largest = profile.scaling_sizes[-1]
+    _t, trep = get_tardis("Rw", largest)
+    _d, brep = get_dpisax("Rw", largest)
+    t_route = trep.breakdown.get("local/shuffle", 0.0)
+    b_route = brep.breakdown.get("local/shuffle", 0.0)
+    assert b_route > 1.5 * t_route, (
+        "baseline routing should dominate TARDIS routing at the top size"
+    )
+    # Both systems read the same bytes.
+    t_read = trep.breakdown.get("local/read data", 0.0)
+    b_read = brep.breakdown.get("local/read data", 0.0)
+    assert abs(t_read - b_read) < 0.35 * max(t_read, b_read)
+    once(benchmark, lambda: rows)

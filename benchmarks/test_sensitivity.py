@@ -1,0 +1,111 @@
+"""Extension study: sensitivity to the framework's main parameters.
+
+The paper fixes word length 8, initial cardinality 64 and L-MaxSize 1000
+(Table II) without exploring alternatives.  These sweeps map the design
+space a deployer actually tunes:
+
+* **word length** — more segments sharpen the representation (better
+  routing/recall) but lengthen signatures and deepen per-layer fan-out;
+* **initial cardinality** — deeper maximum refinement vs longer
+  signatures and conversion work;
+* **L-MaxSize** — leaf granularity: smaller leaves make target nodes
+  purer (better TNA recall at small k) but multiply nodes.
+"""
+
+import numpy as np
+from conftest import once, report
+
+from repro.core import TardisConfig, brute_force_knn, build_tardis_index, knn_target_node_access
+from repro.experiments import (
+    banner,
+    fmt_bytes,
+    fmt_seconds,
+    get_dataset_and_queries,
+    render_table,
+    save_csv,
+)
+from repro.metrics import mean, recall
+
+N = 20_000
+K = 10
+N_QUERIES = 20
+
+
+def _evaluate(config: TardisConfig):
+    dataset, queries = get_dataset_and_queries("Rw", N)
+    index = build_tardis_index(dataset, config)
+    recalls = []
+    for q in queries[:N_QUERIES]:
+        truth = [n.record_id for n in brute_force_knn(dataset, q, K)]
+        answer = knn_target_node_access(index, q, K)
+        recalls.append(recall(answer.record_ids, truth))
+    return index, mean(recalls)
+
+
+def test_sensitivity_word_length(benchmark, profile):
+    rows = []
+    outcomes = {}
+    for w in (4, 8, 16):
+        index, tna_recall = _evaluate(TardisConfig(word_length=w))
+        outcomes[w] = tna_recall
+        rows.append(
+            [w, fmt_seconds(index.construction_ledger.clock_s),
+             fmt_bytes(index.local_index_nbytes()),
+             len(index.partitions), f"{tna_recall:.1%}"]
+        )
+    headers = ["word length", "construction", "local index size",
+               "partitions", f"TNA recall (k={K})"]
+    report(banner("Sensitivity — word length (RandomWalk, 20k)"))
+    report(render_table(headers, rows))
+    save_csv("sens_word_length", headers, rows)
+    # Finer segmentation should not hurt accuracy.
+    assert outcomes[16] >= outcomes[4] - 0.05
+    once(benchmark, lambda: rows)
+
+
+def test_sensitivity_initial_cardinality(benchmark, profile):
+    rows = []
+    sizes = {}
+    for bits in (4, 6, 8):
+        index, tna_recall = _evaluate(TardisConfig(cardinality_bits=bits))
+        sizes[bits] = index.local_index_nbytes()
+        rows.append(
+            [f"{1 << bits} ({bits} bits)",
+             fmt_seconds(index.construction_ledger.clock_s),
+             fmt_bytes(index.local_index_nbytes()),
+             f"{tna_recall:.1%}"]
+        )
+    headers = ["initial cardinality", "construction", "local index size",
+               f"TNA recall (k={K})"]
+    report(banner("Sensitivity — initial cardinality (RandomWalk, 20k)"))
+    report(render_table(headers, rows))
+    save_csv("sens_cardinality", headers, rows)
+    # Longer signatures cost storage (the Table II trade TARDIS tunes with
+    # its small 64 default vs the baseline's 512).
+    assert sizes[8] > sizes[4]
+    once(benchmark, lambda: rows)
+
+
+def test_sensitivity_leaf_capacity(benchmark, profile):
+    rows = []
+    granularity = {}
+    for l_max in (25, 50, 200):
+        index, tna_recall = _evaluate(TardisConfig(l_max_size=l_max))
+        leaf_sizes = [
+            len(leaf.entries)
+            for p in index.partitions.values()
+            for leaf in p.tree.leaves()
+            if leaf.entries
+        ]
+        granularity[l_max] = float(np.mean(leaf_sizes))
+        rows.append(
+            [l_max, f"{granularity[l_max]:.1f}",
+             fmt_bytes(index.local_index_nbytes()), f"{tna_recall:.1%}"]
+        )
+    headers = ["L-MaxSize", "avg leaf size", "local index size",
+               f"TNA recall (k={K})"]
+    report(banner("Sensitivity — L-MaxSize leaf capacity (RandomWalk, 20k)"))
+    report(render_table(headers, rows))
+    save_csv("sens_leaf_capacity", headers, rows)
+    assert granularity[25] <= granularity[200]
+    once(benchmark, lambda: rows)

@@ -1,0 +1,49 @@
+"""Extension study: concurrent-workload throughput per kNN strategy.
+
+Not a paper figure — the paper measures single-query latency only.  Under
+concurrency the strategies separate differently: Multi-Partitions Access
+occupies up to ``pth`` workers per query, so its throughput advantage
+narrows (or inverts) relative to its single-query latency story, while
+Target-Node queries pack one per worker.  This is the accuracy/throughput
+frontier an operator actually tunes.
+"""
+
+from conftest import once, report
+
+from repro.experiments import banner, get_dataset_and_queries, get_tardis, render_table, save_csv
+from repro.experiments.throughput import STRATEGY_TASKS, simulate_workload
+
+
+def test_throughput_by_strategy(benchmark, profile):
+    tardis, _tr = get_tardis("Rw", profile.dataset_size)
+    _dataset, queries = get_dataset_and_queries("Rw", profile.dataset_size)
+    workload = list(queries[: profile.n_knn_queries]) * 4  # a busier stream
+
+    results = [
+        simulate_workload(tardis, workload, fn, name, k=profile.default_k)
+        for name, fn in STRATEGY_TASKS().items()
+    ]
+    headers = ["strategy", "queries", "workers", "makespan",
+               "throughput", "mean latency", "p95 latency"]
+    rows = [r.row() for r in results]
+    report(banner(f"Extension — concurrent workload throughput "
+                  f"(k={profile.default_k}, {len(workload)} queries)"))
+    report(render_table(headers, rows))
+    save_csv("ext_throughput_by_strategy", headers, rows)
+
+    by_name = {r.strategy: r for r in results}
+    # MPA does strictly more work per query, so the batch takes longer...
+    assert (
+        by_name["multi-partitions"].makespan_s
+        > by_name["target-node"].makespan_s
+    )
+    # ...but parallelism keeps its throughput within a small factor of its
+    # partitions-touched count (i.e. the cluster is actually utilized).
+    ratio = (
+        by_name["target-node"].throughput_qps
+        / by_name["multi-partitions"].throughput_qps
+    )
+    assert ratio < tardis.config.pth, (
+        "MPA throughput should not degrade by its full fan-out"
+    )
+    once(benchmark, lambda: rows)

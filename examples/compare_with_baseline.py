@@ -1,0 +1,97 @@
+#!/usr/bin/env python
+"""Head-to-head: TARDIS vs the DPiSAX baseline on one dataset.
+
+A miniature version of the paper's evaluation (§VI): builds both systems
+on the same DNA-like dataset and identical block storage, then compares
+
+* construction time (simulated, with phase breakdown),
+* index sizes (global and local),
+* exact-match latency on a 50 % present / 50 % absent workload, and
+* kNN accuracy (recall / error ratio) for the baseline and the three
+  TARDIS strategies against brute-force ground truth.
+
+Run with::
+
+    python examples/compare_with_baseline.py
+"""
+
+from repro.experiments import (
+    build_dpisax_with_report,
+    build_tardis_with_report,
+    evaluate_exact_match,
+    evaluate_knn,
+    exact_match_workload,
+    fmt_bytes,
+    fmt_seconds,
+    render_table,
+)
+from repro.experiments.workloads import dataset_with_heldout_queries
+
+
+def main() -> None:
+    dataset, queries = dataset_with_heldout_queries("Dn", 25_000, 20)
+    print(f"dataset: {dataset.name}, {len(dataset):,} series of length "
+          f"{dataset.length}")
+
+    tardis, trep = build_tardis_with_report(dataset)
+    dpisax, brep = build_dpisax_with_report(dataset)
+
+    print("\n== construction (simulated cluster time) ==")
+    print(
+        render_table(
+            ["system", "total", "global phase", "local phase", "partitions"],
+            [
+                ["TARDIS", fmt_seconds(trep.total_s),
+                 fmt_seconds(trep.global_s), fmt_seconds(trep.local_s),
+                 trep.n_partitions],
+                ["DPiSAX", fmt_seconds(brep.total_s),
+                 fmt_seconds(brep.global_s), fmt_seconds(brep.local_s),
+                 brep.n_partitions],
+            ],
+        )
+    )
+
+    print("\n== index sizes ==")
+    print(
+        render_table(
+            ["system", "global index", "local indices (excl. data)"],
+            [
+                ["TARDIS", fmt_bytes(trep.global_index_nbytes),
+                 fmt_bytes(trep.local_index_nbytes)],
+                ["DPiSAX", fmt_bytes(brep.global_index_nbytes),
+                 fmt_bytes(brep.local_index_nbytes)],
+            ],
+        )
+    )
+
+    print("\n== exact match (100 queries, half absent) ==")
+    workload = exact_match_workload(dataset, 100)
+    rows = []
+    for rep in (
+        evaluate_exact_match(tardis, workload, use_bloom=True),
+        evaluate_exact_match(tardis, workload, use_bloom=False),
+        evaluate_exact_match(dpisax, workload),
+    ):
+        rows.append(
+            [rep.system, fmt_seconds(rep.avg_time_s), f"{rep.recall:.0%}",
+             rep.partition_loads]
+        )
+    print(render_table(["system", "avg time", "recall", "partition loads"],
+                       rows))
+
+    print("\n== kNN approximate (k=25, 20 held-out queries) ==")
+    reports = evaluate_knn(dataset, queries, 25, tardis=tardis, dpisax=dpisax)
+    print(
+        render_table(
+            ["method", "recall", "error ratio", "avg time"],
+            [
+                [r.method, f"{r.recall:.1%}", f"{r.error_ratio:.3f}",
+                 fmt_seconds(r.avg_time_s)]
+                for r in reports
+            ],
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

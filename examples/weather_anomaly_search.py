@@ -1,0 +1,104 @@
+#!/usr/bin/env python
+"""Weather-station similarity search on skewed NOAA-like data.
+
+Scenario: a climate archive holds temperature curves from thousands of
+stations (the paper's NOAA dataset).  An analyst spots an anomalous
+station-year — an unusually flat seasonal cycle — and wants the most
+similar historical curves to check whether it is a sensor fault or a real
+micro-climate.
+
+This exercises TARDIS on its *hardest* data distribution: NOAA-like
+series are extremely skewed (most stations share a handful of iSAX-T
+signatures), which stresses cascading sigTree splits, overflow leaves, and
+partition packing.  The example also shows the accuracy/latency dial the
+three kNN strategies offer.
+
+Run with::
+
+    python examples/weather_anomaly_search.py
+"""
+
+import numpy as np
+
+from repro.core import (
+    TardisConfig,
+    build_tardis_index,
+    brute_force_knn,
+    knn_multi_partitions_access,
+    knn_one_partition_access,
+    knn_target_node_access,
+)
+from repro.metrics import error_ratio, recall
+from repro.tsdb import noaa_like
+from repro.tsdb.series import z_normalize
+
+
+def make_anomalous_curve(length: int, rng: np.random.Generator) -> np.ndarray:
+    """A damped seasonal cycle: the 'is this sensor broken?' shape."""
+    t = np.arange(length) / length
+    curve = 2.0 * np.sin(2 * np.pi * t) * np.exp(-2.5 * t)
+    return z_normalize(curve + 0.3 * rng.standard_normal(length))
+
+
+def main() -> None:
+    rng = np.random.default_rng(7)
+    archive = noaa_like(30_000, seed=3)
+    print(
+        f"climate archive: {len(archive):,} station-year curves of "
+        f"{archive.length} samples"
+    )
+
+    index = build_tardis_index(archive, TardisConfig())
+    sizes = [p.n_records for p in index.partitions.values()]
+    print(
+        f"index: {len(index.partitions)} partitions "
+        f"(min/median/max fill {min(sizes)}/{int(np.median(sizes))}/{max(sizes)}) — "
+        "note the skew-driven imbalance the FFD packer absorbs"
+    )
+
+    query = make_anomalous_curve(archive.length, rng)
+    k = 25
+    truth = brute_force_knn(archive, query, k)
+    truth_ids = [n.record_id for n in truth]
+    print(f"\nlooking for the {k} most similar historical curves")
+    print(f"true nearest distance: {truth[0].distance:.3f}")
+
+    # An anomalous query sits in a sparse region of a very skewed archive —
+    # the hardest case for signature-routed approximate search.  Exact-set
+    # recall drops, but what the analyst needs is *distance* quality: how
+    # close the returned curves are to the true nearest ones.
+    print("\nstrategy comparison (set recall vs distance quality):")
+    truth_dists = [n.distance for n in truth]
+    for name, strategy in [
+        ("Target Node Access", knn_target_node_access),
+        ("One Partition Access", knn_one_partition_access),
+        ("Multi-Partitions Access", knn_multi_partitions_access),
+    ]:
+        answer = strategy(index, query, k)
+        hits = recall(answer.record_ids, truth_ids)
+        # The routed partition may hold fewer than k curves (this archive
+        # is extremely skewed); score distance quality over what came back.
+        depth = min(len(answer.distances), k)
+        ratio = error_ratio(answer.distances[:depth], truth_dists[:depth])
+        print(
+            f"  {name:<24} recall={hits:5.1%}  "
+            f"error ratio={ratio:.3f}  "
+            f"answers={depth}/{k}  "
+            f"partitions={answer.partitions_loaded}"
+        )
+
+    # Drill into the best answer: are the neighbors genuinely similar?
+    best = knn_multi_partitions_access(index, query, k)
+    neighbor = archive.series(best.neighbors[0].record_id)
+    correlation = float(np.corrcoef(query, neighbor)[0, 1])
+    print(
+        f"\ntop neighbor record {best.neighbors[0].record_id}: "
+        f"distance {best.neighbors[0].distance:.3f}, "
+        f"shape correlation {correlation:.2f}"
+    )
+    verdict = "plausible micro-climate" if correlation > 0.6 else "likely sensor fault"
+    print(f"analyst verdict on the anomaly: {verdict}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,8 @@
+"""Setup shim: enables `pip install -e . --no-use-pep517` in offline
+environments that lack the `wheel` package (PEP 517 editable builds need
+bdist_wheel).  Configuration lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

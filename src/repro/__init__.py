@@ -1,0 +1,49 @@
+"""TARDIS reproduction: distributed indexing for big time series data.
+
+Reproduces Zhang et al., "TARDIS: Distributed Indexing Framework for Big
+Time Series Data" (ICDE 2019).  See DESIGN.md for the system inventory and
+EXPERIMENTS.md for the paper-vs-measured record.
+
+Subpackages
+-----------
+``repro.core``
+    The paper's contribution: iSAX-T signatures, sigTrees, Tardis-G /
+    Tardis-L indices, exact-match and kNN-approximate query processing.
+``repro.tsdb``
+    Time series substrate: datasets, PAA/SAX/iSAX, distances, generators.
+``repro.cluster``
+    Simulated Spark/HDFS execution substrate with cost accounting.
+``repro.bloom``
+    From-scratch Bloom filter.
+``repro.baseline``
+    The DPiSAX/iBT baseline the paper compares against.
+``repro.metrics``
+    Recall, error ratio, size and distribution statistics.
+``repro.experiments``
+    Shared workload/harness code behind the ``benchmarks/`` suite.
+"""
+
+from .core import (
+    TardisConfig,
+    TardisIndex,
+    build_tardis_index,
+    exact_match,
+    knn_multi_partitions_access,
+    knn_one_partition_access,
+    knn_target_node_access,
+)
+from .tsdb import TimeSeriesDataset
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "TardisConfig",
+    "TardisIndex",
+    "build_tardis_index",
+    "exact_match",
+    "knn_target_node_access",
+    "knn_one_partition_access",
+    "knn_multi_partitions_access",
+    "TimeSeriesDataset",
+    "__version__",
+]

@@ -1,0 +1,5 @@
+"""Adaptive indexing: the ADS comparison system (paper §VII)."""
+
+from .ads import AdsConfig, AdsIndex, AdsQueryResult, build_ads_index
+
+__all__ = ["AdsConfig", "AdsIndex", "AdsQueryResult", "build_ads_index"]

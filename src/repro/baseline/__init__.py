@@ -1,0 +1,29 @@
+"""DPiSAX/iBT baseline (paper §II-C/D), extended to clustered indices."""
+
+from .dpisax import (
+    BaselineQueryResult,
+    DpisaxConfig,
+    DpisaxIndex,
+    DpisaxPartition,
+    build_dpisax_index,
+    convert_records_baseline,
+    exact_match_baseline,
+    knn_baseline,
+)
+from .ibt import SPLIT_POLICIES, IbtNode, IbtTree
+from .partition_table import PartitionTable
+
+__all__ = [
+    "IbtTree",
+    "IbtNode",
+    "SPLIT_POLICIES",
+    "PartitionTable",
+    "DpisaxConfig",
+    "DpisaxIndex",
+    "DpisaxPartition",
+    "build_dpisax_index",
+    "convert_records_baseline",
+    "exact_match_baseline",
+    "knn_baseline",
+    "BaselineQueryResult",
+]

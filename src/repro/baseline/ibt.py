@@ -1,0 +1,331 @@
+"""iSAX Binary Tree (iBT) — the index structure behind the baseline.
+
+The iBT (paper §II-C, Fig. 2a) is an unbalanced binary tree over
+character-level iSAX words, except for its first level which fans out to
+``2^w`` one-bit children.  A leaf that exceeds the split threshold is
+promoted: one segment's cardinality grows by a bit and the entries are
+redistributed over the two resulting children.
+
+Two split policies are implemented:
+
+* ``round-robin`` — the original iSAX policy (Shieh & Keogh 2008): cycle
+  through segments.  Known to over-subdivide.
+* ``stats`` — the iSAX 2.0 policy (Camerra et al. 2010): choose the
+  segment whose next-bit breakpoint divides the node's entries most evenly.
+
+Entries are ``(ISaxWord at max cardinality, record_id, series-or-None)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from ..tsdb.isax import ISaxWord
+
+__all__ = ["IbtNode", "IbtTree", "SPLIT_POLICIES"]
+
+SPLIT_POLICIES = ("round-robin", "stats")
+
+#: Size model constants for Fig. 13 (serialized form, matching the
+#: sigTree accounting): per-node count/flags plus the per-segment
+#: symbol-and-bit-width arrays character-level words must store.
+_NODE_OVERHEAD_BYTES = 8
+_POINTER_BYTES = 4
+
+
+def _word_nbytes(word_length: int, max_bits: int) -> int:
+    """Stored size of a character-level iSAX word.
+
+    Each segment needs its symbol (``ceil(max_bits / 8)`` bytes, since the
+    initial cardinality reserves headroom for splits) plus a bit-width
+    byte — the "unnecessary conversion and storage" of the large initial
+    cardinality the paper criticizes.
+    """
+    return word_length * ((max_bits + 7) // 8 + 1)
+
+
+@dataclass
+class IbtNode:
+    """One iBT node.  The root's ``word`` is None (covers everything)."""
+
+    word: ISaxWord | None
+    parent: "IbtNode | None" = None
+    children: dict[tuple, "IbtNode"] = field(default_factory=dict)
+    entries: list = field(default_factory=list)
+    count: int = 0
+    #: Segment this internal node split on (None for leaves / first level).
+    split_segment: int | None = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self.children
+
+    @property
+    def depth(self) -> int:
+        """Total bits in the node's word = path length from the root."""
+        if self.word is None:
+            return 0
+        return sum(self.word.bits)
+
+
+class IbtTree:
+    """Binary iSAX tree with a ``2^w``-ary first level."""
+
+    def __init__(
+        self,
+        word_length: int,
+        max_bits: int,
+        split_threshold: int,
+        split_policy: str = "stats",
+        binary_root: bool = False,
+    ):
+        if split_policy not in SPLIT_POLICIES:
+            raise ValueError(
+                f"unknown split policy {split_policy!r}; choose from {SPLIT_POLICIES}"
+            )
+        if max_bits <= 0 or split_threshold <= 0:
+            raise ValueError("max_bits and split_threshold must be positive")
+        self.word_length = word_length
+        self.max_bits = max_bits
+        self.split_threshold = split_threshold
+        self.split_policy = split_policy
+        self.binary_root = binary_root
+        if binary_root:
+            # DPiSAX-style partitioning tree: the root is a normal node
+            # covering everything (all segments at 0 bits) and splits
+            # binarily like any other node, so leaves track the capacity
+            # instead of scattering over a fixed 2^w first level.
+            self.root = IbtNode(word=ISaxWord((0,) * word_length, (0,) * word_length))
+        else:
+            self.root = IbtNode(word=None)
+
+    # -- routing ------------------------------------------------------------------
+
+    def _first_level_key(self, full_word: ISaxWord) -> tuple:
+        """1-bit word of a full-cardinality entry (first-level child key)."""
+        return tuple(
+            sym >> (bits - 1) for sym, bits in zip(full_word.symbols, full_word.bits)
+        )
+
+    def _child_key(self, node: IbtNode, full_word: ISaxWord) -> tuple:
+        """Key of the child of ``node`` covering ``full_word``.
+
+        Children of a split node are keyed by the extra bit taken from the
+        full-cardinality symbol of the split segment.
+        """
+        segment = node.split_segment
+        assert segment is not None, "routing through an unsplit internal node"
+        child_bits = node.word.bits[segment] + 1 if node.word else 1
+        full_bits = full_word.bits[segment]
+        bit = (full_word.symbols[segment] >> (full_bits - child_bits)) & 1
+        return (segment, bit)
+
+    def descend(self, full_word: ISaxWord) -> IbtNode:
+        """Deepest node covering a full-cardinality word."""
+        node = self.root
+        while not node.is_leaf:
+            if node.word is None:
+                key = self._first_level_key(full_word)
+            else:
+                key = self._child_key(node, full_word)
+            child = node.children.get(key)
+            if child is None:
+                return node
+            node = child
+        return node
+
+    def path(self, full_word: ISaxWord) -> list[IbtNode]:
+        """Root-to-deepest-node path for a word (used by target-node search)."""
+        nodes = [self.root]
+        node = self.root
+        while not node.is_leaf:
+            if node.word is None:
+                key = self._first_level_key(full_word)
+            else:
+                key = self._child_key(node, full_word)
+            child = node.children.get(key)
+            if child is None:
+                break
+            node = child
+            nodes.append(node)
+        return nodes
+
+    # -- insertion ------------------------------------------------------------------
+
+    def insert(self, entry: tuple) -> IbtNode:
+        """Insert ``(full_word, record_id, series)``; split on overflow."""
+        full_word: ISaxWord = entry[0]
+        if sum(full_word.bits) != self.word_length * self.max_bits:
+            raise ValueError("entry word must be at full (initial) cardinality")
+        node = self.root
+        node.count += 1
+        while not node.is_leaf:
+            if node.word is None:
+                key = self._first_level_key(full_word)
+                child_word = ISaxWord(key, (1,) * self.word_length)
+            else:
+                key = self._child_key(node, full_word)
+                child_word = node.word.split_child(key[0], key[1])
+            child = node.children.get(key)
+            if child is None:
+                child = IbtNode(word=child_word, parent=node)
+                node.children[key] = child
+            node = child
+            node.count += 1
+        node.entries.append(entry)
+        leaf = node
+        while leaf.is_leaf and len(leaf.entries) > self.split_threshold:
+            split = self._split_leaf(leaf, full_word)
+            if split is None:
+                break  # every segment exhausted: overflow leaf
+            leaf = split
+        return leaf
+
+    def _split_leaf(self, leaf: IbtNode, followed: ISaxWord) -> IbtNode | None:
+        """Binary-split an overflowing leaf; returns the followed child."""
+        segment = self._choose_split_segment(leaf)
+        if segment is None:
+            return None
+        if leaf.word is None:
+            # The root "splits" into its 2^w one-bit first level.
+            for entry in leaf.entries:
+                key = self._first_level_key(entry[0])
+                child = leaf.children.get(key)
+                if child is None:
+                    child = IbtNode(
+                        word=ISaxWord(key, (1,) * self.word_length), parent=leaf
+                    )
+                    leaf.children[key] = child
+                child.entries.append(entry)
+                child.count += 1
+            leaf.entries = []
+            return leaf.children.get(self._first_level_key(followed))
+        leaf.split_segment = segment
+        for entry in leaf.entries:
+            key = self._child_key(leaf, entry[0])
+            child = leaf.children.get(key)
+            if child is None:
+                child = IbtNode(
+                    word=leaf.word.split_child(key[0], key[1]), parent=leaf
+                )
+                leaf.children[key] = child
+            child.entries.append(entry)
+            child.count += 1
+        leaf.entries = []
+        return leaf.children.get(self._child_key(leaf, followed))
+
+    def _choose_split_segment(self, leaf: IbtNode) -> int | None:
+        """Pick the segment to promote by the configured policy."""
+        if leaf.word is None:
+            return 0  # first-level fan-out ignores the segment choice
+        eligible = [
+            j
+            for j in range(self.word_length)
+            if leaf.word.bits[j] < self.max_bits
+        ]
+        if not eligible:
+            return None
+        if self.split_policy == "round-robin":
+            # Cycle segments with the node's depth: the classic iSAX policy.
+            start = leaf.depth % self.word_length
+            for offset in range(self.word_length):
+                candidate = (start + offset) % self.word_length
+                if candidate in eligible:
+                    return candidate
+            return eligible[0]
+        # stats policy: most balanced next-bit division of this leaf's data.
+        best_segment, best_imbalance = None, None
+        for j in eligible:
+            child_bits = leaf.word.bits[j] + 1
+            ones = 0
+            for entry in leaf.entries:
+                word: ISaxWord = entry[0]
+                bit = (word.symbols[j] >> (word.bits[j] - child_bits)) & 1
+                ones += bit
+            imbalance = abs(len(leaf.entries) - 2 * ones)
+            if best_imbalance is None or imbalance < best_imbalance:
+                best_segment, best_imbalance = j, imbalance
+        return best_segment
+
+    def bulk_load(self, entries: list) -> None:
+        """Two-phase bulk loading (iSAX 2.0, cited in paper §II-C).
+
+        Phase 1 inserts only the words, determining the final tree shape —
+        splits shuffle lightweight ``(word, rid)`` placeholders instead of
+        raw series.  Phase 2 routes each full entry straight to its leaf
+        with no further splitting or data movement.  The resulting tree
+        shape is identical to incremental insertion of the same entries in
+        the same order (tests assert this); only the amount of payload
+        moved during splits differs.
+        """
+        if self.root.count:
+            raise RuntimeError("bulk_load requires an empty tree")
+        for word, rid, _payload in entries:
+            self.insert((word, rid, None))
+        for node in self.iter_nodes():
+            node.entries = []
+        for entry in entries:
+            leaf = self.descend(entry[0])
+            leaf.entries.append(entry)
+
+    # -- reporting ----------------------------------------------------------------
+
+    def iter_nodes(self) -> Iterator[IbtNode]:
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(node.children.values())
+
+    def leaves(self) -> list[IbtNode]:
+        return [node for node in self.iter_nodes() if node.is_leaf]
+
+    def n_nodes(self) -> int:
+        return sum(1 for _ in self.iter_nodes())
+
+    def height(self) -> int:
+        """Deepest leaf's extra-bit depth beyond the first level."""
+        return max((leaf.depth for leaf in self.leaves()), default=0)
+
+    def depth_histogram(self) -> dict[int, int]:
+        histogram: dict[int, int] = {}
+        for leaf in self.leaves():
+            histogram[leaf.depth] = histogram.get(leaf.depth, 0) + 1
+        return dict(sorted(histogram.items()))
+
+    def entries_under(self, node: IbtNode) -> list:
+        collected: list = []
+        stack = [node]
+        while stack:
+            current = stack.pop()
+            collected.extend(current.entries)
+            stack.extend(current.children.values())
+        return collected
+
+    def estimated_nbytes(self, include_entries: bool = False) -> int:
+        """Modelled serialized size (Fig. 13 baseline curves)."""
+        word_bytes = _word_nbytes(self.word_length, self.max_bits)
+        total = 0
+        for node in self.iter_nodes():
+            total += _NODE_OVERHEAD_BYTES
+            if node.word is not None:
+                total += word_bytes
+            total += _POINTER_BYTES * len(node.children)
+            if include_entries:
+                total += len(node.entries) * (word_bytes + _POINTER_BYTES)
+        return total
+
+    def validate(self) -> None:
+        """Structural invariants (tests): binary fan-out below level 1."""
+        for node in self.iter_nodes():
+            if node.word is None:
+                assert len(node.children) <= (1 << self.word_length)
+            else:
+                assert len(node.children) <= 2, "binary fan-out breach"
+            for child in node.children.values():
+                assert child.parent is node
+                if node.word is not None and child.word is not None:
+                    assert sum(child.word.bits) == sum(node.word.bits) + 1
+            if not node.is_leaf:
+                assert not node.entries, "internal node holding entries"

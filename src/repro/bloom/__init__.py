@@ -1,0 +1,5 @@
+"""Bloom filter substrate (used by the Tardis-L exact-match index)."""
+
+from .bloom_filter import BloomFilter
+
+__all__ = ["BloomFilter"]

@@ -1,0 +1,105 @@
+"""Space-efficient Bloom filter (Bloom 1970), built from scratch.
+
+TARDIS attaches one Bloom filter per partition, keyed by the ``isaxt(b)``
+signatures it stores, so exact-match queries for absent series skip the
+high-latency partition load entirely (paper §IV-C and §V-A).  A Bloom
+filter may return false positives but never false negatives — exactly the
+guarantee that keeps the exact-match algorithm correct.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["BloomFilter"]
+
+
+def _digest_pair(item: str | bytes) -> tuple[int, int]:
+    """Two independent 64-bit hashes via one blake2b digest.
+
+    Kirsch-Mitzenmacher double hashing derives the ``k`` probe positions as
+    ``h1 + i * h2``, which is indistinguishable from ``k`` independent
+    hashes for Bloom-filter purposes.
+    """
+    data = item.encode("utf-8") if isinstance(item, str) else item
+    digest = hashlib.blake2b(data, digest_size=16).digest()
+    h1 = int.from_bytes(digest[:8], "little")
+    h2 = int.from_bytes(digest[8:], "little") | 1  # odd => full cycle
+    return h1, h2
+
+
+@dataclass
+class BloomFilter:
+    """A fixed-size Bloom filter over strings/bytes.
+
+    Use :meth:`with_capacity` to size the bit array for an expected item
+    count and target false-positive rate using the optimal formulas
+    ``m = -n ln p / (ln 2)^2`` and ``k = (m/n) ln 2``.
+    """
+
+    n_bits: int
+    n_hashes: int
+    bits: np.ndarray = None  # type: ignore[assignment]
+    n_items: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_bits <= 0:
+            raise ValueError("n_bits must be positive")
+        if self.n_hashes <= 0:
+            raise ValueError("n_hashes must be positive")
+        if self.bits is None:
+            self.bits = np.zeros((self.n_bits + 7) // 8, dtype=np.uint8)
+
+    @classmethod
+    def with_capacity(cls, expected_items: int, fp_rate: float = 0.01) -> "BloomFilter":
+        """Size a filter for ``expected_items`` at the target ``fp_rate``."""
+        if expected_items <= 0:
+            raise ValueError("expected_items must be positive")
+        if not 0.0 < fp_rate < 1.0:
+            raise ValueError("fp_rate must be in (0, 1)")
+        n_bits = max(8, math.ceil(-expected_items * math.log(fp_rate) / math.log(2) ** 2))
+        n_hashes = max(1, round(n_bits / expected_items * math.log(2)))
+        return cls(n_bits=n_bits, n_hashes=n_hashes)
+
+    def _positions(self, item: str | bytes) -> np.ndarray:
+        h1, h2 = _digest_pair(item)
+        i = np.arange(self.n_hashes, dtype=np.uint64)
+        return (h1 + i * h2) % np.uint64(self.n_bits)
+
+    def add(self, item: str | bytes) -> None:
+        """Insert an item (idempotent)."""
+        positions = self._positions(item)
+        np.bitwise_or.at(
+            self.bits, positions >> 3, (1 << (positions & 7)).astype(np.uint8)
+        )
+        self.n_items += 1
+
+    def __contains__(self, item: str | bytes) -> bool:
+        """Membership test: False is definitive, True may be spurious."""
+        positions = self._positions(item)
+        mask = (1 << (positions & 7)).astype(np.uint8)
+        return bool(np.all(self.bits[positions >> 3] & mask))
+
+    @property
+    def nbytes(self) -> int:
+        """Serialized size (bit array only; header is negligible)."""
+        return int(self.bits.nbytes)
+
+    def estimated_fp_rate(self) -> float:
+        """Current false-positive probability from the fill ratio."""
+        set_bits = int(np.unpackbits(self.bits).sum())
+        fill = set_bits / self.n_bits
+        return fill**self.n_hashes
+
+    def union(self, other: "BloomFilter") -> "BloomFilter":
+        """Merge two filters built with identical parameters."""
+        if (self.n_bits, self.n_hashes) != (other.n_bits, other.n_hashes):
+            raise ValueError("can only union filters with identical geometry")
+        merged = BloomFilter(self.n_bits, self.n_hashes)
+        merged.bits = self.bits | other.bits
+        merged.n_items = self.n_items + other.n_items
+        return merged

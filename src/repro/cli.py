@@ -1,0 +1,248 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Covers the end-to-end workflow a downstream user needs without writing
+code:
+
+* ``generate`` — synthesize one of the four benchmark datasets to ``.npz``
+* ``build`` — build a TARDIS index over a dataset and persist it
+* ``info`` — summarize a persisted index
+* ``exact`` — exact-match lookup of a series against a persisted index
+* ``knn`` — kNN with an approximate strategy or exact best-first search
+* ``range`` — all series within a Euclidean radius
+
+Series inputs are ``.npy`` files (one 1-D array) or ``--row N`` of a
+generated ``.npz`` dataset.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from .core import (
+    TardisConfig,
+    build_tardis_index,
+    exact_match,
+    knn_exact,
+    knn_multi_partitions_access,
+    knn_one_partition_access,
+    knn_target_node_access,
+    range_query,
+)
+from .core.persistence import load_index, save_index
+from .tsdb import DATASET_GENERATORS, TimeSeriesDataset, make_dataset
+from .tsdb.io import read_csv_dataset, read_npz_dataset, read_ucr
+
+__all__ = ["main"]
+
+_STRATEGIES = {
+    "target-node": knn_target_node_access,
+    "one-partition": knn_one_partition_access,
+    "multi-partitions": knn_multi_partitions_access,
+    "exact": knn_exact,
+}
+
+
+def _save_dataset(dataset: TimeSeriesDataset, path: Path) -> None:
+    np.savez_compressed(
+        path, values=dataset.values, record_ids=dataset.record_ids,
+        name=np.array(dataset.name),
+    )
+
+
+def _load_dataset(path: Path) -> TimeSeriesDataset:
+    """Load a dataset by extension: .npz (native), .csv/.tsv, or .txt
+    (UCR archive format; the label column is dropped)."""
+    suffix = path.suffix.lower()
+    if suffix == ".npz":
+        return read_npz_dataset(path)
+    if suffix in (".csv", ".tsv"):
+        return read_csv_dataset(
+            path, delimiter="\t" if suffix == ".tsv" else ","
+        )
+    if suffix == ".txt":
+        dataset, _labels = read_ucr(path)
+        return dataset
+    raise SystemExit(f"unsupported dataset format: {path}")
+
+
+def _load_query(args) -> np.ndarray:
+    if args.query is not None:
+        return np.load(args.query, allow_pickle=False)
+    if args.data is None or args.row is None:
+        raise SystemExit("provide either --query FILE.npy or --data + --row")
+    dataset = _load_dataset(Path(args.data))
+    return dataset.values[args.row]
+
+
+def _cmd_generate(args) -> int:
+    dataset = make_dataset(args.dataset, args.count, seed=args.seed)
+    _save_dataset(dataset, Path(args.out))
+    print(
+        f"wrote {len(dataset):,} {dataset.name} series of length "
+        f"{dataset.length} to {args.out}"
+    )
+    return 0
+
+
+def _is_normalized(dataset: TimeSeriesDataset) -> bool:
+    sample = dataset.values[: min(len(dataset), 256)]
+    return bool(np.abs(sample.mean(axis=1)).max() <= 1e-3)
+
+
+def _cmd_build(args) -> int:
+    dataset = _load_dataset(Path(args.data))
+    # Normalize only when needed: re-normalizing already-normalized data
+    # would perturb float bits and break exact-match on the original rows.
+    if not args.no_normalize and not _is_normalized(dataset):
+        print("z-normalizing input (disable with --no-normalize)")
+        dataset = dataset.z_normalized()
+    config = TardisConfig(
+        g_max_size=args.partition_capacity,
+        l_max_size=args.leaf_capacity,
+        sampling_fraction=args.sampling,
+    )
+    index = build_tardis_index(dataset, config, clustered=not args.unclustered)
+    save_index(index, Path(args.out))
+    ledger = index.construction_ledger
+    print(
+        f"built index over {index.n_records:,} series: "
+        f"{len(index.partitions)} partitions, simulated construction "
+        f"{ledger.clock_s:.2f} s; saved to {args.out}"
+    )
+    return 0
+
+
+def _cmd_info(args) -> int:
+    index = load_index(Path(args.index))
+    sizes = [p.n_records for p in index.partitions.values()]
+    print(f"dataset        : {index.dataset_name}")
+    print(f"records        : {index.n_records:,} x {index.series_length}")
+    print(f"clustered      : {index.clustered}")
+    print(f"partitions     : {len(index.partitions)} "
+          f"(fill min/median/max {min(sizes)}/{int(np.median(sizes))}/{max(sizes)})")
+    print(f"global index   : {index.global_index_nbytes() / 1024:.1f} KB, "
+          f"height {index.global_index.tree.height()}")
+    print(f"local indices  : {index.local_index_nbytes() / 1024:.1f} KB "
+          f"(incl. {index.bloom_nbytes() / 1024:.1f} KB bloom filters)")
+    return 0
+
+
+def _cmd_exact(args) -> int:
+    index = load_index(Path(args.index))
+    query = _load_query(args)
+    result = exact_match(index, query, use_bloom=not args.no_bloom)
+    if result.found:
+        print(f"found record ids: {result.record_ids}")
+    else:
+        how = "bloom filter" if result.bloom_rejected else "partition lookup"
+        print(f"not found (rejected by {how})")
+    return 0 if result.found else 1
+
+
+def _cmd_knn(args) -> int:
+    index = load_index(Path(args.index))
+    query = _load_query(args)
+    strategy = _STRATEGIES[args.strategy]
+    result = strategy(index, query, args.k)
+    print(f"{args.strategy} {args.k}-NN "
+          f"({result.partitions_loaded} partitions, "
+          f"{result.candidates_examined:,} candidates):")
+    for neighbor in result.neighbors:
+        print(f"  record {neighbor.record_id:>8}  distance {neighbor.distance:.4f}")
+    if args.explain:
+        from .core import explain
+
+        print()
+        print(explain(result))
+    return 0
+
+
+def _cmd_range(args) -> int:
+    index = load_index(Path(args.index))
+    query = _load_query(args)
+    result = range_query(index, query, args.radius)
+    print(f"{len(result.neighbors)} series within radius {args.radius} "
+          f"({result.partitions_loaded} partitions loaded):")
+    for neighbor in result.neighbors[: args.limit]:
+        print(f"  record {neighbor.record_id:>8}  distance {neighbor.distance:.4f}")
+    if len(result.neighbors) > args.limit:
+        print(f"  ... and {len(result.neighbors) - args.limit} more")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="TARDIS distributed time series index (ICDE'19 reproduction)",
+    )
+    from . import __version__
+
+    parser.add_argument("--version", action="version",
+                        version=f"repro {__version__}")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="synthesize a benchmark dataset")
+    gen.add_argument("--dataset", choices=sorted(DATASET_GENERATORS),
+                     required=True)
+    gen.add_argument("--count", type=int, required=True)
+    gen.add_argument("--seed", type=int, default=None)
+    gen.add_argument("--out", required=True)
+    gen.set_defaults(fn=_cmd_generate)
+
+    build = sub.add_parser("build", help="build and persist a TARDIS index")
+    build.add_argument("--data", required=True, help="dataset .npz")
+    build.add_argument("--out", required=True, help="index directory")
+    build.add_argument("--partition-capacity", type=int,
+                       default=TardisConfig().g_max_size)
+    build.add_argument("--leaf-capacity", type=int,
+                       default=TardisConfig().l_max_size)
+    build.add_argument("--sampling", type=float,
+                       default=TardisConfig().sampling_fraction)
+    build.add_argument("--unclustered", action="store_true")
+    build.add_argument("--no-normalize", action="store_true",
+                       help="skip z-normalization (data is already normalized)")
+    build.set_defaults(fn=_cmd_build)
+
+    info = sub.add_parser("info", help="summarize a persisted index")
+    info.add_argument("--index", required=True)
+    info.set_defaults(fn=_cmd_info)
+
+    for name, help_text in (
+        ("exact", "exact-match lookup"),
+        ("knn", "kNN search (approximate strategies or exact)"),
+        ("range", "all series within a radius"),
+    ):
+        cmd = sub.add_parser(name, help=help_text)
+        cmd.add_argument("--index", required=True)
+        cmd.add_argument("--query", help="query series .npy")
+        cmd.add_argument("--data", help="dataset .npz to take --row from")
+        cmd.add_argument("--row", type=int, help="row of --data to query")
+        if name == "exact":
+            cmd.add_argument("--no-bloom", action="store_true")
+            cmd.set_defaults(fn=_cmd_exact)
+        elif name == "knn":
+            cmd.add_argument("--k", type=int, default=10)
+            cmd.add_argument("--strategy", choices=sorted(_STRATEGIES),
+                             default="multi-partitions")
+            cmd.add_argument("--explain", action="store_true",
+                             help="print the execution report")
+            cmd.set_defaults(fn=_cmd_knn)
+        else:
+            cmd.add_argument("--radius", type=float, required=True)
+            cmd.add_argument("--limit", type=int, default=20,
+                             help="max results to print")
+            cmd.set_defaults(fn=_cmd_range)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,207 @@
+"""Simulated cost model for the in-process cluster engine.
+
+The paper's evaluation ran on a 2-node Spark/HDFS cluster; this repo's
+substitute executes the same computation in-process and *accounts* the time
+a distributed deployment would spend:
+
+* CPU work is measured (``time.perf_counter`` around each task) — the
+  algorithmic costs that dominate the paper's construction-time gap
+  (signature conversion, partition-table lookups, tree traversals) are real
+  Python work here, so their relative magnitudes carry over.
+* I/O and network work is charged analytically from byte counts and the
+  throughput parameters below, because an in-process engine has no real
+  disk/network path for them.
+* Stage latency respects data parallelism: tasks are assigned to simulated
+  workers and a stage takes as long as its slowest worker.
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = [
+    "CostModel",
+    "StageStats",
+    "SimulationLedger",
+    "estimate_bytes",
+    "timed_stage",
+    "DEFAULT_CPU_SCALE",
+]
+
+_MB = 1024 * 1024
+
+#: Default CPython-to-JVM CPU calibration (see :class:`CostModel`).
+DEFAULT_CPU_SCALE = 0.15
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Throughput/latency parameters of the simulated cluster hardware.
+
+    Defaults approximate the paper's SATA-disk, 1 GbE-class testbed.
+    """
+
+    disk_read_mb_s: float = 180.0
+    disk_write_mb_s: float = 120.0
+    network_mb_s: float = 1000.0
+    task_overhead_s: float = 0.004
+    #: Physical nodes in the simulated cluster (paper: 2).  Workers map
+    #: round-robin onto nodes; shuffle bytes moving between workers on the
+    #: same node stay in memory and are not charged to the network.
+    n_nodes: int = 2
+    #: Probability that any one task attempt fails and is retried
+    #: (Spark-style).  Failed attempts still cost their CPU and overhead.
+    task_failure_rate: float = 0.0
+    #: Attempts per task before the stage aborts (Spark default: 4).
+    task_max_attempts: int = 4
+    #: Latency of one random (non-streaming) read — SSD-class 100 µs.
+    #: Charged per scattered record fetch (e.g. LSH candidate reads,
+    #: un-clustered refinement), on top of the transfer time.
+    random_read_latency_s: float = 1e-4
+    #: CPython-to-JVM calibration: the paper's system is Scala; measured
+    #: interpreter overhead on the scan/convert workloads here is ~6-8x,
+    #: so measured Python CPU is scaled down to keep the CPU-to-I/O ratio
+    #: in the regime the paper's timings reflect.  Set to 1.0 to account
+    #: raw Python time instead.
+    cpu_scale: float = DEFAULT_CPU_SCALE
+
+    def disk_read_time(self, nbytes: int) -> float:
+        return nbytes / (_MB * self.disk_read_mb_s)
+
+    def disk_write_time(self, nbytes: int) -> float:
+        return nbytes / (_MB * self.disk_write_mb_s)
+
+    def network_time(self, nbytes: int) -> float:
+        return nbytes / (_MB * self.network_mb_s)
+
+    def random_read_time(self, n_reads: int, nbytes_total: int) -> float:
+        """Cost of ``n_reads`` scattered reads totalling ``nbytes_total``."""
+        return n_reads * self.random_read_latency_s + self.disk_read_time(
+            nbytes_total
+        )
+
+
+@dataclass
+class StageStats:
+    """Accumulated simulated costs of one labelled stage."""
+
+    label: str
+    cpu_s: float = 0.0
+    io_s: float = 0.0
+    network_s: float = 0.0
+    wall_s: float = 0.0
+    tasks: int = 0
+
+    @property
+    def total_s(self) -> float:
+        """Stage latency contribution (max-over-workers wall time)."""
+        return self.wall_s
+
+
+@dataclass
+class SimulationLedger:
+    """Simulated clock plus per-stage breakdown for an engine run."""
+
+    stages: dict[str, StageStats] = field(default_factory=dict)
+    clock_s: float = 0.0
+
+    def stage(self, label: str) -> StageStats:
+        if label not in self.stages:
+            self.stages[label] = StageStats(label)
+        return self.stages[label]
+
+    def record_stage(
+        self,
+        label: str,
+        wall_s: float,
+        cpu_s: float = 0.0,
+        io_s: float = 0.0,
+        network_s: float = 0.0,
+        tasks: int = 0,
+    ) -> None:
+        stats = self.stage(label)
+        stats.wall_s += wall_s
+        stats.cpu_s += cpu_s
+        stats.io_s += io_s
+        stats.network_s += network_s
+        stats.tasks += tasks
+        self.clock_s += wall_s
+
+    def breakdown(self) -> dict[str, float]:
+        """Stage label → simulated seconds, in insertion (execution) order."""
+        return {label: stats.wall_s for label, stats in self.stages.items()}
+
+    def merged_into(self, other: "SimulationLedger") -> None:
+        """Fold this ledger's stages into ``other`` (for composite runs)."""
+        for label, stats in self.stages.items():
+            other.record_stage(
+                label,
+                wall_s=stats.wall_s,
+                cpu_s=stats.cpu_s,
+                io_s=stats.io_s,
+                network_s=stats.network_s,
+                tasks=stats.tasks,
+            )
+
+
+class timed_stage:
+    """Context manager charging measured CPU time to a ledger stage.
+
+    Used on query paths where the work is real Python computation (tree
+    traversal, candidate ranking) rather than an engine stage::
+
+        with timed_stage(ledger, "query/scan"):
+            candidates = partition.pruned_entries(...)
+    """
+
+    def __init__(
+        self,
+        ledger: SimulationLedger,
+        label: str,
+        cpu_scale: float = DEFAULT_CPU_SCALE,
+    ):
+        self._ledger = ledger
+        self._label = label
+        self._cpu_scale = cpu_scale
+        self.elapsed_s = 0.0
+
+    def __enter__(self) -> "timed_stage":
+        import time
+
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        import time
+
+        self.elapsed_s = (time.perf_counter() - self._start) * self._cpu_scale
+        self._ledger.record_stage(
+            self._label, wall_s=self.elapsed_s, cpu_s=self.elapsed_s, tasks=1
+        )
+
+
+def estimate_bytes(obj: object) -> int:
+    """Approximate serialized size of a record or record collection.
+
+    Recurses through tuples/lists/dicts; numpy arrays report ``nbytes``,
+    strings their UTF-8 length, scalars 8 bytes.  Exactness is irrelevant —
+    only relative volumes feed the I/O charges.
+    """
+    if obj is None:
+        return 0
+    if isinstance(obj, np.ndarray):
+        return int(obj.nbytes)
+    if isinstance(obj, (bytes, bytearray)):
+        return len(obj)
+    if isinstance(obj, str):
+        return len(obj.encode("utf-8"))
+    if isinstance(obj, (int, float, np.integer, np.floating, bool)):
+        return 8
+    if isinstance(obj, dict):
+        return sum(estimate_bytes(k) + estimate_bytes(v) for k, v in obj.items())
+    if isinstance(obj, (tuple, list, set, frozenset)):
+        return sum(estimate_bytes(item) for item in obj)
+    return sys.getsizeof(obj)

@@ -1,0 +1,341 @@
+"""In-process MapReduce/Spark-like execution engine with cost accounting.
+
+The engine is the stand-in for the paper's Apache Spark deployment (see
+DESIGN.md §2).  It executes real Python functions over partitioned data
+while a :class:`~repro.cluster.costmodel.SimulationLedger` tracks what the
+same job would cost on a cluster: measured CPU per task, analytic disk and
+network charges, and max-over-workers stage latency.
+
+Typical usage::
+
+    cluster = SimCluster(n_workers=8)
+    data = cluster.read_storage(storage, label="read data")
+    pairs = data.map(lambda rec: (to_signature(rec), 1), label="convert")
+    stats = pairs.reduce_by_key(lambda a, b: a + b, label="aggregate")
+    print(cluster.ledger.breakdown())
+"""
+
+from __future__ import annotations
+
+import time
+import zlib
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence
+
+from .costmodel import CostModel, SimulationLedger, estimate_bytes
+from .storage import Block, BlockStorage
+
+__all__ = ["SimCluster", "PartitionedData", "Broadcast", "TaskFailedError"]
+
+
+class TaskFailedError(RuntimeError):
+    """A task exhausted its retry budget (see CostModel.task_max_attempts)."""
+
+
+@dataclass
+class Broadcast:
+    """A read-only value shipped once to every worker (Spark broadcast)."""
+
+    value: object
+
+
+class PartitionedData:
+    """A distributed collection: one record list per partition.
+
+    Partition ``i`` is pinned to worker ``i % n_workers``.  All
+    transformations are *eager* (no lazy DAG — determinism and cost
+    attribution are simpler, and nothing in the paper depends on laziness).
+    """
+
+    def __init__(self, cluster: "SimCluster", partitions: list[list]):
+        self._cluster = cluster
+        self.partitions = partitions
+
+    # -- inspection ----------------------------------------------------------
+
+    @property
+    def n_partitions(self) -> int:
+        return len(self.partitions)
+
+    def count(self) -> int:
+        return sum(len(p) for p in self.partitions)
+
+    def collect(self, label: str = "collect") -> list:
+        """Gather all records to the driver (charges network)."""
+        return self._cluster._collect(self, label)
+
+    # -- transformations -------------------------------------------------------
+
+    def map(self, fn: Callable, label: str) -> "PartitionedData":
+        """Apply ``fn`` to each record."""
+        return self._cluster._map_partitions(
+            self, lambda records: [fn(r) for r in records], label
+        )
+
+    def flat_map(self, fn: Callable, label: str) -> "PartitionedData":
+        """Apply ``fn`` to each record and flatten the resulting iterables."""
+        def run(records: list) -> list:
+            out: list = []
+            for record in records:
+                out.extend(fn(record))
+            return out
+
+        return self._cluster._map_partitions(self, run, label)
+
+    def map_partitions(self, fn: Callable, label: str) -> "PartitionedData":
+        """Apply ``fn(list) -> list`` to each whole partition."""
+        return self._cluster._map_partitions(self, fn, label)
+
+    def filter(self, predicate: Callable, label: str) -> "PartitionedData":
+        return self._cluster._map_partitions(
+            self, lambda records: [r for r in records if predicate(r)], label
+        )
+
+    def reduce_by_key(self, combine: Callable, label: str) -> "PartitionedData":
+        """Group ``(key, value)`` records by key and fold values.
+
+        Runs a map-side combine, shuffles by key hash, then merges — the
+        classic MapReduce aggregation used by Tardis-G statistics
+        collection.
+        """
+        return self._cluster._reduce_by_key(self, combine, label)
+
+    def partition_by(
+        self, key_fn: Callable, n_partitions: int, label: str
+    ) -> "PartitionedData":
+        """Shuffle records so record ``r`` lands in partition ``key_fn(r)``."""
+        return self._cluster._shuffle(self, key_fn, n_partitions, label)
+
+
+class SimCluster:
+    """A simulated cluster: workers, a ledger, and the execution engine."""
+
+    def __init__(
+        self,
+        n_workers: int = 8,
+        cost_model: CostModel | None = None,
+        ledger: SimulationLedger | None = None,
+        failure_seed: int = 0,
+    ):
+        if n_workers <= 0:
+            raise ValueError("n_workers must be positive")
+        self.n_workers = n_workers
+        self.cost_model = cost_model or CostModel()
+        self.ledger = ledger or SimulationLedger()
+        import numpy as _np
+
+        self._failure_rng = _np.random.default_rng(failure_seed)
+
+    # -- data ingestion --------------------------------------------------------
+
+    def parallelize(
+        self, records: Sequence, n_partitions: int | None = None
+    ) -> PartitionedData:
+        """Distribute in-memory records round-robin (no I/O charge)."""
+        n_partitions = n_partitions or self.n_workers
+        partitions: list[list] = [[] for _ in range(n_partitions)]
+        for i, record in enumerate(records):
+            partitions[i % n_partitions].append(record)
+        return PartitionedData(self, partitions)
+
+    def read_storage(self, storage: BlockStorage, label: str) -> PartitionedData:
+        """Load every block from storage, one partition per block."""
+        return self.read_blocks(storage.blocks, label)
+
+    def read_blocks(self, blocks: Iterable[Block], label: str) -> PartitionedData:
+        """Load specific blocks (e.g. a block-level sample) from disk."""
+        blocks = list(blocks)
+        worker_io = [0.0] * self.n_workers
+        partitions = []
+        total_io = 0.0
+        for i, block in enumerate(blocks):
+            io_time = self.cost_model.disk_read_time(block.nbytes)
+            worker_io[i % self.n_workers] += io_time + self.cost_model.task_overhead_s
+            total_io += io_time
+            partitions.append(list(block.records))
+        wall = max(worker_io, default=0.0)
+        self.ledger.record_stage(
+            label, wall_s=wall, io_s=total_io, tasks=len(blocks)
+        )
+        return PartitionedData(self, partitions)
+
+    def broadcast(self, value: object, label: str = "broadcast") -> Broadcast:
+        """Ship a value to all workers once (charges one network transfer)."""
+        network = self.cost_model.network_time(estimate_bytes(value))
+        self.ledger.record_stage(label, wall_s=network, network_s=network, tasks=1)
+        return Broadcast(value)
+
+    # -- driver-side work --------------------------------------------------------
+
+    def run_on_driver(self, fn: Callable[[], object], label: str) -> object:
+        """Execute master-node work (e.g. skeleton building), timing it."""
+        start = time.perf_counter()
+        result = fn()
+        cpu = (time.perf_counter() - start) * self.cost_model.cpu_scale
+        self.ledger.record_stage(label, wall_s=cpu, cpu_s=cpu, tasks=1)
+        return result
+
+    def charge_disk_write(self, nbytes: int, label: str) -> None:
+        """Account an explicit spill/persist write (e.g. dumping indices)."""
+        io = self.cost_model.disk_write_time(nbytes)
+        self.ledger.record_stage(label, wall_s=io / self.n_workers, io_s=io)
+
+    def charge_disk_read(self, nbytes: int, label: str) -> None:
+        """Account an explicit re-read of spilled data."""
+        io = self.cost_model.disk_read_time(nbytes)
+        self.ledger.record_stage(label, wall_s=io / self.n_workers, io_s=io)
+
+    # -- internal execution ------------------------------------------------------
+
+    def _worker_of(self, partition_index: int) -> int:
+        return partition_index % self.n_workers
+
+    def _node_of(self, worker: int) -> int:
+        return worker % max(1, self.cost_model.n_nodes)
+
+    def _run_stage(
+        self,
+        label: str,
+        partitions: list[list],
+        task: Callable[[int, list], tuple[list, float]],
+    ) -> list[list]:
+        """Run one task per partition; returns outputs and records costs.
+
+        ``task(index, records)`` returns ``(output_records, io_seconds)``;
+        its CPU time is measured around the call.
+        """
+        worker_time = [0.0] * self.n_workers
+        outputs: list[list] = []
+        total_cpu = 0.0
+        total_io = 0.0
+        retries = 0
+        failure_rate = self.cost_model.task_failure_rate
+        for i, records in enumerate(partitions):
+            # Spark-style retries: a failed attempt still costs its CPU,
+            # I/O and scheduling overhead; the task re-runs (tasks must be
+            # idempotent, as on a real cluster) up to the attempt budget.
+            for attempt in range(1, self.cost_model.task_max_attempts + 1):
+                start = time.perf_counter()
+                out, io_time = task(i, records)
+                cpu = (time.perf_counter() - start) * self.cost_model.cpu_scale
+                total_cpu += cpu
+                total_io += io_time
+                worker_time[self._worker_of(i)] += (
+                    cpu + io_time + self.cost_model.task_overhead_s
+                )
+                failed = failure_rate > 0.0 and (
+                    self._failure_rng.random() < failure_rate
+                )
+                if not failed:
+                    outputs.append(out)
+                    break
+                retries += 1
+            else:
+                raise TaskFailedError(
+                    f"stage {label!r} task {i} failed "
+                    f"{self.cost_model.task_max_attempts} attempts"
+                )
+        wall = max(worker_time, default=0.0)
+        self.ledger.record_stage(
+            label, wall_s=wall, cpu_s=total_cpu, io_s=total_io,
+            tasks=len(partitions) + retries,
+        )
+        return outputs
+
+    def _map_partitions(
+        self, data: PartitionedData, fn: Callable, label: str
+    ) -> PartitionedData:
+        outputs = self._run_stage(
+            label, data.partitions, lambda i, records: (fn(records), 0.0)
+        )
+        return PartitionedData(self, outputs)
+
+    def _shuffle(
+        self,
+        data: PartitionedData,
+        key_fn: Callable,
+        n_partitions: int,
+        label: str,
+    ) -> PartitionedData:
+        """Repartition records; cross-worker bytes are charged to network."""
+        if n_partitions <= 0:
+            raise ValueError("n_partitions must be positive")
+        new_partitions: list[list] = [[] for _ in range(n_partitions)]
+        worker_time = [0.0] * self.n_workers
+        total_cpu = 0.0
+        total_network = 0.0
+        incoming_bytes = [0] * self.n_workers
+        for i, records in enumerate(data.partitions):
+            start = time.perf_counter()
+            src_worker = self._worker_of(i)
+            for record in records:
+                dest = key_fn(record)
+                if not 0 <= dest < n_partitions:
+                    raise ValueError(
+                        f"partitioner returned {dest}, outside [0, {n_partitions})"
+                    )
+                new_partitions[dest].append(record)
+                dest_worker = self._worker_of(dest)
+                if self._node_of(dest_worker) != self._node_of(src_worker):
+                    incoming_bytes[dest_worker] += estimate_bytes(record)
+            cpu = (time.perf_counter() - start) * self.cost_model.cpu_scale
+            total_cpu += cpu
+            worker_time[src_worker] += cpu + self.cost_model.task_overhead_s
+        map_wall = max(worker_time, default=0.0)
+        # Reduce side: each worker pulls its remote bytes in parallel.
+        pull_times = [self.cost_model.network_time(b) for b in incoming_bytes]
+        total_network = sum(pull_times)
+        wall = map_wall + max(pull_times, default=0.0)
+        self.ledger.record_stage(
+            label, wall_s=wall, cpu_s=total_cpu, network_s=total_network,
+            tasks=len(data.partitions),
+        )
+        return PartitionedData(self, new_partitions)
+
+    def _reduce_by_key(
+        self, data: PartitionedData, combine: Callable, label: str
+    ) -> PartitionedData:
+        def local_combine(records: list) -> list:
+            merged: dict = {}
+            for key, value in records:
+                if key in merged:
+                    merged[key] = combine(merged[key], value)
+                else:
+                    merged[key] = value
+            return list(merged.items())
+
+        combined = self._map_partitions(data, local_combine, f"{label}/combine")
+        n_out = max(1, min(combined.n_partitions, self.n_workers))
+        shuffled = self._shuffle(
+            combined,
+            lambda record: _stable_hash(record[0]) % n_out,
+            n_out,
+            f"{label}/shuffle",
+        )
+        return self._map_partitions(shuffled, local_combine, f"{label}/merge")
+
+    def _collect(self, data: PartitionedData, label: str) -> list:
+        nbytes = sum(estimate_bytes(p) for p in data.partitions)
+        network = self.cost_model.network_time(nbytes)
+        self.ledger.record_stage(label, wall_s=network, network_s=network,
+                                 tasks=data.n_partitions)
+        return [record for partition in data.partitions for record in partition]
+
+
+def _stable_hash(key: object) -> int:
+    """Process-independent hash for shuffle keys.
+
+    Python's built-in ``hash`` is salted per process for strings, which
+    would make partition layouts — and therefore partition *ids* and every
+    downstream random selection — differ between runs of the same program.
+    CRC32 over a canonical byte form keeps the whole pipeline reproducible.
+    """
+    if isinstance(key, bytes):
+        data = key
+    elif isinstance(key, str):
+        data = key.encode("utf-8")
+    elif isinstance(key, int):
+        return key & 0x7FFFFFFF
+    else:
+        data = repr(key).encode("utf-8")
+    return zlib.crc32(data) & 0x7FFFFFFF

@@ -1,0 +1,88 @@
+"""HDFS-like block storage for the simulated cluster.
+
+Datasets live on "disk" as fixed-capacity blocks (the analogue of 128 MB
+HDFS blocks).  The engine charges simulated disk time when blocks are read,
+and block-level sampling — the paper's Tardis-G preprocessing trick — picks
+whole random blocks so only a fraction of the disk is touched.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..tsdb.series import TimeSeriesDataset
+from .costmodel import estimate_bytes
+
+__all__ = ["Block", "BlockStorage"]
+
+
+@dataclass
+class Block:
+    """One storage block: a list of records plus its payload size."""
+
+    block_id: int
+    records: list
+    nbytes: int = field(default=0)
+
+    def __post_init__(self) -> None:
+        if self.nbytes == 0:
+            self.nbytes = estimate_bytes(self.records)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+
+@dataclass
+class BlockStorage:
+    """A dataset stored as blocks of at most ``block_capacity`` records."""
+
+    blocks: list[Block]
+    block_capacity: int
+
+    def __len__(self) -> int:
+        return sum(len(block) for block in self.blocks)
+
+    @property
+    def n_blocks(self) -> int:
+        return len(self.blocks)
+
+    @property
+    def nbytes(self) -> int:
+        return sum(block.nbytes for block in self.blocks)
+
+    @classmethod
+    def from_records(cls, records: list, block_capacity: int) -> "BlockStorage":
+        """Lay records out into consecutive blocks of ``block_capacity``."""
+        if block_capacity <= 0:
+            raise ValueError("block_capacity must be positive")
+        blocks = [
+            Block(block_id=i, records=records[start : start + block_capacity])
+            for i, start in enumerate(range(0, len(records), block_capacity))
+        ]
+        return cls(blocks=blocks, block_capacity=block_capacity)
+
+    @classmethod
+    def from_dataset(
+        cls, dataset: TimeSeriesDataset, block_capacity: int
+    ) -> "BlockStorage":
+        """Store a dataset as ``(record_id, series)`` records."""
+        records = [(int(rid), row) for rid, row in dataset]
+        return cls.from_records(records, block_capacity)
+
+    def sample_blocks(self, fraction: float, seed: int = 0) -> list[Block]:
+        """Block-level sampling: a random ``fraction`` of whole blocks.
+
+        At least one block is always returned for a non-empty store, so tiny
+        datasets still produce statistics (mirrors Spark's behaviour of
+        never sampling zero input splits).
+        """
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError("fraction must be in (0, 1]")
+        if not self.blocks:
+            return []
+        rng = np.random.default_rng(seed)
+        count = max(1, round(fraction * len(self.blocks)))
+        chosen = rng.choice(len(self.blocks), size=count, replace=False)
+        return [self.blocks[i] for i in sorted(chosen)]

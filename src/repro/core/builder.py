@@ -1,0 +1,434 @@
+"""End-to-end TARDIS index construction on the cluster engine (paper §IV).
+
+Orchestrates the full pipeline of Figs. 7-8 on a :class:`SimCluster`:
+
+* **Global phase** — block-level sample → signature/frequency pairs →
+  layer-by-layer node statistics → skeleton building → FFD partition
+  assignment.  Stage labels match the Fig. 11 breakdown.
+* **Local phase** — full read → batch iSAX-T conversion → broadcast of
+  Tardis-G → shuffle keyed by per-record Tardis-G routing → per-partition
+  Tardis-L + Bloom-filter construction in one ``mapPartition`` pass.
+
+The resulting :class:`TardisIndex` owns the global index, all local
+partitions, and the construction ledger consumed by the benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..cluster import BlockStorage, SimCluster, SimulationLedger
+from ..tsdb.paa import paa_transform
+from ..tsdb.sax import sax_symbols
+from ..tsdb.series import TimeSeriesDataset
+from .config import TardisConfig
+from .global_index import (
+    TardisGlobalIndex,
+    collect_layer_statistics,
+)
+from .isaxt import batch_signatures
+from .local_index import (
+    REGION_PREFIX_BITS,
+    LocalPartition,
+    build_local_partition,
+)
+
+__all__ = ["TardisIndex", "build_tardis_index", "convert_records"]
+
+
+def convert_records(
+    records: list[tuple[int, np.ndarray]], config: TardisConfig
+) -> list[tuple[str, int, np.ndarray]]:
+    """Vectorized ``(rid, ts) -> (isaxt(b), rid, ts)`` conversion.
+
+    One PAA + SAX + transpose-encode pass over the whole partition — the
+    cheap, small-initial-cardinality conversion TARDIS is credited with
+    (the baseline's 512-cardinality equivalent lives in
+    :mod:`repro.baseline.dpisax`).
+    """
+    if not records:
+        return []
+    values = np.vstack([ts for _, ts in records])
+    paa = paa_transform(values, config.word_length)
+    symbols = sax_symbols(paa, config.cardinality_bits)
+    signatures = batch_signatures(symbols, config.cardinality_bits)
+    return [
+        (signatures[i], rid, ts) for i, (rid, ts) in enumerate(records)
+    ]
+
+
+@dataclass
+class TardisIndex:
+    """A fully built TARDIS index over one dataset."""
+
+    config: TardisConfig
+    global_index: TardisGlobalIndex
+    partitions: dict[int, LocalPartition]
+    dataset_name: str
+    n_records: int
+    series_length: int
+    clustered: bool
+    construction_ledger: SimulationLedger = field(default_factory=SimulationLedger)
+
+    def load_partition(
+        self, partition_id: int, ledger: SimulationLedger | None = None,
+        cluster: SimCluster | None = None,
+    ) -> LocalPartition:
+        """Fetch a partition, charging its disk-load cost to ``ledger``.
+
+        Partition loads dominate query latency in the paper (one 128 MB
+        HDFS block per access) and blocks are read whole regardless of
+        fill, so the charge is at least one nominal block
+        (:meth:`block_nbytes`).  Queries must route every load through
+        here so the simulated timings stay honest.
+
+        With a cache attached (:meth:`enable_cache`), resident partitions
+        load for free — the "hot data in memory" behaviour the paper's
+        Spark deployment provides.
+        """
+        partition = self.partitions[partition_id]
+        cache = getattr(self, "_partition_cache", None)
+        if cache is not None and cache.admit(partition_id):
+            if ledger is not None:
+                ledger.record_stage(
+                    "query/load partition (cached)", wall_s=0.0, tasks=1
+                )
+            return partition
+        if ledger is not None:
+            cost_model = (cluster or SimCluster(self.config.n_workers)).cost_model
+            io = cost_model.disk_read_time(
+                max(partition.nbytes, self.block_nbytes())
+            )
+            ledger.record_stage("query/load partition", wall_s=io, io_s=io, tasks=1)
+        return partition
+
+    def enable_cache(self, capacity_partitions: int):
+        """Attach an LRU partition cache; returns it for inspection.
+
+        Pass the number of partitions the cluster can hold hot.  Call
+        :meth:`disable_cache` to return to cold-load accounting.
+        """
+        from .cache import PartitionCache
+
+        self._partition_cache = PartitionCache(capacity_partitions)
+        return self._partition_cache
+
+    def disable_cache(self) -> None:
+        self._partition_cache = None
+
+    def block_nbytes(self) -> int:
+        """Nominal storage-block payload (capacity × record size)."""
+        return self.config.g_max_size * (self.series_length * 8 + 16)
+
+    # -- record-level maintenance -----------------------------------------------
+    #
+    # The paper's TARDIS is batch-oriented; these operations extend the
+    # library to the record-level workflows downstream users expect.
+    # Inserts route through Tardis-G exactly like the bulk shuffle did, so
+    # every query invariant (routing consistency, Bloom no-false-negative)
+    # is preserved.  The global statistics are NOT updated — after heavy
+    # insertion skew, rebuild the index.
+
+    def insert_series(
+        self, series: np.ndarray, record_id: int | None = None
+    ) -> int:
+        """Insert one series into the built index; returns its record id.
+
+        The series must be z-normalized and of the indexed length.  Its
+        iSAX-T signature routes it to a partition via Tardis-G; the
+        partition's Tardis-L and Bloom filter are updated in place.
+        """
+        series = np.asarray(series, dtype=np.float64)
+        if series.shape != (self.series_length,):
+            raise ValueError(
+                f"expected a series of length {self.series_length}, got "
+                f"shape {series.shape}"
+            )
+        if record_id is None:
+            record_id = self._next_record_id()
+        converted = convert_records([(record_id, series)], self.config)
+        signature, rid, values = converted[0]
+        partition_id = self.global_index.route(signature)
+        partition = self.partitions[partition_id]
+        partition.tree.insert_entry(
+            (signature, rid, values if self.clustered else None)
+        )
+        partition.bloom.add(signature)
+        partition.register_region(signature)
+        cache = getattr(self, "_partition_cache", None)
+        if cache is not None:
+            cache.invalidate(partition_id)
+        partition.n_records += 1
+        partition.nbytes += len(signature) + 8 + int(values.nbytes)
+        self.n_records += 1
+        return rid
+
+    def delete_series(self, series: np.ndarray, record_id: int) -> bool:
+        """Delete one exact ``(series, record_id)`` pair; True if found.
+
+        Bloom filters cannot forget, so the filter keeps the signature
+        (harmless: a stale positive only costs one partition load).
+        Counts along the Tardis-L path are decremented.
+        """
+        if not self.clustered:
+            raise RuntimeError("delete needs a clustered index (raw compare)")
+        series = np.asarray(series, dtype=np.float64)
+        converted = convert_records([(record_id, series)], self.config)
+        signature = converted[0][0]
+        partition = self.partitions[self.global_index.route(signature)]
+        leaf = partition.tree.descend(signature)
+        if not leaf.is_leaf:
+            return False
+        for i, (sig, rid, values) in enumerate(leaf.entries):
+            if sig == signature and rid == record_id and np.array_equal(
+                values, series
+            ):
+                del leaf.entries[i]
+                node = leaf
+                while node is not None:
+                    node.count -= 1
+                    node = node.parent
+                partition.n_records -= 1
+                self.n_records -= 1
+                return True
+        return False
+
+    def rebalance(self, overflow_factor: float = 1.5):
+        """Split partitions that overflowed after heavy insertion.
+
+        Delegates to :func:`repro.core.rebalance.rebalance_index`; returns
+        its :class:`RebalanceReport`.  The index stays fully consistent
+        (:meth:`validate` holds afterwards).
+        """
+        from .rebalance import rebalance_index
+
+        return rebalance_index(self, overflow_factor=overflow_factor)
+
+    def _next_record_id(self) -> int:
+        rid = getattr(self, "_insert_counter", None)
+        if rid is None:
+            rid = max(
+                (
+                    entry[1]
+                    for partition in self.partitions.values()
+                    for entry in partition.all_entries()
+                ),
+                default=-1,
+            )
+        rid += 1
+        self._insert_counter = rid
+        return rid
+
+    def validate(self) -> None:
+        """Deep self-check of every cross-structure invariant.
+
+        Raises ``AssertionError`` naming the first violated invariant.
+        Useful after :func:`~repro.core.persistence.load_index`, heavy
+        maintenance, or as a debugging aid.  Checks: structural validity
+        of every tree, record-count consistency at every level, routing
+        consistency (each entry lives where Tardis-G routes it), Bloom
+        containment, and region-synopsis coverage.
+        """
+        assert self.global_index.n_partitions == len(self.partitions), (
+            "partition count mismatch between Tardis-G and local indices"
+        )
+        total = 0
+        for pid, partition in self.partitions.items():
+            partition.tree.validate()
+            entries = partition.all_entries()
+            assert len(entries) == partition.n_records, (
+                f"partition {pid}: entry count != n_records"
+            )
+            assert partition.tree.root.count == len(entries), (
+                f"partition {pid}: root count drift"
+            )
+            total += len(entries)
+            bits = partition.tree.max_bits
+            per_plane = partition.tree.per_plane
+            region_bits = min(REGION_PREFIX_BITS, bits)
+            for sig, rid, series in entries:
+                assert self.global_index.route(sig) == pid, (
+                    f"record {rid} stored in partition {pid} but routes "
+                    f"elsewhere"
+                )
+                assert partition.might_contain(sig), (
+                    f"record {rid}: Bloom filter lost its signature"
+                )
+                assert sig[: region_bits * per_plane] in partition.region_prefixes, (
+                    f"record {rid}: region synopsis does not cover it"
+                )
+                if self.clustered:
+                    assert series is not None, (
+                        f"record {rid}: clustered index missing raw series"
+                    )
+        assert total == self.n_records, "global record count drift"
+
+    # -- reporting ----------------------------------------------------------------
+
+    def global_index_nbytes(self) -> int:
+        return self.global_index.estimated_nbytes()
+
+    def local_index_nbytes(self) -> int:
+        """Total local index size across partitions, excluding raw data."""
+        return sum(p.index_nbytes() for p in self.partitions.values())
+
+    def bloom_nbytes(self) -> int:
+        return sum(p.bloom.nbytes for p in self.partitions.values())
+
+    def partition_record_counts(self) -> dict[int, int]:
+        return {pid: p.n_records for pid, p in self.partitions.items()}
+
+
+def build_tardis_index(
+    dataset: TimeSeriesDataset,
+    config: TardisConfig | None = None,
+    cluster: SimCluster | None = None,
+    clustered: bool = True,
+    with_bloom: bool = True,
+    persist_in_memory: bool = True,
+    storage: BlockStorage | None = None,
+) -> TardisIndex:
+    """Build a TARDIS index end to end.
+
+    Parameters
+    ----------
+    dataset:
+        Z-normalized time series (use ``dataset.z_normalized()`` first if
+        unsure; TARDIS assumes normalized data like the paper).
+    config:
+        Framework parameters; defaults to the scaled Table II values.
+    cluster:
+        Simulated cluster to run on; a fresh one (with a fresh ledger) is
+        created if omitted.
+    clustered:
+        Clustered (series stored in leaves) vs un-clustered local indices.
+    with_bloom:
+        Build the per-partition Bloom-filter index (Fig. 8 right branch).
+    persist_in_memory:
+        When False, models the Fig. 12 scenario where the shuffled
+        intermediate data does not fit in memory and must be dumped to and
+        re-read from disk before Bloom/local construction.
+    storage:
+        Pre-built block storage (lets benchmarks exclude layout cost);
+        built from ``dataset`` when omitted.
+    """
+    config = config or TardisConfig()
+    cluster = cluster or SimCluster(n_workers=config.n_workers)
+    ledger = cluster.ledger
+    if dataset.length < config.word_length:
+        raise ValueError(
+            f"series length {dataset.length} is shorter than the word "
+            f"length {config.word_length}"
+        )
+    _require_normalized(dataset)
+    if storage is None:
+        storage = BlockStorage.from_dataset(dataset, config.g_max_size)
+
+    # ---- Global phase (Tardis-G) --------------------------------------------
+    sampled_blocks = storage.sample_blocks(config.sampling_fraction, seed=config.seed)
+    sample = cluster.read_blocks(sampled_blocks, label="global/sample+convert")
+    sig_pairs = sample.map_partitions(
+        lambda records: [
+            (sig, 1) for sig, _rid, _ts in convert_records(records, config)
+        ],
+        label="global/sample+convert",
+    )
+    reduced = sig_pairs.reduce_by_key(lambda a, b: a + b, label="global/aggregate")
+    frequency_pairs = reduced.collect(label="global/aggregate")
+    sampled_count = sum(freq for _sig, freq in frequency_pairs)
+    scale = (len(dataset) / sampled_count) if sampled_count else 1.0
+    scale = max(1.0, scale)
+
+    stats = cluster.run_on_driver(
+        lambda: collect_layer_statistics(dict(frequency_pairs), config, scale=scale),
+        label="global/node statistic",
+    )
+    global_index = cluster.run_on_driver(
+        lambda: _skeleton_only(stats, config), label="global/build index tree"
+    )
+    cluster.run_on_driver(
+        lambda: _assign(global_index, config), label="global/partition assignment"
+    )
+
+    # ---- Local phase (Tardis-L) -----------------------------------------------
+    data = cluster.read_storage(storage, label="local/read data")
+    converted = data.map_partitions(
+        lambda records: convert_records(records, config),
+        label="local/convert data",
+    )
+    broadcast = cluster.broadcast(global_index, label="local/broadcast Tardis-G")
+    partitioner = broadcast.value
+    n_partitions = max(1, partitioner.n_partitions)
+    shuffled = converted.partition_by(
+        lambda record: partitioner.route(record[0]),
+        n_partitions=n_partitions,
+        label="local/shuffle",
+    )
+    if not persist_in_memory:
+        # Intermediate data spills: dump shuffled partitions, read them back.
+        spilled_bytes = sum(
+            sum(len(sig) + 8 + ts.nbytes for sig, _rid, ts in partition)
+            for partition in shuffled.partitions
+        )
+        cluster.charge_disk_write(spilled_bytes, label="local/spill write")
+        cluster.charge_disk_read(spilled_bytes, label="local/spill read")
+    partitions: dict[int, LocalPartition] = {}
+
+    def build_one(index: int, records: list) -> tuple[list, float]:
+        partition = build_local_partition(
+            index, records, config, clustered=clustered, with_bloom=with_bloom
+        )
+        partitions[index] = partition
+        return [], 0.0
+
+    cluster._run_stage("local/build index", shuffled.partitions, build_one)
+    if with_bloom:
+        bloom_bytes = sum(p.bloom.nbytes for p in partitions.values())
+        cluster.charge_disk_write(bloom_bytes, label="local/dump bloom index")
+
+    return TardisIndex(
+        config=config,
+        global_index=global_index,
+        partitions=partitions,
+        dataset_name=dataset.name,
+        n_records=len(dataset),
+        series_length=dataset.length,
+        clustered=clustered,
+        construction_ledger=ledger,
+    )
+
+
+def _require_normalized(dataset: TimeSeriesDataset) -> None:
+    """Reject clearly un-normalized data with an actionable message.
+
+    SAX breakpoints assume z-normalized series (paper §VI-A: "each dataset
+    is z-normalized before being indexed"); indexing raw-valued data packs
+    everything into the outermost stripes and silently destroys accuracy.
+    Constant series legitimately normalize to all-zeros, so only the mean
+    is checked.
+    """
+    sample = dataset.values[: min(len(dataset), 256)]
+    means = sample.mean(axis=1)
+    if np.abs(means).max() > 1e-3:
+        raise ValueError(
+            "dataset does not look z-normalized (per-series means up to "
+            f"{np.abs(means).max():.3g}); call dataset.z_normalized() first"
+        )
+
+
+def _skeleton_only(stats, config: TardisConfig) -> TardisGlobalIndex:
+    """Skeleton building without partition assignment (separate stages)."""
+    index = TardisGlobalIndex(config)
+    index.tree.set_root_count(stats.total)
+    for layer in sorted(stats.layers):
+        for signature, frequency in stats.nodes_in_layer(layer).items():
+            index.tree.insert_stat_node(signature, frequency)
+    return index
+
+
+def _assign(index: TardisGlobalIndex, config: TardisConfig) -> None:
+    from .partitioning import assign_partitions
+
+    index.n_partitions = assign_partitions(index.tree, config.partition_capacity)

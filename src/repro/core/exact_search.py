@@ -1,0 +1,207 @@
+"""Exact similarity search over the TARDIS index.
+
+The paper evaluates exact *match* and approximate kNN; the classic iSAX
+index family also supports **exact kNN** and **range** queries via
+best-first traversal with the MINDIST lower bound, and the TARDIS
+structures make both natural:
+
+* :func:`knn_exact` — best-first search: a priority queue orders Tardis-G
+  leaves (→ partitions) and Tardis-L subtrees by MINDIST; a node is only
+  expanded while its bound beats the current k-th distance.  Because
+  MINDIST never exceeds the true distance, the result equals brute force
+  — at a fraction of the data touched (partitions are loaded lazily).
+* :func:`range_query` — every series within ``radius`` of the query;
+  subtrees whose MINDIST exceeds the radius are pruned wholesale.
+
+Both report how many partitions were actually loaded, which the exactness
+benchmark uses to show the index's pruning power.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..cluster import SimulationLedger
+from ..cluster.costmodel import timed_stage
+from ..tsdb.distance import batch_euclidean
+from .builder import TardisIndex
+from .local_index import LocalPartition, node_mindist
+from .queries import Neighbor, query_signature
+from .sigtree import SigTreeNode
+
+__all__ = ["ExactSearchResult", "knn_exact", "range_query"]
+
+
+@dataclass
+class ExactSearchResult:
+    """Exact-search answer plus pruning statistics."""
+
+    neighbors: list[Neighbor]
+    partitions_loaded: int = 0
+    candidates_examined: int = 0
+    nodes_pruned: int = 0
+    ledger: SimulationLedger = field(default_factory=SimulationLedger)
+
+    @property
+    def record_ids(self) -> list[int]:
+        return [n.record_id for n in self.neighbors]
+
+    @property
+    def distances(self) -> list[float]:
+        return [n.distance for n in self.neighbors]
+
+    @property
+    def simulated_seconds(self) -> float:
+        return self.ledger.clock_s
+
+
+def _partition_bounds(index: TardisIndex, paa: np.ndarray) -> dict[int, float]:
+    """Sound lower bound per partition, from the region synopses.
+
+    The synopsis covers each partition's *actual* contents, so the bound
+    holds even for records fallback-routed into a partition whose sampled
+    Tardis-G leaf regions do not cover them — bounding by the Tardis-G
+    leaves alone would be unsound (a hypothesis-found bug; see
+    EXPERIMENTS.md methodology notes).  Synopses are in-memory metadata
+    (like the Bloom filters), so consulting them does not load partitions.
+    """
+    return {
+        pid: partition.region_bound(paa, index.series_length)
+        for pid, partition in index.partitions.items()
+    }
+
+
+def _rank_entries(
+    query: np.ndarray, entries: list, k_heap: list, k: int, counter
+) -> int:
+    """Fold entries into the max-heap of current best k; returns count."""
+    if not entries:
+        return 0
+    values = np.vstack([entry[2] for entry in entries])
+    distances = batch_euclidean(np.asarray(query, dtype=np.float64), values)
+    for dist, entry in zip(distances, entries):
+        item = (-float(dist), next(counter), entry[1])
+        if len(k_heap) < k:
+            heapq.heappush(k_heap, item)
+        elif item[0] > k_heap[0][0]:  # smaller distance than current worst
+            heapq.heapreplace(k_heap, item)
+    return len(entries)
+
+
+def knn_exact(index: TardisIndex, query: np.ndarray, k: int) -> ExactSearchResult:
+    """Exact k-nearest-neighbor search (equals brute force, provably).
+
+    Two-level best-first: partitions are visited in increasing MINDIST
+    order and skipped once their bound exceeds the current k-th distance;
+    within a loaded partition, Tardis-L subtrees are expanded best-first
+    under the same rule.
+    """
+    if k <= 0:
+        raise ValueError("k must be positive")
+    if not index.clustered:
+        raise RuntimeError("exact kNN needs a clustered index")
+    result = ExactSearchResult(neighbors=[])
+    counter = itertools.count()
+    with timed_stage(result.ledger, "query/route"):
+        _signature, paa = query_signature(index, query)
+        partition_queue = sorted(
+            (bound, pid)
+            for pid, bound in _partition_bounds(index, paa).items()
+        )
+    k_heap: list[tuple[float, int, int]] = []  # (-distance, tiebreak, rid)
+
+    def kth_distance() -> float:
+        if len(k_heap) < k:
+            return np.inf
+        return -k_heap[0][0]
+
+    for bound, pid in partition_queue:
+        if bound > kth_distance():
+            result.nodes_pruned += 1
+            continue
+        partition = index.load_partition(pid, ledger=result.ledger)
+        result.partitions_loaded += 1
+        with timed_stage(result.ledger, "query/local search"):
+            result.candidates_examined += _search_partition(
+                index, partition, query, paa, k, k_heap, result, counter
+            )
+    ordered = sorted((-d, rid) for d, _tie, rid in k_heap)
+    result.neighbors = [Neighbor(dist, rid) for dist, rid in ordered]
+    return result
+
+
+def _search_partition(
+    index: TardisIndex,
+    partition: LocalPartition,
+    query: np.ndarray,
+    paa: np.ndarray,
+    k: int,
+    k_heap: list,
+    result: ExactSearchResult,
+    counter,
+) -> int:
+    """Best-first expansion of one partition's Tardis-L."""
+    examined = 0
+    heap: list[tuple[float, int, SigTreeNode]] = []
+    root = partition.tree.root
+    heapq.heappush(heap, (0.0, next(counter), root))
+    while heap:
+        bound, _tie, node = heapq.heappop(heap)
+        kth = -k_heap[0][0] if len(k_heap) >= k else np.inf
+        if bound > kth:
+            result.nodes_pruned += 1
+            continue
+        if node.entries:
+            examined += _rank_entries(query, node.entries, k_heap, k, counter)
+        for child in node.children.values():
+            child_bound = node_mindist(
+                child, paa, index.series_length, index.config.word_length
+            )
+            heapq.heappush(heap, (child_bound, next(counter), child))
+    return examined
+
+
+def range_query(
+    index: TardisIndex, query: np.ndarray, radius: float
+) -> ExactSearchResult:
+    """All series within Euclidean ``radius`` of the query (exact).
+
+    Partitions and subtrees whose MINDIST exceeds the radius are pruned;
+    the lower-bound property guarantees completeness.  Results are sorted
+    by distance.
+    """
+    if radius < 0:
+        raise ValueError("radius must be non-negative")
+    if not index.clustered:
+        raise RuntimeError("range queries need a clustered index")
+    result = ExactSearchResult(neighbors=[])
+    with timed_stage(result.ledger, "query/route"):
+        _signature, paa = query_signature(index, query)
+    hits: list[Neighbor] = []
+    bounds = _partition_bounds(index, paa)
+    for pid, partition in index.partitions.items():
+        if bounds[pid] > radius:
+            result.nodes_pruned += 1
+            continue
+        partition = index.load_partition(pid, ledger=result.ledger)
+        result.partitions_loaded += 1
+        with timed_stage(result.ledger, "query/local search"):
+            survivors = partition.pruned_entries(
+                paa, radius, index.series_length
+            )
+            result.candidates_examined += len(survivors)
+            if survivors:
+                values = np.vstack([e[2] for e in survivors])
+                distances = batch_euclidean(
+                    np.asarray(query, dtype=np.float64), values
+                )
+                for dist, entry in zip(distances, survivors):
+                    if dist <= radius:
+                        hits.append(Neighbor(float(dist), entry[1]))
+    hits.sort(key=lambda n: (n.distance, n.record_id))
+    result.neighbors = hits
+    return result

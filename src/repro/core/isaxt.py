@@ -1,0 +1,169 @@
+"""iSAX-Transposition (iSAX-T) signatures (paper §III-A, Fig. 4).
+
+An iSAX-T signature encodes a SAX word of ``w`` segments at *word-level*
+cardinality ``2^b`` (every segment uses the same ``b`` bits).  The
+``w x b`` bit matrix — one row per segment, MSB first — is transposed so
+that bit-plane 1 (the MSB of every segment) comes first, then bit-plane 2,
+and so on; each group of 4 bits becomes one hex character.
+
+The payoff is Eq. 2: converting a signature from cardinality ``2^hc`` down
+to ``2^lc`` is a string ``dropRight`` of ``(hc - lc) * w / 4`` characters,
+because the dropped characters are exactly the low-order bit planes.  No
+per-segment arithmetic is ever needed — the operation TARDIS performs
+constantly during index construction and query routing.
+
+Signatures are plain ``str`` objects: hashable, ordered, and directly
+usable as Bloom-filter keys and dictionary keys.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..tsdb.paa import paa_transform
+from ..tsdb.sax import sax_symbols
+
+__all__ = [
+    "validate_word_length",
+    "chars_per_plane",
+    "encode_symbols",
+    "decode_signature",
+    "signature_of_paa",
+    "signature_of_series",
+    "batch_signatures",
+    "reduce_signature",
+    "drop_chars",
+    "signature_bits",
+    "child_signatures",
+]
+
+_HEX = np.array(list("0123456789abcdef"))
+_NIBBLE_WEIGHTS = np.array([8, 4, 2, 1], dtype=np.uint32)
+
+
+def validate_word_length(word_length: int) -> None:
+    """iSAX-T requires ``w % 4 == 0`` so bit planes map to whole hex chars."""
+    if word_length <= 0 or word_length % 4 != 0:
+        raise ValueError(
+            f"word length must be a positive multiple of 4, got {word_length}"
+        )
+
+
+def chars_per_plane(word_length: int) -> int:
+    """Hex characters contributed by one bit plane (``w / 4``)."""
+    validate_word_length(word_length)
+    return word_length // 4
+
+
+def encode_symbols(symbols: np.ndarray, bits: int) -> str:
+    """Encode one SAX word (``w`` symbols at ``2^bits``) as an iSAX-T string.
+
+    >>> encode_symbols(np.array([0b1100, 0b1101, 0b0110, 0b0001]), 4)
+    'ce25'
+    """
+    return batch_signatures(np.asarray(symbols)[None, :], bits)[0]
+
+
+def batch_signatures(symbols: np.ndarray, bits: int) -> list[str]:
+    """Vectorized encoding of many SAX words at once.
+
+    ``symbols`` has shape ``(m, w)``.  Returns ``m`` signature strings of
+    length ``bits * w / 4``.  This is the hot path of index construction
+    (every series is converted exactly once), hence the numpy formulation.
+    """
+    symbols = np.asarray(symbols, dtype=np.uint32)
+    if symbols.ndim != 2:
+        raise ValueError("expected a (m, w) batch of SAX words")
+    m, w = symbols.shape
+    validate_word_length(w)
+    if bits == 0:
+        return [""] * m
+    # plane_bits[p] holds bit (bits-1-p) of every symbol: shape (m, bits, w).
+    shifts = np.arange(bits - 1, -1, -1, dtype=np.uint32)
+    plane_bits = (symbols[:, None, :] >> shifts[None, :, None]) & 1
+    nibbles = plane_bits.reshape(m, bits * w // 4, 4) @ _NIBBLE_WEIGHTS
+    chars = _HEX[nibbles]
+    n_chars = bits * w // 4
+    flat = np.ascontiguousarray(chars)
+    return flat.view(f"<U{n_chars}").ravel().tolist()
+
+
+def signature_of_paa(paa: np.ndarray, bits: int) -> str:
+    """SAX-discretize a PAA word and encode it as an iSAX-T signature."""
+    return encode_symbols(sax_symbols(paa, bits), bits)
+
+
+def signature_of_series(values: np.ndarray, word_length: int, bits: int) -> str:
+    """Full pipeline for a single series: PAA → SAX → iSAX-T string."""
+    return signature_of_paa(paa_transform(values, word_length), bits)
+
+
+def decode_signature(signature: str, word_length: int) -> tuple[np.ndarray, int]:
+    """Invert :func:`encode_symbols`: signature → ``(symbols, bits)``.
+
+    Needed when computing MINDIST lower bounds for a sigTree node, whose
+    identity is stored only as its signature string.
+    """
+    validate_word_length(word_length)
+    per_plane = word_length // 4
+    if len(signature) % per_plane != 0:
+        raise ValueError(
+            f"signature length {len(signature)} is not a multiple of {per_plane}"
+        )
+    bits = len(signature) // per_plane
+    symbols = np.zeros(word_length, dtype=np.uint32)
+    for plane in range(bits):
+        chunk = signature[plane * per_plane : (plane + 1) * per_plane]
+        for group, char in enumerate(chunk):
+            nibble = int(char, 16)
+            for offset in range(4):
+                bit = (nibble >> (3 - offset)) & 1
+                segment = group * 4 + offset
+                symbols[segment] = (symbols[segment] << 1) | bit
+    return symbols, bits
+
+
+def signature_bits(signature: str, word_length: int) -> int:
+    """Cardinality bits encoded by a signature (its layer in a sigTree)."""
+    per_plane = chars_per_plane(word_length)
+    if len(signature) % per_plane != 0:
+        raise ValueError("signature length incompatible with word length")
+    return len(signature) // per_plane
+
+
+def drop_chars(signature: str, n_chars: int) -> str:
+    """String dropRight — the primitive behind every conversion."""
+    if n_chars < 0 or n_chars > len(signature):
+        raise ValueError(f"cannot drop {n_chars} chars from {signature!r}")
+    return signature[: len(signature) - n_chars] if n_chars else signature
+
+
+def reduce_signature(
+    signature: str, to_bits: int, word_length: int
+) -> str:
+    """Re-express a signature at a lower cardinality (paper Eq. 2).
+
+    ``n = (log2(hc) - log2(lc)) * w / 4`` characters are dropped from the
+    right, where the current cardinality is inferred from the signature
+    length.
+    """
+    from_bits = signature_bits(signature, word_length)
+    if to_bits > from_bits:
+        raise ValueError(
+            f"cannot raise cardinality from {from_bits} to {to_bits} bits"
+        )
+    n = (from_bits - to_bits) * chars_per_plane(word_length)
+    return drop_chars(signature, n)
+
+
+def child_signatures(signature: str, word_length: int) -> list[str]:
+    """All ``2^w`` possible one-bit-plane extensions of a node signature.
+
+    Used only by analysis helpers; index construction derives real children
+    from the data.  For ``w = 8`` this enumerates 256 signatures.
+    """
+    per_plane = chars_per_plane(word_length)
+    suffixes = [""]
+    for _ in range(per_plane):
+        suffixes = [s + h for s in suffixes for h in "0123456789abcdef"]
+    return [signature + suffix for suffix in suffixes]

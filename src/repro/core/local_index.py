@@ -1,0 +1,231 @@
+"""Tardis-L: per-partition local index + Bloom filter (paper §IV-C).
+
+Each partition produced by the Tardis-G shuffle gets its own sigTree whose
+leaves store the actual data entries ``(isaxt(b), record_id, series)`` — a
+*clustered* index (the un-clustered variant stores ``None`` in place of the
+series, keeping only signatures and record ids, as DPiSAX does natively).
+
+A Bloom filter over the ``isaxt(b)`` signatures is populated synchronously
+with tree insertion, giving exact-match queries a cheap in-memory
+existence test before paying the partition-load latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..bloom import BloomFilter
+from ..cluster.costmodel import estimate_bytes
+from ..tsdb.distance import mindist_paa_to_word
+from .config import TardisConfig
+from .isaxt import decode_signature, reduce_signature
+from .sigtree import SigTree, SigTreeNode
+
+__all__ = [
+    "LocalPartition",
+    "build_local_partition",
+    "node_mindist",
+    "REGION_PREFIX_BITS",
+]
+
+#: Cardinality bits of the per-partition region synopsis.  Every entry's
+#: signature prefix at this level is recorded, so the synopsis covers the
+#: partition's *actual* contents — including records fallback-routed into
+#: it because their signature was unseen during Tardis-G sampling.  The
+#: sampled Tardis-G leaf regions alone are NOT a sound pruning bound for
+#: such records (see EXPERIMENTS.md methodology notes).
+REGION_PREFIX_BITS = 2
+
+#: Entry layout: (full-cardinality signature, record id, series-or-None).
+Entry = tuple[str, int, "np.ndarray | None"]
+
+
+def node_mindist(node: SigTreeNode, query_paa: np.ndarray, n: int, word_length: int) -> float:
+    """MINDIST lower bound from a query's PAA word to a sigTree node region.
+
+    The root (layer 0) covers the whole space, so its bound is 0.
+    """
+    if node.layer == 0:
+        return 0.0
+    symbols, bits = decode_signature(node.signature, word_length)
+    return mindist_paa_to_word(query_paa, symbols, bits, n)
+
+
+@dataclass
+class LocalPartition:
+    """One partition: its local sigTree, Bloom filter, and bookkeeping."""
+
+    partition_id: int
+    tree: SigTree
+    bloom: BloomFilter
+    n_records: int
+    clustered: bool
+    #: Simulated on-disk payload size (drives partition-load I/O charges).
+    nbytes: int
+    #: Region synopsis: distinct REGION_PREFIX_BITS-level signature
+    #: prefixes of the records actually stored here.  Tiny (bounded by
+    #: the number of distinct coarse regions), kept in memory with the
+    #: Bloom filter, and the basis of sound pre-load pruning.
+    region_prefixes: set = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.region_prefixes is None:
+            self.region_prefixes = set()
+
+    def register_region(self, full_signature: str) -> None:
+        """Record a stored signature's coarse prefix in the synopsis."""
+        bits = min(REGION_PREFIX_BITS, self.tree.max_bits)
+        self.region_prefixes.add(
+            reduce_signature(full_signature, bits, self.tree.word_length)
+        )
+
+    def region_bound(self, query_paa: np.ndarray, series_length: int) -> float:
+        """Sound lower bound on the distance from the query to ANY record
+        in this partition (min MINDIST over the synopsis regions)."""
+        best = np.inf
+        w = self.tree.word_length
+        for prefix in self.region_prefixes:
+            symbols, bits = decode_signature(prefix, w)
+            bound = mindist_paa_to_word(query_paa, symbols, bits, series_length)
+            if bound < best:
+                best = bound
+                if best == 0.0:
+                    break
+        return best
+
+    # -- exact match ------------------------------------------------------------
+
+    def might_contain(self, signature: str) -> bool:
+        """Bloom-filter test (no false negatives)."""
+        return signature in self.bloom
+
+    def exact_lookup(self, signature: str, query: np.ndarray) -> list[int]:
+        """Record ids of series identical to ``query`` (paper §V-A step 4).
+
+        Traverses Tardis-L to the covering leaf and compares raw values;
+        requires a clustered partition (raw series present).
+        """
+        if not self.clustered:
+            raise RuntimeError("exact lookup needs a clustered partition")
+        node = self.tree.descend(signature)
+        if not node.is_leaf:
+            return []
+        matches = []
+        for sig, rid, series in node.entries:
+            if sig == signature and series is not None and np.array_equal(series, query):
+                matches.append(rid)
+        return matches
+
+    # -- kNN support ---------------------------------------------------------------
+
+    def target_node(self, signature: str, k: int) -> SigTreeNode:
+        """The lowest node on the signature's path holding ≥ k entries.
+
+        Paper §V-B: the *target node* is the leaf or internal node with more
+        data entries than ``k`` at the lowest position; if it is internal,
+        every child on the path holds fewer than ``k``.  When even the root
+        holds fewer than ``k`` the root is returned (the whole partition is
+        the candidate set).
+        """
+        if k <= 0:
+            raise ValueError("k must be positive")
+        node = self.tree.root
+        while not node.is_leaf:
+            child_key = self.tree._prefix(signature, node.layer + 1)
+            child = node.children.get(child_key)
+            if child is None or child.count < k:
+                return node
+            node = child
+        return node
+
+    def entries_under(self, node: SigTreeNode) -> list[Entry]:
+        """All data entries in the subtree rooted at ``node``."""
+        collected: list[Entry] = []
+        stack = [node]
+        while stack:
+            current = stack.pop()
+            collected.extend(current.entries)
+            stack.extend(current.children.values())
+        return collected
+
+    def pruned_entries(
+        self,
+        query_paa: np.ndarray,
+        threshold: float,
+        series_length: int,
+        skip: SigTreeNode | None = None,
+    ) -> list[Entry]:
+        """Entries in all subtrees whose MINDIST ≤ ``threshold``.
+
+        The lower-bound property guarantees no series closer than
+        ``threshold`` is pruned.  ``skip`` (typically the already-scanned
+        target node) is excluded to avoid recollecting its entries.
+        """
+        collected: list[Entry] = []
+        stack = [self.tree.root]
+        while stack:
+            node = stack.pop()
+            if node is skip:
+                continue
+            if (
+                node_mindist(node, query_paa, series_length, self.tree.word_length)
+                > threshold
+            ):
+                continue
+            collected.extend(node.entries)
+            stack.extend(node.children.values())
+        return collected
+
+    def all_entries(self) -> list[Entry]:
+        return self.entries_under(self.tree.root)
+
+    def index_nbytes(self) -> int:
+        """Local index size excluding the indexed data (Fig. 13b)."""
+        return self.tree.estimated_nbytes(include_entries=True) + self.bloom.nbytes
+
+
+def build_local_partition(
+    partition_id: int,
+    records: list[Entry],
+    config: TardisConfig,
+    clustered: bool = True,
+    with_bloom: bool = True,
+) -> LocalPartition:
+    """Construct Tardis-L for one partition (the ``mapPartition`` of Fig. 8).
+
+    Tree insertion and Bloom-filter encoding happen in the same pass, as the
+    paper's pipeline does.  ``with_bloom=False`` models the NoBF variant —
+    a (tiny) filter is still allocated so the structure stays uniform, but
+    nothing is inserted and queries must not consult it.
+    """
+    tree = SigTree(
+        word_length=config.word_length,
+        max_bits=config.cardinality_bits,
+        split_threshold=config.l_max_size,
+    )
+    bloom = BloomFilter.with_capacity(
+        expected_items=max(1, len(records)), fp_rate=config.bloom_fp_rate
+    )
+    nbytes = 0
+    partition = LocalPartition(
+        partition_id=partition_id,
+        tree=tree,
+        bloom=bloom,
+        n_records=len(records),
+        clustered=clustered,
+        nbytes=0,
+    )
+    for record in records:
+        signature, rid, series = record
+        if clustered:
+            tree.insert_entry((signature, rid, series))
+        else:
+            tree.insert_entry((signature, rid, None))
+        if with_bloom:
+            bloom.add(signature)
+        partition.register_region(signature)
+        nbytes += len(signature) + 8 + estimate_bytes(series)
+    partition.nbytes = nbytes
+    return partition

@@ -1,0 +1,183 @@
+"""Online rebalancing: split overflowing partitions after heavy insertion.
+
+The paper's TARDIS is batch-built; record-level inserts (our maintenance
+extension) route into the existing partitions, so a hot region eventually
+overflows its block capacity and every query touching it pays oversized
+loads.  ``rebalance`` restores the invariant the original FFD packing
+established — partitions near (at most ``overflow_factor``×) capacity —
+without rebuilding the index:
+
+1. find partitions holding more than ``overflow_factor × capacity``
+   records;
+2. group each one's records by the Tardis-G leaf that routes them
+   (fallback-routed records group with the leaf the router actually
+   lands on, so routing consistency is preserved by construction);
+3. if the partition spans several leaves, re-pack those leaves by their
+   *actual* record counts with First-Fit-Decreasing; a single oversized
+   leaf is first split one bit plane deeper (new Tardis-G children with
+   true counts) and then packed;
+4. rebuild the affected local partitions (Tardis-L + Bloom + synopsis)
+   and resynchronize every ancestor id list.
+
+The operation is local: partitions that were not overflowing keep their
+ids, contents and Bloom filters untouched.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .config import TardisConfig
+from .global_index import TardisGlobalIndex, _string_distance
+from .local_index import build_local_partition
+from .partitioning import _synchronize_id_lists, first_fit_decreasing
+from .sigtree import SigTreeNode
+
+__all__ = ["RebalanceReport", "rebalance_index"]
+
+
+@dataclass
+class RebalanceReport:
+    """What a rebalance pass did."""
+
+    partitions_examined: int = 0
+    partitions_split: int = 0
+    partitions_created: int = 0
+    records_moved: int = 0
+    leaves_refined: int = 0
+    split_partition_ids: list = field(default_factory=list)
+
+
+def _routing_leaf(index: TardisGlobalIndex, signature: str) -> SigTreeNode:
+    """The Tardis-G leaf ``route`` lands on (mirrors its fallback walk)."""
+    node = index.locate(signature)
+    while not node.is_leaf:
+        target = index.tree._prefix(signature, node.layer + 1)
+        node = min(
+            node.children.values(),
+            key=lambda child: (
+                _string_distance(child.signature, target),
+                child.signature,
+            ),
+        )
+    return node
+
+
+def rebalance_index(index, overflow_factor: float = 1.5) -> RebalanceReport:
+    """Split partitions holding more than ``overflow_factor × capacity``.
+
+    Returns a :class:`RebalanceReport`; the index is modified in place and
+    remains fully consistent (``index.validate()`` holds afterwards).
+    """
+    if overflow_factor < 1.0:
+        raise ValueError("overflow_factor must be >= 1.0")
+    config: TardisConfig = index.config
+    capacity = config.partition_capacity
+    threshold = int(capacity * overflow_factor)
+    report = RebalanceReport()
+    global_index: TardisGlobalIndex = index.global_index
+
+    overflowing = [
+        pid for pid, partition in index.partitions.items()
+        if partition.n_records > threshold
+    ]
+    report.partitions_examined = len(index.partitions)
+    if not overflowing:
+        return report
+
+    next_pid = max(index.partitions) + 1
+    cache = getattr(index, "_partition_cache", None)
+
+    for pid in overflowing:
+        partition = index.partitions[pid]
+        entries = partition.all_entries()
+        # Group records by the leaf that routes them.
+        by_leaf: dict[int, tuple[SigTreeNode, list]] = {}
+        for entry in entries:
+            leaf = _routing_leaf(global_index, entry[0])
+            bucket = by_leaf.setdefault(id(leaf), (leaf, []))
+            bucket[1].append(entry)
+
+        refined_here = False
+        # Refine as deep as needed: near-duplicate regions may share
+        # prefixes for several planes before separating; records whose
+        # *full* signatures coincide can never be separated (they stay an
+        # overflow leaf, like the paper's max-depth leaves).
+        while len(by_leaf) == 1:
+            (leaf, leaf_entries) = next(iter(by_leaf.values()))
+            refined = _refine_leaf(global_index, leaf, leaf_entries)
+            if refined is None:
+                break  # at max depth: cannot split further
+            by_leaf = refined
+            refined_here = True
+            report.leaves_refined += 1
+        if len(by_leaf) == 1 and not refined_here:
+            continue  # unsplittable and untouched
+
+        # Re-pack the (leaf -> actual count) groups with FFD.
+        items = [
+            (key, len(bucket[1])) for key, bucket in by_leaf.items()
+        ]
+        groups = first_fit_decreasing(items, capacity)
+        if len(groups) <= 1 and not refined_here:
+            continue  # nothing to gain, nothing was restructured
+        if len(groups) > 1:
+            report.partitions_split += 1
+            report.split_partition_ids.append(pid)
+        for group_index, group in enumerate(groups):
+            new_pid = pid if group_index == 0 else next_pid
+            if group_index > 0:
+                next_pid += 1
+                report.partitions_created += 1
+            group_entries: list = []
+            for key in group:
+                leaf, leaf_entries = by_leaf[key]
+                leaf.partition_id = new_pid
+                leaf.count = len(leaf_entries)
+                group_entries.extend(leaf_entries)
+            if group_index > 0:
+                report.records_moved += len(group_entries)
+            index.partitions[new_pid] = build_local_partition(
+                new_pid, group_entries, config,
+                clustered=index.clustered,
+                with_bloom=partition.bloom.n_items > 0 or not entries,
+            )
+            if cache is not None:
+                cache.invalidate(new_pid)
+
+    if report.partitions_split:
+        for node in global_index.tree.iter_nodes():
+            node.partition_ids.clear()
+        _synchronize_id_lists(global_index.tree)
+        global_index.n_partitions = len(index.partitions)
+    return report
+
+
+def _refine_leaf(
+    global_index: TardisGlobalIndex,
+    leaf: SigTreeNode,
+    entries: list,
+) -> dict | None:
+    """Split a Tardis-G leaf one bit plane deeper using actual contents.
+
+    Creates child stat nodes grouping ``entries`` by their next-plane
+    prefix; returns the new ``{key: (child, entries)}`` grouping, or None
+    when the leaf is already at maximum depth.
+    """
+    tree = global_index.tree
+    if leaf.layer >= tree.max_bits:
+        return None
+    grouped: dict[str, list] = {}
+    for entry in entries:
+        prefix = tree._prefix(entry[0], leaf.layer + 1)
+        grouped.setdefault(prefix, []).append(entry)
+    result: dict[int, tuple[SigTreeNode, list]] = {}
+    for prefix, child_entries in grouped.items():
+        child = SigTreeNode(
+            signature=prefix, layer=leaf.layer + 1, parent=leaf
+        )
+        child.count = len(child_entries)
+        leaf.children[prefix] = child
+        result[id(child)] = (child, child_entries)
+    leaf.partition_id = None  # now internal
+    return result

@@ -1,0 +1,93 @@
+"""Plain-text table rendering for benchmark output.
+
+Every figure benchmark prints the series the paper plots; these helpers
+keep the formatting uniform so EXPERIMENTS.md can quote the output
+verbatim.
+"""
+
+from __future__ import annotations
+
+import csv
+import os
+from pathlib import Path
+from typing import Sequence
+
+__all__ = [
+    "render_table",
+    "fmt_seconds",
+    "fmt_bytes",
+    "banner",
+    "save_csv",
+    "results_dir",
+]
+
+
+def fmt_seconds(seconds: float) -> str:
+    """Human-scaled simulated-time formatting."""
+    if seconds != seconds:  # NaN
+        return "n/a"
+    if seconds >= 60:
+        return f"{seconds / 60:.1f} min"
+    if seconds >= 1:
+        return f"{seconds:.2f} s"
+    return f"{seconds * 1000:.2f} ms"
+
+
+def fmt_bytes(nbytes: int) -> str:
+    for unit in ("B", "KB", "MB", "GB"):
+        if nbytes < 1024 or unit == "GB":
+            return f"{nbytes:.1f} {unit}" if unit != "B" else f"{nbytes} B"
+        nbytes /= 1024
+    return f"{nbytes:.1f} GB"
+
+
+def render_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]], title: str = ""
+) -> str:
+    """Render an aligned fixed-width table as a string."""
+    str_rows = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError("row width does not match headers")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    lines.append(header_line)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def banner(text: str) -> str:
+    """Section banner used at the top of each figure's output."""
+    bar = "=" * max(60, len(text) + 4)
+    return f"\n{bar}\n  {text}\n{bar}"
+
+
+def results_dir() -> Path:
+    """Directory benchmark CSVs are written to.
+
+    Defaults to ``benchmark_results/`` under the working directory;
+    override with ``REPRO_RESULTS_DIR``.
+    """
+    path = Path(os.environ.get("REPRO_RESULTS_DIR", "benchmark_results"))
+    path.mkdir(parents=True, exist_ok=True)
+    return path
+
+
+def save_csv(
+    name: str, headers: Sequence[str], rows: Sequence[Sequence[object]]
+) -> Path:
+    """Persist one figure's data series as CSV for downstream plotting."""
+    target = results_dir() / f"{name}.csv"
+    with open(target, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(list(headers))
+        for row in rows:
+            writer.writerow(list(row))
+    return target

@@ -1,0 +1,76 @@
+"""Reproduction scale profiles.
+
+The paper runs at 200 M - 1 B series; this repo defaults to a "quick"
+profile sized so the whole benchmark suite finishes in minutes on a laptop,
+with a "full" profile (env ``REPRO_SCALE=full``) that quadruples dataset
+sizes for tighter trends.  Ratios between dataset size, partition capacity,
+leaf capacity and k follow DESIGN.md §6.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+from ..baseline.dpisax import DpisaxConfig
+from ..core.config import TardisConfig
+
+__all__ = ["ScaleProfile", "active_profile"]
+
+
+@dataclass(frozen=True)
+class ScaleProfile:
+    """All dataset sizes and workload knobs used by the benchmarks."""
+
+    name: str
+    #: RandomWalk scaling sweep (Fig. 10a/11a/13/14b/16-left).
+    scaling_sizes: tuple[int, ...]
+    #: Per-dataset size for the 4-dataset figures (Fig. 10b/14a/15).
+    dataset_size: int
+    #: k sweep for Fig. 16-right.
+    k_values: tuple[int, ...]
+    #: Default k for Fig. 15 (paper: 500 at 400 M).
+    default_k: int
+    #: Exact-match query count (paper: 100, half absent).
+    n_exact_queries: int
+    #: kNN query count per configuration.
+    n_knn_queries: int
+    #: Sampling-percentage sweep for Fig. 17.
+    sampling_fractions: tuple[float, ...] = (0.01, 0.05, 0.10, 0.20, 0.40, 1.0)
+
+    def tardis_config(self, **overrides) -> TardisConfig:
+        return TardisConfig(**overrides)
+
+    def dpisax_config(self, **overrides) -> DpisaxConfig:
+        return DpisaxConfig(**overrides)
+
+
+_QUICK = ScaleProfile(
+    name="quick",
+    scaling_sizes=(20_000, 40_000, 80_000, 160_000),
+    dataset_size=40_000,
+    k_values=(10, 25, 50, 100, 250),
+    default_k=50,
+    n_exact_queries=100,
+    n_knn_queries=25,
+)
+
+_FULL = ScaleProfile(
+    name="full",
+    scaling_sizes=(50_000, 100_000, 200_000, 400_000),
+    dataset_size=100_000,
+    k_values=(10, 50, 100, 250, 500),
+    default_k=100,
+    n_exact_queries=100,
+    n_knn_queries=40,
+)
+
+
+def active_profile() -> ScaleProfile:
+    """Profile selected by ``REPRO_SCALE`` (``quick`` default, or ``full``)."""
+    choice = os.environ.get("REPRO_SCALE", "quick").lower()
+    if choice == "full":
+        return _FULL
+    if choice in ("quick", ""):
+        return _QUICK
+    raise ValueError(f"unknown REPRO_SCALE {choice!r}; use 'quick' or 'full'")

@@ -1,0 +1,91 @@
+"""Query workload generation for the evaluation benchmarks.
+
+Matches the paper's methodology (§VI-C): exact-match workloads mix 50 %
+series drawn from the dataset with 50 % guaranteed-absent series; kNN
+workloads use held-out queries drawn from the same generator as the
+dataset (so they are realistic but have non-zero nearest-neighbor
+distances, keeping the error-ratio denominator well-defined).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..tsdb.generators import DATASET_GENERATORS
+from ..tsdb.series import TimeSeriesDataset, z_normalize
+
+__all__ = [
+    "ExactQuery",
+    "exact_match_workload",
+    "dataset_with_heldout_queries",
+]
+
+
+@dataclass(frozen=True)
+class ExactQuery:
+    """One exact-match query with its expected outcome."""
+
+    values: np.ndarray
+    present: bool
+    record_id: int | None = None
+
+
+def exact_match_workload(
+    dataset: TimeSeriesDataset,
+    n_queries: int,
+    absent_fraction: float = 0.5,
+    seed: int = 100,
+) -> list[ExactQuery]:
+    """Build the paper's 50/50 present-absent exact-match workload.
+
+    Present queries are copies of randomly chosen dataset series.  Absent
+    queries perturb a dataset series with Gaussian noise and re-normalize —
+    on continuous data the collision probability is zero, so absence is
+    guaranteed in practice (tests assert it at small scale).
+    """
+    if not 0.0 <= absent_fraction <= 1.0:
+        raise ValueError("absent_fraction must be in [0, 1]")
+    rng = np.random.default_rng(seed)
+    n_absent = round(n_queries * absent_fraction)
+    n_present = n_queries - n_absent
+    picks = rng.choice(len(dataset), size=n_queries, replace=False)
+    queries: list[ExactQuery] = []
+    for i in range(n_present):
+        row = picks[i]
+        queries.append(
+            ExactQuery(
+                values=dataset.values[row].copy(),
+                present=True,
+                record_id=int(dataset.record_ids[row]),
+            )
+        )
+    for i in range(n_present, n_queries):
+        base = dataset.values[picks[i]]
+        noisy = base + rng.normal(0.0, 0.05, size=base.shape)
+        queries.append(ExactQuery(values=z_normalize(noisy), present=False))
+    rng.shuffle(queries)  # interleave present/absent
+    return queries
+
+
+def dataset_with_heldout_queries(
+    key: str, count: int, n_queries: int, seed: int | None = None
+) -> tuple[TimeSeriesDataset, np.ndarray]:
+    """Generate ``count`` indexable series plus held-out query series.
+
+    Both come from one draw of the registry generator so queries follow the
+    dataset distribution without being members of it.
+    """
+    if key not in DATASET_GENERATORS:
+        raise KeyError(f"unknown dataset key {key!r}")
+    generator = DATASET_GENERATORS[key]
+    combined = generator(count + n_queries) if seed is None else generator(
+        count + n_queries, seed=seed
+    )
+    dataset = TimeSeriesDataset(
+        values=combined.values[:count],
+        name=combined.name,
+    )
+    queries = combined.values[count:]
+    return dataset, queries

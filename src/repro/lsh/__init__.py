@@ -1,0 +1,5 @@
+"""Locality-sensitive hashing comparator (the paper's metric lineage)."""
+
+from .e2lsh import LshConfig, LshIndex, LshQueryResult, build_lsh_index
+
+__all__ = ["LshConfig", "LshIndex", "LshQueryResult", "build_lsh_index"]

@@ -1,0 +1,19 @@
+"""Evaluation metrics: recall, error ratio, skew and size distributions."""
+
+from .accuracy import error_ratio, mean, recall
+from .stats import (
+    SignatureDistribution,
+    gini_coefficient,
+    partition_size_mse,
+    signature_distribution,
+)
+
+__all__ = [
+    "recall",
+    "error_ratio",
+    "mean",
+    "SignatureDistribution",
+    "signature_distribution",
+    "gini_coefficient",
+    "partition_size_mse",
+]

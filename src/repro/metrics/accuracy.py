@@ -1,0 +1,62 @@
+"""Search-quality metrics: recall (Eq. 5) and error ratio (Eq. 6).
+
+Both follow the paper's definitions for evaluating approximate kNN against
+a ground-truth answer set produced by :mod:`repro.core.ground_truth`.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["recall", "error_ratio", "mean"]
+
+#: Distances below this are treated as zero when guarding the error-ratio
+#: denominator (an exact duplicate of the query in the dataset).
+_ZERO_DISTANCE = 1e-12
+
+
+def recall(result_ids: Sequence[int], truth_ids: Sequence[int]) -> float:
+    """``|G(q) ∩ R(q)| / |G(q)|`` (paper Eq. 5).
+
+    Duplicate ids in either list are counted once, as in set semantics.
+    """
+    truth = set(truth_ids)
+    if not truth:
+        raise ValueError("ground-truth answer set is empty")
+    return len(truth & set(result_ids)) / len(truth)
+
+
+def error_ratio(
+    result_distances: Sequence[float], truth_distances: Sequence[float]
+) -> float:
+    """``(1/k) Σ ED(q, r_j) / ED(q, g_j)`` (paper Eq. 6).
+
+    Both sequences must be sorted ascending and of equal length ``k``
+    (position ``j`` in the result is compared to position ``j`` in the
+    truth).  The ideal value is 1.0; values below 1 are impossible when
+    the truth is exact.  A zero truth distance with a zero result distance
+    contributes 1.0 (both found the duplicate); a zero truth distance with
+    a non-zero result contributes ``r_j / _ZERO_DISTANCE`` — callers should
+    use held-out queries if that case matters.
+    """
+    if len(result_distances) != len(truth_distances):
+        raise ValueError(
+            f"result has {len(result_distances)} distances but truth has "
+            f"{len(truth_distances)}; pad or truncate to the same k first"
+        )
+    if not truth_distances:
+        raise ValueError("empty answer sets")
+    total = 0.0
+    for r, g in zip(result_distances, truth_distances):
+        if g <= _ZERO_DISTANCE:
+            total += 1.0 if r <= _ZERO_DISTANCE else r / _ZERO_DISTANCE
+        else:
+            total += r / g
+    return total / len(truth_distances)
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean with an explicit empty-input error."""
+    if not values:
+        raise ValueError("cannot average zero values")
+    return sum(values) / len(values)

@@ -1,0 +1,109 @@
+"""Distribution statistics: dataset skew (Fig. 9) and partition-size MSE
+(Fig. 17c).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..core.config import TardisConfig
+from ..core.isaxt import batch_signatures
+from ..tsdb.paa import paa_transform
+from ..tsdb.sax import sax_symbols
+from ..tsdb.series import TimeSeriesDataset
+
+__all__ = [
+    "SignatureDistribution",
+    "signature_distribution",
+    "gini_coefficient",
+    "partition_size_mse",
+]
+
+
+@dataclass
+class SignatureDistribution:
+    """Summary of how series concentrate on iSAX-T signatures (Fig. 9)."""
+
+    dataset_name: str
+    n_series: int
+    n_distinct: int
+    #: Fraction of the dataset covered by the top 1% / 10% most frequent
+    #: signatures — the skew measures Fig. 9 visualizes.
+    top1pct_coverage: float
+    top10pct_coverage: float
+    gini: float
+    max_frequency: int
+
+
+def signature_distribution(
+    dataset: TimeSeriesDataset,
+    config: TardisConfig | None = None,
+    bits: int = 2,
+) -> SignatureDistribution:
+    """Signature-frequency skew of a dataset at a given cardinality level.
+
+    ``bits`` defaults to 2 (a shallow sigTree layer): the layer-level
+    distribution is what shapes the index, and at reproduction scale the
+    full initial cardinality would make almost every signature unique.
+    """
+    config = config or TardisConfig()
+    paa = paa_transform(dataset.values, config.word_length)
+    symbols = sax_symbols(paa, bits)
+    signatures = batch_signatures(symbols, bits)
+    _unique, counts = np.unique(np.array(signatures), return_counts=True)
+    counts = np.sort(counts)[::-1]
+    total = counts.sum()
+
+    def coverage(top_fraction: float) -> float:
+        top_n = max(1, round(len(counts) * top_fraction))
+        return float(counts[:top_n].sum() / total)
+
+    return SignatureDistribution(
+        dataset_name=dataset.name,
+        n_series=len(dataset),
+        n_distinct=len(counts),
+        top1pct_coverage=coverage(0.01),
+        top10pct_coverage=coverage(0.10),
+        gini=gini_coefficient(counts),
+        max_frequency=int(counts[0]),
+    )
+
+
+def gini_coefficient(counts: Sequence[int]) -> float:
+    """Gini coefficient of a frequency vector (0 = uniform, → 1 = skewed)."""
+    values = np.sort(np.asarray(counts, dtype=np.float64))
+    if values.size == 0:
+        raise ValueError("empty frequency vector")
+    if values.sum() == 0:
+        return 0.0
+    n = values.size
+    ranks = np.arange(1, n + 1)
+    return float((2 * (ranks * values).sum() / (n * values.sum())) - (n + 1) / n)
+
+
+def partition_size_mse(
+    sizes: Sequence[int],
+    reference_sizes: Sequence[int],
+    bucket: int,
+) -> float:
+    """MSE between two partition-size probability distributions (Fig. 17c).
+
+    Mirrors the paper's histogram method: bucket both size lists with a
+    fixed ``bucket`` interval (15 MB in the paper; series counts here),
+    normalize to probabilities over the union of occupied buckets, and
+    return the mean squared error.  Zero means the sampled construction
+    reproduced the 100 %-data partition-size distribution exactly.
+    """
+    if bucket <= 0:
+        raise ValueError("bucket must be positive")
+    if len(sizes) == 0 or len(reference_sizes) == 0:
+        raise ValueError("size lists must be non-empty")
+    a = np.asarray(sizes, dtype=np.float64) // bucket
+    b = np.asarray(reference_sizes, dtype=np.float64) // bucket
+    hi = int(max(a.max(), b.max())) + 1
+    hist_a = np.bincount(a.astype(int), minlength=hi) / len(a)
+    hist_b = np.bincount(b.astype(int), minlength=hi) / len(b)
+    return float(np.mean((hist_a - hist_b) ** 2))

@@ -1,0 +1,93 @@
+"""Index-structure analysis: the paper's compactness claims, measured.
+
+§III-B claims sigTrees are *compact* — fewer internal nodes and shorter
+leaf paths than iBTs — and §VI-C.2 notes that for the same L-MaxSize the
+average TARDIS leaf holds far fewer series than the baseline's (32 vs 634
+in the paper), which drives the Fig. 16 target-node granularity effects.
+This module computes those structural metrics uniformly for both tree
+kinds so tests and benchmarks can assert them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..baseline.dpisax import DpisaxIndex
+from ..core.builder import TardisIndex
+
+__all__ = ["TreeStructureReport", "analyze_tardis_locals", "analyze_dpisax_locals"]
+
+
+@dataclass
+class TreeStructureReport:
+    """Aggregated structure of a set of local index trees."""
+
+    system: str
+    n_trees: int
+    n_nodes: int
+    n_internal: int
+    n_leaves: int
+    #: Average entries per *non-empty* leaf (the paper's "leaf node size").
+    avg_leaf_size: float
+    #: Mean depth of non-empty leaves, in tree edges from the root.
+    avg_leaf_depth: float
+    max_leaf_depth: int
+
+    @property
+    def internal_fraction(self) -> float:
+        return self.n_internal / max(1, self.n_nodes)
+
+
+def _aggregate(system: str, trees, leaf_depth) -> TreeStructureReport:
+    n_nodes = n_internal = n_leaves = 0
+    leaf_sizes: list[int] = []
+    leaf_depths: list[int] = []
+    for tree in trees:
+        for node in tree.iter_nodes():
+            n_nodes += 1
+            if node.is_leaf:
+                n_leaves += 1
+                if node.entries:
+                    leaf_sizes.append(len(node.entries))
+                    leaf_depths.append(leaf_depth(node))
+            else:
+                n_internal += 1
+    return TreeStructureReport(
+        system=system,
+        n_trees=len(trees),
+        n_nodes=n_nodes,
+        n_internal=n_internal,
+        n_leaves=n_leaves,
+        avg_leaf_size=(sum(leaf_sizes) / len(leaf_sizes)) if leaf_sizes else 0.0,
+        avg_leaf_depth=(
+            sum(leaf_depths) / len(leaf_depths) if leaf_depths else 0.0
+        ),
+        max_leaf_depth=max(leaf_depths, default=0),
+    )
+
+
+def analyze_tardis_locals(index: TardisIndex) -> TreeStructureReport:
+    """Structure report over all Tardis-L sigTrees.
+
+    Depth is the sigTree layer: each edge refines every segment by one
+    bit.
+    """
+    trees = [p.tree for p in index.partitions.values()]
+    return _aggregate("TARDIS", trees, leaf_depth=lambda node: node.layer)
+
+
+def analyze_dpisax_locals(index: DpisaxIndex) -> TreeStructureReport:
+    """Structure report over all baseline local iBTs.
+
+    Depth counts tree edges: 1 for the first level plus one per binary
+    split (= extra bits beyond the first level plus one).
+    """
+    trees = [p.tree for p in index.partitions.values()]
+
+    def depth(node) -> int:
+        if node.word is None:
+            return 0
+        extra_bits = sum(node.word.bits) - node.word.word_length
+        return 1 + max(0, extra_bits)
+
+    return _aggregate("Baseline", trees, leaf_depth=depth)

@@ -1,0 +1,70 @@
+"""Time series substrate: datasets, PAA/SAX/iSAX representations, distances.
+
+This subpackage is the dimensionality-reduction and distance layer that both
+TARDIS (:mod:`repro.core`) and the DPiSAX baseline (:mod:`repro.baseline`)
+are built on.
+"""
+
+from .distance import (
+    batch_euclidean,
+    euclidean,
+    mindist_paa_to_word,
+    mindist_word_to_word,
+    squared_euclidean,
+    word_region_bounds,
+)
+from .generators import (
+    DATASET_GENERATORS,
+    dna_like,
+    make_dataset,
+    noaa_like,
+    random_walk,
+    sift_like,
+)
+from .io import (
+    read_csv_dataset,
+    read_npz_dataset,
+    read_ucr,
+    write_csv_dataset,
+    write_npz_dataset,
+)
+from .isax import ISaxWord, isax_from_paa, isax_from_series
+from .paa import paa_distance, paa_transform
+from .sax import breakpoints, reduce_symbol, sax_symbols, symbol_bounds
+from .series import TimeSeriesDataset, euclidean_distance, z_normalize
+from .windows import non_overlapping_windows, sliding_windows, window_offset
+
+__all__ = [
+    "TimeSeriesDataset",
+    "z_normalize",
+    "euclidean_distance",
+    "paa_transform",
+    "paa_distance",
+    "breakpoints",
+    "sax_symbols",
+    "symbol_bounds",
+    "reduce_symbol",
+    "ISaxWord",
+    "isax_from_paa",
+    "isax_from_series",
+    "euclidean",
+    "squared_euclidean",
+    "batch_euclidean",
+    "word_region_bounds",
+    "mindist_paa_to_word",
+    "mindist_word_to_word",
+    "random_walk",
+    "sift_like",
+    "dna_like",
+    "noaa_like",
+    "make_dataset",
+    "DATASET_GENERATORS",
+    "sliding_windows",
+    "non_overlapping_windows",
+    "window_offset",
+    "read_ucr",
+    "read_csv_dataset",
+    "write_csv_dataset",
+    "read_npz_dataset",
+    "write_npz_dataset",
+]

@@ -1,0 +1,119 @@
+"""Dataset readers and writers for common time series interchange formats.
+
+Real deployments do not start from our synthetic generators; they start
+from files.  Supported formats:
+
+* **UCR/UEA archive format** — the de-facto benchmark interchange: one
+  series per line, the first column a class label, the rest the values,
+  separated by commas or whitespace (both occur in the archive).
+* **Plain CSV/TSV** — one series per row, optionally with a leading
+  record-id column.
+* **NPZ** — the library's own compact format (``values``, ``record_ids``,
+  ``name``), also produced by ``python -m repro generate``.
+
+Readers return :class:`~repro.tsdb.series.TimeSeriesDataset`; labels from
+the UCR format are returned alongside so classification experiments can
+use them.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from .series import TimeSeriesDataset
+
+__all__ = [
+    "read_ucr",
+    "read_csv_dataset",
+    "write_csv_dataset",
+    "read_npz_dataset",
+    "write_npz_dataset",
+]
+
+
+def read_ucr(
+    path: str | Path, name: str | None = None
+) -> tuple[TimeSeriesDataset, np.ndarray]:
+    """Read a UCR/UEA-archive file; returns ``(dataset, labels)``.
+
+    Auto-detects comma vs whitespace separation.  Labels keep their
+    original values (the archive uses ints, sometimes negative).  Raises
+    ``ValueError`` on ragged rows or rows too short to hold a series.
+    """
+    path = Path(path)
+    raw = path.read_text().strip()
+    if not raw:
+        raise ValueError(f"{path} is empty")
+    delimiter = "," if "," in raw.splitlines()[0] else None
+    try:
+        table = np.loadtxt(raw.splitlines(), delimiter=delimiter, ndmin=2)
+    except ValueError as error:
+        raise ValueError(f"{path} is not valid UCR data: {error}") from None
+    if table.shape[1] < 2:
+        raise ValueError(
+            f"{path}: rows need a label plus at least one value"
+        )
+    labels = table[:, 0]
+    dataset = TimeSeriesDataset(
+        values=table[:, 1:], name=name or path.stem
+    )
+    return dataset, labels
+
+
+def read_csv_dataset(
+    path: str | Path,
+    has_record_ids: bool = False,
+    delimiter: str = ",",
+    name: str | None = None,
+) -> TimeSeriesDataset:
+    """Read one-series-per-row CSV; optional leading record-id column."""
+    path = Path(path)
+    table = np.loadtxt(path, delimiter=delimiter, ndmin=2)
+    if has_record_ids:
+        if table.shape[1] < 2:
+            raise ValueError(f"{path}: no value columns after record ids")
+        return TimeSeriesDataset(
+            values=table[:, 1:],
+            record_ids=table[:, 0].astype(np.int64),
+            name=name or path.stem,
+        )
+    return TimeSeriesDataset(values=table, name=name or path.stem)
+
+
+def write_csv_dataset(
+    dataset: TimeSeriesDataset,
+    path: str | Path,
+    include_record_ids: bool = True,
+    delimiter: str = ",",
+) -> None:
+    """Write a dataset as one-series-per-row CSV."""
+    path = Path(path)
+    if include_record_ids:
+        table = np.column_stack(
+            [dataset.record_ids.astype(np.float64), dataset.values]
+        )
+    else:
+        table = dataset.values
+    np.savetxt(path, table, delimiter=delimiter, fmt="%.12g")
+
+
+def write_npz_dataset(dataset: TimeSeriesDataset, path: str | Path) -> None:
+    """Write the library's compact ``.npz`` dataset format."""
+    np.savez_compressed(
+        Path(path),
+        values=dataset.values,
+        record_ids=dataset.record_ids,
+        name=np.array(dataset.name),
+    )
+
+
+def read_npz_dataset(path: str | Path) -> TimeSeriesDataset:
+    """Read a ``.npz`` dataset written by :func:`write_npz_dataset`."""
+    payload = np.load(Path(path), allow_pickle=False)
+    return TimeSeriesDataset(
+        values=payload["values"],
+        record_ids=payload["record_ids"],
+        name=str(payload["name"]),
+    )

@@ -1,0 +1,83 @@
+"""Symbolic Aggregate approXimation (SAX) over PAA words.
+
+SAX discretizes each PAA segment mean into one of ``2^b`` symbols using
+breakpoints that cut the standard normal distribution into equi-probable
+stripes (paper §II-B, Fig. 1c-d).  Symbols are integers ``0 .. 2^b - 1``
+ordered from the lowest stripe upward.
+
+The Gaussian quantile breakpoints are *nested*: the breakpoints for
+cardinality ``2^(b-1)`` are exactly the even-indexed breakpoints for ``2^b``.
+Consequently a symbol's representation at a lower cardinality is obtained by
+dropping its least-significant bits (``symbol >> (b - b')``) — the property
+that makes iSAX/iSAX-T cardinality reduction a pure bit operation.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+from scipy.stats import norm
+
+__all__ = [
+    "MAX_CARDINALITY_BITS",
+    "breakpoints",
+    "sax_symbols",
+    "symbol_bounds",
+    "reduce_symbol",
+]
+
+#: Hard cap on cardinality bits; 2^16 stripes is far beyond any useful SAX
+#: resolution and keeps the breakpoint cache tiny.
+MAX_CARDINALITY_BITS = 16
+
+
+@lru_cache(maxsize=MAX_CARDINALITY_BITS + 1)
+def breakpoints(bits: int) -> np.ndarray:
+    """The ``2^bits - 1`` sorted breakpoints for cardinality ``2^bits``.
+
+    ``breakpoints(b)[i] == norm.ppf((i + 1) / 2**b)``.  For ``bits == 0``
+    (a single stripe covering the whole real line) the array is empty.
+    """
+    if bits < 0 or bits > MAX_CARDINALITY_BITS:
+        raise ValueError(f"bits must be in [0, {MAX_CARDINALITY_BITS}]")
+    cardinality = 1 << bits
+    quantiles = np.arange(1, cardinality) / cardinality
+    return norm.ppf(quantiles)
+
+
+def sax_symbols(paa_values: np.ndarray, bits: int) -> np.ndarray:
+    """Map PAA values to SAX symbol integers at cardinality ``2^bits``.
+
+    Works on scalars, 1-D words, or batches; returns ``uint32`` symbols with
+    the same shape.  A value exactly on a breakpoint belongs to the upper
+    stripe.
+    """
+    paa_values = np.asarray(paa_values, dtype=np.float64)
+    bps = breakpoints(bits)
+    return np.searchsorted(bps, paa_values, side="right").astype(np.uint32)
+
+
+def symbol_bounds(symbol: int, bits: int) -> tuple[float, float]:
+    """The value interval ``[lower, upper)`` covered by a symbol's stripe.
+
+    The bottom stripe extends to ``-inf`` and the top stripe to ``+inf``.
+    """
+    cardinality = 1 << bits
+    if not 0 <= symbol < cardinality:
+        raise ValueError(f"symbol {symbol} out of range for {bits} bits")
+    bps = breakpoints(bits)
+    lower = -np.inf if symbol == 0 else float(bps[symbol - 1])
+    upper = np.inf if symbol == cardinality - 1 else float(bps[symbol])
+    return lower, upper
+
+
+def reduce_symbol(symbol: int, from_bits: int, to_bits: int) -> int:
+    """Re-express a symbol at a lower cardinality by dropping LSBs.
+
+    Valid because Gaussian quantile breakpoints are nested (module
+    docstring).
+    """
+    if to_bits > from_bits:
+        raise ValueError("cannot increase cardinality without data")
+    return symbol >> (from_bits - to_bits)

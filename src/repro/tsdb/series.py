@@ -1,0 +1,144 @@
+"""Time series dataset model (paper Definitions 1-4).
+
+A time series is a fixed-length 1-D ``numpy`` array of floats; a dataset is a
+2-D array of shape ``(m, n)`` holding ``m`` series of length ``n`` plus a
+parallel vector of record ids.  All TARDIS structures operate on z-normalized
+series, matching the paper's preprocessing ("each dataset is z-normalized
+before being indexed").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
+
+import numpy as np
+
+__all__ = [
+    "TimeSeriesDataset",
+    "z_normalize",
+    "euclidean_distance",
+]
+
+#: Standard deviation below which a series is treated as constant during
+#: z-normalization (avoids division blow-up on flat series).
+_FLAT_STD = 1e-8
+
+
+def z_normalize(values: np.ndarray) -> np.ndarray:
+    """Z-normalize one series or a batch of series (last axis is time).
+
+    Constant (zero-variance) series normalize to all zeros rather than NaN.
+
+    >>> z_normalize(np.array([1.0, 2.0, 3.0])).round(4).tolist()
+    [-1.2247, 0.0, 1.2247]
+    """
+    values = np.asarray(values, dtype=np.float64)
+    mean = values.mean(axis=-1, keepdims=True)
+    std = values.std(axis=-1, keepdims=True)
+    safe_std = np.where(std < _FLAT_STD, 1.0, std)
+    out = (values - mean) / safe_std
+    if values.ndim == 1 and std[..., 0] < _FLAT_STD:
+        out[:] = 0.0
+    elif values.ndim > 1:
+        out[np.broadcast_to(std < _FLAT_STD, out.shape)] = 0.0
+    return out
+
+
+def euclidean_distance(x: np.ndarray, y: np.ndarray) -> float:
+    """Euclidean distance between two equal-length series (paper Eq. 1)."""
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    if x.shape != y.shape:
+        raise ValueError(f"length mismatch: {x.shape} vs {y.shape}")
+    return float(np.sqrt(np.sum((x - y) ** 2)))
+
+
+@dataclass
+class TimeSeriesDataset:
+    """An in-memory collection of ``m`` time series of equal length ``n``.
+
+    Attributes
+    ----------
+    values:
+        Array of shape ``(m, n)``.
+    record_ids:
+        Array of shape ``(m,)`` of integer record ids; defaults to
+        ``0..m-1``.
+    name:
+        Human-readable dataset label (used in benchmark output).
+    """
+
+    values: np.ndarray
+    record_ids: np.ndarray = field(default=None)  # type: ignore[assignment]
+    name: str = "dataset"
+
+    def __post_init__(self) -> None:
+        self.values = np.asarray(self.values, dtype=np.float64)
+        if self.values.ndim != 2:
+            raise ValueError("dataset values must be a 2-D (m, n) array")
+        if self.record_ids is None:
+            self.record_ids = np.arange(len(self.values), dtype=np.int64)
+        else:
+            self.record_ids = np.asarray(self.record_ids, dtype=np.int64)
+        if len(self.record_ids) != len(self.values):
+            raise ValueError("record_ids length must match number of series")
+
+    # -- container protocol -------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def __iter__(self) -> Iterator[tuple[int, np.ndarray]]:
+        """Iterate ``(record_id, series)`` pairs."""
+        for rid, row in zip(self.record_ids, self.values):
+            yield int(rid), row
+
+    @property
+    def length(self) -> int:
+        """Series length ``n``."""
+        return self.values.shape[1]
+
+    @property
+    def nbytes(self) -> int:
+        """Raw payload size in bytes (used by the simulated I/O model)."""
+        return int(self.values.nbytes + self.record_ids.nbytes)
+
+    # -- constructors --------------------------------------------------------
+
+    @classmethod
+    def from_rows(
+        cls,
+        rows: Sequence[np.ndarray],
+        record_ids: Sequence[int] | None = None,
+        name: str = "dataset",
+    ) -> "TimeSeriesDataset":
+        """Build a dataset from an iterable of equal-length 1-D arrays."""
+        values = np.vstack([np.asarray(r, dtype=np.float64) for r in rows])
+        rids = None if record_ids is None else np.asarray(record_ids)
+        return cls(values=values, record_ids=rids, name=name)
+
+    # -- transformations -----------------------------------------------------
+
+    def z_normalized(self) -> "TimeSeriesDataset":
+        """Return a z-normalized copy of the dataset."""
+        return TimeSeriesDataset(
+            values=z_normalize(self.values),
+            record_ids=self.record_ids.copy(),
+            name=self.name,
+        )
+
+    def subset(self, indices: np.ndarray) -> "TimeSeriesDataset":
+        """Return the sub-dataset at the given row indices."""
+        return TimeSeriesDataset(
+            values=self.values[indices],
+            record_ids=self.record_ids[indices],
+            name=self.name,
+        )
+
+    def series(self, record_id: int) -> np.ndarray:
+        """Look up one series by record id (linear scan; test helper)."""
+        matches = np.nonzero(self.record_ids == record_id)[0]
+        if len(matches) == 0:
+            raise KeyError(f"record id {record_id} not in dataset")
+        return self.values[matches[0]]

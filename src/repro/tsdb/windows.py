@@ -1,0 +1,66 @@
+"""Subsequence extraction: long recordings → fixed-length window datasets.
+
+The paper's DNA dataset is built exactly this way ("each DNA string is
+divided into subsequences of length 192 and then converted into time
+series"), and subsequence indexing is the standard route from whole-series
+similarity search to motif discovery and subsequence matching.
+
+Windows are z-normalized individually (shape similarity, not level), and
+each window's record id encodes its source offset so hits map back to
+positions in the original recording.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .series import TimeSeriesDataset, z_normalize
+
+__all__ = ["sliding_windows", "window_offset", "non_overlapping_windows"]
+
+
+def sliding_windows(
+    recording: np.ndarray,
+    window: int,
+    step: int = 1,
+    name: str = "windows",
+) -> TimeSeriesDataset:
+    """All windows of ``window`` points taken every ``step`` positions.
+
+    The record id of each window is its start offset in ``recording``
+    (retrievable via :func:`window_offset` — which is the identity here,
+    kept for symmetry with future id schemes).
+
+    >>> ds = sliding_windows(np.arange(6.0), window=4, step=2)
+    >>> len(ds), ds.record_ids.tolist()
+    (2, [0, 2])
+    """
+    recording = np.asarray(recording, dtype=np.float64)
+    if recording.ndim != 1:
+        raise ValueError("recording must be a 1-D series")
+    if window <= 0 or step <= 0:
+        raise ValueError("window and step must be positive")
+    if len(recording) < window:
+        raise ValueError(
+            f"recording of {len(recording)} points is shorter than the "
+            f"window ({window})"
+        )
+    offsets = np.arange(0, len(recording) - window + 1, step)
+    views = recording[offsets[:, None] + np.arange(window)[None, :]]
+    return TimeSeriesDataset(
+        values=z_normalize(views),
+        record_ids=offsets.astype(np.int64),
+        name=name,
+    )
+
+
+def non_overlapping_windows(
+    recording: np.ndarray, window: int, name: str = "windows"
+) -> TimeSeriesDataset:
+    """Disjoint consecutive windows (the paper's DNA-style segmentation)."""
+    return sliding_windows(recording, window=window, step=window, name=name)
+
+
+def window_offset(record_id: int) -> int:
+    """Source offset of a window produced by :func:`sliding_windows`."""
+    return int(record_id)

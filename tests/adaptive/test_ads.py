@@ -1,0 +1,134 @@
+"""Tests for the ADS adaptive index."""
+
+import numpy as np
+import pytest
+
+from repro.adaptive import AdsConfig, build_ads_index
+from repro.core import brute_force_knn
+from repro.tsdb import random_walk
+from repro.tsdb.series import z_normalize
+
+
+@pytest.fixture()
+def dataset():
+    return random_walk(2000, length=64, seed=9).z_normalized()
+
+
+@pytest.fixture()
+def ads(dataset):
+    return build_ads_index(dataset, AdsConfig(leaf_threshold=40))
+
+
+def _query(seed: int) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    return z_normalize(np.cumsum(rng.standard_normal(64)))
+
+
+class TestConstruction:
+    def test_no_splits_at_build_time(self, ads):
+        assert ads.total_splits == 0
+        assert ads.n_nodes() == 1  # nothing refined yet
+
+    def test_nothing_materialized_at_build_time(self, ads):
+        assert ads.materialized_fraction() == 0.0
+
+    def test_build_cheaper_than_tardis(self, dataset):
+        from repro.core import TardisConfig, build_tardis_index
+
+        ads = build_ads_index(dataset)
+        tardis = build_tardis_index(
+            dataset, TardisConfig(g_max_size=300, l_max_size=30)
+        )
+        assert (
+            ads.construction_ledger.clock_s
+            < tardis.construction_ledger.clock_s
+        )
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            AdsConfig(leaf_threshold=0)
+        with pytest.raises(ValueError):
+            AdsConfig(cardinality_bits=0)
+
+
+class TestAdaptiveBehaviour:
+    def test_first_query_pays_splits(self, ads, dataset):
+        first = ads.exact_match(dataset.values[0])
+        assert first.splits_performed > 0
+
+    def test_repeat_query_pays_nothing_extra(self, ads, dataset):
+        q = dataset.values[1]
+        ads.exact_match(q)
+        again = ads.exact_match(q)
+        assert again.splits_performed == 0
+        assert again.leaves_materialized == 0
+
+    def test_refinement_is_local(self, ads, dataset):
+        """A handful of exact-match queries must not materialize the
+        whole dataset — only the touched leaves."""
+        for row in (0, 10, 20):
+            ads.exact_match(dataset.values[row])
+        assert 0 < ads.materialized_fraction() < 0.5
+
+    def test_leaf_threshold_respected_on_query_path(self, ads, dataset):
+        result = ads.exact_match(dataset.values[5])
+        assert result.candidates_examined <= ads.config.leaf_threshold or (
+            result.splits_performed == 0
+        )
+
+
+class TestQueries:
+    def test_exact_match_finds_members(self, ads, dataset):
+        for row in (0, 999, 1999):
+            result = ads.exact_match(dataset.values[row])
+            assert row in result.record_ids
+
+    def test_exact_match_rejects_absent(self, ads, dataset):
+        rng = np.random.default_rng(1)
+        ghost = z_normalize(dataset.values[0] + rng.normal(0, 0.1, 64))
+        assert ads.exact_match(ghost).record_ids == []
+
+    def test_knn_self_query(self, ads, dataset):
+        result = ads.knn_approximate(dataset.values[3], 1)
+        assert result.record_ids == [3]
+        assert result.distances[0] == 0.0
+
+    def test_knn_sorted_k_results(self, ads):
+        result = ads.knn_approximate(_query(2), 10)
+        assert len(result.record_ids) == 10
+        assert result.distances == sorted(result.distances)
+
+    def test_knn_distances_true(self, ads, dataset):
+        q = _query(3)
+        result = ads.knn_approximate(q, 5)
+        for rid, dist in zip(result.record_ids, result.distances):
+            true = float(np.linalg.norm(q - dataset.series(rid)))
+            assert dist == pytest.approx(true)
+
+    def test_knn_reasonable_recall(self, ads, dataset):
+        recalls = []
+        for seed in range(10):
+            q = _query(seed + 100)
+            result = ads.knn_approximate(q, 10)
+            truth = {n.record_id for n in brute_force_knn(dataset, q, 10)}
+            recalls.append(len(set(result.record_ids) & truth) / 10)
+        assert float(np.mean(recalls)) > 0.1
+
+    def test_invalid_k(self, ads):
+        with pytest.raises(ValueError):
+            ads.knn_approximate(_query(0), 0)
+
+
+class TestWarmup:
+    def test_query_cost_amortizes(self, ads, dataset):
+        """ADS's signature behaviour: early queries are expensive (splits +
+        materialization), later ones cheap."""
+        rng = np.random.default_rng(7)
+        rows = rng.choice(len(dataset), size=60, replace=False)
+        times = [
+            ads.exact_match(dataset.values[row]).simulated_seconds
+            for row in rows
+        ]
+        early = float(np.mean(times[:15]))
+        late = float(np.mean(times[-15:]))
+        assert late < early

@@ -1,0 +1,79 @@
+"""Tests for iSAX 2.0-style two-phase bulk loading of the iBT."""
+
+import numpy as np
+import pytest
+
+from repro.baseline.ibt import IbtTree
+from repro.tsdb.isax import isax_from_series
+from repro.tsdb.series import z_normalize
+
+W, BITS, LENGTH = 4, 4, 32
+
+
+def entries(n: int, seed: int = 0):
+    rng = np.random.default_rng(seed)
+    values = z_normalize(np.cumsum(rng.standard_normal((n, LENGTH)), axis=1))
+    return [
+        (isax_from_series(values[i], W, BITS), i, values[i]) for i in range(n)
+    ]
+
+
+def incremental(data, threshold=4) -> IbtTree:
+    tree = IbtTree(W, BITS, threshold)
+    for entry in data:
+        tree.insert(entry)
+    return tree
+
+
+def bulk(data, threshold=4) -> IbtTree:
+    tree = IbtTree(W, BITS, threshold)
+    tree.bulk_load(data)
+    return tree
+
+
+class TestBulkLoad:
+    def test_same_shape_as_incremental(self):
+        data = entries(200, seed=1)
+        a, b = incremental(data), bulk(data)
+        assert a.n_nodes() == b.n_nodes()
+        assert a.depth_histogram() == b.depth_histogram()
+
+    def test_every_entry_present_with_payload(self):
+        data = entries(100, seed=2)
+        tree = bulk(data)
+        collected = tree.entries_under(tree.root)
+        assert sorted(e[1] for e in collected) == list(range(100))
+        assert all(e[2] is not None for e in collected)
+
+    def test_entries_findable(self):
+        data = entries(80, seed=3)
+        tree = bulk(data)
+        for word, rid, _values in data:
+            leaf = tree.descend(word)
+            assert any(e[1] == rid for e in leaf.entries)
+
+    def test_counts_match(self):
+        data = entries(150, seed=4)
+        tree = bulk(data)
+        assert tree.root.count == 150
+        tree.validate()
+
+    def test_rejects_non_empty_tree(self):
+        data = entries(5)
+        tree = incremental(data[:2])
+        with pytest.raises(RuntimeError, match="empty"):
+            tree.bulk_load(data)
+
+    def test_empty_bulk_load(self):
+        tree = IbtTree(W, BITS, 4)
+        tree.bulk_load([])
+        assert tree.root.count == 0
+
+    def test_binary_root_mode(self):
+        data = entries(120, seed=5)
+        tree = IbtTree(W, BITS, 10, binary_root=True)
+        tree.bulk_load(data)
+        assert tree.root.count == 120
+        assert len(tree.root.children) <= 2
+        collected = tree.entries_under(tree.root)
+        assert len(collected) == 120

@@ -1,0 +1,141 @@
+"""End-to-end tests for the DPiSAX baseline build and queries."""
+
+import numpy as np
+import pytest
+
+from repro.baseline import (
+    DpisaxConfig,
+    build_dpisax_index,
+    convert_records_baseline,
+    exact_match_baseline,
+    knn_baseline,
+)
+from repro.core import brute_force_knn
+from repro.tsdb import random_walk
+from repro.tsdb.series import z_normalize
+
+
+class TestConvert:
+    def test_full_cardinality_words(self):
+        config = DpisaxConfig()
+        ds = random_walk(4, length=64).z_normalized()
+        out = convert_records_baseline([(i, row) for i, (_r, row) in enumerate(ds)], config)
+        word, rid, ts = out[0]
+        assert word.bits == (config.cardinality_bits,) * config.word_length
+        assert rid == 0
+        assert ts.shape == (64,)
+
+    def test_empty(self):
+        assert convert_records_baseline([], DpisaxConfig()) == []
+
+
+class TestBuild:
+    def test_every_record_indexed_once(self, dpisax_small, rw_small):
+        seen = []
+        for partition in dpisax_small.partitions.values():
+            seen.extend(
+                e[1] for e in partition.tree.entries_under(partition.tree.root)
+            )
+        assert sorted(seen) == sorted(rw_small.record_ids.tolist())
+
+    def test_partitions_match_table(self, dpisax_small):
+        assert len(dpisax_small.partitions) == len(dpisax_small.table)
+
+    def test_routing_consistency(self, dpisax_small):
+        """Entries sit in the partition the table routes them to."""
+        for pid, partition in dpisax_small.partitions.items():
+            entries = partition.tree.entries_under(partition.tree.root)
+            for word, _rid, _ts in entries[:20]:
+                assert dpisax_small.table.route(word) == pid
+
+    def test_ledger_phases(self, dpisax_small):
+        labels = set(dpisax_small.construction_ledger.breakdown())
+        assert {
+            "global/sample+convert",
+            "global/build index tree",
+            "global/partition assignment",
+            "local/read data",
+            "local/convert data",
+            "local/shuffle",
+            "local/build index",
+        } <= labels
+
+    def test_indivisible_length_supported(self):
+        ds = random_walk(300, length=30, seed=3).z_normalized()
+        config = DpisaxConfig(word_length=8, g_max_size=100, l_max_size=10)
+        index = build_dpisax_index(ds, config)
+        assert sum(p.n_records for p in index.partitions.values()) == 300
+
+    def test_too_short_series_rejected(self):
+        ds = random_walk(10, length=4)
+        with pytest.raises(ValueError, match="shorter"):
+            build_dpisax_index(ds, DpisaxConfig(word_length=8))
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            DpisaxConfig(cardinality_bits=0)
+        with pytest.raises(ValueError):
+            DpisaxConfig(sampling_fraction=0.0)
+        with pytest.raises(ValueError):
+            DpisaxConfig(g_max_size=0)
+
+
+class TestExactMatch:
+    def test_present_found(self, dpisax_small, rw_small):
+        for row in (0, 55, 2999):
+            result = exact_match_baseline(dpisax_small, rw_small.values[row])
+            assert row in result.record_ids
+
+    def test_absent_still_loads_partition(self, dpisax_small, rw_small):
+        """No Bloom filter: absent queries pay the partition load."""
+        rng = np.random.default_rng(0)
+        ghost = z_normalize(rw_small.values[0] + rng.normal(0, 0.1, 64))
+        result = exact_match_baseline(dpisax_small, ghost)
+        assert result.record_ids == []
+        assert result.partitions_loaded == 1
+        assert result.simulated_seconds > 0
+
+
+class TestKnn:
+    def test_returns_k_sorted(self, dpisax_small, heldout_queries):
+        result = knn_baseline(dpisax_small, heldout_queries[0], 10)
+        assert len(result.record_ids) == 10
+        assert result.distances == sorted(result.distances)
+
+    def test_self_query_found(self, dpisax_small, rw_small):
+        result = knn_baseline(dpisax_small, rw_small.values[9], 1)
+        assert result.record_ids == [9]
+        assert result.distances[0] == 0.0
+
+    def test_distances_true_euclidean(self, dpisax_small, rw_small,
+                                      heldout_queries):
+        result = knn_baseline(dpisax_small, heldout_queries[1], 5)
+        for rid, dist in zip(result.record_ids, result.distances):
+            true = float(np.linalg.norm(heldout_queries[1] - rw_small.series(rid)))
+            assert dist == pytest.approx(true)
+
+    def test_recall_below_tardis_mpa(self, dpisax_small, tardis_small,
+                                     rw_small, heldout_queries):
+        """The paper's accuracy headline at the smallest scale."""
+        from repro.core import knn_multi_partitions_access
+        from repro.metrics import recall
+
+        k = 10
+        base, mpa = [], []
+        for q in heldout_queries[:15]:
+            truth = [n.record_id for n in brute_force_knn(rw_small, q, k)]
+            base.append(recall(knn_baseline(dpisax_small, q, k).record_ids, truth))
+            mpa.append(
+                recall(
+                    knn_multi_partitions_access(tardis_small, q, k).record_ids,
+                    truth,
+                )
+            )
+        assert float(np.mean(mpa)) > float(np.mean(base))
+
+    def test_unclustered_rejected(self, rw_small, small_baseline_config):
+        index = build_dpisax_index(
+            rw_small, small_baseline_config, clustered=False
+        )
+        with pytest.raises(RuntimeError, match="clustered"):
+            knn_baseline(index, rw_small.values[0], 3)

@@ -1,0 +1,199 @@
+"""Tests for the iSAX Binary Tree (iBT) baseline structure."""
+
+import numpy as np
+import pytest
+
+from repro.baseline.ibt import IbtTree
+from repro.tsdb.isax import ISaxWord, isax_from_series
+from repro.tsdb.series import z_normalize
+
+W, BITS, LENGTH = 4, 4, 32
+
+
+def make_word(symbols) -> ISaxWord:
+    return ISaxWord(tuple(symbols), (BITS,) * W)
+
+
+def random_entries(n: int, seed: int = 0):
+    rng = np.random.default_rng(seed)
+    values = z_normalize(np.cumsum(rng.standard_normal((n, LENGTH)), axis=1))
+    return [
+        (isax_from_series(values[i], W, BITS), i, values[i]) for i in range(n)
+    ]
+
+
+def make_tree(threshold=3, policy="stats", binary_root=False) -> IbtTree:
+    return IbtTree(
+        word_length=W,
+        max_bits=BITS,
+        split_threshold=threshold,
+        split_policy=policy,
+        binary_root=binary_root,
+    )
+
+
+class TestConstruction:
+    def test_invalid_policy(self):
+        with pytest.raises(ValueError, match="policy"):
+            make_tree(policy="magic")
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            IbtTree(word_length=W, max_bits=BITS, split_threshold=0)
+
+    def test_wrong_cardinality_entry_rejected(self):
+        tree = make_tree()
+        word = ISaxWord((1, 1, 1, 1), (1, 1, 1, 1))
+        with pytest.raises(ValueError, match="cardinality"):
+            tree.insert((word, 0, None))
+
+
+class TestClassicInsertion:
+    def test_counts_and_containment(self):
+        entries = random_entries(100)
+        tree = make_tree(threshold=5)
+        for entry in entries:
+            tree.insert(entry)
+        assert tree.root.count == 100
+        assert sum(len(l.entries) for l in tree.leaves()) == 100
+        tree.validate()
+
+    def test_first_level_is_one_bit(self):
+        entries = random_entries(30)
+        tree = make_tree(threshold=5)
+        for entry in entries:
+            tree.insert(entry)
+        for child in tree.root.children.values():
+            assert child.word.bits == (1,) * W
+
+    def test_every_entry_findable_via_descend(self):
+        entries = random_entries(150, seed=1)
+        tree = make_tree(threshold=4)
+        for entry in entries:
+            tree.insert(entry)
+        for word, rid, _ts in entries:
+            leaf = tree.descend(word)
+            assert leaf.is_leaf
+            assert any(e[1] == rid for e in leaf.entries)
+
+    def test_overflow_leaf_at_max_bits(self):
+        tree = make_tree(threshold=2)
+        word = make_word((3, 7, 9, 12))
+        for i in range(6):
+            tree.insert((word, i, None))
+        leaf = tree.descend(word)
+        assert len(leaf.entries) == 6  # cannot split identical full words
+
+    def test_binary_fanout_below_first_level(self):
+        entries = random_entries(200, seed=2)
+        tree = make_tree(threshold=3)
+        for entry in entries:
+            tree.insert(entry)
+        for node in tree.iter_nodes():
+            if node is not tree.root:
+                assert len(node.children) <= 2
+
+    def test_path_is_prefix_chain(self):
+        entries = random_entries(80, seed=3)
+        tree = make_tree(threshold=3)
+        for entry in entries:
+            tree.insert(entry)
+        word = entries[0][0]
+        path = tree.path(word)
+        assert path[0] is tree.root
+        for parent, child in zip(path, path[1:]):
+            assert child.parent is parent
+
+
+class TestSplitPolicies:
+    @pytest.mark.parametrize("policy", ["round-robin", "stats"])
+    def test_both_policies_preserve_entries(self, policy):
+        entries = random_entries(120, seed=4)
+        tree = make_tree(threshold=4, policy=policy)
+        for entry in entries:
+            tree.insert(entry)
+        assert sum(len(l.entries) for l in tree.leaves()) == 120
+        tree.validate()
+
+    def test_stats_policy_no_worse_depth_than_round_robin(self):
+        """iSAX 2.0's motivation: statistics splits avoid the round-robin
+        policy's excessive subdivision (compare node counts)."""
+        entries = random_entries(400, seed=5)
+        trees = {}
+        for policy in ("round-robin", "stats"):
+            tree = make_tree(threshold=10, policy=policy)
+            for entry in entries:
+                tree.insert(entry)
+            trees[policy] = tree.n_nodes()
+        assert trees["stats"] <= trees["round-robin"] * 1.5
+
+
+class TestBinaryRootMode:
+    def test_root_splits_binarily(self):
+        entries = random_entries(50, seed=6)
+        tree = make_tree(threshold=10, binary_root=True)
+        for entry in entries:
+            tree.insert(entry)
+        assert len(tree.root.children) <= 2
+        assert sum(len(l.entries) for l in tree.leaves()) == 50
+
+    def test_leaf_sizes_track_threshold(self):
+        """binary_root leaves stay near the capacity instead of scattering
+        over 2^w first-level nodes."""
+        entries = random_entries(300, seed=7)
+        tree = make_tree(threshold=40, binary_root=True)
+        for entry in entries:
+            tree.insert(entry)
+        sizes = [len(l.entries) for l in tree.leaves() if l.entries]
+        assert np.mean(sizes) > 10  # not scattered into tiny leaves
+
+    def test_entries_findable(self):
+        entries = random_entries(60, seed=8)
+        tree = make_tree(threshold=5, binary_root=True)
+        for entry in entries:
+            tree.insert(entry)
+        for word, rid, _ts in entries:
+            leaf = tree.descend(word)
+            assert any(e[1] == rid for e in leaf.entries)
+
+
+class TestReporting:
+    def test_depth_histogram_consistent(self):
+        entries = random_entries(100, seed=9)
+        tree = make_tree(threshold=4)
+        for entry in entries:
+            tree.insert(entry)
+        histogram = tree.depth_histogram()
+        assert sum(histogram.values()) == len(tree.leaves())
+        assert max(histogram) == tree.height()
+
+    def test_estimated_nbytes_counts_entries_flag(self):
+        entries = random_entries(50, seed=10)
+        tree = make_tree(threshold=100)
+        for entry in entries:
+            tree.insert(entry)
+        assert tree.estimated_nbytes(True) > tree.estimated_nbytes(False)
+
+    def test_ibt_deeper_than_sigtree_for_same_data(self):
+        """The paper's compactness claim: sigTree leaves sit higher than
+        iBT leaves (binary fan-out needs many more splits)."""
+        from repro.core.isaxt import signature_of_series
+        from repro.core.sigtree import SigTree
+
+        rng = np.random.default_rng(11)
+        values = z_normalize(
+            np.cumsum(rng.standard_normal((500, LENGTH)), axis=1)
+        )
+        ibt = make_tree(threshold=10)
+        sig_tree = SigTree(word_length=W, max_bits=BITS, split_threshold=10)
+        for i in range(500):
+            ibt.insert((isax_from_series(values[i], W, BITS), i, None))
+            sig_tree.insert_entry(
+                (signature_of_series(values[i], W, BITS), i, None)
+            )
+        # "Compactness means fewer internal nodes and shorter depth of
+        # leaf nodes" (paper §III-B) — compare exactly those two.
+        ibt_internal = ibt.n_nodes() - len(ibt.leaves())
+        sig_internal = sig_tree.n_nodes() - len(sig_tree.leaves())
+        assert sig_internal < ibt_internal
+        assert sig_tree.height() < ibt.height()

@@ -1,0 +1,81 @@
+"""Tests for the DPiSAX partition table and its lookup strategies."""
+
+import pytest
+
+from repro.baseline.partition_table import PartitionTable
+from repro.tsdb.isax import ISaxWord
+
+
+def full_word(*symbols, bits=4) -> ISaxWord:
+    return ISaxWord(tuple(symbols), (bits,) * len(symbols))
+
+
+@pytest.fixture
+def table() -> PartitionTable:
+    t = PartitionTable(word_length=2)
+    t.add(ISaxWord((0, 0), (1, 1)), 0)       # covers low/low
+    t.add(ISaxWord((0b01, 1), (2, 1)), 1)    # finer region
+    t.add(ISaxWord((1, 0b11), (1, 2)), 2)
+    return t
+
+
+class TestAdd:
+    def test_duplicate_key_rejected(self, table):
+        with pytest.raises(ValueError, match="duplicate"):
+            table.add(ISaxWord((0, 0), (1, 1)), 9)
+
+    def test_word_length_mismatch(self, table):
+        with pytest.raises(ValueError, match="length"):
+            table.add(ISaxWord((0,), (1,)), 9)
+
+    def test_len_and_patterns(self, table):
+        assert len(table) == 3
+        assert table.n_patterns == 3  # three distinct bit-width patterns
+
+
+class TestLookup:
+    def test_covered_word_found(self, table):
+        # (0b0011, 0b0010) -> prefixes (0, 0) at 1 bit: table key 0 covers.
+        assert table.lookup(full_word(0b0011, 0b0010)) == 0
+
+    def test_finer_key_matches(self, table):
+        # (0b0111, 0b1010): segment prefixes (0b01, 1) -> key 1.
+        assert table.lookup(full_word(0b0111, 0b1010)) == 1
+
+    def test_uncovered_returns_none(self, table):
+        # (1, 0b00..) = (high, low) at (1,2)-bits (1, 0b00): no key covers.
+        assert table.lookup(full_word(0b1000, 0b0100)) is None
+
+    def test_grouped_lookup_agrees_with_faithful(self, table):
+        words = [
+            full_word(a, b)
+            for a in (0b0000, 0b0101, 0b1010, 0b1111)
+            for b in (0b0001, 0b0110, 0b1011, 0b1110)
+        ]
+        for word in words:
+            assert table.lookup(word) == table.lookup_grouped(word)
+
+
+class TestRoute:
+    def test_route_prefers_exact_cover(self, table):
+        assert table.route(full_word(0b0011, 0b0010)) == 0
+
+    def test_route_falls_back_to_nearest(self, table):
+        pid = table.route(full_word(0b1000, 0b0100))
+        assert pid in (0, 1, 2)
+
+    def test_route_deterministic(self, table):
+        word = full_word(0b1000, 0b0100)
+        assert table.route(word) == table.route(word)
+
+    def test_empty_table_raises(self):
+        empty = PartitionTable(word_length=2)
+        with pytest.raises(RuntimeError, match="empty"):
+            empty.route(full_word(0, 0))
+
+
+class TestSizing:
+    def test_nbytes_scales_with_entries(self, table):
+        small = table.nbytes()
+        table.add(ISaxWord((0b10, 0b10), (2, 2)), 3)
+        assert table.nbytes() > small

@@ -1,0 +1,90 @@
+"""Tests for the Bloom filter: the no-false-negative guarantee is what
+keeps TARDIS exact-match queries correct."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bloom import BloomFilter
+
+
+class TestConstruction:
+    def test_with_capacity_sizing(self):
+        bf = BloomFilter.with_capacity(1000, fp_rate=0.01)
+        # Optimal: m ~ 9.6 n, k ~ 7 for p = 1%.
+        assert 9000 <= bf.n_bits <= 10500
+        assert 6 <= bf.n_hashes <= 8
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            BloomFilter.with_capacity(0)
+        with pytest.raises(ValueError):
+            BloomFilter.with_capacity(10, fp_rate=1.5)
+        with pytest.raises(ValueError):
+            BloomFilter(n_bits=0, n_hashes=1)
+        with pytest.raises(ValueError):
+            BloomFilter(n_bits=8, n_hashes=0)
+
+    def test_nbytes(self):
+        bf = BloomFilter(n_bits=80, n_hashes=3)
+        assert bf.nbytes == 10
+
+
+class TestMembership:
+    def test_empty_filter_contains_nothing(self):
+        bf = BloomFilter.with_capacity(100)
+        assert "anything" not in bf
+
+    def test_added_items_found(self):
+        bf = BloomFilter.with_capacity(100)
+        for item in ("a", "bb", "ccc"):
+            bf.add(item)
+        assert "a" in bf and "bb" in bf and "ccc" in bf
+
+    def test_bytes_and_str_are_distinct_apis(self):
+        bf = BloomFilter.with_capacity(10)
+        bf.add(b"\x01\x02")
+        assert b"\x01\x02" in bf
+
+    @given(st.lists(st.text(min_size=1, max_size=20), max_size=80))
+    @settings(max_examples=60)
+    def test_never_false_negative(self, items):
+        """The load-bearing property: added items are always reported."""
+        bf = BloomFilter.with_capacity(max(1, len(items)))
+        for item in items:
+            bf.add(item)
+        for item in items:
+            assert item in bf
+
+    def test_false_positive_rate_near_target(self):
+        bf = BloomFilter.with_capacity(2000, fp_rate=0.01)
+        for i in range(2000):
+            bf.add(f"member-{i}")
+        false_hits = sum(
+            f"absent-{i}" in bf for i in range(10000)
+        )
+        assert false_hits / 10000 < 0.03  # 3x headroom over the 1% target
+
+    def test_estimated_fp_rate_tracks_fill(self):
+        bf = BloomFilter.with_capacity(500, fp_rate=0.01)
+        assert bf.estimated_fp_rate() == 0.0
+        for i in range(500):
+            bf.add(str(i))
+        assert 0.0 < bf.estimated_fp_rate() < 0.05
+
+
+class TestUnion:
+    def test_union_contains_both_sides(self):
+        a = BloomFilter(n_bits=1024, n_hashes=4)
+        b = BloomFilter(n_bits=1024, n_hashes=4)
+        a.add("left")
+        b.add("right")
+        merged = a.union(b)
+        assert "left" in merged and "right" in merged
+        assert merged.n_items == 2
+
+    def test_union_geometry_mismatch_raises(self):
+        a = BloomFilter(n_bits=1024, n_hashes=4)
+        b = BloomFilter(n_bits=512, n_hashes=4)
+        with pytest.raises(ValueError, match="geometry"):
+            a.union(b)

@@ -1,0 +1,154 @@
+"""Tests for the simulated cluster engine: correctness of every operator
+plus ledger accounting behaviour."""
+
+import pytest
+
+from repro.cluster import BlockStorage, CostModel, SimCluster
+
+
+@pytest.fixture
+def cluster() -> SimCluster:
+    return SimCluster(n_workers=4)
+
+
+class TestParallelize:
+    def test_round_robin(self, cluster):
+        data = cluster.parallelize(list(range(10)), n_partitions=3)
+        assert data.n_partitions == 3
+        assert data.count() == 10
+        assert sorted(data.collect()) == list(range(10))
+
+    def test_default_partitions(self, cluster):
+        data = cluster.parallelize([1, 2])
+        assert data.n_partitions == cluster.n_workers
+
+    def test_invalid_workers(self):
+        with pytest.raises(ValueError):
+            SimCluster(n_workers=0)
+
+
+class TestMapOperators:
+    def test_map(self, cluster):
+        data = cluster.parallelize(list(range(6)), 2)
+        out = data.map(lambda x: x * 10, label="x10")
+        assert sorted(out.collect()) == [0, 10, 20, 30, 40, 50]
+
+    def test_flat_map(self, cluster):
+        data = cluster.parallelize([1, 2], 1)
+        out = data.flat_map(lambda x: [x] * x, label="rep")
+        assert sorted(out.collect()) == [1, 2, 2]
+
+    def test_map_partitions(self, cluster):
+        data = cluster.parallelize(list(range(8)), 2)
+        out = data.map_partitions(lambda rs: [sum(rs)], label="sum")
+        assert out.n_partitions == 2
+        assert sum(out.collect()) == 28
+
+    def test_filter(self, cluster):
+        data = cluster.parallelize(list(range(10)), 3)
+        out = data.filter(lambda x: x % 2 == 0, label="even")
+        assert sorted(out.collect()) == [0, 2, 4, 6, 8]
+
+    def test_stage_recorded_in_ledger(self, cluster):
+        data = cluster.parallelize(list(range(4)), 2)
+        data.map(lambda x: x, label="noop")
+        stage = cluster.ledger.stage("noop")
+        assert stage.tasks == 2
+        assert stage.wall_s > 0  # at least the task overheads
+
+
+class TestReduceByKey:
+    def test_word_count(self, cluster):
+        words = ["a", "b", "a", "c", "b", "a"]
+        data = cluster.parallelize([(w, 1) for w in words], 3)
+        out = data.reduce_by_key(lambda x, y: x + y, label="count")
+        assert dict(out.collect()) == {"a": 3, "b": 2, "c": 1}
+
+    def test_custom_combine(self, cluster):
+        data = cluster.parallelize([("k", 5), ("k", 3)], 2)
+        out = data.reduce_by_key(max, label="max")
+        assert dict(out.collect()) == {"k": 5}
+
+    def test_substages_recorded(self, cluster):
+        data = cluster.parallelize([("k", 1)], 1)
+        data.reduce_by_key(lambda a, b: a + b, label="agg")
+        labels = set(cluster.ledger.breakdown())
+        assert {"agg/combine", "agg/shuffle", "agg/merge"} <= labels
+
+
+class TestShuffle:
+    def test_records_land_in_keyed_partition(self, cluster):
+        data = cluster.parallelize(list(range(12)), 3)
+        out = data.partition_by(lambda x: x % 4, n_partitions=4, label="mod")
+        for pid in range(4):
+            assert all(x % 4 == pid for x in out.partitions[pid])
+        assert out.count() == 12
+
+    def test_out_of_range_partitioner_raises(self, cluster):
+        data = cluster.parallelize([1], 1)
+        with pytest.raises(ValueError, match="outside"):
+            data.partition_by(lambda x: 5, n_partitions=2, label="bad")
+
+    def test_invalid_partition_count(self, cluster):
+        data = cluster.parallelize([1], 1)
+        with pytest.raises(ValueError):
+            data.partition_by(lambda x: 0, n_partitions=0, label="bad")
+
+    def test_cross_node_bytes_charged(self):
+        # 2 workers on 2 nodes: moving everything to partition 1 (worker 1,
+        # node 1) from partition 0 (worker 0, node 0) crosses the network.
+        cluster = SimCluster(n_workers=2, cost_model=CostModel(n_nodes=2))
+        data = cluster.parallelize([1.0] * 100, 1)  # all in partition 0
+        data.partition_by(lambda x: 1, n_partitions=2, label="move")
+        assert cluster.ledger.stage("move").network_s > 0
+
+    def test_same_node_bytes_free(self):
+        # Single node: shuffles never touch the network.
+        cluster = SimCluster(n_workers=4, cost_model=CostModel(n_nodes=1))
+        data = cluster.parallelize(list(range(100)), 4)
+        data.partition_by(lambda x: x % 4, n_partitions=4, label="move")
+        assert cluster.ledger.stage("move").network_s == 0.0
+
+
+class TestStorageIntegration:
+    def test_read_storage_one_partition_per_block(self, cluster):
+        storage = BlockStorage.from_records(list(range(10)), block_capacity=3)
+        data = cluster.read_storage(storage, label="read")
+        assert data.n_partitions == 4
+        assert sorted(data.collect()) == list(range(10))
+        assert cluster.ledger.stage("read").io_s > 0
+
+    def test_read_blocks_subset(self, cluster):
+        storage = BlockStorage.from_records(list(range(10)), block_capacity=5)
+        data = cluster.read_blocks(storage.blocks[:1], label="read")
+        assert data.count() == 5
+
+
+class TestDriverAndBroadcast:
+    def test_broadcast_returns_value_and_charges(self, cluster):
+        b = cluster.broadcast({"x": list(range(1000))}, label="bcast")
+        assert b.value["x"][0] == 0
+        assert cluster.ledger.stage("bcast").network_s > 0
+
+    def test_run_on_driver(self, cluster):
+        result = cluster.run_on_driver(lambda: sum(range(100)), label="drv")
+        assert result == 4950
+        assert cluster.ledger.stage("drv").cpu_s >= 0
+
+    def test_charge_disk_roundtrip(self, cluster):
+        cluster.charge_disk_write(10 * 1024 * 1024, label="spill w")
+        cluster.charge_disk_read(10 * 1024 * 1024, label="spill r")
+        assert cluster.ledger.stage("spill w").io_s > 0
+        assert cluster.ledger.stage("spill r").io_s > 0
+
+
+class TestDeterminism:
+    def test_pipeline_output_is_deterministic(self):
+        def run() -> dict:
+            cluster = SimCluster(n_workers=3)
+            data = cluster.parallelize(list(range(50)), 5)
+            pairs = data.map(lambda x: (x % 7, x), label="kv")
+            agg = pairs.reduce_by_key(lambda a, b: a + b, label="agg")
+            return dict(agg.collect())
+
+        assert run() == run()

@@ -1,0 +1,70 @@
+"""Tests for task-failure injection and retry behaviour in the engine."""
+
+import pytest
+
+from repro.cluster import CostModel, SimCluster, TaskFailedError
+
+
+def flaky_cluster(rate: float, attempts: int = 4, seed: int = 1) -> SimCluster:
+    return SimCluster(
+        n_workers=4,
+        cost_model=CostModel(task_failure_rate=rate, task_max_attempts=attempts),
+        failure_seed=seed,
+    )
+
+
+class TestRetries:
+    def test_results_correct_despite_failures(self):
+        cluster = flaky_cluster(0.3)
+        data = cluster.parallelize(list(range(100)), 10)
+        out = data.map(lambda x: x * 2, label="x2")
+        assert sorted(out.collect()) == [2 * x for x in range(100)]
+
+    def test_failures_cost_extra(self):
+        healthy = SimCluster(n_workers=4)
+        # Generous attempt budget: this test is about cost accounting, not
+        # abort behaviour, so exhaustion must be effectively impossible.
+        flaky = flaky_cluster(0.3, attempts=20, seed=3)
+        work = list(range(2000))
+        healthy.parallelize(work, 8).map(lambda x: x * x, label="sq")
+        flaky.parallelize(work, 8).map(lambda x: x * x, label="sq")
+        assert flaky.ledger.stage("sq").tasks > healthy.ledger.stage("sq").tasks
+        assert flaky.ledger.stage("sq").wall_s > healthy.ledger.stage("sq").wall_s
+
+    def test_retry_exhaustion_raises(self):
+        cluster = flaky_cluster(1.0, attempts=3)
+        data = cluster.parallelize([1], 1)
+        with pytest.raises(TaskFailedError, match="3 attempts"):
+            data.map(lambda x: x, label="doomed")
+
+    def test_deterministic_given_seed(self):
+        def run(seed: int) -> int:
+            cluster = flaky_cluster(0.4, seed=seed)
+            data = cluster.parallelize(list(range(50)), 5)
+            data.map(lambda x: x, label="m")
+            return cluster.ledger.stage("m").tasks
+
+        assert run(7) == run(7)
+        # (Different seeds usually differ, but that's not guaranteed.)
+
+    def test_zero_rate_never_retries(self):
+        cluster = flaky_cluster(0.0)
+        data = cluster.parallelize(list(range(30)), 6)
+        data.map(lambda x: x, label="m")
+        assert cluster.ledger.stage("m").tasks == 6
+
+    def test_end_to_end_build_survives_failures(self):
+        """A full TARDIS build completes correctly on a flaky cluster."""
+        from repro.core import TardisConfig, build_tardis_index, exact_match
+        from repro.tsdb import random_walk
+
+        dataset = random_walk(1000, length=32, seed=4).z_normalized()
+        cluster = flaky_cluster(0.2, seed=9)
+        index = build_tardis_index(
+            dataset,
+            TardisConfig(g_max_size=200, l_max_size=20),
+            cluster=cluster,
+        )
+        total = sum(p.n_records for p in index.partitions.values())
+        assert total == 1000
+        assert 17 in exact_match(index, dataset.values[17]).record_ids

@@ -1,0 +1,77 @@
+"""Tests for HDFS-like block storage and block-level sampling."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.storage import Block, BlockStorage
+from repro.tsdb import random_walk
+
+
+class TestBlockLayout:
+    def test_from_records_partitioning(self):
+        storage = BlockStorage.from_records(list(range(10)), block_capacity=3)
+        assert storage.n_blocks == 4
+        assert [len(b) for b in storage.blocks] == [3, 3, 3, 1]
+        assert len(storage) == 10
+
+    def test_block_ids_sequential(self):
+        storage = BlockStorage.from_records(list(range(7)), block_capacity=2)
+        assert [b.block_id for b in storage.blocks] == [0, 1, 2, 3]
+
+    def test_invalid_capacity_raises(self):
+        with pytest.raises(ValueError):
+            BlockStorage.from_records([1], block_capacity=0)
+
+    def test_from_dataset_records(self):
+        ds = random_walk(5, length=16)
+        storage = BlockStorage.from_dataset(ds, block_capacity=2)
+        rid, series = storage.blocks[0].records[0]
+        assert rid == 0
+        assert series.shape == (16,)
+        assert len(storage) == 5
+
+    def test_nbytes_accounts_payload(self):
+        ds = random_walk(4, length=16)
+        storage = BlockStorage.from_dataset(ds, block_capacity=2)
+        # 4 series x 16 points x 8 bytes + 4 rids x 8 bytes
+        assert storage.nbytes == 4 * 16 * 8 + 4 * 8
+
+    def test_block_nbytes_precomputed(self):
+        block = Block(block_id=0, records=[(1, np.zeros(4))])
+        assert block.nbytes == 8 + 32
+
+
+class TestBlockSampling:
+    def test_fraction_of_blocks(self):
+        storage = BlockStorage.from_records(list(range(100)), block_capacity=10)
+        sample = storage.sample_blocks(0.3, seed=1)
+        assert len(sample) == 3
+
+    def test_at_least_one_block(self):
+        storage = BlockStorage.from_records(list(range(10)), block_capacity=10)
+        assert len(storage.sample_blocks(0.01, seed=0)) == 1
+
+    def test_full_fraction_returns_everything(self):
+        storage = BlockStorage.from_records(list(range(30)), block_capacity=10)
+        assert len(storage.sample_blocks(1.0, seed=0)) == 3
+
+    def test_no_duplicates(self):
+        storage = BlockStorage.from_records(list(range(100)), block_capacity=5)
+        sample = storage.sample_blocks(0.5, seed=7)
+        ids = [b.block_id for b in sample]
+        assert len(ids) == len(set(ids))
+
+    def test_deterministic_given_seed(self):
+        storage = BlockStorage.from_records(list(range(100)), block_capacity=5)
+        a = [b.block_id for b in storage.sample_blocks(0.4, seed=9)]
+        b = [b.block_id for b in storage.sample_blocks(0.4, seed=9)]
+        assert a == b
+
+    def test_invalid_fraction_raises(self):
+        storage = BlockStorage.from_records([1], block_capacity=1)
+        for bad in (0.0, -0.1, 1.5):
+            with pytest.raises(ValueError):
+                storage.sample_blocks(bad)
+
+    def test_empty_storage_returns_empty(self):
+        assert BlockStorage(blocks=[], block_capacity=5).sample_blocks(0.5) == []

@@ -1,0 +1,51 @@
+"""Shared fixtures: small datasets and pre-built indices.
+
+Index builds are session-scoped — they are deterministic and read-only for
+every test that uses them, and rebuilding per test would dominate suite
+runtime.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baseline import DpisaxConfig, build_dpisax_index
+from repro.core import TardisConfig, build_tardis_index
+from repro.tsdb import random_walk
+
+
+SMALL_N = 3000
+SMALL_LENGTH = 64
+
+
+@pytest.fixture(scope="session")
+def small_config() -> TardisConfig:
+    return TardisConfig(g_max_size=300, l_max_size=30, pth=4)
+
+
+@pytest.fixture(scope="session")
+def small_baseline_config() -> DpisaxConfig:
+    return DpisaxConfig(g_max_size=300, l_max_size=30)
+
+
+@pytest.fixture(scope="session")
+def rw_small():
+    """3000 z-normalized random-walk series of length 64."""
+    return random_walk(SMALL_N, length=SMALL_LENGTH, seed=42).z_normalized()
+
+
+@pytest.fixture(scope="session")
+def heldout_queries() -> np.ndarray:
+    """Query series from the same distribution, not in ``rw_small``."""
+    return random_walk(40, length=SMALL_LENGTH, seed=999).z_normalized().values
+
+
+@pytest.fixture(scope="session")
+def tardis_small(rw_small, small_config):
+    return build_tardis_index(rw_small, small_config)
+
+
+@pytest.fixture(scope="session")
+def dpisax_small(rw_small, small_baseline_config):
+    return build_dpisax_index(rw_small, small_baseline_config)

@@ -1,0 +1,162 @@
+"""End-to-end tests for TARDIS index construction on the cluster engine."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import SimCluster
+from repro.core import TardisConfig, build_tardis_index, convert_records
+from repro.core.builder import TardisIndex
+from repro.tsdb import TimeSeriesDataset, random_walk
+
+
+class TestConvertRecords:
+    def test_signature_and_payload(self):
+        config = TardisConfig()
+        ds = random_walk(5, length=64).z_normalized()
+        records = [(int(rid), row) for rid, row in ds]
+        out = convert_records(records, config)
+        assert len(out) == 5
+        sig, rid, ts = out[0]
+        assert len(sig) == config.cardinality_bits * config.word_length // 4
+        assert rid == 0
+        np.testing.assert_array_equal(ts, ds.values[0])
+
+    def test_empty(self):
+        assert convert_records([], TardisConfig()) == []
+
+
+class TestBuildEndToEnd:
+    def test_every_record_indexed_exactly_once(self, tardis_small, rw_small):
+        seen: list[int] = []
+        for partition in tardis_small.partitions.values():
+            seen.extend(e[1] for e in partition.all_entries())
+        assert sorted(seen) == sorted(rw_small.record_ids.tolist())
+
+    def test_partition_count_matches_global(self, tardis_small):
+        assert (
+            len(tardis_small.partitions)
+            == tardis_small.global_index.n_partitions
+        )
+
+    def test_shuffle_respects_global_routing(self, tardis_small):
+        """Every entry sits in the partition Tardis-G routes it to."""
+        for pid, partition in tardis_small.partitions.items():
+            for sig, _rid, _ts in partition.all_entries():
+                assert tardis_small.global_index.route(sig) == pid
+
+    def test_construction_ledger_has_all_phases(self, tardis_small):
+        labels = set(tardis_small.construction_ledger.breakdown())
+        expected = {
+            "global/sample+convert",
+            "global/node statistic",
+            "global/build index tree",
+            "global/partition assignment",
+            "local/read data",
+            "local/convert data",
+            "local/broadcast Tardis-G",
+            "local/shuffle",
+            "local/build index",
+        }
+        assert expected <= labels
+
+    def test_indivisible_length_supported(self):
+        """Fractional PAA lets any length >= word length index cleanly."""
+        ds = random_walk(300, length=30, seed=3).z_normalized()
+        config = TardisConfig(word_length=8, g_max_size=100, l_max_size=10)
+        index = build_tardis_index(ds, config)
+        index.validate()
+        from repro.core import exact_match
+
+        assert 5 in exact_match(index, ds.values[5]).record_ids
+
+    def test_too_short_series_rejected(self):
+        ds = random_walk(10, length=4)
+        with pytest.raises(ValueError, match="shorter"):
+            build_tardis_index(ds, TardisConfig(word_length=8))
+
+    def test_unclustered_mode(self, rw_small, small_config):
+        index = build_tardis_index(rw_small, small_config, clustered=False)
+        assert not index.clustered
+        some = next(iter(index.partitions.values()))
+        assert all(e[2] is None for e in some.all_entries())
+
+    def test_no_bloom_mode(self, rw_small, small_config):
+        index = build_tardis_index(rw_small, small_config, with_bloom=False)
+        for partition in index.partitions.values():
+            assert partition.bloom.n_items == 0
+
+    def test_spill_mode_charges_extra_io(self, rw_small, small_config):
+        cached = build_tardis_index(rw_small, small_config)
+        spilled = build_tardis_index(
+            rw_small, small_config, persist_in_memory=False
+        )
+        cached_stages = cached.construction_ledger.breakdown()
+        spilled_stages = spilled.construction_ledger.breakdown()
+        assert "local/spill write" not in cached_stages
+        # Spilling charges real extra I/O stages (compare stages, not the
+        # noisy whole-build totals).
+        assert spilled_stages["local/spill write"] > 0
+        assert spilled_stages["local/spill read"] > 0
+
+    def test_deterministic_structure(self, rw_small, small_config):
+        a = build_tardis_index(rw_small, small_config)
+        b = build_tardis_index(rw_small, small_config)
+        assert a.partition_record_counts() == b.partition_record_counts()
+        assert a.global_index_nbytes() == b.global_index_nbytes()
+
+    def test_reuses_supplied_cluster_ledger(self, rw_small, small_config):
+        cluster = SimCluster(n_workers=4)
+        index = build_tardis_index(rw_small, small_config, cluster=cluster)
+        assert index.construction_ledger is cluster.ledger
+
+
+class TestSizeReporting:
+    def test_sizes_positive(self, tardis_small):
+        assert tardis_small.global_index_nbytes() > 0
+        assert tardis_small.local_index_nbytes() > 0
+        assert tardis_small.bloom_nbytes() > 0
+
+    def test_block_nbytes_scales_with_capacity(self, tardis_small):
+        assert tardis_small.block_nbytes() == (
+            tardis_small.config.g_max_size
+            * (tardis_small.series_length * 8 + 16)
+        )
+
+    def test_load_partition_charges_block_granular_io(self, tardis_small):
+        from repro.cluster import SimulationLedger
+
+        ledger = SimulationLedger()
+        pid = next(iter(tardis_small.partitions))
+        tardis_small.load_partition(pid, ledger=ledger)
+        assert ledger.clock_s > 0
+        # At least one nominal block, even for an underfull partition.
+        min_io = tardis_small.block_nbytes() / (1024 * 1024 * 180.0)
+        assert ledger.clock_s >= min_io * 0.99
+
+
+class TestNormalizationGuard:
+    def test_unnormalized_rejected_with_hint(self):
+        raw = random_walk(100, length=32, seed=1)
+        shifted = TimeSeriesDataset(raw.values + 50.0)
+        with pytest.raises(ValueError, match="z_normalized"):
+            build_tardis_index(
+                shifted, TardisConfig(g_max_size=50, l_max_size=10)
+            )
+
+    def test_normalized_accepted(self):
+        raw = random_walk(100, length=32, seed=1)
+        index = build_tardis_index(
+            raw.z_normalized(), TardisConfig(g_max_size=50, l_max_size=10)
+        )
+        assert index.n_records == 100
+
+    def test_baseline_guard_too(self):
+        from repro.baseline import DpisaxConfig, build_dpisax_index
+
+        shifted = TimeSeriesDataset(
+            random_walk(100, length=32, seed=1).values + 50.0
+        )
+        with pytest.raises(ValueError, match="z_normalized"):
+            build_dpisax_index(
+                shifted, DpisaxConfig(g_max_size=50, l_max_size=10)
+            )

@@ -1,0 +1,98 @@
+"""Tests for the LRU partition cache."""
+
+import numpy as np
+import pytest
+
+from repro.core import build_tardis_index, exact_match, knn_target_node_access
+from repro.core.cache import PartitionCache
+
+
+class TestPartitionCacheUnit:
+    def test_miss_then_hit(self):
+        cache = PartitionCache(2)
+        assert not cache.admit(1)
+        assert cache.admit(1)
+        assert cache.hits == 1
+        assert cache.misses == 1
+        assert cache.hit_rate == 0.5
+
+    def test_lru_eviction_order(self):
+        cache = PartitionCache(2)
+        cache.admit(1)
+        cache.admit(2)
+        cache.admit(1)        # refresh 1 -> 2 is now LRU
+        cache.admit(3)        # evicts 2
+        assert cache.resident_ids == [1, 3]
+        assert not cache.admit(2)  # 2 was evicted: miss
+
+    def test_invalidate_and_clear(self):
+        cache = PartitionCache(4)
+        cache.admit(7)
+        cache.invalidate(7)
+        assert not cache.admit(7)  # miss again after invalidation
+        cache.clear()
+        assert cache.resident_ids == []
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            PartitionCache(0)
+
+    def test_empty_hit_rate(self):
+        assert PartitionCache(1).hit_rate == 0.0
+
+
+class TestCacheOnIndex:
+    @pytest.fixture()
+    def cached_index(self, rw_small, small_config):
+        index = build_tardis_index(rw_small, small_config)
+        cache = index.enable_cache(4)
+        return index, cache
+
+    def test_repeat_query_is_free(self, cached_index, rw_small):
+        index, cache = cached_index
+        q = rw_small.values[11]
+        first = knn_target_node_access(index, q, 5)
+        second = knn_target_node_access(index, q, 5)
+        assert second.record_ids == first.record_ids
+        assert second.simulated_seconds < first.simulated_seconds / 2
+        assert cache.hits >= 1
+
+    def test_cached_stage_label(self, cached_index, rw_small):
+        index, _cache = cached_index
+        q = rw_small.values[12]
+        exact_match(index, q)
+        result = exact_match(index, q)
+        assert "query/load partition (cached)" in result.ledger.breakdown()
+
+    def test_insert_invalidates(self, cached_index, rw_small,
+                                heldout_queries):
+        index, cache = cached_index
+        new = heldout_queries[0]
+        # Warm the cache on the partition the new series will land in.
+        knn_target_node_access(index, new, 3)
+        index.insert_series(new)
+        result = exact_match(index, new)
+        # The mutated partition had to be reloaded (not served stale).
+        assert "query/load partition" in result.ledger.breakdown()
+        assert result.found
+
+    def test_disable_cache(self, cached_index, rw_small):
+        index, _cache = cached_index
+        q = rw_small.values[13]
+        exact_match(index, q)
+        index.disable_cache()
+        result = exact_match(index, q)
+        assert "query/load partition (cached)" not in result.ledger.breakdown()
+
+    def test_results_identical_with_and_without_cache(
+        self, rw_small, small_config, heldout_queries
+    ):
+        from repro.core import build_tardis_index
+
+        cold = build_tardis_index(rw_small, small_config)
+        warm = build_tardis_index(rw_small, small_config)
+        warm.enable_cache(8)
+        for q in heldout_queries[:8]:
+            a = knn_target_node_access(cold, q, 10)
+            b = knn_target_node_access(warm, q, 10)
+            assert a.record_ids == b.record_ids

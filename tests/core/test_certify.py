@@ -1,0 +1,93 @@
+"""Tests for query-time answer certification."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    TardisConfig,
+    brute_force_knn,
+    build_tardis_index,
+    certified_prefix,
+    knn_multi_partitions_access,
+    knn_one_partition_access,
+    knn_target_node_access,
+)
+from repro.tsdb import noaa_like
+from repro.tsdb.series import z_normalize
+
+
+def _query(seed: int) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    return z_normalize(np.cumsum(rng.standard_normal(64)))
+
+
+class TestSoundness:
+    """The load-bearing property: a certified prefix IS the true prefix."""
+
+    @pytest.mark.parametrize("strategy", [
+        knn_one_partition_access, knn_multi_partitions_access,
+    ], ids=["opa", "mpa"])
+    def test_certified_prefix_matches_truth(self, tardis_small, rw_small,
+                                            strategy):
+        for seed in range(20):
+            q = _query(seed)
+            result = strategy(tardis_small, q, 10)
+            m = certified_prefix(tardis_small, q, result)
+            assert 0 <= m <= 10
+            if m:
+                truth = brute_force_knn(rw_small, q, m)
+                assert result.record_ids[:m] == [n.record_id for n in truth]
+
+    def test_full_coverage_certifies_everything(self, tardis_small,
+                                                rw_small):
+        q = _query(99)
+        result = knn_multi_partitions_access(
+            tardis_small, q, 10, pth=len(tardis_small.partitions)
+        )
+        if result.partitions_loaded == len(tardis_small.partitions):
+            assert certified_prefix(tardis_small, q, result) == 10
+            truth = brute_force_knn(rw_small, q, 10)
+            assert result.record_ids == [n.record_id for n in truth]
+
+    def test_certification_useful_on_separated_data(self):
+        """On skewed (well-separated) data the bound actually bites."""
+        dataset = noaa_like(4000, seed=3)
+        index = build_tardis_index(
+            dataset, TardisConfig(g_max_size=400, l_max_size=40, pth=5)
+        )
+        rng = np.random.default_rng(4)
+        certified = 0
+        for _ in range(15):
+            base = dataset.values[rng.integers(len(dataset))]
+            q = z_normalize(base + rng.normal(0, 0.1, dataset.length))
+            result = knn_multi_partitions_access(index, q, 10)
+            m = certified_prefix(index, q, result)
+            certified += m
+            if m:
+                truth = brute_force_knn(dataset, q, m)
+                assert result.record_ids[:m] == [n.record_id for n in truth]
+        assert certified > 0, "certification should fire on separated data"
+
+
+class TestGuards:
+    def test_target_node_results_rejected(self, tardis_small):
+        result = knn_target_node_access(tardis_small, _query(1), 5)
+        with pytest.raises(ValueError, match="Target Node Access"):
+            certified_prefix(tardis_small, _query(1), result)
+
+    def test_foreign_result_rejected(self, tardis_small):
+        from repro.core.queries import KnnResult
+
+        with pytest.raises(ValueError, match="foreign"):
+            certified_prefix(tardis_small, _query(2), KnnResult(neighbors=[]))
+
+    def test_strategy_tags_present(self, tardis_small):
+        assert knn_target_node_access(
+            tardis_small, _query(3), 3
+        ).strategy == "target-node"
+        assert knn_one_partition_access(
+            tardis_small, _query(3), 3
+        ).strategy == "one-partition"
+        assert knn_multi_partitions_access(
+            tardis_small, _query(3), 3
+        ).strategy == "multi-partitions"

@@ -1,0 +1,73 @@
+"""Cross-module property tests: random configurations, end to end."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    TardisConfig,
+    build_tardis_index,
+    exact_match,
+    load_index,
+    save_index,
+)
+from repro.core.isaxt import batch_signatures
+from repro.tsdb import random_walk
+
+configs = st.builds(
+    TardisConfig,
+    word_length=st.sampled_from([4, 8]),
+    cardinality_bits=st.integers(2, 7),
+    g_max_size=st.integers(50, 400),
+    l_max_size=st.integers(5, 60),
+    sampling_fraction=st.sampled_from([0.05, 0.1, 0.5, 1.0]),
+    pth=st.integers(1, 6),
+)
+
+
+class TestRandomConfigs:
+    @given(config=configs, seed=st.integers(0, 50))
+    @settings(max_examples=12, deadline=None)
+    def test_build_indexes_everything_and_validates(self, config, seed):
+        dataset = random_walk(600, length=32, seed=seed).z_normalized()
+        index = build_tardis_index(dataset, config)
+        index.validate()
+        assert sum(p.n_records for p in index.partitions.values()) == 600
+
+    @given(config=configs)
+    @settings(max_examples=8, deadline=None)
+    def test_exact_match_recall_any_config(self, config):
+        dataset = random_walk(500, length=32, seed=3).z_normalized()
+        index = build_tardis_index(dataset, config)
+        for row in (0, 250, 499):
+            assert row in exact_match(index, dataset.values[row]).record_ids
+
+    @given(config=configs)
+    @settings(max_examples=6, deadline=None)
+    def test_persistence_roundtrip_any_config(self, config, tmp_path_factory):
+        dataset = random_walk(400, length=32, seed=9).z_normalized()
+        index = build_tardis_index(dataset, config)
+        target = tmp_path_factory.mktemp("cfg") / "idx"
+        save_index(index, target)
+        back = load_index(target)
+        back.validate()
+        assert back.n_records == 400
+        assert 7 in exact_match(back, dataset.values[7]).record_ids
+
+
+class TestRouteTotality:
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=40, deadline=None)
+    def test_any_signature_routes_to_valid_partition(self, tardis_small, seed):
+        """Routing is total: every possible full-cardinality signature maps
+        to an existing partition, sampled or not."""
+        rng = np.random.default_rng(seed)
+        config = tardis_small.config
+        symbols = rng.integers(
+            0, 1 << config.cardinality_bits,
+            size=(1, config.word_length), dtype=np.uint32,
+        )
+        signature = batch_signatures(symbols, config.cardinality_bits)[0]
+        pid = tardis_small.global_index.route(signature)
+        assert pid in tardis_small.partitions

@@ -1,0 +1,151 @@
+"""Tests for Tardis-G: layer statistics, skeleton building, and routing."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import TardisConfig
+from repro.core.global_index import (
+    TardisGlobalIndex,
+    collect_layer_statistics,
+)
+from repro.core.isaxt import encode_symbols, reduce_signature
+
+
+CFG = TardisConfig(word_length=4, cardinality_bits=4, g_max_size=10)
+
+
+def sig4(*symbols) -> str:
+    return encode_symbols(np.array(symbols, dtype=np.uint32), 4)
+
+
+class TestCollectLayerStatistics:
+    def test_stops_at_first_fitting_layer(self):
+        # Two far-apart signatures with tiny counts: layer 1 fits both.
+        counts = {sig4(0, 0, 0, 0): 3, sig4(15, 15, 15, 15): 4}
+        stats = collect_layer_statistics(counts, CFG)
+        assert stats.deepest_layer == 1
+        assert stats.total == 7
+        layer1 = stats.nodes_in_layer(1)
+        assert sum(layer1.values()) == 7
+
+    def test_oversized_nodes_descend(self):
+        # 30 series share a 1-bit prefix (> G-MaxSize 10): layer 2 needed.
+        counts = {
+            sig4(0, 0, 0, 0): 15,
+            sig4(1, 1, 1, 1): 15,  # same 1-bit prefix (all symbols < 8)
+            sig4(15, 15, 15, 15): 5,
+        }
+        stats = collect_layer_statistics(counts, CFG)
+        assert stats.deepest_layer >= 2
+        layer1 = stats.nodes_in_layer(1)
+        shared_prefix = reduce_signature(sig4(0, 0, 0, 0), 1, 4)
+        assert layer1[shared_prefix] == 30
+        # The small node stops at layer 1; only the big one has children.
+        layer2 = stats.nodes_in_layer(2)
+        for node_sig in layer2:
+            assert node_sig.startswith(shared_prefix)
+
+    def test_max_depth_reached_despite_overflow(self):
+        counts = {sig4(3, 3, 3, 3): 100}
+        stats = collect_layer_statistics(counts, CFG)
+        assert stats.deepest_layer == CFG.cardinality_bits
+
+    def test_sampling_scale_applied(self):
+        counts = {sig4(0, 0, 0, 0): 2}  # sampled: 2 series at 10% = ~20 true
+        stats = collect_layer_statistics(counts, CFG, scale=10.0)
+        assert stats.total == 20
+        # 20 > G-MaxSize 10, so the node must descend past layer 1.
+        assert stats.deepest_layer >= 2
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            collect_layer_statistics({}, CFG, scale=0.5)
+
+    def test_wrong_cardinality_rejected(self):
+        with pytest.raises(ValueError, match="initial cardinality"):
+            collect_layer_statistics({"0": 1}, CFG)
+
+    def test_empty_input(self):
+        stats = collect_layer_statistics({}, CFG)
+        assert stats.total == 0
+        assert stats.deepest_layer == 0
+
+
+class TestSkeletonBuilding:
+    def make_index(self, counts) -> TardisGlobalIndex:
+        stats = collect_layer_statistics(counts, CFG)
+        return TardisGlobalIndex.from_statistics(stats, CFG)
+
+    def test_root_count_is_total(self):
+        counts = {sig4(0, 0, 0, 0): 3, sig4(15, 14, 13, 12): 4}
+        index = self.make_index(counts)
+        assert index.tree.root.count == 7
+
+    def test_every_leaf_has_partition(self):
+        rng = np.random.default_rng(0)
+        counts = {
+            sig4(*rng.integers(0, 16, size=4)): int(rng.integers(1, 8))
+            for _ in range(50)
+        }
+        index = self.make_index(counts)
+        assert index.n_partitions >= 1
+        for leaf in index.tree.leaves():
+            assert leaf.partition_id is not None
+
+    def test_internal_counts_cover_children(self):
+        rng = np.random.default_rng(1)
+        counts = {
+            sig4(*rng.integers(0, 16, size=4)): int(rng.integers(1, 20))
+            for _ in range(60)
+        }
+        index = self.make_index(counts)
+        for node in index.tree.internal_nodes():
+            child_total = sum(c.count for c in node.children.values())
+            assert node.count >= child_total > 0
+
+
+class TestRouting:
+    def make_index(self, counts) -> TardisGlobalIndex:
+        stats = collect_layer_statistics(counts, CFG)
+        return TardisGlobalIndex.from_statistics(stats, CFG)
+
+    def test_known_signature_routes_to_its_leaf(self):
+        rng = np.random.default_rng(2)
+        signatures = [sig4(*rng.integers(0, 16, size=4)) for _ in range(40)]
+        counts = {s: 3 for s in signatures}
+        index = self.make_index(counts)
+        for s in signatures:
+            pid = index.route(s)
+            leaf = index.locate(s)
+            assert leaf.is_leaf
+            assert pid == leaf.partition_id
+
+    def test_unseen_signature_falls_back_deterministically(self):
+        counts = {sig4(0, 0, 0, 0): 3}
+        index = self.make_index(counts)
+        unseen = sig4(15, 15, 15, 15)
+        pid1 = index.route(unseen)
+        pid2 = index.route(unseen)
+        assert pid1 == pid2
+        assert 0 <= pid1 < index.n_partitions
+
+    def test_sibling_partition_ids_cover_home(self):
+        rng = np.random.default_rng(3)
+        counts = {
+            sig4(*rng.integers(0, 16, size=4)): int(rng.integers(1, 8))
+            for _ in range(50)
+        }
+        index = self.make_index(counts)
+        probe = next(iter(counts))
+        pid = index.route(probe)
+        siblings = index.sibling_partition_ids(probe)
+        assert pid in siblings
+        assert siblings == sorted(siblings)
+
+    def test_estimated_nbytes_positive_and_monotone(self):
+        small = self.make_index({sig4(0, 0, 0, 0): 3})
+        rng = np.random.default_rng(4)
+        big = self.make_index(
+            {sig4(*rng.integers(0, 16, size=4)): 3 for _ in range(60)}
+        )
+        assert 0 < small.estimated_nbytes() < big.estimated_nbytes()

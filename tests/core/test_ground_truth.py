@@ -1,0 +1,78 @@
+"""Tests for ground-truth computation (brute force and the paper's pruned
+method)."""
+
+import numpy as np
+import pytest
+
+from repro.core.ground_truth import (
+    GroundTruthError,
+    brute_force_knn,
+    pruned_ground_truth,
+)
+from repro.tsdb import TimeSeriesDataset
+
+
+class TestBruteForce:
+    def test_matches_naive_loop(self, rw_small, heldout_queries):
+        q = heldout_queries[0]
+        k = 5
+        result = brute_force_knn(rw_small, q, k)
+        naive = sorted(
+            (float(np.linalg.norm(q - row)), int(rid))
+            for rid, row in rw_small
+        )[:k]
+        assert [n.record_id for n in result] == [rid for _d, rid in naive]
+        assert [n.distance for n in result] == pytest.approx(
+            [d for d, _rid in naive]
+        )
+
+    def test_sorted_ascending(self, rw_small, heldout_queries):
+        result = brute_force_knn(rw_small, heldout_queries[1], 20)
+        dists = [n.distance for n in result]
+        assert dists == sorted(dists)
+
+    def test_self_query_distance_zero(self, rw_small):
+        result = brute_force_knn(rw_small, rw_small.values[3], 1)
+        assert result[0].record_id == 3
+        assert result[0].distance == 0.0
+
+    def test_invalid_k(self, rw_small):
+        with pytest.raises(ValueError):
+            brute_force_knn(rw_small, rw_small.values[0], 0)
+
+    def test_k_equal_to_dataset(self):
+        ds = TimeSeriesDataset(np.random.default_rng(0).normal(size=(5, 8)))
+        result = brute_force_knn(ds, ds.values[0], 5)
+        assert len(result) == 5
+        assert {n.record_id for n in result} == {0, 1, 2, 3, 4}
+
+
+class TestPrunedGroundTruth:
+    def test_equals_brute_force_with_generous_threshold(
+        self, tardis_small, rw_small, heldout_queries
+    ):
+        for q in heldout_queries[:8]:
+            exact = brute_force_knn(rw_small, q, 10)
+            pruned = pruned_ground_truth(tardis_small, q, 10, threshold=20.0)
+            assert [n.record_id for n in pruned] == [n.record_id for n in exact]
+
+    def test_paper_threshold_works_at_small_scale(
+        self, tardis_small, rw_small, heldout_queries
+    ):
+        """The paper's 7.5 threshold certifies the answer on this workload."""
+        q = heldout_queries[0]
+        exact = brute_force_knn(rw_small, q, 5)
+        pruned = pruned_ground_truth(tardis_small, q, 5, threshold=7.5)
+        assert [n.record_id for n in pruned] == [n.record_id for n in exact]
+
+    def test_too_tight_threshold_raises(self, tardis_small, heldout_queries):
+        with pytest.raises(GroundTruthError):
+            pruned_ground_truth(tardis_small, heldout_queries[0], 500,
+                                threshold=0.01)
+
+    def test_unclustered_rejected(self, rw_small, small_config):
+        from repro.core import build_tardis_index
+
+        index = build_tardis_index(rw_small, small_config, clustered=False)
+        with pytest.raises(RuntimeError, match="clustered"):
+            pruned_ground_truth(index, rw_small.values[0], 3)

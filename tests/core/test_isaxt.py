@@ -1,0 +1,161 @@
+"""Tests for iSAX-T signatures, including the paper's worked example and
+the Eq. 2 dropRight-equals-bit-shift property."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.isaxt import (
+    batch_signatures,
+    child_signatures,
+    chars_per_plane,
+    decode_signature,
+    drop_chars,
+    encode_symbols,
+    reduce_signature,
+    signature_bits,
+    signature_of_paa,
+    signature_of_series,
+    validate_word_length,
+)
+from repro.tsdb.sax import reduce_symbol, sax_symbols
+
+words = st.integers(min_value=1, max_value=3).map(lambda k: 4 * k)  # w in {4,8,12}
+
+
+def random_word(w: int, bits: int, seed: int) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, 1 << bits, size=w, dtype=np.uint32)
+
+
+class TestPaperExample:
+    def test_figure4_ce25(self):
+        """SAX(T,4,16) = [1100, 1101, 0110, 0001] -> 'ce25' (Fig. 4a)."""
+        symbols = np.array([0b1100, 0b1101, 0b0110, 0b0001])
+        assert encode_symbols(symbols, 4) == "ce25"
+
+    def test_figure4_reductions(self):
+        """Fig. 4b: each cardinality drop removes w/4 = 1 character."""
+        symbols = np.array([0b1100, 0b1101, 0b0110, 0b0001])
+        full = encode_symbols(symbols, 4)
+        assert reduce_signature(full, 3, 4) == "ce2"
+        assert reduce_signature(full, 2, 4) == "ce"
+        assert reduce_signature(full, 1, 4) == "c"
+
+
+class TestValidation:
+    def test_word_length_multiple_of_four(self):
+        for bad in (0, 3, 5, 7, -4):
+            with pytest.raises(ValueError):
+                validate_word_length(bad)
+        validate_word_length(8)  # no raise
+
+    def test_chars_per_plane(self):
+        assert chars_per_plane(8) == 2
+        assert chars_per_plane(16) == 4
+
+    def test_batch_requires_2d(self):
+        with pytest.raises(ValueError, match="batch"):
+            batch_signatures(np.zeros(8, dtype=np.uint32), 2)
+
+    def test_zero_bits_empty_signature(self):
+        assert batch_signatures(np.zeros((3, 8), dtype=np.uint32), 0) == [""] * 3
+
+
+class TestRoundTrip:
+    @given(
+        words,
+        st.integers(min_value=1, max_value=8),
+        st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=150)
+    def test_encode_decode_roundtrip(self, w, bits, seed):
+        symbols = random_word(w, bits, seed)
+        signature = encode_symbols(symbols, bits)
+        assert len(signature) == bits * w // 4
+        decoded, decoded_bits = decode_signature(signature, w)
+        assert decoded_bits == bits
+        np.testing.assert_array_equal(decoded, symbols)
+
+    def test_decode_rejects_misaligned(self):
+        with pytest.raises(ValueError):
+            decode_signature("abc", 8)  # 8 needs multiples of 2 chars
+
+
+class TestEquationTwo:
+    @given(
+        words,
+        st.integers(min_value=1, max_value=8),
+        st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=150)
+    def test_dropright_equals_symbol_bitshift(self, w, bits, seed):
+        """Eq. 2: string dropRight == per-symbol LSB truncation."""
+        symbols = random_word(w, bits, seed)
+        full = encode_symbols(symbols, bits)
+        for lower in range(0, bits + 1):
+            dropped = reduce_signature(full, lower, w)
+            truncated = np.array(
+                [reduce_symbol(int(s), bits, lower) for s in symbols],
+                dtype=np.uint32,
+            )
+            assert dropped == encode_symbols(truncated, lower)
+
+    def test_reduction_is_prefix(self):
+        symbols = random_word(8, 6, seed=1)
+        full = encode_symbols(symbols, 6)
+        for lower in range(6):
+            assert full.startswith(reduce_signature(full, lower, 8))
+
+    def test_raise_cardinality_rejected(self):
+        sig = encode_symbols(random_word(8, 2, seed=2), 2)
+        with pytest.raises(ValueError):
+            reduce_signature(sig, 3, 8)
+
+
+class TestDropChars:
+    def test_basic(self):
+        assert drop_chars("abcdef", 2) == "abcd"
+        assert drop_chars("abcdef", 0) == "abcdef"
+
+    def test_bounds(self):
+        with pytest.raises(ValueError):
+            drop_chars("ab", 3)
+        with pytest.raises(ValueError):
+            drop_chars("ab", -1)
+
+
+class TestBatchConsistency:
+    def test_batch_matches_single(self):
+        rng = np.random.default_rng(5)
+        batch = rng.integers(0, 64, size=(20, 8), dtype=np.uint32)
+        sigs = batch_signatures(batch, 6)
+        for i in range(20):
+            assert sigs[i] == encode_symbols(batch[i], 6)
+
+    def test_signature_of_series_pipeline(self):
+        values = np.concatenate([np.full(16, -3.0), np.full(16, 3.0)])
+        sig = signature_of_series(values, 4, 1)
+        # Symbols (0,0,1,1) -> single plane 0011 -> hex '3'.
+        assert sig == "3"
+
+    def test_signature_of_paa_matches_sax(self):
+        paa = np.array([-1.0, -0.2, 0.2, 1.0])
+        symbols = sax_symbols(paa, 3)
+        assert signature_of_paa(paa, 3) == encode_symbols(symbols, 3)
+
+
+class TestHelpers:
+    def test_signature_bits(self):
+        assert signature_bits("", 8) == 0
+        assert signature_bits("ab", 8) == 1
+        assert signature_bits("abcd", 8) == 2
+        with pytest.raises(ValueError):
+            signature_bits("abc", 8)
+
+    def test_child_signatures_count_and_prefix(self):
+        children = child_signatures("ff", 8)
+        assert len(children) == 256
+        assert all(c.startswith("ff") and len(c) == 4 for c in children)
+        assert len(set(children)) == 256

@@ -1,0 +1,87 @@
+"""Stateful property test: the index stays correct under any interleaving
+of inserts, deletes, exact-match and kNN queries.
+
+A hypothesis rule-based state machine mutates a live TARDIS index while
+maintaining a naive model (a dict of record id → series); after every
+step the index must agree with the model.
+"""
+
+import numpy as np
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, precondition, rule
+
+from repro.core import TardisConfig, build_tardis_index, exact_match
+from repro.core.exact_search import knn_exact
+from repro.tsdb import random_walk
+from repro.tsdb.series import z_normalize
+
+LENGTH = 32
+SEED_POOL = 512
+
+
+def _series(seed: int) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    return z_normalize(np.cumsum(rng.standard_normal(LENGTH)))
+
+
+class IndexMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        base = random_walk(200, length=LENGTH, seed=77).z_normalized()
+        self.index = build_tardis_index(
+            base, TardisConfig(g_max_size=50, l_max_size=10, pth=3)
+        )
+        self.model: dict[int, np.ndarray] = {
+            int(rid): row.copy() for rid, row in base
+        }
+
+    @rule(seed=st.integers(0, SEED_POOL))
+    def insert(self, seed):
+        series = _series(seed)
+        rid = self.index.insert_series(series)
+        assert rid not in self.model
+        self.model[rid] = series
+
+    @precondition(lambda self: len(self.model) > 1)
+    @rule(pick=st.integers(0, 10_000))
+    def delete_existing(self, pick):
+        rid = sorted(self.model)[pick % len(self.model)]
+        assert self.index.delete_series(self.model[rid], rid)
+        del self.model[rid]
+
+    @rule(seed=st.integers(0, SEED_POOL))
+    def delete_absent_is_noop(self, seed):
+        before = self.index.n_records
+        assert not self.index.delete_series(_series(seed), 999_999)
+        assert self.index.n_records == before
+
+    @precondition(lambda self: self.model)
+    @rule(pick=st.integers(0, 10_000))
+    def exact_match_finds_member(self, pick):
+        rid = sorted(self.model)[pick % len(self.model)]
+        result = exact_match(self.index, self.model[rid])
+        assert rid in result.record_ids
+
+    @precondition(lambda self: len(self.model) >= 3)
+    @rule(seed=st.integers(SEED_POOL + 1, SEED_POOL + 50))
+    def exact_knn_matches_model(self, seed):
+        query = _series(seed)
+        result = knn_exact(self.index, query, 3)
+        expected = sorted(
+            (float(np.linalg.norm(query - row)), rid)
+            for rid, row in self.model.items()
+        )[:3]
+        assert result.record_ids == [rid for _d, rid in expected]
+
+    @invariant()
+    def counts_consistent(self):
+        assert self.index.n_records == len(self.model)
+        total = sum(p.n_records for p in self.index.partitions.values())
+        assert total == len(self.model)
+
+
+TestIndexMachine = IndexMachine.TestCase
+TestIndexMachine.settings = settings(
+    max_examples=15, stateful_step_count=25, deadline=None
+)

@@ -1,0 +1,141 @@
+"""Tests for FFD bin packing and Tardis-G partition assignment."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import TardisConfig
+from repro.core.global_index import TardisGlobalIndex, collect_layer_statistics
+from repro.core.partitioning import assign_partitions, first_fit_decreasing
+
+
+class TestFirstFitDecreasing:
+    def test_single_bin_when_everything_fits(self):
+        bins = first_fit_decreasing([("a", 3), ("b", 4), ("c", 2)], capacity=10)
+        assert len(bins) == 1
+        assert sorted(bins[0]) == ["a", "b", "c"]
+
+    def test_classic_packing(self):
+        items = [("a", 7), ("b", 5), ("c", 3), ("d", 3), ("e", 2)]
+        bins = first_fit_decreasing(items, capacity=10)
+        # FFD: [7,3] [5,3,2] -> 2 bins.
+        assert len(bins) == 2
+        sizes = dict(items)
+        for group in bins:
+            assert sum(sizes[k] for k in group) <= 10
+
+    def test_oversized_item_gets_own_bin(self):
+        bins = first_fit_decreasing([("big", 15), ("s", 2)], capacity=10)
+        assert ["big"] in bins
+        assert len(bins) == 2
+
+    def test_zero_size_items_pack_together(self):
+        bins = first_fit_decreasing([("a", 0), ("b", 0)], capacity=5)
+        assert len(bins) == 1
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            first_fit_decreasing([("a", 1)], capacity=0)
+        with pytest.raises(ValueError):
+            first_fit_decreasing([("a", -1)], capacity=5)
+
+    def test_deterministic_on_ties(self):
+        items = [("b", 5), ("a", 5), ("c", 5)]
+        assert first_fit_decreasing(items, 10) == first_fit_decreasing(items, 10)
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=50), min_size=1, max_size=60),
+        st.integers(min_value=1, max_value=60),
+    )
+    @settings(max_examples=80)
+    def test_packing_invariants(self, sizes, capacity):
+        items = [(f"k{i}", s) for i, s in enumerate(sizes)]
+        bins = first_fit_decreasing(items, capacity)
+        # 1. Every item placed exactly once.
+        placed = [k for group in bins for k in group]
+        assert sorted(placed) == sorted(k for k, _ in items)
+        # 2. No bin over capacity unless it holds a single oversized item.
+        lookup = dict(items)
+        for group in bins:
+            total = sum(lookup[k] for k in group)
+            assert total <= capacity or len(group) == 1
+        # 3. FFD guarantee: within 1.5 OPT + 1; use the weaker-but-checkable
+        #    bound bins <= 2 * ceil(total/capacity) + #oversized.
+        total_size = sum(sizes)
+        oversized = sum(1 for s in sizes if s > capacity)
+        lower_bound = -(-total_size // capacity) if total_size else 1
+        assert len(bins) <= 2 * lower_bound + oversized + 1
+
+
+def build_small_global(counts: dict[str, int], capacity: int) -> TardisGlobalIndex:
+    config = TardisConfig(word_length=4, cardinality_bits=4, g_max_size=capacity)
+    stats = collect_layer_statistics(counts, config)
+    return TardisGlobalIndex.from_statistics(stats, config)
+
+
+class TestAssignPartitions:
+    def test_all_leaves_assigned(self):
+        rng = np.random.default_rng(0)
+        from repro.core.isaxt import encode_symbols
+
+        counts = {}
+        for _ in range(60):
+            sig = encode_symbols(rng.integers(0, 16, size=4, dtype=np.uint32), 4)
+            counts[sig] = counts.get(sig, 0) + rng.integers(1, 30)
+        index = build_small_global(counts, capacity=50)
+        for leaf in index.tree.leaves():
+            assert leaf.partition_id is not None
+
+    def test_id_lists_synchronized_to_ancestors(self):
+        rng = np.random.default_rng(1)
+        from repro.core.isaxt import encode_symbols
+
+        counts = {
+            encode_symbols(rng.integers(0, 16, size=4, dtype=np.uint32), 4): 5
+            for _ in range(40)
+        }
+        index = build_small_global(counts, capacity=20)
+        all_pids = set()
+        for leaf in index.tree.leaves():
+            all_pids.add(leaf.partition_id)
+            node = leaf
+            while node is not None:
+                assert leaf.partition_id in node.partition_ids
+                node = node.parent
+        assert index.tree.root.partition_ids == all_pids
+        assert index.n_partitions == len(all_pids)
+
+    def test_partition_capacity_respected(self):
+        rng = np.random.default_rng(2)
+        from repro.core.isaxt import encode_symbols
+
+        counts = {
+            encode_symbols(rng.integers(0, 16, size=4, dtype=np.uint32), 4): int(c)
+            for c in rng.integers(1, 40, size=50)
+        }
+        capacity = 60
+        index = build_small_global(counts, capacity=capacity)
+        sizes = index.partition_sizes()
+        for pid, size in sizes.items():
+            # Only single-leaf partitions may overflow.
+            leaves_in = [
+                l for l in index.tree.leaves() if l.partition_id == pid
+            ]
+            assert size <= capacity or len(leaves_in) == 1
+
+    def test_siblings_packed_together(self):
+        """Partitions never mix leaves from different parents."""
+        rng = np.random.default_rng(3)
+        from repro.core.isaxt import encode_symbols
+
+        counts = {
+            encode_symbols(rng.integers(0, 16, size=4, dtype=np.uint32), 4): int(c)
+            for c in rng.integers(1, 100, size=80)
+        }
+        index = build_small_global(counts, capacity=100)
+        parent_of_pid: dict[int, str] = {}
+        for leaf in index.tree.leaves():
+            parent_sig = leaf.parent.signature if leaf.parent else "<root>"
+            seen = parent_of_pid.setdefault(leaf.partition_id, parent_sig)
+            assert seen == parent_sig

@@ -1,0 +1,113 @@
+"""Tests for index save/load round-tripping."""
+
+import numpy as np
+import pytest
+
+from repro.core import exact_match, knn_multi_partitions_access
+from repro.core.persistence import load_index, save_index
+
+
+@pytest.fixture(scope="module")
+def reloaded(tardis_small, tmp_path_factory):
+    path = tmp_path_factory.mktemp("index") / "tardis"
+    save_index(tardis_small, path)
+    return load_index(path)
+
+
+class TestRoundTrip:
+    def test_metadata_preserved(self, tardis_small, reloaded):
+        assert reloaded.n_records == tardis_small.n_records
+        assert reloaded.series_length == tardis_small.series_length
+        assert reloaded.dataset_name == tardis_small.dataset_name
+        assert reloaded.clustered == tardis_small.clustered
+        assert reloaded.config == tardis_small.config
+
+    def test_partitions_preserved(self, tardis_small, reloaded):
+        assert set(reloaded.partitions) == set(tardis_small.partitions)
+        for pid in tardis_small.partitions:
+            assert (
+                reloaded.partitions[pid].n_records
+                == tardis_small.partitions[pid].n_records
+            )
+
+    def test_all_entries_preserved(self, tardis_small, reloaded):
+        for pid, original in tardis_small.partitions.items():
+            old = sorted((e[0], e[1]) for e in original.all_entries())
+            new = sorted(
+                (e[0], e[1]) for e in reloaded.partitions[pid].all_entries()
+            )
+            assert old == new
+
+    def test_global_routing_identical(self, tardis_small, reloaded):
+        for leaf in tardis_small.global_index.tree.leaves():
+            # Extend the leaf signature arbitrarily to a full-cardinality
+            # probe within its region.
+            probe = leaf.signature + "0" * (
+                (tardis_small.config.cardinality_bits - leaf.layer)
+                * tardis_small.global_index.tree.per_plane
+            )
+            assert reloaded.global_index.route(probe) == (
+                tardis_small.global_index.route(probe)
+            )
+
+    def test_exact_match_after_reload(self, reloaded, rw_small):
+        for row in (0, 42, 2999):
+            result = exact_match(reloaded, rw_small.values[row])
+            assert row in result.record_ids
+
+    def test_bloom_restored_bit_exactly(self, tardis_small, reloaded):
+        for pid, original in tardis_small.partitions.items():
+            restored = reloaded.partitions[pid]
+            np.testing.assert_array_equal(
+                original.bloom.bits, restored.bloom.bits
+            )
+            assert original.bloom.n_hashes == restored.bloom.n_hashes
+
+    def test_knn_results_match(self, tardis_small, reloaded, heldout_queries):
+        for q in heldout_queries[:5]:
+            a = knn_multi_partitions_access(tardis_small, q, 10)
+            b = knn_multi_partitions_access(reloaded, q, 10)
+            assert a.record_ids == b.record_ids
+
+
+class TestUnclusteredAndErrors:
+    def test_unclustered_roundtrip(self, rw_small, small_config, tmp_path):
+        from repro.core import build_tardis_index
+
+        index = build_tardis_index(rw_small, small_config, clustered=False)
+        save_index(index, tmp_path / "uncl")
+        back = load_index(tmp_path / "uncl")
+        assert not back.clustered
+        assert back.n_records == index.n_records
+        some = next(iter(back.partitions.values()))
+        assert all(e[2] is None for e in some.all_entries())
+
+    def test_version_check(self, tardis_small, tmp_path):
+        import json
+
+        save_index(tardis_small, tmp_path / "idx")
+        meta_path = tmp_path / "idx" / "meta.json"
+        meta = json.loads(meta_path.read_text())
+        meta["format_version"] = 999
+        meta_path.write_text(json.dumps(meta))
+        with pytest.raises(ValueError, match="format version"):
+            load_index(tmp_path / "idx")
+
+    def test_missing_directory(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_index(tmp_path / "nope")
+
+
+class TestCorruption:
+    def test_corrupt_partition_file_raises(self, tardis_small, tmp_path):
+        save_index(tardis_small, tmp_path / "idx")
+        victim = sorted((tmp_path / "idx" / "partitions").glob("p*.npz"))[0]
+        victim.write_bytes(b"not an npz archive")
+        with pytest.raises(Exception):
+            load_index(tmp_path / "idx")
+
+    def test_missing_global_index_raises(self, tardis_small, tmp_path):
+        save_index(tardis_small, tmp_path / "idx")
+        (tmp_path / "idx" / "global_index.json").unlink()
+        with pytest.raises(FileNotFoundError):
+            load_index(tmp_path / "idx")

@@ -1,0 +1,113 @@
+"""Tests for online partition rebalancing."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    TardisConfig,
+    build_tardis_index,
+    exact_match,
+    knn_exact,
+    brute_force_knn,
+)
+from repro.core.rebalance import rebalance_index
+from repro.tsdb import TimeSeriesDataset, random_walk
+
+
+CFG = TardisConfig(g_max_size=200, l_max_size=20, pth=3)
+
+
+def overflowed_index():
+    """An index whose partitions were pushed past capacity by inserts."""
+    base = random_walk(1500, length=64, seed=1).z_normalized()
+    index = build_tardis_index(base, CFG)
+    extra = random_walk(900, length=64, seed=555).z_normalized()
+    for row in extra.values:
+        index.insert_series(row)
+    return index, base, extra
+
+
+class TestRebalance:
+    def test_noop_when_balanced(self, tardis_small):
+        report = tardis_small.rebalance()
+        assert report.partitions_split == 0
+        assert report.partitions_created == 0
+        tardis_small.validate()
+
+    def test_reduces_overflow(self):
+        index, _base, _extra = overflowed_index()
+        threshold = int(CFG.partition_capacity * 1.5)
+        assert any(
+            p.n_records > threshold for p in index.partitions.values()
+        ), "fixture must actually overflow"
+        report = index.rebalance()
+        assert report.partitions_split > 0
+        assert report.partitions_created > 0
+        assert max(p.n_records for p in index.partitions.values()) <= max(
+            threshold,
+            CFG.partition_capacity * 2,  # single unsplittable leaves allowed
+        )
+
+    def test_index_valid_after_rebalance(self):
+        index, _base, _extra = overflowed_index()
+        index.rebalance()
+        index.validate()
+
+    def test_queries_correct_after_rebalance(self):
+        index, base, extra = overflowed_index()
+        index.rebalance()
+        for row in (0, 700, 1499):
+            assert row in exact_match(index, base.values[row]).record_ids
+        assert exact_match(index, extra.values[17]).found
+
+    def test_exact_knn_still_exact(self):
+        index, base, extra = overflowed_index()
+        index.rebalance()
+        combined = TimeSeriesDataset(
+            np.vstack([base.values, extra.values]),
+            record_ids=np.concatenate(
+                [base.record_ids, 1500 + np.arange(len(extra))]
+            ),
+        )
+        rng = np.random.default_rng(2)
+        q = rng.standard_normal(64)
+        q = (q - q.mean()) / q.std()
+        result = knn_exact(index, q, 10)
+        truth = brute_force_knn(combined, q, 10)
+        assert result.distances == pytest.approx([n.distance for n in truth])
+
+    def test_untouched_partitions_keep_identity(self):
+        index, _base, _extra = overflowed_index()
+        threshold = int(CFG.partition_capacity * 1.5)
+        before = {
+            pid: p for pid, p in index.partitions.items()
+            if p.n_records <= threshold
+        }
+        index.rebalance()
+        for pid, partition in before.items():
+            assert index.partitions[pid] is partition
+
+    def test_idempotent_second_pass(self):
+        index, _base, _extra = overflowed_index()
+        index.rebalance()
+        second = index.rebalance()
+        assert second.partitions_split == 0
+
+    def test_invalid_factor(self, tardis_small):
+        with pytest.raises(ValueError):
+            rebalance_index(tardis_small, overflow_factor=0.5)
+
+    def test_global_partition_count_updated(self):
+        index, _base, _extra = overflowed_index()
+        index.rebalance()
+        assert index.global_index.n_partitions == len(index.partitions)
+
+    def test_sibling_id_lists_resynced(self):
+        index, _base, _extra = overflowed_index()
+        index.rebalance()
+        all_pids = {
+            leaf.partition_id
+            for leaf in index.global_index.tree.leaves()
+            if leaf.partition_id is not None
+        }
+        assert index.global_index.tree.root.partition_ids == all_pids

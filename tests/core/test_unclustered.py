@@ -1,0 +1,131 @@
+"""Tests for signature-only (un-clustered) kNN answering."""
+
+import numpy as np
+import pytest
+
+from repro.baseline import build_dpisax_index
+from repro.core import brute_force_knn, build_tardis_index
+from repro.core.queries import knn_target_node_access
+from repro.core.unclustered import (
+    knn_signature_only_baseline,
+    knn_signature_only_tardis,
+)
+from repro.metrics import recall
+
+
+class TestSignatureOnlyTardis:
+    def test_works_without_raw_series(self, rw_small, small_config):
+        index = build_tardis_index(rw_small, small_config, clustered=False)
+        result = knn_signature_only_tardis(index, rw_small.values[0], 10)
+        assert len(result.neighbors) == 10
+
+    def test_distances_are_lower_bounds(self, tardis_small, rw_small,
+                                        heldout_queries):
+        q = heldout_queries[0]
+        result = knn_signature_only_tardis(tardis_small, q, 10)
+        for neighbor in result.neighbors:
+            true = float(np.linalg.norm(q - rw_small.series(neighbor.record_id)))
+            assert neighbor.distance <= true + 1e-7
+
+    def test_sorted_by_bound(self, tardis_small, heldout_queries):
+        result = knn_signature_only_tardis(tardis_small, heldout_queries[1], 10)
+        dists = result.distances
+        assert dists == sorted(dists)
+
+    def test_less_accurate_than_clustered(self, tardis_small, rw_small,
+                                          heldout_queries):
+        """The paper's §II-D degradation: signature-only answering loses
+        accuracy vs the clustered refine step (on average)."""
+        k = 10
+        sig_recalls, clu_recalls = [], []
+        for q in heldout_queries[:15]:
+            truth = [n.record_id for n in brute_force_knn(rw_small, q, k)]
+            sig = knn_signature_only_tardis(tardis_small, q, k)
+            clu = knn_target_node_access(tardis_small, q, k)
+            sig_recalls.append(recall(sig.record_ids, truth))
+            clu_recalls.append(recall(clu.record_ids, truth))
+        assert float(np.mean(sig_recalls)) <= float(np.mean(clu_recalls))
+
+
+class TestSignatureOnlyBaseline:
+    def test_works_unclustered(self, rw_small, small_baseline_config):
+        index = build_dpisax_index(
+            rw_small, small_baseline_config, clustered=False
+        )
+        result = knn_signature_only_baseline(index, rw_small.values[3], 10)
+        assert len(result.record_ids) == 10
+        assert result.distances == sorted(result.distances)
+
+    def test_distances_are_lower_bounds(self, dpisax_small, rw_small,
+                                        heldout_queries):
+        q = heldout_queries[2]
+        result = knn_signature_only_baseline(dpisax_small, q, 10)
+        for rid, bound in zip(result.record_ids, result.distances):
+            true = float(np.linalg.norm(q - rw_small.series(rid)))
+            assert bound <= true + 1e-7
+
+
+class TestMaintenance:
+    @pytest.fixture()
+    def mutable_index(self, rw_small, small_config):
+        return build_tardis_index(rw_small, small_config)
+
+    def test_insert_then_exact_match(self, mutable_index, heldout_queries):
+        from repro.core import exact_match
+
+        new_series = heldout_queries[5]
+        rid = mutable_index.insert_series(new_series)
+        result = exact_match(mutable_index, new_series)
+        assert rid in result.record_ids
+        assert mutable_index.n_records == 3001
+
+    def test_insert_routing_consistent(self, mutable_index, heldout_queries):
+        rid = mutable_index.insert_series(heldout_queries[6])
+        from repro.core.queries import query_signature
+
+        sig, _ = query_signature(mutable_index, heldout_queries[6])
+        pid = mutable_index.global_index.route(sig)
+        entries = mutable_index.partitions[pid].all_entries()
+        assert any(e[1] == rid for e in entries)
+
+    def test_insert_assigns_fresh_ids(self, mutable_index, heldout_queries):
+        a = mutable_index.insert_series(heldout_queries[7])
+        b = mutable_index.insert_series(heldout_queries[8])
+        assert b == a + 1
+        assert a >= 3000  # beyond the original record ids
+
+    def test_insert_wrong_length_rejected(self, mutable_index):
+        with pytest.raises(ValueError, match="length"):
+            mutable_index.insert_series(np.zeros(7))
+
+    def test_insert_then_knn_finds_it(self, mutable_index, heldout_queries):
+        from repro.core import knn_target_node_access
+
+        q = heldout_queries[9]
+        rid = mutable_index.insert_series(q)
+        result = knn_target_node_access(mutable_index, q, 1)
+        assert result.neighbors[0].record_id == rid
+        assert result.neighbors[0].distance == 0.0
+
+    def test_delete_removes_from_results(self, mutable_index, rw_small):
+        from repro.core import exact_match
+
+        target = rw_small.values[10]
+        assert mutable_index.delete_series(target, 10)
+        assert 10 not in exact_match(mutable_index, target).record_ids
+        assert mutable_index.n_records == 2999
+
+    def test_delete_missing_returns_false(self, mutable_index,
+                                          heldout_queries):
+        assert not mutable_index.delete_series(heldout_queries[3], 424242)
+
+    def test_delete_keeps_counts_consistent(self, mutable_index, rw_small):
+        mutable_index.delete_series(rw_small.values[20], 20)
+        for partition in mutable_index.partitions.values():
+            total = sum(len(l.entries) for l in partition.tree.leaves())
+            assert partition.tree.root.count == total
+
+    def test_delete_unclustered_rejected(self, rw_small, small_config):
+        index = build_tardis_index(rw_small, small_config, clustered=False)
+        with pytest.raises(RuntimeError, match="clustered"):
+            index.delete_series(rw_small.values[0], 0)

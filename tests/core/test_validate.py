@@ -1,0 +1,67 @@
+"""Tests for the deep index self-check (TardisIndex.validate)."""
+
+import numpy as np
+import pytest
+
+from repro.core import build_tardis_index, load_index, save_index
+
+
+class TestValidate:
+    def test_fresh_build_valid(self, tardis_small):
+        tardis_small.validate()
+
+    def test_after_maintenance(self, rw_small, small_config,
+                               heldout_queries):
+        index = build_tardis_index(rw_small, small_config)
+        for q in heldout_queries[:5]:
+            index.insert_series(q)
+        index.delete_series(rw_small.values[3], 3)
+        index.validate()
+
+    def test_after_reload(self, tardis_small, tmp_path):
+        save_index(tardis_small, tmp_path / "idx")
+        load_index(tmp_path / "idx").validate()
+
+    def test_unclustered_valid(self, rw_small, small_config):
+        build_tardis_index(rw_small, small_config, clustered=False).validate()
+
+    def test_detects_count_corruption(self, rw_small, small_config):
+        index = build_tardis_index(rw_small, small_config)
+        some = next(iter(index.partitions.values()))
+        some.tree.root.count += 1  # corrupt
+        with pytest.raises(AssertionError, match="root count"):
+            index.validate()
+
+    def test_detects_record_count_drift(self, rw_small, small_config):
+        index = build_tardis_index(rw_small, small_config)
+        index.n_records += 7
+        with pytest.raises(AssertionError, match="record count"):
+            index.validate()
+
+    def test_detects_misplaced_entry(self, rw_small, small_config):
+        index = build_tardis_index(rw_small, small_config)
+        pids = sorted(index.partitions)
+        src, dst = index.partitions[pids[0]], index.partitions[pids[-1]]
+        entry = src.all_entries()[0]
+        # Teleport an entry into the wrong partition (fix the counts so the
+        # misplacement itself is the first violation detected).
+        leaf = src.tree.descend(entry[0])
+        leaf.entries.remove(entry)
+        node = leaf
+        while node is not None:
+            node.count -= 1
+            node = node.parent
+        src.n_records -= 1
+        dst.tree.insert_entry(entry)
+        dst.n_records += 1
+        dst.bloom.add(entry[0])
+        dst.register_region(entry[0])
+        with pytest.raises(AssertionError, match="routes"):
+            index.validate()
+
+    def test_detects_synopsis_gap(self, rw_small, small_config):
+        index = build_tardis_index(rw_small, small_config)
+        some = next(iter(index.partitions.values()))
+        some.region_prefixes.clear()
+        with pytest.raises(AssertionError, match="synopsis"):
+            index.validate()

@@ -1,0 +1,111 @@
+"""Tests for the shared evaluation harness."""
+
+import math
+
+import pytest
+
+from repro.experiments.harness import (
+    KNN_METHOD_ORDER,
+    build_dpisax_with_report,
+    build_tardis_with_report,
+    evaluate_exact_match,
+    evaluate_knn,
+)
+from repro.experiments.scale import active_profile
+from repro.experiments.workloads import (
+    dataset_with_heldout_queries,
+    exact_match_workload,
+)
+
+
+@pytest.fixture(scope="module")
+def small_world():
+    dataset, queries = dataset_with_heldout_queries("Rw", 2000, 10, seed=3)
+    dataset = dataset.z_normalized()
+    tardis, trep = build_tardis_with_report(dataset)
+    dpisax, brep = build_dpisax_with_report(dataset)
+    return dataset, queries, tardis, trep, dpisax, brep
+
+
+class TestConstructionReports:
+    def test_phase_sums_cover_total(self, small_world):
+        _ds, _q, _t, trep, _d, brep = small_world
+        for rep in (trep, brep):
+            assert rep.total_s > 0
+            assert rep.global_s + rep.local_s == pytest.approx(
+                rep.total_s, rel=1e-6
+            )
+
+    def test_sizes_and_partitions(self, small_world):
+        _ds, _q, _t, trep, _d, brep = small_world
+        assert trep.n_partitions >= 1
+        assert brep.n_partitions >= 1
+        assert trep.global_index_nbytes > brep.global_index_nbytes  # Fig. 13a
+
+    def test_system_labels(self, small_world):
+        _ds, _q, _t, trep, _d, brep = small_world
+        assert trep.system == "TARDIS"
+        assert brep.system == "Baseline"
+
+
+class TestExactMatchEvaluation:
+    def test_all_systems_full_recall(self, small_world):
+        dataset, _q, tardis, _tr, dpisax, _br = small_world
+        workload = exact_match_workload(dataset, 20)
+        for index, bloom in ((tardis, True), (tardis, False), (dpisax, True)):
+            rep = evaluate_exact_match(index, workload, use_bloom=bloom)
+            assert rep.recall == 1.0
+            assert rep.n_queries == 20
+            assert rep.avg_time_s > 0
+
+    def test_bloom_reduces_loads(self, small_world):
+        dataset, _q, tardis, _tr, _d, _br = small_world
+        workload = exact_match_workload(dataset, 20)
+        with_bf = evaluate_exact_match(tardis, workload, use_bloom=True)
+        without = evaluate_exact_match(tardis, workload, use_bloom=False)
+        assert with_bf.partition_loads < without.partition_loads
+        assert with_bf.avg_time_s < without.avg_time_s
+        assert with_bf.system == "Tardis-BF"
+        assert without.system == "Tardis-NoBF"
+
+
+class TestKnnEvaluation:
+    def test_reports_for_all_methods(self, small_world):
+        dataset, queries, tardis, _tr, dpisax, _br = small_world
+        reports = evaluate_knn(
+            dataset, queries[:5], 5, tardis=tardis, dpisax=dpisax
+        )
+        assert [r.method for r in reports] == list(KNN_METHOD_ORDER)
+        for report in reports:
+            assert 0.0 <= report.recall <= 1.0
+            assert report.error_ratio >= 1.0 or math.isnan(report.error_ratio)
+            assert report.avg_time_s > 0
+            assert report.n_queries == 5
+
+    def test_method_requires_matching_index(self, small_world):
+        dataset, queries, tardis, _tr, _d, _br = small_world
+        with pytest.raises(ValueError, match="DPiSAX"):
+            evaluate_knn(dataset, queries[:1], 3, tardis=tardis,
+                         methods=("baseline",))
+        with pytest.raises(ValueError, match="TARDIS"):
+            evaluate_knn(dataset, queries[:1], 3, methods=("target-node",))
+
+
+class TestScaleProfile:
+    def test_default_is_quick(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SCALE", raising=False)
+        assert active_profile().name == "quick"
+
+    def test_full_selectable(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "full")
+        assert active_profile().name == "full"
+
+    def test_unknown_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "galactic")
+        with pytest.raises(ValueError):
+            active_profile()
+
+    def test_configs_constructible(self):
+        profile = active_profile()
+        assert profile.tardis_config().word_length == 8
+        assert profile.dpisax_config().cardinality_bits == 9

@@ -1,0 +1,45 @@
+"""Tests for benchmark table rendering."""
+
+import pytest
+
+from repro.experiments.reporting import banner, fmt_bytes, fmt_seconds, render_table
+
+
+class TestFormatting:
+    def test_fmt_seconds_scales(self):
+        assert fmt_seconds(0.0012) == "1.20 ms"
+        assert fmt_seconds(2.5) == "2.50 s"
+        assert fmt_seconds(120) == "2.0 min"
+        assert fmt_seconds(float("nan")) == "n/a"
+
+    def test_fmt_bytes_scales(self):
+        assert fmt_bytes(12) == "12 B"
+        assert fmt_bytes(2048) == "2.0 KB"
+        assert fmt_bytes(3 * 1024 * 1024) == "3.0 MB"
+        assert fmt_bytes(5 * 1024**3) == "5.0 GB"
+
+
+class TestRenderTable:
+    def test_alignment_and_content(self):
+        out = render_table(
+            ["name", "value"],
+            [["alpha", 1], ["b", 22]],
+            title="Demo",
+        )
+        lines = out.splitlines()
+        assert lines[0] == "Demo"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert set(lines[2]) <= {"-", " "}
+        assert lines[3].startswith("alpha")
+        # Columns align: 'value' column starts at the same offset everywhere.
+        offset = lines[1].index("value")
+        assert lines[3][offset - 2 : offset] == "  "
+
+    def test_row_width_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            render_table(["a"], [["x", "y"]])
+
+    def test_banner_contains_text(self):
+        out = banner("Figure 10")
+        assert "Figure 10" in out
+        assert out.count("=") >= 120

@@ -1,0 +1,67 @@
+"""Tests for the concurrent-workload queueing simulator."""
+
+import numpy as np
+import pytest
+
+from repro.core import knn_multi_partitions_access, knn_target_node_access
+from repro.experiments.throughput import STRATEGY_TASKS, simulate_workload
+
+
+class TestSimulateWorkload:
+    def test_basic_fields(self, tardis_small, heldout_queries):
+        result = simulate_workload(
+            tardis_small, heldout_queries[:10], knn_target_node_access,
+            "target-node", k=5,
+        )
+        assert result.n_queries == 10
+        assert result.makespan_s > 0
+        assert result.throughput_qps == pytest.approx(10 / result.makespan_s)
+        assert result.mean_latency_s <= result.makespan_s
+        assert result.p95_latency_s <= result.makespan_s + 1e-12
+
+    def test_more_workers_never_slower(self, tardis_small, heldout_queries):
+        queries = heldout_queries[:12]
+        few = simulate_workload(
+            tardis_small, queries, knn_multi_partitions_access,
+            "mpa", k=5, n_workers=2,
+        )
+        many = simulate_workload(
+            tardis_small, queries, knn_multi_partitions_access,
+            "mpa", k=5, n_workers=16,
+        )
+        assert many.makespan_s <= few.makespan_s + 1e-9
+
+    def test_mpa_costs_more_total_work(self, tardis_small, heldout_queries):
+        """MPA does strictly more *work* per query; its makespan may still
+        beat TNA's because that work spreads over more workers — so the
+        assertion is on total simulated work, not the schedule length."""
+        queries = heldout_queries[:10]
+        tna_work = sum(
+            knn_target_node_access(tardis_small, q, 5).simulated_seconds
+            for q in queries
+        )
+        mpa_work = sum(
+            knn_multi_partitions_access(tardis_small, q, 5).simulated_seconds
+            for q in queries
+        )
+        assert mpa_work > tna_work
+
+    def test_empty_workload_rejected(self, tardis_small):
+        with pytest.raises(ValueError, match="empty"):
+            simulate_workload(
+                tardis_small, np.zeros((0, 64)), knn_target_node_access,
+                "tna",
+            )
+
+    def test_single_query_latency_equals_makespan(self, tardis_small,
+                                                  heldout_queries):
+        result = simulate_workload(
+            tardis_small, heldout_queries[:1], knn_target_node_access,
+            "tna", k=5,
+        )
+        assert result.mean_latency_s == pytest.approx(result.makespan_s)
+
+    def test_registry_names(self):
+        assert set(STRATEGY_TASKS()) == {
+            "target-node", "one-partition", "multi-partitions",
+        }

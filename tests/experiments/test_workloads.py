@@ -1,0 +1,77 @@
+"""Tests for query-workload generation."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.workloads import (
+    dataset_with_heldout_queries,
+    exact_match_workload,
+)
+from repro.tsdb import random_walk
+
+
+class TestExactMatchWorkload:
+    def test_present_absent_split(self):
+        ds = random_walk(500, length=64).z_normalized()
+        queries = exact_match_workload(ds, 40, absent_fraction=0.5)
+        present = [q for q in queries if q.present]
+        absent = [q for q in queries if not q.present]
+        assert len(present) == 20
+        assert len(absent) == 20
+
+    def test_present_queries_are_dataset_rows(self):
+        ds = random_walk(200, length=64).z_normalized()
+        queries = exact_match_workload(ds, 20)
+        for q in queries:
+            if q.present:
+                np.testing.assert_array_equal(q.values, ds.series(q.record_id))
+
+    def test_absent_queries_not_in_dataset(self):
+        ds = random_walk(200, length=64).z_normalized()
+        queries = exact_match_workload(ds, 30)
+        for q in queries:
+            if not q.present:
+                assert not any(
+                    np.array_equal(q.values, row) for row in ds.values
+                )
+                assert q.record_id is None
+
+    def test_full_absent_fraction(self):
+        ds = random_walk(100, length=64).z_normalized()
+        queries = exact_match_workload(ds, 10, absent_fraction=1.0)
+        assert all(not q.present for q in queries)
+
+    def test_invalid_fraction(self):
+        ds = random_walk(10, length=64)
+        with pytest.raises(ValueError):
+            exact_match_workload(ds, 5, absent_fraction=1.5)
+
+    def test_deterministic(self):
+        ds = random_walk(100, length=64).z_normalized()
+        a = exact_match_workload(ds, 10, seed=5)
+        b = exact_match_workload(ds, 10, seed=5)
+        for qa, qb in zip(a, b):
+            np.testing.assert_array_equal(qa.values, qb.values)
+            assert qa.present == qb.present
+
+
+class TestHeldoutQueries:
+    def test_sizes(self):
+        ds, queries = dataset_with_heldout_queries("Rw", 300, 25)
+        assert len(ds) == 300
+        assert queries.shape[0] == 25
+        assert queries.shape[1] == ds.length
+
+    def test_queries_not_in_dataset(self):
+        ds, queries = dataset_with_heldout_queries("Na", 200, 10)
+        for q in queries:
+            assert not any(np.array_equal(q, row) for row in ds.values)
+
+    def test_unknown_key(self):
+        with pytest.raises(KeyError):
+            dataset_with_heldout_queries("Nope", 10, 2)
+
+    def test_custom_seed_changes_data(self):
+        a, _ = dataset_with_heldout_queries("Rw", 50, 2, seed=1)
+        b, _ = dataset_with_heldout_queries("Rw", 50, 2, seed=2)
+        assert not np.array_equal(a.values, b.values)

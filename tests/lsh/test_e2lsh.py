@@ -1,0 +1,163 @@
+"""Tests for the E2LSH comparator."""
+
+import numpy as np
+import pytest
+
+from repro.core import brute_force_knn
+from repro.lsh import LshConfig, build_lsh_index
+from repro.tsdb import random_walk
+from repro.tsdb.series import z_normalize
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return random_walk(4000, length=64, seed=5).z_normalized()
+
+
+@pytest.fixture(scope="module")
+def lsh(dataset):
+    # Width tuned for length-64 series (typical distances ~ sqrt(128)).
+    return build_lsh_index(dataset, LshConfig(bucket_width=12.0))
+
+
+def _probe(seed: int, dataset) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    base = dataset.values[rng.integers(len(dataset))]
+    return z_normalize(base + rng.normal(0, 0.2, dataset.length))
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LshConfig(n_tables=0)
+        with pytest.raises(ValueError):
+            LshConfig(hashes_per_table=0)
+        with pytest.raises(ValueError):
+            LshConfig(bucket_width=0.0)
+
+
+class TestHashing:
+    def test_same_vector_same_buckets(self, lsh, dataset):
+        a = lsh._bucket_keys(dataset.values[0])
+        b = lsh._bucket_keys(dataset.values[0])
+        np.testing.assert_array_equal(a, b)
+
+    def test_deterministic_given_seed(self, dataset):
+        a = build_lsh_index(dataset, LshConfig(seed=3, bucket_width=12.0))
+        b = build_lsh_index(dataset, LshConfig(seed=3, bucket_width=12.0))
+        q = _probe(0, dataset)
+        assert a.knn(q, 5).record_ids == b.knn(q, 5).record_ids
+
+    def test_every_record_in_every_table(self, lsh, dataset):
+        for table in lsh._tables:
+            total = sum(len(postings) for postings in table.values())
+            assert total == len(dataset)
+
+
+class TestKnn:
+    def test_self_query_found(self, lsh, dataset):
+        result = lsh.knn(dataset.values[7], 1)
+        assert result.record_ids == [7]
+        assert result.distances[0] == 0.0
+
+    def test_sorted_and_true_distances(self, lsh, dataset):
+        q = _probe(1, dataset)
+        result = lsh.knn(q, 10)
+        assert result.distances == sorted(result.distances)
+        for rid, dist in zip(result.record_ids, result.distances):
+            true = float(np.linalg.norm(q - dataset.series(rid)))
+            assert dist == pytest.approx(true)
+
+    def test_reasonable_recall_on_perturbed_members(self, lsh, dataset):
+        recalls = []
+        for seed in range(12):
+            q = _probe(seed + 10, dataset)
+            result = lsh.knn(q, 10)
+            truth = {n.record_id for n in brute_force_knn(dataset, q, 10)}
+            recalls.append(len(set(result.record_ids) & truth) / 10)
+        assert float(np.mean(recalls)) > 0.4
+
+    def test_candidate_accounting_and_cost(self, lsh, dataset):
+        result = lsh.knn(_probe(2, dataset), 5)
+        assert result.tables_probed == lsh.config.n_tables
+        assert result.candidates_examined >= len(result.record_ids)
+        if result.candidates_examined:
+            assert result.simulated_seconds > 0
+            assert "query/random candidate reads" in result.ledger.breakdown()
+
+    def test_far_query_may_return_short(self, lsh, dataset):
+        # A vector far outside the data distribution can miss every bucket.
+        q = np.full(dataset.length, 50.0)
+        result = lsh.knn(q, 5)
+        assert len(result.record_ids) <= 5  # possibly zero; must not raise
+
+    def test_invalid_k(self, lsh, dataset):
+        with pytest.raises(ValueError):
+            lsh.knn(dataset.values[0], 0)
+
+
+class TestReporting:
+    def test_nbytes_positive(self, lsh):
+        assert lsh.nbytes() > 0
+
+    def test_bucket_stats(self, lsh, dataset):
+        n_buckets, mean_postings = lsh.bucket_stats()
+        assert n_buckets > 0
+        assert mean_postings >= 1.0
+
+    def test_more_tables_higher_recall(self, dataset):
+        few = build_lsh_index(dataset, LshConfig(n_tables=2, bucket_width=12.0))
+        many = build_lsh_index(dataset, LshConfig(n_tables=12, bucket_width=12.0))
+        few_r, many_r = [], []
+        for seed in range(10):
+            q = _probe(seed + 30, dataset)
+            truth = {n.record_id for n in brute_force_knn(dataset, q, 10)}
+            few_r.append(len(set(few.knn(q, 10).record_ids) & truth) / 10)
+            many_r.append(len(set(many.knn(q, 10).record_ids) & truth) / 10)
+        assert float(np.mean(many_r)) >= float(np.mean(few_r))
+
+
+class TestMultiProbe:
+    def test_probes_increase_recall(self, dataset):
+        base = build_lsh_index(
+            dataset, LshConfig(n_tables=4, bucket_width=12.0)
+        )
+        probed = build_lsh_index(
+            dataset,
+            LshConfig(n_tables=4, bucket_width=12.0, probes_per_table=4),
+        )
+        base_r, probed_r = [], []
+        for seed in range(12):
+            q = _probe(seed + 50, dataset)
+            truth = {n.record_id for n in brute_force_knn(dataset, q, 10)}
+            base_r.append(len(set(base.knn(q, 10).record_ids) & truth) / 10)
+            probed_r.append(
+                len(set(probed.knn(q, 10).record_ids) & truth) / 10
+            )
+        assert float(np.mean(probed_r)) > float(np.mean(base_r))
+
+    def test_probe_count_accounting(self, dataset):
+        lsh = build_lsh_index(
+            dataset,
+            LshConfig(n_tables=3, bucket_width=12.0, probes_per_table=2),
+        )
+        result = lsh.knn(dataset.values[0], 5)
+        assert result.tables_probed == 3 * (1 + 2)
+
+    def test_probe_sequence_perturbs_one_coordinate(self, lsh, dataset):
+        keys, fractions = lsh._keys_and_fractions(dataset.values[0])
+        lsh_probed = build_lsh_index(
+            dataset,
+            LshConfig(bucket_width=12.0, probes_per_table=3),
+        )
+        k2, f2 = lsh_probed._keys_and_fractions(dataset.values[0])
+        probes = lsh_probed._probe_sequence(k2[0, 0], f2[0, 0])
+        assert len(probes) == 4
+        base = np.array(probes[0])
+        for extra in probes[1:]:
+            diff = np.abs(np.array(extra) - base)
+            assert diff.sum() == 1  # exactly one coordinate moved by 1
+
+    def test_negative_probes_rejected(self):
+        with pytest.raises(ValueError):
+            LshConfig(probes_per_table=-1)

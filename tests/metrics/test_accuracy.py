@@ -1,0 +1,73 @@
+"""Tests for recall (Eq. 5) and error ratio (Eq. 6)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics.accuracy import error_ratio, mean, recall
+
+
+class TestRecall:
+    def test_perfect(self):
+        assert recall([1, 2, 3], [1, 2, 3]) == 1.0
+
+    def test_none(self):
+        assert recall([4, 5, 6], [1, 2, 3]) == 0.0
+
+    def test_partial(self):
+        assert recall([1, 9, 3], [1, 2, 3]) == pytest.approx(2 / 3)
+
+    def test_order_irrelevant(self):
+        assert recall([3, 1, 2], [1, 2, 3]) == 1.0
+
+    def test_duplicates_counted_once(self):
+        assert recall([1, 1, 1], [1, 2]) == 0.5
+
+    def test_empty_truth_raises(self):
+        with pytest.raises(ValueError):
+            recall([1], [])
+
+    @given(st.lists(st.integers(0, 20), min_size=1, max_size=15, unique=True))
+    @settings(max_examples=40)
+    def test_bounded(self, truth):
+        assert 0.0 <= recall(truth[: len(truth) // 2], truth) <= 1.0
+
+
+class TestErrorRatio:
+    def test_ideal_is_one(self):
+        assert error_ratio([1.0, 2.0], [1.0, 2.0]) == 1.0
+
+    def test_known_value(self):
+        assert error_ratio([2.0, 4.0], [1.0, 2.0]) == 2.0
+
+    def test_mixed(self):
+        assert error_ratio([1.0, 3.0], [1.0, 2.0]) == pytest.approx(1.25)
+
+    def test_zero_truth_zero_result(self):
+        assert error_ratio([0.0, 2.0], [0.0, 2.0]) == 1.0
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError, match="pad or truncate"):
+            error_ratio([1.0], [1.0, 2.0])
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            error_ratio([], [])
+
+    @given(
+        st.lists(st.floats(0.1, 100, allow_nan=False), min_size=1, max_size=20)
+    )
+    @settings(max_examples=60)
+    def test_at_least_one_when_result_dominates(self, truth):
+        """Result distances >= truth distances => ratio >= 1."""
+        result = [d * 1.5 for d in truth]
+        assert error_ratio(result, truth) >= 1.0
+
+
+class TestMean:
+    def test_basic(self):
+        assert mean([1.0, 2.0, 3.0]) == 2.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            mean([])

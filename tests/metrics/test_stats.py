@@ -1,0 +1,90 @@
+"""Tests for distribution statistics (Fig. 9 skew, Fig. 17c MSE)."""
+
+import numpy as np
+import pytest
+
+from repro.metrics.stats import (
+    gini_coefficient,
+    partition_size_mse,
+    signature_distribution,
+)
+from repro.tsdb import noaa_like, random_walk
+
+
+class TestGini:
+    def test_uniform_is_zero(self):
+        assert gini_coefficient([5, 5, 5, 5]) == pytest.approx(0.0, abs=1e-9)
+
+    def test_concentrated_is_high(self):
+        assert gini_coefficient([0, 0, 0, 100]) == pytest.approx(0.75)
+
+    def test_bounded(self):
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            counts = rng.integers(0, 50, size=rng.integers(1, 30))
+            g = gini_coefficient(counts)
+            assert -1e-9 <= g < 1.0
+
+    def test_scale_invariant(self):
+        counts = [1, 4, 9, 20]
+        assert gini_coefficient(counts) == pytest.approx(
+            gini_coefficient([10 * c for c in counts])
+        )
+
+    def test_all_zero_is_zero(self):
+        assert gini_coefficient([0, 0]) == 0.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            gini_coefficient([])
+
+
+class TestSignatureDistribution:
+    def test_fields_consistent(self):
+        ds = random_walk(500, length=64)
+        dist = signature_distribution(ds, bits=2)
+        assert dist.n_series == 500
+        assert 1 <= dist.n_distinct <= 500
+        assert 0 < dist.top1pct_coverage <= dist.top10pct_coverage <= 1.0
+        assert dist.max_frequency >= 1
+        assert dist.dataset_name == ds.name
+
+    def test_skewed_dataset_higher_gini(self):
+        smooth = signature_distribution(random_walk(800, length=64), bits=2)
+        skewed = signature_distribution(noaa_like(800), bits=2)
+        assert skewed.gini > smooth.gini
+
+    def test_bits_parameter_changes_granularity(self):
+        ds = random_walk(500, length=64)
+        coarse = signature_distribution(ds, bits=1)
+        fine = signature_distribution(ds, bits=4)
+        assert coarse.n_distinct <= fine.n_distinct
+
+
+class TestPartitionSizeMse:
+    def test_identical_distributions_zero(self):
+        sizes = [100, 200, 300, 150]
+        assert partition_size_mse(sizes, sizes, bucket=50) == 0.0
+
+    def test_same_histogram_different_counts_zero(self):
+        # Doubling every partition keeps the probability distribution.
+        a = [100, 100, 200]
+        b = [100, 100, 100, 100, 200, 200]
+        assert partition_size_mse(a, b, bucket=50) == pytest.approx(0.0)
+
+    def test_different_distributions_positive(self):
+        assert partition_size_mse([100, 100], [500, 500], bucket=50) > 0
+
+    def test_closer_estimate_smaller_mse(self):
+        reference = [100, 120, 140, 400, 420]
+        close = [105, 125, 135, 395, 425]
+        far = [10, 20, 30, 40, 50]
+        assert partition_size_mse(close, reference, bucket=30) < (
+            partition_size_mse(far, reference, bucket=30)
+        )
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            partition_size_mse([1], [1], bucket=0)
+        with pytest.raises(ValueError):
+            partition_size_mse([], [1], bucket=5)

@@ -1,0 +1,42 @@
+"""Tests for the index-structure analysis metrics."""
+
+import pytest
+
+from repro.metrics.structure import analyze_dpisax_locals, analyze_tardis_locals
+
+
+class TestStructureReports:
+    def test_tardis_report_consistency(self, tardis_small):
+        report = analyze_tardis_locals(tardis_small)
+        assert report.system == "TARDIS"
+        assert report.n_trees == len(tardis_small.partitions)
+        assert report.n_nodes == report.n_internal + report.n_leaves
+        assert report.avg_leaf_size > 0
+        assert 0 < report.avg_leaf_depth <= report.max_leaf_depth
+        assert 0 <= report.internal_fraction < 1
+
+    def test_dpisax_report_consistency(self, dpisax_small):
+        report = analyze_dpisax_locals(dpisax_small)
+        assert report.system == "Baseline"
+        assert report.n_trees == len(dpisax_small.partitions)
+        assert report.n_nodes == report.n_internal + report.n_leaves
+        assert report.avg_leaf_size > 0
+
+    def test_paper_compactness_claims(self, tardis_small, dpisax_small):
+        """§III-B: fewer internal nodes; §VI-C.2: finer-grained leaves."""
+        t = analyze_tardis_locals(tardis_small)
+        b = analyze_dpisax_locals(dpisax_small)
+        assert t.n_internal < b.n_internal
+        assert t.avg_leaf_size < b.avg_leaf_size
+        assert t.max_leaf_depth <= b.max_leaf_depth
+
+    def test_total_entries_match_records(self, tardis_small, rw_small):
+        report = analyze_tardis_locals(tardis_small)
+        # avg_leaf_size * non-empty leaves == total records.
+        non_empty = sum(
+            1
+            for p in tardis_small.partitions.values()
+            for leaf in p.tree.leaves()
+            if leaf.entries
+        )
+        assert report.avg_leaf_size * non_empty == pytest.approx(len(rw_small))

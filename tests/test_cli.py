@@ -1,0 +1,155 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture(scope="module")
+def workspace(tmp_path_factory):
+    """A generated dataset and a built index, shared across CLI tests."""
+    root = tmp_path_factory.mktemp("cli")
+    data = root / "rw.npz"
+    index = root / "idx"
+    assert main(["generate", "--dataset", "Rw", "--count", "2000",
+                 "--seed", "1", "--out", str(data)]) == 0
+    assert main(["build", "--data", str(data), "--out", str(index),
+                 "--partition-capacity", "300", "--leaf-capacity", "30"]) == 0
+    return root, data, index
+
+
+class TestGenerate:
+    def test_writes_loadable_npz(self, workspace):
+        _root, data, _index = workspace
+        payload = np.load(data, allow_pickle=False)
+        assert payload["values"].shape == (2000, 256)
+
+    def test_all_dataset_keys(self, tmp_path):
+        for key in ("Rw", "Tx", "Dn", "Na"):
+            out = tmp_path / f"{key}.npz"
+            assert main(["generate", "--dataset", key, "--count", "50",
+                         "--out", str(out)]) == 0
+            assert out.exists()
+
+    def test_unknown_dataset_rejected(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["generate", "--dataset", "Zz", "--count", "10",
+                  "--out", str(tmp_path / "x.npz")])
+
+
+class TestInfo:
+    def test_prints_summary(self, workspace, capsys):
+        _root, _data, index = workspace
+        assert main(["info", "--index", str(index)]) == 0
+        out = capsys.readouterr().out
+        assert "partitions" in out
+        assert "2,000" in out
+
+
+class TestExact:
+    def test_present_row_found(self, workspace, capsys):
+        _root, data, index = workspace
+        code = main(["exact", "--index", str(index), "--data", str(data),
+                     "--row", "7"])
+        assert code == 0
+        assert "found record ids: [7]" in capsys.readouterr().out
+
+    def test_absent_query_exit_code(self, workspace, tmp_path, capsys):
+        _root, _data, index = workspace
+        rng = np.random.default_rng(0)
+        q = rng.standard_normal(256)
+        q = (q - q.mean()) / q.std()
+        query_file = tmp_path / "q.npy"
+        np.save(query_file, q)
+        code = main(["exact", "--index", str(index), "--query",
+                     str(query_file)])
+        assert code == 1
+        assert "not found" in capsys.readouterr().out
+
+    def test_no_bloom_flag(self, workspace, capsys):
+        _root, data, index = workspace
+        code = main(["exact", "--index", str(index), "--data", str(data),
+                     "--row", "3", "--no-bloom"])
+        assert code == 0
+
+    def test_missing_query_spec(self, workspace):
+        _root, _data, index = workspace
+        with pytest.raises(SystemExit):
+            main(["exact", "--index", str(index)])
+
+
+class TestKnn:
+    @pytest.mark.parametrize(
+        "strategy", ["target-node", "one-partition", "multi-partitions"]
+    )
+    def test_strategies_return_k(self, workspace, capsys, strategy):
+        _root, data, index = workspace
+        code = main(["knn", "--index", str(index), "--data", str(data),
+                     "--row", "11", "--k", "5", "--strategy", strategy])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert out.count("record ") == 5
+        assert "distance 0.0000" in out  # the query itself is in the data
+
+
+class TestKnnExactAndRange:
+    def test_exact_strategy(self, workspace, capsys):
+        _root, data, index = workspace
+        code = main(["knn", "--index", str(index), "--data", str(data),
+                     "--row", "2", "--k", "3", "--strategy", "exact"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert out.count("record ") == 3
+        assert "distance 0.0000" in out
+
+    def test_range_command(self, workspace, capsys):
+        _root, data, index = workspace
+        code = main(["range", "--index", str(index), "--data", str(data),
+                     "--row", "2", "--radius", "0.01"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "1 series within radius" in out
+
+    def test_range_limit_truncates(self, workspace, capsys):
+        _root, data, index = workspace
+        code = main(["range", "--index", str(index), "--data", str(data),
+                     "--row", "2", "--radius", "50", "--limit", "3"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "more" in out
+
+
+class TestMultiFormatBuild:
+    def test_build_from_csv(self, tmp_path, capsys):
+        from repro.tsdb import random_walk
+        from repro.tsdb.io import write_csv_dataset
+
+        data = tmp_path / "d.csv"
+        write_csv_dataset(
+            random_walk(300, length=32, seed=7).z_normalized(),
+            data, include_record_ids=False,
+        )
+        assert main(["build", "--data", str(data), "--out",
+                     str(tmp_path / "idx"), "--partition-capacity", "100",
+                     "--leaf-capacity", "10"]) == 0
+        assert "300 series" in capsys.readouterr().out
+
+    def test_build_from_ucr(self, tmp_path, capsys):
+        lines = []
+        rng = np.random.default_rng(1)
+        for i in range(200):
+            values = ",".join(f"{v:.5f}" for v in rng.standard_normal(32))
+            lines.append(f"{i % 2},{values}")
+        data = tmp_path / "Synth_TRAIN.txt"
+        data.write_text("\n".join(lines))
+        assert main(["build", "--data", str(data), "--out",
+                     str(tmp_path / "idx"), "--partition-capacity", "100",
+                     "--leaf-capacity", "10"]) == 0
+        assert "200 series" in capsys.readouterr().out
+
+    def test_unknown_format_rejected(self, tmp_path):
+        bad = tmp_path / "d.parquet"
+        bad.write_text("x")
+        with pytest.raises(SystemExit, match="unsupported"):
+            main(["build", "--data", str(bad), "--out", str(tmp_path / "i")])

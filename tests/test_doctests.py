@@ -1,0 +1,24 @@
+"""Run the usage examples embedded in docstrings as doctests."""
+
+import doctest
+
+import pytest
+
+import repro.core.isaxt
+import repro.tsdb.paa
+import repro.tsdb.series
+import repro.tsdb.windows
+
+MODULES = [
+    repro.tsdb.series,
+    repro.tsdb.paa,
+    repro.tsdb.windows,
+    repro.core.isaxt,
+]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_module_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.attempted > 0, f"{module.__name__} lost its doctests"
+    assert results.failed == 0

@@ -1,0 +1,127 @@
+"""Cross-system integration tests: TARDIS and the baseline side by side on
+one dataset, checking the paper's qualitative claims end to end."""
+
+import numpy as np
+import pytest
+
+from repro.baseline import exact_match_baseline, knn_baseline
+from repro.core import (
+    brute_force_knn,
+    exact_match,
+    knn_multi_partitions_access,
+    knn_one_partition_access,
+    knn_target_node_access,
+)
+from repro.metrics import error_ratio, recall
+from repro.tsdb import noaa_like
+
+
+class TestExactMatchParity:
+    """Both systems must agree exactly on membership questions."""
+
+    def test_agreement_on_present_queries(self, tardis_small, dpisax_small,
+                                          rw_small):
+        rng = np.random.default_rng(0)
+        for row in rng.choice(len(rw_small), size=25, replace=False):
+            q = rw_small.values[row]
+            t = exact_match(tardis_small, q)
+            b = exact_match_baseline(dpisax_small, q)
+            assert sorted(t.record_ids) == sorted(b.record_ids)
+            assert row in t.record_ids
+
+    def test_agreement_on_absent_queries(self, tardis_small, dpisax_small,
+                                         rw_small):
+        rng = np.random.default_rng(1)
+        from repro.tsdb.series import z_normalize
+
+        for i in range(15):
+            ghost = z_normalize(rw_small.values[i] + rng.normal(0, 0.05, 64))
+            assert exact_match(tardis_small, ghost).record_ids == []
+            assert exact_match_baseline(dpisax_small, ghost).record_ids == []
+
+
+class TestAccuracyOrdering:
+    """Fig. 15's ordering: baseline < TNA < OPA < MPA in recall, reversed
+    in error ratio (on average)."""
+
+    @pytest.fixture(scope="class")
+    def quality(self, tardis_small, dpisax_small, rw_small, heldout_queries):
+        k = 10
+        rows = {name: {"recall": [], "err": []} for name in
+                ("baseline", "tna", "opa", "mpa")}
+        for q in heldout_queries[:20]:
+            truth = brute_force_knn(rw_small, q, k)
+            truth_ids = [n.record_id for n in truth]
+            truth_d = [n.distance for n in truth]
+
+            runs = {
+                "baseline": knn_baseline(dpisax_small, q, k),
+                "tna": knn_target_node_access(tardis_small, q, k),
+                "opa": knn_one_partition_access(tardis_small, q, k),
+                "mpa": knn_multi_partitions_access(tardis_small, q, k),
+            }
+            for name, result in runs.items():
+                ids = result.record_ids
+                dists = result.distances
+                rows[name]["recall"].append(recall(ids, truth_ids))
+                depth = min(len(dists), k)
+                rows[name]["err"].append(
+                    error_ratio(dists[:depth], truth_d[:depth])
+                )
+        return {
+            name: {
+                "recall": float(np.mean(v["recall"])),
+                "err": float(np.mean(v["err"])),
+            }
+            for name, v in rows.items()
+        }
+
+    def test_recall_ordering(self, quality):
+        assert quality["baseline"]["recall"] <= quality["mpa"]["recall"]
+        assert quality["tna"]["recall"] <= quality["opa"]["recall"] + 0.05
+        assert quality["opa"]["recall"] <= quality["mpa"]["recall"] + 0.05
+
+    def test_error_ratio_ordering(self, quality):
+        assert quality["mpa"]["err"] <= quality["baseline"]["err"] + 1e-6
+        assert quality["mpa"]["err"] <= quality["opa"]["err"] + 1e-6
+        assert quality["opa"]["err"] <= quality["tna"]["err"] + 1e-6
+
+    def test_all_error_ratios_at_least_one(self, quality):
+        for name in quality:
+            assert quality[name]["err"] >= 1.0 - 1e-9
+
+
+class TestSkewedDatasetRobustness:
+    """The whole pipeline must behave on the most skewed dataset (Noaa)."""
+
+    @pytest.fixture(scope="class")
+    def noaa_world(self, small_config, small_baseline_config):
+        from repro.baseline import build_dpisax_index
+        from repro.core import build_tardis_index
+
+        ds = noaa_like(2500, seed=8)
+        tardis = build_tardis_index(ds, small_config)
+        dpisax = build_dpisax_index(ds, small_baseline_config)
+        return ds, tardis, dpisax
+
+    def test_all_records_indexed(self, noaa_world):
+        ds, tardis, dpisax = noaa_world
+        t_total = sum(p.n_records for p in tardis.partitions.values())
+        b_total = sum(p.n_records for p in dpisax.partitions.values())
+        assert t_total == len(ds)
+        assert b_total == len(ds)
+
+    def test_queries_work(self, noaa_world):
+        ds, tardis, dpisax = noaa_world
+        q = ds.values[17]
+        assert 17 in exact_match(tardis, q).record_ids
+        assert 17 in exact_match_baseline(dpisax, q).record_ids
+        result = knn_multi_partitions_access(tardis, q, 5)
+        assert result.neighbors[0].record_id == 17
+
+    def test_duplicate_heavy_leaves_survive(self, noaa_world):
+        """Noaa's near-duplicate series force deep cascading splits and
+        overflow leaves; the trees must stay structurally valid."""
+        _ds, tardis, _dpisax = noaa_world
+        for partition in tardis.partitions.values():
+            partition.tree.validate()

@@ -1,0 +1,19 @@
+"""Keep the tutorial honest: every python block in docs/TUTORIAL.md runs."""
+
+import re
+from pathlib import Path
+
+TUTORIAL = Path(__file__).resolve().parent.parent / "docs" / "TUTORIAL.md"
+
+
+def test_tutorial_snippets_execute():
+    source = TUTORIAL.read_text()
+    blocks = re.findall(r"```python\n(.*?)```", source, re.S)
+    assert len(blocks) >= 5, "tutorial lost its code blocks"
+    code = "\n".join(blocks)
+    namespace: dict = {}
+    exec(compile(code, str(TUTORIAL), "exec"), namespace)
+    # Spot-check the walkthrough reached its landmarks.
+    assert namespace["signature"].startswith(namespace["coarse"])
+    assert namespace["index"].n_records == 40_000
+    assert namespace["exact_match"] is not None

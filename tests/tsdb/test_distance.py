@@ -1,0 +1,128 @@
+"""Tests for distance functions and the MINDIST lower bounds.
+
+``test_mindist_lower_bounds_euclidean`` is the single most important
+property in the repository: if it fails, every pruning step in TARDIS and
+the baseline can silently drop true nearest neighbors.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.tsdb.distance import (
+    batch_euclidean,
+    euclidean,
+    mindist_paa_to_word,
+    mindist_word_to_word,
+    squared_euclidean,
+    word_region_bounds,
+)
+from repro.tsdb.paa import paa_transform
+from repro.tsdb.sax import sax_symbols
+from repro.tsdb.series import z_normalize
+
+series32 = arrays(
+    np.float64, 32, elements=st.floats(-50, 50, allow_nan=False, width=64)
+)
+
+
+class TestBasicDistances:
+    def test_squared_vs_plain(self):
+        x, y = np.array([1.0, 2.0]), np.array([4.0, 6.0])
+        assert squared_euclidean(x, y) == 25.0
+        assert euclidean(x, y) == 5.0
+
+    def test_batch_matches_loop(self):
+        rng = np.random.default_rng(3)
+        q = rng.normal(size=16)
+        cands = rng.normal(size=(10, 16))
+        batch = batch_euclidean(q, cands)
+        for i in range(10):
+            assert batch[i] == pytest.approx(euclidean(q, cands[i]))
+
+    def test_batch_single_row(self):
+        q = np.zeros(4)
+        out = batch_euclidean(q, np.ones(4))
+        assert out.shape == (1,)
+        assert out[0] == pytest.approx(2.0)
+
+
+class TestWordRegionBounds:
+    def test_zero_bits_covers_everything(self):
+        lower, upper = word_region_bounds(np.zeros(4, dtype=int), 0)
+        assert np.all(np.isinf(lower)) and np.all(lower < 0)
+        assert np.all(np.isinf(upper)) and np.all(upper > 0)
+
+    def test_bounds_bracket_symbols(self):
+        symbols = np.array([0, 1, 2, 3])
+        lower, upper = word_region_bounds(symbols, 2)
+        assert np.all(lower < upper)
+        assert lower[0] == -np.inf
+        assert upper[3] == np.inf
+
+
+class TestMindistPaaToWord:
+    def test_zero_when_word_matches(self):
+        """A series' own word always yields a zero lower bound."""
+        rng = np.random.default_rng(5)
+        x = z_normalize(rng.normal(size=32))
+        paa = paa_transform(x, 8)
+        for bits in (1, 2, 4):
+            symbols = sax_symbols(paa, bits)
+            assert mindist_paa_to_word(paa, symbols, bits, 32) == 0.0
+
+    @given(series32, series32, st.integers(1, 6))
+    @settings(max_examples=120)
+    def test_mindist_lower_bounds_euclidean(self, q, x, bits):
+        q, x = z_normalize(q), z_normalize(x)
+        # Includes word lengths that do NOT divide 32: the fractional-PAA
+        # path must preserve the bound too.
+        for w in (4, 7, 8, 13, 16):
+            q_paa = paa_transform(q, w)
+            x_symbols = sax_symbols(paa_transform(x, w), bits)
+            bound = mindist_paa_to_word(q_paa, x_symbols, bits, 32)
+            assert bound <= euclidean(q, x) + 1e-7
+
+    @given(series32, series32)
+    @settings(max_examples=50)
+    def test_monotone_in_cardinality(self, q, x):
+        """Higher cardinality gives an equal-or-tighter (larger) bound."""
+        q, x = z_normalize(q), z_normalize(x)
+        q_paa = paa_transform(q, 8)
+        x_paa = paa_transform(x, 8)
+        bounds = [
+            mindist_paa_to_word(q_paa, sax_symbols(x_paa, bits), bits, 32)
+            for bits in range(1, 7)
+        ]
+        for coarse, fine in zip(bounds, bounds[1:]):
+            assert coarse <= fine + 1e-9
+
+
+class TestMindistWordToWord:
+    @given(series32, series32, st.integers(1, 6), st.integers(1, 6))
+    @settings(max_examples=120)
+    def test_lower_bounds_euclidean(self, x, y, bits_x, bits_y):
+        x, y = z_normalize(x), z_normalize(y)
+        sx = sax_symbols(paa_transform(x, 8), bits_x)
+        sy = sax_symbols(paa_transform(y, 8), bits_y)
+        bound = mindist_word_to_word(sx, bits_x, sy, bits_y, 32)
+        assert bound <= euclidean(x, y) + 1e-7
+
+    def test_zero_for_same_word(self):
+        symbols = np.array([1, 2, 3, 0])
+        assert mindist_word_to_word(symbols, 2, symbols, 2, 32) == 0.0
+
+    def test_weaker_than_paa_bound(self):
+        """Word-word bound cannot beat the PAA-word bound on the same pair."""
+        rng = np.random.default_rng(6)
+        for _ in range(20):
+            q = z_normalize(rng.normal(size=32))
+            x = z_normalize(rng.normal(size=32))
+            q_paa = paa_transform(q, 8)
+            sx = sax_symbols(paa_transform(x, 8), 3)
+            sq = sax_symbols(q_paa, 3)
+            ww = mindist_word_to_word(sq, 3, sx, 3, 32)
+            pw = mindist_paa_to_word(q_paa, sx, 3, 32)
+            assert ww <= pw + 1e-9

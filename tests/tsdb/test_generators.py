@@ -1,0 +1,88 @@
+"""Tests for the synthetic dataset generators (Fig. 9 substrate)."""
+
+import numpy as np
+import pytest
+
+from repro.metrics import signature_distribution
+from repro.tsdb.generators import (
+    DATASET_GENERATORS,
+    dna_like,
+    make_dataset,
+    noaa_like,
+    random_walk,
+    sift_like,
+)
+
+ALL = [random_walk, sift_like, dna_like, noaa_like]
+
+
+class TestCommonContract:
+    @pytest.mark.parametrize("generator", ALL)
+    def test_shape_and_count(self, generator):
+        ds = generator(50)
+        assert len(ds) == 50
+        assert ds.values.ndim == 2
+
+    @pytest.mark.parametrize("generator", ALL)
+    def test_z_normalized_output(self, generator):
+        ds = generator(30)
+        means = ds.values.mean(axis=1)
+        stds = ds.values.std(axis=1)
+        assert np.abs(means).max() < 1e-8
+        assert np.allclose(stds, 1.0, atol=1e-6)
+
+    @pytest.mark.parametrize("generator", ALL)
+    def test_deterministic_given_seed(self, generator):
+        a = generator(20, seed=5)
+        b = generator(20, seed=5)
+        np.testing.assert_array_equal(a.values, b.values)
+
+    @pytest.mark.parametrize("generator", ALL)
+    def test_different_seeds_differ(self, generator):
+        a = generator(20, seed=1)
+        b = generator(20, seed=2)
+        assert not np.array_equal(a.values, b.values)
+
+    def test_paper_native_lengths(self):
+        assert random_walk(3).length == 256
+        assert sift_like(3).length == 128
+        assert dna_like(3).length == 192
+        assert noaa_like(3).length == 64
+
+
+class TestRegistry:
+    def test_keys(self):
+        assert set(DATASET_GENERATORS) == {"Rw", "Tx", "Dn", "Na"}
+
+    def test_make_dataset(self):
+        ds = make_dataset("Na", 10)
+        assert ds.name == "Noaa"
+        assert len(ds) == 10
+
+    def test_make_dataset_custom_seed(self):
+        a = make_dataset("Rw", 10, seed=3)
+        b = make_dataset("Rw", 10, seed=3)
+        np.testing.assert_array_equal(a.values, b.values)
+
+    def test_unknown_key_raises(self):
+        with pytest.raises(KeyError, match="unknown dataset"):
+            make_dataset("Xx", 10)
+
+
+class TestSkewSpectrum:
+    """The generators must reproduce Fig. 9's skew ordering."""
+
+    def test_noaa_most_skewed_randomwalk_least(self):
+        ginis = {
+            key: signature_distribution(make_dataset(key, 3000), bits=2).gini
+            for key in DATASET_GENERATORS
+        }
+        assert ginis["Na"] > ginis["Tx"]
+        assert ginis["Na"] > ginis["Dn"]
+        assert ginis["Dn"] >= ginis["Rw"] - 0.02
+        assert ginis["Na"] > ginis["Rw"] + 0.15
+
+    def test_dna_has_repeats(self):
+        """Windows from one genome must produce duplicated coarse shapes."""
+        dist = signature_distribution(dna_like(3000), bits=2)
+        assert dist.n_distinct < 3000

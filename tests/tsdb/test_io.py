@@ -1,0 +1,103 @@
+"""Tests for dataset readers/writers (UCR, CSV, NPZ)."""
+
+import numpy as np
+import pytest
+
+from repro.tsdb import random_walk
+from repro.tsdb.io import (
+    read_csv_dataset,
+    read_npz_dataset,
+    read_ucr,
+    write_csv_dataset,
+    write_npz_dataset,
+)
+
+
+class TestUcr:
+    def test_comma_separated(self, tmp_path):
+        path = tmp_path / "Coffee_TRAIN.txt"
+        path.write_text("1,0.5,0.6,0.7\n2,1.5,1.6,1.7\n1,2.5,2.6,2.7\n")
+        dataset, labels = read_ucr(path)
+        assert len(dataset) == 3
+        assert dataset.length == 3
+        assert labels.tolist() == [1.0, 2.0, 1.0]
+        assert dataset.name == "Coffee_TRAIN"
+        np.testing.assert_allclose(dataset.values[1], [1.5, 1.6, 1.7])
+
+    def test_whitespace_separated(self, tmp_path):
+        path = tmp_path / "gun.txt"
+        path.write_text(" 1  0.1 0.2\n-1  0.3 0.4\n")
+        dataset, labels = read_ucr(path, name="GunPoint")
+        assert labels.tolist() == [1.0, -1.0]
+        assert dataset.name == "GunPoint"
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.txt"
+        path.write_text("")
+        with pytest.raises(ValueError, match="empty"):
+            read_ucr(path)
+
+    def test_ragged_rejected(self, tmp_path):
+        path = tmp_path / "ragged.txt"
+        path.write_text("1,0.5,0.6\n2,1.5\n")
+        with pytest.raises(ValueError, match="not valid UCR"):
+            read_ucr(path)
+
+    def test_label_only_rows_rejected(self, tmp_path):
+        path = tmp_path / "thin.txt"
+        path.write_text("1\n2\n")
+        with pytest.raises(ValueError, match="label plus"):
+            read_ucr(path)
+
+
+class TestCsv:
+    def test_roundtrip_with_ids(self, tmp_path):
+        original = random_walk(10, length=16, seed=3)
+        path = tmp_path / "d.csv"
+        write_csv_dataset(original, path)
+        back = read_csv_dataset(path, has_record_ids=True)
+        np.testing.assert_allclose(back.values, original.values, atol=1e-9)
+        assert back.record_ids.tolist() == original.record_ids.tolist()
+
+    def test_roundtrip_without_ids(self, tmp_path):
+        original = random_walk(5, length=8, seed=4)
+        path = tmp_path / "d.csv"
+        write_csv_dataset(original, path, include_record_ids=False)
+        back = read_csv_dataset(path)
+        np.testing.assert_allclose(back.values, original.values, atol=1e-9)
+        assert back.record_ids.tolist() == list(range(5))
+
+    def test_tsv_delimiter(self, tmp_path):
+        path = tmp_path / "d.tsv"
+        path.write_text("0.1\t0.2\n0.3\t0.4\n")
+        back = read_csv_dataset(path, delimiter="\t")
+        assert back.values.shape == (2, 2)
+
+    def test_ids_flag_requires_values(self, tmp_path):
+        path = tmp_path / "only_ids.csv"
+        path.write_text("0\n1\n")
+        with pytest.raises(ValueError, match="no value columns"):
+            read_csv_dataset(path, has_record_ids=True)
+
+
+class TestNpz:
+    def test_roundtrip(self, tmp_path):
+        original = random_walk(7, length=12, seed=5)
+        path = tmp_path / "d.npz"
+        write_npz_dataset(original, path)
+        back = read_npz_dataset(path)
+        np.testing.assert_array_equal(back.values, original.values)
+        assert back.name == original.name
+
+    def test_index_build_from_file(self, tmp_path):
+        """End-to-end: file → dataset → index → query."""
+        from repro.core import TardisConfig, build_tardis_index, exact_match
+
+        original = random_walk(500, length=32, seed=6).z_normalized()
+        path = tmp_path / "d.npz"
+        write_npz_dataset(original, path)
+        dataset = read_npz_dataset(path)
+        index = build_tardis_index(
+            dataset, TardisConfig(g_max_size=100, l_max_size=10)
+        )
+        assert 3 in exact_match(index, dataset.values[3]).record_ids

@@ -1,0 +1,94 @@
+"""Tests for the character-level iSAX word used by the baseline."""
+
+import numpy as np
+import pytest
+
+from repro.tsdb.isax import ISaxWord, isax_from_paa, isax_from_series
+
+
+class TestISaxWordValidation:
+    def test_mismatched_lengths_raise(self):
+        with pytest.raises(ValueError):
+            ISaxWord((1, 0), (1,))
+
+    def test_symbol_too_large_raises(self):
+        with pytest.raises(ValueError):
+            ISaxWord((4,), (2,))
+
+    def test_negative_bits_raise(self):
+        with pytest.raises(ValueError):
+            ISaxWord((0,), (-1,))
+
+    def test_zero_bit_segment_allowed(self):
+        word = ISaxWord((0, 1), (0, 1))
+        assert word.bits == (0, 1)
+
+    def test_hashable(self):
+        a = ISaxWord((1, 0), (1, 1))
+        b = ISaxWord((1, 0), (1, 1))
+        assert a == b
+        assert hash(a) == hash(b)
+        assert len({a, b}) == 1
+
+
+class TestCovers:
+    def test_exact_same_word(self):
+        word = ISaxWord((1, 0, 1), (1, 1, 1))
+        assert word.covers(word)
+
+    def test_coarse_covers_fine(self):
+        coarse = ISaxWord((1, 0), (1, 1))
+        fine = ISaxWord((0b10, 0b01), (2, 2))
+        assert coarse.covers(fine)
+        assert not fine.covers(coarse)  # fine cannot cover coarse
+
+    def test_mismatch_not_covered(self):
+        coarse = ISaxWord((1, 0), (1, 1))
+        other = ISaxWord((0b01, 0b01), (2, 2))  # 1st segment prefix 0 != 1
+        assert not coarse.covers(other)
+
+    def test_zero_bits_covers_anything(self):
+        universal = ISaxWord((0, 0), (0, 0))
+        assert universal.covers(ISaxWord((3, 1), (2, 2)))
+
+    def test_word_length_mismatch(self):
+        assert not ISaxWord((1,), (1,)).covers(ISaxWord((1, 1), (1, 1)))
+
+
+class TestSplitChild:
+    def test_appends_bit(self):
+        word = ISaxWord((0b1, 0b0), (1, 1))
+        child = word.split_child(0, 1)
+        assert child.symbols == (0b11, 0b0)
+        assert child.bits == (2, 1)
+
+    def test_invalid_bit_raises(self):
+        with pytest.raises(ValueError):
+            ISaxWord((0,), (1,)).split_child(0, 2)
+
+    def test_parent_covers_both_children(self):
+        word = ISaxWord((0b10, 0b01), (2, 2))
+        for bit in (0, 1):
+            child = word.split_child(1, bit)
+            # Re-express the child at full width and check coverage.
+            assert word.covers(child)
+
+
+class TestConversion:
+    def test_from_paa(self):
+        word = isax_from_paa(np.array([-2.0, -0.1, 0.1, 2.0]), 2)
+        assert word.bits == (2, 2, 2, 2)
+        assert word.symbols[0] == 0  # far below
+        assert word.symbols[3] == 3  # far above
+
+    def test_from_series_pipeline(self):
+        values = np.concatenate([np.full(16, -3.0), np.full(16, 3.0)])
+        word = isax_from_series(values, 4, 1)
+        assert word.symbols == (0, 0, 1, 1)
+
+    def test_str_rendering(self):
+        word = ISaxWord((0b01, 0b1), (2, 1))
+        assert str(word) == "[01_2, 1_1]"
+
+    def test_str_zero_bits(self):
+        assert str(ISaxWord((0,), (0,))) == "[*]"

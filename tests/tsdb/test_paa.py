@@ -1,0 +1,102 @@
+"""Tests for PAA: correctness and the lower-bounding distance property."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.tsdb.paa import paa_distance, paa_transform
+from repro.tsdb.series import euclidean_distance
+
+series32 = arrays(
+    np.float64, 32, elements=st.floats(-100, 100, allow_nan=False, width=64)
+)
+
+
+class TestPaaTransform:
+    def test_known_values(self):
+        out = paa_transform(np.array([0.0, 2.0, 4.0, 6.0]), 2)
+        assert out.tolist() == [1.0, 5.0]
+
+    def test_identity_when_w_equals_n(self):
+        values = np.arange(8.0)
+        np.testing.assert_array_equal(paa_transform(values, 8), values)
+
+    def test_single_segment_is_mean(self):
+        values = np.arange(10.0)
+        assert paa_transform(values, 1)[0] == pytest.approx(values.mean())
+
+    def test_batch_matches_per_row(self):
+        rng = np.random.default_rng(1)
+        batch = rng.normal(size=(5, 16))
+        whole = paa_transform(batch, 4)
+        for i in range(5):
+            np.testing.assert_allclose(whole[i], paa_transform(batch[i], 4))
+
+    def test_fractional_boundaries(self):
+        # n=3, w=2: segments cover [0,1.5) and [1.5,3).
+        out = paa_transform(np.array([0.0, 0.0, 3.0]), 2)
+        assert out.tolist() == [0.0, 2.0]
+
+    def test_fractional_weights_partition_unity(self):
+        from repro.tsdb.paa import _fractional_weights
+
+        for n, w in [(10, 4), (30, 8), (7, 3), (13, 8)]:
+            weights = _fractional_weights(n, w)
+            # Each segment covers n/w time units...
+            np.testing.assert_allclose(weights.sum(axis=1), n / w)
+            # ...and every sample is fully covered exactly once.
+            np.testing.assert_allclose(weights.sum(axis=0), 1.0)
+
+    def test_fractional_constant_series(self):
+        out = paa_transform(np.full(13, 2.5), 8)
+        np.testing.assert_allclose(out, 2.5)
+
+    def test_too_short_raises(self):
+        with pytest.raises(ValueError, match="shorter"):
+            paa_transform(np.zeros(3), 4)
+
+    def test_nonpositive_word_length_raises(self):
+        with pytest.raises(ValueError, match="positive"):
+            paa_transform(np.zeros(8), 0)
+
+    @given(series32)
+    @settings(max_examples=60)
+    def test_mean_is_preserved(self, values):
+        # Segment means average back to the global mean for equal segments.
+        assert paa_transform(values, 8).mean() == pytest.approx(
+            values.mean(), abs=1e-9
+        )
+
+
+class TestPaaDistance:
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            paa_distance(np.zeros(4), np.zeros(8), 32)
+
+    @given(series32, series32)
+    @settings(max_examples=80)
+    def test_lower_bounds_euclidean(self, x, y):
+        """The core pruning guarantee: PAA distance never exceeds ED."""
+        for w in (1, 2, 4, 8, 16, 32):
+            lb = paa_distance(paa_transform(x, w), paa_transform(y, w), 32)
+            assert lb <= euclidean_distance(x, y) + 1e-7
+
+    @given(series32, series32, st.integers(1, 31))
+    @settings(max_examples=80)
+    def test_lower_bound_holds_for_fractional_segments(self, x, y, w):
+        """The Cauchy-Schwarz argument survives fractional boundaries."""
+        lb = paa_distance(paa_transform(x, w), paa_transform(y, w), 32)
+        assert lb <= euclidean_distance(x, y) + 1e-7
+
+    @given(series32, series32)
+    @settings(max_examples=40)
+    def test_monotone_in_word_length(self, x, y):
+        """Finer PAA gives an equal-or-tighter bound."""
+        bounds = [
+            paa_distance(paa_transform(x, w), paa_transform(y, w), 32)
+            for w in (1, 2, 4, 8, 16, 32)
+        ]
+        for coarse, fine in zip(bounds, bounds[1:]):
+            assert coarse <= fine + 1e-7

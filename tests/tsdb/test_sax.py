@@ -1,0 +1,124 @@
+"""Tests for SAX breakpoints and symbols, especially the nesting property
+that makes iSAX/iSAX-T cardinality reduction a pure bit operation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tsdb.sax import (
+    MAX_CARDINALITY_BITS,
+    breakpoints,
+    reduce_symbol,
+    sax_symbols,
+    symbol_bounds,
+)
+
+
+class TestBreakpoints:
+    def test_counts(self):
+        for bits in range(0, 8):
+            assert len(breakpoints(bits)) == (1 << bits) - 1
+
+    def test_one_bit_breakpoint_is_zero(self):
+        assert breakpoints(1)[0] == pytest.approx(0.0)
+
+    def test_two_bit_values(self):
+        # Quartiles of the standard normal: ±0.6745 and 0.
+        bps = breakpoints(2)
+        assert bps[0] == pytest.approx(-0.67448975)
+        assert bps[1] == pytest.approx(0.0)
+        assert bps[2] == pytest.approx(0.67448975)
+
+    def test_strictly_increasing(self):
+        for bits in range(1, 9):
+            bps = breakpoints(bits)
+            assert np.all(np.diff(bps) > 0)
+
+    def test_nesting(self):
+        """Breakpoints at b-1 bits are the odd-indexed ones at b bits."""
+        for bits in range(2, 9):
+            fine = breakpoints(bits)
+            coarse = breakpoints(bits - 1)
+            np.testing.assert_allclose(coarse, fine[1::2], atol=1e-12)
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            breakpoints(-1)
+        with pytest.raises(ValueError):
+            breakpoints(MAX_CARDINALITY_BITS + 1)
+
+
+class TestSaxSymbols:
+    def test_symbol_range(self):
+        values = np.linspace(-4, 4, 101)
+        for bits in (1, 2, 3, 6):
+            symbols = sax_symbols(values, bits)
+            assert symbols.min() >= 0
+            assert symbols.max() <= (1 << bits) - 1
+
+    def test_monotone_in_value(self):
+        values = np.linspace(-4, 4, 101)
+        symbols = sax_symbols(values, 4)
+        assert np.all(np.diff(symbols.astype(int)) >= 0)
+
+    def test_value_on_breakpoint_goes_up(self):
+        # 0.0 is the 1-bit breakpoint; it belongs to the upper stripe.
+        assert sax_symbols(np.array([0.0]), 1)[0] == 1
+
+    def test_extreme_values(self):
+        assert sax_symbols(np.array([-100.0]), 3)[0] == 0
+        assert sax_symbols(np.array([100.0]), 3)[0] == 7
+
+    @given(
+        st.floats(-8, 8, allow_nan=False),
+        st.integers(min_value=1, max_value=9),
+    )
+    @settings(max_examples=150)
+    def test_bit_drop_equals_recompute(self, value, bits):
+        """The nesting property: truncating LSBs == re-discretizing."""
+        fine = int(sax_symbols(np.array([value]), bits)[0])
+        for lower in range(1, bits + 1):
+            coarse = int(sax_symbols(np.array([value]), lower)[0])
+            assert reduce_symbol(fine, bits, lower) == coarse
+
+    @given(st.floats(-8, 8, allow_nan=False), st.integers(1, 9))
+    @settings(max_examples=100)
+    def test_value_falls_in_symbol_bounds(self, value, bits):
+        symbol = int(sax_symbols(np.array([value]), bits)[0])
+        lower, upper = symbol_bounds(symbol, bits)
+        assert lower <= value < upper or value == upper == np.inf
+
+
+class TestSymbolBounds:
+    def test_extremes_are_infinite(self):
+        lower, _ = symbol_bounds(0, 3)
+        _, upper = symbol_bounds(7, 3)
+        assert lower == -np.inf
+        assert upper == np.inf
+
+    def test_adjacent_symbols_share_boundary(self):
+        for bits in (1, 2, 4):
+            for symbol in range((1 << bits) - 1):
+                _, upper = symbol_bounds(symbol, bits)
+                lower, _ = symbol_bounds(symbol + 1, bits)
+                assert upper == lower
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            symbol_bounds(4, 2)
+        with pytest.raises(ValueError):
+            symbol_bounds(-1, 2)
+
+
+class TestReduceSymbol:
+    def test_identity(self):
+        assert reduce_symbol(5, 3, 3) == 5
+
+    def test_drop_to_one_bit(self):
+        assert reduce_symbol(0b1101, 4, 1) == 1
+        assert reduce_symbol(0b0101, 4, 1) == 0
+
+    def test_increase_raises(self):
+        with pytest.raises(ValueError):
+            reduce_symbol(1, 2, 3)

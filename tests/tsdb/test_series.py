@@ -1,0 +1,123 @@
+"""Unit and property tests for the time series dataset model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.tsdb.series import TimeSeriesDataset, euclidean_distance, z_normalize
+
+finite_series = arrays(
+    np.float64,
+    st.integers(min_value=2, max_value=64),
+    elements=st.floats(-1e6, 1e6, allow_nan=False, width=64),
+)
+
+
+class TestZNormalize:
+    def test_known_values(self):
+        out = z_normalize(np.array([1.0, 2.0, 3.0]))
+        assert out == pytest.approx([-1.22474487, 0.0, 1.22474487])
+
+    def test_constant_series_maps_to_zeros(self):
+        assert z_normalize(np.full(10, 7.3)).tolist() == [0.0] * 10
+
+    def test_batch_matches_per_row(self):
+        rng = np.random.default_rng(0)
+        batch = rng.normal(5, 3, size=(6, 20))
+        whole = z_normalize(batch)
+        for i in range(6):
+            np.testing.assert_allclose(whole[i], z_normalize(batch[i]))
+
+    def test_batch_with_constant_row(self):
+        batch = np.vstack([np.arange(8.0), np.full(8, 2.0)])
+        out = z_normalize(batch)
+        assert out[1].tolist() == [0.0] * 8
+        assert out[0].std() == pytest.approx(1.0)
+
+    @given(finite_series)
+    @settings(max_examples=60)
+    def test_output_has_zero_mean_unit_std(self, values):
+        out = z_normalize(values)
+        assert abs(out.mean()) < 1e-7
+        # Either a genuine normalization (std 1) or a flat series (all 0).
+        assert out.std() == pytest.approx(1.0, abs=1e-7) or np.all(out == 0.0)
+
+    @given(finite_series)
+    @settings(max_examples=60)
+    def test_idempotent(self, values):
+        once = z_normalize(values)
+        np.testing.assert_allclose(z_normalize(once), once, atol=1e-9)
+
+
+class TestEuclideanDistance:
+    def test_zero_for_identical(self):
+        x = np.arange(5.0)
+        assert euclidean_distance(x, x) == 0.0
+
+    def test_known_value(self):
+        assert euclidean_distance(np.array([0.0, 0.0]), np.array([3.0, 4.0])) == 5.0
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError, match="length mismatch"):
+            euclidean_distance(np.zeros(3), np.zeros(4))
+
+    @given(finite_series)
+    @settings(max_examples=40)
+    def test_symmetry(self, values):
+        other = values[::-1].copy()
+        assert euclidean_distance(values, other) == pytest.approx(
+            euclidean_distance(other, values)
+        )
+
+
+class TestTimeSeriesDataset:
+    def test_default_record_ids(self):
+        ds = TimeSeriesDataset(np.zeros((4, 8)))
+        assert ds.record_ids.tolist() == [0, 1, 2, 3]
+
+    def test_rejects_1d_values(self):
+        with pytest.raises(ValueError, match="2-D"):
+            TimeSeriesDataset(np.zeros(8))
+
+    def test_rejects_mismatched_ids(self):
+        with pytest.raises(ValueError, match="record_ids"):
+            TimeSeriesDataset(np.zeros((4, 8)), record_ids=np.arange(3))
+
+    def test_len_length_nbytes(self):
+        ds = TimeSeriesDataset(np.zeros((4, 8)))
+        assert len(ds) == 4
+        assert ds.length == 8
+        assert ds.nbytes == 4 * 8 * 8 + 4 * 8
+
+    def test_iteration_yields_rid_series_pairs(self):
+        values = np.arange(6.0).reshape(3, 2)
+        ds = TimeSeriesDataset(values, record_ids=np.array([10, 20, 30]))
+        pairs = list(ds)
+        assert [rid for rid, _ in pairs] == [10, 20, 30]
+        np.testing.assert_array_equal(pairs[2][1], [4.0, 5.0])
+
+    def test_from_rows(self):
+        ds = TimeSeriesDataset.from_rows([np.zeros(4), np.ones(4)], name="x")
+        assert len(ds) == 2
+        assert ds.name == "x"
+
+    def test_subset_keeps_record_ids(self):
+        ds = TimeSeriesDataset(np.arange(12.0).reshape(4, 3))
+        sub = ds.subset(np.array([3, 1]))
+        assert sub.record_ids.tolist() == [3, 1]
+        np.testing.assert_array_equal(sub.values[0], ds.values[3])
+
+    def test_series_lookup(self):
+        ds = TimeSeriesDataset(np.arange(6.0).reshape(2, 3))
+        np.testing.assert_array_equal(ds.series(1), [3.0, 4.0, 5.0])
+        with pytest.raises(KeyError):
+            ds.series(99)
+
+    def test_z_normalized_copy_leaves_original(self):
+        values = np.arange(8.0).reshape(2, 4)
+        ds = TimeSeriesDataset(values.copy())
+        normed = ds.z_normalized()
+        np.testing.assert_array_equal(ds.values, values)
+        assert abs(normed.values.mean(axis=1)).max() < 1e-9

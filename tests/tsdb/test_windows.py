@@ -1,0 +1,71 @@
+"""Tests for subsequence/window extraction."""
+
+import numpy as np
+import pytest
+
+from repro.tsdb.windows import (
+    non_overlapping_windows,
+    sliding_windows,
+    window_offset,
+)
+
+
+class TestSlidingWindows:
+    def test_counts_and_offsets(self):
+        ds = sliding_windows(np.arange(10.0), window=4, step=2)
+        assert len(ds) == 4
+        assert ds.record_ids.tolist() == [0, 2, 4, 6]
+
+    def test_step_one_dense(self):
+        ds = sliding_windows(np.arange(8.0), window=3, step=1)
+        assert len(ds) == 6
+        assert ds.record_ids.tolist() == list(range(6))
+
+    def test_windows_match_source_shape(self):
+        rng = np.random.default_rng(0)
+        recording = rng.standard_normal(100)
+        ds = sliding_windows(recording, window=10, step=7)
+        for rid, row in ds:
+            raw = recording[rid : rid + 10]
+            normalized = (raw - raw.mean()) / raw.std()
+            np.testing.assert_allclose(row, normalized, atol=1e-9)
+
+    def test_windows_are_z_normalized(self):
+        ds = sliding_windows(np.cumsum(np.ones(50)), window=10, step=5)
+        # A linear ramp normalizes identically in every window.
+        for row in ds.values:
+            assert abs(row.mean()) < 1e-9
+
+    def test_exact_fit(self):
+        ds = sliding_windows(np.arange(4.0), window=4)
+        assert len(ds) == 1
+
+    def test_errors(self):
+        with pytest.raises(ValueError, match="1-D"):
+            sliding_windows(np.zeros((3, 3)), window=2)
+        with pytest.raises(ValueError, match="positive"):
+            sliding_windows(np.zeros(10), window=0)
+        with pytest.raises(ValueError, match="positive"):
+            sliding_windows(np.zeros(10), window=4, step=0)
+        with pytest.raises(ValueError, match="shorter"):
+            sliding_windows(np.zeros(3), window=4)
+
+    def test_name_propagates(self):
+        ds = sliding_windows(np.arange(10.0), window=5, name="abc")
+        assert ds.name == "abc"
+
+
+class TestNonOverlapping:
+    def test_disjoint_segmentation(self):
+        ds = non_overlapping_windows(np.arange(12.0), window=4)
+        assert len(ds) == 3
+        assert ds.record_ids.tolist() == [0, 4, 8]
+
+    def test_remainder_dropped(self):
+        ds = non_overlapping_windows(np.arange(10.0), window=4)
+        assert len(ds) == 2  # last 2 points do not fill a window
+
+
+class TestWindowOffset:
+    def test_identity(self):
+        assert window_offset(42) == 42
