@@ -9,19 +9,29 @@ code:
 * ``exact`` — exact-match lookup of a series against a persisted index
 * ``knn`` — kNN with an approximate strategy or exact best-first search
 * ``range`` — all series within a Euclidean radius
+* ``stats`` — pretty-print a trace previously saved with ``--trace``
 
 Series inputs are ``.npy`` files (one 1-D array) or ``--row N`` of a
 generated ``.npz`` dataset.
+
+Observability (docs/OBSERVABILITY.md): ``-v``/``-q`` tune diagnostic
+logging; ``build``/``exact``/``knn``/``range`` accept ``--trace FILE``
+(JSON span tree of the run) and ``--metrics FILE`` (Prometheus-style
+counters), and the query commands take ``--cache N`` to enable the LRU
+partition cache.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import logging
 import sys
 from pathlib import Path
 
 import numpy as np
 
+from . import telemetry
 from .core import (
     TardisConfig,
     build_tardis_index,
@@ -37,6 +47,8 @@ from .tsdb import DATASET_GENERATORS, TimeSeriesDataset, make_dataset
 from .tsdb.io import read_csv_dataset, read_npz_dataset, read_ucr
 
 __all__ = ["main"]
+
+logger = logging.getLogger(__name__)
 
 _STRATEGIES = {
     "target-node": knn_target_node_access,
@@ -98,7 +110,7 @@ def _cmd_build(args) -> int:
     # Normalize only when needed: re-normalizing already-normalized data
     # would perturb float bits and break exact-match on the original rows.
     if not args.no_normalize and not _is_normalized(dataset):
-        print("z-normalizing input (disable with --no-normalize)")
+        logger.info("z-normalizing input (disable with --no-normalize)")
         dataset = dataset.z_normalized()
     config = TardisConfig(
         g_max_size=args.partition_capacity,
@@ -128,11 +140,34 @@ def _cmd_info(args) -> int:
           f"height {index.global_index.tree.height()}")
     print(f"local indices  : {index.local_index_nbytes() / 1024:.1f} KB "
           f"(incl. {index.bloom_nbytes() / 1024:.1f} KB bloom filters)")
+    print(f"partition cache: {_format_cache(index.cache_stats())}")
     return 0
 
 
-def _cmd_exact(args) -> int:
+def _format_cache(stats: dict | None) -> str:
+    """One ``repro info`` line for the partition cache's statistics."""
+    if stats is None:
+        return "not attached (enable_cache() or --cache N)"
+    return (
+        f"{stats['resident']}/{stats['capacity']} resident, "
+        f"{stats['hits']} hits / {stats['misses']} misses "
+        f"({stats['hit_rate']:.0%}), {stats['evictions']} evictions"
+    )
+
+
+def _load_query_index(args):
+    """Load the index for a query command, honouring ``--cache``."""
+    cache = getattr(args, "cache", None)
+    if cache is not None and cache < 1:
+        raise SystemExit("--cache must be a positive partition count")
     index = load_index(Path(args.index))
+    if cache:
+        index.enable_cache(cache)
+    return index
+
+
+def _cmd_exact(args) -> int:
+    index = _load_query_index(args)
     query = _load_query(args)
     result = exact_match(index, query, use_bloom=not args.no_bloom)
     if result.found:
@@ -144,7 +179,7 @@ def _cmd_exact(args) -> int:
 
 
 def _cmd_knn(args) -> int:
-    index = load_index(Path(args.index))
+    index = _load_query_index(args)
     query = _load_query(args)
     strategy = _STRATEGIES[args.strategy]
     result = strategy(index, query, args.k)
@@ -162,7 +197,7 @@ def _cmd_knn(args) -> int:
 
 
 def _cmd_range(args) -> int:
-    index = load_index(Path(args.index))
+    index = _load_query_index(args)
     query = _load_query(args)
     result = range_query(index, query, args.radius)
     print(f"{len(result.neighbors)} series within radius {args.radius} "
@@ -174,6 +209,26 @@ def _cmd_range(args) -> int:
     return 0
 
 
+def _cmd_stats(args) -> int:
+    """Pretty-print a trace saved earlier with ``--trace``."""
+    try:
+        doc = json.loads(Path(args.trace_file).read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise SystemExit(f"cannot read trace {args.trace_file}: {exc}")
+    try:
+        print(telemetry.summarize_trace(doc, max_depth=args.depth))
+    except ValueError as exc:
+        raise SystemExit(f"invalid trace {args.trace_file}: {exc}")
+    return 0
+
+
+def _add_telemetry_flags(cmd: argparse.ArgumentParser) -> None:
+    cmd.add_argument("--trace", metavar="FILE",
+                     help="write a JSON execution trace of this command")
+    cmd.add_argument("--metrics", metavar="FILE",
+                     help="write Prometheus-style metrics for this command")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -183,9 +238,19 @@ def build_parser() -> argparse.ArgumentParser:
 
     parser.add_argument("--version", action="version",
                         version=f"repro {__version__}")
+    # Shared verbosity flags, accepted both before and after the subcommand.
+    common = argparse.ArgumentParser(add_help=False)
+    for p in (parser, common):
+        p.add_argument("-v", "--verbose", action="count", default=0,
+                       help="more diagnostic logging (repeatable)")
+        p.add_argument("-q", "--quiet", action="count", default=0,
+                       help="less diagnostic logging (repeatable)")
     sub = parser.add_subparsers(dest="command", required=True)
 
-    gen = sub.add_parser("generate", help="synthesize a benchmark dataset")
+    def add_parser(name, **kwargs):
+        return sub.add_parser(name, parents=[common], **kwargs)
+
+    gen = add_parser("generate", help="synthesize a benchmark dataset")
     gen.add_argument("--dataset", choices=sorted(DATASET_GENERATORS),
                      required=True)
     gen.add_argument("--count", type=int, required=True)
@@ -193,7 +258,7 @@ def build_parser() -> argparse.ArgumentParser:
     gen.add_argument("--out", required=True)
     gen.set_defaults(fn=_cmd_generate)
 
-    build = sub.add_parser("build", help="build and persist a TARDIS index")
+    build = add_parser("build", help="build and persist a TARDIS index")
     build.add_argument("--data", required=True, help="dataset .npz")
     build.add_argument("--out", required=True, help="index directory")
     build.add_argument("--partition-capacity", type=int,
@@ -205,9 +270,10 @@ def build_parser() -> argparse.ArgumentParser:
     build.add_argument("--unclustered", action="store_true")
     build.add_argument("--no-normalize", action="store_true",
                        help="skip z-normalization (data is already normalized)")
+    _add_telemetry_flags(build)
     build.set_defaults(fn=_cmd_build)
 
-    info = sub.add_parser("info", help="summarize a persisted index")
+    info = add_parser("info", help="summarize a persisted index")
     info.add_argument("--index", required=True)
     info.set_defaults(fn=_cmd_info)
 
@@ -216,11 +282,14 @@ def build_parser() -> argparse.ArgumentParser:
         ("knn", "kNN search (approximate strategies or exact)"),
         ("range", "all series within a radius"),
     ):
-        cmd = sub.add_parser(name, help=help_text)
+        cmd = add_parser(name, help=help_text)
         cmd.add_argument("--index", required=True)
         cmd.add_argument("--query", help="query series .npy")
         cmd.add_argument("--data", help="dataset .npz to take --row from")
         cmd.add_argument("--row", type=int, help="row of --data to query")
+        cmd.add_argument("--cache", type=int, metavar="N",
+                         help="enable an N-partition LRU cache")
+        _add_telemetry_flags(cmd)
         if name == "exact":
             cmd.add_argument("--no-bloom", action="store_true")
             cmd.set_defaults(fn=_cmd_exact)
@@ -236,12 +305,44 @@ def build_parser() -> argparse.ArgumentParser:
             cmd.add_argument("--limit", type=int, default=20,
                              help="max results to print")
             cmd.set_defaults(fn=_cmd_range)
+
+    stats = add_parser("stats", help="pretty-print a saved --trace file")
+    stats.add_argument("trace_file", help="trace JSON written by --trace")
+    stats.add_argument("--depth", type=int, default=None,
+                       help="max span depth to print")
+    stats.set_defaults(fn=_cmd_stats)
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.fn(args)
+    telemetry.log.configure(verbosity=args.verbose - args.quiet)
+    trace_path = getattr(args, "trace", None)
+    metrics_path = getattr(args, "metrics", None)
+    if trace_path:
+        telemetry.enable_tracing()
+    if metrics_path:
+        # Fresh counters per invocation so the file describes this command
+        # alone (library embedders accumulate across calls instead).
+        telemetry.get_registry().reset()
+    try:
+        code = args.fn(args)
+    finally:
+        # Written even when the command fails (an exact-match miss exits
+        # 1) — the trace of a failed run is the one worth keeping.
+        try:
+            if trace_path:
+                telemetry.write_trace(telemetry.get_tracer(), trace_path)
+                logger.info("wrote execution trace to %s", trace_path)
+            if metrics_path:
+                telemetry.write_metrics(telemetry.get_registry(), metrics_path)
+                logger.info("wrote metrics to %s", metrics_path)
+        except OSError as exc:
+            raise SystemExit(f"cannot write telemetry output: {exc}")
+        finally:
+            if trace_path:
+                telemetry.disable_tracing()
+    return code
 
 
 if __name__ == "__main__":

@@ -155,6 +155,10 @@ class timed_stage:
 
         with timed_stage(ledger, "query/scan"):
             candidates = partition.pruned_entries(...)
+
+    When the shared tracer is enabled, the same block also becomes one
+    trace span (with the simulated charge recorded as ``simulated_s``),
+    so traces and the ledger stay stage-for-stage aligned.
     """
 
     def __init__(
@@ -166,11 +170,19 @@ class timed_stage:
         self._ledger = ledger
         self._label = label
         self._cpu_scale = cpu_scale
+        self._span_ctx = None
+        self._span = None
         self.elapsed_s = 0.0
 
     def __enter__(self) -> "timed_stage":
         import time
 
+        from ..telemetry.spans import get_tracer
+
+        tracer = get_tracer()
+        if tracer.enabled:
+            self._span_ctx = tracer.span(self._label)
+            self._span = self._span_ctx.__enter__()
         self._start = time.perf_counter()
         return self
 
@@ -181,6 +193,11 @@ class timed_stage:
         self._ledger.record_stage(
             self._label, wall_s=self.elapsed_s, cpu_s=self.elapsed_s, tasks=1
         )
+        if self._span_ctx is not None:
+            self._span.set("simulated_s", self.elapsed_s)
+            self._span_ctx.__exit__(*exc_info)
+            self._span_ctx = None
+            self._span = None
 
 
 def estimate_bytes(obj: object) -> int:

@@ -17,15 +17,20 @@ Typical usage::
 
 from __future__ import annotations
 
+import logging
 import time
 import zlib
 from dataclasses import dataclass
 from typing import Callable, Iterable, Sequence
 
+from ..telemetry.metrics import get_registry
+from ..telemetry.spans import get_tracer
 from .costmodel import CostModel, SimulationLedger, estimate_bytes
 from .storage import Block, BlockStorage
 
 __all__ = ["SimCluster", "PartitionedData", "Broadcast", "TaskFailedError"]
+
+logger = logging.getLogger(__name__)
 
 
 class TaskFailedError(RuntimeError):
@@ -144,48 +149,72 @@ class SimCluster:
 
     def read_blocks(self, blocks: Iterable[Block], label: str) -> PartitionedData:
         """Load specific blocks (e.g. a block-level sample) from disk."""
-        blocks = list(blocks)
-        worker_io = [0.0] * self.n_workers
-        partitions = []
-        total_io = 0.0
-        for i, block in enumerate(blocks):
-            io_time = self.cost_model.disk_read_time(block.nbytes)
-            worker_io[i % self.n_workers] += io_time + self.cost_model.task_overhead_s
-            total_io += io_time
-            partitions.append(list(block.records))
-        wall = max(worker_io, default=0.0)
-        self.ledger.record_stage(
-            label, wall_s=wall, io_s=total_io, tasks=len(blocks)
-        )
+        with self._stage_span(label) as span:
+            blocks = list(blocks)
+            worker_io = [0.0] * self.n_workers
+            partitions = []
+            total_io = 0.0
+            for i, block in enumerate(blocks):
+                io_time = self.cost_model.disk_read_time(block.nbytes)
+                worker_io[i % self.n_workers] += (
+                    io_time + self.cost_model.task_overhead_s
+                )
+                total_io += io_time
+                partitions.append(list(block.records))
+            wall = max(worker_io, default=0.0)
+            self.ledger.record_stage(
+                label, wall_s=wall, io_s=total_io, tasks=len(blocks)
+            )
+            span.set("tasks", len(blocks))
+            span.set("simulated_s", wall)
         return PartitionedData(self, partitions)
 
     def broadcast(self, value: object, label: str = "broadcast") -> Broadcast:
         """Ship a value to all workers once (charges one network transfer)."""
-        network = self.cost_model.network_time(estimate_bytes(value))
-        self.ledger.record_stage(label, wall_s=network, network_s=network, tasks=1)
+        with self._stage_span(label) as span:
+            network = self.cost_model.network_time(estimate_bytes(value))
+            self.ledger.record_stage(
+                label, wall_s=network, network_s=network, tasks=1
+            )
+            span.set("simulated_s", network)
         return Broadcast(value)
 
     # -- driver-side work --------------------------------------------------------
 
     def run_on_driver(self, fn: Callable[[], object], label: str) -> object:
         """Execute master-node work (e.g. skeleton building), timing it."""
-        start = time.perf_counter()
-        result = fn()
-        cpu = (time.perf_counter() - start) * self.cost_model.cpu_scale
-        self.ledger.record_stage(label, wall_s=cpu, cpu_s=cpu, tasks=1)
+        with self._stage_span(label) as span:
+            start = time.perf_counter()
+            result = fn()
+            cpu = (time.perf_counter() - start) * self.cost_model.cpu_scale
+            self.ledger.record_stage(label, wall_s=cpu, cpu_s=cpu, tasks=1)
+            span.set("simulated_s", cpu)
         return result
 
     def charge_disk_write(self, nbytes: int, label: str) -> None:
         """Account an explicit spill/persist write (e.g. dumping indices)."""
-        io = self.cost_model.disk_write_time(nbytes)
-        self.ledger.record_stage(label, wall_s=io / self.n_workers, io_s=io)
+        with self._stage_span(label) as span:
+            io = self.cost_model.disk_write_time(nbytes)
+            self.ledger.record_stage(label, wall_s=io / self.n_workers, io_s=io)
+            span.set("nbytes", nbytes)
+            span.set("simulated_s", io / self.n_workers)
 
     def charge_disk_read(self, nbytes: int, label: str) -> None:
         """Account an explicit re-read of spilled data."""
-        io = self.cost_model.disk_read_time(nbytes)
-        self.ledger.record_stage(label, wall_s=io / self.n_workers, io_s=io)
+        with self._stage_span(label) as span:
+            io = self.cost_model.disk_read_time(nbytes)
+            self.ledger.record_stage(label, wall_s=io / self.n_workers, io_s=io)
+            span.set("nbytes", nbytes)
+            span.set("simulated_s", io / self.n_workers)
 
     # -- internal execution ------------------------------------------------------
+
+    def _stage_span(self, label: str):
+        """Open the trace span + counters shared by every engine stage."""
+        get_registry().counter(
+            "engine_stages_total", "Engine stages executed"
+        ).inc()
+        return get_tracer().span(f"stage/{label}")
 
     def _worker_of(self, partition_index: int) -> int:
         return partition_index % self.n_workers
@@ -204,41 +233,62 @@ class SimCluster:
         ``task(index, records)`` returns ``(output_records, io_seconds)``;
         its CPU time is measured around the call.
         """
-        worker_time = [0.0] * self.n_workers
-        outputs: list[list] = []
-        total_cpu = 0.0
-        total_io = 0.0
-        retries = 0
-        failure_rate = self.cost_model.task_failure_rate
-        for i, records in enumerate(partitions):
-            # Spark-style retries: a failed attempt still costs its CPU,
-            # I/O and scheduling overhead; the task re-runs (tasks must be
-            # idempotent, as on a real cluster) up to the attempt budget.
-            for attempt in range(1, self.cost_model.task_max_attempts + 1):
-                start = time.perf_counter()
-                out, io_time = task(i, records)
-                cpu = (time.perf_counter() - start) * self.cost_model.cpu_scale
-                total_cpu += cpu
-                total_io += io_time
-                worker_time[self._worker_of(i)] += (
-                    cpu + io_time + self.cost_model.task_overhead_s
-                )
-                failed = failure_rate > 0.0 and (
-                    self._failure_rng.random() < failure_rate
-                )
-                if not failed:
-                    outputs.append(out)
-                    break
-                retries += 1
-            else:
-                raise TaskFailedError(
-                    f"stage {label!r} task {i} failed "
-                    f"{self.cost_model.task_max_attempts} attempts"
-                )
-        wall = max(worker_time, default=0.0)
-        self.ledger.record_stage(
-            label, wall_s=wall, cpu_s=total_cpu, io_s=total_io,
-            tasks=len(partitions) + retries,
+        registry = get_registry()
+        with self._stage_span(label) as span:
+            worker_time = [0.0] * self.n_workers
+            outputs: list[list] = []
+            total_cpu = 0.0
+            total_io = 0.0
+            retries = 0
+            failure_rate = self.cost_model.task_failure_rate
+            for i, records in enumerate(partitions):
+                # Spark-style retries: a failed attempt still costs its CPU,
+                # I/O and scheduling overhead; the task re-runs (tasks must be
+                # idempotent, as on a real cluster) up to the attempt budget.
+                for attempt in range(1, self.cost_model.task_max_attempts + 1):
+                    start = time.perf_counter()
+                    out, io_time = task(i, records)
+                    cpu = (time.perf_counter() - start) * self.cost_model.cpu_scale
+                    total_cpu += cpu
+                    total_io += io_time
+                    worker_time[self._worker_of(i)] += (
+                        cpu + io_time + self.cost_model.task_overhead_s
+                    )
+                    failed = failure_rate > 0.0 and (
+                        self._failure_rng.random() < failure_rate
+                    )
+                    if not failed:
+                        outputs.append(out)
+                        break
+                    retries += 1
+                else:
+                    registry.counter(
+                        "engine_task_failures_total",
+                        "Tasks that exhausted their retry budget",
+                    ).inc()
+                    raise TaskFailedError(
+                        f"stage {label!r} task {i} failed "
+                        f"{self.cost_model.task_max_attempts} attempts"
+                    )
+            wall = max(worker_time, default=0.0)
+            self.ledger.record_stage(
+                label, wall_s=wall, cpu_s=total_cpu, io_s=total_io,
+                tasks=len(partitions) + retries,
+            )
+            registry.counter(
+                "engine_tasks_total", "Task attempts run by the engine"
+            ).inc(len(partitions) + retries)
+            if retries:
+                registry.counter(
+                    "engine_task_retries_total",
+                    "Task attempts that failed and were retried",
+                ).inc(retries)
+                logger.debug("stage %r: %d task retries", label, retries)
+            span.set("tasks", len(partitions))
+            span.set("retries", retries)
+            span.set("simulated_s", wall)
+        logger.debug(
+            "stage %r: %d tasks, simulated %.4fs", label, len(partitions), wall
         )
         return outputs
 
@@ -260,6 +310,18 @@ class SimCluster:
         """Repartition records; cross-worker bytes are charged to network."""
         if n_partitions <= 0:
             raise ValueError("n_partitions must be positive")
+        with self._stage_span(label) as span:
+            result = self._shuffle_inner(data, key_fn, n_partitions, label, span)
+        return result
+
+    def _shuffle_inner(
+        self,
+        data: PartitionedData,
+        key_fn: Callable,
+        n_partitions: int,
+        label: str,
+        span,
+    ) -> PartitionedData:
         new_partitions: list[list] = [[] for _ in range(n_partitions)]
         worker_time = [0.0] * self.n_workers
         total_cpu = 0.0
@@ -290,6 +352,8 @@ class SimCluster:
             label, wall_s=wall, cpu_s=total_cpu, network_s=total_network,
             tasks=len(data.partitions),
         )
+        span.set("tasks", len(data.partitions))
+        span.set("simulated_s", wall)
         return PartitionedData(self, new_partitions)
 
     def _reduce_by_key(
@@ -315,10 +379,13 @@ class SimCluster:
         return self._map_partitions(shuffled, local_combine, f"{label}/merge")
 
     def _collect(self, data: PartitionedData, label: str) -> list:
-        nbytes = sum(estimate_bytes(p) for p in data.partitions)
-        network = self.cost_model.network_time(nbytes)
-        self.ledger.record_stage(label, wall_s=network, network_s=network,
-                                 tasks=data.n_partitions)
+        with self._stage_span(label) as span:
+            nbytes = sum(estimate_bytes(p) for p in data.partitions)
+            network = self.cost_model.network_time(nbytes)
+            self.ledger.record_stage(label, wall_s=network, network_s=network,
+                                     tasks=data.n_partitions)
+            span.set("tasks", data.n_partitions)
+            span.set("simulated_s", network)
         return [record for partition in data.partitions for record in partition]
 
 

@@ -15,11 +15,14 @@ partitions, and the construction ledger consumed by the benchmarks.
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from ..cluster import BlockStorage, SimCluster, SimulationLedger
+from ..telemetry.metrics import get_registry
+from ..telemetry.spans import get_tracer
 from ..tsdb.paa import paa_transform
 from ..tsdb.sax import sax_symbols
 from ..tsdb.series import TimeSeriesDataset
@@ -36,6 +39,8 @@ from .local_index import (
 )
 
 __all__ = ["TardisIndex", "build_tardis_index", "convert_records"]
+
+logger = logging.getLogger(__name__)
 
 
 def convert_records(
@@ -89,12 +94,21 @@ class TardisIndex:
         Spark deployment provides.
         """
         partition = self.partitions[partition_id]
+        registry = get_registry()
         cache = getattr(self, "_partition_cache", None)
         if cache is not None and cache.admit(partition_id):
             if ledger is not None:
                 ledger.record_stage(
                     "query/load partition (cached)", wall_s=0.0, tasks=1
                 )
+            registry.counter(
+                "query_partitions_loaded_total",
+                "Partition loads performed by queries (cached or not)",
+            ).inc()
+            with get_tracer().span("query/load partition") as span:
+                span.set("partition_id", partition_id)
+                span.set("cached", True)
+                span.set("simulated_s", 0.0)
             return partition
         if ledger is not None:
             cost_model = (cluster or SimCluster(self.config.n_workers)).cost_model
@@ -102,6 +116,16 @@ class TardisIndex:
                 max(partition.nbytes, self.block_nbytes())
             )
             ledger.record_stage("query/load partition", wall_s=io, io_s=io, tasks=1)
+        else:
+            io = 0.0
+        registry.counter(
+            "query_partitions_loaded_total",
+            "Partition loads performed by queries (cached or not)",
+        ).inc()
+        with get_tracer().span("query/load partition") as span:
+            span.set("partition_id", partition_id)
+            span.set("cached", False)
+            span.set("simulated_s", io)
         return partition
 
     def enable_cache(self, capacity_partitions: int):
@@ -117,6 +141,17 @@ class TardisIndex:
 
     def disable_cache(self) -> None:
         self._partition_cache = None
+
+    def cache_stats(self) -> dict | None:
+        """Hit/miss/eviction statistics of the attached partition cache.
+
+        ``None`` when no cache is enabled; see
+        :meth:`repro.core.cache.PartitionCache.stats`.
+        """
+        cache = getattr(self, "_partition_cache", None)
+        if cache is None:
+            return None
+        return cache.stats()
 
     def block_nbytes(self) -> int:
         """Nominal storage-block payload (capacity × record size)."""
@@ -326,68 +361,114 @@ def build_tardis_index(
     if storage is None:
         storage = BlockStorage.from_dataset(dataset, config.g_max_size)
 
-    # ---- Global phase (Tardis-G) --------------------------------------------
-    sampled_blocks = storage.sample_blocks(config.sampling_fraction, seed=config.seed)
-    sample = cluster.read_blocks(sampled_blocks, label="global/sample+convert")
-    sig_pairs = sample.map_partitions(
-        lambda records: [
-            (sig, 1) for sig, _rid, _ts in convert_records(records, config)
-        ],
-        label="global/sample+convert",
+    tracer = get_tracer()
+    clock_at_start = ledger.clock_s
+    logger.info(
+        "building TARDIS index: %s (%d series x %d), clustered=%s",
+        dataset.name, len(dataset), dataset.length, clustered,
     )
-    reduced = sig_pairs.reduce_by_key(lambda a, b: a + b, label="global/aggregate")
-    frequency_pairs = reduced.collect(label="global/aggregate")
-    sampled_count = sum(freq for _sig, freq in frequency_pairs)
-    scale = (len(dataset) / sampled_count) if sampled_count else 1.0
-    scale = max(1.0, scale)
+    with tracer.span(
+        "build", dataset=dataset.name, n_records=len(dataset),
+        clustered=clustered,
+    ) as build_span:
+        # ---- Global phase (Tardis-G) ----------------------------------------
+        with tracer.span("build/global phase") as global_span:
+            sampled_blocks = storage.sample_blocks(
+                config.sampling_fraction, seed=config.seed
+            )
+            sample = cluster.read_blocks(
+                sampled_blocks, label="global/sample+convert"
+            )
+            sig_pairs = sample.map_partitions(
+                lambda records: [
+                    (sig, 1) for sig, _rid, _ts in convert_records(records, config)
+                ],
+                label="global/sample+convert",
+            )
+            reduced = sig_pairs.reduce_by_key(
+                lambda a, b: a + b, label="global/aggregate"
+            )
+            frequency_pairs = reduced.collect(label="global/aggregate")
+            sampled_count = sum(freq for _sig, freq in frequency_pairs)
+            scale = (len(dataset) / sampled_count) if sampled_count else 1.0
+            scale = max(1.0, scale)
 
-    stats = cluster.run_on_driver(
-        lambda: collect_layer_statistics(dict(frequency_pairs), config, scale=scale),
-        label="global/node statistic",
-    )
-    global_index = cluster.run_on_driver(
-        lambda: _skeleton_only(stats, config), label="global/build index tree"
-    )
-    cluster.run_on_driver(
-        lambda: _assign(global_index, config), label="global/partition assignment"
-    )
-
-    # ---- Local phase (Tardis-L) -----------------------------------------------
-    data = cluster.read_storage(storage, label="local/read data")
-    converted = data.map_partitions(
-        lambda records: convert_records(records, config),
-        label="local/convert data",
-    )
-    broadcast = cluster.broadcast(global_index, label="local/broadcast Tardis-G")
-    partitioner = broadcast.value
-    n_partitions = max(1, partitioner.n_partitions)
-    shuffled = converted.partition_by(
-        lambda record: partitioner.route(record[0]),
-        n_partitions=n_partitions,
-        label="local/shuffle",
-    )
-    if not persist_in_memory:
-        # Intermediate data spills: dump shuffled partitions, read them back.
-        spilled_bytes = sum(
-            sum(len(sig) + 8 + ts.nbytes for sig, _rid, ts in partition)
-            for partition in shuffled.partitions
+            stats = cluster.run_on_driver(
+                lambda: collect_layer_statistics(
+                    dict(frequency_pairs), config, scale=scale
+                ),
+                label="global/node statistic",
+            )
+            global_index = cluster.run_on_driver(
+                lambda: _skeleton_only(stats, config),
+                label="global/build index tree",
+            )
+            cluster.run_on_driver(
+                lambda: _assign(global_index, config),
+                label="global/partition assignment",
+            )
+            global_span.set("sampled_records", sampled_count)
+            global_span.set("n_partitions", global_index.n_partitions)
+        logger.debug(
+            "global phase done: %d sampled records, %d partitions",
+            sampled_count, global_index.n_partitions,
         )
-        cluster.charge_disk_write(spilled_bytes, label="local/spill write")
-        cluster.charge_disk_read(spilled_bytes, label="local/spill read")
-    partitions: dict[int, LocalPartition] = {}
 
-    def build_one(index: int, records: list) -> tuple[list, float]:
-        partition = build_local_partition(
-            index, records, config, clustered=clustered, with_bloom=with_bloom
-        )
-        partitions[index] = partition
-        return [], 0.0
+        # ---- Local phase (Tardis-L) -----------------------------------------
+        with tracer.span("build/local phase") as local_span:
+            data = cluster.read_storage(storage, label="local/read data")
+            converted = data.map_partitions(
+                lambda records: convert_records(records, config),
+                label="local/convert data",
+            )
+            broadcast = cluster.broadcast(
+                global_index, label="local/broadcast Tardis-G"
+            )
+            partitioner = broadcast.value
+            n_partitions = max(1, partitioner.n_partitions)
+            shuffled = converted.partition_by(
+                lambda record: partitioner.route(record[0]),
+                n_partitions=n_partitions,
+                label="local/shuffle",
+            )
+            if not persist_in_memory:
+                # Intermediate data spills: dump shuffled partitions, read
+                # them back.
+                spilled_bytes = sum(
+                    sum(len(sig) + 8 + ts.nbytes for sig, _rid, ts in partition)
+                    for partition in shuffled.partitions
+                )
+                cluster.charge_disk_write(spilled_bytes, label="local/spill write")
+                cluster.charge_disk_read(spilled_bytes, label="local/spill read")
+            partitions: dict[int, LocalPartition] = {}
 
-    cluster._run_stage("local/build index", shuffled.partitions, build_one)
-    if with_bloom:
-        bloom_bytes = sum(p.bloom.nbytes for p in partitions.values())
-        cluster.charge_disk_write(bloom_bytes, label="local/dump bloom index")
+            def build_one(index: int, records: list) -> tuple[list, float]:
+                partition = build_local_partition(
+                    index, records, config, clustered=clustered,
+                    with_bloom=with_bloom,
+                )
+                partitions[index] = partition
+                return [], 0.0
 
+            cluster._run_stage("local/build index", shuffled.partitions, build_one)
+            if with_bloom:
+                bloom_bytes = sum(p.bloom.nbytes for p in partitions.values())
+                cluster.charge_disk_write(
+                    bloom_bytes, label="local/dump bloom index"
+                )
+            local_span.set("n_partitions", len(partitions))
+        build_span.set("n_partitions", len(partitions))
+        build_span.set("simulated_s", ledger.clock_s - clock_at_start)
+
+    registry = get_registry()
+    registry.counter("index_builds_total", "TARDIS indices built").inc()
+    registry.histogram(
+        "build_simulated_seconds", "Simulated end-to-end construction time"
+    ).observe(ledger.clock_s - clock_at_start)
+    logger.info(
+        "built index: %d partitions, simulated %.2fs",
+        len(partitions), ledger.clock_s - clock_at_start,
+    )
     return TardisIndex(
         config=config,
         global_index=global_index,

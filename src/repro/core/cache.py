@@ -11,6 +11,11 @@ resident answers without the block-load latency that otherwise dominates
 whose loads cost nothing while resident.  Attach one to an index with
 :meth:`TardisIndex.enable_cache`; every query strategy picks it up
 automatically because all loads funnel through ``load_partition``.
+
+Every access also updates hit/miss/eviction statistics — locally on the
+cache (``stats()``, surfaced by ``repro info``) and on the shared
+telemetry registry (``partition_cache_*_total`` counters, surfaced by
+``--metrics``).
 """
 
 from __future__ import annotations
@@ -18,17 +23,20 @@ from __future__ import annotations
 from collections import OrderedDict
 from dataclasses import dataclass, field
 
+from ..telemetry.metrics import get_registry
+
 __all__ = ["PartitionCache"]
 
 
 @dataclass
 class PartitionCache:
-    """An LRU cache over partition ids with hit/miss accounting."""
+    """An LRU cache over partition ids with hit/miss/eviction accounting."""
 
     capacity: int
     _resident: OrderedDict = field(default_factory=OrderedDict)
     hits: int = 0
     misses: int = 0
+    evictions: int = 0
 
     def __post_init__(self) -> None:
         if self.capacity <= 0:
@@ -40,14 +48,28 @@ class PartitionCache:
         Misses insert the partition, evicting the least recently used
         resident when over capacity.
         """
+        registry = get_registry()
         if partition_id in self._resident:
             self._resident.move_to_end(partition_id)
             self.hits += 1
+            registry.counter(
+                "partition_cache_hits_total",
+                "Partition loads answered from the LRU cache",
+            ).inc()
             return True
         self.misses += 1
+        registry.counter(
+            "partition_cache_misses_total",
+            "Partition loads that missed the LRU cache",
+        ).inc()
         self._resident[partition_id] = True
         if len(self._resident) > self.capacity:
             self._resident.popitem(last=False)
+            self.evictions += 1
+            registry.counter(
+                "partition_cache_evictions_total",
+                "Residents evicted from the LRU cache",
+            ).inc()
         return False
 
     def invalidate(self, partition_id: int) -> None:
@@ -66,3 +88,14 @@ class PartitionCache:
     def hit_rate(self) -> float:
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
+
+    def stats(self) -> dict:
+        """Snapshot of the cache's accounting, for reports and ``repro info``."""
+        return {
+            "capacity": self.capacity,
+            "resident": len(self._resident),
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "hit_rate": self.hit_rate,
+        }

@@ -21,19 +21,23 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import logging
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from ..cluster import SimulationLedger
 from ..cluster.costmodel import timed_stage
+from ..telemetry.spans import get_tracer
 from ..tsdb.distance import batch_euclidean
 from .builder import TardisIndex
-from .local_index import LocalPartition, node_mindist
-from .queries import Neighbor, query_signature
+from .local_index import LocalPartition, ScanStats, node_mindist
+from .queries import Neighbor, _record_query_metrics, query_signature
 from .sigtree import SigTreeNode
 
 __all__ = ["ExactSearchResult", "knn_exact", "range_query"]
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass
@@ -44,6 +48,12 @@ class ExactSearchResult:
     partitions_loaded: int = 0
     candidates_examined: int = 0
     nodes_pruned: int = 0
+    #: Partitions + sigTree nodes expanded (not pruned) during the search.
+    nodes_visited: int = 0
+    #: Which algorithm produced this result (``knn-exact`` / ``range``).
+    strategy: str = ""
+    #: Ids of the partitions actually loaded, in visit order.
+    partition_ids_loaded: list[int] = field(default_factory=list)
     ledger: SimulationLedger = field(default_factory=SimulationLedger)
 
     @property
@@ -104,34 +114,58 @@ def knn_exact(index: TardisIndex, query: np.ndarray, k: int) -> ExactSearchResul
         raise ValueError("k must be positive")
     if not index.clustered:
         raise RuntimeError("exact kNN needs a clustered index")
-    result = ExactSearchResult(neighbors=[])
+    result = ExactSearchResult(neighbors=[], strategy="knn-exact")
     counter = itertools.count()
-    with timed_stage(result.ledger, "query/route"):
-        _signature, paa = query_signature(index, query)
-        partition_queue = sorted(
-            (bound, pid)
-            for pid, bound in _partition_bounds(index, paa).items()
-        )
-    k_heap: list[tuple[float, int, int]] = []  # (-distance, tiebreak, rid)
-
-    def kth_distance() -> float:
-        if len(k_heap) < k:
-            return np.inf
-        return -k_heap[0][0]
-
-    for bound, pid in partition_queue:
-        if bound > kth_distance():
-            result.nodes_pruned += 1
-            continue
-        partition = index.load_partition(pid, ledger=result.ledger)
-        result.partitions_loaded += 1
-        with timed_stage(result.ledger, "query/local search"):
-            result.candidates_examined += _search_partition(
-                index, partition, query, paa, k, k_heap, result, counter
+    with get_tracer().span("query/knn-exact", k=k) as span:
+        with timed_stage(result.ledger, "query/route"):
+            _signature, paa = query_signature(index, query)
+            partition_queue = sorted(
+                (bound, pid)
+                for pid, bound in _partition_bounds(index, paa).items()
             )
-    ordered = sorted((-d, rid) for d, _tie, rid in k_heap)
-    result.neighbors = [Neighbor(dist, rid) for dist, rid in ordered]
+        k_heap: list[tuple[float, int, int]] = []  # (-distance, tiebreak, rid)
+
+        def kth_distance() -> float:
+            if len(k_heap) < k:
+                return np.inf
+            return -k_heap[0][0]
+
+        for bound, pid in partition_queue:
+            if bound > kth_distance():
+                result.nodes_pruned += 1
+                continue
+            partition = index.load_partition(pid, ledger=result.ledger)
+            result.partitions_loaded += 1
+            result.partition_ids_loaded.append(pid)
+            result.nodes_visited += 1
+            with timed_stage(result.ledger, "query/local search"):
+                result.candidates_examined += _search_partition(
+                    index, partition, query, paa, k, k_heap, result, counter
+                )
+        ordered = sorted((-d, rid) for d, _tie, rid in k_heap)
+        result.neighbors = [Neighbor(dist, rid) for dist, rid in ordered]
+        _annotate_exact_span(span, result)
+    _record_query_metrics(
+        candidates=result.candidates_examined,
+        nodes_visited=result.nodes_visited,
+        nodes_pruned=result.nodes_pruned,
+        simulated_s=result.ledger.clock_s,
+    )
+    logger.debug(
+        "exact kNN: %d/%d partitions loaded, %d candidates",
+        result.partitions_loaded, len(index.partitions),
+        result.candidates_examined,
+    )
     return result
+
+
+def _annotate_exact_span(span, result: ExactSearchResult) -> None:
+    """Copy an exact-search result's accounting onto its root span."""
+    span.set("partitions_loaded", result.partitions_loaded)
+    span.set("candidates_examined", result.candidates_examined)
+    span.set("nodes_visited", result.nodes_visited)
+    span.set("nodes_pruned", result.nodes_pruned)
+    span.set("simulated_s", result.ledger.clock_s)
 
 
 def _search_partition(
@@ -155,6 +189,7 @@ def _search_partition(
         if bound > kth:
             result.nodes_pruned += 1
             continue
+        result.nodes_visited += 1
         if node.entries:
             examined += _rank_entries(query, node.entries, k_heap, k, counter)
         for child in node.children.values():
@@ -178,30 +213,44 @@ def range_query(
         raise ValueError("radius must be non-negative")
     if not index.clustered:
         raise RuntimeError("range queries need a clustered index")
-    result = ExactSearchResult(neighbors=[])
-    with timed_stage(result.ledger, "query/route"):
-        _signature, paa = query_signature(index, query)
-    hits: list[Neighbor] = []
-    bounds = _partition_bounds(index, paa)
-    for pid, partition in index.partitions.items():
-        if bounds[pid] > radius:
-            result.nodes_pruned += 1
-            continue
-        partition = index.load_partition(pid, ledger=result.ledger)
-        result.partitions_loaded += 1
-        with timed_stage(result.ledger, "query/local search"):
-            survivors = partition.pruned_entries(
-                paa, radius, index.series_length
-            )
-            result.candidates_examined += len(survivors)
-            if survivors:
-                values = np.vstack([e[2] for e in survivors])
-                distances = batch_euclidean(
-                    np.asarray(query, dtype=np.float64), values
+    result = ExactSearchResult(neighbors=[], strategy="range")
+    with get_tracer().span("query/range", radius=radius) as span:
+        with timed_stage(result.ledger, "query/route"):
+            _signature, paa = query_signature(index, query)
+        hits: list[Neighbor] = []
+        bounds = _partition_bounds(index, paa)
+        scan = ScanStats()
+        for pid, partition in index.partitions.items():
+            if bounds[pid] > radius:
+                result.nodes_pruned += 1
+                continue
+            partition = index.load_partition(pid, ledger=result.ledger)
+            result.partitions_loaded += 1
+            result.partition_ids_loaded.append(pid)
+            result.nodes_visited += 1
+            with timed_stage(result.ledger, "query/local search"):
+                survivors = partition.pruned_entries(
+                    paa, radius, index.series_length, stats=scan
                 )
-                for dist, entry in zip(distances, survivors):
-                    if dist <= radius:
-                        hits.append(Neighbor(float(dist), entry[1]))
-    hits.sort(key=lambda n: (n.distance, n.record_id))
-    result.neighbors = hits
+                result.candidates_examined += len(survivors)
+                if survivors:
+                    values = np.vstack([e[2] for e in survivors])
+                    distances = batch_euclidean(
+                        np.asarray(query, dtype=np.float64), values
+                    )
+                    for dist, entry in zip(distances, survivors):
+                        if dist <= radius:
+                            hits.append(Neighbor(float(dist), entry[1]))
+        result.nodes_visited += scan.visited
+        result.nodes_pruned += scan.pruned
+        hits.sort(key=lambda n: (n.distance, n.record_id))
+        result.neighbors = hits
+        span.set("n_results", len(hits))
+        _annotate_exact_span(span, result)
+    _record_query_metrics(
+        candidates=result.candidates_examined,
+        nodes_visited=result.nodes_visited,
+        nodes_pruned=result.nodes_pruned,
+        simulated_s=result.ledger.clock_s,
+    )
     return result

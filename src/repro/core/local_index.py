@@ -25,6 +25,7 @@ from .sigtree import SigTree, SigTreeNode
 
 __all__ = [
     "LocalPartition",
+    "ScanStats",
     "build_local_partition",
     "node_mindist",
     "REGION_PREFIX_BITS",
@@ -40,6 +41,20 @@ REGION_PREFIX_BITS = 2
 
 #: Entry layout: (full-cardinality signature, record id, series-or-None).
 Entry = tuple[str, int, "np.ndarray | None"]
+
+
+@dataclass
+class ScanStats:
+    """Node-level accounting of one sigTree traversal.
+
+    Passed (optionally) into the scan helpers below so query strategies
+    can report how many tree nodes they actually touched versus pruned —
+    the per-operator numbers behind the paper's Fig. 14-16 analysis and
+    the telemetry layer's ``query_nodes_*`` counters.
+    """
+
+    visited: int = 0
+    pruned: int = 0
 
 
 def node_mindist(node: SigTreeNode, query_paa: np.ndarray, n: int, word_length: int) -> float:
@@ -140,12 +155,16 @@ class LocalPartition:
             node = child
         return node
 
-    def entries_under(self, node: SigTreeNode) -> list[Entry]:
+    def entries_under(
+        self, node: SigTreeNode, stats: ScanStats | None = None
+    ) -> list[Entry]:
         """All data entries in the subtree rooted at ``node``."""
         collected: list[Entry] = []
         stack = [node]
         while stack:
             current = stack.pop()
+            if stats is not None:
+                stats.visited += 1
             collected.extend(current.entries)
             stack.extend(current.children.values())
         return collected
@@ -156,12 +175,14 @@ class LocalPartition:
         threshold: float,
         series_length: int,
         skip: SigTreeNode | None = None,
+        stats: ScanStats | None = None,
     ) -> list[Entry]:
         """Entries in all subtrees whose MINDIST ≤ ``threshold``.
 
         The lower-bound property guarantees no series closer than
         ``threshold`` is pruned.  ``skip`` (typically the already-scanned
         target node) is excluded to avoid recollecting its entries.
+        ``stats`` (when given) counts visited vs. MINDIST-pruned nodes.
         """
         collected: list[Entry] = []
         stack = [self.tree.root]
@@ -173,7 +194,11 @@ class LocalPartition:
                 node_mindist(node, query_paa, series_length, self.tree.word_length)
                 > threshold
             ):
+                if stats is not None:
+                    stats.pruned += 1
                 continue
+            if stats is not None:
+                stats.visited += 1
             collected.extend(node.entries)
             stack.extend(node.children.values())
         return collected

@@ -21,6 +21,7 @@ the no-false-negative guarantee carries over without re-hashing.
 from __future__ import annotations
 
 import json
+import logging
 from pathlib import Path
 
 import numpy as np
@@ -33,6 +34,8 @@ from .local_index import LocalPartition
 from .sigtree import SigTree
 
 __all__ = ["save_index", "load_index"]
+
+logger = logging.getLogger(__name__)
 
 #: Bumped to 2 when the per-partition region synopsis was added.
 _FORMAT_VERSION = 2
@@ -65,6 +68,9 @@ def save_index(index: TardisIndex, path: str | Path) -> None:
         },
     }
     (root / "meta.json").write_text(json.dumps(meta, indent=2))
+    logger.info(
+        "saving index to %s (%d partitions)", root, len(index.partitions)
+    )
 
     nodes = [
         {
@@ -161,6 +167,10 @@ def load_index(path: str | Path) -> TardisIndex:
             region_prefixes={str(p) for p in payload["region_prefixes"]},
         )
 
+    logger.info(
+        "loaded index %s: %d records, %d partitions",
+        root, meta["n_records"], len(partitions),
+    )
     return TardisIndex(
         config=config,
         global_index=global_index,

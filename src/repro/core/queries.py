@@ -19,17 +19,20 @@ reproduce the Fig. 14-16 latency shapes.
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from ..cluster import SimulationLedger
 from ..cluster.costmodel import timed_stage
+from ..telemetry.metrics import get_registry
+from ..telemetry.spans import get_tracer
 from ..tsdb.distance import batch_euclidean
 from ..tsdb.paa import paa_transform
 from .builder import TardisIndex
 from .isaxt import signature_of_paa
-from .local_index import Entry, LocalPartition
+from .local_index import Entry, LocalPartition, ScanStats
 
 __all__ = [
     "Neighbor",
@@ -63,6 +66,10 @@ class KnnResult:
     strategy: str = ""
     #: Ids of the partitions actually loaded (used by answer certification).
     partition_ids_loaded: list[int] = field(default_factory=list)
+    #: sigTree nodes touched during descent/scan across all partitions.
+    nodes_visited: int = 0
+    #: Subtrees skipped by the MINDIST lower bound.
+    nodes_pruned: int = 0
     ledger: SimulationLedger = field(default_factory=SimulationLedger)
 
     @property
@@ -85,6 +92,10 @@ class ExactMatchResult:
     record_ids: list[int]
     bloom_rejected: bool = False
     partitions_loaded: int = 0
+    #: Ids of the partitions actually loaded (empty on Bloom rejection).
+    partition_ids_loaded: list[int] = field(default_factory=list)
+    #: Tardis-L nodes on the descent path of the leaf lookup.
+    nodes_visited: int = 0
     ledger: SimulationLedger = field(default_factory=SimulationLedger)
 
     @property
@@ -96,11 +107,53 @@ class ExactMatchResult:
         return self.ledger.clock_s
 
 
+logger = logging.getLogger(__name__)
+
+
 def query_signature(index: TardisIndex, query: np.ndarray) -> tuple[str, np.ndarray]:
     """Convert a query series to ``(isaxt(b) signature, PAA word)``."""
     config = index.config
     paa = paa_transform(np.asarray(query, dtype=np.float64), config.word_length)
     return signature_of_paa(paa, config.cardinality_bits), paa
+
+
+def _record_query_metrics(
+    candidates: int = 0,
+    nodes_visited: int = 0,
+    nodes_pruned: int = 0,
+    simulated_s: float = 0.0,
+) -> None:
+    """Fold one query's accounting into the shared metrics registry."""
+    registry = get_registry()
+    registry.counter(
+        "queries_total", "Queries executed across all strategies"
+    ).inc()
+    if candidates:
+        registry.counter(
+            "query_candidates_examined_total",
+            "Candidate series ranked by true distance",
+        ).inc(candidates)
+    if nodes_visited:
+        registry.counter(
+            "query_nodes_visited_total", "sigTree nodes touched by queries"
+        ).inc(nodes_visited)
+    if nodes_pruned:
+        registry.counter(
+            "query_mindist_prunes_total",
+            "Subtrees/partitions skipped via the MINDIST lower bound",
+        ).inc(nodes_pruned)
+    registry.histogram(
+        "query_simulated_seconds", "Simulated end-to-end query latency"
+    ).observe(simulated_s)
+
+
+def _annotate_knn_span(span, result: "KnnResult") -> None:
+    """Copy a kNN result's accounting onto its root trace span."""
+    span.set("partitions_loaded", result.partitions_loaded)
+    span.set("candidates_examined", result.candidates_examined)
+    span.set("nodes_visited", result.nodes_visited)
+    span.set("nodes_pruned", result.nodes_pruned)
+    span.set("simulated_s", result.ledger.clock_s)
 
 
 # ---------------------------------------------------------------------------
@@ -121,20 +174,51 @@ def exact_match(
     partition load — the source of the Fig. 14 speedup on absent queries.
     """
     result = ExactMatchResult(record_ids=[])
-    with timed_stage(result.ledger, "query/route"):
-        signature, _paa = query_signature(index, query)
-        partition_id = index.global_index.route(signature)
-    partition = index.partitions[partition_id]
-    if use_bloom:
-        with timed_stage(result.ledger, "query/bloom test"):
-            positive = partition.might_contain(signature)
-        if not positive:
-            result.bloom_rejected = True
-            return result
-    partition = index.load_partition(partition_id, ledger=result.ledger)
-    result.partitions_loaded = 1
-    with timed_stage(result.ledger, "query/local search"):
-        result.record_ids = partition.exact_lookup(signature, np.asarray(query))
+    registry = get_registry()
+    with get_tracer().span(
+        "query/exact-match", use_bloom=use_bloom
+    ) as query_span:
+        with timed_stage(result.ledger, "query/route"):
+            signature, _paa = query_signature(index, query)
+            partition_id = index.global_index.route(signature)
+        partition = index.partitions[partition_id]
+        if use_bloom:
+            with timed_stage(result.ledger, "query/bloom test"):
+                positive = partition.might_contain(signature)
+            if positive:
+                registry.counter(
+                    "query_bloom_positives_total",
+                    "Bloom tests that passed (partition load required)",
+                ).inc()
+            else:
+                registry.counter(
+                    "query_bloom_negatives_total",
+                    "Bloom tests that short-circuited an absent query",
+                ).inc()
+                result.bloom_rejected = True
+                query_span.set("bloom_rejected", True)
+                query_span.set("found", False)
+                _record_query_metrics(simulated_s=result.ledger.clock_s)
+                return result
+        partition = index.load_partition(partition_id, ledger=result.ledger)
+        result.partitions_loaded = 1
+        result.partition_ids_loaded = [partition_id]
+        with timed_stage(result.ledger, "query/local search"):
+            leaf = partition.tree.descend(signature)
+            result.nodes_visited = leaf.layer + 1
+            result.record_ids = partition.exact_lookup(
+                signature, np.asarray(query)
+            )
+        query_span.set("partition_id", partition_id)
+        query_span.set("nodes_visited", result.nodes_visited)
+        query_span.set("found", result.found)
+    _record_query_metrics(
+        nodes_visited=result.nodes_visited,
+        simulated_s=result.ledger.clock_s,
+    )
+    logger.debug(
+        "exact-match: partition %d, found=%s", partition_id, result.found
+    )
     return result
 
 
@@ -167,17 +251,27 @@ def knn_target_node_access(
     """Target Node Access: answer from the lowest ≥ k-entry node."""
     _require_clustered(index)
     result = KnnResult(neighbors=[], strategy="target-node")
-    with timed_stage(result.ledger, "query/route"):
-        signature, _paa = query_signature(index, query)
-        partition_id = index.global_index.route(signature)
-    partition = index.load_partition(partition_id, ledger=result.ledger)
-    result.partitions_loaded = 1
-    result.partition_ids_loaded = [partition_id]
-    with timed_stage(result.ledger, "query/local search"):
-        target = partition.target_node(signature, k)
-        candidates = partition.entries_under(target)
-        result.candidates_examined = len(candidates)
-        result.neighbors = _top_k(query, candidates, k)
+    with get_tracer().span("query/knn", strategy="target-node", k=k) as span:
+        with timed_stage(result.ledger, "query/route"):
+            signature, _paa = query_signature(index, query)
+            partition_id = index.global_index.route(signature)
+        partition = index.load_partition(partition_id, ledger=result.ledger)
+        result.partitions_loaded = 1
+        result.partition_ids_loaded = [partition_id]
+        with timed_stage(result.ledger, "query/local search"):
+            scan = ScanStats()
+            target = partition.target_node(signature, k)
+            candidates = partition.entries_under(target, stats=scan)
+            result.candidates_examined = len(candidates)
+            result.nodes_visited = (target.layer + 1) + scan.visited
+            result.neighbors = _top_k(query, candidates, k)
+        _annotate_knn_span(span, result)
+    _record_query_metrics(
+        candidates=result.candidates_examined,
+        nodes_visited=result.nodes_visited,
+        nodes_pruned=result.nodes_pruned,
+        simulated_s=result.ledger.clock_s,
+    )
     return result
 
 
@@ -187,23 +281,34 @@ def knn_one_partition_access(
     """One Partition Access: widen TNA with a pruned home-partition scan."""
     _require_clustered(index)
     result = KnnResult(neighbors=[], strategy="one-partition")
-    with timed_stage(result.ledger, "query/route"):
-        signature, paa = query_signature(index, query)
-        partition_id = index.global_index.route(signature)
-    partition = index.load_partition(partition_id, ledger=result.ledger)
-    result.partitions_loaded = 1
-    result.partition_ids_loaded = [partition_id]
-    with timed_stage(result.ledger, "query/local search"):
-        target = partition.target_node(signature, k)
-        seed_entries = partition.entries_under(target)
-        seed = _top_k(query, seed_entries, k)
-        threshold = seed[-1].distance if len(seed) >= k else np.inf
-        extra = partition.pruned_entries(
-            paa, threshold, index.series_length, skip=target
-        )
-        candidates = seed_entries + extra
-        result.candidates_examined = len(candidates)
-        result.neighbors = _top_k(query, candidates, k)
+    with get_tracer().span("query/knn", strategy="one-partition", k=k) as span:
+        with timed_stage(result.ledger, "query/route"):
+            signature, paa = query_signature(index, query)
+            partition_id = index.global_index.route(signature)
+        partition = index.load_partition(partition_id, ledger=result.ledger)
+        result.partitions_loaded = 1
+        result.partition_ids_loaded = [partition_id]
+        with timed_stage(result.ledger, "query/local search"):
+            scan = ScanStats()
+            target = partition.target_node(signature, k)
+            seed_entries = partition.entries_under(target, stats=scan)
+            seed = _top_k(query, seed_entries, k)
+            threshold = seed[-1].distance if len(seed) >= k else np.inf
+            extra = partition.pruned_entries(
+                paa, threshold, index.series_length, skip=target, stats=scan
+            )
+            candidates = seed_entries + extra
+            result.candidates_examined = len(candidates)
+            result.nodes_visited = (target.layer + 1) + scan.visited
+            result.nodes_pruned = scan.pruned
+            result.neighbors = _top_k(query, candidates, k)
+        _annotate_knn_span(span, result)
+    _record_query_metrics(
+        candidates=result.candidates_examined,
+        nodes_visited=result.nodes_visited,
+        nodes_pruned=result.nodes_pruned,
+        simulated_s=result.ledger.clock_s,
+    )
     return result
 
 
@@ -223,76 +328,96 @@ def knn_multi_partitions_access(
     _require_clustered(index)
     pth = pth or index.config.pth
     result = KnnResult(neighbors=[], strategy="multi-partitions")
-    with timed_stage(result.ledger, "query/route"):
-        signature, paa = query_signature(index, query)
-        home_pid = index.global_index.route(signature)
-        pid_list = index.global_index.sibling_partition_ids(signature)
-    if home_pid not in pid_list:
-        pid_list.append(home_pid)
-    if len(pid_list) > pth:
-        rng = np.random.default_rng(seed)
-        others = [pid for pid in pid_list if pid != home_pid]
-        chosen = rng.choice(len(others), size=pth - 1, replace=False)
-        pid_list = [home_pid] + [others[i] for i in chosen]
-    # Load all partitions (workers pull blocks in parallel → latency is the
-    # max single load, matching Alg. 1's concurrent readHdfsBlock).
-    loaded: dict[int, LocalPartition] = {}
-    load_times = []
-    for pid in pid_list:
-        sub_ledger = SimulationLedger()
-        loaded[pid] = index.load_partition(pid, ledger=sub_ledger)
-        load_times.append(sub_ledger.clock_s)
-    parallel_load = max(load_times, default=0.0)
-    result.ledger.record_stage(
-        "query/load partitions", wall_s=parallel_load,
-        io_s=sum(load_times), tasks=len(pid_list),
+    with get_tracer().span(
+        "query/knn", strategy="multi-partitions", k=k, pth=pth
+    ) as span:
+        with timed_stage(result.ledger, "query/route"):
+            signature, paa = query_signature(index, query)
+            home_pid = index.global_index.route(signature)
+            pid_list = index.global_index.sibling_partition_ids(signature)
+        if home_pid not in pid_list:
+            pid_list.append(home_pid)
+        if len(pid_list) > pth:
+            rng = np.random.default_rng(seed)
+            others = [pid for pid in pid_list if pid != home_pid]
+            chosen = rng.choice(len(others), size=pth - 1, replace=False)
+            pid_list = [home_pid] + [others[i] for i in chosen]
+        # Load all partitions (workers pull blocks in parallel → latency is
+        # the max single load, matching Alg. 1's concurrent readHdfsBlock).
+        loaded: dict[int, LocalPartition] = {}
+        load_times = []
+        for pid in pid_list:
+            sub_ledger = SimulationLedger()
+            loaded[pid] = index.load_partition(pid, ledger=sub_ledger)
+            load_times.append(sub_ledger.clock_s)
+        parallel_load = max(load_times, default=0.0)
+        result.ledger.record_stage(
+            "query/load partitions", wall_s=parallel_load,
+            io_s=sum(load_times), tasks=len(pid_list),
+        )
+        result.partitions_loaded = len(pid_list)
+        result.partition_ids_loaded = list(pid_list)
+        scan = ScanStats()
+        # Threshold from the home partition's target node (Alg. 1 lines
+        # 10-14).
+        with timed_stage(result.ledger, "query/threshold"):
+            home = loaded[home_pid]
+            target = home.target_node(signature, k)
+            seed_entries = home.entries_under(target, stats=scan)
+            seed_top = _top_k(query, seed_entries, k)
+            threshold = seed_top[-1].distance if len(seed_top) >= k else np.inf
+        # Scan + rank each partition with the threshold, in parallel (lines
+        # 15-16: ``partitions.scan(th).calEuSort(qts)``).  Each worker scans
+        # and distance-sorts its own partition, so the charged latency is the
+        # slowest single partition, and only per-partition top-k lists reach
+        # the driver for the final cheap merge (line 17's ``take(k)``).
+        per_partition_tops: list[list[Neighbor]] = [
+            _top_k(query, seed_entries, k)
+        ]
+        total_candidates = len(seed_entries)
+        scan_times = []
+        for pid, partition in loaded.items():
+            skip = target if pid == home_pid else None
+            scratch = SimulationLedger()
+            with timed_stage(scratch, "query/scan partition"):
+                survivors = partition.pruned_entries(
+                    paa, threshold, index.series_length, skip=skip, stats=scan
+                )
+                per_partition_tops.append(_top_k(query, survivors, k))
+            total_candidates += len(survivors)
+            scan_times.append(scratch.clock_s)
+        result.ledger.record_stage(
+            "query/parallel scan+rank",
+            wall_s=max(scan_times, default=0.0),
+            cpu_s=sum(scan_times),
+            tasks=len(scan_times),
+        )
+        with timed_stage(result.ledger, "query/merge"):
+            merged = [n for top in per_partition_tops for n in top]
+            merged.sort(key=lambda n: (n.distance, n.record_id))
+            deduped: list[Neighbor] = []
+            seen_ids: set[int] = set()
+            for neighbor in merged:
+                if neighbor.record_id not in seen_ids:
+                    seen_ids.add(neighbor.record_id)
+                    deduped.append(neighbor)
+                if len(deduped) == k:
+                    break
+            result.candidates_examined = total_candidates
+            result.neighbors = deduped
+        result.nodes_visited = (target.layer + 1) + scan.visited
+        result.nodes_pruned = scan.pruned
+        _annotate_knn_span(span, result)
+    _record_query_metrics(
+        candidates=result.candidates_examined,
+        nodes_visited=result.nodes_visited,
+        nodes_pruned=result.nodes_pruned,
+        simulated_s=result.ledger.clock_s,
     )
-    result.partitions_loaded = len(pid_list)
-    result.partition_ids_loaded = list(pid_list)
-    # Threshold from the home partition's target node (Alg. 1 lines 10-14).
-    with timed_stage(result.ledger, "query/threshold"):
-        home = loaded[home_pid]
-        target = home.target_node(signature, k)
-        seed_entries = home.entries_under(target)
-        seed_top = _top_k(query, seed_entries, k)
-        threshold = seed_top[-1].distance if len(seed_top) >= k else np.inf
-    # Scan + rank each partition with the threshold, in parallel (lines
-    # 15-16: ``partitions.scan(th).calEuSort(qts)``).  Each worker scans
-    # and distance-sorts its own partition, so the charged latency is the
-    # slowest single partition, and only per-partition top-k lists reach
-    # the driver for the final cheap merge (line 17's ``take(k)``).
-    per_partition_tops: list[list[Neighbor]] = [_top_k(query, seed_entries, k)]
-    total_candidates = len(seed_entries)
-    scan_times = []
-    for pid, partition in loaded.items():
-        skip = target if pid == home_pid else None
-        scratch = SimulationLedger()
-        with timed_stage(scratch, "scan"):
-            survivors = partition.pruned_entries(
-                paa, threshold, index.series_length, skip=skip
-            )
-            per_partition_tops.append(_top_k(query, survivors, k))
-        total_candidates += len(survivors)
-        scan_times.append(scratch.clock_s)
-    result.ledger.record_stage(
-        "query/parallel scan+rank",
-        wall_s=max(scan_times, default=0.0),
-        cpu_s=sum(scan_times),
-        tasks=len(scan_times),
+    logger.debug(
+        "multi-partitions kNN: %d partitions, %d candidates",
+        result.partitions_loaded, result.candidates_examined,
     )
-    with timed_stage(result.ledger, "query/merge"):
-        merged = [n for top in per_partition_tops for n in top]
-        merged.sort(key=lambda n: (n.distance, n.record_id))
-        deduped: list[Neighbor] = []
-        seen_ids: set[int] = set()
-        for neighbor in merged:
-            if neighbor.record_id not in seen_ids:
-                seen_ids.add(neighbor.record_id)
-                deduped.append(neighbor)
-            if len(deduped) == k:
-                break
-        result.candidates_examined = total_candidates
-        result.neighbors = deduped
     return result
 
 

@@ -25,6 +25,7 @@ ids, contents and Bloom filters untouched.
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass, field
 
 from .config import TardisConfig
@@ -34,6 +35,8 @@ from .partitioning import _synchronize_id_lists, first_fit_decreasing
 from .sigtree import SigTreeNode
 
 __all__ = ["RebalanceReport", "rebalance_index"]
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass
@@ -150,6 +153,11 @@ def rebalance_index(index, overflow_factor: float = 1.5) -> RebalanceReport:
             node.partition_ids.clear()
         _synchronize_id_lists(global_index.tree)
         global_index.n_partitions = len(index.partitions)
+        logger.info(
+            "rebalance: split %d partition(s), created %d, moved %d records",
+            report.partitions_split, report.partitions_created,
+            report.records_moved,
+        )
     return report
 
 

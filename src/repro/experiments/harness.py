@@ -11,7 +11,8 @@ benchmarks that share a configuration do not rebuild from scratch.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import logging
+from dataclasses import dataclass, field
 from functools import lru_cache
 
 import numpy as np
@@ -34,8 +35,32 @@ from ..core.queries import (
     knn_target_node_access,
 )
 from ..metrics.accuracy import error_ratio, mean, recall
+from ..telemetry.exporters import aggregate_spans
+from ..telemetry.spans import get_tracer
 from ..tsdb.series import TimeSeriesDataset
 from .workloads import ExactQuery, dataset_with_heldout_queries
+
+logger = logging.getLogger(__name__)
+
+
+def _trace_mark() -> int:
+    """Current root-span count; pair with :func:`_trace_summary_since`."""
+    tracer = get_tracer()
+    return len(tracer.roots) if tracer.enabled else 0
+
+
+def _trace_summary_since(mark: int) -> dict | None:
+    """Aggregate spans finished since ``mark`` (None when tracing is off).
+
+    The per-span-name ``{count, total_s, simulated_s}`` summary that gets
+    attached to result rows, so every report carries the trace evidence
+    behind its averaged timings (Fig. 11/14 style breakdowns).
+    """
+    tracer = get_tracer()
+    if not tracer.enabled:
+        return None
+    summary = aggregate_spans(tracer.roots[mark:])
+    return summary or None
 
 __all__ = [
     "ConstructionReport",
@@ -75,6 +100,8 @@ class ConstructionReport:
     global_index_nbytes: int
     local_index_nbytes: int
     n_partitions: int
+    #: Per-span-name trace aggregate (None when tracing is disabled).
+    trace_summary: dict | None = field(default=None, repr=False)
 
     @staticmethod
     def _phase_sum(breakdown: dict[str, float], prefix: str) -> float:
@@ -89,9 +116,11 @@ def build_tardis_with_report(
     """Build TARDIS and summarize its ledger into a report."""
     config = config or TardisConfig()
     cluster = SimCluster(n_workers=config.n_workers)
+    mark = _trace_mark()
     index = build_tardis_index(dataset, config, cluster=cluster, **build_kwargs)
     breakdown = cluster.ledger.breakdown()
     report = ConstructionReport(
+        trace_summary=_trace_summary_since(mark),
         system="TARDIS",
         dataset=dataset.name,
         n_records=len(dataset),
@@ -171,6 +200,8 @@ class ExactMatchReport:
     false_answers: int
     partition_loads: int
     bloom_rejections: int = 0
+    #: Per-span-name trace aggregate (None when tracing is disabled).
+    trace_summary: dict | None = field(default=None, repr=False)
 
 
 def evaluate_exact_match(
@@ -185,6 +216,7 @@ def evaluate_exact_match(
     """
     is_tardis = isinstance(index, TardisIndex)
     times, correct, false_answers, loads, rejections = [], 0, 0, 0, 0
+    mark = _trace_mark()
     for query in queries:
         if is_tardis:
             result = exact_match(index, query.values, use_bloom=use_bloom)
@@ -210,6 +242,7 @@ def evaluate_exact_match(
         false_answers=false_answers,
         partition_loads=loads,
         bloom_rejections=rejections,
+        trace_summary=_trace_summary_since(mark),
     )
 
 
@@ -231,6 +264,8 @@ class KnnReport:
     avg_partitions: float
     n_queries: int = 0
     short_answers: int = 0  # queries answered with fewer than k results
+    #: Per-span-name trace aggregate (None when tracing is disabled).
+    trace_summary: dict | None = field(default=None, repr=False)
 
 
 def _run_method(
@@ -277,6 +312,7 @@ def evaluate_knn(
     for method in methods:
         recalls, ratios, times, cands, parts = [], [], [], [], []
         short = 0
+        mark = _trace_mark()
         for query, truth in zip(queries, truths):
             ids, dists, result = _run_method(method, tardis, dpisax, query, k)
             truth_ids = [n.record_id for n in truth]
@@ -301,6 +337,8 @@ def evaluate_knn(
                 avg_partitions=mean(parts),
                 n_queries=len(queries),
                 short_answers=short,
+                trace_summary=_trace_summary_since(mark),
             )
         )
+        logger.debug("evaluated %s: recall %.3f", method, reports[-1].recall)
     return reports

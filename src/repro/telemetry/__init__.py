@@ -1,0 +1,85 @@
+"""Telemetry: structured tracing, metrics, exporters, and logging.
+
+The observability layer for the whole reproduction (see
+docs/OBSERVABILITY.md).  Four pieces:
+
+* :mod:`~repro.telemetry.spans` — a :class:`Tracer` producing nested,
+  timed spans with attributes.  Disabled by default and near-free when
+  disabled; the library's hot paths are instrumented unconditionally.
+* :mod:`~repro.telemetry.metrics` — a :class:`MetricsRegistry` of
+  counters, gauges, and fixed-bucket histograms (Bloom outcomes, cache
+  hits, MINDIST prunes, partitions loaded, ...).
+* :mod:`~repro.telemetry.exporters` — JSON trace dumps
+  (``repro.trace/v1``) and Prometheus text exposition, plus validators
+  and human-oriented summaries.
+* :mod:`~repro.telemetry.log` — one-call stdlib-logging setup for the
+  ``repro.*`` module loggers.
+
+Typical use::
+
+    from repro import telemetry
+
+    telemetry.enable_tracing()
+    index = build_tardis_index(dataset)
+    result = knn_multi_partitions_access(index, query, k=10)
+    telemetry.write_trace(telemetry.get_tracer(), "trace.json")
+    telemetry.write_metrics(telemetry.get_registry(), "metrics.prom")
+"""
+
+from . import log
+from .exporters import (
+    TRACE_SCHEMA,
+    aggregate_spans,
+    metrics_to_text,
+    summarize_trace,
+    trace_to_dict,
+    validate_metrics_text,
+    validate_trace,
+    write_metrics,
+    write_trace,
+)
+from .metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+)
+from .spans import (
+    NULL_SPAN,
+    NullSpan,
+    Span,
+    Tracer,
+    disable_tracing,
+    enable_tracing,
+    get_tracer,
+    traced,
+)
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "NullSpan",
+    "NULL_SPAN",
+    "get_tracer",
+    "enable_tracing",
+    "disable_tracing",
+    "traced",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "get_registry",
+    "DEFAULT_BUCKETS",
+    "TRACE_SCHEMA",
+    "trace_to_dict",
+    "write_trace",
+    "validate_trace",
+    "metrics_to_text",
+    "write_metrics",
+    "validate_metrics_text",
+    "aggregate_spans",
+    "summarize_trace",
+    "log",
+]

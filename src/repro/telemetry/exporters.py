@@ -1,0 +1,310 @@
+"""Exporters: JSON trace dumps and Prometheus-style text exposition.
+
+Two file formats leave the process:
+
+* **Trace JSON** (``repro.trace/v1``): the finished span forest of a
+  :class:`~repro.telemetry.spans.Tracer`, one document per run::
+
+      {"schema": "repro.trace/v1", "generated_by": "repro 1.0.0",
+       "spans": [{"name": ..., "duration_s": ..., "attributes": {...},
+                  "children": [...]}, ...]}
+
+* **Metrics text** (Prometheus exposition format 0.0.4): ``# HELP`` /
+  ``# TYPE`` comment pairs followed by samples; histograms expand into
+  ``_bucket{le=...}`` / ``_sum`` / ``_count`` series.
+
+Both formats ship with validators (used by the CI telemetry check and
+``python -m repro.telemetry.validate``) and human-oriented summarizers
+(behind ``repro stats``).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+from typing import Iterable
+
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .spans import Span, Tracer
+
+__all__ = [
+    "TRACE_SCHEMA",
+    "trace_to_dict",
+    "write_trace",
+    "validate_trace",
+    "metrics_to_text",
+    "write_metrics",
+    "validate_metrics_text",
+    "aggregate_spans",
+    "summarize_trace",
+]
+
+TRACE_SCHEMA = "repro.trace/v1"
+
+
+# ---------------------------------------------------------------------------
+# Trace JSON
+# ---------------------------------------------------------------------------
+
+
+def trace_to_dict(tracer: Tracer) -> dict:
+    """Serialize a tracer's finished span forest into one document."""
+    from .. import __version__
+
+    return {
+        "schema": TRACE_SCHEMA,
+        "generated_by": f"repro {__version__}",
+        "spans": [root.to_dict() for root in tracer.roots],
+    }
+
+
+def write_trace(tracer: Tracer, path: str | Path) -> Path:
+    """Dump the tracer's spans as JSON; returns the written path."""
+    path = Path(path)
+    path.write_text(json.dumps(trace_to_dict(tracer), indent=2) + "\n")
+    return path
+
+
+def validate_trace(doc: dict) -> int:
+    """Check a trace document against the ``repro.trace/v1`` schema.
+
+    Returns the total number of spans; raises ``ValueError`` naming the
+    first violation.
+    """
+    if not isinstance(doc, dict):
+        raise ValueError("trace document must be a JSON object")
+    if doc.get("schema") != TRACE_SCHEMA:
+        raise ValueError(
+            f"unexpected schema {doc.get('schema')!r}, want {TRACE_SCHEMA!r}"
+        )
+    spans = doc.get("spans")
+    if not isinstance(spans, list):
+        raise ValueError("'spans' must be a list")
+    total = 0
+    for span in spans:
+        total += _validate_span(span, path="spans")
+    return total
+
+
+def _validate_span(span: object, path: str) -> int:
+    if not isinstance(span, dict):
+        raise ValueError(f"{path}: span must be an object")
+    name = span.get("name")
+    if not isinstance(name, str) or not name:
+        raise ValueError(f"{path}: span name must be a non-empty string")
+    duration = span.get("duration_s")
+    if not isinstance(duration, (int, float)) or duration < 0:
+        raise ValueError(f"{path}/{name}: duration_s must be a number >= 0")
+    attributes = span.get("attributes", {})
+    if not isinstance(attributes, dict):
+        raise ValueError(f"{path}/{name}: attributes must be an object")
+    children = span.get("children", [])
+    if not isinstance(children, list):
+        raise ValueError(f"{path}/{name}: children must be a list")
+    total = 1
+    for child in children:
+        total += _validate_span(child, path=f"{path}/{name}")
+    return total
+
+
+# ---------------------------------------------------------------------------
+# Prometheus text exposition
+# ---------------------------------------------------------------------------
+
+
+def _fmt_value(value: float) -> str:
+    if value == math.inf:
+        return "+Inf"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def metrics_to_text(registry: MetricsRegistry) -> str:
+    """Render every instrument in Prometheus exposition format 0.0.4."""
+    lines: list[str] = []
+    for instrument in registry.instruments():
+        name = instrument.name
+        if instrument.help:
+            lines.append(f"# HELP {name} {_escape_help(instrument.help)}")
+        lines.append(f"# TYPE {name} {instrument.kind}")
+        if isinstance(instrument, (Counter, Gauge)):
+            lines.append(f"{name} {_fmt_value(instrument.value)}")
+        elif isinstance(instrument, Histogram):
+            for bound, cumulative in instrument.cumulative_buckets():
+                lines.append(
+                    f'{name}_bucket{{le="{_fmt_value(bound)}"}} {cumulative}'
+                )
+            lines.append(f"{name}_sum {_fmt_value(instrument.sum)}")
+            lines.append(f"{name}_count {instrument.count}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_metrics(registry: MetricsRegistry, path: str | Path) -> Path:
+    """Write the registry in exposition format; returns the path."""
+    path = Path(path)
+    path.write_text(metrics_to_text(registry))
+    return path
+
+
+def validate_metrics_text(text: str) -> int:
+    """Check Prometheus exposition text; returns the number of samples.
+
+    Validates the subset this library emits: every sample line parses as
+    ``name[{labels}] value``, every ``# TYPE`` is a known kind, histograms
+    have consistent ``_bucket``/``_sum``/``_count`` series, and cumulative
+    bucket counts are monotone with ``le="+Inf"`` equal to ``_count``.
+    """
+    samples = 0
+    typed: dict[str, str] = {}
+    bucket_last: dict[str, float] = {}
+    bucket_infs: dict[str, float] = {}
+    counts: dict[str, float] = {}
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split(None, 3)
+            if len(parts) < 4 or parts[3] not in (
+                "counter", "gauge", "histogram", "untyped"
+            ):
+                raise ValueError(f"line {lineno}: malformed TYPE comment")
+            typed[parts[2]] = parts[3]
+            continue
+        if line.startswith("#"):
+            continue
+        name, labels, value = _parse_sample(line, lineno)
+        samples += 1
+        base = _base_name(name)
+        if typed.get(base) == "histogram":
+            if name.endswith("_bucket"):
+                le = labels.get("le")
+                if le is None:
+                    raise ValueError(
+                        f"line {lineno}: histogram bucket without le label"
+                    )
+                bound = math.inf if le == "+Inf" else float(le)
+                prev = bucket_last.get(base, -math.inf)
+                if value < (counts.get(f"{base}__prev", 0.0)):
+                    raise ValueError(
+                        f"line {lineno}: bucket counts must be cumulative"
+                    )
+                if bound <= prev:
+                    raise ValueError(
+                        f"line {lineno}: bucket bounds must increase"
+                    )
+                bucket_last[base] = bound
+                counts[f"{base}__prev"] = value
+                if bound == math.inf:
+                    bucket_infs[base] = value
+            elif name.endswith("_count"):
+                counts[base] = value
+        elif base not in typed and name not in typed:
+            raise ValueError(f"line {lineno}: sample {name!r} has no TYPE")
+    for base, inf_count in bucket_infs.items():
+        if base in counts and counts[base] != inf_count:
+            raise ValueError(
+                f"histogram {base}: +Inf bucket {inf_count} != _count "
+                f"{counts[base]}"
+            )
+    return samples
+
+
+def _base_name(sample_name: str) -> str:
+    for suffix in ("_bucket", "_sum", "_count"):
+        if sample_name.endswith(suffix):
+            return sample_name[: -len(suffix)]
+    return sample_name
+
+
+def _parse_sample(line: str, lineno: int) -> tuple[str, dict, float]:
+    rest = line
+    labels: dict[str, str] = {}
+    if "{" in line:
+        name, _, rest = line.partition("{")
+        body, closed, rest = rest.partition("}")
+        if not closed:
+            raise ValueError(f"line {lineno}: unclosed label braces")
+        for item in body.split(","):
+            if not item:
+                continue
+            key, eq, raw = item.partition("=")
+            if not eq or not raw.startswith('"') or not raw.endswith('"'):
+                raise ValueError(f"line {lineno}: malformed label {item!r}")
+            labels[key.strip()] = raw[1:-1]
+    else:
+        name, _, rest = line.partition(" ")
+    parts = rest.split()
+    if len(parts) != 1:
+        raise ValueError(f"line {lineno}: expected 'name value'")
+    try:
+        value = float(parts[0].replace("+Inf", "inf"))
+    except ValueError as exc:
+        raise ValueError(f"line {lineno}: bad value {parts[0]!r}") from exc
+    name = name.strip()
+    if not name:
+        raise ValueError(f"line {lineno}: empty metric name")
+    return name, labels, value
+
+
+# ---------------------------------------------------------------------------
+# Summaries (harness rows and ``repro stats``)
+# ---------------------------------------------------------------------------
+
+
+def aggregate_spans(spans: Iterable[Span]) -> dict[str, dict[str, float]]:
+    """Fold a span forest into ``name -> {count, total_s, simulated_s}``.
+
+    Walks every descendant; the per-name totals are what the experiment
+    harness attaches to its result rows.
+    """
+    summary: dict[str, dict[str, float]] = {}
+    for root in spans:
+        for span in root.iter_spans():
+            row = summary.setdefault(
+                span.name, {"count": 0, "total_s": 0.0, "simulated_s": 0.0}
+            )
+            row["count"] += 1
+            row["total_s"] += span.duration_s
+            simulated = span.attributes.get("simulated_s")
+            if isinstance(simulated, (int, float)):
+                row["simulated_s"] += simulated
+    return summary
+
+
+def summarize_trace(doc: dict, max_depth: int | None = None) -> str:
+    """Pretty-print a trace document as an indented span tree.
+
+    Each line shows the span name, measured duration, simulated seconds
+    when recorded, and the remaining attributes.  Used by ``repro stats``.
+    """
+    validate_trace(doc)
+    lines = [f"trace: {len(doc['spans'])} root span(s)  [{doc['schema']}]"]
+
+    def walk(span: dict, depth: int) -> None:
+        if max_depth is not None and depth > max_depth:
+            return
+        indent = "  " * depth
+        attributes = dict(span.get("attributes", {}))
+        simulated = attributes.pop("simulated_s", None)
+        timing = f"{span['duration_s'] * 1e3:.2f} ms"
+        if isinstance(simulated, (int, float)):
+            timing += f"  (simulated {simulated:.4f} s)"
+        extras = ""
+        if attributes:
+            rendered = ", ".join(
+                f"{k}={v}" for k, v in sorted(attributes.items())
+            )
+            extras = f"  {{{rendered}}}"
+        lines.append(f"{indent}- {span['name']}  {timing}{extras}")
+        for child in span.get("children", []):
+            walk(child, depth + 1)
+
+    for root in doc["spans"]:
+        walk(root, 0)
+    return "\n".join(lines)

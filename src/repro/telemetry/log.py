@@ -1,0 +1,65 @@
+"""Logging setup for the ``repro`` package.
+
+Every library module logs through ``logging.getLogger(__name__)`` and
+emits nothing by default (stdlib semantics: no handler, WARNING+ falls
+through to ``lastResort``).  Applications and the CLI opt in with::
+
+    from repro.telemetry import log
+    log.configure(verbosity=1)      # -v → DEBUG; 0 → INFO; -1 → WARNING
+
+``configure`` is idempotent: it manages exactly one handler on the
+``repro`` logger and replaces it on each call, so repeated CLI
+invocations in one process (as the tests do) never stack handlers.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import IO
+
+__all__ = ["configure", "verbosity_to_level", "LOGGER_NAME"]
+
+LOGGER_NAME = "repro"
+
+_FORMAT = "%(levelname)s %(name)s: %(message)s"
+
+#: The handler installed by :func:`configure` (module state so repeated
+#: calls replace rather than stack).
+_handler: logging.Handler | None = None
+
+
+def verbosity_to_level(verbosity: int) -> int:
+    """Map CLI ``-q``/``-v`` counts to a stdlib level.
+
+    ``-1`` (quiet) → WARNING, ``0`` → INFO, ``1+`` (verbose) → DEBUG.
+    """
+    if verbosity <= -1:
+        return logging.WARNING
+    if verbosity == 0:
+        return logging.INFO
+    return logging.DEBUG
+
+
+def configure(
+    verbosity: int = 0,
+    stream: IO[str] | None = None,
+    level: int | None = None,
+) -> logging.Logger:
+    """Attach one stream handler to the ``repro`` logger; returns it.
+
+    ``level`` overrides ``verbosity`` when given.  Diagnostics go to
+    ``stderr`` by default so they never mix with command output on
+    ``stdout`` (which the CLI reserves for results).
+    """
+    global _handler
+    resolved = level if level is not None else verbosity_to_level(verbosity)
+    logger = logging.getLogger(LOGGER_NAME)
+    if _handler is not None:
+        logger.removeHandler(_handler)
+    _handler = logging.StreamHandler(stream or sys.stderr)
+    _handler.setFormatter(logging.Formatter(_FORMAT))
+    logger.addHandler(_handler)
+    logger.setLevel(resolved)
+    logger.propagate = False
+    return logger

@@ -1,0 +1,231 @@
+"""Metrics registry: counters, gauges, and fixed-bucket histograms.
+
+Prometheus-flavoured in both naming rules and data model, but dependency
+free and cheap enough to leave permanently wired into the query paths:
+incrementing a counter is one lock acquisition and one float add.
+
+Instruments are created lazily and idempotently through the registry::
+
+    registry = get_registry()
+    registry.counter("query_bloom_negatives_total",
+                     "Exact-match queries short-circuited by a Bloom filter")
+    registry.counter("query_bloom_negatives_total").inc()
+
+Re-requesting a name returns the existing instrument; requesting it as a
+different type raises.  Export with
+:func:`repro.telemetry.exporters.metrics_to_text`.
+"""
+
+from __future__ import annotations
+
+import re
+import threading
+from typing import Iterable
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "get_registry",
+    "DEFAULT_BUCKETS",
+]
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+
+#: Default histogram buckets (seconds): spans simulated query latencies
+#: from sub-millisecond Bloom rejections to minute-scale builds.
+DEFAULT_BUCKETS = (
+    0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 60.0, 300.0
+)
+
+
+class _Instrument:
+    """Base: name, help text, and a lock shared by all mutations."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help: str = ""):
+        if not _NAME_RE.match(name):
+            raise ValueError(f"invalid metric name: {name!r}")
+        self.name = name
+        self.help = help
+        self._lock = threading.Lock()
+
+
+class Counter(_Instrument):
+    """A monotonically increasing value."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str = ""):
+        super().__init__(name, help)
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters can only increase")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def reset(self) -> None:
+        with self._lock:
+            self._value = 0.0
+
+
+class Gauge(_Instrument):
+    """A value that can go up and down (e.g. cache residency)."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str = ""):
+        super().__init__(name, help)
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value -= amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def reset(self) -> None:
+        with self._lock:
+            self._value = 0.0
+
+
+class Histogram(_Instrument):
+    """Fixed-bucket cumulative histogram (Prometheus semantics).
+
+    ``buckets`` are inclusive upper bounds; an implicit ``+Inf`` bucket
+    catches the rest.  ``observe`` records one sample.
+    """
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        buckets: Iterable[float] = DEFAULT_BUCKETS,
+    ):
+        super().__init__(name, help)
+        bounds = tuple(sorted(float(b) for b in buckets))
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket")
+        if len(set(bounds)) != len(bounds):
+            raise ValueError("histogram buckets must be distinct")
+        self.bounds = bounds
+        self._bucket_counts = [0] * (len(bounds) + 1)  # +Inf last
+        self._sum = 0.0
+        self._count = 0
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        with self._lock:
+            self._sum += value
+            self._count += 1
+            for i, bound in enumerate(self.bounds):
+                if value <= bound:
+                    self._bucket_counts[i] += 1
+                    return
+            self._bucket_counts[-1] += 1
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    def cumulative_buckets(self) -> list[tuple[float, int]]:
+        """``(upper_bound, cumulative_count)`` pairs, ``inf`` last."""
+        out = []
+        running = 0
+        for bound, n in zip(self.bounds, self._bucket_counts):
+            running += n
+            out.append((bound, running))
+        out.append((float("inf"), running + self._bucket_counts[-1]))
+        return out
+
+    def reset(self) -> None:
+        with self._lock:
+            self._bucket_counts = [0] * (len(self.bounds) + 1)
+            self._sum = 0.0
+            self._count = 0
+
+
+class MetricsRegistry:
+    """Named instruments, created on first request, in creation order."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._instruments: dict[str, _Instrument] = {}
+
+    def _get_or_create(self, cls, name: str, help: str, **kwargs):
+        with self._lock:
+            existing = self._instruments.get(name)
+            if existing is not None:
+                if not isinstance(existing, cls):
+                    raise ValueError(
+                        f"metric {name!r} already registered as "
+                        f"{existing.kind}, requested {cls.kind}"
+                    )
+                return existing
+            instrument = cls(name, help, **kwargs)
+            self._instruments[name] = instrument
+            return instrument
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._get_or_create(Counter, name, help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._get_or_create(Gauge, name, help)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        buckets: Iterable[float] = DEFAULT_BUCKETS,
+    ) -> Histogram:
+        return self._get_or_create(Histogram, name, help, buckets=buckets)
+
+    def instruments(self) -> list[_Instrument]:
+        with self._lock:
+            return list(self._instruments.values())
+
+    def get(self, name: str) -> _Instrument | None:
+        return self._instruments.get(name)
+
+    def reset(self) -> None:
+        """Zero every instrument (keeps registrations and help text)."""
+        for instrument in self.instruments():
+            instrument.reset()
+
+    def clear(self) -> None:
+        """Forget every instrument."""
+        with self._lock:
+            self._instruments.clear()
+
+
+#: The library-wide registry used by all built-in instrumentation.
+_REGISTRY = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """The shared metrics registry."""
+    return _REGISTRY

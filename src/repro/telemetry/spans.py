@@ -1,0 +1,294 @@
+"""Structured tracing: nested, timed spans with attributes.
+
+A :class:`Tracer` produces a tree of :class:`Span` objects per top-level
+operation (an index build, one query).  Instrumented code opens spans with
+the context manager::
+
+    tracer = get_tracer()
+    with tracer.span("query/route", strategy="multi-partitions") as sp:
+        ...
+        sp.set("partition_id", pid)
+
+or the decorator::
+
+    @traced("build/global phase")
+    def build_global(...): ...
+
+Design constraints, in priority order:
+
+* **Near-zero overhead when disabled.**  ``span()`` on a disabled tracer
+  returns a shared no-op singleton: no allocation, no clock read, no lock.
+  The hot query paths stay instrumented unconditionally and the cost is a
+  single attribute check.
+* **Thread-safe.**  The active-span stack is thread-local (each thread
+  grows its own subtree); finished root spans are appended to a shared,
+  lock-protected list.
+* **Wall *and* simulated time.**  Spans measure real elapsed seconds
+  (``perf_counter``); instrumentation that knows the simulated cluster
+  cost records it as the ``simulated_s`` attribute so traces can drive the
+  paper's Fig. 11/14 breakdowns.
+"""
+
+from __future__ import annotations
+
+import functools
+import threading
+import time
+from typing import Callable, Iterator
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "NullSpan",
+    "NULL_SPAN",
+    "get_tracer",
+    "enable_tracing",
+    "disable_tracing",
+    "traced",
+]
+
+
+class Span:
+    """One timed operation: name, attributes, and child spans."""
+
+    __slots__ = ("name", "attributes", "start_s", "end_s", "children")
+
+    def __init__(self, name: str, attributes: dict | None = None):
+        self.name = name
+        self.attributes: dict = dict(attributes) if attributes else {}
+        self.start_s = time.perf_counter()
+        self.end_s: float | None = None
+        self.children: list["Span"] = []
+
+    # -- mutation ------------------------------------------------------------
+
+    def set(self, key: str, value) -> None:
+        """Set one attribute (overwrites)."""
+        self.attributes[key] = value
+
+    def incr(self, key: str, amount: float = 1) -> None:
+        """Add to a numeric attribute, creating it at zero."""
+        self.attributes[key] = self.attributes.get(key, 0) + amount
+
+    def finish(self) -> None:
+        if self.end_s is None:
+            self.end_s = time.perf_counter()
+
+    # -- inspection ----------------------------------------------------------
+
+    @property
+    def duration_s(self) -> float:
+        """Measured wall seconds (0.0 while the span is still open)."""
+        if self.end_s is None:
+            return 0.0
+        return self.end_s - self.start_s
+
+    def iter_spans(self) -> Iterator["Span"]:
+        """This span and every descendant, depth-first."""
+        yield self
+        for child in self.children:
+            yield from child.iter_spans()
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form (see docs/OBSERVABILITY.md for schema)."""
+        return {
+            "name": self.name,
+            "duration_s": round(self.duration_s, 9),
+            "attributes": {k: _jsonable(v) for k, v in self.attributes.items()},
+            "children": [child.to_dict() for child in self.children],
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Span({self.name!r}, {self.duration_s * 1e3:.3f} ms, " \
+               f"{len(self.children)} children)"
+
+
+def _jsonable(value):
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    return str(value)
+
+
+class NullSpan:
+    """The do-nothing span handed out by a disabled tracer."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "NullSpan":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        return None
+
+    def set(self, key: str, value) -> None:
+        return None
+
+    def incr(self, key: str, amount: float = 1) -> None:
+        return None
+
+    @property
+    def duration_s(self) -> float:
+        return 0.0
+
+
+#: Shared no-op span: every ``span()`` call on a disabled tracer returns
+#: this same object, so the disabled path allocates nothing.
+NULL_SPAN = NullSpan()
+
+
+class _SpanContext:
+    """Context manager that pushes/pops one live span."""
+
+    __slots__ = ("_tracer", "_span")
+
+    def __init__(self, tracer: "Tracer", span: Span):
+        self._tracer = tracer
+        self._span = span
+
+    def __enter__(self) -> Span:
+        self._tracer._push(self._span)
+        return self._span
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is not None:
+            self._span.set("error", f"{exc_type.__name__}: {exc}")
+        self._span.finish()
+        self._tracer._pop(self._span)
+
+
+class Tracer:
+    """Produces nested spans; collects finished root spans.
+
+    One module-level tracer (see :func:`get_tracer`) serves the whole
+    library; tests may instantiate private tracers.
+    """
+
+    def __init__(self, enabled: bool = False):
+        self.enabled = enabled
+        self._local = threading.local()
+        self._lock = threading.Lock()
+        self._roots: list[Span] = []
+
+    # -- span lifecycle ------------------------------------------------------
+
+    def span(self, name: str, **attributes):
+        """Open a span as a context manager; no-op when disabled."""
+        if not self.enabled:
+            return NULL_SPAN
+        return _SpanContext(self, Span(name, attributes))
+
+    def current(self):
+        """The innermost live span of this thread (or the no-op span).
+
+        Lets leaf instrumentation annotate whatever span is active without
+        threading a span object through every call::
+
+            get_tracer().current().incr("bloom_negatives")
+        """
+        if not self.enabled:
+            return NULL_SPAN
+        stack = getattr(self._local, "stack", None)
+        if not stack:
+            return NULL_SPAN
+        return stack[-1]
+
+    def _push(self, span: Span) -> None:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        if stack:
+            stack[-1].children.append(span)
+        stack.append(span)
+
+    def _pop(self, span: Span) -> None:
+        stack = getattr(self._local, "stack", None)
+        if not stack or stack[-1] is not span:  # pragma: no cover - misuse
+            raise RuntimeError(
+                f"span {span.name!r} closed out of order"
+            )
+        stack.pop()
+        if not stack:
+            with self._lock:
+                self._roots.append(span)
+
+    # -- collection ----------------------------------------------------------
+
+    @property
+    def roots(self) -> list[Span]:
+        """Finished top-level spans, in completion order (a copy)."""
+        with self._lock:
+            return list(self._roots)
+
+    def iter_spans(self) -> Iterator[Span]:
+        """Every finished span, depth-first across all roots."""
+        for root in self.roots:
+            yield from root.iter_spans()
+
+    def reset(self) -> None:
+        """Drop collected spans (keeps the enabled flag)."""
+        with self._lock:
+            self._roots.clear()
+
+    # -- decorator -----------------------------------------------------------
+
+    def traced(self, name: str | None = None) -> Callable:
+        """Decorator form: the wrapped call becomes one span."""
+
+        def decorate(fn: Callable) -> Callable:
+            span_name = name or fn.__qualname__
+
+            @functools.wraps(fn)
+            def wrapper(*args, **kwargs):
+                if not self.enabled:
+                    return fn(*args, **kwargs)
+                with self.span(span_name):
+                    return fn(*args, **kwargs)
+
+            return wrapper
+
+        return decorate
+
+
+#: The library-wide tracer.  Disabled by default; ``--trace`` on the CLI or
+#: :func:`enable_tracing` turns it on.
+_TRACER = Tracer(enabled=False)
+
+
+def get_tracer() -> Tracer:
+    """The shared tracer used by all built-in instrumentation."""
+    return _TRACER
+
+
+def enable_tracing(reset: bool = True) -> Tracer:
+    """Turn the shared tracer on (optionally clearing prior spans)."""
+    if reset:
+        _TRACER.reset()
+    _TRACER.enabled = True
+    return _TRACER
+
+
+def disable_tracing() -> Tracer:
+    """Turn the shared tracer off (collected spans are kept)."""
+    _TRACER.enabled = False
+    return _TRACER
+
+
+def traced(name: str | None = None) -> Callable:
+    """Decorator tracing through the shared tracer (checked at call time)."""
+
+    def decorate(fn: Callable) -> Callable:
+        span_name = name or fn.__qualname__
+
+        @functools.wraps(fn)
+        def wrapper(*args, **kwargs):
+            tracer = _TRACER
+            if not tracer.enabled:
+                return fn(*args, **kwargs)
+            with tracer.span(span_name):
+                return fn(*args, **kwargs)
+
+        return wrapper
+
+    return decorate

@@ -1,0 +1,54 @@
+"""Schema validation CLI for emitted telemetry files.
+
+Used by the CI telemetry step to fail the build when a trace or metrics
+file stops matching its documented schema::
+
+    python -m repro.telemetry.validate --trace trace.json --metrics metrics.prom
+
+Exit code 0 when every given file validates, 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from .exporters import validate_metrics_text, validate_trace
+
+__all__ = ["main"]
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.telemetry.validate",
+        description="validate emitted trace JSON / Prometheus metrics files",
+    )
+    parser.add_argument("--trace", action="append", default=[],
+                        help="trace JSON file (repeatable)")
+    parser.add_argument("--metrics", action="append", default=[],
+                        help="Prometheus text file (repeatable)")
+    args = parser.parse_args(argv)
+    if not args.trace and not args.metrics:
+        parser.error("give at least one --trace or --metrics file")
+    failures = 0
+    for path in args.trace:
+        try:
+            n_spans = validate_trace(json.loads(Path(path).read_text()))
+            print(f"ok: {path}: {n_spans} spans")
+        except (OSError, ValueError) as exc:
+            print(f"FAIL: {path}: {exc}")
+            failures += 1
+    for path in args.metrics:
+        try:
+            n_samples = validate_metrics_text(Path(path).read_text())
+            print(f"ok: {path}: {n_samples} samples")
+        except (OSError, ValueError) as exc:
+            print(f"FAIL: {path}: {exc}")
+            failures += 1
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -40,6 +40,30 @@ class TestPartitionCacheUnit:
     def test_empty_hit_rate(self):
         assert PartitionCache(1).hit_rate == 0.0
 
+    def test_evictions_counted(self):
+        cache = PartitionCache(2)
+        for pid in (1, 2, 3, 4):
+            cache.admit(pid)
+        assert cache.evictions == 2
+        cache.invalidate(3)  # explicit invalidation is not an eviction
+        assert cache.evictions == 2
+
+    def test_stats_snapshot(self):
+        cache = PartitionCache(2)
+        cache.admit(1)
+        cache.admit(1)
+        cache.admit(2)
+        cache.admit(3)
+        stats = cache.stats()
+        assert stats == {
+            "capacity": 2,
+            "resident": 2,
+            "hits": 1,
+            "misses": 3,
+            "evictions": 1,
+            "hit_rate": 0.25,
+        }
+
 
 class TestCacheOnIndex:
     @pytest.fixture()
@@ -83,6 +107,19 @@ class TestCacheOnIndex:
         index.disable_cache()
         result = exact_match(index, q)
         assert "query/load partition (cached)" not in result.ledger.breakdown()
+
+    def test_index_cache_stats(self, cached_index, rw_small):
+        index, _cache = cached_index
+        q = rw_small.values[14]
+        exact_match(index, q)
+        exact_match(index, q)
+        stats = index.cache_stats()
+        assert stats["capacity"] == 4
+        assert stats["hits"] >= 1 and stats["misses"] >= 1
+
+    def test_cache_stats_none_without_cache(self, rw_small, small_config):
+        index = build_tardis_index(rw_small, small_config)
+        assert index.cache_stats() is None
 
     def test_results_identical_with_and_without_cache(
         self, rw_small, small_config, heldout_queries

@@ -1,0 +1,132 @@
+"""End-to-end: a traced build + queries produce the documented telemetry.
+
+Exercises the real instrumentation (engine stages, build phases, query
+strategies, partition loads, Bloom tests) instead of synthetic spans, and
+checks both exporters accept what comes out.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    TardisConfig,
+    build_tardis_index,
+    exact_match,
+    knn_exact,
+    knn_multi_partitions_access,
+    knn_target_node_access,
+    range_query,
+)
+from repro.telemetry import (
+    aggregate_spans,
+    disable_tracing,
+    enable_tracing,
+    get_registry,
+    get_tracer,
+    metrics_to_text,
+    trace_to_dict,
+    validate_metrics_text,
+    validate_trace,
+)
+from repro.tsdb import random_walk
+
+
+@pytest.fixture(scope="module")
+def traced_run():
+    """Build and query a small index with tracing on; yield the tracer."""
+    dataset = random_walk(500, length=64, seed=21).z_normalized()
+    tracer = enable_tracing()
+    try:
+        index = build_tardis_index(
+            dataset, TardisConfig(g_max_size=100, l_max_size=20, pth=4)
+        )
+        query = dataset.values[11]
+        exact_match(index, query)
+        knn_target_node_access(index, query, 5)
+        knn_multi_partitions_access(index, query, 5)
+        knn_exact(index, query, 5)
+        range_query(index, query, radius=6.0)
+    finally:
+        disable_tracing()
+    return tracer
+
+
+def span_names(tracer) -> set:
+    return {span.name for span in tracer.iter_spans()}
+
+
+def test_build_emits_phase_and_stage_spans(traced_run):
+    names = span_names(traced_run)
+    assert {"build", "build/global phase", "build/local phase"} <= names
+    stage_names = {n for n in names if n.startswith("stage/")}
+    assert any(n.startswith("stage/global/") for n in stage_names)
+    assert any(n.startswith("stage/local/") for n in stage_names)
+
+
+def test_queries_emit_their_documented_spans(traced_run):
+    names = span_names(traced_run)
+    assert {
+        "query/exact-match",
+        "query/knn",
+        "query/knn-exact",
+        "query/range",
+        "query/route",
+        "query/load partition",
+    } <= names
+
+
+def test_query_roots_carry_accounting_attributes(traced_run):
+    roots = {span.name: span for span in traced_run.roots}
+    knn = roots["query/knn"]
+    for key in (
+        "strategy", "partitions_loaded", "candidates_examined",
+        "nodes_visited", "nodes_pruned", "simulated_s",
+    ):
+        assert key in knn.attributes, key
+    assert knn.attributes["partitions_loaded"] >= 1
+    assert roots["query/exact-match"].attributes["found"] is True
+
+
+def test_build_root_nests_the_whole_construction(traced_run):
+    build = next(s for s in traced_run.roots if s.name == "build")
+    child_names = [c.name for c in build.children]
+    assert child_names[:2] == ["build/global phase", "build/local phase"]
+    assert build.attributes["n_partitions"] >= 1
+    assert build.attributes["simulated_s"] > 0
+
+
+def test_trace_exports_and_validates(traced_run):
+    doc = trace_to_dict(traced_run)
+    n_spans = validate_trace(doc)
+    assert n_spans >= 20
+    summary = aggregate_spans(traced_run.roots)
+    assert summary["query/load partition"]["count"] >= 4
+    # Ledger-aligned: loads carry their simulated I/O charge.
+    assert summary["query/load partition"]["simulated_s"] > 0
+
+
+def test_metrics_reflect_the_run(traced_run):
+    registry = get_registry()
+    assert registry.counter("queries_total").value >= 4
+    assert registry.counter("query_partitions_loaded_total").value >= 4
+    assert registry.counter("index_builds_total").value >= 1
+    assert registry.counter("engine_tasks_total").value >= 1
+    bloom_tests = (
+        registry.counter("query_bloom_positives_total").value
+        + registry.counter("query_bloom_negatives_total").value
+    )
+    assert bloom_tests >= 1
+    assert registry.histogram("query_simulated_seconds").count >= 4
+    text = metrics_to_text(registry)
+    assert validate_metrics_text(text) > 0
+
+
+def test_disabled_tracer_collects_nothing_from_real_queries():
+    dataset = random_walk(200, length=64, seed=8).z_normalized()
+    assert not get_tracer().enabled  # the library default
+    before = len(get_tracer().roots)
+    index = build_tardis_index(
+        dataset, TardisConfig(g_max_size=100, l_max_size=20)
+    )
+    knn_target_node_access(index, dataset.values[0], 3)
+    assert len(get_tracer().roots) == before

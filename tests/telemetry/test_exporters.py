@@ -1,0 +1,205 @@
+"""Exporter round-trips: trace JSON schema and Prometheus text."""
+
+import json
+import math
+
+import pytest
+
+from repro.telemetry.exporters import (
+    TRACE_SCHEMA,
+    aggregate_spans,
+    metrics_to_text,
+    summarize_trace,
+    trace_to_dict,
+    validate_metrics_text,
+    validate_trace,
+    write_metrics,
+    write_trace,
+)
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.spans import Tracer
+
+
+def make_tracer() -> Tracer:
+    tracer = Tracer(enabled=True)
+    with tracer.span("query/knn", strategy="tna", k=5) as root:
+        root.set("simulated_s", 0.25)
+        with tracer.span("query/route"):
+            pass
+        with tracer.span("query/load partition") as load:
+            load.set("simulated_s", 0.2)
+    with tracer.span("query/knn") as second:
+        second.set("simulated_s", 0.05)
+    return tracer
+
+
+class TestTraceJson:
+    def test_document_shape(self):
+        doc = trace_to_dict(make_tracer())
+        assert doc["schema"] == TRACE_SCHEMA
+        assert doc["generated_by"].startswith("repro ")
+        assert len(doc["spans"]) == 2
+        root = doc["spans"][0]
+        assert root["name"] == "query/knn"
+        assert root["attributes"]["strategy"] == "tna"
+        assert [c["name"] for c in root["children"]] == [
+            "query/route", "query/load partition"
+        ]
+
+    def test_validate_counts_all_spans(self):
+        doc = trace_to_dict(make_tracer())
+        assert validate_trace(doc) == 4
+
+    def test_write_round_trips(self, tmp_path):
+        path = write_trace(make_tracer(), tmp_path / "trace.json")
+        doc = json.loads(path.read_text())
+        assert validate_trace(doc) == 4
+
+    @pytest.mark.parametrize(
+        "mutate, message",
+        [
+            (lambda d: d.update(schema="nope"), "unexpected schema"),
+            (lambda d: d.update(spans={}), "'spans' must be a list"),
+            (
+                lambda d: d["spans"][0].pop("name"),
+                "name must be a non-empty string",
+            ),
+            (
+                lambda d: d["spans"][0].update(duration_s=-1),
+                "duration_s",
+            ),
+            (
+                lambda d: d["spans"][0].update(children="x"),
+                "children must be a list",
+            ),
+            (
+                lambda d: d["spans"][0].update(attributes=[1]),
+                "attributes must be an object",
+            ),
+        ],
+    )
+    def test_validate_rejects_malformed(self, mutate, message):
+        doc = trace_to_dict(make_tracer())
+        mutate(doc)
+        with pytest.raises(ValueError, match=message):
+            validate_trace(doc)
+
+    def test_validate_rejects_non_dict(self):
+        with pytest.raises(ValueError):
+            validate_trace([])
+
+
+def make_registry() -> MetricsRegistry:
+    reg = MetricsRegistry()
+    reg.counter("queries_total", "Queries executed").inc(7)
+    reg.gauge("cache_resident", "Partitions resident").set(3)
+    hist = reg.histogram(
+        "query_seconds", "Simulated latency", buckets=(0.1, 1.0)
+    )
+    for v in (0.05, 0.5, 5.0):
+        hist.observe(v)
+    return reg
+
+
+class TestPrometheusText:
+    def test_text_format(self):
+        text = metrics_to_text(make_registry())
+        assert "# HELP queries_total Queries executed" in text
+        assert "# TYPE queries_total counter" in text
+        assert "\nqueries_total 7\n" in text
+        assert "# TYPE cache_resident gauge" in text
+        assert "cache_resident 3" in text
+        assert '\nquery_seconds_bucket{le="0.1"} 1\n' in text
+        assert '\nquery_seconds_bucket{le="1"} 2\n' in text
+        assert '\nquery_seconds_bucket{le="+Inf"} 3\n' in text
+        assert "query_seconds_sum 5.55" in text
+        assert text.rstrip().endswith("query_seconds_count 3")
+
+    def test_empty_registry_renders_empty(self):
+        assert metrics_to_text(MetricsRegistry()) == ""
+
+    def test_help_newlines_escaped(self):
+        reg = MetricsRegistry()
+        reg.counter("multi_total", "line one\nline two")
+        text = metrics_to_text(reg)
+        assert "line one\\nline two" in text
+
+    def test_validate_accepts_own_output(self):
+        text = metrics_to_text(make_registry())
+        # 1 counter + 1 gauge + 3 buckets + _sum + _count
+        assert validate_metrics_text(text) == 7
+
+    def test_write_round_trips(self, tmp_path):
+        path = write_metrics(make_registry(), tmp_path / "m.prom")
+        assert validate_metrics_text(path.read_text()) == 7
+
+    @pytest.mark.parametrize(
+        "text, message",
+        [
+            ("queries_total 7\n", "has no TYPE"),
+            ("# TYPE x mystery\nx 1\n", "malformed TYPE"),
+            ("# TYPE x counter\nx\n", "expected 'name value'"),
+            ("# TYPE x counter\nx abc\n", "bad value"),
+            (
+                '# TYPE h histogram\nh_bucket{le="1"} 2\n'
+                'h_bucket{le="0.5"} 3\n',
+                "bounds must increase",
+            ),
+            (
+                '# TYPE h histogram\nh_bucket{le="1"} 5\n'
+                'h_bucket{le="+Inf"} 3\n',
+                "cumulative",
+            ),
+            (
+                '# TYPE h histogram\nh_bucket{le="+Inf"} 3\nh_count 5\n',
+                "!= _count",
+            ),
+            ('# TYPE h histogram\nh_bucket{x="1"} 1\n', "without le"),
+            ("# TYPE x counter\nx{le=\"1\" 1\n", "unclosed label"),
+        ],
+    )
+    def test_validate_rejects_malformed(self, text, message):
+        with pytest.raises(ValueError, match=message):
+            validate_metrics_text(text)
+
+
+class TestSummaries:
+    def test_aggregate_spans_sums_per_name(self):
+        tracer = make_tracer()
+        summary = aggregate_spans(tracer.roots)
+        assert summary["query/knn"]["count"] == 2
+        assert summary["query/knn"]["simulated_s"] == pytest.approx(0.3)
+        assert summary["query/load partition"]["simulated_s"] == pytest.approx(0.2)
+        assert summary["query/route"]["simulated_s"] == 0.0
+        assert summary["query/knn"]["total_s"] >= 0.0
+
+    def test_aggregate_empty(self):
+        assert aggregate_spans([]) == {}
+
+    def test_summarize_trace_renders_tree(self):
+        doc = trace_to_dict(make_tracer())
+        text = summarize_trace(doc)
+        lines = text.splitlines()
+        assert lines[0].startswith("trace: 2 root span(s)")
+        assert any(
+            line.startswith("- query/knn") and "simulated 0.2500 s" in line
+            for line in lines
+        )
+        assert any(line.startswith("  - query/route") for line in lines)
+        assert any("k=5" in line and "strategy=tna" in line for line in lines)
+
+    def test_summarize_trace_max_depth(self):
+        doc = trace_to_dict(make_tracer())
+        text = summarize_trace(doc, max_depth=0)
+        assert "query/route" not in text
+        assert "query/knn" in text
+
+    def test_summarize_validates_first(self):
+        with pytest.raises(ValueError):
+            summarize_trace({"schema": "bogus", "spans": []})
+
+    def test_infinity_rendered_as_prometheus_inf(self):
+        reg = MetricsRegistry()
+        reg.histogram("h_seconds", buckets=(1.0,)).observe(math.inf)
+        text = metrics_to_text(reg)
+        assert 'h_seconds_bucket{le="+Inf"} 1' in text

@@ -1,0 +1,66 @@
+"""Logging configuration: verbosity mapping and handler idempotency."""
+
+import io
+import logging
+
+import pytest
+
+from repro.telemetry import log
+
+
+@pytest.fixture(autouse=True)
+def restore_repro_logger():
+    """Leave the shared 'repro' logger the way we found it."""
+    logger = logging.getLogger(log.LOGGER_NAME)
+    saved = (list(logger.handlers), logger.level, logger.propagate)
+    yield
+    logger.handlers[:], logger.level, logger.propagate = (
+        saved[0], saved[1], saved[2]
+    )
+    log._handler = None
+
+
+def test_verbosity_mapping():
+    assert log.verbosity_to_level(-5) == logging.WARNING
+    assert log.verbosity_to_level(-1) == logging.WARNING
+    assert log.verbosity_to_level(0) == logging.INFO
+    assert log.verbosity_to_level(1) == logging.DEBUG
+    assert log.verbosity_to_level(3) == logging.DEBUG
+
+
+def test_configure_installs_single_handler():
+    stream = io.StringIO()
+    logger = log.configure(verbosity=0, stream=stream)
+    assert logger.name == log.LOGGER_NAME
+    assert logger.level == logging.INFO
+    n_before = len(logger.handlers)
+    # Repeated calls (one per CLI invocation in-process) must not stack.
+    log.configure(verbosity=1, stream=stream)
+    log.configure(verbosity=-1, stream=stream)
+    assert len(logger.handlers) == n_before
+    assert logger.level == logging.WARNING
+
+
+def test_child_loggers_flow_through(capsys):
+    stream = io.StringIO()
+    log.configure(verbosity=1, stream=stream)
+    logging.getLogger("repro.core.builder").debug("descending")
+    assert "DEBUG repro.core.builder: descending" in stream.getvalue()
+    # Nothing leaks to stderr: the managed handler owns the record.
+    assert capsys.readouterr().err == ""
+
+
+def test_quiet_suppresses_info():
+    stream = io.StringIO()
+    log.configure(verbosity=-1, stream=stream)
+    logging.getLogger("repro.core.queries").info("chatty")
+    logging.getLogger("repro.core.queries").warning("important")
+    out = stream.getvalue()
+    assert "chatty" not in out
+    assert "important" in out
+
+
+def test_explicit_level_overrides_verbosity():
+    stream = io.StringIO()
+    logger = log.configure(verbosity=2, stream=stream, level=logging.ERROR)
+    assert logger.level == logging.ERROR

@@ -1,0 +1,151 @@
+"""Counter/gauge/histogram semantics and registry behaviour."""
+
+import threading
+
+import pytest
+
+from repro.telemetry.metrics import (
+    Counter,
+    DEFAULT_BUCKETS,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+)
+
+
+class TestCounter:
+    def test_inc_accumulates(self):
+        c = Counter("requests_total")
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+
+    def test_negative_increment_rejected(self):
+        c = Counter("requests_total")
+        with pytest.raises(ValueError):
+            c.inc(-1)
+        assert c.value == 0.0
+
+    def test_reset(self):
+        c = Counter("requests_total")
+        c.inc(9)
+        c.reset()
+        assert c.value == 0.0
+
+    def test_invalid_name_rejected(self):
+        with pytest.raises(ValueError):
+            Counter("bad name with spaces")
+        with pytest.raises(ValueError):
+            Counter("0starts_with_digit")
+
+    def test_concurrent_increments_all_land(self):
+        c = Counter("contended_total")
+        threads = [
+            threading.Thread(
+                target=lambda: [c.inc() for _ in range(1000)]
+            )
+            for _ in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert c.value == 4000
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        g = Gauge("cache_resident")
+        g.set(5)
+        g.inc(2)
+        g.dec(3)
+        assert g.value == 4.0
+
+    def test_can_go_negative(self):
+        g = Gauge("delta")
+        g.dec(2)
+        assert g.value == -2.0
+
+
+class TestHistogram:
+    def test_observations_land_in_buckets(self):
+        h = Histogram("latency_seconds", buckets=(0.1, 1.0, 10.0))
+        for v in (0.05, 0.5, 0.5, 5.0, 50.0):
+            h.observe(v)
+        assert h.count == 5
+        assert h.sum == pytest.approx(56.05)
+        cumulative = h.cumulative_buckets()
+        assert cumulative == [
+            (0.1, 1), (1.0, 3), (10.0, 4), (float("inf"), 5)
+        ]
+
+    def test_boundary_value_goes_to_lower_bucket(self):
+        h = Histogram("edge_seconds", buckets=(1.0, 2.0))
+        h.observe(1.0)  # le semantics: inclusive upper bound
+        assert h.cumulative_buckets()[0] == (1.0, 1)
+
+    def test_buckets_sorted_and_deduped(self):
+        h = Histogram("sorted_seconds", buckets=(5.0, 1.0, 2.0))
+        assert h.bounds == (1.0, 2.0, 5.0)
+        with pytest.raises(ValueError):
+            Histogram("dup_seconds", buckets=(1.0, 1.0))
+        with pytest.raises(ValueError):
+            Histogram("empty_seconds", buckets=())
+
+    def test_default_buckets_cover_query_and_build_scales(self):
+        assert DEFAULT_BUCKETS[0] <= 0.001
+        assert DEFAULT_BUCKETS[-1] >= 300
+
+    def test_reset_zeroes_everything(self):
+        h = Histogram("reset_seconds", buckets=(1.0,))
+        h.observe(0.5)
+        h.reset()
+        assert h.count == 0
+        assert h.sum == 0.0
+        assert h.cumulative_buckets() == [(1.0, 0), (float("inf"), 0)]
+
+
+class TestRegistry:
+    def test_get_or_create_is_idempotent(self):
+        reg = MetricsRegistry()
+        a = reg.counter("hits_total", "help text")
+        b = reg.counter("hits_total", "different help ignored")
+        assert a is b
+        assert a.help == "help text"
+
+    def test_type_mismatch_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("thing")
+        with pytest.raises(ValueError, match="already registered"):
+            reg.gauge("thing")
+        with pytest.raises(ValueError, match="already registered"):
+            reg.histogram("thing")
+
+    def test_instruments_in_creation_order(self):
+        reg = MetricsRegistry()
+        reg.counter("z_total")
+        reg.gauge("a_gauge")
+        reg.histogram("m_seconds")
+        assert [i.name for i in reg.instruments()] == [
+            "z_total", "a_gauge", "m_seconds"
+        ]
+
+    def test_get_returns_none_for_unknown(self):
+        assert MetricsRegistry().get("nope") is None
+
+    def test_reset_keeps_registrations(self):
+        reg = MetricsRegistry()
+        reg.counter("kept_total").inc(4)
+        reg.reset()
+        assert reg.get("kept_total") is not None
+        assert reg.counter("kept_total").value == 0.0
+
+    def test_clear_forgets_everything(self):
+        reg = MetricsRegistry()
+        reg.counter("gone_total")
+        reg.clear()
+        assert reg.instruments() == []
+
+    def test_shared_registry_is_singleton(self):
+        assert get_registry() is get_registry()

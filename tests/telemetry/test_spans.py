@@ -1,0 +1,234 @@
+"""Tracer and span semantics: nesting, timing, thread safety, no-op path."""
+
+import threading
+import time
+
+import pytest
+
+from repro.telemetry.spans import (
+    NULL_SPAN,
+    NullSpan,
+    Span,
+    Tracer,
+    disable_tracing,
+    enable_tracing,
+    get_tracer,
+    traced,
+)
+
+
+class TestSpan:
+    def test_duration_measured(self):
+        span = Span("work")
+        time.sleep(0.01)
+        span.finish()
+        assert 0.005 < span.duration_s < 1.0
+
+    def test_duration_zero_while_open(self):
+        assert Span("open").duration_s == 0.0
+
+    def test_finish_idempotent(self):
+        span = Span("once")
+        span.finish()
+        first = span.end_s
+        span.finish()
+        assert span.end_s == first
+
+    def test_attributes_set_and_incr(self):
+        span = Span("attrs", {"k": 3})
+        span.set("strategy", "tna")
+        span.incr("candidates", 5)
+        span.incr("candidates", 2)
+        assert span.attributes == {"k": 3, "strategy": "tna", "candidates": 7}
+
+    def test_to_dict_jsonable(self):
+        import numpy as np
+
+        span = Span("json")
+        span.set("n", np.int64(4))  # non-native types become strings
+        span.set("ok", True)
+        span.finish()
+        doc = span.to_dict()
+        assert doc["name"] == "json"
+        assert doc["attributes"]["ok"] is True
+        assert isinstance(doc["attributes"]["n"], str)
+        assert doc["children"] == []
+
+
+class TestTracerNesting:
+    def test_nested_spans_build_a_tree(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("root") as root:
+            with tracer.span("child-a"):
+                with tracer.span("grandchild"):
+                    pass
+            with tracer.span("child-b"):
+                pass
+        roots = tracer.roots
+        assert [s.name for s in roots] == ["root"]
+        assert [c.name for c in root.children] == ["child-a", "child-b"]
+        assert [g.name for g in root.children[0].children] == ["grandchild"]
+        assert [s.name for s in tracer.iter_spans()] == [
+            "root", "child-a", "grandchild", "child-b"
+        ]
+
+    def test_sibling_roots_collected_in_order(self):
+        tracer = Tracer(enabled=True)
+        for name in ("one", "two", "three"):
+            with tracer.span(name):
+                pass
+        assert [s.name for s in tracer.roots] == ["one", "two", "three"]
+
+    def test_parent_duration_covers_children(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                time.sleep(0.005)
+        assert outer.duration_s >= inner.duration_s > 0
+
+    def test_current_returns_innermost(self):
+        tracer = Tracer(enabled=True)
+        assert tracer.current() is NULL_SPAN  # nothing open
+        with tracer.span("a") as a:
+            assert tracer.current() is a
+            with tracer.span("b") as b:
+                assert tracer.current() is b
+            assert tracer.current() is a
+
+    def test_exception_recorded_and_span_closed(self):
+        tracer = Tracer(enabled=True)
+        with pytest.raises(RuntimeError):
+            with tracer.span("boom"):
+                raise RuntimeError("kaput")
+        (root,) = tracer.roots
+        assert root.attributes["error"] == "RuntimeError: kaput"
+        assert root.end_s is not None
+
+    def test_reset_drops_spans_keeps_enabled(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("gone"):
+            pass
+        tracer.reset()
+        assert tracer.roots == []
+        assert tracer.enabled
+
+
+class TestDisabledTracer:
+    def test_span_returns_shared_null_singleton(self):
+        tracer = Tracer(enabled=False)
+        a = tracer.span("x", k=1)
+        b = tracer.span("y")
+        assert a is NULL_SPAN and b is NULL_SPAN
+
+    def test_null_span_absorbs_all_calls(self):
+        with NULL_SPAN as span:
+            span.set("k", 1)
+            span.incr("n")
+        assert isinstance(span, NullSpan)
+        assert span.duration_s == 0.0
+
+    def test_nothing_collected_when_disabled(self):
+        tracer = Tracer(enabled=False)
+        with tracer.span("invisible"):
+            pass
+        assert tracer.roots == []
+        assert tracer.current() is NULL_SPAN
+
+    def test_disabled_overhead_is_small(self):
+        """The disabled path must stay cheap: no allocation, no clock."""
+        tracer = Tracer(enabled=False)
+        n = 20_000
+
+        def run_disabled():
+            for _ in range(n):
+                with tracer.span("hot"):
+                    pass
+
+        start = time.perf_counter()
+        run_disabled()
+        disabled_s = time.perf_counter() - start
+        # Loose sanity bound (not a benchmark): 20k no-op spans in well
+        # under a second even on slow CI machines.
+        assert disabled_s < 0.5
+
+
+class TestThreadSafety:
+    def test_each_thread_gets_its_own_subtree(self):
+        tracer = Tracer(enabled=True)
+        errors = []
+
+        def worker(tag):
+            try:
+                for i in range(50):
+                    with tracer.span(f"root-{tag}"):
+                        with tracer.span(f"leaf-{tag}-{i}"):
+                            pass
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(t,)) for t in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        roots = tracer.roots
+        assert len(roots) == 4 * 50
+        for root in roots:
+            assert len(root.children) == 1  # no cross-thread adoption
+            tag = root.name.split("-")[1]
+            assert root.children[0].name.startswith(f"leaf-{tag}-")
+
+
+class TestDecoratorAndGlobals:
+    def test_traced_decorator_spans_when_enabled(self):
+        tracer = Tracer(enabled=True)
+
+        @tracer.traced("math/add")
+        def add(a, b):
+            return a + b
+
+        assert add(2, 3) == 5
+        assert [s.name for s in tracer.roots] == ["math/add"]
+
+    def test_traced_decorator_defaults_to_qualname(self):
+        tracer = Tracer(enabled=True)
+
+        @tracer.traced()
+        def solo():
+            return 1
+
+        solo()
+        assert tracer.roots[0].name.endswith("solo")
+
+    def test_module_traced_checks_enabled_at_call_time(self):
+        calls = []
+
+        @traced("late")
+        def fn():
+            calls.append(1)
+
+        fn()  # disabled: no span
+        enable_tracing()
+        try:
+            fn()
+            assert [s.name for s in get_tracer().roots] == ["late"]
+        finally:
+            disable_tracing()
+        assert len(calls) == 2
+
+    def test_enable_reset_and_disable_keep_spans(self):
+        enable_tracing()
+        try:
+            with get_tracer().span("kept"):
+                pass
+        finally:
+            disable_tracing()
+        assert [s.name for s in get_tracer().roots] == ["kept"]
+        enable_tracing()  # default reset=True clears prior spans
+        try:
+            assert get_tracer().roots == []
+        finally:
+            disable_tracing()

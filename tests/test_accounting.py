@@ -1,0 +1,107 @@
+"""Cross-checks of the query accounting fields against the ledger.
+
+Every query strategy reports ``partitions_loaded``, the ids behind it,
+and node visit/prune counts.  These numbers feed the benchmark figures
+and the telemetry counters, so they must agree with the ground truth the
+simulation ledger records: one ``query/load partition*`` task per
+partition actually fetched, regardless of strategy or cache state.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    TardisConfig,
+    build_tardis_index,
+    exact_match,
+    knn_exact,
+    knn_multi_partitions_access,
+    knn_one_partition_access,
+    knn_target_node_access,
+    range_query,
+)
+from repro.tsdb import random_walk
+from repro.tsdb.series import z_normalize
+
+#: Ledger labels charged by TardisIndex.load_partition / the MPA batch
+#: load.  Everything starting with this prefix is a partition fetch.
+LOAD_PREFIX = "query/load partition"
+
+
+def ledger_loads(result) -> int:
+    """Partition-load tasks the ledger actually recorded."""
+    return sum(
+        stats.tasks
+        for label, stats in result.ledger.stages.items()
+        if label.startswith(LOAD_PREFIX)
+    )
+
+
+def assert_consistent(result, index) -> None:
+    """The accounting contract shared by every strategy."""
+    assert result.partitions_loaded == len(result.partition_ids_loaded)
+    assert result.partitions_loaded == ledger_loads(result)
+    assert len(set(result.partition_ids_loaded)) == len(result.partition_ids_loaded)
+    assert all(pid in index.partitions for pid in result.partition_ids_loaded)
+
+
+KNN_STRATEGIES = {
+    "target-node": knn_target_node_access,
+    "one-partition": knn_one_partition_access,
+    "multi-partitions": knn_multi_partitions_access,
+    "knn-exact": knn_exact,
+}
+
+
+@pytest.mark.parametrize("name", sorted(KNN_STRATEGIES))
+def test_knn_accounting_matches_ledger(name, tardis_small, heldout_queries):
+    fn = KNN_STRATEGIES[name]
+    for query in heldout_queries[:5]:
+        result = fn(tardis_small, query, 10)
+        assert_consistent(result, tardis_small)
+        assert result.partitions_loaded >= 1
+        assert result.nodes_visited > 0
+        assert result.nodes_pruned >= 0
+        assert result.candidates_examined >= len(result.neighbors)
+
+
+def test_range_accounting_matches_ledger(tardis_small, heldout_queries):
+    for query in heldout_queries[:5]:
+        result = range_query(tardis_small, query, radius=8.0)
+        assert_consistent(result, tardis_small)
+        # Even a miss visits the partitions whose bound beat the radius.
+        assert result.nodes_visited + result.nodes_pruned > 0
+
+
+def test_exact_match_accounting_matches_ledger(tardis_small, rw_small):
+    hit = exact_match(tardis_small, rw_small.values[7])
+    assert_consistent(hit, tardis_small)
+    assert hit.partitions_loaded == 1
+    assert hit.nodes_visited >= 1  # at least the Tardis-L root on descent
+
+    rng = np.random.default_rng(77)
+    ghost = z_normalize(rw_small.values[7] + rng.normal(0, 0.1, 64))
+    miss = exact_match(tardis_small, ghost)
+    assert_consistent(miss, tardis_small)
+    if miss.bloom_rejected:
+        assert miss.partitions_loaded == 0
+        assert miss.nodes_visited == 0
+
+
+def test_accounting_consistent_with_cache_enabled():
+    """Cached loads still count as loads, in both the result and ledger."""
+    dataset = random_walk(600, length=64, seed=5).z_normalized()
+    index = build_tardis_index(
+        dataset, TardisConfig(g_max_size=100, l_max_size=20, pth=4)
+    )
+    index.enable_cache(capacity_partitions=8)
+    query = dataset.values[3]
+    cold = knn_multi_partitions_access(index, query, 5)
+    warm = knn_multi_partitions_access(index, query, 5)
+    for result in (cold, warm):
+        assert_consistent(result, index)
+    assert warm.partition_ids_loaded == cold.partition_ids_loaded
+    stats = index.cache_stats()
+    assert stats["hits"] > 0
+    # Warm loads are free on the simulated clock but never unaccounted.
+    assert warm.simulated_seconds <= cold.simulated_seconds

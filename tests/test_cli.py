@@ -120,6 +120,102 @@ class TestKnnExactAndRange:
         assert "more" in out
 
 
+class TestTelemetryFlags:
+    def test_knn_writes_valid_trace_and_metrics(self, workspace, tmp_path):
+        import json
+
+        from repro.telemetry import validate_metrics_text, validate_trace
+
+        _root, data, index = workspace
+        trace = tmp_path / "trace.json"
+        metrics = tmp_path / "metrics.prom"
+        code = main(["knn", "--index", str(index), "--data", str(data),
+                     "--row", "5", "--k", "3",
+                     "--trace", str(trace), "--metrics", str(metrics)])
+        assert code == 0
+        doc = json.loads(trace.read_text())
+        assert validate_trace(doc) >= 3
+        names = {span["name"] for span in doc["spans"]}
+        assert "query/knn" in names
+        assert validate_metrics_text(metrics.read_text()) > 0
+        assert "queries_total" in metrics.read_text()
+
+    def test_build_trace_covers_both_phases(self, workspace, tmp_path):
+        import json
+
+        _root, data, _index = workspace
+        trace = tmp_path / "build_trace.json"
+        code = main(["build", "--data", str(data),
+                     "--out", str(tmp_path / "idx2"),
+                     "--partition-capacity", "300", "--leaf-capacity", "30",
+                     "--trace", str(trace)])
+        assert code == 0
+        text = trace.read_text()
+        assert "build/global phase" in text
+        assert "build/local phase" in text
+        assert "stage/" in text
+        # The tracer is switched back off after the command.
+        from repro.telemetry import get_tracer
+        assert not get_tracer().enabled
+
+    def test_trace_written_even_on_nonzero_exit(self, workspace, tmp_path):
+        _root, _data, index = workspace
+        q = np.zeros(256)
+        q[0], q[1] = 1.0, -1.0
+        query_file = tmp_path / "ghost.npy"
+        np.save(query_file, (q - q.mean()) / q.std())
+        trace = tmp_path / "miss_trace.json"
+        code = main(["exact", "--index", str(index),
+                     "--query", str(query_file), "--trace", str(trace)])
+        assert code == 1
+        assert trace.exists()
+
+    def test_stats_command_renders_tree(self, workspace, tmp_path, capsys):
+        _root, data, index = workspace
+        trace = tmp_path / "t.json"
+        main(["knn", "--index", str(index), "--data", str(data),
+              "--row", "8", "--trace", str(trace)])
+        capsys.readouterr()
+        assert main(["stats", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("trace:")
+        assert "query/knn" in out
+        assert "simulated" in out
+
+    def test_stats_depth_limits_output(self, workspace, tmp_path, capsys):
+        _root, data, index = workspace
+        trace = tmp_path / "t.json"
+        main(["knn", "--index", str(index), "--data", str(data),
+              "--row", "8", "--trace", str(trace)])
+        capsys.readouterr()
+        assert main(["stats", str(trace), "--depth", "0"]) == 0
+        assert "query/route" not in capsys.readouterr().out
+
+    def test_stats_rejects_missing_and_invalid(self, tmp_path):
+        with pytest.raises(SystemExit, match="cannot read"):
+            main(["stats", str(tmp_path / "absent.json")])
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"schema": "other/v9", "spans": []}')
+        with pytest.raises(SystemExit, match="invalid trace"):
+            main(["stats", str(bad)])
+
+    def test_verbosity_flags_accepted_both_sides(self, workspace, capsys):
+        _root, _data, index = workspace
+        assert main(["-v", "info", "--index", str(index)]) == 0
+        assert main(["info", "--index", str(index), "-q"]) == 0
+        capsys.readouterr()
+
+    def test_cache_flag_and_info_line(self, workspace, capsys):
+        _root, data, index = workspace
+        code = main(["knn", "--index", str(index), "--data", str(data),
+                     "--row", "4", "--cache", "8"])
+        assert code == 0
+        capsys.readouterr()
+        assert main(["info", "--index", str(index)]) == 0
+        out = capsys.readouterr().out
+        assert "partition cache: not attached" in out
+
+
 class TestMultiFormatBuild:
     def test_build_from_csv(self, tmp_path, capsys):
         from repro.tsdb import random_walk
