@@ -1,0 +1,182 @@
+#!/usr/bin/env python
+"""Wall-clock benchmark for the executor backends (docs/PARALLELISM.md).
+
+Measures *real* elapsed time — not the simulated ledger clock — for index
+construction and batch kNN/exact-match under each execution backend, and
+reports speedups over ``serial``.  Answers are cross-checked for equality
+while timing, so a backend can never look fast by being wrong.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_parallel.py            # full run
+    PYTHONPATH=src python benchmarks/bench_parallel.py --smoke    # CI-sized
+    PYTHONPATH=src python benchmarks/bench_parallel.py --out BENCH_parallel.json
+
+Interpreting results: speedups need real cores.  On a single-core
+machine every backend degenerates to ~1x (threads/processes only add
+scheduling overhead); the committed ``BENCH_parallel.json`` records the
+host's ``cpu_count`` for exactly this reason.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.cluster import SimCluster  # noqa: E402
+from repro.cluster.executors import make_executor  # noqa: E402
+from repro.core import TardisConfig, build_tardis_index  # noqa: E402
+from repro.core.batch import (  # noqa: E402
+    batch_exact_match,
+    batch_knn_target_node,
+)
+from repro.tsdb import random_walk  # noqa: E402
+
+BACKENDS = ("serial", "threads", "processes")
+
+
+def _timed(fn, repeats: int) -> tuple[float, object]:
+    """(best wall seconds, last result) over ``repeats`` runs."""
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def run(args) -> dict:
+    jobs = args.jobs or os.cpu_count() or 1
+    dataset = random_walk(
+        args.series, length=args.length, seed=97
+    ).z_normalized()
+    queries = (
+        random_walk(args.queries, length=args.length, seed=79)
+        .z_normalized()
+        .values
+    )
+    config = TardisConfig(
+        g_max_size=max(50, args.series // 20),
+        l_max_size=max(10, args.series // 200),
+        pth=4,
+    )
+
+    results: dict = {}
+    reference_answers = None
+    for kind in BACKENDS:
+        executor = make_executor(kind, jobs)
+
+        def build():
+            cluster = SimCluster(
+                n_workers=config.n_workers, executor=executor
+            )
+            return build_tardis_index(dataset, config, cluster=cluster)
+
+        build_s, index = _timed(build, args.repeats)
+        knn_s, knn_report = _timed(
+            lambda: batch_knn_target_node(
+                index, queries, k=args.k, executor=executor
+            ),
+            args.repeats,
+        )
+        exact_s, exact_report = _timed(
+            lambda: batch_exact_match(index, queries, executor=executor),
+            args.repeats,
+        )
+        answers = (
+            [r.record_ids for r in knn_report.results],
+            [r.record_ids for r in exact_report.results],
+        )
+        if reference_answers is None:
+            reference_answers = answers
+        elif answers != reference_answers:
+            raise SystemExit(f"{kind} produced different answers than serial")
+        results[kind] = {
+            "build_wall_s": round(build_s, 4),
+            "batch_knn_wall_s": round(knn_s, 4),
+            "batch_exact_wall_s": round(exact_s, 4),
+        }
+        print(
+            f"{kind:>10}: build {build_s:7.3f}s   "
+            f"batch-knn {knn_s:7.3f}s   batch-exact {exact_s:7.3f}s"
+        )
+
+    serial = results["serial"]
+    for kind in BACKENDS:
+        results[kind]["speedup_vs_serial"] = {
+            metric.replace("_wall_s", ""): round(
+                serial[metric] / results[kind][metric], 3
+            )
+            for metric in (
+                "build_wall_s", "batch_knn_wall_s", "batch_exact_wall_s"
+            )
+            if results[kind][metric] > 0
+        }
+
+    doc = {
+        "benchmark": "bench_parallel",
+        "workload": {
+            "series": args.series,
+            "length": args.length,
+            "queries": args.queries,
+            "k": args.k,
+            "repeats": args.repeats,
+        },
+        "host": {
+            "cpu_count": os.cpu_count(),
+            "jobs": jobs,
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+        },
+        "answers_identical_across_backends": True,
+        "results": results,
+    }
+    best = max(
+        results[k]["speedup_vs_serial"].get("batch_knn", 0.0)
+        for k in ("threads", "processes")
+    )
+    print(
+        f"\nbest batch-knn speedup vs serial: {best:.2f}x "
+        f"on {os.cpu_count()} core(s)"
+    )
+    return doc
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--series", type=int, default=6000,
+                        help="dataset size (default 6000)")
+    parser.add_argument("--length", type=int, default=128,
+                        help="series length (default 128)")
+    parser.add_argument("--queries", type=int, default=400,
+                        help="batch query count (default 400)")
+    parser.add_argument("--k", type=int, default=10)
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="runs per measurement; best is kept")
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="workers per parallel backend (default: cores)")
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny workload for CI (overrides sizes)")
+    parser.add_argument("--out", default=None, metavar="FILE",
+                        help="write the JSON report here")
+    args = parser.parse_args(argv)
+    if args.smoke:
+        args.series, args.length, args.queries, args.repeats = 1200, 64, 80, 1
+
+    doc = run(args)
+    if args.out:
+        Path(args.out).write_text(json.dumps(doc, indent=2) + "\n")
+        print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

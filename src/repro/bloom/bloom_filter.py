@@ -71,11 +71,19 @@ class BloomFilter:
         return (h1 + i * h2) % np.uint64(self.n_bits)
 
     def add(self, item: str | bytes) -> None:
-        """Insert an item (idempotent)."""
+        """Insert an item (idempotent).
+
+        ``n_items`` counts *distinct* bit patterns: re-adding an item whose
+        probe bits are all set already changes nothing, so it is not
+        counted — otherwise duplicate-heavy inserts (every record sharing a
+        leaf signature) would inflate the count that sizes reports and
+        drives :meth:`estimated_fp_rate` interpretation.
+        """
         positions = self._positions(item)
-        np.bitwise_or.at(
-            self.bits, positions >> 3, (1 << (positions & 7)).astype(np.uint8)
-        )
+        mask = (1 << (positions & 7)).astype(np.uint8)
+        if bool(np.all(self.bits[positions >> 3] & mask)):
+            return
+        np.bitwise_or.at(self.bits, positions >> 3, mask)
         self.n_items += 1
 
     def __contains__(self, item: str | bytes) -> bool:
@@ -96,10 +104,25 @@ class BloomFilter:
         return fill**self.n_hashes
 
     def union(self, other: "BloomFilter") -> "BloomFilter":
-        """Merge two filters built with identical parameters."""
+        """Merge two filters built with identical parameters.
+
+        ``n_items`` of the union cannot be the sum of the operands' counts:
+        items present in both sides would be double-counted.  It is instead
+        estimated from the merged fill ratio with the standard cardinality
+        formula ``n ≈ -(m/k) ln(1 - X/m)`` (Swamidass & Baldi 2007), which
+        is exact in expectation and rounds to the true distinct count for
+        the sparsely-filled filters TARDIS builds.
+        """
         if (self.n_bits, self.n_hashes) != (other.n_bits, other.n_hashes):
             raise ValueError("can only union filters with identical geometry")
         merged = BloomFilter(self.n_bits, self.n_hashes)
         merged.bits = self.bits | other.bits
-        merged.n_items = self.n_items + other.n_items
+        set_bits = int(np.unpackbits(merged.bits, count=merged.n_bits).sum())
+        if set_bits >= merged.n_bits:
+            merged.n_items = max(self.n_items, other.n_items)
+        else:
+            merged.n_items = round(
+                -merged.n_bits / merged.n_hashes
+                * math.log(1.0 - set_bits / merged.n_bits)
+            )
         return merged

@@ -19,6 +19,10 @@ logging; ``build``/``exact``/``knn``/``range`` accept ``--trace FILE``
 (JSON span tree of the run) and ``--metrics FILE`` (Prometheus-style
 counters), and the query commands take ``--cache N`` to enable the LRU
 partition cache.
+
+Execution (docs/PARALLELISM.md): every command accepts ``--executor
+{serial,threads,processes}`` and ``--jobs N`` to choose the task
+backend the engine and batch paths run on.
 """
 
 from __future__ import annotations
@@ -32,6 +36,7 @@ from pathlib import Path
 import numpy as np
 
 from . import telemetry
+from .cluster.executors import EXECUTOR_KINDS, set_default_executor
 from .core import (
     TardisConfig,
     build_tardis_index,
@@ -245,6 +250,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="more diagnostic logging (repeatable)")
         p.add_argument("-q", "--quiet", action="count", default=0,
                        help="less diagnostic logging (repeatable)")
+        p.add_argument("--executor", choices=EXECUTOR_KINDS, default=None,
+                       help="task execution backend (default: threads, or "
+                            "REPRO_EXECUTOR)")
+        p.add_argument("--jobs", type=int, default=None, metavar="N",
+                       help="worker count for parallel executors "
+                            "(default: all cores, or REPRO_JOBS)")
     sub = parser.add_subparsers(dest="command", required=True)
 
     def add_parser(name, **kwargs):
@@ -317,6 +328,11 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     telemetry.log.configure(verbosity=args.verbose - args.quiet)
+    if args.executor is not None or args.jobs is not None:
+        try:
+            set_default_executor(args.executor, args.jobs)
+        except ValueError as exc:
+            raise SystemExit(str(exc))
     trace_path = getattr(args, "trace", None)
     metrics_path = getattr(args, "metrics", None)
     if trace_path:

@@ -26,6 +26,7 @@ from typing import Callable, Iterable, Sequence
 from ..telemetry.metrics import get_registry
 from ..telemetry.spans import get_tracer
 from .costmodel import CostModel, SimulationLedger, estimate_bytes
+from .executors import resolve_executor
 from .storage import Block, BlockStorage
 
 __all__ = ["SimCluster", "PartitionedData", "Broadcast", "TaskFailedError"]
@@ -121,12 +122,22 @@ class SimCluster:
         cost_model: CostModel | None = None,
         ledger: SimulationLedger | None = None,
         failure_seed: int = 0,
+        executor: object | str | None = None,
+        jobs: int | None = None,
     ):
+        """``executor`` selects the real execution backend for stage tasks:
+        ``"serial"`` | ``"threads"`` | ``"processes"`` (or an instance from
+        :mod:`repro.cluster.executors`).  ``None`` uses the process-wide
+        default (``threads``).  Results, partition layouts and ledger task
+        counts are identical across backends; only wall-clock differs.
+        ``jobs`` caps real parallelism (default: CPU count).
+        """
         if n_workers <= 0:
             raise ValueError("n_workers must be positive")
         self.n_workers = n_workers
         self.cost_model = cost_model or CostModel()
         self.ledger = ledger or SimulationLedger()
+        self.executor = resolve_executor(executor, jobs)
         import numpy as _np
 
         self._failure_rng = _np.random.default_rng(failure_seed)
@@ -222,6 +233,28 @@ class SimCluster:
     def _node_of(self, worker: int) -> int:
         return worker % max(1, self.cost_model.n_nodes)
 
+    def _attempt_plan(self, n_tasks: int) -> list[int]:
+        """Pre-draw Spark-style failure injection for a whole stage.
+
+        Returns attempts-until-success per task (``-1`` = budget exhausted).
+        Drawing up front, in task order, consumes the failure rng exactly
+        like the seed's lazy per-attempt draws did — so the retry schedule
+        is identical for every execution backend and byte-identical to the
+        pre-executor serial engine, no matter how tasks interleave.
+        """
+        failure_rate = self.cost_model.task_failure_rate
+        if failure_rate <= 0.0:
+            return [1] * n_tasks
+        plan = []
+        for _ in range(n_tasks):
+            for attempt in range(1, self.cost_model.task_max_attempts + 1):
+                if not self._failure_rng.random() < failure_rate:
+                    plan.append(attempt)
+                    break
+            else:
+                plan.append(-1)
+        return plan
+
     def _run_stage(
         self,
         label: str,
@@ -231,45 +264,61 @@ class SimCluster:
         """Run one task per partition; returns outputs and records costs.
 
         ``task(index, records)`` returns ``(output_records, io_seconds)``;
-        its CPU time is measured around the call.
+        its CPU time is measured around the call.  Tasks are dispatched
+        through the cluster's executor — concurrently for ``threads`` /
+        ``processes`` — while cost attribution stays per-task: each task
+        measures its own CPU and the driver folds the per-task charges
+        into the per-worker latency model in task order.
         """
         registry = get_registry()
+        executor = self.executor
         with self._stage_span(label) as span:
+            plan = self._attempt_plan(len(partitions))
+            max_attempts = self.cost_model.task_max_attempts
+            cpu_scale = self.cost_model.cpu_scale
+            clock = executor.task_clock
+
+            def run_task(i: int, records: list):
+                # Spark-style retries: a failed attempt still costs its CPU,
+                # I/O and scheduling overhead; the task re-runs (tasks must
+                # be idempotent, as on a real cluster) up to the budget.
+                attempts = plan[i]
+                doomed = attempts < 0
+                n_runs = max_attempts if doomed else attempts
+                out, cpu, io = None, 0.0, 0.0
+                for _ in range(n_runs):
+                    start = clock()
+                    out, io_time = task(i, records)
+                    cpu += (clock() - start) * cpu_scale
+                    io += io_time
+                if doomed:
+                    raise TaskFailedError(
+                        f"stage {label!r} task {i} failed "
+                        f"{max_attempts} attempts"
+                    )
+                return out, cpu, io, n_runs
+
+            try:
+                results = executor.map_tasks(run_task, partitions)
+            except TaskFailedError:
+                registry.counter(
+                    "engine_task_failures_total",
+                    "Tasks that exhausted their retry budget",
+                ).inc()
+                raise
             worker_time = [0.0] * self.n_workers
             outputs: list[list] = []
             total_cpu = 0.0
             total_io = 0.0
             retries = 0
-            failure_rate = self.cost_model.task_failure_rate
-            for i, records in enumerate(partitions):
-                # Spark-style retries: a failed attempt still costs its CPU,
-                # I/O and scheduling overhead; the task re-runs (tasks must be
-                # idempotent, as on a real cluster) up to the attempt budget.
-                for attempt in range(1, self.cost_model.task_max_attempts + 1):
-                    start = time.perf_counter()
-                    out, io_time = task(i, records)
-                    cpu = (time.perf_counter() - start) * self.cost_model.cpu_scale
-                    total_cpu += cpu
-                    total_io += io_time
-                    worker_time[self._worker_of(i)] += (
-                        cpu + io_time + self.cost_model.task_overhead_s
-                    )
-                    failed = failure_rate > 0.0 and (
-                        self._failure_rng.random() < failure_rate
-                    )
-                    if not failed:
-                        outputs.append(out)
-                        break
-                    retries += 1
-                else:
-                    registry.counter(
-                        "engine_task_failures_total",
-                        "Tasks that exhausted their retry budget",
-                    ).inc()
-                    raise TaskFailedError(
-                        f"stage {label!r} task {i} failed "
-                        f"{self.cost_model.task_max_attempts} attempts"
-                    )
+            for i, (out, cpu, io, n_runs) in enumerate(results):
+                outputs.append(out)
+                total_cpu += cpu
+                total_io += io
+                retries += n_runs - 1
+                worker_time[self._worker_of(i)] += (
+                    cpu + io + n_runs * self.cost_model.task_overhead_s
+                )
             wall = max(worker_time, default=0.0)
             self.ledger.record_stage(
                 label, wall_s=wall, cpu_s=total_cpu, io_s=total_io,
@@ -322,27 +371,46 @@ class SimCluster:
         label: str,
         span,
     ) -> PartitionedData:
-        new_partitions: list[list] = [[] for _ in range(n_partitions)]
-        worker_time = [0.0] * self.n_workers
-        total_cpu = 0.0
-        total_network = 0.0
-        incoming_bytes = [0] * self.n_workers
-        for i, records in enumerate(data.partitions):
-            start = time.perf_counter()
-            src_worker = self._worker_of(i)
+        cpu_scale = self.cost_model.cpu_scale
+        clock = self.executor.task_clock
+
+        def route_task(i: int, records: list):
+            """Map side of the shuffle for one source partition: bucket
+            records by destination and tally cross-node bytes."""
+            start = clock()
+            src_node = self._node_of(self._worker_of(i))
+            buckets: dict[int, list] = {}
+            incoming = [0] * self.n_workers
             for record in records:
                 dest = key_fn(record)
                 if not 0 <= dest < n_partitions:
                     raise ValueError(
                         f"partitioner returned {dest}, outside [0, {n_partitions})"
                     )
-                new_partitions[dest].append(record)
+                buckets.setdefault(dest, []).append(record)
                 dest_worker = self._worker_of(dest)
-                if self._node_of(dest_worker) != self._node_of(src_worker):
-                    incoming_bytes[dest_worker] += estimate_bytes(record)
-            cpu = (time.perf_counter() - start) * self.cost_model.cpu_scale
+                if self._node_of(dest_worker) != src_node:
+                    incoming[dest_worker] += estimate_bytes(record)
+            cpu = (clock() - start) * cpu_scale
+            return buckets, incoming, cpu
+
+        routed = self.executor.map_tasks(route_task, data.partitions)
+        # Merge in source-partition order: per-destination record order is
+        # then identical to the sequential record-at-a-time shuffle.
+        new_partitions: list[list] = [[] for _ in range(n_partitions)]
+        worker_time = [0.0] * self.n_workers
+        total_cpu = 0.0
+        total_network = 0.0
+        incoming_bytes = [0] * self.n_workers
+        for i, (buckets, incoming, cpu) in enumerate(routed):
+            for dest, records in buckets.items():
+                new_partitions[dest].extend(records)
+            for worker, nbytes in enumerate(incoming):
+                incoming_bytes[worker] += nbytes
             total_cpu += cpu
-            worker_time[src_worker] += cpu + self.cost_model.task_overhead_s
+            worker_time[self._worker_of(i)] += (
+                cpu + self.cost_model.task_overhead_s
+            )
         map_wall = max(worker_time, default=0.0)
         # Reduce side: each worker pulls its remote bytes in parallel.
         pull_times = [self.cost_model.network_time(b) for b in incoming_bytes]

@@ -1,0 +1,347 @@
+"""Pluggable task-execution backends for the cluster engine.
+
+The paper's stages run concurrently across Spark workers; the seed engine
+executed every stage sequentially on the driver thread, *simulating*
+parallel cost without using the hardware.  This module supplies the real
+execution layer behind :class:`~repro.cluster.engine.SimCluster`,
+:mod:`repro.core.batch`, and the experiment harness:
+
+* ``serial`` — the seed behaviour: one task after another on the driver.
+* ``threads`` — a shared :class:`~concurrent.futures.ThreadPoolExecutor`.
+  numpy-heavy tasks (conversion, distance ranking) release the GIL and
+  scale across cores; pure-Python tasks at least overlap with I/O.
+* ``processes`` — a fork-based pool (POSIX only).  Children inherit the
+  driver's memory, so closures and whole indices need no pickling on the
+  way in; only task *results* travel back.  True multicore parallelism
+  for GIL-bound tree work.
+
+Every backend preserves the engine's contract:
+
+* **Result order** — ``map_tasks`` returns results indexed like its
+  inputs, so downstream merges (shuffle bucket concatenation, partition
+  dict construction) are byte-identical to serial execution.
+* **Deterministic errors** — when several tasks fail, the failure of the
+  lowest task index is raised.
+* **Telemetry** — thread tasks mutate the shared (thread-safe) tracer and
+  metrics registry directly; fork children ship their metric deltas and
+  finished trace spans back through the result pipe and the driver merges
+  them (see docs/PARALLELISM.md).
+
+The process-wide default backend is ``threads`` and can be changed with
+:func:`set_default_executor`, the CLI's ``--executor``/``--jobs`` flags,
+or the ``REPRO_EXECUTOR`` / ``REPRO_JOBS`` environment variables.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import pickle
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+__all__ = [
+    "EXECUTOR_KINDS",
+    "SerialExecutor",
+    "ThreadExecutor",
+    "ForkProcessExecutor",
+    "default_jobs",
+    "make_executor",
+    "resolve_executor",
+    "get_default_executor",
+    "set_default_executor",
+]
+
+logger = logging.getLogger(__name__)
+
+#: Recognized values of the ``executor=`` knob, in cost order.
+EXECUTOR_KINDS = ("serial", "threads", "processes")
+
+_DEFAULT_KIND = "threads"
+
+
+def default_jobs() -> int:
+    """Degree of real parallelism to use when none is requested."""
+    return max(1, os.cpu_count() or 1)
+
+
+class SerialExecutor:
+    """Seed behaviour: run every task inline on the calling thread.
+
+    ``task_clock`` is ``perf_counter`` — with a single runner, wall time
+    *is* CPU time, and this keeps serial ledger charges byte-compatible
+    with the pre-executor engine.
+    """
+
+    kind = "serial"
+    task_clock = staticmethod(time.perf_counter)
+
+    def __init__(self, jobs: int | None = None):
+        self.jobs = 1
+
+    def map_tasks(self, fn, items) -> list:
+        """``[fn(0, items[0]), fn(1, items[1]), ...]``, stopping on error."""
+        return [fn(i, item) for i, item in enumerate(items)]
+
+
+class ThreadExecutor:
+    """One shared thread pool; tasks run concurrently under the GIL.
+
+    ``task_clock`` is ``thread_time`` so a task is charged its own CPU
+    seconds, not the wall time it spent waiting for the GIL while sibling
+    tasks ran — per-worker cost attribution stays analytic under
+    concurrency.
+    """
+
+    kind = "threads"
+    task_clock = staticmethod(time.thread_time)
+
+    def __init__(self, jobs: int | None = None):
+        self.jobs = jobs or default_jobs()
+        self._pool: ThreadPoolExecutor | None = None
+        self._pool_lock = threading.Lock()
+
+    def _get_pool(self) -> ThreadPoolExecutor:
+        with self._pool_lock:
+            if self._pool is None:
+                self._pool = ThreadPoolExecutor(
+                    max_workers=self.jobs, thread_name_prefix="repro-exec"
+                )
+            return self._pool
+
+    def map_tasks(self, fn, items) -> list:
+        items = list(items)
+        if len(items) <= 1 or self.jobs == 1:
+            return [fn(i, item) for i, item in enumerate(items)]
+        # NOTE: tasks must not submit to the same executor (the pool is
+        # bounded, so nested submission can deadlock).  Engine stages and
+        # batch passes only ever dispatch from the driver thread.
+        futures = [
+            self._get_pool().submit(fn, i, item)
+            for i, item in enumerate(items)
+        ]
+        results, first_error = [], None
+        for future in futures:
+            try:
+                results.append(future.result())
+            except BaseException as exc:  # re-raised below, lowest index
+                if first_error is None:
+                    first_error = exc
+                results.append(None)
+        if first_error is not None:
+            raise first_error
+        return results
+
+
+class ForkProcessExecutor:
+    """Fork one child per job; results, metric deltas and spans return
+    through a pipe.  POSIX only (the whole point is inheriting the
+    driver's memory — indices, closures, broadcast values — for free).
+    """
+
+    kind = "processes"
+    task_clock = staticmethod(time.thread_time)
+
+    def __init__(self, jobs: int | None = None):
+        self.jobs = jobs or default_jobs()
+
+    def map_tasks(self, fn, items) -> list:
+        items = list(items)
+        n_children = min(self.jobs, len(items))
+        if n_children <= 1:
+            return [fn(i, item) for i, item in enumerate(items)]
+        if not hasattr(os, "fork"):
+            raise RuntimeError(
+                "executor='processes' needs os.fork (POSIX); use 'threads'"
+            )
+        payloads = self._fork_and_gather(fn, items, n_children)
+        self._merge_telemetry(payloads)
+        errors = [p["error"] for p in payloads if p["error"] is not None]
+        if errors:
+            raise min(errors, key=lambda e: e[0])[1]
+        results: list = [None] * len(items)
+        for payload in payloads:
+            for index, value in payload["results"]:
+                results[index] = value
+        return results
+
+    def _fork_and_gather(self, fn, items: list, n_children: int) -> list[dict]:
+        read_fds, pids = [], []
+        for rank in range(n_children):
+            read_fd, write_fd = os.pipe()
+            pid = os.fork()
+            if pid == 0:  # child
+                status = 0
+                try:
+                    os.close(read_fd)
+                    payload = _run_child(fn, items, rank, n_children)
+                    with os.fdopen(write_fd, "wb") as out:
+                        pickle.dump(payload, out, pickle.HIGHEST_PROTOCOL)
+                except BaseException:  # pragma: no cover - child diagnostics
+                    status = 1
+                finally:
+                    # Never run the parent's atexit/pytest machinery.
+                    os._exit(status)
+            os.close(write_fd)
+            read_fds.append(read_fd)
+            pids.append(pid)
+        payloads = []
+        # Read every pipe BEFORE reaping: a child blocks writing a large
+        # payload until the driver drains its pipe.
+        for rank, read_fd in enumerate(read_fds):
+            with os.fdopen(read_fd, "rb") as source:
+                try:
+                    payloads.append(pickle.load(source))
+                except (EOFError, pickle.UnpicklingError) as exc:
+                    payloads.append({
+                        "results": [],
+                        "error": (
+                            rank,
+                            RuntimeError(
+                                f"process-executor child {rank} died "
+                                f"without a result: {exc}"
+                            ),
+                        ),
+                        "metrics": {},
+                        "spans": [],
+                    })
+        for pid in pids:
+            os.waitpid(pid, 0)
+        return payloads
+
+    @staticmethod
+    def _merge_telemetry(payloads: list[dict]) -> None:
+        """Fold child-side metric deltas and trace spans into the shared
+        driver registry/tracer (children mutated copies lost at exit)."""
+        from ..telemetry.metrics import get_registry
+        from ..telemetry.spans import get_tracer
+
+        registry = get_registry()
+        tracer = get_tracer()
+        for payload in payloads:
+            if payload["metrics"]:
+                registry.absorb(payload["metrics"])
+            if payload["spans"]:
+                tracer.adopt(payload["spans"])
+
+
+def _run_child(fn, items: list, rank: int, n_children: int) -> dict:
+    """Child body: run tasks ``rank, rank + n, ...`` and package results."""
+    from ..telemetry.metrics import get_registry
+    from ..telemetry.spans import get_tracer
+
+    registry = get_registry()
+    tracer = get_tracer()
+    snapshot = registry.snapshot()
+    span_mark = len(tracer.roots) if tracer.enabled else 0
+    results, error = [], None
+    for index in range(rank, len(items), n_children):
+        try:
+            results.append((index, fn(index, items[index])))
+        except BaseException as exc:
+            error = (index, _picklable_error(exc))
+            break
+    payload = {
+        "results": results,
+        "error": error,
+        "metrics": registry.delta_since(snapshot),
+        "spans": tracer.roots[span_mark:] if tracer.enabled else [],
+    }
+    try:
+        pickle.dumps(payload, pickle.HIGHEST_PROTOCOL)
+    except Exception as exc:  # unpicklable task output
+        payload = {
+            "results": [],
+            "error": (
+                results[0][0] if results else 0,
+                RuntimeError(f"task result is not picklable: {exc}"),
+            ),
+            "metrics": registry.delta_since(snapshot),
+            "spans": [],
+        }
+    return payload
+
+
+def _picklable_error(exc: BaseException) -> BaseException:
+    """The exception itself when it pickles, else a faithful stand-in."""
+    try:
+        pickle.loads(pickle.dumps(exc))
+        return exc
+    except Exception:
+        return RuntimeError(f"{type(exc).__name__}: {exc}")
+
+
+# ---------------------------------------------------------------------------
+# Registry of shared executor instances + the process-wide default
+# ---------------------------------------------------------------------------
+
+_EXECUTOR_CLASSES = {
+    "serial": SerialExecutor,
+    "threads": ThreadExecutor,
+    "processes": ForkProcessExecutor,
+}
+
+_instances: dict = {}
+_instances_lock = threading.Lock()
+_default: object | None = None
+
+
+def make_executor(kind: str, jobs: int | None = None):
+    """A (shared) executor instance of ``kind`` with ``jobs`` workers.
+
+    Instances are cached per ``(kind, jobs)`` so thread pools are reused
+    instead of re-spawned by every :class:`SimCluster`.
+    """
+    if kind not in _EXECUTOR_CLASSES:
+        raise ValueError(
+            f"unknown executor {kind!r}; choose from {EXECUTOR_KINDS}"
+        )
+    if jobs is not None and jobs < 1:
+        raise ValueError("jobs must be a positive worker count")
+    resolved_jobs = 1 if kind == "serial" else (jobs or default_jobs())
+    key = (kind, resolved_jobs)
+    with _instances_lock:
+        if key not in _instances:
+            _instances[key] = _EXECUTOR_CLASSES[kind](resolved_jobs)
+        return _instances[key]
+
+
+def get_default_executor():
+    """The process-wide default backend (``threads`` unless overridden by
+    :func:`set_default_executor` or ``REPRO_EXECUTOR``/``REPRO_JOBS``)."""
+    global _default
+    if _default is None:
+        kind = os.environ.get("REPRO_EXECUTOR", _DEFAULT_KIND)
+        jobs_env = os.environ.get("REPRO_JOBS")
+        jobs = int(jobs_env) if jobs_env else None
+        _default = make_executor(kind, jobs)
+        logger.debug(
+            "default executor: %s (jobs=%d)", _default.kind, _default.jobs
+        )
+    return _default
+
+
+def set_default_executor(kind: str | None = None, jobs: int | None = None):
+    """Change the process-wide default; returns the new executor.
+
+    ``kind=None`` keeps the current kind and only changes ``jobs``.
+    """
+    global _default
+    if kind is None:
+        kind = get_default_executor().kind
+    _default = make_executor(kind, jobs)
+    logger.info("executor set to %s (jobs=%d)", _default.kind, _default.jobs)
+    return _default
+
+
+def resolve_executor(executor=None, jobs: int | None = None):
+    """Normalize an ``executor=`` argument: None → the process default,
+    a kind string → a shared instance, an instance → itself."""
+    if executor is None:
+        if jobs is None:
+            return get_default_executor()
+        return make_executor(get_default_executor().kind, jobs)
+    if isinstance(executor, str):
+        return make_executor(executor, jobs)
+    return executor

@@ -8,6 +8,17 @@ once and its queries are answered together, partitions in parallel across
 workers.  This module provides that execution strategy for exact match
 and target-node kNN; per-query answers are identical to the interactive
 path (tests assert it), only the cost model differs.
+
+The per-partition groups really do run concurrently: each group is one
+task on the configured execution backend (``executor=`` — see
+:mod:`repro.cluster.executors` and docs/PARALLELISM.md), defaulting to
+the process-wide executor, so a multicore driver processes a batch as a
+cluster would.  Per-query accounting keeps the invariant the interactive
+path established (tests/test_accounting.py): every result reports its
+``partition_ids_loaded``, ``strategy``, ``nodes_visited``, and a ledger
+whose partition-load tasks match ``partitions_loaded`` — the shared
+group load is amortized over the group's queries as a
+``query/load partition (batch-shared)`` stage.
 """
 
 from __future__ import annotations
@@ -18,8 +29,10 @@ import numpy as np
 
 from ..cluster import SimulationLedger
 from ..cluster.costmodel import timed_stage
+from ..cluster.executors import resolve_executor
 from ..tsdb.distance import batch_euclidean
 from .builder import TardisIndex
+from .local_index import ScanStats
 from .queries import ExactMatchResult, KnnResult, Neighbor, query_signature
 
 __all__ = ["BatchReport", "batch_exact_match", "batch_knn_target_node"]
@@ -63,43 +76,90 @@ def _parallel_wall(per_partition_times: list[float], n_workers: int) -> float:
     return max(workers)
 
 
+def _charge_shared_load(
+    result, load_s: float, group_size: int, partition_id: int
+) -> None:
+    """Amortize one group's partition load over its queries.
+
+    Each query in the group carries an equal share of the single load, as
+    one ``query/load partition (batch-shared)`` task — so the per-result
+    accounting invariant (one load task per reported partition) holds
+    while the batch as a whole still pays for the partition only once.
+    """
+    share = load_s / group_size
+    result.partitions_loaded = 1
+    result.partition_ids_loaded = [partition_id]
+    result.ledger.record_stage(
+        "query/load partition (batch-shared)", wall_s=share, io_s=share,
+        tasks=1,
+    )
+
+
+def _run_groups(groups: dict[int, list[int]], group_fn, executor) -> list:
+    """Run one task per (pid, indices) group, in deterministic pid order."""
+    items = sorted(groups.items())
+    return resolve_executor(executor).map_tasks(
+        lambda _i, item: group_fn(item[0], item[1]), items
+    )
+
+
 def batch_exact_match(
-    index: TardisIndex, queries: np.ndarray, use_bloom: bool = True
+    index: TardisIndex,
+    queries: np.ndarray,
+    use_bloom: bool = True,
+    executor: object | str | None = None,
 ) -> BatchReport:
     """Exact-match a whole batch with one load per touched partition.
 
     Bloom filters still short-circuit: a partition whose filter rejects
-    *all* of its routed queries is never loaded at all.
+    *all* of its routed queries is never loaded at all.  Partition groups
+    run concurrently on ``executor`` (default: the process-wide backend).
     """
     report = BatchReport(results=[None] * len(queries))
     with timed_stage(report.ledger, "batch/route"):
         groups, converted = _group_by_partition(index, queries)
-    partition_times: list[float] = []
-    for pid, indices in groups.items():
+
+    def match_group(pid: int, indices: list[int]):
         partition = index.partitions[pid]
+        results: dict[int, ExactMatchResult] = {}
         pending: list[int] = []
         for i in indices:
             signature = converted[i][0]
             if use_bloom and not partition.might_contain(signature):
-                report.results[i] = ExactMatchResult(
+                results[i] = ExactMatchResult(
                     record_ids=[], bloom_rejected=True
                 )
             else:
                 pending.append(i)
         if not pending:
-            continue
+            return results, 0.0, False
         load_ledger = SimulationLedger()
         index.load_partition(pid, ledger=load_ledger)
-        report.partitions_loaded += 1
         scratch = SimulationLedger()
         with timed_stage(scratch, "lookup"):
             for i in pending:
                 signature = converted[i][0]
-                ids = partition.exact_lookup(signature, np.asarray(queries[i]))
-                report.results[i] = ExactMatchResult(
-                    record_ids=ids, partitions_loaded=1
+                leaf = partition.tree.descend(signature)
+                result = ExactMatchResult(
+                    record_ids=partition.exact_lookup(
+                        signature, np.asarray(queries[i])
+                    ),
+                    nodes_visited=leaf.layer + 1,
                 )
-        partition_times.append(load_ledger.clock_s + scratch.clock_s)
+                _charge_shared_load(
+                    result, load_ledger.clock_s, len(pending), pid
+                )
+                results[i] = result
+        return results, load_ledger.clock_s + scratch.clock_s, True
+
+    outcomes = _run_groups(groups, match_group, executor)
+    partition_times: list[float] = []
+    for results, group_time, loaded in outcomes:
+        for i, result in results.items():
+            report.results[i] = result
+        if loaded:
+            report.partitions_loaded += 1
+            partition_times.append(group_time)
     wall = _parallel_wall(partition_times, index.config.n_workers)
     report.ledger.record_stage(
         "batch/partition pass", wall_s=wall, io_s=sum(partition_times),
@@ -109,9 +169,17 @@ def batch_exact_match(
 
 
 def batch_knn_target_node(
-    index: TardisIndex, queries: np.ndarray, k: int
+    index: TardisIndex,
+    queries: np.ndarray,
+    k: int,
+    executor: object | str | None = None,
 ) -> BatchReport:
-    """Target-Node-Access kNN for a whole batch, one load per partition."""
+    """Target-Node-Access kNN for a whole batch, one load per partition.
+
+    Partition groups run concurrently on ``executor`` (default: the
+    process-wide backend); answers are identical to the interactive
+    target-node strategy query for query.
+    """
     if k <= 0:
         raise ValueError("k must be positive")
     if not index.clustered:
@@ -119,19 +187,24 @@ def batch_knn_target_node(
     report = BatchReport(results=[None] * len(queries))
     with timed_stage(report.ledger, "batch/route"):
         groups, converted = _group_by_partition(index, queries)
-    partition_times: list[float] = []
-    for pid, indices in groups.items():
+
+    def knn_group(pid: int, indices: list[int]):
         load_ledger = SimulationLedger()
         partition = index.load_partition(pid, ledger=load_ledger)
-        report.partitions_loaded += 1
+        results: dict[int, KnnResult] = {}
         scratch = SimulationLedger()
         with timed_stage(scratch, "search"):
             for i in indices:
                 signature = converted[i][0]
+                scan = ScanStats()
                 target = partition.target_node(signature, k)
-                candidates = partition.entries_under(target)
-                result = KnnResult(neighbors=[], partitions_loaded=1)
+                candidates = partition.entries_under(target, stats=scan)
+                result = KnnResult(neighbors=[], strategy="target-node")
                 result.candidates_examined = len(candidates)
+                result.nodes_visited = (target.layer + 1) + scan.visited
+                _charge_shared_load(
+                    result, load_ledger.clock_s, len(indices), pid
+                )
                 if candidates:
                     values = np.vstack([e[2] for e in candidates])
                     distances = batch_euclidean(
@@ -142,8 +215,16 @@ def batch_knn_target_node(
                         Neighbor(float(distances[j]), candidates[j][1])
                         for j in order
                     ]
-                report.results[i] = result
-        partition_times.append(load_ledger.clock_s + scratch.clock_s)
+                results[i] = result
+        return results, load_ledger.clock_s + scratch.clock_s, True
+
+    outcomes = _run_groups(groups, knn_group, executor)
+    partition_times: list[float] = []
+    for results, group_time, _loaded in outcomes:
+        for i, result in results.items():
+            report.results[i] = result
+        report.partitions_loaded += 1
+        partition_times.append(group_time)
     wall = _parallel_wall(partition_times, index.config.n_workers)
     report.ledger.record_stage(
         "batch/partition pass", wall_s=wall, io_s=sum(partition_times),

@@ -440,17 +440,22 @@ def build_tardis_index(
                 )
                 cluster.charge_disk_write(spilled_bytes, label="local/spill write")
                 cluster.charge_disk_read(spilled_bytes, label="local/spill read")
-            partitions: dict[int, LocalPartition] = {}
-
             def build_one(index: int, records: list) -> tuple[list, float]:
+                # The partition is the task OUTPUT (not a closure side
+                # effect) so construction runs identically on the serial,
+                # thread, and fork-process executors.
                 partition = build_local_partition(
                     index, records, config, clustered=clustered,
                     with_bloom=with_bloom,
                 )
-                partitions[index] = partition
-                return [], 0.0
+                return [partition], 0.0
 
-            cluster._run_stage("local/build index", shuffled.partitions, build_one)
+            built = cluster._run_stage(
+                "local/build index", shuffled.partitions, build_one
+            )
+            partitions: dict[int, LocalPartition] = {
+                index: out[0] for index, out in enumerate(built)
+            }
             if with_bloom:
                 bloom_bytes = sum(p.bloom.nbytes for p in partitions.values())
                 cluster.charge_disk_write(

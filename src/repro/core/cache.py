@@ -20,6 +20,7 @@ telemetry registry (``partition_cache_*_total`` counters, surfaced by
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
 
@@ -30,13 +31,21 @@ __all__ = ["PartitionCache"]
 
 @dataclass
 class PartitionCache:
-    """An LRU cache over partition ids with hit/miss/eviction accounting."""
+    """An LRU cache over partition ids with hit/miss/eviction accounting.
+
+    Thread-safe: batch query passes load partitions from executor worker
+    threads concurrently, so residency updates and statistics are guarded
+    by a lock (see docs/PARALLELISM.md).
+    """
 
     capacity: int
     _resident: OrderedDict = field(default_factory=OrderedDict)
     hits: int = 0
     misses: int = 0
     evictions: int = 0
+    _lock: threading.RLock = field(
+        default_factory=threading.RLock, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         if self.capacity <= 0:
@@ -49,23 +58,30 @@ class PartitionCache:
         resident when over capacity.
         """
         registry = get_registry()
-        if partition_id in self._resident:
-            self._resident.move_to_end(partition_id)
-            self.hits += 1
+        with self._lock:
+            if partition_id in self._resident:
+                self._resident.move_to_end(partition_id)
+                self.hits += 1
+                hit = True
+            else:
+                self.misses += 1
+                self._resident[partition_id] = True
+                evicted = len(self._resident) > self.capacity
+                if evicted:
+                    self._resident.popitem(last=False)
+                    self.evictions += 1
+                hit = False
+        if hit:
             registry.counter(
                 "partition_cache_hits_total",
                 "Partition loads answered from the LRU cache",
             ).inc()
             return True
-        self.misses += 1
         registry.counter(
             "partition_cache_misses_total",
             "Partition loads that missed the LRU cache",
         ).inc()
-        self._resident[partition_id] = True
-        if len(self._resident) > self.capacity:
-            self._resident.popitem(last=False)
-            self.evictions += 1
+        if evicted:
             registry.counter(
                 "partition_cache_evictions_total",
                 "Residents evicted from the LRU cache",
@@ -74,15 +90,18 @@ class PartitionCache:
 
     def invalidate(self, partition_id: int) -> None:
         """Drop a partition (e.g. after maintenance mutated it on disk)."""
-        self._resident.pop(partition_id, None)
+        with self._lock:
+            self._resident.pop(partition_id, None)
 
     def clear(self) -> None:
-        self._resident.clear()
+        with self._lock:
+            self._resident.clear()
 
     @property
     def resident_ids(self) -> list[int]:
         """Partition ids currently cached, LRU first."""
-        return list(self._resident)
+        with self._lock:
+            return list(self._resident)
 
     @property
     def hit_rate(self) -> float:
@@ -91,11 +110,12 @@ class PartitionCache:
 
     def stats(self) -> dict:
         """Snapshot of the cache's accounting, for reports and ``repro info``."""
-        return {
-            "capacity": self.capacity,
-            "resident": len(self._resident),
-            "hits": self.hits,
-            "misses": self.misses,
-            "evictions": self.evictions,
-            "hit_rate": self.hit_rate,
-        }
+        with self._lock:
+            return {
+                "capacity": self.capacity,
+                "resident": len(self._resident),
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "hit_rate": self.hit_rate,
+            }

@@ -41,6 +41,19 @@ logger = logging.getLogger(__name__)
 _FORMAT_VERSION = 2
 
 
+def _string_array(strings) -> np.ndarray:
+    """A unicode array sized to the longest string, never truncating.
+
+    A fixed ``dtype="U64"`` silently chops longer values — iSAX-T
+    signatures grow with ``cardinality_bits × word_length`` (already 72
+    chars at the default 9 bits × 32 words), and a truncated signature
+    corrupts every lookup after a round-trip.
+    """
+    strings = list(strings)
+    width = max((len(s) for s in strings), default=1)
+    return np.array(strings, dtype=f"U{max(1, width)}")
+
+
 def save_index(index: TardisIndex, path: str | Path) -> None:
     """Serialize a built index into ``path`` (created if missing)."""
     root = Path(path)
@@ -89,7 +102,7 @@ def save_index(index: TardisIndex, path: str | Path) -> None:
 
     for pid, partition in index.partitions.items():
         entries = partition.all_entries()
-        signatures = np.array([e[0] for e in entries], dtype="U64")
+        signatures = _string_array(e[0] for e in entries)
         rids = np.array([e[1] for e in entries], dtype=np.int64)
         if index.clustered and entries:
             values = np.vstack([e[2] for e in entries])
@@ -100,9 +113,7 @@ def save_index(index: TardisIndex, path: str | Path) -> None:
             signatures=signatures,
             record_ids=rids,
             values=values,
-            region_prefixes=np.array(
-                sorted(partition.region_prefixes), dtype="U64"
-            ),
+            region_prefixes=_string_array(sorted(partition.region_prefixes)),
             bloom_bits=partition.bloom.bits,
             bloom_geometry=np.array(
                 [partition.bloom.n_bits, partition.bloom.n_hashes,

@@ -226,6 +226,18 @@ class Tracer:
         for root in self.roots:
             yield from root.iter_spans()
 
+    def adopt(self, spans: list[Span]) -> None:
+        """Append finished root spans collected elsewhere.
+
+        Used by the fork-based process executor: children ship the spans
+        their tasks finished back to the driver, which adopts them so the
+        trace stays complete regardless of execution backend.
+        """
+        if not spans:
+            return
+        with self._lock:
+            self._roots.extend(spans)
+
     def reset(self) -> None:
         """Drop collected spans (keeps the enabled flag)."""
         with self._lock:

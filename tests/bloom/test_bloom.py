@@ -73,6 +73,33 @@ class TestMembership:
         assert 0.0 < bf.estimated_fp_rate() < 0.05
 
 
+class TestItemCount:
+    def test_add_is_idempotent_in_count(self):
+        """Re-adding an item must not inflate n_items (the docstring's
+        'idempotent' promise covers the count, not just the bits)."""
+        bf = BloomFilter.with_capacity(100)
+        bf.add("dup")
+        bits_after_first = bf.bits.copy()
+        for _ in range(10):
+            bf.add("dup")
+        assert bf.n_items == 1
+        assert (bf.bits == bits_after_first).all()
+
+    def test_distinct_items_counted(self):
+        bf = BloomFilter.with_capacity(100)
+        for i in range(50):
+            bf.add(f"item-{i}")
+        assert bf.n_items == 50
+
+    def test_duplicate_heavy_insert_counts_distinct(self):
+        """The TARDIS pattern: every record in a leaf re-adds the same
+        signature."""
+        bf = BloomFilter.with_capacity(200)
+        for i in range(300):
+            bf.add(f"sig-{i % 3}")
+        assert bf.n_items == 3
+
+
 class TestUnion:
     def test_union_contains_both_sides(self):
         a = BloomFilter(n_bits=1024, n_hashes=4)
@@ -88,3 +115,29 @@ class TestUnion:
         b = BloomFilter(n_bits=512, n_hashes=4)
         with pytest.raises(ValueError, match="geometry"):
             a.union(b)
+
+    def test_union_does_not_double_count_shared_items(self):
+        """Summing the operands' counts over-reports overlap; the union
+        estimates distinct items from the merged fill instead."""
+        a = BloomFilter(n_bits=4096, n_hashes=4)
+        b = BloomFilter(n_bits=4096, n_hashes=4)
+        for i in range(20):
+            a.add(f"shared-{i}")
+            b.add(f"shared-{i}")
+        merged = a.union(b)
+        assert merged.n_items == 20  # not 40
+
+    def test_union_count_close_for_disjoint_sides(self):
+        a = BloomFilter(n_bits=8192, n_hashes=4)
+        b = BloomFilter(n_bits=8192, n_hashes=4)
+        for i in range(30):
+            a.add(f"left-{i}")
+            b.add(f"right-{i}")
+        merged = a.union(b)
+        # Sparse fill keeps the cardinality estimator near-exact.
+        assert abs(merged.n_items - 60) <= 2
+
+    def test_union_of_empty_filters(self):
+        a = BloomFilter(n_bits=256, n_hashes=3)
+        b = BloomFilter(n_bits=256, n_hashes=3)
+        assert a.union(b).n_items == 0

@@ -70,6 +70,43 @@ class TestRoundTrip:
             assert a.record_ids == b.record_ids
 
 
+class TestLongSignatures:
+    def test_roundtrip_preserves_signatures_longer_than_64_chars(
+        self, tmp_path
+    ):
+        """Regression: a fixed ``U64`` dtype silently truncated signatures.
+
+        ``word_length=32, cardinality_bits=9`` produces 72-char iSAX-T
+        signatures; after a save/load cycle every entry signature, region
+        prefix, and exact-match answer must survive unchanged.
+        """
+        from repro.core import TardisConfig, build_tardis_index, exact_match
+        from repro.tsdb import random_walk
+
+        dataset = random_walk(300, length=128, seed=11).z_normalized()
+        config = TardisConfig(
+            word_length=32, cardinality_bits=9, g_max_size=80, l_max_size=16
+        )
+        index = build_tardis_index(dataset, config)
+        long_sigs = [
+            e[0]
+            for p in index.partitions.values()
+            for e in p.all_entries()
+            if len(e[0]) > 64
+        ]
+        assert long_sigs, "config must produce >64-char signatures"
+
+        save_index(index, tmp_path / "long")
+        back = load_index(tmp_path / "long")
+        for pid, original in index.partitions.items():
+            old = sorted((e[0], e[1]) for e in original.all_entries())
+            new = sorted((e[0], e[1]) for e in back.partitions[pid].all_entries())
+            assert old == new
+            assert original.region_prefixes == back.partitions[pid].region_prefixes
+        for row in (0, 150, 299):
+            assert row in exact_match(back, dataset.values[row]).record_ids
+
+
 class TestUnclusteredAndErrors:
     def test_unclustered_roundtrip(self, rw_small, small_config, tmp_path):
         from repro.core import build_tardis_index

@@ -88,6 +88,71 @@ def test_exact_match_accounting_matches_ledger(tardis_small, rw_small):
         assert miss.nodes_visited == 0
 
 
+def test_batch_exact_match_accounting(tardis_small, rw_small, heldout_queries):
+    """Batch results carry the same accounting contract as interactive
+    ones: loaded-partition ids, node visits, and a ledger whose
+    partition-load tasks match ``partitions_loaded`` (the shared group
+    load is amortized as one batch-shared task per query)."""
+    from repro.core.batch import batch_exact_match
+
+    queries = np.vstack([rw_small.values[:6], heldout_queries[:6]])
+    report = batch_exact_match(tardis_small, queries)
+    assert len(report.results) == len(queries)
+    for i, result in enumerate(report.results):
+        assert_consistent(result, tardis_small)
+        if result.bloom_rejected:
+            assert result.partitions_loaded == 0
+        else:
+            assert result.partitions_loaded == 1
+            assert result.nodes_visited >= 1
+            assert result.simulated_seconds > 0
+        if i < 6:  # present rows must be found, matching interactive
+            interactive = exact_match(tardis_small, queries[i])
+            assert result.record_ids == interactive.record_ids
+
+
+def test_batch_knn_accounting(tardis_small, heldout_queries):
+    from repro.core.batch import batch_knn_target_node
+    from repro.core.queries import knn_target_node_access
+
+    queries = heldout_queries[:8]
+    report = batch_knn_target_node(tardis_small, queries, k=5)
+    assert len(report.results) == len(queries)
+    for i, result in enumerate(report.results):
+        assert_consistent(result, tardis_small)
+        assert result.strategy == "target-node"
+        assert result.partitions_loaded == 1
+        assert result.nodes_visited >= 1
+        assert result.candidates_examined >= len(result.neighbors)
+        assert result.simulated_seconds > 0
+        interactive = knn_target_node_access(tardis_small, queries[i], 5)
+        assert result.record_ids == interactive.record_ids
+        assert result.nodes_visited == interactive.nodes_visited
+        assert result.partition_ids_loaded == interactive.partition_ids_loaded
+
+
+def test_batch_amortized_load_totals_one_partition(tardis_small, rw_small):
+    """Across a group, the per-query amortized load shares sum to the
+    group's single load — the batch never bills a partition twice."""
+    from repro.core.batch import batch_knn_target_node
+
+    queries = rw_small.values[:10]
+    report = batch_knn_target_node(tardis_small, queries, k=3)
+    by_pid: dict[int, float] = {}
+    for result in report.results:
+        pid = result.partition_ids_loaded[0]
+        share = sum(
+            stats.io_s
+            for label, stats in result.ledger.stages.items()
+            if label.startswith(LOAD_PREFIX)
+        )
+        by_pid[pid] = by_pid.get(pid, 0.0) + share
+    # Each touched partition's shares reassemble one load (io_s equals the
+    # group's load io, so totals across queries equal per-pid load costs).
+    assert report.partitions_loaded == len(by_pid)
+    assert all(total > 0 for total in by_pid.values())
+
+
 def test_accounting_consistent_with_cache_enabled():
     """Cached loads still count as loads, in both the result and ledger."""
     dataset = random_walk(600, length=64, seed=5).z_normalized()
