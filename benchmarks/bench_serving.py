@@ -1,0 +1,223 @@
+#!/usr/bin/env python
+"""Serving-tier benchmark: batched vs. unbatched, closed and open loop.
+
+Drives a real :class:`repro.serving.QueryService` (threads executor, no
+result cache, so every request truly executes) with the
+:mod:`repro.experiments.loadgen` drivers and records, per concurrency
+level:
+
+* throughput and client-observed p50/p95/p99 latency, and
+* **partitions loaded per query** — the figure partition-aware
+  micro-batching exists to shrink: grouping a flush window by Tardis-G
+  home partition amortizes one load across every grouped query, so at
+  concurrency >= 8 the batched value must be strictly below the
+  unbatched 1.0 (the ``--check`` gate CI enforces).
+
+Also runs an open-loop (Poisson) pass at a deliberately low offered
+rate against a ``shed``-policy service and checks nothing sheds — the
+admission queue must absorb normal traffic without dropping.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_serving.py                 # full
+    PYTHONPATH=src python benchmarks/bench_serving.py --smoke --check # CI
+    PYTHONPATH=src python benchmarks/bench_serving.py --out BENCH_serving.json
+
+Wall-clock numbers depend on the host (the report records cpu_count);
+the partitions-per-query ratios are load-dependent but hardware-
+independent.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.core import TardisConfig, build_tardis_index  # noqa: E402
+from repro.experiments.loadgen import closed_loop, open_loop  # noqa: E402
+from repro.serving import QueryService  # noqa: E402
+from repro.tsdb import random_walk  # noqa: E402
+
+
+def make_service(index, max_batch: int, policy: str = "block",
+                 queue: int = 512) -> QueryService:
+    return QueryService(
+        index,
+        queue_capacity=queue,
+        policy=policy,
+        max_batch=max_batch,
+        max_delay_ms=2.0,
+        executor="threads",
+        result_cache_size=None,  # measure execution, not memoization
+    )
+
+
+def closed_loop_scenarios(index, pool, args) -> list[dict]:
+    rows = []
+    for concurrency in args.concurrencies:
+        for label, max_batch in (("unbatched", 1), ("batched", args.batch)):
+            with make_service(index, max_batch) as service:
+                report = closed_loop(
+                    service, pool, total=args.total,
+                    concurrency=concurrency, seed=11,
+                    op="knn", strategy="target-node", k=10,
+                )
+                stats = service.stats()
+            row = {
+                "scenario": label,
+                "concurrency": concurrency,
+                "max_batch": max_batch,
+                **report.to_dict(),
+                "partitions_per_query": stats["partitions_per_query"],
+                "batch_occupancy_mean": stats["batch_occupancy_mean"],
+                "partition_loads": stats["partition_loads"],
+            }
+            rows.append(row)
+            print(
+                f"  closed-loop c={concurrency:<3} {label:<9} "
+                f"{report.achieved_qps:8.0f} q/s  "
+                f"p95 {report.percentiles()['p95_s'] * 1000:7.2f} ms  "
+                f"loads/query {row['partitions_per_query']:.3f}  "
+                f"occupancy {row['batch_occupancy_mean']:.2f}"
+            )
+    return rows
+
+
+def open_loop_scenario(index, pool, args) -> dict:
+    with make_service(index, args.batch, policy="shed") as service:
+        report = open_loop(
+            service, pool, rate_qps=args.rate, duration_s=args.duration,
+            seed=13, op="knn", strategy="target-node", k=10,
+        )
+        stats = service.stats()
+    row = {
+        "scenario": "open-loop-low-rate",
+        "policy": "shed",
+        **report.to_dict(),
+        "partitions_per_query": stats["partitions_per_query"],
+        "queue_max_depth": stats["max_queue_depth"],
+    }
+    print(
+        f"  open-loop  rate={args.rate:.0f} q/s  sent {report.sent}  "
+        f"shed {report.shed}  p99 {report.percentiles()['p99_s'] * 1000:.2f} ms"
+    )
+    return row
+
+
+def run(args) -> dict:
+    dataset = random_walk(args.series, length=args.length, seed=97)
+    dataset = dataset.z_normalized()
+    config = TardisConfig(
+        g_max_size=max(60, args.series // 16),
+        l_max_size=max(10, args.series // 150),
+        pth=4,
+    )
+    index = build_tardis_index(dataset, config)
+    # Query pool with production-like reuse: mostly indexed rows (drawn
+    # several times each under the seeded load RNG) plus held-out probes.
+    rng = np.random.default_rng(5)
+    rows = rng.choice(len(dataset), size=args.pool * 3 // 4, replace=False)
+    heldout = (
+        random_walk(args.pool - len(rows), length=args.length, seed=79)
+        .z_normalized().values
+    )
+    pool = np.vstack([dataset.values[rows], heldout])
+    print(
+        f"index: {args.series} series, {len(index.partitions)} partitions; "
+        f"query pool {len(pool)}"
+    )
+
+    closed = closed_loop_scenarios(index, pool, args)
+    open_row = open_loop_scenario(index, pool, args)
+
+    def ratio(concurrency: int, scenario: str) -> float:
+        for row in closed:
+            if (row["concurrency"] == concurrency
+                    and row["scenario"] == scenario):
+                return row["partitions_per_query"]
+        raise KeyError((concurrency, scenario))
+
+    high = [c for c in args.concurrencies if c >= 8]
+    checks = {
+        "open_loop_zero_shed": open_row["shed"] == 0
+        and open_row["errors"] == 0,
+        "batching_reduces_partition_loads": all(
+            ratio(c, "batched") < ratio(c, "unbatched") for c in high
+        ),
+        "all_queries_answered": all(
+            row["completed"] == row["sent"] for row in closed
+        ),
+    }
+    return {
+        "benchmark": "serving",
+        "host": {
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "cpu_count": os.cpu_count(),
+        },
+        "workload": {
+            "series": args.series,
+            "length": args.length,
+            "partitions": len(index.partitions),
+            "query_pool": len(pool),
+            "total_per_scenario": args.total,
+            "strategy": "target-node",
+            "k": 10,
+            "batch_max": args.batch,
+            "batch_delay_ms": 2.0,
+        },
+        "closed_loop": closed,
+        "open_loop": open_row,
+        "checks": checks,
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI-sized run (smaller index and totals)")
+    parser.add_argument("--check", action="store_true",
+                        help="exit non-zero if any report check fails")
+    parser.add_argument("--out", default=None, metavar="FILE",
+                        help="write the JSON report here")
+    parser.add_argument("--series", type=int, default=None)
+    parser.add_argument("--length", type=int, default=64)
+    parser.add_argument("--pool", type=int, default=None)
+    parser.add_argument("--total", type=int, default=None)
+    parser.add_argument("--batch", type=int, default=16)
+    parser.add_argument("--rate", type=float, default=None,
+                        help="open-loop offered rate (q/s)")
+    parser.add_argument("--duration", type=float, default=None,
+                        help="open-loop duration (s)")
+    args = parser.parse_args()
+    args.series = args.series or (1500 if args.smoke else 4000)
+    args.pool = args.pool or (32 if args.smoke else 64)
+    args.total = args.total or (240 if args.smoke else 800)
+    args.rate = args.rate or (40.0 if args.smoke else 100.0)
+    args.duration = args.duration or (1.5 if args.smoke else 3.0)
+    args.concurrencies = (1, 8) if args.smoke else (1, 8, 16)
+
+    started = time.perf_counter()
+    report = run(args)
+    report["elapsed_s"] = round(time.perf_counter() - started, 2)
+    print(f"checks: {report['checks']}  ({report['elapsed_s']:.1f}s)")
+    if args.out:
+        Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
+        print(f"wrote {args.out}")
+    if args.check and not all(report["checks"].values()):
+        print("BENCH CHECK FAILED", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -10,6 +10,8 @@ code:
 * ``knn`` — kNN with an approximate strategy or exact best-first search
 * ``range`` — all series within a Euclidean radius
 * ``stats`` — pretty-print a trace previously saved with ``--trace``
+* ``serve`` — long-lived JSON-lines TCP query server over an index
+* ``query-remote`` — query (or fetch SLO stats from) a running server
 
 Series inputs are ``.npy`` files (one 1-D array) or ``--row N`` of a
 generated ``.npz`` dataset.
@@ -23,6 +25,12 @@ partition cache.
 Execution (docs/PARALLELISM.md): every command accepts ``--executor
 {serial,threads,processes}`` and ``--jobs N`` to choose the task
 backend the engine and batch paths run on.
+
+Serving (docs/SERVING.md): ``serve`` exposes admission control
+(``--queue``/``--policy``), micro-batching (``--batch-max``/
+``--batch-delay-ms``), both caches (``--cache``/``--result-cache``) and
+an SLO report (``--report FILE`` on shutdown, or live via
+``query-remote --stats``).
 """
 
 from __future__ import annotations
@@ -30,7 +38,9 @@ from __future__ import annotations
 import argparse
 import json
 import logging
+import signal
 import sys
+import threading
 from pathlib import Path
 
 import numpy as np
@@ -214,6 +224,99 @@ def _cmd_range(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    from .serving import QueryService, TardisServer
+
+    index = _load_query_index(args)
+    try:
+        service = QueryService(
+            index,
+            queue_capacity=args.queue,
+            policy=args.policy,
+            max_batch=args.batch_max,
+            max_delay_ms=args.batch_delay_ms,
+            result_cache_size=args.result_cache,
+        )
+        server = TardisServer(service, args.host, args.port)
+    except (ValueError, OSError) as exc:
+        raise SystemExit(str(exc))
+    server.start()
+    host, port = server.address
+    print(
+        f"serving {args.index} on {host}:{port} "
+        f"(policy={args.policy}, queue={args.queue}, "
+        f"batch<={args.batch_max}/{args.batch_delay_ms}ms; Ctrl-C to stop)",
+        flush=True,
+    )
+    stop = threading.Event()
+    if threading.current_thread() is threading.main_thread():
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            signal.signal(signum, lambda *_: stop.set())
+    try:
+        stop.wait(args.max_seconds)
+    except KeyboardInterrupt:
+        pass
+    server.close(drain=True)
+    report = service.stats()
+    if args.report:
+        Path(args.report).write_text(json.dumps(report, indent=2) + "\n")
+        logger.info("wrote SLO report to %s", args.report)
+    latency = report["latency"]
+    print(
+        f"served {report['requests_completed']} requests "
+        f"({report['requests_shed']} shed); p50/p95/p99 "
+        f"{latency['p50_s'] * 1000:.2f}/{latency['p95_s'] * 1000:.2f}/"
+        f"{latency['p99_s'] * 1000:.2f} ms"
+    )
+    return 0
+
+
+def _cmd_query_remote(args) -> int:
+    from .serving import OverloadedError, ServingClient
+
+    try:
+        client = ServingClient(args.host, args.port, timeout=args.timeout)
+    except OSError as exc:
+        raise SystemExit(f"cannot connect to {args.host}:{args.port}: {exc}")
+    with client:
+        if args.ping:
+            ok = client.ping()
+            print("pong" if ok else "no pong")
+            return 0 if ok else 1
+        if args.stats:
+            print(json.dumps(client.stats(), indent=2))
+            return 0
+        query = _load_query(args)
+        try:
+            if args.op == "exact":
+                result = client.exact_match(
+                    query, use_bloom=not args.no_bloom
+                )
+                if result["found"]:
+                    print(f"found record ids: {result['record_ids']}")
+                    return 0
+                how = (
+                    "bloom filter" if result["bloom_rejected"]
+                    else "partition lookup"
+                )
+                print(f"not found (rejected by {how})")
+                return 1
+            result = client.knn(
+                query, k=args.k, strategy=args.strategy, pth=args.pth
+            )
+            print(f"{args.strategy} {args.k}-NN via {args.host}:{args.port} "
+                  f"({result['partitions_loaded']} partitions, "
+                  f"{result['candidates_examined']:,} candidates):")
+            for record_id, distance in zip(
+                result["record_ids"], result["distances"]
+            ):
+                print(f"  record {record_id:>8}  distance {distance:.4f}")
+            return 0
+        except OverloadedError as exc:
+            print(f"server overloaded: {exc}", file=sys.stderr)
+            return 2
+
+
 def _cmd_stats(args) -> int:
     """Pretty-print a trace saved earlier with ``--trace``."""
     try:
@@ -316,6 +419,49 @@ def build_parser() -> argparse.ArgumentParser:
             cmd.add_argument("--limit", type=int, default=20,
                              help="max results to print")
             cmd.set_defaults(fn=_cmd_range)
+
+    srv = add_parser("serve", help="serve queries over TCP (JSON lines)")
+    srv.add_argument("--index", required=True)
+    srv.add_argument("--host", default="127.0.0.1")
+    srv.add_argument("--port", type=int, default=0,
+                     help="TCP port (0 picks a free one, printed at start)")
+    srv.add_argument("--cache", type=int, metavar="N",
+                     help="enable an N-partition LRU cache")
+    srv.add_argument("--result-cache", type=int, default=1024, metavar="N",
+                     help="keyed result-cache entries (0 disables)")
+    srv.add_argument("--queue", type=int, default=256, metavar="N",
+                     help="admission-queue capacity")
+    srv.add_argument("--policy", choices=("block", "shed"), default="block",
+                     help="backpressure when the queue is full")
+    srv.add_argument("--batch-max", type=int, default=16, metavar="N",
+                     help="micro-batch flush size")
+    srv.add_argument("--batch-delay-ms", type=float, default=2.0,
+                     metavar="MS", help="micro-batch max flush delay")
+    srv.add_argument("--max-seconds", type=float, default=None, metavar="S",
+                     help="stop after S seconds (default: run until signal)")
+    srv.add_argument("--report", metavar="FILE",
+                     help="write the SLO report as JSON on shutdown")
+    srv.set_defaults(fn=_cmd_serve)
+
+    remote = add_parser("query-remote", help="query a running serve process")
+    remote.add_argument("--host", default="127.0.0.1")
+    remote.add_argument("--port", type=int, required=True)
+    remote.add_argument("--timeout", type=float, default=30.0)
+    remote.add_argument("--op", choices=("exact", "knn"), default="knn")
+    remote.add_argument("--strategy", default="target-node",
+                        choices=("target-node", "one-partition",
+                                 "multi-partitions"))
+    remote.add_argument("--k", type=int, default=10)
+    remote.add_argument("--pth", type=int, default=None)
+    remote.add_argument("--no-bloom", action="store_true")
+    remote.add_argument("--query", help="query series .npy")
+    remote.add_argument("--data", help="dataset .npz to take --row from")
+    remote.add_argument("--row", type=int, help="row of --data to query")
+    remote.add_argument("--stats", action="store_true",
+                        help="print the server's SLO report instead")
+    remote.add_argument("--ping", action="store_true",
+                        help="liveness probe: exit 0 if the server answers")
+    remote.set_defaults(fn=_cmd_query_remote)
 
     stats = add_parser("stats", help="pretty-print a saved --trace file")
     stats.add_argument("trace_file", help="trace JSON written by --trace")

@@ -35,7 +35,12 @@ from .builder import TardisIndex
 from .local_index import ScanStats
 from .queries import ExactMatchResult, KnnResult, Neighbor, query_signature
 
-__all__ = ["BatchReport", "batch_exact_match", "batch_knn_target_node"]
+__all__ = [
+    "BatchReport",
+    "batch_exact_match",
+    "batch_knn_target_node",
+    "group_queries_by_partition",
+]
 
 
 @dataclass
@@ -51,11 +56,16 @@ class BatchReport:
         return self.ledger.clock_s
 
 
-def _group_by_partition(
+def group_queries_by_partition(
     index: TardisIndex, queries: np.ndarray
 ) -> tuple[dict[int, list[int]], list[tuple[str, np.ndarray]]]:
     """Route every query; returns partition → query indices, plus the
-    per-query (signature, PAA) conversions for reuse."""
+    per-query (signature, PAA) conversions for reuse.
+
+    This is *the* grouping rule of the batch tier — the serving
+    micro-batcher (:mod:`repro.serving.batcher`) calls it too, so a
+    request's batch group always matches where a batch pass would have
+    placed it."""
     groups: dict[int, list[int]] = {}
     converted = []
     for i, query in enumerate(queries):
@@ -117,7 +127,7 @@ def batch_exact_match(
     """
     report = BatchReport(results=[None] * len(queries))
     with timed_stage(report.ledger, "batch/route"):
-        groups, converted = _group_by_partition(index, queries)
+        groups, converted = group_queries_by_partition(index, queries)
 
     def match_group(pid: int, indices: list[int]):
         partition = index.partitions[pid]
@@ -186,7 +196,7 @@ def batch_knn_target_node(
         raise RuntimeError("batch kNN needs a clustered index")
     report = BatchReport(results=[None] * len(queries))
     with timed_stage(report.ledger, "batch/route"):
-        groups, converted = _group_by_partition(index, queries)
+        groups, converted = group_queries_by_partition(index, queries)
 
     def knn_group(pid: int, indices: list[int]):
         load_ledger = SimulationLedger()

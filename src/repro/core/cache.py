@@ -46,10 +46,19 @@ class PartitionCache:
     _lock: threading.RLock = field(
         default_factory=threading.RLock, repr=False, compare=False
     )
+    _listeners: list = field(default_factory=list, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if self.capacity <= 0:
             raise ValueError("capacity must be positive")
+
+    def subscribe_invalidations(self, callback) -> None:
+        """Register ``callback(partition_id)`` to fire after every
+        invalidation — the hook the serving tier's result cache uses to
+        stay coherent with partition-level maintenance.  Callbacks run
+        outside the cache lock (they may take their own)."""
+        with self._lock:
+            self._listeners.append(callback)
 
     def admit(self, partition_id: int) -> bool:
         """Record an access; True if it hit (no load charge needed).
@@ -89,13 +98,26 @@ class PartitionCache:
         return False
 
     def invalidate(self, partition_id: int) -> None:
-        """Drop a partition (e.g. after maintenance mutated it on disk)."""
+        """Drop a partition (e.g. after maintenance mutated it on disk).
+
+        Fires even when the partition was not resident: subscribers cache
+        *derived* state (query answers) that exists independently of
+        residency.
+        """
         with self._lock:
             self._resident.pop(partition_id, None)
+            listeners = list(self._listeners)
+        for callback in listeners:
+            callback(partition_id)
 
     def clear(self) -> None:
         with self._lock:
+            dropped = list(self._resident)
             self._resident.clear()
+            listeners = list(self._listeners)
+        for partition_id in dropped:
+            for callback in listeners:
+                callback(partition_id)
 
     @property
     def resident_ids(self) -> list[int]:

@@ -1,0 +1,209 @@
+"""Closed- and open-loop load generation against the serving tier.
+
+Two canonical driver shapes from the serving literature (and Odyssey's
+evaluation methodology):
+
+* **Closed loop** — ``concurrency`` workers, each submitting its next
+  query the moment the previous answer returns.  Measures capacity:
+  offered load adapts to the system, so nothing sheds and throughput is
+  the headline number.
+* **Open loop** — arrivals on an exponential (Poisson) clock at a fixed
+  ``rate_qps`` regardless of completions.  Measures behaviour *under* a
+  given offered load: queue growth, shed rate, and tail latency.
+
+Both drivers work against anything exposing ``submit(request) ->
+Future`` — normally a :class:`repro.serving.service.QueryService` — and
+return a :class:`LoadReport` of client-observed latencies, which include
+queueing delay and therefore differ from (are a superset of) the
+service's own SLO view.
+
+Arrival randomness and query choice are seeded; wall-clock pacing means
+reports are only *statistically* reproducible, which is all a load test
+can promise.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..serving.admission import OverloadedError
+from ..serving.requests import QueryRequest
+from ..serving.slo import nearest_rank
+
+__all__ = ["LoadReport", "closed_loop", "open_loop"]
+
+
+@dataclass
+class LoadReport:
+    """Client-side outcome of one load-generation run."""
+
+    mode: str
+    sent: int = 0
+    completed: int = 0
+    shed: int = 0
+    errors: int = 0
+    duration_s: float = 0.0
+    offered_qps: float = 0.0
+    latencies_s: list[float] = field(default_factory=list)
+
+    @property
+    def achieved_qps(self) -> float:
+        return self.completed / self.duration_s if self.duration_s else 0.0
+
+    def percentiles(self) -> dict:
+        ordered = sorted(self.latencies_s)
+        return {
+            "p50_s": nearest_rank(ordered, 0.50),
+            "p95_s": nearest_rank(ordered, 0.95),
+            "p99_s": nearest_rank(ordered, 0.99),
+        }
+
+    def to_dict(self) -> dict:
+        return {
+            "mode": self.mode,
+            "sent": self.sent,
+            "completed": self.completed,
+            "shed": self.shed,
+            "errors": self.errors,
+            "duration_s": self.duration_s,
+            "offered_qps": self.offered_qps,
+            "achieved_qps": self.achieved_qps,
+            "latency": {**self.percentiles(), "samples": len(self.latencies_s)},
+        }
+
+
+def _make_requests(queries: np.ndarray, **request_kwargs) -> list[QueryRequest]:
+    return [QueryRequest(q, **request_kwargs) for q in np.asarray(queries)]
+
+
+def closed_loop(
+    service,
+    queries: np.ndarray,
+    total: int,
+    concurrency: int,
+    seed: int = 0,
+    **request_kwargs,
+) -> LoadReport:
+    """``concurrency`` workers issue ``total`` queries back-to-back.
+
+    Each worker draws its next query from ``queries`` with a seeded RNG,
+    so partition reuse within a batching window mirrors skewed
+    production traffic rather than a fixed round-robin.
+    """
+    if concurrency <= 0 or total <= 0:
+        raise ValueError("concurrency and total must be positive")
+    requests = _make_requests(queries, **request_kwargs)
+    report = LoadReport(mode="closed-loop")
+    lock = threading.Lock()
+    counter = iter(range(total))
+
+    def worker(rank: int) -> None:
+        rng = np.random.default_rng(seed + rank)
+        while True:
+            with lock:
+                try:
+                    next(counter)
+                    report.sent += 1
+                except StopIteration:
+                    return
+            request = requests[int(rng.integers(len(requests)))]
+            started = time.monotonic()
+            try:
+                service.submit(request).result()
+            except OverloadedError:
+                with lock:
+                    report.shed += 1
+                continue
+            except Exception:
+                with lock:
+                    report.errors += 1
+                continue
+            elapsed = time.monotonic() - started
+            with lock:
+                report.completed += 1
+                report.latencies_s.append(elapsed)
+
+    threads = [
+        threading.Thread(target=worker, args=(rank,), daemon=True)
+        for rank in range(concurrency)
+    ]
+    started = time.monotonic()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    report.duration_s = time.monotonic() - started
+    report.offered_qps = report.achieved_qps  # closed loop: self-paced
+    return report
+
+
+def open_loop(
+    service,
+    queries: np.ndarray,
+    rate_qps: float,
+    duration_s: float,
+    seed: int = 0,
+    **request_kwargs,
+) -> LoadReport:
+    """Poisson arrivals at ``rate_qps`` for ``duration_s`` seconds.
+
+    The arrival thread never waits for answers (that's the point of an
+    open loop); completions are harvested from futures afterwards.  With
+    a ``shed`` service policy, overload shows up in ``report.shed``
+    instead of unbounded queueing.
+    """
+    if rate_qps <= 0 or duration_s <= 0:
+        raise ValueError("rate_qps and duration_s must be positive")
+    requests = _make_requests(queries, **request_kwargs)
+    rng = np.random.default_rng(seed)
+    report = LoadReport(mode="open-loop", offered_qps=rate_qps)
+    in_flight: list = []
+    lock = threading.Lock()
+
+    def track(submitted_at: float):
+        # Completion time is stamped by the done-callback (batcher
+        # thread), not at harvest — latencies stay honest even though
+        # the arrival loop never blocks on answers.
+        def done(future) -> None:
+            finished_at = time.monotonic()
+            with lock:
+                if future.exception() is not None:
+                    report.errors += 1
+                else:
+                    report.completed += 1
+                    report.latencies_s.append(finished_at - submitted_at)
+
+        return done
+
+    start = time.monotonic()
+    next_arrival = start
+    deadline = start + duration_s
+    while True:
+        now = time.monotonic()
+        if now >= deadline:
+            break
+        if now < next_arrival:
+            time.sleep(min(next_arrival - now, deadline - now))
+            continue
+        request = requests[int(rng.integers(len(requests)))]
+        report.sent += 1
+        submitted_at = time.monotonic()
+        try:
+            future = service.submit(request)
+        except OverloadedError:
+            report.shed += 1
+        else:
+            future.add_done_callback(track(submitted_at))
+            in_flight.append(future)
+        next_arrival += float(rng.exponential(1.0 / rate_qps))
+    for future in in_flight:
+        try:
+            future.exception(timeout=30.0)
+        except Exception:
+            pass
+    report.duration_s = time.monotonic() - start
+    return report

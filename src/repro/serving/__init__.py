@@ -1,0 +1,54 @@
+"""Query-serving subsystem: a long-lived front-end over a TARDIS index.
+
+The paper evaluates queries one at a time; the ROADMAP north star is a
+system that serves heavy concurrent traffic.  This package supplies that
+serving tier (docs/SERVING.md), built from five cooperating pieces:
+
+* :mod:`~repro.serving.admission` — a bounded admission queue with a
+  configurable backpressure policy (``block`` the caller or ``shed`` with
+  a structured :class:`OverloadedError`) and graceful drain-on-shutdown.
+* :mod:`~repro.serving.batcher` — a dynamic micro-batcher that groups
+  queued queries by their Tardis-G home partition (reusing
+  :mod:`repro.core.batch`'s grouping) so one partition load is amortized
+  across concurrent requests, flushed by size or a max-delay timer.
+* :mod:`~repro.serving.result_cache` — a keyed result cache (query
+  digest + strategy + k + pth) layered over the partition cache and
+  invalidated with it.
+* :mod:`~repro.serving.slo` — an SLO tracker publishing p50/p95/p99
+  latency, queue depth, shed count, batch occupancy and cache hit-rate
+  through :mod:`repro.telemetry`.
+* :mod:`~repro.serving.server` — a JSON-lines TCP front-end plus client,
+  surfaced as ``python -m repro serve`` / ``repro query-remote``.
+
+Typical embedded use::
+
+    from repro.serving import QueryRequest, QueryService
+
+    with QueryService(index, max_batch=16, max_delay_ms=2.0) as service:
+        result = service.query(QueryRequest(series, op="knn", k=10))
+
+Answers are identical to the serial :mod:`repro.core.queries` path —
+tests/serving/test_service_equivalence.py asserts it per backend.
+"""
+
+from .admission import AdmissionQueue, BACKPRESSURE_POLICIES, OverloadedError
+from .requests import OPS, QueryRequest, result_to_wire
+from .result_cache import ResultCache
+from .server import ServingClient, TardisServer, serve
+from .service import QueryService
+from .slo import SLOTracker
+
+__all__ = [
+    "AdmissionQueue",
+    "BACKPRESSURE_POLICIES",
+    "OverloadedError",
+    "OPS",
+    "QueryRequest",
+    "result_to_wire",
+    "ResultCache",
+    "ServingClient",
+    "TardisServer",
+    "serve",
+    "QueryService",
+    "SLOTracker",
+]

@@ -1,0 +1,122 @@
+"""Partition-aware micro-batching: group concurrent queries, run groups.
+
+The distributed idiom behind TARDIS's batch tier (repro.core.batch) is
+*group queries by target partition so each partition is loaded once*.
+The serving tier applies the same rule to whatever happens to be queued
+at flush time: a window of tickets is bucketed first by **plan** (op,
+strategy, k, pth — never mix different work; see
+tests/serving/test_result_cache.py) and then by **Tardis-G home
+partition** via :func:`repro.core.batch.group_queries_by_partition`, the
+exact routing the batch pass uses.
+
+Each resulting :class:`Group` becomes one task on the worker pool:
+
+* ``exact-match`` groups run through :func:`batch_exact_match`,
+* ``target-node`` kNN groups through :func:`batch_knn_target_node`
+  (both amortize the single partition load across the group), and
+* ``one-partition`` / ``multi-partitions`` groups run the interactive
+  strategy per query — the home-partition load still amortizes because
+  the group shares residency, and answers stay identical to
+  :mod:`repro.core.queries` by construction.
+
+Group runners always execute their inner batch serially: the group
+itself is already one task on the service's executor, and nested
+submission into a bounded pool can deadlock (see
+repro.cluster.executors).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.batch import (
+    batch_exact_match,
+    batch_knn_target_node,
+    group_queries_by_partition,
+)
+from ..core.builder import TardisIndex
+from ..core.queries import (
+    knn_multi_partitions_access,
+    knn_one_partition_access,
+)
+
+__all__ = ["Group", "group_tickets", "run_group", "partitions_loaded"]
+
+
+@dataclass
+class Group:
+    """One unit of batched work: same plan, same home partition."""
+
+    plan_key: tuple
+    partition_id: int
+    tickets: list = field(default_factory=list)
+
+    @property
+    def size(self) -> int:
+        return len(self.tickets)
+
+
+def group_tickets(index: TardisIndex, tickets: list) -> list[Group]:
+    """Split a flushed window into per-(plan, home-partition) groups.
+
+    Deterministic order (plan key, then partition id) so executor task
+    dispatch — and therefore cost accounting — is reproducible.
+    """
+    by_plan: dict[tuple, list] = {}
+    for ticket in tickets:
+        by_plan.setdefault(ticket.request.plan_key(), []).append(ticket)
+    groups: list[Group] = []
+    for plan_key in sorted(by_plan, key=repr):
+        plan_tickets = by_plan[plan_key]
+        queries = np.vstack([t.request.series for t in plan_tickets])
+        pid_groups, _converted = group_queries_by_partition(index, queries)
+        for pid in sorted(pid_groups):
+            groups.append(
+                Group(
+                    plan_key=plan_key,
+                    partition_id=pid,
+                    tickets=[plan_tickets[i] for i in pid_groups[pid]],
+                )
+            )
+    return groups
+
+
+def run_group(index: TardisIndex, group: Group) -> list:
+    """Execute one group; returns core results aligned with its tickets."""
+    requests = [t.request for t in group.tickets]
+    queries = np.vstack([r.series for r in requests])
+    op = group.plan_key[0]
+    if op == "exact-match":
+        use_bloom = group.plan_key[1]
+        report = batch_exact_match(
+            index, queries, use_bloom=use_bloom, executor="serial"
+        )
+        return report.results
+    _op, strategy, k, pth = group.plan_key
+    if strategy == "target-node":
+        report = batch_knn_target_node(index, queries, k, executor="serial")
+        return report.results
+    if strategy == "one-partition":
+        return [
+            knn_one_partition_access(index, request.series, k)
+            for request in requests
+        ]
+    return [
+        knn_multi_partitions_access(index, request.series, k, pth=pth)
+        for request in requests
+    ]
+
+
+def partitions_loaded(results) -> set[int]:
+    """Distinct partitions a group's results touched (for SLO accounting).
+
+    For exact/target-node groups the batch pass performed exactly one
+    shared load per partition in this set; for the scan strategies the
+    set is what a residency-sharing group loads once.
+    """
+    touched: set[int] = set()
+    for result in results:
+        touched.update(result.partition_ids_loaded)
+    return touched

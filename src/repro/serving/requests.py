@@ -1,0 +1,115 @@
+"""Request model shared by the service, the wire protocol, and the cache.
+
+A :class:`QueryRequest` names one query against a loaded index: the
+series itself plus the *plan* — operation, kNN strategy, ``k``, ``pth``
+and the Bloom toggle.  Two derived keys matter downstream:
+
+* :meth:`QueryRequest.plan_key` — the execution plan alone.  The
+  micro-batcher may only group requests that share a plan key: two
+  queries over identical series but different ``(strategy, k, pth)``
+  are different work and must never share a batch group or a cached
+  answer (tests/serving/test_result_cache.py proves the regression).
+* :meth:`QueryRequest.cache_key` — plan key plus a digest of the raw
+  series bytes.  The iSAX-T signature is deliberately *not* used as the
+  cache identity: distinct series can share a signature while having
+  different exact answers, so the result cache keys on content.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.queries import KNN_STRATEGIES
+
+__all__ = ["OPS", "QueryRequest", "result_to_wire"]
+
+#: Operations the serving tier accepts.
+OPS = ("exact-match", "knn")
+
+
+@dataclass
+class QueryRequest:
+    """One query to serve: the series plus its execution plan."""
+
+    series: np.ndarray
+    op: str = "knn"
+    strategy: str = "target-node"
+    k: int = 10
+    pth: int | None = None
+    use_bloom: bool = True
+    _digest: str = field(default="", repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        self.series = np.ascontiguousarray(self.series, dtype=np.float64)
+        if self.series.ndim != 1:
+            raise ValueError("query series must be one-dimensional")
+        if self.op not in OPS:
+            raise ValueError(f"unknown op {self.op!r}; choose from {OPS}")
+        if self.op == "knn":
+            if self.strategy not in KNN_STRATEGIES:
+                raise ValueError(
+                    f"unknown strategy {self.strategy!r}; choose from "
+                    f"{sorted(KNN_STRATEGIES)}"
+                )
+            if self.k <= 0:
+                raise ValueError("k must be positive")
+            if self.pth is not None and self.pth < 1:
+                raise ValueError("pth must be a positive partition count")
+
+    def plan_key(self) -> tuple:
+        """Hashable identity of the execution plan (not the series).
+
+        Exact-match varies only on the Bloom toggle; kNN varies on
+        ``(strategy, k)`` and — for Multi-Partitions Access — ``pth``.
+        """
+        if self.op == "exact-match":
+            return ("exact-match", self.use_bloom)
+        pth = self.pth if self.strategy == "multi-partitions" else None
+        return ("knn", self.strategy, self.k, pth)
+
+    def digest(self) -> str:
+        """Content digest of the series bytes (dtype/shape canonicalized)."""
+        if not self._digest:
+            self._digest = hashlib.blake2b(
+                self.series.tobytes(), digest_size=16
+            ).hexdigest()
+        return self._digest
+
+    def cache_key(self) -> tuple:
+        """Result-cache identity: series content *and* plan."""
+        return (self.digest(), len(self.series)) + self.plan_key()
+
+
+def result_to_wire(result) -> dict:
+    """Flatten a core query result into a JSON-safe response payload.
+
+    Python's ``json`` round-trips floats through ``repr`` exactly, so the
+    distances a remote client sees are bit-identical to the local answer
+    (tests/serving/test_server.py relies on this).
+    """
+    from ..core.queries import ExactMatchResult
+
+    if isinstance(result, ExactMatchResult):
+        return {
+            "op": "exact-match",
+            "found": result.found,
+            "record_ids": list(result.record_ids),
+            "bloom_rejected": result.bloom_rejected,
+            "partitions_loaded": result.partitions_loaded,
+            "partition_ids_loaded": list(result.partition_ids_loaded),
+            "nodes_visited": result.nodes_visited,
+        }
+    return {
+        "op": "knn",
+        "strategy": result.strategy,
+        "record_ids": list(result.record_ids),
+        "distances": [float(d) for d in result.distances],
+        "partitions_loaded": result.partitions_loaded,
+        "partition_ids_loaded": list(result.partition_ids_loaded),
+        "candidates_examined": result.candidates_examined,
+        "nodes_visited": result.nodes_visited,
+        "nodes_pruned": result.nodes_pruned,
+    }

@@ -1,0 +1,255 @@
+"""JSON-lines TCP front-end and client for the query service.
+
+The wire protocol is one JSON object per line, both directions — easy
+to drive from any language or from ``nc``:
+
+request::
+
+    {"op": "knn", "series": [...], "strategy": "target-node", "k": 10}
+    {"op": "exact-match", "series": [...], "use_bloom": true}
+    {"op": "stats"}        {"op": "ping"}
+
+response::
+
+    {"ok": true, "result": {...}}
+    {"ok": false, "error": {"type": "overloaded", "message": ...,
+                            "queue_depth": N, "capacity": N}}
+
+Error types: ``overloaded`` (shed by admission control — back off and
+retry), ``bad-request`` (malformed JSON / invalid plan), ``internal``.
+Floats survive the JSON round trip exactly (``repr`` semantics), so a
+remote kNN answer is bit-identical to the local one.
+
+:class:`TardisServer` wraps a ``ThreadingTCPServer`` around a running
+:class:`~repro.serving.service.QueryService`; each connection gets a
+handler thread that simply blocks on the service future — concurrency
+and backpressure live in the service, not the socket layer.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import socket
+import socketserver
+import threading
+
+import numpy as np
+
+from .admission import OverloadedError
+from .requests import QueryRequest, result_to_wire
+from .service import QueryService
+
+__all__ = ["TardisServer", "ServingClient", "serve"]
+
+logger = logging.getLogger(__name__)
+
+#: Cap on one request line (16 MB) — a malformed client cannot OOM the
+#: server by streaming an unterminated line.
+MAX_LINE_BYTES = 16 * 1024 * 1024
+
+
+def _error(kind: str, message: str, **extra) -> dict:
+    return {"ok": False, "error": {"type": kind, "message": message, **extra}}
+
+
+def _parse_request(doc: dict) -> QueryRequest:
+    series = doc.get("series")
+    if not isinstance(series, list) or not series:
+        raise ValueError("'series' must be a non-empty list of numbers")
+    return QueryRequest(
+        series=np.asarray(series, dtype=np.float64),
+        op=doc.get("op", "knn"),
+        strategy=doc.get("strategy", "target-node"),
+        k=int(doc.get("k", 10)),
+        pth=doc.get("pth"),
+        use_bloom=bool(doc.get("use_bloom", True)),
+    )
+
+
+class _Handler(socketserver.StreamRequestHandler):
+    """One connection: read JSON lines, answer JSON lines."""
+
+    def handle(self) -> None:  # pragma: no cover - exercised via client
+        service: QueryService = self.server.service  # type: ignore[attr-defined]
+        while True:
+            try:
+                line = self.rfile.readline(MAX_LINE_BYTES)
+            except OSError:
+                return
+            if not line:
+                return
+            line = line.strip()
+            if not line:
+                continue
+            self._reply(self._answer(service, line))
+
+    def _answer(self, service: QueryService, line: bytes) -> dict:
+        try:
+            doc = json.loads(line)
+        except json.JSONDecodeError as exc:
+            return _error("bad-request", f"invalid JSON: {exc}")
+        if not isinstance(doc, dict):
+            return _error("bad-request", "request must be a JSON object")
+        op = doc.get("op")
+        if op == "ping":
+            return {"ok": True, "result": "pong"}
+        if op == "stats":
+            return {"ok": True, "result": service.stats()}
+        try:
+            request = _parse_request(doc)
+        except (ValueError, TypeError) as exc:
+            return _error("bad-request", str(exc))
+        try:
+            result = service.query(request)
+        except OverloadedError as exc:
+            return _error(
+                "overloaded", str(exc),
+                queue_depth=exc.depth, capacity=exc.capacity,
+            )
+        except (ValueError, RuntimeError) as exc:
+            return _error("bad-request", str(exc))
+        except Exception as exc:
+            logger.exception("internal serving error")
+            return _error("internal", f"{type(exc).__name__}: {exc}")
+        return {"ok": True, "result": result_to_wire(result)}
+
+    def _reply(self, doc: dict) -> None:
+        try:
+            self.wfile.write(json.dumps(doc).encode() + b"\n")
+            self.wfile.flush()
+        except OSError:  # client went away mid-reply
+            pass
+
+
+class _TCPServer(socketserver.ThreadingTCPServer):
+    allow_reuse_address = True
+    daemon_threads = True
+
+
+class TardisServer:
+    """A query service bound to a TCP address, serving JSON lines."""
+
+    def __init__(
+        self, service: QueryService, host: str = "127.0.0.1", port: int = 0
+    ):
+        self.service = service
+        self._tcp = _TCPServer((host, port), _Handler)
+        self._tcp.service = service  # type: ignore[attr-defined]
+        self._thread: threading.Thread | None = None
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """Actual (host, port) — resolves ``port=0`` to the bound port."""
+        return self._tcp.server_address[:2]
+
+    def start(self) -> "TardisServer":
+        self.service.start()
+        self._thread = threading.Thread(
+            target=self._tcp.serve_forever,
+            name="repro-serving-tcp",
+            daemon=True,
+        )
+        self._thread.start()
+        logger.info("listening on %s:%d", *self.address)
+        return self
+
+    def serve_forever(self) -> None:
+        """Blocking variant (used by ``python -m repro serve``)."""
+        self.service.start()
+        logger.info("listening on %s:%d", *self.address)
+        self._tcp.serve_forever()
+
+    def close(self, drain: bool = True) -> None:
+        self._tcp.shutdown()
+        self._tcp.server_close()
+        if self._thread is not None:
+            self._thread.join(5.0)
+        self.service.stop(drain=drain)
+
+    def __enter__(self) -> "TardisServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def serve(
+    index, host: str = "127.0.0.1", port: int = 0, **service_kwargs
+) -> TardisServer:
+    """Convenience: wrap ``index`` in a service and bind a server to it."""
+    return TardisServer(QueryService(index, **service_kwargs), host, port)
+
+
+class ServingClient:
+    """Line-oriented client for :class:`TardisServer`.
+
+    One socket, synchronous request/response.  For concurrent load use
+    one client per worker (the load generator does).
+    """
+
+    def __init__(self, host: str, port: int, timeout: float | None = 30.0):
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._file = self._sock.makefile("rwb")
+
+    def call(self, doc: dict) -> dict:
+        """Send one request object; returns the raw response envelope."""
+        self._file.write(json.dumps(doc).encode() + b"\n")
+        self._file.flush()
+        line = self._file.readline(MAX_LINE_BYTES)
+        if not line:
+            raise ConnectionError("server closed the connection")
+        return json.loads(line)
+
+    def _result(self, doc: dict) -> dict:
+        response = self.call(doc)
+        if response.get("ok"):
+            return response["result"]
+        error = response.get("error") or {}
+        if error.get("type") == "overloaded":
+            raise OverloadedError(
+                error.get("queue_depth", 0), error.get("capacity", 0)
+            )
+        raise RuntimeError(
+            f"{error.get('type', 'unknown')}: {error.get('message', '')}"
+        )
+
+    def ping(self) -> bool:
+        return self._result({"op": "ping"}) == "pong"
+
+    def stats(self) -> dict:
+        return self._result({"op": "stats"})
+
+    def exact_match(self, series, use_bloom: bool = True) -> dict:
+        return self._result({
+            "op": "exact-match",
+            "series": np.asarray(series, dtype=np.float64).tolist(),
+            "use_bloom": use_bloom,
+        })
+
+    def knn(
+        self,
+        series,
+        k: int = 10,
+        strategy: str = "target-node",
+        pth: int | None = None,
+    ) -> dict:
+        return self._result({
+            "op": "knn",
+            "series": np.asarray(series, dtype=np.float64).tolist(),
+            "strategy": strategy,
+            "k": k,
+            "pth": pth,
+        })
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServingClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,266 @@
+"""The query service: admission → micro-batch → worker pool → SLO.
+
+:class:`QueryService` is the long-lived serving loop over one loaded
+:class:`~repro.core.builder.TardisIndex`:
+
+1. :meth:`submit` checks the keyed result cache, then admits the request
+   into the bounded :class:`~repro.serving.admission.AdmissionQueue`
+   (blocking or shedding per the backpressure policy).
+2. A dedicated batcher thread flushes the queue in micro-batches (size
+   or max-delay triggered), groups the window by plan + Tardis-G home
+   partition, and dispatches one task per group onto the configured
+   :mod:`repro.cluster.executors` backend — per-strategy routing happens
+   inside :func:`repro.serving.batcher.run_group`.
+3. Completed groups resolve their request futures, feed the result
+   cache, and report latency / occupancy / partition-load figures to the
+   :class:`~repro.serving.slo.SLOTracker`.
+
+Shutdown is graceful by default: :meth:`stop` closes admissions, lets
+the batcher drain everything already accepted, and joins the thread.
+Answers are identical to the serial :mod:`repro.core.queries` path for
+every backend and batch size (tests/serving/test_service_equivalence.py).
+"""
+
+from __future__ import annotations
+
+import logging
+import threading
+import time
+from concurrent.futures import Future
+from dataclasses import dataclass
+
+from ..cluster.executors import resolve_executor
+from ..core.builder import TardisIndex
+from .admission import AdmissionQueue, OverloadedError
+from .batcher import group_tickets, partitions_loaded, run_group
+from .requests import QueryRequest
+from .result_cache import ResultCache
+from .slo import SLOTracker
+
+__all__ = ["QueryService", "Ticket"]
+
+logger = logging.getLogger(__name__)
+
+
+@dataclass
+class Ticket:
+    """One in-flight request: the work, its future, and its clock."""
+
+    request: QueryRequest
+    future: Future
+    enqueued_at: float
+
+
+class QueryService:
+    """Serve Exact-Match and kNN queries over a loaded TARDIS index."""
+
+    def __init__(
+        self,
+        index: TardisIndex,
+        *,
+        queue_capacity: int = 256,
+        policy: str = "block",
+        max_batch: int = 16,
+        max_delay_ms: float = 2.0,
+        executor: object | str | None = None,
+        jobs: int | None = None,
+        result_cache_size: int | None = 1024,
+        partition_cache_size: int | None = None,
+    ):
+        if max_batch <= 0:
+            raise ValueError("max_batch must be positive")
+        if max_delay_ms < 0:
+            raise ValueError("max_delay_ms cannot be negative")
+        if not index.clustered:
+            # Exact-match compares raw values and kNN refines with them;
+            # the signature-only unclustered paths (core.unclustered) are
+            # analysis tools, not serving surfaces.
+            raise RuntimeError(
+                "serving needs a clustered index (build with clustered=True)"
+            )
+        self.index = index
+        self.max_batch = max_batch
+        self.max_delay_s = max_delay_ms / 1000.0
+        self.executor = resolve_executor(executor, jobs)
+        self.queue = AdmissionQueue(queue_capacity, policy=policy)
+        self.slo = SLOTracker()
+        self.result_cache = (
+            ResultCache(result_cache_size) if result_cache_size else None
+        )
+        if partition_cache_size:
+            index.enable_cache(partition_cache_size)
+        # Invalidate cached answers together with the partition cache:
+        # maintenance that drops a partition from residency also drops the
+        # results derived from it.
+        partition_cache = getattr(index, "_partition_cache", None)
+        if partition_cache is not None and self.result_cache is not None:
+            partition_cache.subscribe_invalidations(
+                self.result_cache.invalidate_partition
+            )
+        self._thread: threading.Thread | None = None
+        self._started = False
+        self._stopped = False
+        self._submit_lock = threading.Lock()
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def start(self) -> "QueryService":
+        if self._started:
+            return self
+        self._started = True
+        self._thread = threading.Thread(
+            target=self._batch_loop, name="repro-serving-batcher", daemon=True
+        )
+        self._thread.start()
+        logger.info(
+            "serving started: policy=%s queue=%d max_batch=%d "
+            "max_delay=%.1fms executor=%s",
+            self.queue.policy, self.queue.capacity, self.max_batch,
+            self.max_delay_s * 1000.0, self.executor.kind,
+        )
+        return self
+
+    def stop(self, drain: bool = True, timeout: float | None = 30.0) -> None:
+        """Close admissions; drain (default) or abandon the backlog."""
+        if not self._started or self._stopped:
+            self._stopped = True
+            return
+        self._stopped = True
+        if not drain:
+            # Fail whatever is still queued, then close.
+            self.queue.close()
+            while True:
+                leftovers = self.queue.take_batch(self.max_batch, 0.0)
+                if not leftovers:
+                    break
+                for ticket in leftovers:
+                    ticket.future.set_exception(
+                        RuntimeError("service stopped without draining")
+                    )
+        else:
+            self.queue.close()
+        if self._thread is not None:
+            self._thread.join(timeout)
+        logger.info("serving stopped (drained=%s)", drain)
+
+    def __enter__(self) -> "QueryService":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop(drain=True)
+
+    # -- request path -------------------------------------------------------
+
+    def submit(self, request: QueryRequest) -> Future:
+        """Admit one request; the returned future resolves to a core
+        query result (:class:`ExactMatchResult` / :class:`KnnResult`).
+
+        Under the ``shed`` policy a full queue raises
+        :class:`OverloadedError` here, synchronously.
+        """
+        if not self._started or self._stopped:
+            raise RuntimeError("service is not running (use start()/with)")
+        self._validate(request)
+        future: Future = Future()
+        if self.result_cache is not None:
+            cached = self.result_cache.get(request.cache_key())
+            if cached is not None:
+                future.set_result(cached)
+                self.slo.record_completed(0.0, cached=True)
+                return future
+        ticket = Ticket(request, future, time.monotonic())
+        try:
+            self.queue.put(ticket)
+        except OverloadedError:
+            self.slo.record_shed()
+            raise
+        self.slo.record_admitted(self.queue.depth)
+        return future
+
+    def query(self, request: QueryRequest, timeout: float | None = None):
+        """Blocking convenience wrapper around :meth:`submit`."""
+        return self.submit(request).result(timeout)
+
+    def _validate(self, request: QueryRequest) -> None:
+        if len(request.series) != self.index.series_length:
+            raise ValueError(
+                f"query length {len(request.series)} != indexed length "
+                f"{self.index.series_length}"
+            )
+
+    # -- batch loop ---------------------------------------------------------
+
+    def _batch_loop(self) -> None:
+        while True:
+            window = self.queue.take_batch(self.max_batch, self.max_delay_s)
+            if not window:
+                return  # queue closed and drained
+            try:
+                self._execute_window(window)
+            except BaseException as exc:  # never kill the loop
+                logger.exception("serving batch failed")
+                for ticket in window:
+                    if not ticket.future.done():
+                        ticket.future.set_exception(exc)
+
+    def _execute_window(self, window: list) -> None:
+        groups = group_tickets(self.index, window)
+        outcomes = self.executor.map_tasks(
+            lambda _i, group: self._run_group_safely(group), groups
+        )
+        now = time.monotonic()
+        loads = 0
+        for group, (results, error) in zip(groups, outcomes):
+            if error is not None:
+                for ticket in group.tickets:
+                    ticket.future.set_exception(error)
+                    self.slo.record_completed(
+                        now - ticket.enqueued_at, failed=True
+                    )
+                continue
+            loads += len(partitions_loaded(results))
+            for ticket, result in zip(group.tickets, results):
+                if self.result_cache is not None:
+                    self.result_cache.put(
+                        ticket.request.cache_key(),
+                        result,
+                        result.partition_ids_loaded,
+                    )
+                ticket.future.set_result(result)
+                self.slo.record_completed(now - ticket.enqueued_at)
+        self.slo.record_batch(len(window), len(groups), loads)
+
+    def _run_group_safely(self, group):
+        """(results, error) so one bad group cannot sink its siblings."""
+        try:
+            return run_group(self.index, group), None
+        except BaseException as exc:
+            return None, exc
+
+    # -- introspection ------------------------------------------------------
+
+    def stats(self) -> dict:
+        """SLO report plus cache and configuration snapshots."""
+        report = self.slo.report(queue_depth=self.queue.depth)
+        report["config"] = {
+            "policy": self.queue.policy,
+            "queue_capacity": self.queue.capacity,
+            "max_batch": self.max_batch,
+            "max_delay_ms": self.max_delay_s * 1000.0,
+            "executor": self.executor.kind,
+            "jobs": self.executor.jobs,
+        }
+        if self.result_cache is not None:
+            report["result_cache"] = self.result_cache.stats()
+        partition_stats = self.index.cache_stats()
+        if partition_stats is not None:
+            report["partition_cache"] = partition_stats
+        return report
+
+    def invalidate_partition(self, partition_id: int) -> None:
+        """Drop one partition from both caches (after index maintenance)."""
+        cache = getattr(self.index, "_partition_cache", None)
+        if cache is not None:
+            cache.invalidate(partition_id)  # notifies the result cache
+        elif self.result_cache is not None:
+            self.result_cache.invalidate_partition(partition_id)

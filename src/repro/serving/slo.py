@@ -1,0 +1,190 @@
+"""SLO tracking for the serving tier.
+
+Serving quality is a distribution, not an average: the tracker keeps a
+bounded reservoir of per-request wall-clock latencies and reports exact
+nearest-rank p50/p95/p99 over the most recent window, alongside the
+operational signals an operator pages on — queue depth, shed count,
+batch occupancy, partition loads per query, and result-cache hit rate.
+
+Everything is double-published:
+
+* :meth:`SLOTracker.report` — a JSON-ready snapshot consumed by the
+  ``stats`` wire op, ``repro query-remote --stats``, and the serving
+  benchmark.
+* the shared :mod:`repro.telemetry` registry — ``serving_*`` counters,
+  gauges and histograms (names documented in docs/OBSERVABILITY.md) so
+  ``--metrics`` exports cover the serving tier with zero extra wiring.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from collections import deque
+
+from ..telemetry.metrics import get_registry
+
+__all__ = ["SLOTracker", "nearest_rank"]
+
+#: Buckets for the real (not simulated) serving latency histogram:
+#: micro-batched in-memory answers land in the sub-millisecond decades.
+LATENCY_BUCKETS = (
+    0.0001, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+    0.25, 0.5, 1.0, 2.5, 5.0,
+)
+
+#: Buckets for batch-group occupancy (queries sharing one partition load).
+OCCUPANCY_BUCKETS = (1, 2, 4, 8, 16, 32, 64, 128)
+
+
+def nearest_rank(sorted_samples: list[float], quantile: float) -> float:
+    """Nearest-rank percentile of an ascending sample list (0 when empty)."""
+    if not sorted_samples:
+        return 0.0
+    if not 0.0 < quantile <= 1.0:
+        raise ValueError("quantile must be in (0, 1]")
+    rank = min(len(sorted_samples), max(1, math.ceil(quantile * len(sorted_samples))))
+    return sorted_samples[rank - 1]
+
+
+class SLOTracker:
+    """Aggregates serving health; thread-safe, telemetry-published."""
+
+    def __init__(self, reservoir: int = 8192):
+        if reservoir <= 0:
+            raise ValueError("reservoir must be positive")
+        self._lock = threading.Lock()
+        self._latencies: deque = deque(maxlen=reservoir)
+        self.admitted = 0
+        self.completed = 0
+        self.failed = 0
+        self.shed = 0
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.batches = 0
+        self.batched_queries = 0
+        self.groups = 0
+        self.partition_loads = 0
+        self.max_queue_depth = 0
+
+    # -- recording ----------------------------------------------------------
+
+    def record_admitted(self, queue_depth: int) -> None:
+        registry = get_registry()
+        with self._lock:
+            self.admitted += 1
+            self.max_queue_depth = max(self.max_queue_depth, queue_depth)
+        registry.counter(
+            "serving_requests_total", "Requests admitted by the serving tier"
+        ).inc()
+        registry.gauge(
+            "serving_queue_depth", "Admission-queue depth after last enqueue"
+        ).set(queue_depth)
+
+    def record_shed(self) -> None:
+        with self._lock:
+            self.shed += 1
+        get_registry().counter(
+            "serving_shed_total",
+            "Requests rejected by the shed backpressure policy",
+        ).inc()
+
+    def record_completed(
+        self, latency_s: float, cached: bool = False, failed: bool = False
+    ) -> None:
+        registry = get_registry()
+        with self._lock:
+            if failed:
+                self.failed += 1
+            else:
+                self.completed += 1
+                self._latencies.append(float(latency_s))
+            if cached:
+                self.cache_hits += 1
+            else:
+                self.cache_misses += 1
+        if failed:
+            registry.counter(
+                "serving_failed_total", "Requests that raised while serving"
+            ).inc()
+            return
+        registry.histogram(
+            "serving_latency_seconds",
+            "Wall-clock request latency (admission to completion)",
+            buckets=LATENCY_BUCKETS,
+        ).observe(latency_s)
+        name = (
+            "serving_result_cache_hits_total" if cached
+            else "serving_result_cache_misses_total"
+        )
+        registry.counter(
+            name,
+            "Requests answered from the keyed result cache" if cached
+            else "Requests that executed against the index",
+        ).inc()
+
+    def record_batch(
+        self, n_queries: int, n_groups: int, partitions_loaded: int
+    ) -> None:
+        """Account one flushed micro-batch and its partition-load bill."""
+        registry = get_registry()
+        with self._lock:
+            self.batches += 1
+            self.batched_queries += n_queries
+            self.groups += n_groups
+            self.partition_loads += partitions_loaded
+        registry.counter(
+            "serving_batches_total", "Micro-batches flushed by the batcher"
+        ).inc()
+        registry.counter(
+            "serving_partition_loads_total",
+            "Distinct partition loads performed by batch groups",
+        ).inc(partitions_loaded)
+        if n_groups:
+            registry.histogram(
+                "serving_batch_occupancy",
+                "Queries per partition group (amortization factor)",
+                buckets=OCCUPANCY_BUCKETS,
+            ).observe(n_queries / n_groups)
+
+    # -- reporting ----------------------------------------------------------
+
+    def latency_percentiles(self) -> dict:
+        with self._lock:
+            ordered = sorted(self._latencies)
+        return {
+            "p50_s": nearest_rank(ordered, 0.50),
+            "p95_s": nearest_rank(ordered, 0.95),
+            "p99_s": nearest_rank(ordered, 0.99),
+            "samples": len(ordered),
+        }
+
+    def report(self, queue_depth: int = 0) -> dict:
+        """JSON-ready snapshot of every SLO signal."""
+        percentiles = self.latency_percentiles()
+        with self._lock:
+            executed = self.cache_misses  # requests that reached the index
+            cache_total = self.cache_hits + self.cache_misses
+            return {
+                "requests_admitted": self.admitted,
+                "requests_completed": self.completed,
+                "requests_failed": self.failed,
+                "requests_shed": self.shed,
+                "queue_depth": queue_depth,
+                "max_queue_depth": self.max_queue_depth,
+                "latency": percentiles,
+                "batches": self.batches,
+                "batch_groups": self.groups,
+                "batch_occupancy_mean": (
+                    self.batched_queries / self.groups if self.groups else 0.0
+                ),
+                "partition_loads": self.partition_loads,
+                "partitions_per_query": (
+                    self.partition_loads / executed if executed else 0.0
+                ),
+                "result_cache_hits": self.cache_hits,
+                "result_cache_misses": self.cache_misses,
+                "result_cache_hit_rate": (
+                    self.cache_hits / cache_total if cache_total else 0.0
+                ),
+            }

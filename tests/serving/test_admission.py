@@ -1,0 +1,145 @@
+"""Admission queue: backpressure policies, batching takes, drain."""
+
+import threading
+import time
+
+import pytest
+
+from repro.serving.admission import AdmissionQueue, OverloadedError
+
+
+class TestPut:
+    def test_fifo_order(self):
+        queue = AdmissionQueue(8)
+        for i in range(5):
+            queue.put(i)
+        assert queue.take_batch(8, 0.0) == [0, 1, 2, 3, 4]
+
+    def test_shed_raises_structured_error(self):
+        queue = AdmissionQueue(2, policy="shed")
+        queue.put("a")
+        queue.put("b")
+        with pytest.raises(OverloadedError) as excinfo:
+            queue.put("c")
+        assert excinfo.value.depth == 2
+        assert excinfo.value.capacity == 2
+        assert "shed" in str(excinfo.value)
+
+    def test_block_waits_for_space(self):
+        queue = AdmissionQueue(1, policy="block")
+        queue.put("first")
+        admitted = threading.Event()
+
+        def producer():
+            queue.put("second")  # blocks until the consumer takes
+            admitted.set()
+
+        thread = threading.Thread(target=producer, daemon=True)
+        thread.start()
+        assert not admitted.wait(0.05)  # still blocked: queue full
+        assert queue.take_batch(1, 0.0) == ["first"]
+        assert admitted.wait(2.0)
+        thread.join(2.0)
+        assert queue.take_batch(1, 0.0) == ["second"]
+
+    def test_block_with_timeout_sheds(self):
+        queue = AdmissionQueue(1, policy="block")
+        queue.put("only")
+        with pytest.raises(OverloadedError):
+            queue.put("late", timeout=0.05)
+
+    def test_put_after_close_rejected(self):
+        queue = AdmissionQueue(4)
+        queue.close()
+        with pytest.raises(RuntimeError):
+            queue.put("x")
+
+    def test_invalid_configuration(self):
+        with pytest.raises(ValueError):
+            AdmissionQueue(0)
+        with pytest.raises(ValueError):
+            AdmissionQueue(4, policy="panic")
+
+
+class TestTakeBatch:
+    def test_respects_max_batch(self):
+        queue = AdmissionQueue(16)
+        for i in range(10):
+            queue.put(i)
+        assert queue.take_batch(4, 0.0) == [0, 1, 2, 3]
+        assert queue.take_batch(4, 0.0) == [4, 5, 6, 7]
+
+    def test_flush_timer_bounds_wait(self):
+        queue = AdmissionQueue(16)
+        queue.put("lonely")
+        start = time.monotonic()
+        batch = queue.take_batch(8, 0.05)
+        elapsed = time.monotonic() - start
+        assert batch == ["lonely"]
+        assert elapsed < 1.0  # returned at the timer, not forever
+
+    def test_collects_arrivals_within_window(self):
+        queue = AdmissionQueue(16)
+        queue.put("early")
+
+        def late_producer():
+            time.sleep(0.02)
+            queue.put("late")
+
+        thread = threading.Thread(target=late_producer, daemon=True)
+        thread.start()
+        batch = queue.take_batch(8, 0.5)
+        thread.join(2.0)
+        assert batch == ["early", "late"]
+
+    def test_blocks_until_first_item(self):
+        queue = AdmissionQueue(4)
+        result: list = []
+
+        def consumer():
+            result.extend(queue.take_batch(4, 0.01))
+
+        thread = threading.Thread(target=consumer, daemon=True)
+        thread.start()
+        time.sleep(0.05)
+        assert result == []  # still waiting for the first item
+        queue.put("now")
+        thread.join(2.0)
+        assert result == ["now"]
+
+
+class TestDrain:
+    def test_close_lets_consumer_drain(self):
+        queue = AdmissionQueue(8)
+        for i in range(6):
+            queue.put(i)
+        queue.close()
+        drained = []
+        while True:
+            batch = queue.take_batch(4, 0.0)
+            if not batch:
+                break
+            drained.extend(batch)
+        assert drained == list(range(6))
+
+    def test_take_batch_returns_empty_after_close(self):
+        queue = AdmissionQueue(4)
+        queue.close()
+        assert queue.take_batch(4, 0.0) == []
+
+    def test_close_wakes_blocked_consumer(self):
+        queue = AdmissionQueue(4)
+        done = threading.Event()
+        batches: list = []
+
+        def consumer():
+            batches.append(queue.take_batch(4, 1.0))
+            done.set()
+
+        thread = threading.Thread(target=consumer, daemon=True)
+        thread.start()
+        time.sleep(0.05)
+        queue.close()
+        assert done.wait(2.0)
+        thread.join(2.0)
+        assert batches == [[]]

@@ -1,0 +1,196 @@
+"""TCP front-end: wire protocol, remote equivalence, overload shape."""
+
+import json
+import socket
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.queries import exact_match, knn_target_node_access
+from repro.serving import (
+    OverloadedError,
+    QueryService,
+    ServingClient,
+    TardisServer,
+    serve,
+)
+
+
+@pytest.fixture()
+def running_server(tardis_small):
+    server = serve(tardis_small, port=0, max_batch=4, max_delay_ms=1.0)
+    server.start()
+    yield server
+    server.close()
+
+
+class TestWireProtocol:
+    def test_ping(self, running_server):
+        host, port = running_server.address
+        with ServingClient(host, port) as client:
+            assert client.ping()
+
+    def test_remote_knn_bit_identical(self, running_server, rw_small):
+        host, port = running_server.address
+        query = rw_small.values[3]
+        local = knn_target_node_access(running_server.service.index, query, 7)
+        with ServingClient(host, port) as client:
+            remote = client.knn(query, k=7, strategy="target-node")
+        assert remote["record_ids"] == local.record_ids
+        # JSON round-trips floats exactly: bit-identical distances.
+        assert remote["distances"] == local.distances
+
+    def test_remote_exact_match(self, running_server, rw_small,
+                                heldout_queries):
+        host, port = running_server.address
+        index = running_server.service.index
+        with ServingClient(host, port) as client:
+            present = client.exact_match(rw_small.values[9])
+            absent = client.exact_match(heldout_queries[0])
+        assert present["found"]
+        assert present["record_ids"] == exact_match(
+            index, rw_small.values[9]
+        ).record_ids
+        assert not absent["found"]
+        assert absent["bloom_rejected"] == exact_match(
+            index, heldout_queries[0]
+        ).bloom_rejected
+
+    def test_stats_reports_slo_fields(self, running_server, rw_small):
+        host, port = running_server.address
+        with ServingClient(host, port) as client:
+            client.knn(rw_small.values[0], k=3)
+            stats = client.stats()
+        for field in (
+            "requests_completed", "requests_shed", "queue_depth",
+            "latency", "batch_occupancy_mean", "partitions_per_query",
+            "result_cache_hit_rate",
+        ):
+            assert field in stats
+        for pct in ("p50_s", "p95_s", "p99_s"):
+            assert pct in stats["latency"]
+        assert stats["requests_completed"] >= 1
+
+    def test_multiple_requests_one_connection(self, running_server,
+                                              rw_small):
+        host, port = running_server.address
+        with ServingClient(host, port) as client:
+            for row in range(5):
+                result = client.exact_match(rw_small.values[row])
+                assert result["record_ids"] == [row]
+
+
+class TestErrorShapes:
+    def _raw_call(self, address, payload: bytes) -> dict:
+        with socket.create_connection(address, timeout=10) as sock:
+            handle = sock.makefile("rwb")
+            handle.write(payload + b"\n")
+            handle.flush()
+            return json.loads(handle.readline())
+
+    def test_malformed_json_is_bad_request(self, running_server):
+        response = self._raw_call(running_server.address, b"{not json")
+        assert response["ok"] is False
+        assert response["error"]["type"] == "bad-request"
+
+    def test_non_object_is_bad_request(self, running_server):
+        response = self._raw_call(running_server.address, b"[1, 2, 3]")
+        assert response["ok"] is False
+        assert response["error"]["type"] == "bad-request"
+
+    def test_missing_series_is_bad_request(self, running_server):
+        response = self._raw_call(
+            running_server.address, json.dumps({"op": "knn"}).encode()
+        )
+        assert response["ok"] is False
+        assert response["error"]["type"] == "bad-request"
+
+    def test_wrong_length_series_is_bad_request(self, running_server):
+        response = self._raw_call(
+            running_server.address,
+            json.dumps({"op": "knn", "series": [1.0, 2.0]}).encode(),
+        )
+        assert response["ok"] is False
+        assert response["error"]["type"] == "bad-request"
+
+    def test_unknown_strategy_is_bad_request(self, running_server,
+                                             rw_small):
+        response = self._raw_call(
+            running_server.address,
+            json.dumps({
+                "op": "knn",
+                "series": rw_small.values[0].tolist(),
+                "strategy": "warp",
+            }).encode(),
+        )
+        assert response["ok"] is False
+        assert response["error"]["type"] == "bad-request"
+
+
+class _SlowExecutor:
+    """Duck-typed executor that stalls, letting the queue fill up."""
+
+    kind = "slow"
+    jobs = 1
+    task_clock = staticmethod(time.perf_counter)
+
+    def __init__(self, delay_s: float):
+        self.delay_s = delay_s
+
+    def map_tasks(self, fn, items):
+        items = list(items)
+        time.sleep(self.delay_s)
+        return [fn(i, item) for i, item in enumerate(items)]
+
+
+class TestOverload:
+    def test_shed_policy_surfaces_overloaded_error(self, tardis_small,
+                                                   rw_small):
+        service = QueryService(
+            tardis_small,
+            queue_capacity=2,
+            policy="shed",
+            max_batch=1,
+            max_delay_ms=0.0,
+            executor=_SlowExecutor(0.2),
+            result_cache_size=None,
+        )
+        server = TardisServer(service, port=0)
+        server.start()
+        try:
+            host, port = server.address
+            clients = [ServingClient(host, port) for _ in range(6)]
+            try:
+                import threading
+
+                outcomes: list[str] = []
+                lock = threading.Lock()
+
+                def fire(client):
+                    try:
+                        client.knn(rw_small.values[0], k=3)
+                        with lock:
+                            outcomes.append("ok")
+                    except OverloadedError:
+                        with lock:
+                            outcomes.append("overloaded")
+
+                threads = [
+                    threading.Thread(target=fire, args=(c,))
+                    for c in clients
+                ]
+                for t in threads:
+                    t.start()
+                for t in threads:
+                    t.join(30.0)
+                # With a 2-deep queue and a stalled worker, some of the 6
+                # concurrent requests must shed — and shed requests raise
+                # the structured client-side error, not a generic one.
+                assert "overloaded" in outcomes
+                assert service.stats()["requests_shed"] >= 1
+            finally:
+                for client in clients:
+                    client.close()
+        finally:
+            server.close()

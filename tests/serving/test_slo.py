@@ -1,0 +1,107 @@
+"""SLO tracker: percentile math, report shape, telemetry publication."""
+
+import numpy as np
+import pytest
+
+from repro.serving.slo import SLOTracker, nearest_rank
+from repro.telemetry.metrics import get_registry
+
+
+class TestNearestRank:
+    def test_matches_definition(self):
+        samples = sorted(float(v) for v in range(1, 101))  # 1..100
+        assert nearest_rank(samples, 0.50) == 50.0
+        assert nearest_rank(samples, 0.95) == 95.0
+        assert nearest_rank(samples, 0.99) == 99.0
+        assert nearest_rank(samples, 1.0) == 100.0
+
+    def test_small_samples(self):
+        assert nearest_rank([], 0.5) == 0.0
+        assert nearest_rank([7.0], 0.99) == 7.0
+        assert nearest_rank([1.0, 2.0], 0.5) == 1.0
+
+    def test_matches_numpy_higher_interpolation_families(self):
+        rng = np.random.default_rng(0)
+        samples = sorted(rng.exponential(1.0, size=997).tolist())
+        for quantile in (0.5, 0.9, 0.95, 0.99):
+            ours = nearest_rank(samples, quantile)
+            # nearest-rank picks an actual sample >= the interpolated
+            # 'lower' estimate and <= the 'higher' one.
+            low = np.quantile(samples, quantile, method="lower")
+            high = np.quantile(samples, quantile, method="higher")
+            assert low <= ours <= high
+
+    def test_invalid_quantile(self):
+        with pytest.raises(ValueError):
+            nearest_rank([1.0], 0.0)
+        with pytest.raises(ValueError):
+            nearest_rank([1.0], 1.5)
+
+
+class TestTrackerReport:
+    def test_percentiles_over_recorded_latencies(self):
+        tracker = SLOTracker()
+        for ms in range(1, 101):  # 1ms .. 100ms
+            tracker.record_completed(ms / 1000.0)
+        latency = tracker.report()["latency"]
+        assert latency["p50_s"] == pytest.approx(0.050)
+        assert latency["p95_s"] == pytest.approx(0.095)
+        assert latency["p99_s"] == pytest.approx(0.099)
+        assert latency["samples"] == 100
+
+    def test_report_counts(self):
+        tracker = SLOTracker()
+        tracker.record_admitted(queue_depth=3)
+        tracker.record_admitted(queue_depth=7)
+        tracker.record_completed(0.01)
+        tracker.record_completed(0.0, cached=True)
+        tracker.record_completed(0.02, failed=True)
+        tracker.record_shed()
+        tracker.record_batch(n_queries=8, n_groups=2, partitions_loaded=2)
+        report = tracker.report(queue_depth=1)
+        assert report["requests_admitted"] == 2
+        assert report["requests_completed"] == 2
+        assert report["requests_failed"] == 1
+        assert report["requests_shed"] == 1
+        assert report["queue_depth"] == 1
+        assert report["max_queue_depth"] == 7
+        assert report["batch_occupancy_mean"] == 4.0
+        assert report["result_cache_hits"] == 1
+        assert report["result_cache_hit_rate"] == pytest.approx(1 / 3)
+        # 2 loads over 2 executed (non-cached) requests.
+        assert report["partitions_per_query"] == pytest.approx(1.0)
+
+    def test_reservoir_is_bounded(self):
+        tracker = SLOTracker(reservoir=10)
+        for i in range(100):
+            tracker.record_completed(float(i))
+        latency = tracker.report()["latency"]
+        assert latency["samples"] == 10
+        assert latency["p50_s"] >= 90.0  # only the newest window remains
+
+    def test_invalid_reservoir(self):
+        with pytest.raises(ValueError):
+            SLOTracker(reservoir=0)
+
+
+class TestTelemetryPublication:
+    def test_serving_metrics_registered(self):
+        registry = get_registry()
+        tracker = SLOTracker()
+        tracker.record_admitted(queue_depth=2)
+        tracker.record_completed(0.005)
+        tracker.record_shed()
+        tracker.record_batch(n_queries=4, n_groups=2, partitions_loaded=2)
+        for name in (
+            "serving_requests_total",
+            "serving_queue_depth",
+            "serving_shed_total",
+            "serving_latency_seconds",
+            "serving_result_cache_misses_total",
+            "serving_batches_total",
+            "serving_partition_loads_total",
+            "serving_batch_occupancy",
+        ):
+            assert registry.get(name) is not None, name
+        assert registry.get("serving_queue_depth").value == 2
+        assert registry.get("serving_latency_seconds").count >= 1
