@@ -79,6 +79,16 @@ class _Handler(socketserver.StreamRequestHandler):
                 return
             if not line:
                 return
+            if len(line) >= MAX_LINE_BYTES and not line.endswith(b"\n"):
+                # readline() returned a full cap's worth with no
+                # terminator: the request is oversized and the rest of
+                # the stream is mid-line garbage.  Reject and close
+                # rather than parsing the tail as phantom requests.
+                self._reply(_error(
+                    "bad-request",
+                    f"request line exceeds {MAX_LINE_BYTES} bytes",
+                ))
+                return
             line = line.strip()
             if not line:
                 continue
@@ -107,7 +117,12 @@ class _Handler(socketserver.StreamRequestHandler):
                 "overloaded", str(exc),
                 queue_depth=exc.depth, capacity=exc.capacity,
             )
-        except (ValueError, RuntimeError) as exc:
+        except ValueError as exc:
+            # Validation failures (wrong length, bad plan) are the
+            # client's fault.  RuntimeError is NOT caught here: the
+            # service raises it for server-side conditions ("not
+            # running", batch-loop failures set on futures), which must
+            # surface as "internal", not "bad-request".
             return _error("bad-request", str(exc))
         except Exception as exc:
             logger.exception("internal serving error")

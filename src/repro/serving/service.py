@@ -82,6 +82,19 @@ class QueryService:
         self.max_batch = max_batch
         self.max_delay_s = max_delay_ms / 1000.0
         self.executor = resolve_executor(executor, jobs)
+        if self.executor.kind == "processes":
+            # The fork executor is unsafe inside a multithreaded serving
+            # process: server handler threads may hold the telemetry,
+            # partition-cache, or SLO locks at fork time, and a child
+            # that touches those (every query records metrics) inherits
+            # them held forever — deadlock.  The batch CLI forks from a
+            # single-threaded driver; serving cannot.
+            logger.warning(
+                "executor='processes' is unsupported for serving "
+                "(fork from a multithreaded process can deadlock); "
+                "falling back to 'threads'"
+            )
+            self.executor = resolve_executor("threads", jobs)
         self.queue = AdmissionQueue(queue_capacity, policy=policy)
         self.slo = SLOTracker()
         self.result_cache = (
@@ -221,10 +234,16 @@ class QueryService:
             loads += len(partitions_loaded(results))
             for ticket, result in zip(group.tickets, results):
                 if self.result_cache is not None:
+                    # Bloom-rejected exact matches never load a partition,
+                    # so index the cached "not found" under the routed home
+                    # partition (the group key): an insert_series into that
+                    # partition then invalidates the negative answer
+                    # instead of leaving it stale forever.
+                    pids = (
+                        result.partition_ids_loaded or (group.partition_id,)
+                    )
                     self.result_cache.put(
-                        ticket.request.cache_key(),
-                        result,
-                        result.partition_ids_loaded,
+                        ticket.request.cache_key(), result, pids
                     )
                 ticket.future.set_result(result)
                 self.slo.record_completed(now - ticket.enqueued_at)

@@ -99,10 +99,14 @@ class SLOTracker:
             else:
                 self.completed += 1
                 self._latencies.append(float(latency_s))
-            if cached:
-                self.cache_hits += 1
-            else:
-                self.cache_misses += 1
+                # Failures stay out of the hit/miss ledger: they neither
+                # consulted the cache usefully nor produced an answer, so
+                # counting them would deflate hit_rate and inflate the
+                # partitions_per_query denominator.
+                if cached:
+                    self.cache_hits += 1
+                else:
+                    self.cache_misses += 1
         if failed:
             registry.counter(
                 "serving_failed_total", "Requests that raised while serving"

@@ -214,3 +214,29 @@ class TestInvalidationCoupling:
         assert stats["invalidations"] >= 1
         assert stats["hits"] == 0  # the stale entry was dropped
         assert sorted(after.record_ids) == sorted([5, new_id])
+
+    def test_bloom_rejected_negative_invalidated_by_insert(self):
+        # Regression: a bloom-rejected exact match loads no partition, so
+        # its cached "not found" used to be indexed under no partition and
+        # survived the insert's invalidation forever.  It must be indexed
+        # under the routed home partition instead.
+        dataset = random_walk(400, length=32, seed=31).z_normalized()
+        index = build_tardis_index(
+            dataset, TardisConfig(g_max_size=80, l_max_size=16, pth=3)
+        )
+        absent = random_walk(1, length=32, seed=999).z_normalized().values[0]
+        with QueryService(index, max_batch=2, max_delay_ms=1.0,
+                          executor="serial",
+                          partition_cache_size=4) as service:
+            before = service.query(QueryRequest(absent, op="exact-match"))
+            assert before.bloom_rejected
+            assert not before.found
+            # The negative answer is now cached; inserting the series
+            # updates its home partition's bloom filter and must drop the
+            # stale negative through the invalidation coupling.
+            new_id = index.insert_series(absent)
+            after = service.query(QueryRequest(absent, op="exact-match"))
+            stats = service.stats()["result_cache"]
+        assert stats["invalidations"] >= 1
+        assert not after.bloom_rejected
+        assert after.record_ids == [new_id]

@@ -127,6 +127,28 @@ class TestErrorShapes:
         assert response["ok"] is False
         assert response["error"]["type"] == "bad-request"
 
+    def test_oversized_line_rejected_and_connection_closed(
+        self, tardis_small, monkeypatch
+    ):
+        # A request longer than the line cap must be rejected cleanly and
+        # the connection closed — not split at the cap and the remainder
+        # parsed as phantom follow-up requests.
+        monkeypatch.setattr("repro.serving.server.MAX_LINE_BYTES", 128)
+        with serve(tardis_small, port=0, max_batch=2,
+                   max_delay_ms=1.0) as server:
+            with socket.create_connection(server.address,
+                                          timeout=10) as sock:
+                handle = sock.makefile("rwb")
+                handle.write(b"x" * 400 + b"\n")
+                handle.flush()
+                response = json.loads(handle.readline())
+                assert response["ok"] is False
+                assert response["error"]["type"] == "bad-request"
+                assert "exceeds" in response["error"]["message"]
+                # The server closed the connection: no desynchronized
+                # replies to the tail of the oversized line.
+                assert handle.readline() == b""
+
 
 class _SlowExecutor:
     """Duck-typed executor that stalls, letting the queue fill up."""

@@ -66,10 +66,25 @@ class TestTrackerReport:
         assert report["queue_depth"] == 1
         assert report["max_queue_depth"] == 7
         assert report["batch_occupancy_mean"] == 4.0
+        # The failed request stays out of the hit/miss ledger: one hit,
+        # one miss from the two successful completions.
         assert report["result_cache_hits"] == 1
-        assert report["result_cache_hit_rate"] == pytest.approx(1 / 3)
-        # 2 loads over 2 executed (non-cached) requests.
-        assert report["partitions_per_query"] == pytest.approx(1.0)
+        assert report["result_cache_misses"] == 1
+        assert report["result_cache_hit_rate"] == pytest.approx(0.5)
+        # 2 loads over 1 executed (successful, non-cached) request.
+        assert report["partitions_per_query"] == pytest.approx(2.0)
+
+    def test_failed_completions_do_not_skew_cache_accounting(self):
+        tracker = SLOTracker()
+        tracker.record_completed(0.01)               # miss
+        tracker.record_completed(0.0, cached=True)   # hit
+        for _ in range(10):
+            tracker.record_completed(0.02, failed=True)
+        report = tracker.report()
+        assert report["requests_failed"] == 10
+        assert report["result_cache_misses"] == 1
+        assert report["result_cache_hit_rate"] == pytest.approx(0.5)
+        assert report["latency"]["samples"] == 2
 
     def test_reservoir_is_bounded(self):
         tracker = SLOTracker(reservoir=10)
