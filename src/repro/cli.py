@@ -12,15 +12,22 @@ code:
 * ``stats`` — pretty-print a trace previously saved with ``--trace``
 * ``serve`` — long-lived JSON-lines TCP query server over an index
 * ``query-remote`` — query (or fetch SLO stats from) a running server
+* ``top`` — live operational view of a running server (SLO, queue,
+  caches, partition skew), refreshed on an interval
 
 Series inputs are ``.npy`` files (one 1-D array) or ``--row N`` of a
 generated ``.npz`` dataset.
 
 Observability (docs/OBSERVABILITY.md): ``-v``/``-q`` tune diagnostic
 logging; ``build``/``exact``/``knn``/``range`` accept ``--trace FILE``
-(JSON span tree of the run) and ``--metrics FILE`` (Prometheus-style
-counters), and the query commands take ``--cache N`` to enable the LRU
-partition cache.
+(JSON span tree of the run), ``--metrics FILE`` (Prometheus-style
+counters), and ``--profile-spans [SUBSTR]`` (cProfile hot functions per
+span); the query commands take ``--cache N`` to enable the LRU
+partition cache.  ``serve`` traces every request by default
+(``--no-trace-requests`` opts out), journals slow queries
+(``--slow-query-ms``, ``--journal-sample``, ``--journal FILE``), and
+dumps its span forest with ``--trace-file FILE``; ``query-remote
+--trace`` prints one request's span timeline.
 
 Execution (docs/PARALLELISM.md): every command accepts ``--executor
 {serial,threads,processes}`` and ``--jobs N`` to choose the task
@@ -228,6 +235,13 @@ def _cmd_serve(args) -> int:
     from .serving import QueryService, TardisServer
 
     index = _load_query_index(args)
+    if not args.no_trace_requests:
+        # Request tracing is on by default for the serving tier: spans
+        # are the per-request timeline behind query-remote --trace and
+        # the trace wire op.  Bound the finished-root ring so a
+        # long-lived server cannot grow without limit.
+        tracer = telemetry.enable_tracing()
+        tracer.set_root_limit(args.trace_roots)
     try:
         service = QueryService(
             index,
@@ -236,6 +250,8 @@ def _cmd_serve(args) -> int:
             max_batch=args.batch_max,
             max_delay_ms=args.batch_delay_ms,
             result_cache_size=args.result_cache,
+            slow_query_threshold_ms=args.slow_query_ms,
+            journal_sample=args.journal_sample,
         )
         server = TardisServer(service, args.host, args.port)
     except (ValueError, OSError) as exc:
@@ -261,6 +277,12 @@ def _cmd_serve(args) -> int:
     if args.report:
         Path(args.report).write_text(json.dumps(report, indent=2) + "\n")
         logger.info("wrote SLO report to %s", args.report)
+    if args.journal:
+        telemetry.write_journal(service.journal, args.journal)
+        logger.info("wrote event journal to %s", args.journal)
+    if args.trace_file:
+        telemetry.write_trace(telemetry.get_tracer(), args.trace_file)
+        logger.info("wrote request traces to %s", args.trace_file)
     latency = report["latency"]
     print(
         f"served {report['requests_completed']} requests "
@@ -286,35 +308,119 @@ def _cmd_query_remote(args) -> int:
         if args.stats:
             print(json.dumps(client.stats(), indent=2))
             return 0
+        if args.journal is not None:
+            print(json.dumps(client.journal(n=args.journal), indent=2))
+            return 0
         query = _load_query(args)
         try:
             if args.op == "exact":
                 result = client.exact_match(
-                    query, use_bloom=not args.no_bloom
+                    query, use_bloom=not args.no_bloom, trace=args.trace
                 )
                 if result["found"]:
                     print(f"found record ids: {result['record_ids']}")
-                    return 0
-                how = (
-                    "bloom filter" if result["bloom_rejected"]
-                    else "partition lookup"
+                    code = 0
+                else:
+                    how = (
+                        "bloom filter" if result["bloom_rejected"]
+                        else "partition lookup"
+                    )
+                    print(f"not found (rejected by {how})")
+                    code = 1
+            else:
+                result = client.knn(
+                    query, k=args.k, strategy=args.strategy, pth=args.pth,
+                    trace=args.trace,
                 )
-                print(f"not found (rejected by {how})")
-                return 1
-            result = client.knn(
-                query, k=args.k, strategy=args.strategy, pth=args.pth
-            )
-            print(f"{args.strategy} {args.k}-NN via {args.host}:{args.port} "
-                  f"({result['partitions_loaded']} partitions, "
-                  f"{result['candidates_examined']:,} candidates):")
-            for record_id, distance in zip(
-                result["record_ids"], result["distances"]
-            ):
-                print(f"  record {record_id:>8}  distance {distance:.4f}")
-            return 0
+                print(f"{args.strategy} {args.k}-NN via "
+                      f"{args.host}:{args.port} "
+                      f"({result['partitions_loaded']} partitions, "
+                      f"{result['candidates_examined']:,} candidates):")
+                for record_id, distance in zip(
+                    result["record_ids"], result["distances"]
+                ):
+                    print(f"  record {record_id:>8}  "
+                          f"distance {distance:.4f}")
+                code = 0
+            if args.trace:
+                _print_remote_trace(client.last_trace)
+            return code
         except OverloadedError as exc:
             print(f"server overloaded: {exc}", file=sys.stderr)
             return 2
+
+
+def _print_remote_trace(trace: dict | None) -> None:
+    """Render the span timeline a traced remote query brought back."""
+    print()
+    if trace is None:
+        print("no trace returned (server started with --no-trace-requests?)")
+        return
+    print(f"trace {trace.get('trace_id', '?')}:")
+    doc = {"schema": telemetry.TRACE_SCHEMA, "spans": [trace]}
+    try:
+        summary = telemetry.summarize_trace(doc)
+    except ValueError as exc:
+        print(f"  (malformed trace: {exc})")
+        return
+    # Drop the "trace: N root span(s)" banner; the id line covers it.
+    print("\n".join(summary.splitlines()[1:]))
+
+
+def _cmd_top(args) -> int:
+    """Poll a running server's SLO/journal state and print live rows."""
+    from .serving import ServingClient
+
+    try:
+        client = ServingClient(args.host, args.port, timeout=args.timeout)
+    except OSError as exc:
+        raise SystemExit(f"cannot connect to {args.host}:{args.port}: {exc}")
+    import time as _time
+
+    previous_completed: int | None = None
+    previous_at: float | None = None
+    iterations = args.iterations
+    with client:
+        while True:
+            try:
+                report = client.stats()
+            except (ConnectionError, RuntimeError, OSError) as exc:
+                print(f"server went away: {exc}", file=sys.stderr)
+                return 1
+            now = _time.monotonic()
+            completed = report["requests_completed"]
+            if previous_completed is None:
+                qps = 0.0
+            else:
+                dt = max(now - previous_at, 1e-9)
+                qps = (completed - previous_completed) / dt
+            previous_completed, previous_at = completed, now
+            latency = report["latency"]
+            skew = report.get("partition_skew", {})
+            cache = report.get("result_cache_hit_rate", 0.0)
+            journal = report.get("journal", {})
+            slow = journal.get("by_kind", {}).get("slow-query", 0)
+            print(
+                f"qps {qps:7.1f} | "
+                f"p50/p95/p99 {latency['p50_s'] * 1e3:6.2f}/"
+                f"{latency['p95_s'] * 1e3:6.2f}/"
+                f"{latency['p99_s'] * 1e3:6.2f} ms | "
+                f"queue {report['queue_depth']:3d} | "
+                f"shed {report['requests_shed']} | "
+                f"cache {cache:4.0%} | "
+                f"skew {skew.get('skew', 0.0):4.1f}x "
+                f"({skew.get('partitions_touched', 0)} parts) | "
+                f"slow {slow}",
+                flush=True,
+            )
+            if iterations is not None:
+                iterations -= 1
+                if iterations <= 0:
+                    return 0
+            try:
+                _time.sleep(args.interval)
+            except KeyboardInterrupt:
+                return 0
 
 
 def _cmd_stats(args) -> int:
@@ -335,6 +441,16 @@ def _add_telemetry_flags(cmd: argparse.ArgumentParser) -> None:
                      help="write a JSON execution trace of this command")
     cmd.add_argument("--metrics", metavar="FILE",
                      help="write Prometheus-style metrics for this command")
+    _add_profile_flag(cmd)
+
+
+def _add_profile_flag(cmd: argparse.ArgumentParser) -> None:
+    cmd.add_argument("--profile-spans", metavar="SUBSTR", nargs="?",
+                     const="", default=None,
+                     help="attach cProfile to spans whose name contains "
+                          "SUBSTR (no value: profile every span); hot "
+                          "functions land in the span's profile_top "
+                          "attribute")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -441,6 +557,22 @@ def build_parser() -> argparse.ArgumentParser:
                      help="stop after S seconds (default: run until signal)")
     srv.add_argument("--report", metavar="FILE",
                      help="write the SLO report as JSON on shutdown")
+    srv.add_argument("--no-trace-requests", action="store_true",
+                     help="disable per-request tracing (on by default)")
+    srv.add_argument("--trace-roots", type=int, default=512, metavar="N",
+                     help="finished request traces kept in memory")
+    srv.add_argument("--trace-file", metavar="FILE",
+                     help="write retained request traces as JSON on shutdown")
+    srv.add_argument("--slow-query-ms", type=float, default=100.0,
+                     metavar="MS",
+                     help="journal requests slower than MS as slow-query")
+    srv.add_argument("--journal-sample", type=float, default=0.0,
+                     metavar="P",
+                     help="also journal a P fraction of all requests "
+                          "(0..1, seeded)")
+    srv.add_argument("--journal", metavar="FILE",
+                     help="write the event journal as JSON lines on shutdown")
+    _add_profile_flag(srv)
     srv.set_defaults(fn=_cmd_serve)
 
     remote = add_parser("query-remote", help="query a running serve process")
@@ -461,7 +593,23 @@ def build_parser() -> argparse.ArgumentParser:
                         help="print the server's SLO report instead")
     remote.add_argument("--ping", action="store_true",
                         help="liveness probe: exit 0 if the server answers")
+    remote.add_argument("--trace", action="store_true",
+                        help="print the request's span timeline "
+                             "(server must have tracing enabled)")
+    remote.add_argument("--journal", type=int, metavar="N", default=None,
+                        help="print the server's newest N journal records "
+                             "instead of querying")
     remote.set_defaults(fn=_cmd_query_remote)
+
+    top = add_parser("top", help="live SLO/queue/cache view of a server")
+    top.add_argument("--host", default="127.0.0.1")
+    top.add_argument("--port", type=int, required=True)
+    top.add_argument("--timeout", type=float, default=10.0)
+    top.add_argument("--interval", type=float, default=2.0, metavar="S",
+                     help="seconds between refreshes")
+    top.add_argument("--iterations", type=int, default=None, metavar="N",
+                     help="stop after N rows (default: until Ctrl-C)")
+    top.set_defaults(fn=_cmd_top)
 
     stats = add_parser("stats", help="pretty-print a saved --trace file")
     stats.add_argument("trace_file", help="trace JSON written by --trace")
@@ -479,8 +627,18 @@ def main(argv: list[str] | None = None) -> int:
             set_default_executor(args.executor, args.jobs)
         except ValueError as exc:
             raise SystemExit(str(exc))
+    # query-remote's --trace is a boolean (print the remote timeline);
+    # only the batch commands' --trace FILE names a local output file.
     trace_path = getattr(args, "trace", None)
+    if not isinstance(trace_path, str):
+        trace_path = None
     metrics_path = getattr(args, "metrics", None)
+    profile_pattern = getattr(args, "profile_spans", None)
+    if profile_pattern is not None:
+        # "" (bare --profile-spans) means profile every span.
+        telemetry.get_tracer().enable_span_profiling(
+            pattern=profile_pattern or None
+        )
     if trace_path:
         telemetry.enable_tracing()
     if metrics_path:

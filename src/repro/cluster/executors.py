@@ -26,6 +26,11 @@ Every backend preserves the engine's contract:
   metrics registry directly; fork children ship their metric deltas and
   finished trace spans back through the result pipe and the driver merges
   them (see docs/PARALLELISM.md).
+* **Trace context** — ``map_tasks`` captures the driver thread's current
+  span and attaches it inside every worker task (threads) or re-parents
+  shipped spans under it (processes), so spans opened by tasks stitch
+  into the dispatching trace instead of fragmenting into orphan roots
+  (see docs/OBSERVABILITY.md).
 
 The process-wide default backend is ``threads`` and can be changed with
 :func:`set_default_executor`, the CLI's ``--executor``/``--jobs`` flags,
@@ -114,6 +119,7 @@ class ThreadExecutor:
         items = list(items)
         if len(items) <= 1 or self.jobs == 1:
             return [fn(i, item) for i, item in enumerate(items)]
+        fn = _propagating(fn)
         # NOTE: tasks must not submit to the same executor (the pool is
         # bounded, so nested submission can deadlock).  Engine stages and
         # batch passes only ever dispatch from the driver thread.
@@ -132,6 +138,34 @@ class ThreadExecutor:
         if first_error is not None:
             raise first_error
         return results
+
+
+def _propagating(fn):
+    """Wrap ``fn`` so pool tasks run under the dispatching thread's span.
+
+    Span stacks are thread-local, so without the handoff a span opened
+    inside a worker task would register as its own root — fragmenting the
+    request trace at the executor boundary.  Capturing the driver's
+    current span once at dispatch and attaching it around each task keeps
+    the whole fan-out inside one trace.  Free when tracing is disabled.
+    """
+    from ..telemetry.spans import Span, get_tracer
+
+    tracer = get_tracer()
+    if not tracer.enabled:
+        return fn
+    parent = tracer.current()
+    if not isinstance(parent, Span):
+        return fn
+
+    def run(index, item):
+        token = tracer.attach(parent)
+        try:
+            return fn(index, item)
+        finally:
+            tracer.detach(token)
+
+    return run
 
 
 class ForkProcessExecutor:
@@ -213,17 +247,25 @@ class ForkProcessExecutor:
     @staticmethod
     def _merge_telemetry(payloads: list[dict]) -> None:
         """Fold child-side metric deltas and trace spans into the shared
-        driver registry/tracer (children mutated copies lost at exit)."""
+        driver registry/tracer (children mutated copies lost at exit).
+
+        When the dispatching thread is inside a span, shipped child roots
+        are re-parented under it so fork fan-outs stay inside the
+        request trace instead of surfacing as orphan roots.
+        """
         from ..telemetry.metrics import get_registry
-        from ..telemetry.spans import get_tracer
+        from ..telemetry.spans import Span, get_tracer
 
         registry = get_registry()
         tracer = get_tracer()
+        parent = tracer.current() if tracer.enabled else None
+        if not isinstance(parent, Span):
+            parent = None
         for payload in payloads:
             if payload["metrics"]:
                 registry.absorb(payload["metrics"])
             if payload["spans"]:
-                tracer.adopt(payload["spans"])
+                tracer.adopt(payload["spans"], parent=parent)
 
 
 def _run_child(fn, items: list, rank: int, n_children: int) -> dict:
@@ -234,6 +276,10 @@ def _run_child(fn, items: list, rank: int, n_children: int) -> dict:
     registry = get_registry()
     tracer = get_tracer()
     snapshot = registry.snapshot()
+    # The fork inherited the dispatching thread's span stack; drop it so
+    # task spans become fresh roots that ship (the driver re-parents them
+    # under its current span in _merge_telemetry).
+    tracer.clear_thread_context()
     span_mark = len(tracer.roots) if tracer.enabled else 0
     results, error = [], None
     for index in range(rank, len(items), n_children):

@@ -20,12 +20,19 @@ service's own SLO view.
 Arrival randomness and query choice are seeded; wall-clock pacing means
 reports are only *statistically* reproducible, which is all a load test
 can promise.
+
+The same drivers reach a *remote* server through
+:class:`RemoteSubmitter`, which adapts the JSON-lines wire client to the
+``submit() -> Future`` shape, and the module doubles as a CLI
+(``python -m repro.experiments.loadgen --host ... --port ...``) — the
+traffic source for the CI observability job and ad-hoc load tests.
 """
 
 from __future__ import annotations
 
 import threading
 import time
+from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -34,7 +41,7 @@ from ..serving.admission import OverloadedError
 from ..serving.requests import QueryRequest
 from ..serving.slo import nearest_rank
 
-__all__ = ["LoadReport", "closed_loop", "open_loop"]
+__all__ = ["LoadReport", "RemoteSubmitter", "closed_loop", "open_loop"]
 
 
 @dataclass
@@ -170,8 +177,15 @@ def open_loop(
         # the arrival loop never blocks on answers.
         def done(future) -> None:
             finished_at = time.monotonic()
+            exc = future.exception()
             with lock:
-                if future.exception() is not None:
+                if isinstance(exc, OverloadedError):
+                    # Remote submitters surface shedding through the
+                    # future (the socket round-trip already happened);
+                    # classify it as shed, not an error, to match the
+                    # synchronous-raise path above.
+                    report.shed += 1
+                elif exc is not None:
                     report.errors += 1
                 else:
                     report.completed += 1
@@ -207,3 +221,126 @@ def open_loop(
             pass
     report.duration_s = time.monotonic() - start
     return report
+
+
+class RemoteSubmitter:
+    """Adapts a remote JSON-lines server to ``submit(request) -> Future``.
+
+    Each pool worker keeps one persistent socket (thread-local
+    :class:`~repro.serving.server.ServingClient`), so a closed-loop run
+    with ``concurrency`` workers holds ``concurrency`` connections — the
+    same shape a fleet of real clients presents.  Server-side shedding
+    comes back as :class:`OverloadedError`, raised out of the future.
+    """
+
+    def __init__(self, host: str, port: int, concurrency: int = 8):
+        self._host = host
+        self._port = port
+        self._pool = ThreadPoolExecutor(
+            max_workers=max(1, concurrency),
+            thread_name_prefix="repro-loadgen",
+        )
+        self._local = threading.local()
+        self._clients: list = []
+        self._clients_lock = threading.Lock()
+
+    def _client(self):
+        from ..serving.server import ServingClient
+
+        client = getattr(self._local, "client", None)
+        if client is None:
+            client = self._local.client = ServingClient(
+                self._host, self._port
+            )
+            with self._clients_lock:
+                self._clients.append(client)
+        return client
+
+    def _call(self, request: QueryRequest):
+        client = self._client()
+        if request.op == "exact-match":
+            return client.exact_match(request.series, request.use_bloom)
+        return client.knn(
+            request.series, k=request.k,
+            strategy=request.strategy, pth=request.pth,
+        )
+
+    def submit(self, request: QueryRequest) -> Future:
+        return self._pool.submit(self._call, request)
+
+    def close(self) -> None:
+        self._pool.shutdown(wait=True)
+        with self._clients_lock:
+            for client in self._clients:
+                try:
+                    client.close()
+                except OSError:
+                    pass
+            self._clients.clear()
+
+    def __enter__(self) -> "RemoteSubmitter":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Drive a running server and print the LoadReport as JSON."""
+    import argparse
+    import json
+
+    from ..tsdb.io import read_npz_dataset
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments.loadgen",
+        description="generate closed- or open-loop load against a "
+                    "running repro serve instance",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, required=True)
+    parser.add_argument("--data", required=True,
+                        help="dataset .npz whose rows become queries")
+    parser.add_argument("--queries", type=int, default=64,
+                        help="distinct query series drawn from the dataset")
+    parser.add_argument("--mode", choices=("closed", "open"), default="closed")
+    parser.add_argument("--total", type=int, default=100,
+                        help="closed loop: total requests")
+    parser.add_argument("--concurrency", type=int, default=8)
+    parser.add_argument("--rate", type=float, default=50.0,
+                        help="open loop: offered arrival rate (qps)")
+    parser.add_argument("--duration", type=float, default=5.0,
+                        help="open loop: run length in seconds")
+    parser.add_argument("--op", choices=("knn", "exact-match"), default="knn")
+    parser.add_argument("--strategy", default="target-node")
+    parser.add_argument("--k", type=int, default=10)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+
+    values = read_npz_dataset(args.data).values
+    rng = np.random.default_rng(args.seed)
+    picks = rng.integers(len(values), size=max(1, args.queries))
+    queries = values[picks]
+    request_kwargs: dict = {"op": args.op}
+    if args.op == "knn":
+        request_kwargs.update(strategy=args.strategy, k=args.k)
+
+    with RemoteSubmitter(args.host, args.port, args.concurrency) as remote:
+        if args.mode == "closed":
+            report = closed_loop(
+                remote, queries, total=args.total,
+                concurrency=args.concurrency, seed=args.seed,
+                **request_kwargs,
+            )
+        else:
+            report = open_loop(
+                remote, queries, rate_qps=args.rate,
+                duration_s=args.duration, seed=args.seed,
+                **request_kwargs,
+            )
+    print(json.dumps(report.to_dict(), indent=2))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

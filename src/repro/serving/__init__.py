@@ -15,10 +15,14 @@ serving tier (docs/SERVING.md), built from five cooperating pieces:
   digest + strategy + k + pth) layered over the partition cache and
   invalidated with it.
 * :mod:`~repro.serving.slo` — an SLO tracker publishing p50/p95/p99
-  latency, queue depth, shed count, batch occupancy and cache hit-rate
-  through :mod:`repro.telemetry`.
+  latency (log-bucketed histogram estimates), queue depth, shed count,
+  batch occupancy, partition skew and cache hit-rate through
+  :mod:`repro.telemetry`.
 * :mod:`~repro.serving.server` — a JSON-lines TCP front-end plus client,
-  surfaced as ``python -m repro serve`` / ``repro query-remote``.
+  surfaced as ``python -m repro serve`` / ``repro query-remote`` /
+  ``repro top``; ``trace`` and ``journal`` wire ops expose each
+  request's span timeline and the slow-query event journal
+  (docs/OBSERVABILITY.md).
 
 Typical embedded use::
 

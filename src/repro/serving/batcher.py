@@ -23,6 +23,15 @@ Group runners always execute their inner batch serially: the group
 itself is already one task on the service's executor, and nested
 submission into a bounded pool can deadlock (see
 repro.cluster.executors).
+
+**Tracing.**  :func:`run_group` opens one ``serve/execute`` span per
+ticket under that ticket's request root.  The per-request strategies
+attach each ticket's span in turn, so the core ``query/*`` spans nest
+under the right request.  The shared batch passes (exact-match,
+target-node) run *once* for the whole group; the first ticket's span is
+elected **carrier** — the core spans nest under it — and every sibling
+records ``shared_execution_trace`` naming the carrier's trace so the
+shared work stays discoverable without double-counting it.
 """
 
 from __future__ import annotations
@@ -41,6 +50,7 @@ from ..core.queries import (
     knn_multi_partitions_access,
     knn_one_partition_access,
 )
+from ..telemetry.spans import NULL_SPAN, Span, get_tracer
 
 __all__ = ["Group", "group_tickets", "run_group", "partitions_loaded"]
 
@@ -85,28 +95,64 @@ def group_tickets(index: TardisIndex, tickets: list) -> list[Group]:
 
 def run_group(index: TardisIndex, group: Group) -> list:
     """Execute one group; returns core results aligned with its tickets."""
+    tracer = get_tracer()
+    spans = []
+    for ticket in group.tickets:
+        parent = getattr(ticket, "span", NULL_SPAN)
+        if isinstance(parent, Span):
+            spans.append(tracer.start_span(
+                "serve/execute", parent=parent,
+                group_size=group.size, partition_id=group.partition_id,
+            ))
+        else:
+            spans.append(NULL_SPAN)
+    try:
+        return _dispatch(index, group, spans, tracer)
+    finally:
+        for span in spans:
+            tracer.end_span(span)
+
+
+def _dispatch(index: TardisIndex, group: Group, spans: list, tracer) -> list:
     requests = [t.request for t in group.tickets]
     queries = np.vstack([r.series for r in requests])
     op = group.plan_key[0]
-    if op == "exact-match":
-        use_bloom = group.plan_key[1]
-        report = batch_exact_match(
-            index, queries, use_bloom=use_bloom, executor="serial"
-        )
+    if op == "exact-match" or group.plan_key[1] == "target-node":
+        # One shared batch pass for the whole group: elect the first real
+        # span as carrier of the core child spans; siblings point at it.
+        carrier = next((s for s in spans if isinstance(s, Span)), NULL_SPAN)
+        for span in spans:
+            if span is not carrier and isinstance(span, Span):
+                span.set("shared_execution_trace", carrier.trace_id)
+        token = tracer.attach(carrier)
+        try:
+            if op == "exact-match":
+                use_bloom = group.plan_key[1]
+                report = batch_exact_match(
+                    index, queries, use_bloom=use_bloom, executor="serial"
+                )
+            else:
+                k = group.plan_key[2]
+                report = batch_knn_target_node(
+                    index, queries, k, executor="serial"
+                )
+        finally:
+            tracer.detach(token)
         return report.results
     _op, strategy, k, pth = group.plan_key
-    if strategy == "target-node":
-        report = batch_knn_target_node(index, queries, k, executor="serial")
-        return report.results
-    if strategy == "one-partition":
-        return [
-            knn_one_partition_access(index, request.series, k)
-            for request in requests
-        ]
-    return [
-        knn_multi_partitions_access(index, request.series, k, pth=pth)
-        for request in requests
-    ]
+    results = []
+    for request, span in zip(requests, spans):
+        token = tracer.attach(span)
+        try:
+            if strategy == "one-partition":
+                results.append(knn_one_partition_access(index, request.series, k))
+            else:
+                results.append(
+                    knn_multi_partitions_access(index, request.series, k, pth=pth)
+                )
+        finally:
+            tracer.detach(token)
+    return results
 
 
 def partitions_loaded(results) -> set[int]:

@@ -8,12 +8,21 @@ request::
     {"op": "knn", "series": [...], "strategy": "target-node", "k": 10}
     {"op": "exact-match", "series": [...], "use_bloom": true}
     {"op": "stats"}        {"op": "ping"}
+    {"op": "trace", "n": 5}          {"op": "trace", "trace_id": "..."}
+    {"op": "journal", "n": 50}       {"op": "journal", "kind": "slow-query"}
 
 response::
 
     {"ok": true, "result": {...}}
     {"ok": false, "error": {"type": "overloaded", "message": ...,
                             "queue_depth": N, "capacity": N}}
+
+A query document carrying ``"trace": true`` additionally returns the
+request's finished span tree in the envelope's ``trace`` field (requires
+tracing enabled on the server, e.g. ``repro serve`` default) — the
+``repro query-remote --trace`` timeline.  ``trace`` / ``journal`` ops
+expose the server's recent request traces and event-journal tail for
+``repro top`` and post-hoc debugging.
 
 Error types: ``overloaded`` (shed by admission control — back off and
 retry), ``bad-request`` (malformed JSON / invalid plan), ``internal``.
@@ -106,12 +115,31 @@ class _Handler(socketserver.StreamRequestHandler):
             return {"ok": True, "result": "pong"}
         if op == "stats":
             return {"ok": True, "result": service.stats()}
+        if op == "trace":
+            from ..telemetry.spans import get_tracer
+
+            return {"ok": True, "result": {
+                "enabled": get_tracer().enabled,
+                "traces": service.recent_traces(
+                    n=int(doc.get("n", 10)),
+                    trace_id=doc.get("trace_id"),
+                ),
+            }}
+        if op == "journal":
+            return {"ok": True, "result": {
+                "records": service.journal.tail(
+                    n=int(doc.get("n", 50)), kind=doc.get("kind")
+                ),
+                "stats": service.journal.stats(),
+            }}
         try:
             request = _parse_request(doc)
         except (ValueError, TypeError) as exc:
             return _error("bad-request", str(exc))
+        want_trace = bool(doc.get("trace"))
         try:
-            result = service.query(request)
+            future = service.submit(request)
+            result = future.result()
         except OverloadedError as exc:
             return _error(
                 "overloaded", str(exc),
@@ -127,7 +155,13 @@ class _Handler(socketserver.StreamRequestHandler):
         except Exception as exc:
             logger.exception("internal serving error")
             return _error("internal", f"{type(exc).__name__}: {exc}")
-        return {"ok": True, "result": result_to_wire(result)}
+        envelope = {"ok": True, "result": result_to_wire(result)}
+        if want_trace:
+            # The service ends the root span before resolving the future,
+            # so the tree is complete here; None when tracing is off.
+            root = getattr(future, "trace_root", None)
+            envelope["trace"] = root.to_dict() if root is not None else None
+        return envelope
 
     def _reply(self, doc: dict) -> None:
         try:
@@ -206,6 +240,8 @@ class ServingClient:
     def __init__(self, host: str, port: int, timeout: float | None = 30.0):
         self._sock = socket.create_connection((host, port), timeout=timeout)
         self._file = self._sock.makefile("rwb")
+        #: Span tree from the last ``trace=True`` query (None otherwise).
+        self.last_trace: dict | None = None
 
     def call(self, doc: dict) -> dict:
         """Send one request object; returns the raw response envelope."""
@@ -219,6 +255,7 @@ class ServingClient:
     def _result(self, doc: dict) -> dict:
         response = self.call(doc)
         if response.get("ok"):
+            self.last_trace = response.get("trace")
             return response["result"]
         error = response.get("error") or {}
         if error.get("type") == "overloaded":
@@ -235,11 +272,26 @@ class ServingClient:
     def stats(self) -> dict:
         return self._result({"op": "stats"})
 
-    def exact_match(self, series, use_bloom: bool = True) -> dict:
+    def traces(self, n: int = 10, trace_id: str | None = None) -> dict:
+        doc: dict = {"op": "trace", "n": n}
+        if trace_id:
+            doc["trace_id"] = trace_id
+        return self._result(doc)
+
+    def journal(self, n: int = 50, kind: str | None = None) -> dict:
+        doc: dict = {"op": "journal", "n": n}
+        if kind:
+            doc["kind"] = kind
+        return self._result(doc)
+
+    def exact_match(
+        self, series, use_bloom: bool = True, trace: bool = False
+    ) -> dict:
         return self._result({
             "op": "exact-match",
             "series": np.asarray(series, dtype=np.float64).tolist(),
             "use_bloom": use_bloom,
+            "trace": trace,
         })
 
     def knn(
@@ -248,6 +300,7 @@ class ServingClient:
         k: int = 10,
         strategy: str = "target-node",
         pth: int | None = None,
+        trace: bool = False,
     ) -> dict:
         return self._result({
             "op": "knn",
@@ -255,6 +308,7 @@ class ServingClient:
             "strategy": strategy,
             "k": k,
             "pth": pth,
+            "trace": trace,
         })
 
     def close(self) -> None:

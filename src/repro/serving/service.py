@@ -15,6 +15,16 @@
    cache, and report latency / occupancy / partition-load figures to the
    :class:`~repro.serving.slo.SLOTracker`.
 
+Every request also owns one **trace**: :meth:`submit` mints a
+``serve/request`` root span, hands it across the queue and executor
+boundaries on the ticket, and the batcher stitches ``serve/queue-wait``
+/ ``serve/batch-wait`` / ``serve/execute`` (and the core load/scan
+spans beneath it) under that root — one per-query timeline regardless
+of which thread did what.  Completed requests additionally feed the
+:class:`~repro.telemetry.journal.SlowQueryLog`, whose structured
+records land in the bounded :class:`~repro.telemetry.journal.EventJournal`
+served by the ``journal`` wire op.
+
 Shutdown is graceful by default: :meth:`stop` closes admissions, lets
 the batcher drain everything already accepted, and joins the thread.
 Answers are identical to the serial :mod:`repro.core.queries` path for
@@ -27,10 +37,13 @@ import logging
 import threading
 import time
 from concurrent.futures import Future
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from ..cluster.executors import resolve_executor
 from ..core.builder import TardisIndex
+from ..telemetry.context import trace_id_of
+from ..telemetry.journal import EventJournal, SlowQueryLog, get_journal
+from ..telemetry.spans import NULL_SPAN, Span, get_tracer
 from .admission import AdmissionQueue, OverloadedError
 from .batcher import group_tickets, partitions_loaded, run_group
 from .requests import QueryRequest
@@ -44,11 +57,25 @@ logger = logging.getLogger(__name__)
 
 @dataclass
 class Ticket:
-    """One in-flight request: the work, its future, and its clock."""
+    """One in-flight request: the work, its future, its clock — and its
+    trace.  The span handles ride the ticket across the admission queue
+    and the executor so every pipeline stage can stitch its segment
+    under the same ``serve/request`` root (no-op spans when tracing is
+    off)."""
 
     request: QueryRequest
     future: Future
     enqueued_at: float
+    span: object = field(default=NULL_SPAN, repr=False)
+    queue_span: object = field(default=NULL_SPAN, repr=False)
+    wait_span: object = field(default=NULL_SPAN, repr=False)
+    dequeued_at: float = 0.0
+    exec_started_at: float = 0.0
+    exec_finished_at: float = 0.0
+
+    @property
+    def trace_id(self):
+        return trace_id_of(self.span)
 
 
 class QueryService:
@@ -66,6 +93,9 @@ class QueryService:
         jobs: int | None = None,
         result_cache_size: int | None = 1024,
         partition_cache_size: int | None = None,
+        slow_query_threshold_ms: float = 100.0,
+        journal_sample: float = 0.0,
+        journal: EventJournal | None = None,
     ):
         if max_batch <= 0:
             raise ValueError("max_batch must be positive")
@@ -97,6 +127,12 @@ class QueryService:
             self.executor = resolve_executor("threads", jobs)
         self.queue = AdmissionQueue(queue_capacity, policy=policy)
         self.slo = SLOTracker()
+        self.journal = journal if journal is not None else get_journal()
+        self.slow_log = SlowQueryLog(
+            threshold_s=slow_query_threshold_ms / 1000.0,
+            sample_rate=journal_sample,
+            journal=self.journal,
+        )
         self.result_cache = (
             ResultCache(result_cache_size) if result_cache_size else None
         )
@@ -174,17 +210,45 @@ class QueryService:
         if not self._started or self._stopped:
             raise RuntimeError("service is not running (use start()/with)")
         self._validate(request)
+        tracer = get_tracer()
+        root = tracer.start_span(
+            "serve/request", op=request.op,
+            **({"strategy": request.strategy} if request.op == "knn" else {}),
+        )
         future: Future = Future()
+        if isinstance(root, Span):
+            future.trace_root = root
         if self.result_cache is not None:
             cached = self.result_cache.get(request.cache_key())
             if cached is not None:
+                tracer.end_span(tracer.start_span("serve/cache", parent=root))
+                root.set("cached", True)
+                # End the root *before* resolving the future so waiters
+                # (and the wire handler) see a finished trace.
+                tracer.end_span(root)
                 future.set_result(cached)
                 self.slo.record_completed(0.0, cached=True)
+                self.slow_log.observe(
+                    0.0, trace_id=trace_id_of(root), op=request.op,
+                    cached=True,
+                )
                 return future
-        ticket = Ticket(request, future, time.monotonic())
+        queue_span = tracer.start_span("serve/queue-wait", parent=root)
+        ticket = Ticket(
+            request, future, time.monotonic(),
+            span=root, queue_span=queue_span,
+        )
         try:
             self.queue.put(ticket)
         except OverloadedError:
+            queue_span.set("error", "overloaded")
+            tracer.end_span(queue_span)
+            root.set("error", "overloaded")
+            tracer.end_span(root)
+            self.journal.record(
+                "shed", trace_id=trace_id_of(root), op=request.op,
+                queue_depth=self.queue.depth,
+            )
             self.slo.record_shed()
             raise
         self.slo.record_admitted(self.queue.depth)
@@ -217,21 +281,35 @@ class QueryService:
                         ticket.future.set_exception(exc)
 
     def _execute_window(self, window: list) -> None:
+        tracer = get_tracer()
+        dequeued = time.monotonic()
+        for ticket in window:
+            # Queue wait is over; batch wait (grouping + executor
+            # dispatch + sibling-group contention) starts now.
+            ticket.dequeued_at = dequeued
+            tracer.end_span(ticket.queue_span)
+            ticket.wait_span = tracer.start_span(
+                "serve/batch-wait", parent=ticket.span
+            )
         groups = group_tickets(self.index, window)
         outcomes = self.executor.map_tasks(
             lambda _i, group: self._run_group_safely(group), groups
         )
         now = time.monotonic()
-        loads = 0
+        loaded_pids: list = []
         for group, (results, error) in zip(groups, outcomes):
             if error is not None:
+                self.journal.record(
+                    "error", op=group.plan_key[0],
+                    partition_id=group.partition_id,
+                    n_queries=group.size, error=repr(error),
+                )
                 for ticket in group.tickets:
-                    ticket.future.set_exception(error)
-                    self.slo.record_completed(
-                        now - ticket.enqueued_at, failed=True
+                    self._finish_ticket(
+                        ticket, group, now, len(window), error=error
                     )
                 continue
-            loads += len(partitions_loaded(results))
+            loaded_pids.extend(partitions_loaded(results))
             for ticket, result in zip(group.tickets, results):
                 if self.result_cache is not None:
                     # Bloom-rejected exact matches never load a partition,
@@ -245,16 +323,82 @@ class QueryService:
                     self.result_cache.put(
                         ticket.request.cache_key(), result, pids
                     )
-                ticket.future.set_result(result)
-                self.slo.record_completed(now - ticket.enqueued_at)
-        self.slo.record_batch(len(window), len(groups), loads)
+                self._finish_ticket(
+                    ticket, group, now, len(window), result=result
+                )
+        self.slo.record_batch(len(window), len(groups), loaded_pids)
+        self.journal.record(
+            "batch", n_queries=len(window), n_groups=len(groups),
+            partition_loads=len(loaded_pids),
+            partitions=sorted(set(loaded_pids)),
+        )
+
+    def _finish_ticket(
+        self, ticket, group, now: float, batch_size: int,
+        result=None, error=None,
+    ) -> None:
+        """Close one ticket: end its trace, resolve its future, and feed
+        the SLO tracker and slow-query log.
+
+        The root span ends *before* the future resolves so anything
+        woken by the result — the wire handler embedding the trace, a
+        done-callback — sees a complete timeline.
+        """
+        tracer = get_tracer()
+        latency_s = now - ticket.enqueued_at
+        root = ticket.span
+        root.set("batch_size", batch_size)
+        root.set("group_size", group.size)
+        partitions = (
+            sorted(result.partition_ids_loaded) if result is not None else []
+        )
+        if error is not None:
+            root.set("error", f"{type(error).__name__}: {error}")
+        tracer.end_span(root)
+        if error is not None:
+            ticket.future.set_exception(error)
+            self.slo.record_completed(latency_s, failed=True)
+        else:
+            ticket.future.set_result(result)
+            self.slo.record_completed(latency_s)
+        breakdown = {
+            "queue_wait_s": max(0.0, ticket.dequeued_at - ticket.enqueued_at),
+            "batch_wait_s": max(
+                0.0, ticket.exec_started_at - ticket.dequeued_at
+            ),
+            "execute_s": max(
+                0.0, ticket.exec_finished_at - ticket.exec_started_at
+            ),
+        }
+        fields = dict(
+            trace_id=ticket.trace_id,
+            op=ticket.request.op,
+            batch_size=batch_size,
+            group_size=group.size,
+            partitions=partitions,
+            **breakdown,
+        )
+        if ticket.request.op == "knn":
+            fields["strategy"] = ticket.request.strategy
+        if error is not None:
+            fields["error"] = repr(error)
+        self.slow_log.observe(latency_s, **fields)
 
     def _run_group_safely(self, group):
         """(results, error) so one bad group cannot sink its siblings."""
+        tracer = get_tracer()
+        started = time.monotonic()
+        for ticket in group.tickets:
+            ticket.exec_started_at = started
+            tracer.end_span(ticket.wait_span)
         try:
             return run_group(self.index, group), None
         except BaseException as exc:
             return None, exc
+        finally:
+            finished = time.monotonic()
+            for ticket in group.tickets:
+                ticket.exec_finished_at = finished
 
     # -- introspection ------------------------------------------------------
 
@@ -274,7 +418,25 @@ class QueryService:
         partition_stats = self.index.cache_stats()
         if partition_stats is not None:
             report["partition_cache"] = partition_stats
+        report["journal"] = self.journal.stats()
+        report["tracing"] = get_tracer().enabled
         return report
+
+    def recent_traces(
+        self, n: int = 10, trace_id: str | None = None
+    ) -> list[dict]:
+        """Recent finished request traces as ``repro.trace/v1`` span dicts.
+
+        With ``trace_id`` given, exactly that trace (empty list when it
+        fell out of the tracer's root ring or never existed).  Backs the
+        ``trace`` wire op.
+        """
+        tracer = get_tracer()
+        if trace_id:
+            root = tracer.find_trace(trace_id)
+            return [root.to_dict()] if root is not None else []
+        roots = tracer.roots
+        return [root.to_dict() for root in roots[-max(0, n):]] if n > 0 else []
 
     def invalidate_partition(self, partition_id: int) -> None:
         """Drop one partition from both caches (after index maintenance)."""

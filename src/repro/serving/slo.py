@@ -1,37 +1,41 @@
 """SLO tracking for the serving tier.
 
-Serving quality is a distribution, not an average: the tracker keeps a
-bounded reservoir of per-request wall-clock latencies and reports exact
-nearest-rank p50/p95/p99 over the most recent window, alongside the
-operational signals an operator pages on — queue depth, shed count,
-batch occupancy, partition loads per query, and result-cache hit rate.
+Serving quality is a distribution, not an average: the tracker feeds
+per-request wall-clock latencies into a log-bucketed
+:class:`~repro.telemetry.metrics.Histogram` and reports estimated
+p50/p95/p99 alongside the operational signals an operator pages on —
+queue depth, shed count, batch occupancy, partition loads per query,
+partition skew, and result-cache hit rate.
 
 Everything is double-published:
 
 * :meth:`SLOTracker.report` — a JSON-ready snapshot consumed by the
-  ``stats`` wire op, ``repro query-remote --stats``, and the serving
-  benchmark.
+  ``stats`` wire op, ``repro query-remote --stats``, ``repro top``, and
+  the serving benchmark.
 * the shared :mod:`repro.telemetry` registry — ``serving_*`` counters,
   gauges and histograms (names documented in docs/OBSERVABILITY.md) so
   ``--metrics`` exports cover the serving tier with zero extra wiring.
+
+The per-tracker percentile state is a *private* histogram instance (not
+registered) so multiple trackers — tests, several services in one
+process — don't bleed into each other, while the identically-bucketed
+shared ``serving_latency_seconds`` keeps exposition-text output whole.
 """
 
 from __future__ import annotations
 
 import math
 import threading
-from collections import deque
+from collections import Counter as TallyCounter
 
-from ..telemetry.metrics import get_registry
+from ..telemetry.metrics import Histogram, get_registry, log_buckets
 
-__all__ = ["SLOTracker", "nearest_rank"]
+__all__ = ["SLOTracker", "nearest_rank", "LATENCY_BUCKETS"]
 
 #: Buckets for the real (not simulated) serving latency histogram:
-#: micro-batched in-memory answers land in the sub-millisecond decades.
-LATENCY_BUCKETS = (
-    0.0001, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
-    0.25, 0.5, 1.0, 2.5, 5.0,
-)
+#: log-spaced from 50 µs (cache hits) to 5 s (straggler partition loads),
+#: so relative quantile-estimation error is uniform across five decades.
+LATENCY_BUCKETS = log_buckets(5e-5, 5.0, per_decade=5)
 
 #: Buckets for batch-group occupancy (queries sharing one partition load).
 OCCUPANCY_BUCKETS = (1, 2, 4, 8, 16, 32, 64, 128)
@@ -50,11 +54,11 @@ def nearest_rank(sorted_samples: list[float], quantile: float) -> float:
 class SLOTracker:
     """Aggregates serving health; thread-safe, telemetry-published."""
 
-    def __init__(self, reservoir: int = 8192):
-        if reservoir <= 0:
-            raise ValueError("reservoir must be positive")
+    def __init__(self):
         self._lock = threading.Lock()
-        self._latencies: deque = deque(maxlen=reservoir)
+        self._latency_hist = Histogram(
+            "slo_latency_seconds", buckets=LATENCY_BUCKETS
+        )
         self.admitted = 0
         self.completed = 0
         self.failed = 0
@@ -66,6 +70,7 @@ class SLOTracker:
         self.groups = 0
         self.partition_loads = 0
         self.max_queue_depth = 0
+        self._partition_hits: TallyCounter = TallyCounter()
 
     # -- recording ----------------------------------------------------------
 
@@ -98,7 +103,7 @@ class SLOTracker:
                 self.failed += 1
             else:
                 self.completed += 1
-                self._latencies.append(float(latency_s))
+                self._latency_hist.observe(float(latency_s))
                 # Failures stay out of the hit/miss ledger: they neither
                 # consulted the cache usefully nor produced an answer, so
                 # counting them would deflate hit_rate and inflate the
@@ -128,22 +133,40 @@ class SLOTracker:
         ).inc()
 
     def record_batch(
-        self, n_queries: int, n_groups: int, partitions_loaded: int
+        self, n_queries: int, n_groups: int, partitions_loaded
     ) -> None:
-        """Account one flushed micro-batch and its partition-load bill."""
+        """Account one flushed micro-batch and its partition-load bill.
+
+        ``partitions_loaded`` is either a bare count or an iterable of
+        partition ids; ids additionally feed the per-partition skew
+        tally surfaced by :meth:`report` and ``repro top``.
+        """
         registry = get_registry()
+        if isinstance(partitions_loaded, int):
+            n_loads, pids = partitions_loaded, ()
+        else:
+            pids = list(partitions_loaded)
+            n_loads = len(pids)
         with self._lock:
             self.batches += 1
             self.batched_queries += n_queries
             self.groups += n_groups
-            self.partition_loads += partitions_loaded
+            self.partition_loads += n_loads
+            for pid in pids:
+                self._partition_hits[pid] += 1
         registry.counter(
             "serving_batches_total", "Micro-batches flushed by the batcher"
         ).inc()
         registry.counter(
             "serving_partition_loads_total",
             "Distinct partition loads performed by batch groups",
-        ).inc(partitions_loaded)
+        ).inc(n_loads)
+        if pids:
+            registry.gauge(
+                "serving_partition_skew",
+                "Hottest-partition load share vs a uniform spread "
+                "(1.0 == balanced)",
+            ).set(self._skew_locked()["skew"])
         if n_groups:
             registry.histogram(
                 "serving_batch_occupancy",
@@ -154,13 +177,38 @@ class SLOTracker:
     # -- reporting ----------------------------------------------------------
 
     def latency_percentiles(self) -> dict:
-        with self._lock:
-            ordered = sorted(self._latencies)
+        """Estimated percentiles from the log-bucketed latency histogram.
+
+        Bucket-interpolated (see :meth:`Histogram.quantile`), so values
+        are accurate to within one bucket's relative width (~58% per
+        bucket at 5/decade) rather than exact order statistics.
+        """
+        hist = self._latency_hist
         return {
-            "p50_s": nearest_rank(ordered, 0.50),
-            "p95_s": nearest_rank(ordered, 0.95),
-            "p99_s": nearest_rank(ordered, 0.99),
-            "samples": len(ordered),
+            "p50_s": hist.quantile(0.50),
+            "p95_s": hist.quantile(0.95),
+            "p99_s": hist.quantile(0.99),
+            "samples": hist.count,
+        }
+
+    def _skew_locked(self) -> dict:
+        """Partition-load imbalance summary; caller holds ``self._lock``."""
+        hits = self._partition_hits
+        if not hits:
+            return {
+                "partitions_touched": 0, "max_loads": 0,
+                "mean_loads": 0.0, "skew": 0.0, "hottest": [],
+            }
+        mean = self.partition_loads / len(hits)
+        top = hits.most_common(5)
+        return {
+            "partitions_touched": len(hits),
+            "max_loads": top[0][1],
+            "mean_loads": mean,
+            "skew": top[0][1] / mean if mean else 0.0,
+            "hottest": [
+                {"partition_id": pid, "loads": n} for pid, n in top
+            ],
         }
 
     def report(self, queue_depth: int = 0) -> dict:
@@ -186,6 +234,7 @@ class SLOTracker:
                 "partitions_per_query": (
                     self.partition_loads / executed if executed else 0.0
                 ),
+                "partition_skew": self._skew_locked(),
                 "result_cache_hits": self.cache_hits,
                 "result_cache_misses": self.cache_misses,
                 "result_cache_hit_rate": (

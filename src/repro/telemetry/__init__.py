@@ -26,17 +26,28 @@ Typical use::
     telemetry.write_metrics(telemetry.get_registry(), "metrics.prom")
 """
 
-from . import log
+from . import context, log
+from .context import attach, current_span, detach, trace_id_of, under_parent
 from .exporters import (
     TRACE_SCHEMA,
     aggregate_spans,
     metrics_to_text,
+    orphan_roots,
     summarize_trace,
     trace_to_dict,
     validate_metrics_text,
     validate_trace,
     write_metrics,
     write_trace,
+)
+from .journal import (
+    JOURNAL_SCHEMA,
+    EventJournal,
+    SlowQueryLog,
+    get_journal,
+    validate_journal_lines,
+    validate_journal_record,
+    write_journal,
 )
 from .metrics import (
     DEFAULT_BUCKETS,
@@ -45,6 +56,7 @@ from .metrics import (
     Histogram,
     MetricsRegistry,
     get_registry,
+    log_buckets,
 )
 from .spans import (
     NULL_SPAN,
@@ -54,6 +66,7 @@ from .spans import (
     disable_tracing,
     enable_tracing,
     get_tracer,
+    new_trace_id,
     traced,
 )
 
@@ -66,20 +79,36 @@ __all__ = [
     "enable_tracing",
     "disable_tracing",
     "traced",
+    "new_trace_id",
+    "current_span",
+    "attach",
+    "detach",
+    "under_parent",
+    "trace_id_of",
     "Counter",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
     "get_registry",
     "DEFAULT_BUCKETS",
+    "log_buckets",
     "TRACE_SCHEMA",
     "trace_to_dict",
     "write_trace",
     "validate_trace",
+    "orphan_roots",
     "metrics_to_text",
     "write_metrics",
     "validate_metrics_text",
     "aggregate_spans",
     "summarize_trace",
+    "JOURNAL_SCHEMA",
+    "EventJournal",
+    "SlowQueryLog",
+    "get_journal",
+    "write_journal",
+    "validate_journal_record",
+    "validate_journal_lines",
+    "context",
     "log",
 ]

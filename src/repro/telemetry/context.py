@@ -1,0 +1,100 @@
+"""Request-scoped trace context: parent handoff across threads and queues.
+
+The tracer's active-span stack is thread-local, which is exactly right
+for straight-line code but wrong the moment a request crosses a queue or
+an executor: the worker thread that eventually runs the work has an
+empty stack, so its spans fragment into orphan roots with no link to the
+request that caused them.  This module is the explicit-handoff API that
+keeps one request one tree:
+
+* :func:`current_span` — the innermost live span of *this* thread (a
+  handle safe to ship to another thread).
+* :func:`attach` / :func:`detach` — make a foreign span this thread's
+  current parent; tokens enforce proper nesting.
+* :func:`under_parent` — the context-manager form of attach/detach.
+* ``Tracer.span(parent=...)`` / ``Tracer.start_span`` /
+  ``Tracer.end_span`` (re-exported) — open a span under an explicit
+  parent regardless of which thread runs it.
+
+The canonical serving flow (see docs/OBSERVABILITY.md)::
+
+    # submitting thread: mint the request trace
+    root = tracer.start_span("serve/request", op="knn")
+    queue_span = tracer.start_span("serve/queue-wait", parent=root)
+    ticket.span = root
+
+    # worker thread: stitch execution under the request root
+    tracer.end_span(queue_span)
+    with under_parent(tracer.start_span("serve/execute", parent=root)):
+        knn_target_node_access(index, query, k)   # core spans nest here
+    tracer.end_span(root)                          # exactly one root
+
+Everything degrades to no-ops when tracing is disabled: ``start_span``
+returns the shared :data:`~repro.telemetry.spans.NULL_SPAN`, ``attach``
+returns the shared no-op token, and no clock is read.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+from .spans import NULL_SPAN, NULL_TOKEN, Span, get_tracer, new_trace_id
+
+__all__ = [
+    "current_span",
+    "attach",
+    "detach",
+    "under_parent",
+    "trace_id_of",
+    "new_trace_id",
+    "NULL_TOKEN",
+]
+
+
+def current_span():
+    """This thread's innermost live span (or the shared no-op span).
+
+    The returned handle may be passed to another thread and used as
+    ``parent=`` or :func:`attach` target — that is the whole point.
+    """
+    return get_tracer().current()
+
+
+def attach(span, tracer=None):
+    """Make ``span`` the current parent of this thread; returns a token.
+
+    Thin wrapper over :meth:`Tracer.attach` on the shared tracer.
+    """
+    return (tracer or get_tracer()).attach(span)
+
+
+def detach(token, tracer=None) -> None:
+    """Redeem an :func:`attach` token (must nest properly)."""
+    (tracer or get_tracer()).detach(token)
+
+
+@contextmanager
+def under_parent(span, tracer=None):
+    """Run a block with ``span`` attached as this thread's parent.
+
+    ``span`` may be a no-op span (disabled tracing): the block still runs,
+    nothing is recorded.
+    """
+    tracer = tracer or get_tracer()
+    token = tracer.attach(span)
+    try:
+        yield span
+    finally:
+        tracer.detach(token)
+
+
+def trace_id_of(span) -> str | None:
+    """The trace id of a span handle, or ``None`` for no-op spans."""
+    if isinstance(span, Span):
+        return span.trace_id
+    return None
+
+
+# Re-exported for discoverability: the no-op span a disabled tracer hands
+# out; useful as a default for fields that carry span handles.
+NULL = NULL_SPAN

@@ -33,6 +33,7 @@ __all__ = [
     "trace_to_dict",
     "write_trace",
     "validate_trace",
+    "orphan_roots",
     "metrics_to_text",
     "write_metrics",
     "validate_metrics_text",
@@ -99,13 +100,43 @@ def _validate_span(span: object, path: str) -> int:
     attributes = span.get("attributes", {})
     if not isinstance(attributes, dict):
         raise ValueError(f"{path}/{name}: attributes must be an object")
+    for id_field in ("trace_id", "span_id", "parent_id"):
+        value = span.get(id_field)
+        if value is not None and (not isinstance(value, str) or not value):
+            raise ValueError(
+                f"{path}/{name}: {id_field} must be a non-empty string"
+            )
     children = span.get("children", [])
     if not isinstance(children, list):
         raise ValueError(f"{path}/{name}: children must be a list")
+    trace_id = span.get("trace_id")
     total = 1
     for child in children:
+        child_trace = child.get("trace_id") if isinstance(child, dict) else None
+        if trace_id and child_trace and child_trace != trace_id:
+            raise ValueError(
+                f"{path}/{name}: child trace_id {child_trace!r} does not "
+                f"match parent {trace_id!r}"
+            )
         total += _validate_span(child, path=f"{path}/{name}")
     return total
+
+
+def orphan_roots(doc: dict, allowed: Iterable[str]) -> list[str]:
+    """Root span names not in ``allowed`` — the orphan-span CI check.
+
+    After parent handoff landed, a request-serving trace must contain
+    only expected root names (e.g. ``serve/request``): any other root is
+    a span that escaped its request tree.  Returns the offending names
+    (empty list == clean).
+    """
+    allowed = set(allowed)
+    spans = doc.get("spans", []) if isinstance(doc, dict) else []
+    return [
+        span.get("name", "<unnamed>")
+        for span in spans
+        if isinstance(span, dict) and span.get("name") not in allowed
+    ]
 
 
 # ---------------------------------------------------------------------------

@@ -18,6 +18,7 @@ different type raises.  Export with
 
 from __future__ import annotations
 
+import math
 import re
 import threading
 from typing import Iterable
@@ -29,6 +30,7 @@ __all__ = [
     "MetricsRegistry",
     "get_registry",
     "DEFAULT_BUCKETS",
+    "log_buckets",
 ]
 
 _NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
@@ -38,6 +40,30 @@ _NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
 DEFAULT_BUCKETS = (
     0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 60.0, 300.0
 )
+
+
+def log_buckets(lo: float, hi: float, per_decade: int = 4) -> tuple[float, ...]:
+    """Logarithmically spaced histogram bounds covering ``[lo, hi]``.
+
+    ``per_decade`` bounds per power of ten, so relative quantile-
+    estimation error is uniform across the whole latency range — the
+    right shape for serving latencies that span five decades (cache hits
+    to straggler partition loads).
+    """
+    if lo <= 0 or hi <= lo:
+        raise ValueError("need 0 < lo < hi for log-spaced buckets")
+    if per_decade < 1:
+        raise ValueError("per_decade must be at least 1")
+    n = int(math.ceil(per_decade * math.log10(hi / lo)))
+    bounds = [lo * (10.0 ** (i / per_decade)) for i in range(n + 1)]
+    bounds[-1] = min(bounds[-1], hi) if bounds[-1] > hi else bounds[-1]
+    # round to a stable decimal form so exposition text stays tidy
+    rounded = []
+    for b in bounds:
+        r = float(f"{b:.6g}")
+        if not rounded or r > rounded[-1]:
+            rounded.append(r)
+    return tuple(rounded)
 
 
 class _Instrument:
@@ -161,6 +187,34 @@ class Histogram(_Instrument):
             out.append((bound, running))
         out.append((float("inf"), running + self._bucket_counts[-1]))
         return out
+
+    def quantile(self, q: float) -> float:
+        """Estimate the ``q``-quantile from the bucket counts.
+
+        Nearest-rank bucket selection with linear interpolation inside
+        the bucket — the standard Prometheus ``histogram_quantile``
+        estimate.  Accuracy is bounded by bucket width, which is why the
+        serving latency histogram uses :func:`log_buckets`.  Samples in
+        the ``+Inf`` bucket clamp to the largest finite bound.  Returns
+        0.0 with no observations.
+        """
+        if not 0.0 < q <= 1.0:
+            raise ValueError("quantile must be in (0, 1]")
+        with self._lock:
+            counts = list(self._bucket_counts)
+            total = self._count
+        if total == 0:
+            return 0.0
+        rank = max(1, math.ceil(q * total))
+        cumulative = 0
+        lower = 0.0
+        for bound, n in zip(self.bounds, counts):
+            if cumulative + n >= rank:
+                fraction = (rank - cumulative) / n
+                return lower + (bound - lower) * fraction
+            cumulative += n
+            lower = bound
+        return self.bounds[-1]
 
     def reset(self) -> None:
         with self._lock:

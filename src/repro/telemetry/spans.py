@@ -27,6 +27,13 @@ Design constraints, in priority order:
   (``perf_counter``); instrumentation that knows the simulated cluster
   cost records it as the ``simulated_s`` attribute so traces can drive the
   paper's Fig. 11/14 breakdowns.
+* **Request-scoped context.**  Every span carries a ``trace_id`` /
+  ``span_id`` / ``parent_id`` triple, and a span tree can cross thread and
+  queue boundaries through explicit parent handoff: ``span(parent=...)``,
+  the manual :meth:`Tracer.start_span` / :meth:`Tracer.end_span` pair, and
+  :meth:`Tracer.attach` / :meth:`Tracer.detach` tokens that make a foreign
+  span the current parent of this thread (see
+  :mod:`repro.telemetry.context` and docs/OBSERVABILITY.md).
 """
 
 from __future__ import annotations
@@ -34,6 +41,8 @@ from __future__ import annotations
 import functools
 import threading
 import time
+import uuid
+from pathlib import Path
 from typing import Callable, Iterator
 
 __all__ = [
@@ -45,20 +54,41 @@ __all__ = [
     "enable_tracing",
     "disable_tracing",
     "traced",
+    "new_trace_id",
 ]
 
 
+def new_trace_id() -> str:
+    """A fresh 128-bit-derived hex trace/span identifier (16 chars)."""
+    return uuid.uuid4().hex[:16]
+
+
 class Span:
-    """One timed operation: name, attributes, and child spans."""
+    """One timed operation: name, attributes, child spans, and identity.
 
-    __slots__ = ("name", "attributes", "start_s", "end_s", "children")
+    ``trace_id`` names the request-scoped tree the span belongs to (every
+    descendant shares its root's trace id); ``span_id`` is unique per
+    span; ``parent_id`` is ``None`` exactly for root spans.
+    """
 
-    def __init__(self, name: str, attributes: dict | None = None):
+    __slots__ = ("name", "attributes", "start_s", "end_s", "children",
+                 "trace_id", "span_id", "parent_id")
+
+    def __init__(
+        self,
+        name: str,
+        attributes: dict | None = None,
+        trace_id: str | None = None,
+        parent_id: str | None = None,
+    ):
         self.name = name
         self.attributes: dict = dict(attributes) if attributes else {}
         self.start_s = time.perf_counter()
         self.end_s: float | None = None
         self.children: list["Span"] = []
+        self.span_id = new_trace_id()
+        self.trace_id = trace_id or new_trace_id()
+        self.parent_id = parent_id
 
     # -- mutation ------------------------------------------------------------
 
@@ -73,6 +103,20 @@ class Span:
     def finish(self) -> None:
         if self.end_s is None:
             self.end_s = time.perf_counter()
+
+    def link_child(self, child: "Span") -> "Span":
+        """Attach ``child`` (and its subtree) under this span.
+
+        Rewrites the child subtree's ``trace_id`` so the whole tree keeps
+        the root's request identity — the primitive behind cross-thread
+        and cross-process span stitching.
+        """
+        child.parent_id = self.span_id
+        if child.trace_id != self.trace_id:
+            for span in child.iter_spans():
+                span.trace_id = self.trace_id
+        self.children.append(child)
+        return child
 
     # -- inspection ----------------------------------------------------------
 
@@ -91,12 +135,17 @@ class Span:
 
     def to_dict(self) -> dict:
         """JSON-serializable form (see docs/OBSERVABILITY.md for schema)."""
-        return {
+        doc = {
             "name": self.name,
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
             "duration_s": round(self.duration_s, 9),
             "attributes": {k: _jsonable(v) for k, v in self.attributes.items()},
             "children": [child.to_dict() for child in self.children],
         }
+        if self.parent_id is not None:
+            doc["parent_id"] = self.parent_id
+        return doc
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Span({self.name!r}, {self.duration_s * 1e3:.3f} ms, " \
@@ -128,9 +177,18 @@ class NullSpan:
     def incr(self, key: str, amount: float = 1) -> None:
         return None
 
+    def finish(self) -> None:
+        return None
+
     @property
     def duration_s(self) -> float:
         return 0.0
+
+    #: Identity fields mirror :class:`Span` so handoff code can read them
+    #: uniformly without isinstance checks.
+    trace_id = None
+    span_id = None
+    parent_id = None
 
 
 #: Shared no-op span: every ``span()`` call on a disabled tracer returns
@@ -138,20 +196,44 @@ class NullSpan:
 NULL_SPAN = NullSpan()
 
 
+class _AttachToken:
+    """Opaque receipt from :meth:`Tracer.attach`, redeemed by ``detach``."""
+
+    __slots__ = ("span",)
+
+    def __init__(self, span):
+        self.span = span
+
+
+#: Shared no-op token: returned by ``attach`` when there is nothing to do
+#: (tracing disabled or a no-op span), so ``detach`` stays branch-cheap.
+NULL_TOKEN = _AttachToken(NULL_SPAN)
+
+
 class _SpanContext:
-    """Context manager that pushes/pops one live span."""
+    """Context manager that pushes/pops one live span.
 
-    __slots__ = ("_tracer", "_span")
+    ``linked=True`` means the span was already attached to an explicit
+    parent (``span(parent=...)``) and must not be re-linked to whatever
+    happens to top this thread's stack.
+    """
 
-    def __init__(self, tracer: "Tracer", span: Span):
+    __slots__ = ("_tracer", "_span", "_linked", "_profile")
+
+    def __init__(self, tracer: "Tracer", span: Span, linked: bool = False):
         self._tracer = tracer
         self._span = span
+        self._linked = linked
+        self._profile = None
 
     def __enter__(self) -> Span:
-        self._tracer._push(self._span)
+        self._tracer._push(self._span, linked=self._linked)
+        self._profile = self._tracer._maybe_start_profile(self._span.name)
         return self._span
 
     def __exit__(self, exc_type, exc, tb) -> None:
+        if self._profile is not None:
+            self._tracer._finish_profile(self._profile, self._span)
         if exc_type is not None:
             self._span.set("error", f"{exc_type.__name__}: {exc}")
         self._span.finish()
@@ -169,15 +251,98 @@ class Tracer:
         self.enabled = enabled
         self._local = threading.local()
         self._lock = threading.Lock()
-        self._roots: list[Span] = []
+        self._roots = []  # list, or deque(maxlen=...) after set_root_limit
+        self._profile_enabled = False
+        self._profile_pattern: str | None = None
+        self._profile_top = 5
 
     # -- span lifecycle ------------------------------------------------------
 
-    def span(self, name: str, **attributes):
-        """Open a span as a context manager; no-op when disabled."""
+    def span(self, name: str, parent: Span | NullSpan | None = None,
+             **attributes):
+        """Open a span as a context manager; no-op when disabled.
+
+        ``parent`` hands the span an explicit parent (normally one
+        started on another thread via :meth:`start_span`), overriding the
+        thread-local stack — the primitive that lets a trace survive
+        queue and executor boundaries.
+        """
         if not self.enabled:
             return NULL_SPAN
-        return _SpanContext(self, Span(name, attributes))
+        span = Span(name, attributes)
+        linked = False
+        if parent is not None and isinstance(parent, Span):
+            parent.link_child(span)
+            linked = True
+        return _SpanContext(self, span, linked=linked)
+
+    def start_span(self, name: str, parent: Span | NullSpan | None = None,
+                   **attributes):
+        """Begin a manually-managed span (close with :meth:`end_span`).
+
+        Unlike :meth:`span`, the returned span is *not* pushed on any
+        thread's stack: it is a handle meant to be carried across queue /
+        thread boundaries (a serving request's root, a queue-wait
+        segment).  With ``parent`` given, the span joins that parent's
+        tree; otherwise it starts a new trace.
+        Returns :data:`NULL_SPAN` when disabled.
+        """
+        if not self.enabled:
+            return NULL_SPAN
+        span = Span(name, attributes)
+        if parent is not None and isinstance(parent, Span):
+            parent.link_child(span)
+        return span
+
+    def end_span(self, span) -> None:
+        """Finish a :meth:`start_span` span; roots join the collection.
+
+        Idempotent: ending an already-ended (or no-op) span does nothing,
+        so error paths can end unconditionally.
+        """
+        if not isinstance(span, Span) or span.end_s is not None:
+            return
+        span.finish()
+        if span.parent_id is None:
+            with self._lock:
+                self._roots.append(span)
+
+    def attach(self, span) -> _AttachToken:
+        """Make ``span`` this thread's current parent; returns a token.
+
+        Spans subsequently opened on this thread nest under ``span`` even
+        though it was started elsewhere.  Balance with :meth:`detach`
+        (tokens enforce ordering).  No-op (shared token) when disabled or
+        when handed a no-op span, so call sites need no guards.
+        """
+        if not self.enabled or not isinstance(span, Span):
+            return NULL_TOKEN
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        stack.append(span)
+        return _AttachToken(span)
+
+    def detach(self, token: _AttachToken) -> None:
+        """Undo an :meth:`attach`; must nest properly with opened spans."""
+        if token is NULL_TOKEN:
+            return
+        stack = getattr(self._local, "stack", None)
+        if not stack or stack[-1] is not token.span:
+            raise RuntimeError(
+                f"detach of {token.span.name!r} out of order"
+            )
+        stack.pop()
+
+    def clear_thread_context(self) -> None:
+        """Forget this thread's inherited span stack.
+
+        Fork children inherit the dispatching thread's stack; clearing it
+        lets spans opened by child tasks register as fresh roots that
+        ship back through the pipe for re-parenting on the driver (see
+        ``ForkProcessExecutor``).
+        """
+        self._local.stack = []
 
     def current(self):
         """The innermost live span of this thread (or the no-op span).
@@ -194,12 +359,12 @@ class Tracer:
             return NULL_SPAN
         return stack[-1]
 
-    def _push(self, span: Span) -> None:
+    def _push(self, span: Span, linked: bool = False) -> None:
         stack = getattr(self._local, "stack", None)
         if stack is None:
             stack = self._local.stack = []
-        if stack:
-            stack[-1].children.append(span)
+        if not linked and stack:
+            stack[-1].link_child(span)
         stack.append(span)
 
     def _pop(self, span: Span) -> None:
@@ -209,9 +374,59 @@ class Tracer:
                 f"span {span.name!r} closed out of order"
             )
         stack.pop()
-        if not stack:
+        if span.parent_id is None:
             with self._lock:
                 self._roots.append(span)
+
+    # -- per-span profiling --------------------------------------------------
+
+    def enable_span_profiling(self, pattern: str | None = None,
+                              top: int = 5) -> None:
+        """Attach a cProfile capture to matching spans (``--profile-spans``).
+
+        ``pattern`` is a substring filter on span names (``None`` matches
+        everything).  Each profiled span gains a ``profile_top`` attribute
+        listing its ``top`` hottest functions by cumulative time.  Only
+        one profile runs per thread at a time (cProfile cannot nest), so
+        the outermost matching span wins.
+        """
+        self._profile_enabled = True
+        self._profile_pattern = pattern
+        self._profile_top = max(1, int(top))
+
+    def disable_span_profiling(self) -> None:
+        self._profile_enabled = False
+
+    def _maybe_start_profile(self, name: str):
+        if not self._profile_enabled:
+            return None
+        pattern = self._profile_pattern
+        if pattern is not None and pattern not in name:
+            return None
+        if getattr(self._local, "profiling", False):
+            return None  # cProfile cannot nest within a thread
+        import cProfile
+
+        profile = cProfile.Profile()
+        self._local.profiling = True
+        profile.enable()
+        return profile
+
+    def _finish_profile(self, profile, span: Span) -> None:
+        profile.disable()
+        self._local.profiling = False
+        import pstats
+
+        stats = pstats.Stats(profile)
+        rows = sorted(
+            stats.stats.items(), key=lambda kv: kv[1][3], reverse=True
+        )[: self._profile_top]
+        span.set("profile_top", [
+            f"{Path(filename).name}:{lineno}:{func} "
+            f"calls={callcount} cum={cumtime:.6f}s"
+            for (filename, lineno, func),
+                (callcount, _nc, _tt, cumtime, _callers) in rows
+        ])
 
     # -- collection ----------------------------------------------------------
 
@@ -226,20 +441,53 @@ class Tracer:
         for root in self.roots:
             yield from root.iter_spans()
 
-    def adopt(self, spans: list[Span]) -> None:
-        """Append finished root spans collected elsewhere.
+    def find_trace(self, trace_id: str) -> Span | None:
+        """The finished root span with ``trace_id``, newest first."""
+        with self._lock:
+            roots = list(self._roots)
+        for root in reversed(roots):
+            if root.trace_id == trace_id:
+                return root
+        return None
+
+    def set_root_limit(self, max_roots: int | None) -> None:
+        """Bound the finished-roots collection (ring-buffer semantics).
+
+        Long-lived processes (``repro serve``) keep only the newest
+        ``max_roots`` request trees instead of growing without bound;
+        ``None`` restores unbounded collection (the CLI batch default).
+        """
+        from collections import deque
+
+        with self._lock:
+            if max_roots is None:
+                self._roots = list(self._roots)
+            else:
+                if max_roots <= 0:
+                    raise ValueError("max_roots must be positive")
+                self._roots = deque(self._roots, maxlen=max_roots)
+
+    def adopt(self, spans: list[Span], parent: Span | None = None) -> None:
+        """Fold finished spans collected elsewhere into this tracer.
 
         Used by the fork-based process executor: children ship the spans
         their tasks finished back to the driver, which adopts them so the
-        trace stays complete regardless of execution backend.
+        trace stays complete regardless of execution backend.  With
+        ``parent`` given (the driver's span that dispatched the work),
+        the shipped spans are stitched under it instead of becoming
+        orphan roots.
         """
         if not spans:
+            return
+        if parent is not None and isinstance(parent, Span):
+            for span in spans:
+                parent.link_child(span)
             return
         with self._lock:
             self._roots.extend(spans)
 
     def reset(self) -> None:
-        """Drop collected spans (keeps the enabled flag)."""
+        """Drop collected spans (keeps the enabled flag and root limit)."""
         with self._lock:
             self._roots.clear()
 

@@ -1,9 +1,16 @@
 """Schema validation CLI for emitted telemetry files.
 
-Used by the CI telemetry step to fail the build when a trace or metrics
-file stops matching its documented schema::
+Used by the CI telemetry/observability steps to fail the build when a
+trace, metrics, or journal file stops matching its documented schema::
 
-    python -m repro.telemetry.validate --trace trace.json --metrics metrics.prom
+    python -m repro.telemetry.validate --trace trace.json \
+        --metrics metrics.prom --journal journal.jsonl \
+        --expect-roots serve/request
+
+``--expect-roots`` (repeatable, comma-separable) additionally fails any
+``--trace`` file containing a root span whose name is not in the allowed
+set — the orphan-span check: after parent handoff, a serving trace must
+contain only ``serve/request`` roots.
 
 Exit code 0 when every given file validates, 1 otherwise.
 """
@@ -15,7 +22,8 @@ import json
 import sys
 from pathlib import Path
 
-from .exporters import validate_metrics_text, validate_trace
+from .exporters import orphan_roots, validate_metrics_text, validate_trace
+from .journal import validate_journal_lines
 
 __all__ = ["main"]
 
@@ -23,19 +31,40 @@ __all__ = ["main"]
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.telemetry.validate",
-        description="validate emitted trace JSON / Prometheus metrics files",
+        description="validate emitted trace JSON / metrics / journal files",
     )
     parser.add_argument("--trace", action="append", default=[],
                         help="trace JSON file (repeatable)")
     parser.add_argument("--metrics", action="append", default=[],
                         help="Prometheus text file (repeatable)")
+    parser.add_argument("--journal", action="append", default=[],
+                        help="JSON-lines event journal file (repeatable)")
+    parser.add_argument("--expect-roots", action="append", default=[],
+                        metavar="NAMES",
+                        help="allowed root span names for --trace files "
+                             "(repeatable or comma-separated); any other "
+                             "root span fails the check")
     args = parser.parse_args(argv)
-    if not args.trace and not args.metrics:
-        parser.error("give at least one --trace or --metrics file")
+    if not args.trace and not args.metrics and not args.journal:
+        parser.error("give at least one --trace, --metrics or --journal file")
+    expected_roots = [
+        name.strip()
+        for chunk in args.expect_roots
+        for name in chunk.split(",")
+        if name.strip()
+    ]
     failures = 0
     for path in args.trace:
         try:
-            n_spans = validate_trace(json.loads(Path(path).read_text()))
+            doc = json.loads(Path(path).read_text())
+            n_spans = validate_trace(doc)
+            if expected_roots:
+                orphans = orphan_roots(doc, expected_roots)
+                if orphans:
+                    raise ValueError(
+                        f"{len(orphans)} orphan root span(s): "
+                        f"{sorted(set(orphans))}"
+                    )
             print(f"ok: {path}: {n_spans} spans")
         except (OSError, ValueError) as exc:
             print(f"FAIL: {path}: {exc}")
@@ -44,6 +73,13 @@ def main(argv: list[str] | None = None) -> int:
         try:
             n_samples = validate_metrics_text(Path(path).read_text())
             print(f"ok: {path}: {n_samples} samples")
+        except (OSError, ValueError) as exc:
+            print(f"FAIL: {path}: {exc}")
+            failures += 1
+    for path in args.journal:
+        try:
+            n_records = validate_journal_lines(Path(path).read_text())
+            print(f"ok: {path}: {n_records} journal records")
         except (OSError, ValueError) as exc:
             print(f"FAIL: {path}: {exc}")
             failures += 1

@@ -150,6 +150,64 @@ class TestErrorShapes:
                 assert handle.readline() == b""
 
 
+class TestObservabilityOps:
+    def test_journal_op_returns_records_and_stats(self, running_server,
+                                                  rw_small):
+        host, port = running_server.address
+        with ServingClient(host, port) as client:
+            client.knn(rw_small.values[1], k=3)
+            payload = client.journal(n=10)
+        assert payload["stats"]["total"] >= 1
+        kinds = {r["kind"] for r in payload["records"]}
+        assert "batch" in kinds
+        # Kind filter narrows to the requested stream only.
+        with ServingClient(host, port) as client:
+            batches = client.journal(n=10, kind="batch")
+        assert all(r["kind"] == "batch" for r in batches["records"])
+
+    def test_trace_op_reports_disabled_tracer(self, running_server,
+                                              rw_small):
+        # running_server starts with the module tracer disabled: the op
+        # answers (no error) but flags it, and a traced query carries a
+        # null trace in its envelope.
+        host, port = running_server.address
+        with ServingClient(host, port) as client:
+            listing = client.traces(n=5)
+            assert listing["enabled"] is False
+            client.knn(rw_small.values[0], k=3, trace=True)
+            assert client.last_trace is None
+
+    def test_trace_envelope_and_lookup(self, tardis_small, rw_small):
+        from repro.telemetry.spans import disable_tracing, enable_tracing
+
+        enable_tracing(reset=True)
+        try:
+            with serve(tardis_small, port=0, max_batch=4,
+                       max_delay_ms=1.0) as server:
+                host, port = server.address
+                with ServingClient(host, port) as client:
+                    client.knn(rw_small.values[5], k=3, trace=True)
+                    trace = client.last_trace
+                    assert trace is not None
+                    assert trace["name"] == "serve/request"
+                    assert trace["duration_s"] > 0
+                    child_names = {c["name"] for c in trace["children"]}
+                    assert {"serve/queue-wait", "serve/batch-wait",
+                            "serve/execute"} <= child_names
+                    # The same finished trace is retrievable by id.
+                    listing = client.traces(trace_id=trace["trace_id"])
+                    assert listing["enabled"] is True
+                    assert listing["traces"][0]["trace_id"] == \
+                        trace["trace_id"]
+                    # An untraced query does not disturb last_trace…
+                    # it resets it, so stale timelines can't be
+                    # misattributed to the wrong request.
+                    client.knn(rw_small.values[6], k=3)
+                    assert client.last_trace is None
+        finally:
+            disable_tracing()
+
+
 class _SlowExecutor:
     """Duck-typed executor that stalls, letting the queue fill up."""
 

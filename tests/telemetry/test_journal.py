@@ -1,0 +1,150 @@
+"""Event journal: ring-buffer semantics, slow-query log, validators."""
+
+import json
+
+import pytest
+
+from repro.telemetry.journal import (
+    EventJournal,
+    SlowQueryLog,
+    validate_journal_lines,
+    validate_journal_record,
+    write_journal,
+)
+
+
+class TestEventJournal:
+    def test_records_are_stamped_and_ordered(self):
+        journal = EventJournal(capacity=16)
+        journal.record("batch", n_queries=3)
+        journal.record("shed", op="knn")
+        records = journal.snapshot()
+        assert [r["kind"] for r in records] == ["batch", "shed"]
+        assert records[0]["seq"] == 1 and records[1]["seq"] == 2
+        assert records[0]["ts"] > 0
+        assert records[0]["n_queries"] == 3
+
+    def test_ring_drops_oldest(self):
+        journal = EventJournal(capacity=4)
+        for i in range(10):
+            journal.record("batch", i=i)
+        stats = journal.stats()
+        assert stats["capacity"] == 4
+        assert stats["retained"] == 4
+        assert stats["total"] == 10
+        assert stats["dropped"] == 6
+        assert [r["i"] for r in journal.snapshot()] == [6, 7, 8, 9]
+        # seq keeps climbing across drops
+        assert journal.snapshot()[-1]["seq"] == 10
+
+    def test_tail_and_kind_filter(self):
+        journal = EventJournal(capacity=32)
+        for i in range(6):
+            journal.record("batch" if i % 2 == 0 else "slow-query", i=i)
+        assert [r["i"] for r in journal.tail(2)] == [4, 5]
+        slow = journal.tail(10, kind="slow-query")
+        assert [r["i"] for r in slow] == [1, 3, 5]
+        assert journal.stats()["by_kind"]["slow-query"] == 3
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            EventJournal(capacity=0)
+
+    def test_clear(self):
+        journal = EventJournal(capacity=8)
+        journal.record("batch")
+        journal.clear()
+        assert journal.snapshot() == []
+        assert journal.stats()["retained"] == 0
+
+
+class TestSlowQueryLog:
+    def test_threshold_classification(self):
+        journal = EventJournal(capacity=32)
+        log = SlowQueryLog(threshold_s=0.1, sample_rate=0.0, journal=journal)
+        log.observe(0.25, trace_id="a" * 16, op="knn", partitions=[1, 2])
+        log.observe(0.01, trace_id="b" * 16, op="knn", partitions=[1])
+        records = journal.snapshot()
+        assert len(records) == 1
+        assert records[0]["kind"] == "slow-query"
+        assert records[0]["latency_s"] == 0.25
+        assert records[0]["trace_id"] == "a" * 16
+        assert records[0]["partitions"] == [1, 2]
+
+    def test_sampling_is_seeded_and_bounded(self):
+        journal = EventJournal(capacity=4096)
+        log = SlowQueryLog(
+            threshold_s=10.0, sample_rate=0.5, journal=journal, seed=7
+        )
+        for _ in range(1000):
+            log.observe(0.001)
+        sampled = len(journal.snapshot())
+        assert 350 < sampled < 650  # seeded Bernoulli(0.5)
+        assert all(
+            r["kind"] == "query-sample" for r in journal.snapshot()
+        )
+        # Same seed → same decisions.
+        journal2 = EventJournal(capacity=4096)
+        log2 = SlowQueryLog(
+            threshold_s=10.0, sample_rate=0.5, journal=journal2, seed=7
+        )
+        for _ in range(1000):
+            log2.observe(0.001)
+        assert len(journal2.snapshot()) == sampled
+
+    def test_threshold_wins_over_sampling(self):
+        journal = EventJournal(capacity=32)
+        log = SlowQueryLog(
+            threshold_s=0.1, sample_rate=1.0, journal=journal
+        )
+        log.observe(0.5)
+        assert journal.snapshot()[0]["kind"] == "slow-query"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SlowQueryLog(threshold_s=-1.0)
+        with pytest.raises(ValueError):
+            SlowQueryLog(sample_rate=1.5)
+
+
+class TestValidators:
+    def test_round_trip_through_file(self, tmp_path):
+        journal = EventJournal(capacity=32)
+        log = SlowQueryLog(threshold_s=0.0, journal=journal)
+        log.observe(0.02, trace_id="c" * 16, op="exact-match",
+                    partitions=[0])
+        journal.record("batch", n_queries=2, n_groups=1)
+        path = write_journal(journal, tmp_path / "journal.jsonl")
+        text = path.read_text()
+        assert validate_journal_lines(text) == 2
+        for line in text.splitlines():
+            validate_journal_record(json.loads(line))
+
+    def test_rejects_malformed_records(self):
+        with pytest.raises(ValueError):
+            validate_journal_record({"seq": 1, "ts": 1.0})  # no kind
+        with pytest.raises(ValueError):
+            validate_journal_record(
+                {"seq": 0, "ts": 1.0, "kind": "batch"}  # seq < 1
+            )
+        with pytest.raises(ValueError):
+            validate_journal_record(
+                {"seq": 1, "ts": 1.0, "kind": "slow-query"}  # no latency
+            )
+        with pytest.raises(ValueError):
+            validate_journal_record({
+                "seq": 1, "ts": 1.0, "kind": "slow-query",
+                "latency_s": 0.1, "partitions": "not-a-list",
+            })
+
+    def test_rejects_non_monotone_seq(self):
+        lines = "\n".join([
+            json.dumps({"seq": 2, "ts": 1.0, "kind": "batch"}),
+            json.dumps({"seq": 1, "ts": 1.0, "kind": "batch"}),
+        ])
+        with pytest.raises(ValueError):
+            validate_journal_lines(lines)
+
+    def test_rejects_invalid_json_line(self):
+        with pytest.raises(ValueError):
+            validate_journal_lines("{not json}")
