@@ -189,9 +189,15 @@ def _load_query_index(args):
 
 
 def _cmd_exact(args) -> int:
+    from .faults.errors import PartialResultError
+
     index = _load_query_index(args)
     query = _load_query(args)
-    result = exact_match(index, query, use_bloom=not args.no_bloom)
+    try:
+        result = exact_match(index, query, use_bloom=not args.no_bloom)
+    except PartialResultError as exc:
+        print(f"partial result: {exc}")
+        return 2
     if result.found:
         print(f"found record ids: {result.record_ids}")
     else:
@@ -208,6 +214,10 @@ def _cmd_knn(args) -> int:
     print(f"{args.strategy} {args.k}-NN "
           f"({result.partitions_loaded} partitions, "
           f"{result.candidates_examined:,} candidates):")
+    if getattr(result, "degraded", False):
+        missing = ", ".join(str(p) for p in result.missing_partitions)
+        print(f"  (degraded: partitions {missing} unavailable; answer "
+              "truncated to provably correct prefix)")
     for neighbor in result.neighbors:
         print(f"  record {neighbor.record_id:>8}  distance {neighbor.distance:.4f}")
     if args.explain:
@@ -252,6 +262,7 @@ def _cmd_serve(args) -> int:
             result_cache_size=args.result_cache,
             slow_query_threshold_ms=args.slow_query_ms,
             journal_sample=args.journal_sample,
+            default_deadline_ms=args.deadline_ms,
         )
         server = TardisServer(service, args.host, args.port)
     except (ValueError, OSError) as exc:
@@ -294,7 +305,8 @@ def _cmd_serve(args) -> int:
 
 
 def _cmd_query_remote(args) -> int:
-    from .serving import OverloadedError, ServingClient
+    from .faults.errors import PartialResultError
+    from .serving import DeadlineExceededError, OverloadedError, ServingClient
 
     try:
         client = ServingClient(args.host, args.port, timeout=args.timeout)
@@ -315,7 +327,8 @@ def _cmd_query_remote(args) -> int:
         try:
             if args.op == "exact":
                 result = client.exact_match(
-                    query, use_bloom=not args.no_bloom, trace=args.trace
+                    query, use_bloom=not args.no_bloom, trace=args.trace,
+                    deadline_ms=args.deadline_ms,
                 )
                 if result["found"]:
                     print(f"found record ids: {result['record_ids']}")
@@ -330,7 +343,7 @@ def _cmd_query_remote(args) -> int:
             else:
                 result = client.knn(
                     query, k=args.k, strategy=args.strategy, pth=args.pth,
-                    trace=args.trace,
+                    trace=args.trace, deadline_ms=args.deadline_ms,
                 )
                 print(f"{args.strategy} {args.k}-NN via "
                       f"{args.host}:{args.port} "
@@ -341,12 +354,21 @@ def _cmd_query_remote(args) -> int:
                 ):
                     print(f"  record {record_id:>8}  "
                           f"distance {distance:.4f}")
+                if result.get("degraded"):
+                    missing = result.get("missing_partitions", [])
+                    print(f"  (degraded: partitions {missing} unavailable)")
                 code = 0
             if args.trace:
                 _print_remote_trace(client.last_trace)
             return code
         except OverloadedError as exc:
             print(f"server overloaded: {exc}", file=sys.stderr)
+            return 2
+        except DeadlineExceededError as exc:
+            print(f"deadline exceeded: {exc}", file=sys.stderr)
+            return 2
+        except PartialResultError as exc:
+            print(f"partial result: {exc}", file=sys.stderr)
             return 2
 
 
@@ -475,6 +497,9 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--jobs", type=int, default=None, metavar="N",
                        help="worker count for parallel executors "
                             "(default: all cores, or REPRO_JOBS)")
+        p.add_argument("--faults", metavar="PLAN", default=None,
+                       help="inject faults from a repro.faults/v1 plan "
+                            "(JSON file) for this command")
     sub = parser.add_subparsers(dest="command", required=True)
 
     def add_parser(name, **kwargs):
@@ -572,6 +597,9 @@ def build_parser() -> argparse.ArgumentParser:
                           "(0..1, seeded)")
     srv.add_argument("--journal", metavar="FILE",
                      help="write the event journal as JSON lines on shutdown")
+    srv.add_argument("--deadline-ms", type=float, default=None, metavar="MS",
+                     help="default per-request latency budget; queued "
+                          "requests past it are shed, never executed")
     _add_profile_flag(srv)
     srv.set_defaults(fn=_cmd_serve)
 
@@ -586,6 +614,10 @@ def build_parser() -> argparse.ArgumentParser:
     remote.add_argument("--k", type=int, default=10)
     remote.add_argument("--pth", type=int, default=None)
     remote.add_argument("--no-bloom", action="store_true")
+    remote.add_argument("--deadline-ms", type=float, default=None,
+                        metavar="MS",
+                        help="per-request latency budget (queue wait "
+                             "included)")
     remote.add_argument("--query", help="query series .npy")
     remote.add_argument("--data", help="dataset .npz to take --row from")
     remote.add_argument("--row", type=int, help="row of --data to query")
@@ -627,6 +659,13 @@ def main(argv: list[str] | None = None) -> int:
             set_default_executor(args.executor, args.jobs)
         except ValueError as exc:
             raise SystemExit(str(exc))
+    if getattr(args, "faults", None):
+        from .faults import install_plan
+
+        try:
+            install_plan(args.faults)
+        except (OSError, ValueError) as exc:
+            raise SystemExit(f"cannot load fault plan {args.faults}: {exc}")
     # query-remote's --trace is a boolean (print the remote timeline);
     # only the batch commands' --trace FILE names a local output file.
     trace_path = getattr(args, "trace", None)

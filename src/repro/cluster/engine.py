@@ -23,6 +23,7 @@ import zlib
 from dataclasses import dataclass
 from typing import Callable, Iterable, Sequence
 
+from ..faults.injector import get_injector
 from ..telemetry.metrics import get_registry
 from ..telemetry.spans import get_tracer
 from .costmodel import CostModel, SimulationLedger, estimate_bytes
@@ -166,12 +167,18 @@ class SimCluster:
             partitions = []
             total_io = 0.0
             for i, block in enumerate(blocks):
-                io_time = self.cost_model.disk_read_time(block.nbytes)
+                # read_records consults the fault injector: failed read
+                # attempts re-charge a full block read, stragglers add
+                # wall-clock delay on the owning worker.
+                records, extra_reads, delay_s = block.read_records()
+                io_time = self.cost_model.disk_read_time(block.nbytes) * (
+                    1 + extra_reads
+                )
                 worker_io[i % self.n_workers] += (
-                    io_time + self.cost_model.task_overhead_s
+                    io_time + delay_s + self.cost_model.task_overhead_s
                 )
                 total_io += io_time
-                partitions.append(list(block.records))
+                partitions.append(records)
             wall = max(worker_io, default=0.0)
             self.ledger.record_stage(
                 label, wall_s=wall, io_s=total_io, tasks=len(blocks)
@@ -272,11 +279,15 @@ class SimCluster:
         """
         registry = get_registry()
         executor = self.executor
+        inj = get_injector()
         with self._stage_span(label) as span:
             plan = self._attempt_plan(len(partitions))
             max_attempts = self.cost_model.task_max_attempts
             cpu_scale = self.cost_model.cpu_scale
             clock = executor.task_clock
+            # Stage sequence number: drawn once, on the driver thread, so
+            # fault sites are identical regardless of executor backend.
+            stage_seq = inj.next_seq("stage", label) if inj is not None else 0
 
             def run_task(i: int, records: list):
                 # Spark-style retries: a failed attempt still costs its CPU,
@@ -286,17 +297,50 @@ class SimCluster:
                 doomed = attempts < 0
                 n_runs = max_attempts if doomed else attempts
                 out, cpu, io = None, 0.0, 0.0
-                for _ in range(n_runs):
+                delay = 0.0
+                if inj is None or doomed:
+                    for _ in range(n_runs):
+                        start = clock()
+                        out, io_time = task(i, records)
+                        cpu += (clock() - start) * cpu_scale
+                        io += io_time
+                    if doomed:
+                        raise TaskFailedError(
+                            f"stage {label!r} task {i} failed "
+                            f"{max_attempts} attempts"
+                        )
+                    return out, cpu, io, n_runs, delay
+                # Injected faults ride on top of the cost-model plan: a
+                # crashed attempt never executes the task (its output is
+                # the idempotent re-run's), costs a backoff pause, and is
+                # re-routed by the driver; a straggler executes but adds
+                # its delay to the owning worker's clock.
+                total_runs, attempt, remaining = 0, 0, n_runs
+                budget = inj.retry.max_attempts
+                while remaining:
+                    attempt += 1
+                    fault = inj.task_fault(label, stage_seq, i, attempt)
+                    if fault is not None and fault.kind == "task-crash":
+                        if attempt >= budget:
+                            raise TaskFailedError(
+                                f"stage {label!r} task {i} crashed "
+                                f"{attempt} attempts (injected)"
+                            )
+                        inj.count_retry()
+                        delay += inj.backoff_s(
+                            attempt, "stage", label, stage_seq, i
+                        )
+                        total_runs += 1
+                        continue
+                    if fault is not None:
+                        delay += fault.delay_ms / 1000.0
                     start = clock()
                     out, io_time = task(i, records)
                     cpu += (clock() - start) * cpu_scale
                     io += io_time
-                if doomed:
-                    raise TaskFailedError(
-                        f"stage {label!r} task {i} failed "
-                        f"{max_attempts} attempts"
-                    )
-                return out, cpu, io, n_runs
+                    total_runs += 1
+                    remaining -= 1
+                return out, cpu, io, total_runs, delay
 
             try:
                 results = executor.map_tasks(run_task, partitions)
@@ -311,14 +355,24 @@ class SimCluster:
             total_cpu = 0.0
             total_io = 0.0
             retries = 0
-            for i, (out, cpu, io, n_runs) in enumerate(results):
+            for i, (out, cpu, io, n_runs, delay) in enumerate(results):
                 outputs.append(out)
                 total_cpu += cpu
                 total_io += io
                 retries += n_runs - 1
-                worker_time[self._worker_of(i)] += (
-                    cpu + io + n_runs * self.cost_model.task_overhead_s
-                )
+                if inj is None:
+                    worker_time[self._worker_of(i)] += (
+                        cpu + io + n_runs * self.cost_model.task_overhead_s
+                    )
+                else:
+                    # Per-attempt re-routing: each retry lands on the next
+                    # worker in the ring rather than hammering the one
+                    # that just failed.
+                    share = (cpu + io + delay) / n_runs
+                    for run in range(n_runs):
+                        worker_time[self._worker_of(i + run)] += (
+                            share + self.cost_model.task_overhead_s
+                        )
             wall = max(worker_time, default=0.0)
             self.ledger.record_stage(
                 label, wall_s=wall, cpu_s=total_cpu, io_s=total_io,

@@ -12,6 +12,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..faults.errors import StorageReadError
+from ..faults.injector import get_injector
 from ..tsdb.series import TimeSeriesDataset
 from .costmodel import estimate_bytes
 
@@ -32,6 +34,36 @@ class Block:
 
     def __len__(self) -> int:
         return len(self.records)
+
+    def read_records(self) -> tuple[list, int, float]:
+        """Read the block's payload through the fault injector.
+
+        Returns ``(records, extra_reads, delay_s)``: each failed attempt
+        (injected IO error / corrupt checksum) adds one ``extra_reads``
+        — the engine re-charges a full block read for it — plus a backoff
+        pause; an injected straggler adds its delay.  Raises
+        :class:`StorageReadError` when the retry budget runs out.
+        """
+        injector = get_injector()
+        if injector is None:
+            return list(self.records), 0, 0.0
+        read_seq = injector.next_seq("storage", self.block_id)
+        delay_s = 0.0
+        attempt = 1
+        while True:
+            fault = injector.storage_fault(self.block_id, read_seq, attempt)
+            if fault is None:
+                return list(self.records), attempt - 1, delay_s
+            if fault.kind == "task-slow":
+                delay_s += fault.delay_ms / 1000.0
+                return list(self.records), attempt - 1, delay_s
+            if attempt >= injector.retry.max_attempts:
+                raise StorageReadError(self.block_id, attempt)
+            injector.count_retry()
+            delay_s += injector.backoff_s(
+                attempt, "storage", self.block_id, read_seq
+            )
+            attempt += 1
 
 
 @dataclass

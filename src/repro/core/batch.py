@@ -30,6 +30,7 @@ import numpy as np
 from ..cluster import SimulationLedger
 from ..cluster.costmodel import timed_stage
 from ..cluster.executors import resolve_executor
+from ..faults.errors import PartialResultError, PartitionUnavailableError
 from ..tsdb.distance import batch_euclidean
 from .builder import TardisIndex
 from .local_index import ScanStats
@@ -144,7 +145,17 @@ def batch_exact_match(
         if not pending:
             return results, 0.0, False
         load_ledger = SimulationLedger()
-        index.load_partition(pid, ledger=load_ledger)
+        try:
+            index.load_partition(pid, ledger=load_ledger)
+        except PartitionUnavailableError:
+            # Bloom-rejected queries in this group are already answered;
+            # the ones that needed the partition get the typed error as
+            # their result slot (exact match has no sound partial answer).
+            for i in pending:
+                results[i] = PartialResultError(
+                    [pid], detail="batch exact-match"
+                )
+            return results, load_ledger.clock_s, False
         scratch = SimulationLedger()
         with timed_stage(scratch, "lookup"):
             for i in pending:
@@ -200,7 +211,18 @@ def batch_knn_target_node(
 
     def knn_group(pid: int, indices: list[int]):
         load_ledger = SimulationLedger()
-        partition = index.load_partition(pid, ledger=load_ledger)
+        try:
+            partition = index.load_partition(pid, ledger=load_ledger)
+        except PartitionUnavailableError:
+            # Home partition lost after retries: every query in the group
+            # degrades to the empty (trivially correct) subset.
+            return {
+                i: KnnResult(
+                    neighbors=[], strategy="target-node", degraded=True,
+                    missing_partitions=[pid],
+                )
+                for i in indices
+            }, load_ledger.clock_s, False
         results: dict[int, KnnResult] = {}
         scratch = SimulationLedger()
         with timed_stage(scratch, "search"):
@@ -230,11 +252,12 @@ def batch_knn_target_node(
 
     outcomes = _run_groups(groups, knn_group, executor)
     partition_times: list[float] = []
-    for results, group_time, _loaded in outcomes:
+    for results, group_time, loaded in outcomes:
         for i, result in results.items():
             report.results[i] = result
-        report.partitions_loaded += 1
-        partition_times.append(group_time)
+        if loaded:
+            report.partitions_loaded += 1
+            partition_times.append(group_time)
     wall = _parallel_wall(partition_times, index.config.n_workers)
     report.ledger.record_stage(
         "batch/partition pass", wall_s=wall, io_s=sum(partition_times),

@@ -16,11 +16,14 @@ partitions, and the construction ledger consumed by the benchmarks.
 from __future__ import annotations
 
 import logging
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from ..cluster import BlockStorage, SimCluster, SimulationLedger
+from ..faults.errors import PartitionUnavailableError
+from ..faults.injector import get_injector
 from ..telemetry.metrics import get_registry
 from ..telemetry.spans import get_tracer
 from ..tsdb.paa import paa_transform
@@ -110,12 +113,49 @@ class TardisIndex:
                 span.set("cached", True)
                 span.set("simulated_s", 0.0)
             return partition
+        injector = get_injector()
+        delay_s = 0.0
+        if injector is not None:
+            # Retry loop with exponential backoff + deterministic jitter.
+            # Exhaustion surfaces as PartitionUnavailableError — kNN
+            # strategies catch it and degrade, exact-match converts it to
+            # a typed PartialResultError.
+            load_seq = injector.next_seq("partition", partition_id)
+            attempt = 1
+            while True:
+                fault = injector.partition_load_fault(
+                    partition_id, load_seq, attempt
+                )
+                if fault is None:
+                    break
+                if fault.kind == "task-slow":
+                    delay_s += fault.delay_ms / 1000.0
+                    break
+                if attempt >= injector.retry.max_attempts:
+                    registry.counter(
+                        "faults_partition_unavailable_total",
+                        "Partition loads that exhausted their retry budget",
+                    ).inc()
+                    raise PartitionUnavailableError(partition_id, attempt)
+                injector.count_retry()
+                pause = injector.backoff_s(
+                    attempt, "partition", partition_id, load_seq
+                )
+                time.sleep(pause)
+                delay_s += pause
+                if ledger is not None:
+                    ledger.record_stage(
+                        "query/load partition (retry)", wall_s=pause, tasks=1
+                    )
+                attempt += 1
         if ledger is not None:
             cost_model = (cluster or SimCluster(self.config.n_workers)).cost_model
             io = cost_model.disk_read_time(
                 max(partition.nbytes, self.block_nbytes())
             )
-            ledger.record_stage("query/load partition", wall_s=io, io_s=io, tasks=1)
+            ledger.record_stage(
+                "query/load partition", wall_s=io + delay_s, io_s=io, tasks=1
+            )
         else:
             io = 0.0
         registry.counter(
@@ -125,7 +165,7 @@ class TardisIndex:
         with get_tracer().span("query/load partition") as span:
             span.set("partition_id", partition_id)
             span.set("cached", False)
-            span.set("simulated_s", io)
+            span.set("simulated_s", io + delay_s)
         return partition
 
     def enable_cache(self, capacity_partitions: int):

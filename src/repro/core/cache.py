@@ -24,6 +24,7 @@ import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
 
+from ..faults.injector import get_injector
 from ..telemetry.metrics import get_registry
 
 __all__ = ["PartitionCache"]
@@ -67,11 +68,21 @@ class PartitionCache:
         resident when over capacity.
         """
         registry = get_registry()
+        injector = get_injector()
         with self._lock:
-            if partition_id in self._resident:
+            hit = partition_id in self._resident
+            if hit and injector is not None and injector.cached_copy_lost(
+                partition_id
+            ):
+                # The worker holding the hot copy "died" (a cached-scope
+                # partition-load-error rule fired): drop residency so this
+                # load takes the faultable disk path.
+                del self._resident[partition_id]
+                hit = False
+            evicted = False
+            if hit:
                 self._resident.move_to_end(partition_id)
                 self.hits += 1
-                hit = True
             else:
                 self.misses += 1
                 self._resident[partition_id] = True
@@ -79,7 +90,6 @@ class PartitionCache:
                 if evicted:
                     self._resident.popitem(last=False)
                     self.evictions += 1
-                hit = False
         if hit:
             registry.counter(
                 "partition_cache_hits_total",

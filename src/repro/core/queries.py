@@ -26,6 +26,7 @@ import numpy as np
 
 from ..cluster import SimulationLedger
 from ..cluster.costmodel import timed_stage
+from ..faults.errors import PartialResultError, PartitionUnavailableError
 from ..telemetry.metrics import get_registry
 from ..telemetry.spans import get_tracer
 from ..tsdb.distance import batch_euclidean
@@ -70,6 +71,11 @@ class KnnResult:
     nodes_visited: int = 0
     #: Subtrees skipped by the MINDIST lower bound.
     nodes_pruned: int = 0
+    #: True when partitions were unavailable after retries and the answer
+    #: is a (guaranteed) subset of the no-fault baseline.
+    degraded: bool = False
+    #: Partition ids that could not be loaded (empty unless degraded).
+    missing_partitions: list[int] = field(default_factory=list)
     ledger: SimulationLedger = field(default_factory=SimulationLedger)
 
     @property
@@ -154,6 +160,16 @@ def _annotate_knn_span(span, result: "KnnResult") -> None:
     span.set("nodes_visited", result.nodes_visited)
     span.set("nodes_pruned", result.nodes_pruned)
     span.set("simulated_s", result.ledger.clock_s)
+    if result.degraded:
+        span.set("degraded", True)
+        span.set("missing_partitions", list(result.missing_partitions))
+
+
+def _count_degraded() -> None:
+    get_registry().counter(
+        "query_degraded_total",
+        "kNN queries answered degraded (partitions unavailable)",
+    ).inc()
 
 
 # ---------------------------------------------------------------------------
@@ -200,7 +216,14 @@ def exact_match(
                 query_span.set("found", False)
                 _record_query_metrics(simulated_s=result.ledger.clock_s)
                 return result
-        partition = index.load_partition(partition_id, ledger=result.ledger)
+        try:
+            partition = index.load_partition(partition_id, ledger=result.ledger)
+        except PartitionUnavailableError as exc:
+            # Exact match has no sound partial answer — the lost partition
+            # may hold the only match — so surface the typed error.
+            raise PartialResultError(
+                [partition_id], detail="exact-match home partition"
+            ) from exc
         result.partitions_loaded = 1
         result.partition_ids_loaded = [partition_id]
         with timed_stage(result.ledger, "query/local search"):
@@ -255,7 +278,17 @@ def knn_target_node_access(
         with timed_stage(result.ledger, "query/route"):
             signature, _paa = query_signature(index, query)
             partition_id = index.global_index.route(signature)
-        partition = index.load_partition(partition_id, ledger=result.ledger)
+        try:
+            partition = index.load_partition(partition_id, ledger=result.ledger)
+        except PartitionUnavailableError:
+            # Home partition lost: degrade to the empty (trivially correct)
+            # subset rather than failing the query.
+            result.degraded = True
+            result.missing_partitions = [partition_id]
+            _annotate_knn_span(span, result)
+            _count_degraded()
+            _record_query_metrics(simulated_s=result.ledger.clock_s)
+            return result
         result.partitions_loaded = 1
         result.partition_ids_loaded = [partition_id]
         with timed_stage(result.ledger, "query/local search"):
@@ -285,7 +318,15 @@ def knn_one_partition_access(
         with timed_stage(result.ledger, "query/route"):
             signature, paa = query_signature(index, query)
             partition_id = index.global_index.route(signature)
-        partition = index.load_partition(partition_id, ledger=result.ledger)
+        try:
+            partition = index.load_partition(partition_id, ledger=result.ledger)
+        except PartitionUnavailableError:
+            result.degraded = True
+            result.missing_partitions = [partition_id]
+            _annotate_knn_span(span, result)
+            _count_degraded()
+            _record_query_metrics(simulated_s=result.ledger.clock_s)
+            return result
         result.partitions_loaded = 1
         result.partition_ids_loaded = [partition_id]
         with timed_stage(result.ledger, "query/local search"):
@@ -344,19 +385,34 @@ def knn_multi_partitions_access(
             pid_list = [home_pid] + [others[i] for i in chosen]
         # Load all partitions (workers pull blocks in parallel → latency is
         # the max single load, matching Alg. 1's concurrent readHdfsBlock).
+        # Partitions still unavailable after retries are collected and the
+        # query degrades instead of failing.
         loaded: dict[int, LocalPartition] = {}
         load_times = []
+        missing: list[int] = []
         for pid in pid_list:
             sub_ledger = SimulationLedger()
-            loaded[pid] = index.load_partition(pid, ledger=sub_ledger)
+            try:
+                loaded[pid] = index.load_partition(pid, ledger=sub_ledger)
+            except PartitionUnavailableError:
+                missing.append(pid)
             load_times.append(sub_ledger.clock_s)
         parallel_load = max(load_times, default=0.0)
         result.ledger.record_stage(
             "query/load partitions", wall_s=parallel_load,
             io_s=sum(load_times), tasks=len(pid_list),
         )
-        result.partitions_loaded = len(pid_list)
-        result.partition_ids_loaded = list(pid_list)
+        result.partitions_loaded = len(loaded)
+        result.partition_ids_loaded = list(loaded)
+        if home_pid not in loaded:
+            # The threshold partition itself is gone: no sound subset of
+            # the baseline can be computed, so degrade to empty.
+            result.degraded = True
+            result.missing_partitions = sorted(set(missing))
+            _annotate_knn_span(span, result)
+            _count_degraded()
+            _record_query_metrics(simulated_s=result.ledger.clock_s)
+            return result
         scan = ScanStats()
         # Threshold from the home partition's target node (Alg. 1 lines
         # 10-14).
@@ -403,6 +459,24 @@ def knn_multi_partitions_access(
                     deduped.append(neighbor)
                 if len(deduped) == k:
                     break
+            if missing:
+                # Subset guarantee: the region synopsis gives a MINDIST
+                # lower bound on the distance to ANY record in a missing
+                # partition without loading it.  Every kept neighbor
+                # strictly below the smallest such bound provably precedes
+                # all missing candidates in the baseline ordering, so the
+                # truncated answer is a prefix-subset of the no-fault
+                # result.
+                safe_bound = min(
+                    index.partitions[pid].region_bound(
+                        paa, index.series_length
+                    )
+                    for pid in missing
+                )
+                deduped = [n for n in deduped if n.distance < safe_bound]
+                result.degraded = True
+                result.missing_partitions = sorted(set(missing))
+                _count_degraded()
             result.candidates_examined = total_candidates
             result.neighbors = deduped
         result.nodes_visited = (target.layer + 1) + scan.visited

@@ -37,7 +37,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..serving.admission import OverloadedError
+from ..serving.admission import DeadlineExceededError, OverloadedError
 from ..serving.requests import QueryRequest
 from ..serving.slo import nearest_rank
 
@@ -52,6 +52,7 @@ class LoadReport:
     sent: int = 0
     completed: int = 0
     shed: int = 0
+    deadline_shed: int = 0
     errors: int = 0
     duration_s: float = 0.0
     offered_qps: float = 0.0
@@ -75,6 +76,7 @@ class LoadReport:
             "sent": self.sent,
             "completed": self.completed,
             "shed": self.shed,
+            "deadline_shed": self.deadline_shed,
             "errors": self.errors,
             "duration_s": self.duration_s,
             "offered_qps": self.offered_qps,
@@ -124,6 +126,10 @@ def closed_loop(
             except OverloadedError:
                 with lock:
                     report.shed += 1
+                continue
+            except DeadlineExceededError:
+                with lock:
+                    report.deadline_shed += 1
                 continue
             except Exception:
                 with lock:
@@ -185,6 +191,8 @@ def open_loop(
                     # classify it as shed, not an error, to match the
                     # synchronous-raise path above.
                     report.shed += 1
+                elif isinstance(exc, DeadlineExceededError):
+                    report.deadline_shed += 1
                 elif exc is not None:
                     report.errors += 1
                 else:
@@ -259,10 +267,14 @@ class RemoteSubmitter:
     def _call(self, request: QueryRequest):
         client = self._client()
         if request.op == "exact-match":
-            return client.exact_match(request.series, request.use_bloom)
+            return client.exact_match(
+                request.series, request.use_bloom,
+                deadline_ms=request.deadline_ms,
+            )
         return client.knn(
             request.series, k=request.k,
             strategy=request.strategy, pth=request.pth,
+            deadline_ms=request.deadline_ms,
         )
 
     def submit(self, request: QueryRequest) -> Future:
@@ -315,6 +327,10 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--strategy", default="target-node")
     parser.add_argument("--k", type=int, default=10)
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--deadline-ms", type=float, default=None,
+                        help="per-request latency budget forwarded to the "
+                             "server (expired requests count as "
+                             "deadline_shed)")
     args = parser.parse_args(argv)
 
     values = read_npz_dataset(args.data).values
@@ -324,6 +340,8 @@ def main(argv: list[str] | None = None) -> int:
     request_kwargs: dict = {"op": args.op}
     if args.op == "knn":
         request_kwargs.update(strategy=args.strategy, k=args.k)
+    if args.deadline_ms is not None:
+        request_kwargs["deadline_ms"] = args.deadline_ms
 
     with RemoteSubmitter(args.host, args.port, args.concurrency) as remote:
         if args.mode == "closed":

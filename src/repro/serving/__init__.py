@@ -35,7 +35,12 @@ Answers are identical to the serial :mod:`repro.core.queries` path —
 tests/serving/test_service_equivalence.py asserts it per backend.
 """
 
-from .admission import AdmissionQueue, BACKPRESSURE_POLICIES, OverloadedError
+from .admission import (
+    AdmissionQueue,
+    BACKPRESSURE_POLICIES,
+    DeadlineExceededError,
+    OverloadedError,
+)
 from .requests import OPS, QueryRequest, result_to_wire
 from .result_cache import ResultCache
 from .server import ServingClient, TardisServer, serve
@@ -45,6 +50,7 @@ from .slo import SLOTracker
 __all__ = [
     "AdmissionQueue",
     "BACKPRESSURE_POLICIES",
+    "DeadlineExceededError",
     "OverloadedError",
     "OPS",
     "QueryRequest",

@@ -24,7 +24,12 @@ import threading
 import time
 from collections import deque
 
-__all__ = ["AdmissionQueue", "BACKPRESSURE_POLICIES", "OverloadedError"]
+__all__ = [
+    "AdmissionQueue",
+    "BACKPRESSURE_POLICIES",
+    "DeadlineExceededError",
+    "OverloadedError",
+]
 
 #: Recognized values of the ``policy=`` knob.
 BACKPRESSURE_POLICIES = ("block", "shed")
@@ -44,6 +49,25 @@ class OverloadedError(RuntimeError):
         )
         self.depth = depth
         self.capacity = capacity
+
+
+class DeadlineExceededError(RuntimeError):
+    """A request's deadline budget expired before execution began.
+
+    Queue wait counts against the budget: the batcher checks each
+    ticket's deadline at dequeue and sheds expired ones *without
+    executing them* — doomed work is cancelled, not completed late.
+    The wire protocol maps this to a ``deadline`` error, distinct from
+    the capacity-driven ``overloaded`` shed.
+    """
+
+    def __init__(self, waited_s: float, deadline_s: float):
+        super().__init__(
+            f"deadline of {deadline_s * 1000.0:.1f}ms exceeded after "
+            f"{waited_s * 1000.0:.1f}ms in queue"
+        )
+        self.waited_s = waited_s
+        self.deadline_s = deadline_s
 
 
 class AdmissionQueue:

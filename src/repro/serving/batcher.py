@@ -164,5 +164,7 @@ def partitions_loaded(results) -> set[int]:
     """
     touched: set[int] = set()
     for result in results:
-        touched.update(result.partition_ids_loaded)
+        # Result slots may hold typed per-query failures (e.g.
+        # PartialResultError for a lost partition) — those loaded nothing.
+        touched.update(getattr(result, "partition_ids_loaded", ()))
     return touched

@@ -40,6 +40,11 @@ class QueryRequest:
     k: int = 10
     pth: int | None = None
     use_bloom: bool = True
+    #: Total latency budget in milliseconds (queue wait included); the
+    #: batcher cancels the request if it expires before execution.  Not
+    #: part of plan_key/cache_key — a deadline changes *when* work is
+    #: abandoned, never the answer.
+    deadline_ms: float | None = None
     _digest: str = field(default="", repr=False, compare=False)
 
     def __post_init__(self) -> None:
@@ -48,6 +53,10 @@ class QueryRequest:
             raise ValueError("query series must be one-dimensional")
         if self.op not in OPS:
             raise ValueError(f"unknown op {self.op!r}; choose from {OPS}")
+        if self.deadline_ms is not None:
+            self.deadline_ms = float(self.deadline_ms)
+            if self.deadline_ms <= 0:
+                raise ValueError("deadline_ms must be positive")
         if self.op == "knn":
             if self.strategy not in KNN_STRATEGIES:
                 raise ValueError(
@@ -112,4 +121,6 @@ def result_to_wire(result) -> dict:
         "candidates_examined": result.candidates_examined,
         "nodes_visited": result.nodes_visited,
         "nodes_pruned": result.nodes_pruned,
+        "degraded": bool(getattr(result, "degraded", False)),
+        "missing_partitions": list(getattr(result, "missing_partitions", [])),
     }

@@ -45,7 +45,9 @@ import threading
 
 import numpy as np
 
-from .admission import OverloadedError
+from ..faults.errors import PartialResultError
+from ..faults.injector import get_injector
+from .admission import DeadlineExceededError, OverloadedError
 from .requests import QueryRequest, result_to_wire
 from .service import QueryService
 
@@ -73,6 +75,7 @@ def _parse_request(doc: dict) -> QueryRequest:
         k=int(doc.get("k", 10)),
         pth=doc.get("pth"),
         use_bloom=bool(doc.get("use_bloom", True)),
+        deadline_ms=doc.get("deadline_ms"),
     )
 
 
@@ -101,7 +104,14 @@ class _Handler(socketserver.StreamRequestHandler):
             line = line.strip()
             if not line:
                 continue
-            self._reply(self._answer(service, line))
+            reply = self._answer(service, line)
+            injector = get_injector()
+            if injector is not None and injector.drop_reply(line):
+                # Injected socket drop: the work was done but the reply
+                # is lost mid-response — cut the connection so the client
+                # sees exactly what a died server looks like.
+                return
+            self._reply(reply)
 
     def _answer(self, service: QueryService, line: bytes) -> dict:
         try:
@@ -144,6 +154,17 @@ class _Handler(socketserver.StreamRequestHandler):
             return _error(
                 "overloaded", str(exc),
                 queue_depth=exc.depth, capacity=exc.capacity,
+            )
+        except DeadlineExceededError as exc:
+            return _error(
+                "deadline", str(exc),
+                waited_ms=exc.waited_s * 1000.0,
+                deadline_ms=exc.deadline_s * 1000.0,
+            )
+        except PartialResultError as exc:
+            return _error(
+                "partial-result", str(exc),
+                missing_partitions=list(exc.missing_partitions),
             )
         except ValueError as exc:
             # Validation failures (wrong length, bad plan) are the
@@ -262,6 +283,16 @@ class ServingClient:
             raise OverloadedError(
                 error.get("queue_depth", 0), error.get("capacity", 0)
             )
+        if error.get("type") == "deadline":
+            raise DeadlineExceededError(
+                error.get("waited_ms", 0.0) / 1000.0,
+                error.get("deadline_ms", 0.0) / 1000.0,
+            )
+        if error.get("type") == "partial-result":
+            raise PartialResultError(
+                error.get("missing_partitions", []),
+                detail=error.get("message", ""),
+            )
         raise RuntimeError(
             f"{error.get('type', 'unknown')}: {error.get('message', '')}"
         )
@@ -285,14 +316,18 @@ class ServingClient:
         return self._result(doc)
 
     def exact_match(
-        self, series, use_bloom: bool = True, trace: bool = False
+        self, series, use_bloom: bool = True, trace: bool = False,
+        deadline_ms: float | None = None,
     ) -> dict:
-        return self._result({
+        doc = {
             "op": "exact-match",
             "series": np.asarray(series, dtype=np.float64).tolist(),
             "use_bloom": use_bloom,
             "trace": trace,
-        })
+        }
+        if deadline_ms is not None:
+            doc["deadline_ms"] = deadline_ms
+        return self._result(doc)
 
     def knn(
         self,
@@ -301,15 +336,19 @@ class ServingClient:
         strategy: str = "target-node",
         pth: int | None = None,
         trace: bool = False,
+        deadline_ms: float | None = None,
     ) -> dict:
-        return self._result({
+        doc = {
             "op": "knn",
             "series": np.asarray(series, dtype=np.float64).tolist(),
             "strategy": strategy,
             "k": k,
             "pth": pth,
             "trace": trace,
-        })
+        }
+        if deadline_ms is not None:
+            doc["deadline_ms"] = deadline_ms
+        return self._result(doc)
 
     def close(self) -> None:
         try:

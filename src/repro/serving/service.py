@@ -41,10 +41,12 @@ from dataclasses import dataclass, field
 
 from ..cluster.executors import resolve_executor
 from ..core.builder import TardisIndex
+from ..faults.errors import InjectedTaskCrash
+from ..faults.injector import get_injector
 from ..telemetry.context import trace_id_of
 from ..telemetry.journal import EventJournal, SlowQueryLog, get_journal
 from ..telemetry.spans import NULL_SPAN, Span, get_tracer
-from .admission import AdmissionQueue, OverloadedError
+from .admission import AdmissionQueue, DeadlineExceededError, OverloadedError
 from .batcher import group_tickets, partitions_loaded, run_group
 from .requests import QueryRequest
 from .result_cache import ResultCache
@@ -72,6 +74,8 @@ class Ticket:
     dequeued_at: float = 0.0
     exec_started_at: float = 0.0
     exec_finished_at: float = 0.0
+    #: Monotonic instant the deadline budget runs out (None = no budget).
+    deadline_at: float | None = None
 
     @property
     def trace_id(self):
@@ -96,11 +100,14 @@ class QueryService:
         slow_query_threshold_ms: float = 100.0,
         journal_sample: float = 0.0,
         journal: EventJournal | None = None,
+        default_deadline_ms: float | None = None,
     ):
         if max_batch <= 0:
             raise ValueError("max_batch must be positive")
         if max_delay_ms < 0:
             raise ValueError("max_delay_ms cannot be negative")
+        if default_deadline_ms is not None and default_deadline_ms <= 0:
+            raise ValueError("default_deadline_ms must be positive")
         if not index.clustered:
             # Exact-match compares raw values and kNN refines with them;
             # the signature-only unclustered paths (core.unclustered) are
@@ -111,6 +118,10 @@ class QueryService:
         self.index = index
         self.max_batch = max_batch
         self.max_delay_s = max_delay_ms / 1000.0
+        self.default_deadline_s = (
+            None if default_deadline_ms is None
+            else default_deadline_ms / 1000.0
+        )
         self.executor = resolve_executor(executor, jobs)
         if self.executor.kind == "processes":
             # The fork executor is unsafe inside a multithreaded serving
@@ -234,9 +245,18 @@ class QueryService:
                 )
                 return future
         queue_span = tracer.start_span("serve/queue-wait", parent=root)
+        deadline_s = (
+            request.deadline_ms / 1000.0
+            if request.deadline_ms is not None
+            else self.default_deadline_s
+        )
+        enqueued_at = time.monotonic()
         ticket = Ticket(
-            request, future, time.monotonic(),
+            request, future, enqueued_at,
             span=root, queue_span=queue_span,
+            deadline_at=(
+                None if deadline_s is None else enqueued_at + deadline_s
+            ),
         )
         try:
             self.queue.put(ticket)
@@ -283,14 +303,24 @@ class QueryService:
     def _execute_window(self, window: list) -> None:
         tracer = get_tracer()
         dequeued = time.monotonic()
+        live: list = []
         for ticket in window:
-            # Queue wait is over; batch wait (grouping + executor
-            # dispatch + sibling-group contention) starts now.
+            # Queue wait is over.  Tickets whose deadline budget already
+            # expired are shed here — cancelled without ever being
+            # grouped or executed; the rest start their batch wait
+            # (grouping + executor dispatch + sibling-group contention).
             ticket.dequeued_at = dequeued
+            if ticket.deadline_at is not None and dequeued >= ticket.deadline_at:
+                self._shed_expired(ticket, dequeued)
+                continue
             tracer.end_span(ticket.queue_span)
             ticket.wait_span = tracer.start_span(
                 "serve/batch-wait", parent=ticket.span
             )
+            live.append(ticket)
+        if not live:
+            return
+        window = live
         groups = group_tickets(self.index, window)
         outcomes = self.executor.map_tasks(
             lambda _i, group: self._run_group_safely(group), groups
@@ -311,7 +341,18 @@ class QueryService:
                 continue
             loaded_pids.extend(partitions_loaded(results))
             for ticket, result in zip(group.tickets, results):
-                if self.result_cache is not None:
+                if isinstance(result, BaseException):
+                    # Typed per-query failure inside an otherwise healthy
+                    # group (e.g. PartialResultError for a lost
+                    # partition): fail this ticket, keep its siblings.
+                    self._finish_ticket(
+                        ticket, group, now, len(window), error=result
+                    )
+                    continue
+                degraded = bool(getattr(result, "degraded", False))
+                if self.result_cache is not None and not degraded:
+                    # Degraded answers are never cached: they reflect a
+                    # transient unavailability, not the index's truth.
                     # Bloom-rejected exact matches never load a partition,
                     # so index the cached "not found" under the routed home
                     # partition (the group key): an insert_series into that
@@ -324,7 +365,8 @@ class QueryService:
                         ticket.request.cache_key(), result, pids
                     )
                 self._finish_ticket(
-                    ticket, group, now, len(window), result=result
+                    ticket, group, now, len(window), result=result,
+                    degraded=degraded,
                 )
         self.slo.record_batch(len(window), len(groups), loaded_pids)
         self.journal.record(
@@ -333,9 +375,28 @@ class QueryService:
             partitions=sorted(set(loaded_pids)),
         )
 
+    def _shed_expired(self, ticket, now: float) -> None:
+        """Cancel one ticket whose deadline passed while it queued."""
+        tracer = get_tracer()
+        waited_s = now - ticket.enqueued_at
+        deadline_s = ticket.deadline_at - ticket.enqueued_at
+        ticket.queue_span.set("error", "deadline")
+        tracer.end_span(ticket.queue_span)
+        root = ticket.span
+        root.set("error", "deadline")
+        tracer.end_span(root)
+        self.journal.record(
+            "deadline", trace_id=trace_id_of(root), op=ticket.request.op,
+            waited_ms=waited_s * 1000.0, deadline_ms=deadline_s * 1000.0,
+        )
+        self.slo.record_deadline_shed()
+        ticket.future.set_exception(
+            DeadlineExceededError(waited_s, deadline_s)
+        )
+
     def _finish_ticket(
         self, ticket, group, now: float, batch_size: int,
-        result=None, error=None,
+        result=None, error=None, degraded: bool = False,
     ) -> None:
         """Close one ticket: end its trace, resolve its future, and feed
         the SLO tracker and slow-query log.
@@ -354,13 +415,15 @@ class QueryService:
         )
         if error is not None:
             root.set("error", f"{type(error).__name__}: {error}")
+        if degraded:
+            root.set("degraded", True)
         tracer.end_span(root)
         if error is not None:
             ticket.future.set_exception(error)
             self.slo.record_completed(latency_s, failed=True)
         else:
             ticket.future.set_result(result)
-            self.slo.record_completed(latency_s)
+            self.slo.record_completed(latency_s, degraded=degraded)
         breakdown = {
             "queue_wait_s": max(0.0, ticket.dequeued_at - ticket.enqueued_at),
             "batch_wait_s": max(
@@ -382,6 +445,11 @@ class QueryService:
             fields["strategy"] = ticket.request.strategy
         if error is not None:
             fields["error"] = repr(error)
+        if degraded:
+            fields["degraded"] = True
+            fields["missing_partitions"] = list(
+                getattr(result, "missing_partitions", [])
+            )
         self.slow_log.observe(latency_s, **fields)
 
     def _run_group_safely(self, group):
@@ -392,13 +460,45 @@ class QueryService:
             ticket.exec_started_at = started
             tracer.end_span(ticket.wait_span)
         try:
-            return run_group(self.index, group), None
+            return self._run_group_injected(group), None
         except BaseException as exc:
             return None, exc
         finally:
             finished = time.monotonic()
             for ticket in group.tickets:
                 ticket.exec_finished_at = finished
+
+    def _run_group_injected(self, group):
+        """Execute one group under the active fault plan (if any).
+
+        An injected ``task-crash`` on a ``serve/<op>`` site fails the
+        whole group attempt; recovery retries with real backoff until the
+        plan stops firing or the budget is spent.  ``task-slow`` delays
+        the group once, then executes."""
+        injector = get_injector()
+        if injector is None:
+            return run_group(self.index, group)
+        op = group.plan_key[0]
+        group_seq = injector.next_seq("serve", op, group.partition_id)
+        attempt = 1
+        while True:
+            fault = injector.serve_fault(
+                op, group.partition_id, group_seq, attempt
+            )
+            if fault is None:
+                return run_group(self.index, group)
+            if fault.kind == "task-slow":
+                time.sleep(fault.delay_ms / 1000.0)
+                return run_group(self.index, group)
+            if attempt >= injector.retry.max_attempts:
+                raise InjectedTaskCrash(
+                    f"serve/{op}/partition {group.partition_id}", attempt
+                )
+            injector.count_retry()
+            time.sleep(injector.backoff_s(
+                attempt, "serve", op, group.partition_id, group_seq
+            ))
+            attempt += 1
 
     # -- introspection ------------------------------------------------------
 
@@ -412,6 +512,10 @@ class QueryService:
             "max_delay_ms": self.max_delay_s * 1000.0,
             "executor": self.executor.kind,
             "jobs": self.executor.jobs,
+            "default_deadline_ms": (
+                None if self.default_deadline_s is None
+                else self.default_deadline_s * 1000.0
+            ),
         }
         if self.result_cache is not None:
             report["result_cache"] = self.result_cache.stats()

@@ -63,6 +63,8 @@ class SLOTracker:
         self.completed = 0
         self.failed = 0
         self.shed = 0
+        self.deadline_shed = 0
+        self.degraded = 0
         self.cache_hits = 0
         self.cache_misses = 0
         self.batches = 0
@@ -94,8 +96,23 @@ class SLOTracker:
             "Requests rejected by the shed backpressure policy",
         ).inc()
 
+    def record_deadline_shed(self) -> None:
+        """One request cancelled in-queue because its deadline expired.
+
+        Counted apart from capacity sheds (:meth:`record_shed`) and from
+        failures: the queue had room and nothing raised — the budget
+        simply ran out before execution started.
+        """
+        with self._lock:
+            self.deadline_shed += 1
+        get_registry().counter(
+            "serving_deadline_shed_total",
+            "Requests cancelled in-queue after their deadline expired",
+        ).inc()
+
     def record_completed(
-        self, latency_s: float, cached: bool = False, failed: bool = False
+        self, latency_s: float, cached: bool = False, failed: bool = False,
+        degraded: bool = False,
     ) -> None:
         registry = get_registry()
         with self._lock:
@@ -103,6 +120,8 @@ class SLOTracker:
                 self.failed += 1
             else:
                 self.completed += 1
+                if degraded:
+                    self.degraded += 1
                 self._latency_hist.observe(float(latency_s))
                 # Failures stay out of the hit/miss ledger: they neither
                 # consulted the cache usefully nor produced an answer, so
@@ -117,6 +136,11 @@ class SLOTracker:
                 "serving_failed_total", "Requests that raised while serving"
             ).inc()
             return
+        if degraded:
+            registry.counter(
+                "serving_degraded_total",
+                "Requests answered degraded (partitions unavailable)",
+            ).inc()
         registry.histogram(
             "serving_latency_seconds",
             "Wall-clock request latency (admission to completion)",
@@ -222,6 +246,8 @@ class SLOTracker:
                 "requests_completed": self.completed,
                 "requests_failed": self.failed,
                 "requests_shed": self.shed,
+                "requests_deadline_shed": self.deadline_shed,
+                "requests_degraded": self.degraded,
                 "queue_depth": queue_depth,
                 "max_queue_depth": self.max_queue_depth,
                 "latency": percentiles,

@@ -209,6 +209,12 @@ def validate_journal_record(doc: object) -> None:
         partitions = doc.get("partitions")
         if partitions is not None and not isinstance(partitions, list):
             raise ValueError("'partitions' must be a list when present")
+    if doc["kind"] == "fault":
+        injected = doc.get("injected")
+        if not isinstance(injected, str) or not injected:
+            raise ValueError(
+                "fault record needs a non-empty 'injected' fault kind"
+            )
 
 
 def validate_journal_lines(text: str) -> int:

@@ -1,0 +1,47 @@
+"""Fault-suite fixtures: a private small index (never cache-enabled).
+
+The chaos tests must control every partition load, so they build their
+own index instead of sharing the session-scoped ``tardis_small`` —
+another test enabling a partition cache on the shared index would let
+cached hits bypass the injector and break determinism assertions.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import TardisConfig, build_tardis_index
+from repro.faults import clear_injector
+from repro.tsdb import random_walk
+
+N_SERIES = 1200
+LENGTH = 48
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_injector():
+    """Never let one test's fault plan bleed into the next."""
+    clear_injector()
+    yield
+    clear_injector()
+
+
+@pytest.fixture(scope="package")
+def chaos_config() -> TardisConfig:
+    return TardisConfig(g_max_size=150, l_max_size=25, pth=4)
+
+
+@pytest.fixture(scope="package")
+def chaos_dataset():
+    return random_walk(N_SERIES, length=LENGTH, seed=77).z_normalized()
+
+
+@pytest.fixture(scope="package")
+def chaos_index(chaos_dataset, chaos_config):
+    """Built fault-free; queried under fault plans by the chaos tests."""
+    return build_tardis_index(chaos_dataset, chaos_config)
+
+
+@pytest.fixture(scope="package")
+def chaos_queries():
+    return random_walk(8, length=LENGTH, seed=88).z_normalized().values

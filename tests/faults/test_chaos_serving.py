@@ -1,0 +1,160 @@
+"""Chaos through the serving stack: group retries, typed wire errors,
+socket drops, and degraded-result accounting."""
+
+import pytest
+
+from repro.core import knn_target_node_access
+from repro.core.queries import exact_match
+from repro.faults import InjectedTaskCrash, PartialResultError, active_plan
+from repro.serving import QueryRequest, QueryService, ServingClient, TardisServer
+
+
+def service(index, **kwargs):
+    kwargs.setdefault("max_batch", 4)
+    kwargs.setdefault("max_delay_ms", 1.0)
+    return QueryService(index, **kwargs)
+
+
+class TestServeGroupFaults:
+    def test_transient_crash_retries_to_baseline(self, chaos_index,
+                                                 chaos_queries):
+        ref = knn_target_node_access(chaos_index, chaos_queries[0], 5)
+        plan = {"schema": "repro.faults/v1", "seed": 0, "rules": [
+            {"kind": "task-crash", "stage": "serve/*", "attempt": [1]},
+        ]}
+        with active_plan(plan) as injector:
+            with service(chaos_index, result_cache_size=0) as svc:
+                got = svc.query(QueryRequest(
+                    chaos_queries[0], op="knn", strategy="target-node", k=5
+                ))
+            assert injector.stats()["by_kind"]["task-crash"] >= 1
+        assert got.record_ids == ref.record_ids
+        assert got.distances == pytest.approx(ref.distances)
+        report = svc.stats()
+        assert report["requests_completed"] == 1
+        assert report["requests_failed"] == 0
+
+    def test_exhausted_crash_fails_request_typed(self, chaos_index,
+                                                 chaos_queries):
+        plan = {"schema": "repro.faults/v1", "seed": 0, "rules": [
+            {"kind": "task-crash", "stage": "serve/*"},
+        ]}
+        with active_plan(plan):
+            with service(chaos_index, result_cache_size=0) as svc:
+                future = svc.submit(QueryRequest(
+                    chaos_queries[0], op="knn", strategy="target-node", k=5
+                ))
+                with pytest.raises(InjectedTaskCrash):
+                    future.result(timeout=30.0)
+        assert svc.stats()["requests_failed"] == 1
+
+    def test_straggler_group_still_answers(self, chaos_index, chaos_queries):
+        ref = knn_target_node_access(chaos_index, chaos_queries[1], 5)
+        plan = {"schema": "repro.faults/v1", "seed": 2, "rules": [
+            {"kind": "task-slow", "stage": "serve/*", "delay_ms": 5.0},
+        ]}
+        with active_plan(plan):
+            with service(chaos_index, result_cache_size=0) as svc:
+                got = svc.query(QueryRequest(
+                    chaos_queries[1], op="knn", strategy="target-node", k=5
+                ))
+        assert got.record_ids == ref.record_ids
+
+
+class TestDegradedServing:
+    def _home_of(self, index, query):
+        return knn_target_node_access(index, query, 5).partition_ids_loaded[0]
+
+    def test_degraded_result_tagged_and_counted(self, chaos_index,
+                                                chaos_queries):
+        home = self._home_of(chaos_index, chaos_queries[2])
+        plan = {"schema": "repro.faults/v1", "seed": 0, "rules": [
+            {"kind": "partition-load-error", "partition_id": home},
+        ]}
+        request = QueryRequest(
+            chaos_queries[2], op="knn", strategy="one-partition", k=5
+        )
+        with active_plan(plan):
+            with service(chaos_index) as svc:
+                got = svc.query(request)
+                again = svc.query(request)
+        assert got.degraded and got.missing_partitions == [home]
+        report = svc.stats()
+        assert report["requests_degraded"] == 2
+        assert report["requests_failed"] == 0
+        # Degraded answers must never enter the result cache: the second
+        # identical request recomputed instead of hitting.
+        assert report["result_cache_hits"] == 0
+        assert again.degraded
+
+    def test_exact_match_partial_result_fails_only_its_ticket(
+        self, chaos_index, chaos_dataset
+    ):
+        rows = [chaos_dataset.values[3], chaos_dataset.values[9]]
+        homes = [
+            exact_match(chaos_index, row).partition_ids_loaded[0]
+            for row in rows
+        ]
+        if homes[0] == homes[1]:
+            pytest.skip("rows landed in one partition; need two homes")
+        plan = {"schema": "repro.faults/v1", "seed": 0, "rules": [
+            {"kind": "partition-load-error", "partition_id": homes[0]},
+        ]}
+        with active_plan(plan):
+            with service(chaos_index, result_cache_size=0) as svc:
+                doomed = svc.submit(QueryRequest(rows[0], op="exact-match"))
+                healthy = svc.submit(QueryRequest(rows[1], op="exact-match"))
+                assert healthy.result(timeout=30.0).found
+                with pytest.raises(PartialResultError) as excinfo:
+                    doomed.result(timeout=30.0)
+        assert excinfo.value.missing_partitions == [homes[0]]
+
+
+class TestWireFaults:
+    def test_socket_drop_cuts_connection_after_work(self, chaos_index,
+                                                    chaos_queries):
+        plan = {"schema": "repro.faults/v1", "seed": 0, "rules": [
+            {"kind": "socket-drop"},
+        ]}
+        with active_plan(plan):
+            with TardisServer(service(chaos_index)) as server:
+                host, port = server.address
+                with ServingClient(host, port, timeout=10.0) as client:
+                    with pytest.raises(ConnectionError):
+                        client.knn(chaos_queries[0], k=3)
+                # The query itself completed server-side before the drop.
+                assert server.service.stats()["requests_completed"] == 1
+
+    def test_partial_result_crosses_the_wire_typed(self, chaos_index,
+                                                   chaos_dataset):
+        row = chaos_dataset.values[7]
+        home = exact_match(chaos_index, row).partition_ids_loaded[0]
+        plan = {"schema": "repro.faults/v1", "seed": 0, "rules": [
+            {"kind": "partition-load-error", "partition_id": home},
+        ]}
+        with active_plan(plan):
+            with TardisServer(service(chaos_index)) as server:
+                host, port = server.address
+                with ServingClient(host, port, timeout=10.0) as client:
+                    with pytest.raises(PartialResultError) as excinfo:
+                        client.exact_match(row)
+        assert excinfo.value.missing_partitions == [home]
+
+    def test_degraded_knn_crosses_the_wire_tagged(self, chaos_index,
+                                                  chaos_queries):
+        home = knn_target_node_access(
+            chaos_index, chaos_queries[4], 5
+        ).partition_ids_loaded[0]
+        plan = {"schema": "repro.faults/v1", "seed": 0, "rules": [
+            {"kind": "partition-load-error", "partition_id": home},
+        ]}
+        with active_plan(plan):
+            with TardisServer(service(chaos_index)) as server:
+                host, port = server.address
+                with ServingClient(host, port, timeout=10.0) as client:
+                    result = client.knn(
+                        chaos_queries[4], k=5, strategy="target-node"
+                    )
+        assert result["degraded"] is True
+        assert result["missing_partitions"] == [home]
+        assert result["record_ids"] == []

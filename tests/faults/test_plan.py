@@ -1,0 +1,157 @@
+"""Fault-plan schema: rule validation, scoping, retry math, round trips."""
+
+import json
+
+import pytest
+
+from repro.faults import (
+    FAULT_PLAN_SCHEMA,
+    FaultPlan,
+    FaultRule,
+    RetryPolicy,
+    load_fault_plan,
+)
+
+
+class TestRuleValidation:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultRule(kind="power-outage")
+
+    def test_probability_bounds(self):
+        with pytest.raises(ValueError, match="probability"):
+            FaultRule(kind="task-crash", probability=1.5)
+        with pytest.raises(ValueError, match="probability"):
+            FaultRule(kind="task-crash", probability=-0.1)
+
+    def test_task_slow_needs_delay(self):
+        with pytest.raises(ValueError, match="delay_ms"):
+            FaultRule(kind="task-slow")
+        FaultRule(kind="task-slow", delay_ms=1.0)  # fine
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError, match="delay_ms"):
+            FaultRule(kind="task-crash", delay_ms=-1.0)
+
+    def test_from_dict_rejects_unknown_fields(self):
+        with pytest.raises(ValueError, match="unknown fault-rule fields"):
+            FaultRule.from_dict({"kind": "task-crash", "severity": "high"})
+
+    def test_from_dict_requires_kind(self):
+        with pytest.raises(ValueError, match="missing 'kind'"):
+            FaultRule.from_dict({"probability": 0.5})
+
+    def test_id_selectors_normalize(self):
+        rule = FaultRule.from_dict(
+            {"kind": "partition-load-error", "partition_id": 3}
+        )
+        assert rule.partition_id == frozenset((3,))
+        rule = FaultRule.from_dict(
+            {"kind": "partition-load-error", "partition_id": [5, 3, 5]}
+        )
+        assert rule.partition_id == frozenset((3, 5))
+
+    def test_empty_id_selector_rejected(self):
+        with pytest.raises(ValueError, match="cannot be empty"):
+            FaultRule.from_dict(
+                {"kind": "partition-load-error", "partition_id": []}
+            )
+
+    def test_bool_id_selector_rejected(self):
+        with pytest.raises(ValueError, match="integer"):
+            FaultRule.from_dict(
+                {"kind": "partition-load-error", "partition_id": True}
+            )
+
+
+class TestRuleMatching:
+    def test_none_selectors_match_anything(self):
+        rule = FaultRule(kind="task-crash")
+        assert rule.matches(label="local/build index", attempt=3)
+        assert rule.matches()
+
+    def test_stage_is_fnmatch_over_label(self):
+        rule = FaultRule(kind="task-crash", stage="local/*")
+        assert rule.matches(label="local/build index")
+        assert not rule.matches(label="global/sample")
+        assert not rule.matches(label=None)
+
+    def test_id_and_attempt_selectors_conjunctive(self):
+        rule = FaultRule(
+            kind="partition-load-error",
+            partition_id=frozenset((2, 4)),
+            attempt=frozenset((1,)),
+        )
+        assert rule.matches(partition_id=2, attempt=1)
+        assert not rule.matches(partition_id=2, attempt=2)
+        assert not rule.matches(partition_id=3, attempt=1)
+
+
+class TestRetryPolicy:
+    def test_exponential_growth_and_cap(self):
+        policy = RetryPolicy(backoff_ms=1.0, multiplier=2.0, jitter=0.0,
+                             max_backoff_ms=4.0)
+        assert policy.backoff_s(1) == pytest.approx(0.001)
+        assert policy.backoff_s(2) == pytest.approx(0.002)
+        assert policy.backoff_s(3) == pytest.approx(0.004)
+        assert policy.backoff_s(9) == pytest.approx(0.004)  # capped
+
+    def test_jitter_inflates_up_to_fraction(self):
+        policy = RetryPolicy(backoff_ms=10.0, jitter=0.5)
+        base = policy.backoff_s(1, draw=0.0)
+        assert policy.backoff_s(1, draw=1.0) == pytest.approx(base * 1.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(multiplier=0.5)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=1.5)
+        with pytest.raises(ValueError):
+            RetryPolicy(backoff_ms=-1.0)
+
+
+class TestPlanRoundTrip:
+    DOC = {
+        "schema": FAULT_PLAN_SCHEMA,
+        "seed": 42,
+        "retry": {"max_attempts": 3, "backoff_ms": 0.5},
+        "rules": [
+            {"kind": "task-crash", "stage": "local/*", "probability": 0.05},
+            {"kind": "partition-load-error", "partition_id": [3, 7],
+             "attempt": [1]},
+            {"kind": "socket-drop", "probability": 0.02},
+        ],
+    }
+
+    def test_dict_round_trip(self):
+        plan = FaultPlan.from_dict(self.DOC)
+        assert plan.seed == 42
+        assert plan.retry.max_attempts == 3
+        assert len(plan.rules) == 3
+        assert FaultPlan.from_dict(plan.to_dict()) == plan
+
+    def test_schema_checked(self):
+        with pytest.raises(ValueError, match="unsupported fault-plan schema"):
+            FaultPlan.from_dict({"schema": "repro.faults/v9"})
+
+    def test_unknown_plan_fields_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault-plan fields"):
+            FaultPlan.from_dict({"chaos": True})
+
+    def test_load_from_file(self, tmp_path):
+        path = tmp_path / "plan.json"
+        path.write_text(json.dumps(self.DOC))
+        plan = load_fault_plan(path)
+        assert plan == FaultPlan.from_dict(self.DOC)
+
+    def test_load_invalid_json_raises_value_error(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json")
+        with pytest.raises(ValueError, match="cannot read fault plan"):
+            load_fault_plan(path)
+
+    def test_load_missing_file_raises_value_error(self, tmp_path):
+        with pytest.raises(ValueError, match="cannot read fault plan"):
+            load_fault_plan(tmp_path / "absent.json")

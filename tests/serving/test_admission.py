@@ -1,11 +1,16 @@
-"""Admission queue: backpressure policies, batching takes, drain."""
+"""Admission queue and deadline budget: backpressure, batching, shedding."""
 
 import threading
 import time
 
+import numpy as np
 import pytest
 
-from repro.serving.admission import AdmissionQueue, OverloadedError
+from repro.serving.admission import (
+    AdmissionQueue,
+    DeadlineExceededError,
+    OverloadedError,
+)
 
 
 class TestPut:
@@ -106,6 +111,159 @@ class TestTakeBatch:
         queue.put("now")
         thread.join(2.0)
         assert result == ["now"]
+
+
+class TestDeadlineBudget:
+    """Per-request deadline: queue wait counts, expired work is cancelled
+    at dequeue — before grouping or execution — and counted apart from
+    capacity sheds and failures."""
+
+    def _service(self, index, **kwargs):
+        from repro.serving.service import QueryService
+        from repro.telemetry.journal import EventJournal
+
+        kwargs.setdefault("max_batch", 8)
+        kwargs.setdefault("result_cache_size", 0)
+        kwargs.setdefault("journal", EventJournal())
+        return QueryService(index, **kwargs)
+
+    def test_error_carries_waited_and_deadline(self):
+        error = DeadlineExceededError(waited_s=0.05, deadline_s=0.01)
+        assert error.waited_s == 0.05
+        assert error.deadline_s == 0.01
+        assert "10.0ms" in str(error)
+        assert "50.0ms" in str(error)
+
+    def test_expired_request_shed_never_executed(
+        self, tardis_small, heldout_queries
+    ):
+        from repro.serving.requests import QueryRequest
+
+        # A 10 µs budget against a 40 ms flush window: the deadline is
+        # long gone when the batcher dequeues.
+        svc = self._service(tardis_small, max_delay_ms=40.0)
+        with svc:
+            future = svc.submit(QueryRequest(
+                heldout_queries[0], op="knn", strategy="target-node", k=5,
+                deadline_ms=0.01,
+            ))
+            with pytest.raises(DeadlineExceededError) as excinfo:
+                future.result(timeout=30.0)
+        assert excinfo.value.waited_s >= excinfo.value.deadline_s
+        report = svc.stats()
+        assert report["requests_deadline_shed"] == 1
+        assert report["requests_shed"] == 0
+        assert report["requests_failed"] == 0
+        assert report["requests_completed"] == 0
+        # Never grouped, never executed: no batch ran, nothing loaded.
+        assert report["batches"] == 0
+        assert report["partition_loads"] == 0
+        kinds = svc.journal.stats()["by_kind"]
+        assert kinds.get("deadline") == 1
+
+    def test_live_siblings_survive_an_expired_ticket(
+        self, tardis_small, heldout_queries
+    ):
+        from repro.core import knn_target_node_access
+        from repro.serving.requests import QueryRequest
+
+        ref = knn_target_node_access(tardis_small, heldout_queries[1], 5)
+        svc = self._service(tardis_small, max_delay_ms=40.0)
+        with svc:
+            doomed = svc.submit(QueryRequest(
+                heldout_queries[0], op="knn", strategy="target-node", k=5,
+                deadline_ms=0.01,
+            ))
+            live = svc.submit(QueryRequest(
+                heldout_queries[1], op="knn", strategy="target-node", k=5,
+            ))
+            result = live.result(timeout=30.0)
+            with pytest.raises(DeadlineExceededError):
+                doomed.result(timeout=30.0)
+        assert result.record_ids == ref.record_ids
+        report = svc.stats()
+        assert report["requests_completed"] == 1
+        assert report["requests_deadline_shed"] == 1
+        # Batch accounting sees only the live ticket.
+        assert report["batch_occupancy_mean"] == pytest.approx(1.0)
+
+    def test_generous_deadline_executes_normally(
+        self, tardis_small, heldout_queries
+    ):
+        from repro.serving.requests import QueryRequest
+
+        svc = self._service(tardis_small, max_delay_ms=1.0)
+        with svc:
+            result = svc.query(QueryRequest(
+                heldout_queries[2], op="knn", strategy="target-node", k=5,
+                deadline_ms=60_000.0,
+            ), timeout=30.0)
+        assert result.record_ids
+        report = svc.stats()
+        assert report["requests_deadline_shed"] == 0
+        assert report["requests_completed"] == 1
+
+    def test_service_default_deadline_applies(
+        self, tardis_small, heldout_queries
+    ):
+        from repro.serving.requests import QueryRequest
+
+        svc = self._service(
+            tardis_small, max_delay_ms=40.0, default_deadline_ms=0.01
+        )
+        with svc:
+            # No per-request deadline: the service default sheds it.
+            doomed = svc.submit(QueryRequest(
+                heldout_queries[3], op="knn", strategy="target-node", k=5,
+            ))
+            # An explicit generous budget overrides the default.
+            live = svc.submit(QueryRequest(
+                heldout_queries[4], op="knn", strategy="target-node", k=5,
+                deadline_ms=60_000.0,
+            ))
+            assert live.result(timeout=30.0).record_ids
+            with pytest.raises(DeadlineExceededError):
+                doomed.result(timeout=30.0)
+        assert svc.stats()["config"]["default_deadline_ms"] == \
+            pytest.approx(0.01)
+
+    def test_deadline_not_part_of_cache_identity(self, heldout_queries):
+        from repro.serving.requests import QueryRequest
+
+        with_deadline = QueryRequest(
+            heldout_queries[0], op="knn", strategy="target-node", k=5,
+            deadline_ms=100.0,
+        )
+        without = QueryRequest(
+            heldout_queries[0], op="knn", strategy="target-node", k=5,
+        )
+        assert with_deadline.cache_key() == without.cache_key()
+        assert with_deadline.plan_key() == without.plan_key()
+
+    def test_invalid_deadline_rejected(self, heldout_queries):
+        from repro.serving.requests import QueryRequest
+
+        with pytest.raises(ValueError, match="deadline_ms"):
+            QueryRequest(heldout_queries[0], deadline_ms=0.0)
+        with pytest.raises(ValueError, match="deadline_ms"):
+            QueryRequest(heldout_queries[0], deadline_ms=-5.0)
+
+    def test_deadline_error_crosses_the_wire(
+        self, tardis_small, heldout_queries
+    ):
+        from repro.serving.server import ServingClient, TardisServer
+
+        svc = self._service(tardis_small, max_delay_ms=40.0)
+        with TardisServer(svc) as server:
+            host, port = server.address
+            with ServingClient(host, port, timeout=10.0) as client:
+                with pytest.raises(DeadlineExceededError) as excinfo:
+                    client.knn(
+                        np.asarray(heldout_queries[0]), k=5,
+                        strategy="target-node", deadline_ms=0.01,
+                    )
+        assert excinfo.value.deadline_s == pytest.approx(1e-5)
+        assert excinfo.value.waited_s >= excinfo.value.deadline_s
 
 
 class TestDrain:

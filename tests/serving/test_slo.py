@@ -124,6 +124,46 @@ class TestTrackerReport:
         assert report["partition_skew"]["partitions_touched"] == 0
 
 
+class TestDeadlineAndDegradedAccounting:
+    def test_deadline_sheds_counted_apart_from_capacity_sheds(self):
+        tracker = SLOTracker()
+        tracker.record_shed()
+        tracker.record_deadline_shed()
+        tracker.record_deadline_shed()
+        report = tracker.report()
+        assert report["requests_shed"] == 1
+        assert report["requests_deadline_shed"] == 2
+        assert report["requests_failed"] == 0
+        assert report["requests_completed"] == 0
+        # Deadline sheds never reach the latency histogram.
+        assert report["latency"]["samples"] == 0
+
+    def test_degraded_completions_counted_as_completed(self):
+        tracker = SLOTracker()
+        tracker.record_completed(0.01)
+        tracker.record_completed(0.02, degraded=True)
+        report = tracker.report()
+        assert report["requests_completed"] == 2
+        assert report["requests_degraded"] == 1
+        assert report["requests_failed"] == 0
+        assert report["latency"]["samples"] == 2
+
+    def test_failed_requests_never_count_degraded(self):
+        tracker = SLOTracker()
+        tracker.record_completed(0.02, failed=True, degraded=True)
+        report = tracker.report()
+        assert report["requests_failed"] == 1
+        assert report["requests_degraded"] == 0
+
+    def test_deadline_and_degraded_metrics_registered(self):
+        registry = get_registry()
+        tracker = SLOTracker()
+        tracker.record_deadline_shed()
+        tracker.record_completed(0.01, degraded=True)
+        assert registry.get("serving_deadline_shed_total").value >= 1
+        assert registry.get("serving_degraded_total").value >= 1
+
+
 class TestTelemetryPublication:
     def test_serving_metrics_registered(self):
         registry = get_registry()

@@ -214,6 +214,66 @@ class TestBatchEquivalence:
             assert got.record_ids == interactive.record_ids
 
 
+class TestFaultJournalEquivalence:
+    """Same fault plan + seed ⇒ byte-identical fault journals and
+    identical results whether tasks run serially or on threads.
+
+    The injector's draws hash (seed, rule, site) instead of consuming a
+    shared RNG stream, so thread interleaving cannot move a fault from
+    one site to another.  (The processes backend recovers identically
+    but journals inside forked children, so only serial/threads can
+    assert on journal bytes.)
+    """
+
+    FAULT_PLAN = {
+        "schema": "repro.faults/v1",
+        "seed": 13,
+        "rules": [
+            {"kind": "task-crash", "stage": "*", "attempt": [1, 2],
+             "probability": 0.3},
+            {"kind": "storage-read-error", "attempt": [1],
+             "probability": 0.3},
+            {"kind": "task-slow", "stage": "local/*", "delay_ms": 0.1,
+             "probability": 0.2},
+        ],
+    }
+
+    def _run(self, kind, dataset, queries):
+        from repro.faults import active_plan
+
+        with active_plan(self.FAULT_PLAN) as injector:
+            cluster = SimCluster(
+                n_workers=TardisConfig().n_workers, executor=_executor(kind)
+            )
+            index = build_tardis_index(
+                dataset, TardisConfig(**CONFIG_KW), cluster=cluster
+            )
+            report = batch_knn_target_node(
+                index, queries[:8], k=5, executor=_executor(kind)
+            )
+            journal = injector.journal_lines()
+            stats = injector.stats()
+        return index, report, journal, stats
+
+    def test_journals_byte_identical_serial_vs_threads(self, dataset, queries):
+        ref_index, ref_report, ref_journal, ref_stats = self._run(
+            "serial", dataset, queries
+        )
+        assert ref_stats["injected"] > 0  # the plan actually fired
+        index, report, journal, _stats = self._run("threads", dataset, queries)
+        assert journal == ref_journal
+        assert partition_layout(index) == partition_layout(ref_index)
+        for got, ref in zip(report.results, ref_report.results):
+            assert got.record_ids == ref.record_ids
+            assert got.distances == pytest.approx(ref.distances)
+
+    def test_same_seed_reruns_identically_per_backend(self, dataset, queries):
+        for kind in ("serial", "threads"):
+            first = self._run(kind, dataset, queries)
+            second = self._run(kind, dataset, queries)
+            assert first[2] == second[2], kind
+
+
 class TestHarnessEquivalence:
     def test_evaluate_knn_reports_identical(self, built, dataset, queries):
         from repro.experiments.harness import evaluate_knn
