@@ -15,7 +15,19 @@ Usage::
 Interpreting results: speedups need real cores.  On a single-core
 machine every backend degenerates to ~1x (threads/processes only add
 scheduling overhead); the committed ``BENCH_parallel.json`` records the
-host's ``cpu_count`` for exactly this reason.
+host's ``cpu_count`` *and* ``cpu_affinity`` (the cores this process may
+actually schedule on — cgroup-limited in CI), plus ``oversubscribed``
+when jobs exceed them, for exactly this reason.
+
+Beyond walls, every backend/stage pair gets an *attribution* pass with
+the kernel counters enabled (docs/OBSERVABILITY.md, "Cost attribution &
+profiling"): the report states how much of each measured wall is
+explained by named kernels (``route``, ``exec_compute``,
+``exec_dispatch``, ``exec_serialize``, ``exec_deserialize``), and for
+the ``processes`` backend how many pickle bytes crossed the result
+pipes and what serialization cost — the overhead that makes fork
+workers lose to threads on numpy-heavy stages.  The timed passes run
+with counters *off* so the committed walls stay clean.
 """
 
 from __future__ import annotations
@@ -23,13 +35,13 @@ from __future__ import annotations
 import argparse
 import json
 import os
-import platform
 import sys
 import time
 from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
+from repro.bench import answers_digest, host_info, make_record  # noqa: E402
 from repro.cluster import SimCluster  # noqa: E402
 from repro.cluster.executors import make_executor  # noqa: E402
 from repro.core import TardisConfig, build_tardis_index  # noqa: E402
@@ -37,9 +49,16 @@ from repro.core.batch import (  # noqa: E402
     batch_exact_match,
     batch_knn_target_node,
 )
+from repro.telemetry.perf import (  # noqa: E402
+    KERNELS,
+    attributed_fraction,
+)
 from repro.tsdb import random_walk  # noqa: E402
 
 BACKENDS = ("serial", "threads", "processes")
+
+#: Attribution coverage the batch stages are expected to reach.
+ATTRIBUTION_TARGET = 0.90
 
 
 def _timed(fn, repeats: int) -> tuple[float, object]:
@@ -51,6 +70,47 @@ def _timed(fn, repeats: int) -> tuple[float, object]:
         result = fn()
         best = min(best, time.perf_counter() - start)
     return best, result
+
+
+def _attributed(fn) -> dict:
+    """One counters-enabled run of ``fn``: kernel totals vs its wall.
+
+    Runs apart from the :func:`_timed` passes so the committed walls
+    never include counter overhead; the fraction is computed against
+    this pass's *own* wall.  Fractions can exceed 1.0 when kernels ran
+    concurrently (seconds sum across workers).
+    """
+    KERNELS.enable(reset=True)
+    try:
+        start = time.perf_counter()
+        fn()
+        wall_s = time.perf_counter() - start
+    finally:
+        KERNELS.disable()
+    kernels = KERNELS.totals()
+    attributed_s, fraction = attributed_fraction(kernels, wall_s)
+    report = {
+        "wall_s": round(wall_s, 6),
+        "attributed_s": round(attributed_s, 6),
+        "fraction": round(fraction, 4),
+        "kernels": {
+            name: {
+                "calls": row["calls"],
+                "elements": row["elements"],
+                "seconds": round(row["seconds"], 6),
+            }
+            for name, row in sorted(kernels.items())
+        },
+    }
+    serialize = kernels.get("exec_serialize")
+    if serialize:
+        report["pickle_bytes"] = serialize["elements"]
+        report["serialize_s"] = round(serialize["seconds"], 6)
+        deserialize = kernels.get("exec_deserialize", {})
+        report["deserialize_s"] = round(
+            deserialize.get("seconds", 0.0), 6
+        )
+    return report
 
 
 def run(args) -> dict:
@@ -70,6 +130,7 @@ def run(args) -> dict:
     )
 
     results: dict = {}
+    attribution: dict = {}
     reference_answers = None
     for kind in BACKENDS:
         executor = make_executor(kind, jobs)
@@ -104,9 +165,28 @@ def run(args) -> dict:
             "batch_knn_wall_s": round(knn_s, 4),
             "batch_exact_wall_s": round(exact_s, 4),
         }
+        attribution[kind] = {
+            "batch_knn": _attributed(
+                lambda: batch_knn_target_node(
+                    index, queries, k=args.k, executor=executor
+                )
+            ),
+            "batch_exact": _attributed(
+                lambda: batch_exact_match(index, queries, executor=executor)
+            ),
+            "build": _attributed(build),
+        }
+        knn_attr = attribution[kind]["batch_knn"]
+        pickle_note = ""
+        if "pickle_bytes" in knn_attr:
+            pickle_note = (
+                f"   pickle {knn_attr['pickle_bytes']:,}B/"
+                f"{knn_attr['serialize_s'] * 1e3:.1f}ms"
+            )
         print(
             f"{kind:>10}: build {build_s:7.3f}s   "
-            f"batch-knn {knn_s:7.3f}s   batch-exact {exact_s:7.3f}s"
+            f"batch-knn {knn_s:7.3f}s   batch-exact {exact_s:7.3f}s   "
+            f"attributed {knn_attr['fraction']:4.0%}" + pickle_note
         )
 
     serial = results["serial"]
@@ -121,23 +201,57 @@ def run(args) -> dict:
             if results[kind][metric] > 0
         }
 
+    workload = {
+        "series": args.series,
+        "length": args.length,
+        "queries": args.queries,
+        "k": args.k,
+        "repeats": args.repeats,
+    }
+    host = host_info(jobs=jobs)
+    attribution_ok = all(
+        attribution[kind]["batch_knn"]["fraction"] >= ATTRIBUTION_TARGET
+        for kind in BACKENDS
+    )
+    # An ingestable repro.bench/v1 record of this run, so the executor
+    # benchmark feeds the same trajectory/compare machinery as
+    # `repro bench run` (repro bench ingest BENCH_parallel.json).
+    record = make_record(
+        bench="parallel",
+        metrics={
+            f"{kind}_{metric.replace('_wall_s', '')}_s": results[kind][metric]
+            for kind in BACKENDS
+            for metric in (
+                "build_wall_s", "batch_knn_wall_s", "batch_exact_wall_s"
+            )
+        },
+        accounting={
+            "partitions": len(index.partitions),
+            "knn_candidates": sum(
+                r.candidates_examined for r in knn_report.results
+            ),
+            "exact_found": sum(
+                1 for r in exact_report.results if r.record_ids
+            ),
+        },
+        answers=answers_digest([
+            [r.record_ids for r in knn_report.results],
+            [r.record_ids for r in exact_report.results],
+        ]),
+        params=workload,
+        host=host,
+        repeats=args.repeats,
+    )
     doc = {
         "benchmark": "bench_parallel",
-        "workload": {
-            "series": args.series,
-            "length": args.length,
-            "queries": args.queries,
-            "k": args.k,
-            "repeats": args.repeats,
-        },
-        "host": {
-            "cpu_count": os.cpu_count(),
-            "jobs": jobs,
-            "platform": platform.platform(),
-            "python": platform.python_version(),
-        },
+        "workload": workload,
+        "host": host,
         "answers_identical_across_backends": True,
         "results": results,
+        "attribution": attribution,
+        "attribution_target": ATTRIBUTION_TARGET,
+        "attribution_ok": attribution_ok,
+        "record": record,
     }
     best = max(
         results[k]["speedup_vs_serial"].get("batch_knn", 0.0)
@@ -145,8 +259,15 @@ def run(args) -> dict:
     )
     print(
         f"\nbest batch-knn speedup vs serial: {best:.2f}x "
-        f"on {os.cpu_count()} core(s)"
+        f"on {host['cpu_affinity']} available core(s)"
+        + (" [oversubscribed]" if host.get("oversubscribed") else "")
     )
+    if not attribution_ok:
+        print(
+            f"WARNING: batch-knn attribution under "
+            f"{ATTRIBUTION_TARGET:.0%} on some backend "
+            f"(unattributed time: see the 'attribution' section)"
+        )
     return doc
 
 

@@ -25,23 +25,34 @@ null spans, so two identical disabled configurations must agree to <3%
 within run noise.  The enabled-tracing overhead is reported alongside
 for sizing.
 
+A final *attribution* pass re-runs the batched closed loop with the
+kernel cost counters on (docs/OBSERVABILITY.md, "Cost attribution &
+profiling") and reports how much of the pass's wall the named kernels
+explain.  Serving walls include client think time and queue waits, so
+the fraction is informational here (unlike bench_parallel, where the
+batch stages must reach 90%); the per-kernel seconds still show where
+execute time actually goes.
+
+The host block records ``cpu_count`` *and* ``cpu_affinity`` (cores
+this process may actually schedule on — cgroup-limited in CI) plus
+``oversubscribed`` when the peak client concurrency exceeds them, so a
+committed report can't mistake scheduler thrash for a regression.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_serving.py                 # full
     PYTHONPATH=src python benchmarks/bench_serving.py --smoke --check # CI
     PYTHONPATH=src python benchmarks/bench_serving.py --out BENCH_serving.json
 
-Wall-clock numbers depend on the host (the report records cpu_count);
-the partitions-per-query ratios are load-dependent but hardware-
-independent.
+Wall-clock numbers depend on the host (the report records cpu_count
+and cpu_affinity); the partitions-per-query ratios are load-dependent
+but hardware-independent.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
-import os
-import platform
 import sys
 import time
 from pathlib import Path
@@ -50,9 +61,14 @@ import numpy as np
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
+from repro.bench import host_info  # noqa: E402
 from repro.core import TardisConfig, build_tardis_index  # noqa: E402
 from repro.experiments.loadgen import closed_loop, open_loop  # noqa: E402
 from repro.serving import QueryService  # noqa: E402
+from repro.telemetry.perf import (  # noqa: E402
+    KERNELS,
+    attributed_fraction,
+)
 from repro.tsdb import random_walk  # noqa: E402
 
 
@@ -181,6 +197,50 @@ def observability_overhead(index, pool, args) -> dict:
     return row
 
 
+def kernel_attribution(index, pool, args) -> dict:
+    """One batched closed-loop pass with the kernel counters enabled.
+
+    Serving wall time includes client think time, admission queueing
+    and flush-window delays, so the attributed fraction is expected to
+    sit well below bench_parallel's 90% bar — it is reported for
+    context, not gated.  The per-kernel seconds are the useful part:
+    they split the execute path (route, exec_compute, exec_dispatch)
+    out of the end-to-end latency.
+    """
+    KERNELS.enable(reset=True)
+    try:
+        t0 = time.perf_counter()
+        with make_service(index, args.batch) as service:
+            closed_loop(
+                service, pool, total=args.total, concurrency=8, seed=19,
+                op="knn", strategy="target-node", k=10,
+            )
+        wall_s = time.perf_counter() - t0
+    finally:
+        KERNELS.disable()
+    kernels = KERNELS.totals()
+    attributed_s, fraction = attributed_fraction(kernels, wall_s)
+    row = {
+        "scenario": "kernel-attribution",
+        "wall_s": round(wall_s, 6),
+        "attributed_s": round(attributed_s, 6),
+        "fraction": round(fraction, 4),
+        "kernels": {
+            name: {
+                "calls": stats["calls"],
+                "elements": stats["elements"],
+                "seconds": round(stats["seconds"], 6),
+            }
+            for name, stats in sorted(kernels.items())
+        },
+    }
+    print(
+        f"  attribution  {fraction:4.0%} of {wall_s:.2f}s wall in named "
+        f"kernels ({len(kernels)} kernels)"
+    )
+    return row
+
+
 def run(args) -> dict:
     dataset = random_walk(args.series, length=args.length, seed=97)
     dataset = dataset.z_normalized()
@@ -207,6 +267,7 @@ def run(args) -> dict:
     closed = closed_loop_scenarios(index, pool, args)
     open_row = open_loop_scenario(index, pool, args)
     overhead_row = observability_overhead(index, pool, args)
+    attribution_row = kernel_attribution(index, pool, args)
 
     def ratio(concurrency: int, scenario: str) -> float:
         for row in closed:
@@ -231,11 +292,9 @@ def run(args) -> dict:
     }
     return {
         "benchmark": "serving",
-        "host": {
-            "python": platform.python_version(),
-            "platform": platform.platform(),
-            "cpu_count": os.cpu_count(),
-        },
+        # jobs = peak client concurrency: that is the parallelism the
+        # closed-loop driver actually offers the box.
+        "host": host_info(jobs=max(args.concurrencies)),
         "workload": {
             "series": args.series,
             "length": args.length,
@@ -250,6 +309,7 @@ def run(args) -> dict:
         "closed_loop": closed,
         "open_loop": open_row,
         "observability_overhead": overhead_row,
+        "attribution": attribution_row,
         "checks": checks,
     }
 

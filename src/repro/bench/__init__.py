@@ -1,0 +1,52 @@
+"""Benchmark trajectory store and regression gate (``repro bench``).
+
+Benchmarks are only useful when their history is: a single
+``BENCH_*.json`` shows where time goes *today*, but regressions are a
+relation between two runs.  This package gives benchmark results a
+versioned record schema (``repro.bench/v1``), an append-only trajectory
+store under ``benchmark_results/trajectory/``, and a noise-tolerant
+comparator CI can gate on:
+
+* :mod:`~repro.bench.records` — the ``repro.bench/v1`` document:
+  median-of-repeats timing ``metrics``, exact ``accounting`` counts, an
+  ``answers`` digest, and a host block that states how many cores were
+  *actually available* (``cpu_affinity``), not just how many exist.
+* :mod:`~repro.bench.trajectory` — numbered, append-only run history
+  per benchmark (``<bench>/0001.json``, ``0002.json``, ...).
+* :mod:`~repro.bench.compare` — the regression policy: answer or
+  accounting drift is a hard failure at any magnitude (those are
+  correctness, not noise); wall-clock changes gate at ``--fail-pct``
+  and warn at ``--warn-pct``, and ``--timing warn`` downgrades timing
+  failures for cross-host comparisons where wall clocks don't transfer.
+* :mod:`~repro.bench.suites` — built-in self-contained suites
+  (``micro``) so ``repro bench run`` needs no external files.
+* :mod:`~repro.bench.cli` — the ``repro bench run/ingest/compare/
+  history`` subcommands (registered by :mod:`repro.cli`).
+
+See docs/EXPERIMENTS.md ("Benchmark trajectory") for the workflow.
+"""
+
+from .compare import CompareResult, Finding, compare_records
+from .records import (
+    BENCH_SCHEMA,
+    answers_digest,
+    host_info,
+    make_record,
+    validate_bench,
+)
+from .suites import SUITES, run_micro
+from .trajectory import TrajectoryStore
+
+__all__ = [
+    "BENCH_SCHEMA",
+    "make_record",
+    "validate_bench",
+    "host_info",
+    "answers_digest",
+    "TrajectoryStore",
+    "CompareResult",
+    "Finding",
+    "compare_records",
+    "SUITES",
+    "run_micro",
+]

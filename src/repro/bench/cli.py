@@ -1,0 +1,189 @@
+"""The ``repro bench`` subcommands: run, ingest, compare, history.
+
+Registered by :func:`repro.cli.build_parser`; kept here so the bench
+workflow stays one importable unit.  The CI perf job drives these::
+
+    repro bench run --suite micro --repeats 3 --out run.json
+    repro bench compare benchmark_results/baselines/micro.json run.json
+    repro bench ingest benchmark_results/BENCH_parallel.json
+    repro bench history
+
+``compare`` exits non-zero when the candidate regresses past the fail
+threshold or breaks answer/accounting equivalence — that exit code *is*
+the regression gate.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from .compare import compare_records
+from .records import BENCH_SCHEMA, validate_bench
+from .suites import SUITES
+from .trajectory import DEFAULT_TRAJECTORY_DIR, TrajectoryStore
+
+__all__ = ["register"]
+
+
+def _cmd_run(args) -> int:
+    suite = SUITES[args.suite]
+    record = suite(
+        series=args.series, queries=args.queries, k=args.k,
+        repeats=args.repeats,
+    )
+    if args.out:
+        out = Path(args.out)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(
+            json.dumps(record, indent=2, sort_keys=True) + "\n"
+        )
+        print(f"wrote record to {args.out}")
+    if not args.no_append:
+        path = TrajectoryStore(args.dir).append(record)
+        print(f"appended run to {path}")
+    for name, value in record["metrics"].items():
+        print(f"  {name:<16} {value:.6f}s  (median of {record['repeats']})")
+    attribution = record.get("attribution")
+    if attribution:
+        print(
+            f"  attribution      {attribution['fraction']:.0%} of "
+            f"{attribution['wall_s']:.6f}s wall explained by kernels"
+        )
+    return 0
+
+
+def _load_report(path: Path) -> dict:
+    """A bench record from either a bare record file or a benchmark
+    report (``BENCH_*.json``) embedding one under ``"record"``."""
+    doc = json.loads(path.read_text())
+    if isinstance(doc, dict) and doc.get("schema") != BENCH_SCHEMA \
+            and isinstance(doc.get("record"), dict):
+        doc = doc["record"]
+    validate_bench(doc)
+    return doc
+
+
+def _cmd_ingest(args) -> int:
+    try:
+        record = _load_report(Path(args.report))
+    except (OSError, json.JSONDecodeError, ValueError) as exc:
+        raise SystemExit(f"cannot ingest {args.report}: {exc}")
+    path = TrajectoryStore(args.dir).append(record)
+    print(f"ingested {args.report} -> {path}")
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    try:
+        baseline = _load_report(Path(args.baseline))
+    except (OSError, json.JSONDecodeError, ValueError) as exc:
+        raise SystemExit(f"cannot read baseline {args.baseline}: {exc}")
+    if args.candidate:
+        try:
+            candidate = _load_report(Path(args.candidate))
+        except (OSError, json.JSONDecodeError, ValueError) as exc:
+            raise SystemExit(f"cannot read candidate {args.candidate}: {exc}")
+    else:
+        candidate = TrajectoryStore(args.dir).latest(baseline["bench"])
+        if candidate is None:
+            raise SystemExit(
+                f"no trajectory runs for bench {baseline['bench']!r} "
+                f"under {args.dir} (pass an explicit candidate file)"
+            )
+    try:
+        result = compare_records(
+            baseline, candidate,
+            warn_pct=args.warn_pct, fail_pct=args.fail_pct,
+            timing=args.timing,
+        )
+    except ValueError as exc:
+        raise SystemExit(f"cannot compare: {exc}")
+    print(result.summary())
+    return result.exit_code
+
+
+def _cmd_history(args) -> int:
+    store = TrajectoryStore(args.dir)
+    benches = [args.bench] if args.bench else store.benches()
+    if not benches:
+        print(f"no trajectory runs under {args.dir}")
+        return 0
+    for bench in benches:
+        runs = store.history(bench)
+        print(f"{bench}: {len(runs)} run(s)")
+        for path in runs:
+            record = store.load(path)
+            metrics = "  ".join(
+                f"{name}={value:.4f}s"
+                for name, value in record["metrics"].items()
+            )
+            host = record.get("host", {})
+            cores = (
+                f"{host.get('cpu_affinity', '?')}/"
+                f"{host.get('cpu_count', '?')} cores"
+            )
+            print(f"  {path.name}  {metrics}  [{cores}]")
+    return 0
+
+
+def register(add_parser) -> None:
+    """Attach the ``bench`` subcommand tree to the main CLI parser."""
+    bench = add_parser(
+        "bench", help="benchmark trajectory: run, ingest, compare, history"
+    )
+    sub = bench.add_subparsers(dest="bench_command", required=True)
+
+    run = sub.add_parser(
+        "run", help="run a built-in suite and append it to the trajectory"
+    )
+    run.add_argument("--suite", choices=sorted(SUITES), default="micro")
+    run.add_argument("--repeats", type=int, default=3,
+                     help="timed repeats per section (median is recorded)")
+    run.add_argument("--series", type=int, default=1200)
+    run.add_argument("--queries", type=int, default=40)
+    run.add_argument("--k", type=int, default=5)
+    run.add_argument("--dir", default=DEFAULT_TRAJECTORY_DIR,
+                     help="trajectory root directory")
+    run.add_argument("--out", metavar="FILE",
+                     help="also write the record JSON to FILE")
+    run.add_argument("--no-append", action="store_true",
+                     help="do not append to the trajectory directory")
+    run.set_defaults(fn=_cmd_run)
+
+    ingest = sub.add_parser(
+        "ingest",
+        help="append a benchmark report's record to the trajectory",
+    )
+    ingest.add_argument("report", help="record JSON or BENCH_*.json report")
+    ingest.add_argument("--dir", default=DEFAULT_TRAJECTORY_DIR)
+    ingest.set_defaults(fn=_cmd_ingest)
+
+    compare = sub.add_parser(
+        "compare",
+        help="gate a candidate run against a baseline (exit 1 on "
+             "regression)",
+    )
+    compare.add_argument("baseline", help="baseline record JSON")
+    compare.add_argument("candidate", nargs="?",
+                         help="candidate record JSON (default: newest "
+                              "trajectory run of the same bench)")
+    compare.add_argument("--dir", default=DEFAULT_TRAJECTORY_DIR)
+    compare.add_argument("--warn-pct", type=float, default=10.0,
+                         help="timing regressions past this warn")
+    compare.add_argument("--fail-pct", type=float, default=30.0,
+                         help="timing regressions past this fail")
+    compare.add_argument("--timing", choices=("gate", "warn"),
+                         default="gate",
+                         help="'warn' downgrades timing failures (for "
+                              "cross-host comparisons); answer and "
+                              "accounting drift always fail")
+    compare.set_defaults(fn=_cmd_compare)
+
+    history = sub.add_parser(
+        "history", help="list stored trajectory runs"
+    )
+    history.add_argument("--bench", default=None,
+                         help="only this benchmark (default: all)")
+    history.add_argument("--dir", default=DEFAULT_TRAJECTORY_DIR)
+    history.set_defaults(fn=_cmd_history)

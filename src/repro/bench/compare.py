@@ -1,0 +1,162 @@
+"""Noise-tolerant benchmark comparison: the regression policy.
+
+Two records of the same benchmark are compared section by section, and
+the sections deliberately get different treatment:
+
+* **answers** (digest) and **accounting** (integer counts) are
+  deterministic — any drift is a *hard failure* regardless of timing
+  policy, because a benchmark whose answers or work counts changed is
+  measuring something else now.
+* **metrics** (wall-clock seconds, median of repeats) are noisy —
+  a regression worse than ``fail_pct`` fails, one worse than
+  ``warn_pct`` warns, anything inside the noise band passes silently,
+  and improvements are reported informationally.  ``timing="warn"``
+  downgrades timing failures to warnings for comparisons across
+  different hosts, where wall clocks are not transferable but answer /
+  accounting equivalence still is.
+
+Comparing records of *different benchmarks or schemas* raises
+``ValueError`` — that is a harness bug, not a regression.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .records import validate_bench
+
+__all__ = ["Finding", "CompareResult", "compare_records"]
+
+
+@dataclass
+class Finding:
+    """One comparator observation: ``fail`` / ``warn`` / ``info``."""
+
+    level: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.level.upper():<5} {self.message}"
+
+
+@dataclass
+class CompareResult:
+    """Outcome of one baseline-vs-candidate comparison."""
+
+    bench: str
+    findings: list[Finding] = field(default_factory=list)
+
+    @property
+    def failures(self) -> list[Finding]:
+        return [f for f in self.findings if f.level == "fail"]
+
+    @property
+    def warnings(self) -> list[Finding]:
+        return [f for f in self.findings if f.level == "warn"]
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    @property
+    def exit_code(self) -> int:
+        return 0 if self.ok else 1
+
+    def summary(self) -> str:
+        lines = [
+            f"bench {self.bench}: "
+            + ("PASS" if self.ok else f"FAIL ({len(self.failures)} failure(s))")
+        ]
+        lines += [f"  {finding}" for finding in self.findings]
+        if not self.findings:
+            lines.append("  no differences beyond noise")
+        return "\n".join(lines)
+
+
+def _pct(baseline: float, candidate: float) -> float:
+    """Relative change in percent (positive = candidate is slower)."""
+    return (candidate - baseline) / baseline * 100.0
+
+
+def compare_records(
+    baseline: dict,
+    candidate: dict,
+    warn_pct: float = 10.0,
+    fail_pct: float = 30.0,
+    timing: str = "gate",
+) -> CompareResult:
+    """Compare two ``repro.bench/v1`` records of the same benchmark.
+
+    Returns a :class:`CompareResult`; raises ``ValueError`` when either
+    document is invalid, schemas differ, or the benchmark names differ.
+    """
+    if timing not in ("gate", "warn"):
+        raise ValueError(f"timing must be 'gate' or 'warn', not {timing!r}")
+    if not 0 <= warn_pct <= fail_pct:
+        raise ValueError("need 0 <= warn_pct <= fail_pct")
+    validate_bench(baseline)
+    validate_bench(candidate)
+    if baseline["bench"] != candidate["bench"]:
+        raise ValueError(
+            f"cannot compare different benchmarks: "
+            f"{baseline['bench']!r} vs {candidate['bench']!r}"
+        )
+    result = CompareResult(bench=baseline["bench"])
+    add = result.findings.append
+
+    # -- answers: hard equivalence ------------------------------------------
+    base_answers = baseline.get("answers")
+    cand_answers = candidate.get("answers")
+    if base_answers is not None:
+        if cand_answers is None:
+            add(Finding("fail", "candidate dropped the answers digest"))
+        elif cand_answers != base_answers:
+            add(Finding(
+                "fail",
+                f"answers changed: {base_answers[:23]}... -> "
+                f"{cand_answers[:23]}... (results are not equivalent)",
+            ))
+
+    # -- accounting: exact integer equality ---------------------------------
+    base_acct = baseline.get("accounting", {})
+    cand_acct = candidate.get("accounting", {})
+    for name in sorted(base_acct):
+        if name not in cand_acct:
+            add(Finding("fail", f"accounting {name!r} missing from candidate"))
+        elif cand_acct[name] != base_acct[name]:
+            add(Finding(
+                "fail",
+                f"accounting {name!r} drifted: "
+                f"{base_acct[name]:,} -> {cand_acct[name]:,}",
+            ))
+    for name in sorted(set(cand_acct) - set(base_acct)):
+        add(Finding("info", f"new accounting field {name!r}"))
+
+    # -- metrics: relative thresholds ---------------------------------------
+    timing_fail = "fail" if timing == "gate" else "warn"
+    for name in sorted(baseline["metrics"]):
+        base_value = baseline["metrics"][name]
+        if name not in candidate["metrics"]:
+            add(Finding("fail", f"metric {name!r} missing from candidate"))
+            continue
+        cand_value = candidate["metrics"][name]
+        if base_value == 0:
+            if cand_value > 0:
+                add(Finding("info", f"{name}: 0 -> {cand_value:.6f}s"))
+            continue
+        change = _pct(base_value, cand_value)
+        detail = (
+            f"{name}: {base_value:.6f}s -> {cand_value:.6f}s "
+            f"({change:+.1f}%)"
+        )
+        if change > fail_pct:
+            add(Finding(timing_fail, f"regression beyond {fail_pct:g}%: "
+                                     + detail))
+        elif change > warn_pct:
+            add(Finding("warn", f"regression beyond {warn_pct:g}%: "
+                                + detail))
+        elif change < -warn_pct:
+            add(Finding("info", "improved: " + detail))
+    for name in sorted(set(candidate["metrics"]) - set(baseline["metrics"])):
+        add(Finding("info", f"new metric {name!r}"))
+    return result

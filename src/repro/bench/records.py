@@ -1,0 +1,159 @@
+"""The ``repro.bench/v1`` record: schema, host fidelity, validation.
+
+One record describes one benchmark run.  Three sections carry the
+comparable payload, with deliberately different regression semantics
+(see :mod:`repro.bench.compare`):
+
+* ``metrics`` — wall-clock seconds (median of repeats).  Noisy by
+  nature; compared with relative thresholds.
+* ``accounting`` — exact integer counts (partitions loaded, candidates
+  examined, records indexed).  Deterministic; any drift is a failure.
+* ``answers`` — a digest of the actual query results.  Deterministic;
+  any drift is a failure (a faster benchmark that returns different
+  neighbors did not get faster, it got wrong).
+
+The ``host`` block records both ``cpu_count`` (hardware view) and
+``cpu_affinity`` (what the scheduler will actually give this process —
+cgroup/taskset-limited in CI containers), plus ``oversubscribed`` when
+the run used more jobs than available cores, so a trajectory reader can
+tell a regression from a smaller machine.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import platform
+import time
+
+__all__ = [
+    "BENCH_SCHEMA",
+    "host_info",
+    "answers_digest",
+    "make_record",
+    "validate_bench",
+]
+
+BENCH_SCHEMA = "repro.bench/v1"
+
+
+def host_info(jobs: int | None = None) -> dict:
+    """Describe the machine a benchmark ran on.
+
+    ``cpu_affinity`` is the honest core count: ``os.cpu_count()`` sees
+    the whole machine, while ``sched_getaffinity`` sees the cpuset this
+    process may schedule on.  When ``jobs`` is given and exceeds the
+    affinity set, the run was oversubscribed and its parallel timings
+    measure contention, not speedup — recorded, not hidden.
+    """
+    cpu_count = os.cpu_count() or 1
+    try:
+        cpu_affinity = len(os.sched_getaffinity(0))
+    except (AttributeError, OSError):  # non-Linux
+        cpu_affinity = cpu_count
+    info = {
+        "cpu_count": cpu_count,
+        "cpu_affinity": cpu_affinity,
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+    }
+    if jobs is not None:
+        info["jobs"] = int(jobs)
+        info["oversubscribed"] = int(jobs) > cpu_affinity
+    return info
+
+
+def answers_digest(answers: object, precision: int = 6) -> str:
+    """Deterministic digest of query answers.
+
+    ``answers`` is any JSON-serializable structure of record ids and
+    distances; floats are rounded to ``precision`` decimals first so the
+    digest tolerates last-ulp float jitter across numpy versions while
+    still catching any real answer change.
+    """
+
+    def _round(value):
+        if isinstance(value, float):
+            return round(value, precision)
+        if isinstance(value, dict):
+            return {k: _round(v) for k, v in sorted(value.items())}
+        if isinstance(value, (list, tuple)):
+            return [_round(v) for v in value]
+        return value
+
+    blob = json.dumps(_round(answers), sort_keys=True).encode()
+    return "sha256:" + hashlib.sha256(blob).hexdigest()
+
+
+def make_record(
+    bench: str,
+    metrics: dict,
+    accounting: dict | None = None,
+    answers: str | None = None,
+    params: dict | None = None,
+    host: dict | None = None,
+    repeats: int = 1,
+    attribution: dict | None = None,
+) -> dict:
+    """Assemble a ``repro.bench/v1`` record (validated before return)."""
+    record = {
+        "schema": BENCH_SCHEMA,
+        "bench": bench,
+        "created_s": round(time.time(), 3),
+        "repeats": int(repeats),
+        "host": host if host is not None else host_info(),
+        "params": dict(params or {}),
+        "metrics": {k: float(v) for k, v in sorted(metrics.items())},
+        "accounting": {
+            k: int(v) for k, v in sorted((accounting or {}).items())
+        },
+    }
+    if answers is not None:
+        record["answers"] = answers
+    if attribution is not None:
+        record["attribution"] = attribution
+    validate_bench(record)
+    return record
+
+
+def validate_bench(doc: object) -> int:
+    """Schema-check a ``repro.bench/v1`` record; returns the metric count.
+
+    Raises ``ValueError`` naming the first violation (same contract as
+    the telemetry validators).
+    """
+    if not isinstance(doc, dict):
+        raise ValueError("bench record must be a JSON object")
+    if doc.get("schema") != BENCH_SCHEMA:
+        raise ValueError(
+            f"unexpected schema {doc.get('schema')!r}, want {BENCH_SCHEMA!r}"
+        )
+    bench = doc.get("bench")
+    if not isinstance(bench, str) or not bench:
+        raise ValueError("'bench' must be a non-empty string")
+    repeats = doc.get("repeats", 1)
+    if not isinstance(repeats, int) or repeats < 1:
+        raise ValueError("'repeats' must be an integer >= 1")
+    metrics = doc.get("metrics")
+    if not isinstance(metrics, dict) or not metrics:
+        raise ValueError("'metrics' must be a non-empty object")
+    for name, value in metrics.items():
+        if not isinstance(value, (int, float)) or isinstance(value, bool) \
+                or value < 0:
+            raise ValueError(f"metric {name!r} must be a number >= 0")
+    accounting = doc.get("accounting", {})
+    if not isinstance(accounting, dict):
+        raise ValueError("'accounting' must be an object")
+    for name, value in accounting.items():
+        if not isinstance(value, int) or isinstance(value, bool):
+            raise ValueError(f"accounting {name!r} must be an integer")
+    answers = doc.get("answers")
+    if answers is not None and (
+        not isinstance(answers, str) or not answers
+    ):
+        raise ValueError("'answers' must be a non-empty string when present")
+    host = doc.get("host")
+    if host is not None and not isinstance(host, dict):
+        raise ValueError("'host' must be an object when present")
+    return len(metrics)

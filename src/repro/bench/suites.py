@@ -1,0 +1,135 @@
+"""Built-in, self-contained benchmark suites for ``repro bench run``.
+
+The ``micro`` suite covers the pipeline end to end in a few seconds —
+index construction, batch kNN, exact match — with deterministic inputs,
+so CI can grow a meaningful trajectory without external datasets.  It
+measures what the paper's experiments measure (construction cost, query
+cost, work counts) at fixture scale, and doubles as the regression
+canary for the kernel instrumentation: every run re-derives the answer
+digest, so a change that alters results fails ``repro bench compare``
+no matter how it affects the clock.
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+
+from ..telemetry.perf import KERNELS, attributed_fraction
+from .records import answers_digest, host_info, make_record
+
+__all__ = ["SUITES", "run_micro"]
+
+
+def _median_of(fn, repeats: int) -> tuple[float, object]:
+    """``(median wall seconds, last result)`` over ``repeats`` runs."""
+    walls = []
+    result = None
+    for _ in range(max(1, repeats)):
+        t0 = time.perf_counter()
+        result = fn()
+        walls.append(time.perf_counter() - t0)
+    return statistics.median(walls), result
+
+
+def run_micro(
+    series: int = 1200,
+    length: int = 64,
+    queries: int = 40,
+    k: int = 5,
+    repeats: int = 3,
+    seed: int = 42,
+) -> dict:
+    """Run the micro suite; returns a validated ``repro.bench/v1`` record.
+
+    Sections timed (median of ``repeats``): ``build_s`` (full index
+    construction), ``batch_knn_s`` (grouped target-node kNN over the
+    query set), ``exact_match_s`` (one guaranteed-hit lookup).  A final
+    counters-enabled kNN pass adds the ``attribution`` block: top-level
+    kernel seconds and the fraction of that pass's wall they explain.
+    """
+    from ..core import TardisConfig, build_tardis_index, exact_match
+    from ..core.batch import batch_knn_target_node
+    from ..tsdb import random_walk
+
+    dataset = random_walk(series, length=length, seed=seed).z_normalized()
+    query_set = (
+        random_walk(queries, length=length, seed=seed + 1)
+        .z_normalized().values
+    )
+    config = TardisConfig(g_max_size=max(60, series // 4), l_max_size=30)
+
+    build_s, index = _median_of(
+        lambda: build_tardis_index(dataset, config), repeats
+    )
+    batch_knn_s, batch_report = _median_of(
+        lambda: batch_knn_target_node(index, query_set, k=k), repeats
+    )
+    exact_match_s, exact_result = _median_of(
+        lambda: exact_match(index, dataset.values[0]), repeats
+    )
+
+    answers = [
+        {
+            "ids": [n.record_id for n in r.neighbors],
+            "distances": [float(n.distance) for n in r.neighbors],
+        }
+        for r in batch_report.results
+    ]
+    accounting = {
+        "records_indexed": index.n_records,
+        "partitions": len(index.partitions),
+        "batch_partitions_loaded": batch_report.partitions_loaded,
+        "candidates_examined": sum(
+            r.candidates_examined for r in batch_report.results
+        ),
+        "exact_found": int(exact_result.found),
+    }
+
+    # Attribution pass: counters on, one extra kNN batch, fraction of
+    # that pass's own wall explained by the top-level kernels.
+    was_enabled = KERNELS.enabled
+    KERNELS.enable(reset=True)
+    try:
+        t0 = time.perf_counter()
+        batch_knn_target_node(index, query_set, k=k)
+        attribution_wall_s = time.perf_counter() - t0
+        kernels = KERNELS.totals()
+    finally:
+        KERNELS.enabled = was_enabled
+    attributed_s, fraction = attributed_fraction(kernels, attribution_wall_s)
+    attribution = {
+        "wall_s": round(attribution_wall_s, 6),
+        "attributed_s": round(attributed_s, 6),
+        "fraction": round(fraction, 4),
+        "kernels": {
+            name: {
+                "calls": row["calls"],
+                "elements": row["elements"],
+                "seconds": round(row["seconds"], 6),
+            }
+            for name, row in sorted(kernels.items())
+        },
+    }
+
+    return make_record(
+        bench="micro",
+        metrics={
+            "build_s": build_s,
+            "batch_knn_s": batch_knn_s,
+            "exact_match_s": exact_match_s,
+        },
+        accounting=accounting,
+        answers=answers_digest(answers),
+        params={
+            "series": series, "length": length, "queries": queries,
+            "k": k, "seed": seed,
+        },
+        host=host_info(),
+        repeats=repeats,
+        attribution=attribution,
+    )
+
+
+#: Suites ``repro bench run --suite`` can execute.
+SUITES = {"micro": run_micro}

@@ -1,0 +1,73 @@
+"""Append-only, numbered benchmark run history.
+
+Layout::
+
+    benchmark_results/trajectory/
+        micro/
+            0001.json
+            0002.json
+        parallel/
+            0001.json
+
+Runs are never rewritten: ``append`` always takes the next free number,
+so the directory *is* the trajectory and plain ``git log`` / ``diff``
+tooling works on it.  Numbers (not timestamps) name the files so the
+ordering survives clock skew and the listing stays diff-stable.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from .records import validate_bench
+
+__all__ = ["DEFAULT_TRAJECTORY_DIR", "TrajectoryStore"]
+
+DEFAULT_TRAJECTORY_DIR = "benchmark_results/trajectory"
+
+
+class TrajectoryStore:
+    """Numbered per-benchmark run files under one root directory."""
+
+    def __init__(self, root: str | Path = DEFAULT_TRAJECTORY_DIR):
+        self.root = Path(root)
+
+    def history(self, bench: str) -> list[Path]:
+        """Existing run files for ``bench``, oldest first."""
+        bench_dir = self.root / bench
+        if not bench_dir.is_dir():
+            return []
+        return sorted(bench_dir.glob("[0-9][0-9][0-9][0-9].json"))
+
+    def append(self, record: dict) -> Path:
+        """Validate and store ``record`` as the next numbered run."""
+        validate_bench(record)
+        bench_dir = self.root / record["bench"]
+        bench_dir.mkdir(parents=True, exist_ok=True)
+        existing = self.history(record["bench"])
+        next_n = (int(existing[-1].stem) + 1) if existing else 1
+        path = bench_dir / f"{next_n:04d}.json"
+        path.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+        return path
+
+    @staticmethod
+    def load(path: str | Path) -> dict:
+        """Read and validate one run file."""
+        doc = json.loads(Path(path).read_text())
+        validate_bench(doc)
+        return doc
+
+    def latest(self, bench: str) -> dict | None:
+        """The newest stored run for ``bench``, or None."""
+        runs = self.history(bench)
+        return self.load(runs[-1]) if runs else None
+
+    def benches(self) -> list[str]:
+        """Benchmark names with at least one stored run."""
+        if not self.root.is_dir():
+            return []
+        return sorted(
+            d.name for d in self.root.iterdir()
+            if d.is_dir() and self.history(d.name)
+        )

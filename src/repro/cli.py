@@ -9,11 +9,14 @@ code:
 * ``exact`` — exact-match lookup of a series against a persisted index
 * ``knn`` — kNN with an approximate strategy or exact best-first search
 * ``range`` — all series within a Euclidean radius
-* ``stats`` — pretty-print a trace previously saved with ``--trace``
+* ``stats`` — pretty-print a trace (or ``repro.perf/v1`` kernel
+  report) previously saved with ``--trace``/``--perf``
 * ``serve`` — long-lived JSON-lines TCP query server over an index
 * ``query-remote`` — query (or fetch SLO stats from) a running server
 * ``top`` — live operational view of a running server (SLO, queue,
   caches, partition skew), refreshed on an interval
+* ``bench`` — run/ingest/compare/history for versioned benchmark
+  records (``repro.bench/v1``; see docs/EXPERIMENTS.md)
 
 Series inputs are ``.npy`` files (one 1-D array) or ``--row N`` of a
 generated ``.npz`` dataset.
@@ -21,9 +24,11 @@ generated ``.npz`` dataset.
 Observability (docs/OBSERVABILITY.md): ``-v``/``-q`` tune diagnostic
 logging; ``build``/``exact``/``knn``/``range`` accept ``--trace FILE``
 (JSON span tree of the run), ``--metrics FILE`` (Prometheus-style
-counters), and ``--profile-spans [SUBSTR]`` (cProfile hot functions per
-span); the query commands take ``--cache N`` to enable the LRU
-partition cache.  ``serve`` traces every request by default
+counters), ``--profile-spans [SUBSTR]`` (cProfile hot functions per
+span), ``--perf FILE`` (kernel-level cost counters as a
+``repro.perf/v1`` report), and ``--folded FILE`` (flamegraph-ready
+collapsed stacks from the span profiles); the query commands take
+``--cache N`` to enable the LRU partition cache.  ``serve`` traces every request by default
 (``--no-trace-requests`` opts out), journals slow queries
 (``--slow-query-ms``, ``--journal-sample``, ``--journal FILE``), and
 dumps its span forest with ``--trace-file FILE``; ``query-remote
@@ -422,6 +427,16 @@ def _cmd_top(args) -> int:
             cache = report.get("result_cache_hit_rate", 0.0)
             journal = report.get("journal", {})
             slow = journal.get("by_kind", {}).get("slow-query", 0)
+            kernels = report.get("kernels") or {}
+            hot = ""
+            if kernels:
+                # The hottest kernel by cumulative seconds — the live
+                # "where do this server's cycles go" column.
+                name, row = max(
+                    kernels.items(),
+                    key=lambda kv: kv[1].get("seconds", 0.0),
+                )
+                hot = f" | hot {name} {row.get('seconds', 0.0):.2f}s"
             print(
                 f"qps {qps:7.1f} | "
                 f"p50/p95/p99 {latency['p50_s'] * 1e3:6.2f}/"
@@ -432,7 +447,7 @@ def _cmd_top(args) -> int:
                 f"cache {cache:4.0%} | "
                 f"skew {skew.get('skew', 0.0):4.1f}x "
                 f"({skew.get('partitions_touched', 0)} parts) | "
-                f"slow {slow}",
+                f"slow {slow}" + hot,
                 flush=True,
             )
             if iterations is not None:
@@ -446,11 +461,22 @@ def _cmd_top(args) -> int:
 
 
 def _cmd_stats(args) -> int:
-    """Pretty-print a trace saved earlier with ``--trace``."""
+    """Pretty-print a trace saved with ``--trace`` or a kernel report
+    saved with ``--perf`` (dispatched on the file's ``schema``)."""
     try:
         doc = json.loads(Path(args.trace_file).read_text())
     except (OSError, json.JSONDecodeError) as exc:
         raise SystemExit(f"cannot read trace {args.trace_file}: {exc}")
+    if isinstance(doc, dict) and doc.get("schema") == telemetry.PERF_SCHEMA:
+        try:
+            telemetry.validate_perf(doc)
+        except ValueError as exc:
+            raise SystemExit(f"invalid perf report {args.trace_file}: {exc}")
+        print(telemetry.summarize_kernels(doc["kernels"], limit=args.depth))
+        profiles = doc.get("folded_profiles", 0)
+        if profiles:
+            print(f"({profiles} folded span profile(s) captured)")
+        return 0
     try:
         print(telemetry.summarize_trace(doc, max_depth=args.depth))
     except ValueError as exc:
@@ -463,6 +489,13 @@ def _add_telemetry_flags(cmd: argparse.ArgumentParser) -> None:
                      help="write a JSON execution trace of this command")
     cmd.add_argument("--metrics", metavar="FILE",
                      help="write Prometheus-style metrics for this command")
+    cmd.add_argument("--perf", metavar="FILE",
+                     help="enable kernel cost counters and write a "
+                          "repro.perf/v1 report for this command")
+    cmd.add_argument("--folded", metavar="FILE",
+                     help="write flamegraph-compatible collapsed stacks "
+                          "from the span profiles (implies span "
+                          "profiling)")
     _add_profile_flag(cmd)
 
 
@@ -600,6 +633,10 @@ def build_parser() -> argparse.ArgumentParser:
     srv.add_argument("--deadline-ms", type=float, default=None, metavar="MS",
                      help="default per-request latency budget; queued "
                           "requests past it are shed, never executed")
+    srv.add_argument("--perf", metavar="FILE",
+                     help="enable kernel cost counters for the server's "
+                          "lifetime and write a repro.perf/v1 report on "
+                          "shutdown (repro top shows the hot kernel live)")
     _add_profile_flag(srv)
     srv.set_defaults(fn=_cmd_serve)
 
@@ -643,11 +680,19 @@ def build_parser() -> argparse.ArgumentParser:
                      help="stop after N rows (default: until Ctrl-C)")
     top.set_defaults(fn=_cmd_top)
 
-    stats = add_parser("stats", help="pretty-print a saved --trace file")
-    stats.add_argument("trace_file", help="trace JSON written by --trace")
+    stats = add_parser("stats",
+                       help="pretty-print a saved --trace or --perf file")
+    stats.add_argument("trace_file",
+                       help="trace JSON written by --trace, or a "
+                            "repro.perf/v1 report written by --perf")
     stats.add_argument("--depth", type=int, default=None,
-                       help="max span depth to print")
+                       help="max span depth (traces) or kernel rows "
+                            "(perf reports) to print")
     stats.set_defaults(fn=_cmd_stats)
+
+    from .bench.cli import register as register_bench
+
+    register_bench(add_parser)
     return parser
 
 
@@ -672,14 +717,22 @@ def main(argv: list[str] | None = None) -> int:
     if not isinstance(trace_path, str):
         trace_path = None
     metrics_path = getattr(args, "metrics", None)
+    perf_path = getattr(args, "perf", None)
+    folded_path = getattr(args, "folded", None)
     profile_pattern = getattr(args, "profile_spans", None)
-    if profile_pattern is not None:
-        # "" (bare --profile-spans) means profile every span.
+    if profile_pattern is not None or folded_path:
+        # "" (bare --profile-spans) means profile every span; --folded
+        # without --profile-spans profiles everything too.
         telemetry.get_tracer().enable_span_profiling(
-            pattern=profile_pattern or None
+            pattern=profile_pattern or None,
+            folded=bool(folded_path),
         )
-    if trace_path:
+    if trace_path or folded_path:
+        # Folded capture rides the span-profiling hook, which only
+        # fires on live spans — so --folded implies tracing.
         telemetry.enable_tracing()
+    if perf_path:
+        telemetry.enable_kernel_counters()
     if metrics_path:
         # Fresh counters per invocation so the file describes this command
         # alone (library embedders accumulate across calls instead).
@@ -693,14 +746,25 @@ def main(argv: list[str] | None = None) -> int:
             if trace_path:
                 telemetry.write_trace(telemetry.get_tracer(), trace_path)
                 logger.info("wrote execution trace to %s", trace_path)
+            if perf_path:
+                telemetry.write_perf(perf_path)
+                logger.info("wrote kernel perf report to %s", perf_path)
+            if folded_path:
+                telemetry.get_folded().write(folded_path)
+                logger.info("wrote folded stacks to %s", folded_path)
             if metrics_path:
+                if perf_path:
+                    # Kernel totals ride the Prometheus exposition too.
+                    telemetry.publish_to_registry()
                 telemetry.write_metrics(telemetry.get_registry(), metrics_path)
                 logger.info("wrote metrics to %s", metrics_path)
         except OSError as exc:
             raise SystemExit(f"cannot write telemetry output: {exc}")
         finally:
-            if trace_path:
+            if trace_path or folded_path:
                 telemetry.disable_tracing()
+            if perf_path:
+                telemetry.disable_kernel_counters()
     return code
 
 

@@ -46,6 +46,8 @@ import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 
+from ..telemetry.perf import KERNELS as _KERNELS
+
 __all__ = [
     "EXECUTOR_KINDS",
     "SerialExecutor",
@@ -64,6 +66,37 @@ logger = logging.getLogger(__name__)
 EXECUTOR_KINDS = ("serial", "threads", "processes")
 
 _DEFAULT_KIND = "threads"
+
+
+def _timed_task(fn, task_walls: list):
+    """Wrap ``fn`` so each task's wall time lands on ``exec_compute``.
+
+    ``task_walls`` collects the per-task durations (list.append is
+    atomic under the GIL, so thread pools share one list safely); the
+    dispatching ``map_tasks`` subtracts their sum from its own wall to
+    charge the residual — submission, scheduling, result collection —
+    to ``exec_dispatch``.  Only installed when the kernel counters are
+    enabled, so the disabled path keeps its zero-wrapper fast path.
+    """
+
+    def run(index, item):
+        t0 = time.perf_counter()
+        try:
+            return fn(index, item)
+        finally:
+            elapsed = time.perf_counter() - t0
+            task_walls.append(elapsed)
+            _KERNELS.record("exec_compute", seconds=elapsed)
+
+    return run
+
+
+def _record_dispatch(started_s: float, task_walls: list, n_tasks: int) -> None:
+    """Charge the non-compute residual of one ``map_tasks`` call."""
+    residual = time.perf_counter() - started_s - sum(task_walls)
+    _KERNELS.record(
+        "exec_dispatch", elements=n_tasks, seconds=max(0.0, residual)
+    )
 
 
 def default_jobs() -> int:
@@ -87,7 +120,14 @@ class SerialExecutor:
 
     def map_tasks(self, fn, items) -> list:
         """``[fn(0, items[0]), fn(1, items[1]), ...]``, stopping on error."""
-        return [fn(i, item) for i, item in enumerate(items)]
+        if not _KERNELS.enabled:
+            return [fn(i, item) for i, item in enumerate(items)]
+        walls: list[float] = []
+        timed = _timed_task(fn, walls)
+        t0 = time.perf_counter()
+        results = [timed(i, item) for i, item in enumerate(items)]
+        _record_dispatch(t0, walls, len(results))
+        return results
 
 
 class ThreadExecutor:
@@ -117,8 +157,16 @@ class ThreadExecutor:
 
     def map_tasks(self, fn, items) -> list:
         items = list(items)
+        counters = _KERNELS.enabled
+        walls: list[float] = []
+        t_start = time.perf_counter() if counters else 0.0
+        if counters:
+            fn = _timed_task(fn, walls)
         if len(items) <= 1 or self.jobs == 1:
-            return [fn(i, item) for i, item in enumerate(items)]
+            results = [fn(i, item) for i, item in enumerate(items)]
+            if counters:
+                _record_dispatch(t_start, walls, len(items))
+            return results
         fn = _propagating(fn)
         # NOTE: tasks must not submit to the same executor (the pool is
         # bounded, so nested submission can deadlock).  Engine stages and
@@ -137,6 +185,8 @@ class ThreadExecutor:
                 results.append(None)
         if first_error is not None:
             raise first_error
+        if counters:
+            _record_dispatch(t_start, walls, len(items))
         return results
 
 
@@ -184,7 +234,14 @@ class ForkProcessExecutor:
         items = list(items)
         n_children = min(self.jobs, len(items))
         if n_children <= 1:
-            return [fn(i, item) for i, item in enumerate(items)]
+            if not _KERNELS.enabled:
+                return [fn(i, item) for i, item in enumerate(items)]
+            walls: list[float] = []
+            timed = _timed_task(fn, walls)
+            t0 = time.perf_counter()
+            results = [timed(i, item) for i, item in enumerate(items)]
+            _record_dispatch(t0, walls, len(items))
+            return results
         if not hasattr(os, "fork"):
             raise RuntimeError(
                 "executor='processes' needs os.fork (POSIX); use 'threads'"
@@ -201,6 +258,8 @@ class ForkProcessExecutor:
         return results
 
     def _fork_and_gather(self, fn, items: list, n_children: int) -> list[dict]:
+        counters = _KERNELS.enabled
+        t_fork = time.perf_counter() if counters else 0.0
         read_fds, pids = [], []
         for rank in range(n_children):
             read_fd, write_fd = os.pipe()
@@ -211,7 +270,7 @@ class ForkProcessExecutor:
                     os.close(read_fd)
                     payload = _run_child(fn, items, rank, n_children)
                     with os.fdopen(write_fd, "wb") as out:
-                        pickle.dump(payload, out, pickle.HIGHEST_PROTOCOL)
+                        _write_payload(out, payload)
                 except BaseException:  # pragma: no cover - child diagnostics
                     status = 1
                 finally:
@@ -220,14 +279,16 @@ class ForkProcessExecutor:
             os.close(write_fd)
             read_fds.append(read_fd)
             pids.append(pid)
+        fork_s = (time.perf_counter() - t_fork) if counters else 0.0
         payloads = []
         # Read every pipe BEFORE reaping: a child blocks writing a large
         # payload until the driver drains its pipe.
         for rank, read_fd in enumerate(read_fds):
             with os.fdopen(read_fd, "rb") as source:
                 try:
-                    payloads.append(pickle.load(source))
-                except (EOFError, pickle.UnpicklingError) as exc:
+                    payloads.append(_read_payload(source))
+                except (EOFError, KeyError, TypeError,
+                        pickle.UnpicklingError) as exc:
                     payloads.append({
                         "results": [],
                         "error": (
@@ -239,9 +300,19 @@ class ForkProcessExecutor:
                         ),
                         "metrics": {},
                         "spans": [],
+                        "kernels": {},
                     })
+        t_reap = time.perf_counter() if counters else 0.0
         for pid in pids:
             os.waitpid(pid, 0)
+        if counters:
+            # Fork setup plus child reaping: the driver-side overhead of
+            # running this stage on processes, separate from the pickle
+            # costs charged by _write_payload/_read_payload.
+            _KERNELS.record(
+                "exec_dispatch", elements=n_children,
+                seconds=fork_s + (time.perf_counter() - t_reap),
+            )
         return payloads
 
     @staticmethod
@@ -264,6 +335,8 @@ class ForkProcessExecutor:
         for payload in payloads:
             if payload["metrics"]:
                 registry.absorb(payload["metrics"])
+            if payload.get("kernels"):
+                _KERNELS.absorb(payload["kernels"])
             if payload["spans"]:
                 tracer.adopt(payload["spans"], parent=parent)
 
@@ -276,6 +349,10 @@ def _run_child(fn, items: list, rank: int, n_children: int) -> dict:
     registry = get_registry()
     tracer = get_tracer()
     snapshot = registry.snapshot()
+    # The fork inherited the parent's counter state too; ship only what
+    # this child adds (exec_compute per task + any nested kernels).
+    counters = _KERNELS.enabled
+    kernel_snapshot = _KERNELS.snapshot() if counters else None
     # The fork inherited the dispatching thread's span stack; drop it so
     # task spans become fresh roots that ship (the driver re-parents them
     # under its current span in _merge_telemetry).
@@ -284,28 +361,86 @@ def _run_child(fn, items: list, rank: int, n_children: int) -> dict:
     results, error = [], None
     for index in range(rank, len(items), n_children):
         try:
-            results.append((index, fn(index, items[index])))
+            if counters:
+                t0 = time.perf_counter()
+                value = fn(index, items[index])
+                _KERNELS.record(
+                    "exec_compute", seconds=time.perf_counter() - t0
+                )
+                results.append((index, value))
+            else:
+                results.append((index, fn(index, items[index])))
         except BaseException as exc:
             error = (index, _picklable_error(exc))
             break
-    payload = {
+    return {
         "results": results,
         "error": error,
         "metrics": registry.delta_since(snapshot),
         "spans": tracer.roots[span_mark:] if tracer.enabled else [],
+        "kernels": _KERNELS.delta_since(kernel_snapshot) if counters else {},
     }
+
+
+def _write_payload(out, payload: dict) -> None:
+    """Child side of the result pipe: stats envelope + raw pickle blob.
+
+    The payload is pickled to bytes first (timed), then a tiny envelope
+    ``{"nbytes", "serialize_s"}`` precedes the blob on the wire — so the
+    driver can attribute pickle bytes and child-side serialization time
+    (``exec_serialize``) without measuring its own measurement.  An
+    unpicklable task result degrades to the deterministic error payload,
+    keeping the pre-envelope contract.
+    """
+    t0 = time.perf_counter()
     try:
-        pickle.dumps(payload, pickle.HIGHEST_PROTOCOL)
+        blob = pickle.dumps(payload, pickle.HIGHEST_PROTOCOL)
     except Exception as exc:  # unpicklable task output
+        results = payload.get("results") or []
         payload = {
             "results": [],
             "error": (
                 results[0][0] if results else 0,
                 RuntimeError(f"task result is not picklable: {exc}"),
             ),
-            "metrics": registry.delta_since(snapshot),
+            "metrics": payload.get("metrics", {}),
             "spans": [],
+            "kernels": payload.get("kernels", {}),
         }
+        blob = pickle.dumps(payload, pickle.HIGHEST_PROTOCOL)
+    serialize_s = time.perf_counter() - t0
+    pickle.dump(
+        {"nbytes": len(blob), "serialize_s": serialize_s},
+        out, pickle.HIGHEST_PROTOCOL,
+    )
+    out.write(blob)
+
+
+def _read_payload(source) -> dict:
+    """Driver side of the result pipe: envelope, then the timed unpickle.
+
+    ``exec_deserialize`` gets the driver-side unpickle time (elements =
+    payload bytes); ``exec_serialize`` gets the child-reported pickle
+    time from the envelope.  The blocking envelope read is *not* charged
+    anywhere — that wait is the child's compute, already attributed by
+    the ``exec_compute`` deltas the payload carries.
+    """
+    envelope = pickle.load(source)
+    nbytes = envelope["nbytes"]
+    blob = source.read(nbytes)
+    if len(blob) != nbytes:
+        raise EOFError(f"short payload: {len(blob)} of {nbytes} bytes")
+    t0 = time.perf_counter() if _KERNELS.enabled else 0.0
+    payload = pickle.loads(blob)
+    if _KERNELS.enabled:
+        _KERNELS.record(
+            "exec_deserialize", elements=nbytes,
+            seconds=time.perf_counter() - t0,
+        )
+        _KERNELS.record(
+            "exec_serialize", elements=nbytes,
+            seconds=float(envelope.get("serialize_s", 0.0)),
+        )
     return payload
 
 

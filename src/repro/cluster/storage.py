@@ -9,11 +9,13 @@ whole random blocks so only a fraction of the disk is touched.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from time import perf_counter
 
 import numpy as np
 
 from ..faults.errors import StorageReadError
 from ..faults.injector import get_injector
+from ..telemetry.perf import KERNELS as _KERNELS
 from ..tsdb.series import TimeSeriesDataset
 from .costmodel import estimate_bytes
 
@@ -44,19 +46,20 @@ class Block:
         pause; an injected straggler adds its delay.  Raises
         :class:`StorageReadError` when the retry budget runs out.
         """
+        t0 = perf_counter() if _KERNELS.enabled else 0.0
         injector = get_injector()
         if injector is None:
-            return list(self.records), 0, 0.0
+            return self._materialize(t0), 0, 0.0
         read_seq = injector.next_seq("storage", self.block_id)
         delay_s = 0.0
         attempt = 1
         while True:
             fault = injector.storage_fault(self.block_id, read_seq, attempt)
             if fault is None:
-                return list(self.records), attempt - 1, delay_s
+                return self._materialize(t0), attempt - 1, delay_s
             if fault.kind == "task-slow":
                 delay_s += fault.delay_ms / 1000.0
-                return list(self.records), attempt - 1, delay_s
+                return self._materialize(t0), attempt - 1, delay_s
             if attempt >= injector.retry.max_attempts:
                 raise StorageReadError(self.block_id, attempt)
             injector.count_retry()
@@ -64,6 +67,17 @@ class Block:
                 attempt, "storage", self.block_id, read_seq
             )
             attempt += 1
+
+    def _materialize(self, started_s: float) -> list:
+        """Copy the record payload out, charging the ``deserialize`` kernel
+        with records/bytes handled (the observability analogue of HDFS
+        block deserialization)."""
+        records = list(self.records)
+        if _KERNELS.enabled:
+            _KERNELS.record("deserialize", elements=len(records),
+                            seconds=perf_counter() - started_s)
+            _KERNELS.record("deserialize_bytes", elements=self.nbytes)
+        return records
 
 
 @dataclass

@@ -27,10 +27,13 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from time import perf_counter
+
 from ..cluster import SimulationLedger
 from ..cluster.costmodel import timed_stage
 from ..cluster.executors import resolve_executor
 from ..faults.errors import PartialResultError, PartitionUnavailableError
+from ..telemetry.perf import KERNELS as _KERNELS
 from ..tsdb.distance import batch_euclidean
 from .builder import TardisIndex
 from .local_index import ScanStats
@@ -67,6 +70,7 @@ def group_queries_by_partition(
     micro-batcher (:mod:`repro.serving.batcher`) calls it too, so a
     request's batch group always matches where a batch pass would have
     placed it."""
+    t0 = perf_counter() if _KERNELS.enabled else 0.0
     groups: dict[int, list[int]] = {}
     converted = []
     for i, query in enumerate(queries):
@@ -74,6 +78,9 @@ def group_queries_by_partition(
         converted.append((signature, paa))
         pid = index.global_index.route(signature)
         groups.setdefault(pid, []).append(i)
+    if _KERNELS.enabled:
+        _KERNELS.record("route", elements=len(converted),
+                        seconds=perf_counter() - t0)
     return groups, converted
 
 

@@ -25,6 +25,7 @@ from ..cluster import BlockStorage, SimCluster, SimulationLedger
 from ..faults.errors import PartitionUnavailableError
 from ..faults.injector import get_injector
 from ..telemetry.metrics import get_registry
+from ..telemetry.perf import KERNELS as _KERNELS
 from ..telemetry.spans import get_tracer
 from ..tsdb.paa import paa_transform
 from ..tsdb.sax import sax_symbols
@@ -108,6 +109,9 @@ class TardisIndex:
                 "query_partitions_loaded_total",
                 "Partition loads performed by queries (cached or not)",
             ).inc()
+            if _KERNELS.enabled:
+                _KERNELS.record("partition_cache_hit",
+                                elements=partition.nbytes)
             with get_tracer().span("query/load partition") as span:
                 span.set("partition_id", partition_id)
                 span.set("cached", True)
@@ -162,6 +166,9 @@ class TardisIndex:
             "query_partitions_loaded_total",
             "Partition loads performed by queries (cached or not)",
         ).inc()
+        if _KERNELS.enabled:
+            _KERNELS.record("partition_load", elements=partition.nbytes,
+                            seconds=delay_s)
         with get_tracer().span("query/load partition") as span:
             span.set("partition_id", partition_id)
             span.set("cached", False)

@@ -18,8 +18,11 @@ usable as Bloom-filter keys and dictionary keys.
 
 from __future__ import annotations
 
+from time import perf_counter
+
 import numpy as np
 
+from ..telemetry.perf import KERNELS as _KERNELS
 from ..tsdb.paa import paa_transform
 from ..tsdb.sax import sax_symbols
 
@@ -78,6 +81,7 @@ def batch_signatures(symbols: np.ndarray, bits: int) -> list[str]:
     validate_word_length(w)
     if bits == 0:
         return [""] * m
+    t0 = perf_counter() if _KERNELS.enabled else 0.0
     # plane_bits[p] holds bit (bits-1-p) of every symbol: shape (m, bits, w).
     shifts = np.arange(bits - 1, -1, -1, dtype=np.uint32)
     plane_bits = (symbols[:, None, :] >> shifts[None, :, None]) & 1
@@ -85,7 +89,11 @@ def batch_signatures(symbols: np.ndarray, bits: int) -> list[str]:
     chars = _HEX[nibbles]
     n_chars = bits * w // 4
     flat = np.ascontiguousarray(chars)
-    return flat.view(f"<U{n_chars}").ravel().tolist()
+    out = flat.view(f"<U{n_chars}").ravel().tolist()
+    if _KERNELS.enabled:
+        _KERNELS.record("encode", elements=m * w,
+                        seconds=perf_counter() - t0)
+    return out
 
 
 def signature_of_paa(paa: np.ndarray, bits: int) -> str:

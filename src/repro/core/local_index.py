@@ -13,11 +13,13 @@ existence test before paying the partition-load latency.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from time import perf_counter
 
 import numpy as np
 
 from ..bloom import BloomFilter
 from ..cluster.costmodel import estimate_bytes
+from ..telemetry.perf import KERNELS as _KERNELS
 from ..tsdb.distance import mindist_paa_to_word
 from .config import TardisConfig
 from .isaxt import decode_signature, reduce_signature
@@ -159,6 +161,7 @@ class LocalPartition:
         self, node: SigTreeNode, stats: ScanStats | None = None
     ) -> list[Entry]:
         """All data entries in the subtree rooted at ``node``."""
+        t0 = perf_counter() if _KERNELS.enabled else 0.0
         collected: list[Entry] = []
         stack = [node]
         while stack:
@@ -167,6 +170,9 @@ class LocalPartition:
                 stats.visited += 1
             collected.extend(current.entries)
             stack.extend(current.children.values())
+        if _KERNELS.enabled:
+            _KERNELS.record("leaf_scan", elements=len(collected),
+                            seconds=perf_counter() - t0)
         return collected
 
     def pruned_entries(
@@ -184,6 +190,7 @@ class LocalPartition:
         target node) is excluded to avoid recollecting its entries.
         ``stats`` (when given) counts visited vs. MINDIST-pruned nodes.
         """
+        t0 = perf_counter() if _KERNELS.enabled else 0.0
         collected: list[Entry] = []
         stack = [self.tree.root]
         while stack:
@@ -201,6 +208,9 @@ class LocalPartition:
                 stats.visited += 1
             collected.extend(node.entries)
             stack.extend(node.children.values())
+        if _KERNELS.enabled:
+            _KERNELS.record("leaf_scan", elements=len(collected),
+                            seconds=perf_counter() - t0)
         return collected
 
     def all_entries(self) -> list[Entry]:

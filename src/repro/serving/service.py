@@ -524,6 +524,11 @@ class QueryService:
             report["partition_cache"] = partition_stats
         report["journal"] = self.journal.stats()
         report["tracing"] = get_tracer().enabled
+        from ..telemetry.perf import KERNELS
+
+        if KERNELS.enabled:
+            # Live kernel cost attribution for repro top / --stats.
+            report["kernels"] = KERNELS.totals()
         return report
 
     def recent_traces(

@@ -14,6 +14,9 @@ docs/OBSERVABILITY.md).  Four pieces:
   and human-oriented summaries.
 * :mod:`~repro.telemetry.log` — one-call stdlib-logging setup for the
   ``repro.*`` module loggers.
+* :mod:`~repro.telemetry.perf` — kernel-level cost attribution
+  (``KERNELS`` counters, ``repro.perf/v1`` reports) and
+  flamegraph-compatible collapsed-stack profiles.
 
 Typical use::
 
@@ -45,9 +48,29 @@ from .journal import (
     EventJournal,
     SlowQueryLog,
     get_journal,
+    validate_journal_header,
     validate_journal_lines,
     validate_journal_record,
     write_journal,
+)
+from .perf import (
+    KERNELS,
+    PERF_SCHEMA,
+    TOP_LEVEL_KERNELS,
+    FoldedAccumulator,
+    KernelProfiler,
+    attributed_fraction,
+    disable_kernel_counters,
+    enable_kernel_counters,
+    get_folded,
+    get_kernel_profiler,
+    perf_report,
+    profile_to_folded,
+    publish_to_registry,
+    summarize_kernels,
+    validate_perf,
+    write_folded,
+    write_perf,
 )
 from .metrics import (
     DEFAULT_BUCKETS,
@@ -108,7 +131,25 @@ __all__ = [
     "get_journal",
     "write_journal",
     "validate_journal_record",
+    "validate_journal_header",
     "validate_journal_lines",
+    "PERF_SCHEMA",
+    "TOP_LEVEL_KERNELS",
+    "KERNELS",
+    "KernelProfiler",
+    "get_kernel_profiler",
+    "enable_kernel_counters",
+    "disable_kernel_counters",
+    "publish_to_registry",
+    "FoldedAccumulator",
+    "get_folded",
+    "profile_to_folded",
+    "write_folded",
+    "perf_report",
+    "write_perf",
+    "validate_perf",
+    "summarize_kernels",
+    "attributed_fraction",
     "context",
     "log",
 ]

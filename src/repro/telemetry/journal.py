@@ -43,6 +43,7 @@ __all__ = [
     "SlowQueryLog",
     "get_journal",
     "validate_journal_record",
+    "validate_journal_header",
     "validate_journal_lines",
     "write_journal",
 ]
@@ -177,10 +178,26 @@ def get_journal() -> EventJournal:
 
 
 def write_journal(journal: EventJournal, path: str | Path) -> Path:
-    """Dump the journal as JSON lines; returns the written path."""
+    """Dump the journal as JSON lines; returns the written path.
+
+    The first line is a header record carrying the schema name and the
+    ring-buffer accounting — most importantly the cumulative ``dropped``
+    count, so a reader of the dump knows how many events were evicted
+    before export (a dump with ``dropped > 0`` is a *suffix* of the
+    process's history, not the whole of it).
+    """
     path = Path(path)
-    lines = [json.dumps(event) for event in journal.snapshot()]
-    path.write_text("\n".join(lines) + ("\n" if lines else ""))
+    stats = journal.stats()
+    header = {
+        "schema": JOURNAL_SCHEMA,
+        "capacity": stats["capacity"],
+        "retained": stats["retained"],
+        "total": stats["total"],
+        "dropped": stats["dropped"],
+    }
+    lines = [json.dumps(header)]
+    lines += [json.dumps(event) for event in journal.snapshot()]
+    path.write_text("\n".join(lines) + "\n")
     return path
 
 
@@ -217,14 +234,35 @@ def validate_journal_record(doc: object) -> None:
             )
 
 
+def validate_journal_header(doc: dict) -> None:
+    """Schema-check a journal dump header; raises ``ValueError``."""
+    if doc.get("schema") != JOURNAL_SCHEMA:
+        raise ValueError(
+            f"unexpected schema {doc.get('schema')!r}, want {JOURNAL_SCHEMA!r}"
+        )
+    for field in ("capacity", "retained", "total", "dropped"):
+        value = doc.get(field)
+        if not isinstance(value, int) or value < 0:
+            raise ValueError(f"header {field!r} must be an integer >= 0")
+    if doc["dropped"] != doc["total"] - doc["retained"]:
+        raise ValueError(
+            "header accounting broken: dropped != total - retained"
+        )
+
+
 def validate_journal_lines(text: str) -> int:
     """Validate a JSON-lines journal dump; returns the record count.
 
-    Sequence numbers must be strictly increasing (the ring drops from the
-    head, never reorders).
+    An optional first-line header (``{"schema": "repro.journal/v1",
+    ...}``) is checked with :func:`validate_journal_header`; when it is
+    present its ``retained`` count must match the record lines that
+    follow.  Headerless dumps (pre-header exports, hand-built fixtures)
+    stay valid.  Sequence numbers must be strictly increasing (the ring
+    drops from the head, never reorders).
     """
     count = 0
     last_seq = 0
+    header: dict | None = None
     for lineno, line in enumerate(text.splitlines(), start=1):
         if not line.strip():
             continue
@@ -232,6 +270,15 @@ def validate_journal_lines(text: str) -> int:
             doc = json.loads(line)
         except json.JSONDecodeError as exc:
             raise ValueError(f"line {lineno}: invalid JSON: {exc}")
+        if count == 0 and header is None and (
+            isinstance(doc, dict) and "schema" in doc
+        ):
+            try:
+                validate_journal_header(doc)
+            except ValueError as exc:
+                raise ValueError(f"line {lineno}: {exc}")
+            header = doc
+            continue
         try:
             validate_journal_record(doc)
         except ValueError as exc:
@@ -242,6 +289,11 @@ def validate_journal_lines(text: str) -> int:
             )
         last_seq = doc["seq"]
         count += 1
+    if header is not None and header["retained"] != count:
+        raise ValueError(
+            f"header retained={header['retained']} but dump holds "
+            f"{count} records"
+        )
     return count
 
 

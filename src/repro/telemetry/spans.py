@@ -255,6 +255,7 @@ class Tracer:
         self._profile_enabled = False
         self._profile_pattern: str | None = None
         self._profile_top = 5
+        self._profile_folded = False
 
     # -- span lifecycle ------------------------------------------------------
 
@@ -381,18 +382,22 @@ class Tracer:
     # -- per-span profiling --------------------------------------------------
 
     def enable_span_profiling(self, pattern: str | None = None,
-                              top: int = 5) -> None:
+                              top: int = 5, folded: bool = False) -> None:
         """Attach a cProfile capture to matching spans (``--profile-spans``).
 
         ``pattern`` is a substring filter on span names (``None`` matches
         everything).  Each profiled span gains a ``profile_top`` attribute
         listing its ``top`` hottest functions by cumulative time.  Only
         one profile runs per thread at a time (cProfile cannot nest), so
-        the outermost matching span wins.
+        the outermost matching span wins.  With ``folded=True`` each
+        profile is also collapsed into flamegraph stacks and merged into
+        the shared :func:`repro.telemetry.perf.get_folded` accumulator
+        (the CLI's ``--folded FILE`` writes it out).
         """
         self._profile_enabled = True
         self._profile_pattern = pattern
         self._profile_top = max(1, int(top))
+        self._profile_folded = bool(folded)
 
     def disable_span_profiling(self) -> None:
         self._profile_enabled = False
@@ -427,6 +432,10 @@ class Tracer:
             for (filename, lineno, func),
                 (callcount, _nc, _tt, cumtime, _callers) in rows
         ])
+        if self._profile_folded:
+            from .perf import get_folded, profile_to_folded
+
+            get_folded().add(profile_to_folded(stats))
 
     # -- collection ----------------------------------------------------------
 

@@ -1,11 +1,12 @@
 """Schema validation CLI for emitted telemetry files.
 
 Used by the CI telemetry/observability steps to fail the build when a
-trace, metrics, or journal file stops matching its documented schema::
+trace, metrics, journal, or perf file stops matching its documented
+schema::
 
     python -m repro.telemetry.validate --trace trace.json \
         --metrics metrics.prom --journal journal.jsonl \
-        --expect-roots serve/request
+        --perf perf.json --expect-roots serve/request
 
 ``--expect-roots`` (repeatable, comma-separable) additionally fails any
 ``--trace`` file containing a root span whose name is not in the allowed
@@ -24,6 +25,7 @@ from pathlib import Path
 
 from .exporters import orphan_roots, validate_metrics_text, validate_trace
 from .journal import validate_journal_lines
+from .perf import validate_perf
 
 __all__ = ["main"]
 
@@ -39,14 +41,18 @@ def main(argv: list[str] | None = None) -> int:
                         help="Prometheus text file (repeatable)")
     parser.add_argument("--journal", action="append", default=[],
                         help="JSON-lines event journal file (repeatable)")
+    parser.add_argument("--perf", action="append", default=[],
+                        help="repro.perf/v1 kernel report (repeatable)")
     parser.add_argument("--expect-roots", action="append", default=[],
                         metavar="NAMES",
                         help="allowed root span names for --trace files "
                              "(repeatable or comma-separated); any other "
                              "root span fails the check")
     args = parser.parse_args(argv)
-    if not args.trace and not args.metrics and not args.journal:
-        parser.error("give at least one --trace, --metrics or --journal file")
+    if not (args.trace or args.metrics or args.journal or args.perf):
+        parser.error(
+            "give at least one --trace, --metrics, --journal or --perf file"
+        )
     expected_roots = [
         name.strip()
         for chunk in args.expect_roots
@@ -80,6 +86,13 @@ def main(argv: list[str] | None = None) -> int:
         try:
             n_records = validate_journal_lines(Path(path).read_text())
             print(f"ok: {path}: {n_records} journal records")
+        except (OSError, ValueError) as exc:
+            print(f"FAIL: {path}: {exc}")
+            failures += 1
+    for path in args.perf:
+        try:
+            n_kernels = validate_perf(json.loads(Path(path).read_text()))
+            print(f"ok: {path}: {n_kernels} kernels")
         except (OSError, ValueError) as exc:
             print(f"FAIL: {path}: {exc}")
             failures += 1

@@ -9,8 +9,11 @@ already exceeds the current best-so-far distance without touching raw data.
 
 from __future__ import annotations
 
+from time import perf_counter
+
 import numpy as np
 
+from ..telemetry.perf import KERNELS as _KERNELS
 from .sax import breakpoints
 
 __all__ = [
@@ -36,12 +39,17 @@ def euclidean(x: np.ndarray, y: np.ndarray) -> float:
 
 def batch_euclidean(query: np.ndarray, candidates: np.ndarray) -> np.ndarray:
     """Euclidean distances from ``query`` to every row of ``candidates``."""
+    t0 = perf_counter() if _KERNELS.enabled else 0.0
     query = np.asarray(query, dtype=np.float64)
     candidates = np.asarray(candidates, dtype=np.float64)
     if candidates.ndim == 1:
         candidates = candidates[None, :]
     diff = candidates - query[None, :]
-    return np.sqrt(np.einsum("ij,ij->i", diff, diff))
+    out = np.sqrt(np.einsum("ij,ij->i", diff, diff))
+    if _KERNELS.enabled:
+        _KERNELS.record("euclidean", elements=candidates.size,
+                        seconds=perf_counter() - t0)
+    return out
 
 
 def word_region_bounds(
@@ -74,13 +82,18 @@ def mindist_paa_to_word(
     stripe); segment contributions are combined with the PAA scaling factor
     ``sqrt(n / w)`` (Shieh & Keogh 2008).
     """
+    t0 = perf_counter() if _KERNELS.enabled else 0.0
     paa = np.asarray(paa, dtype=np.float64)
     lower, upper = word_region_bounds(symbols, bits)
     below = np.maximum(lower - paa, 0.0)
     above = np.maximum(paa - upper, 0.0)
     gap = np.maximum(below, above)
     w = paa.shape[-1]
-    return float(np.sqrt(n / w) * np.sqrt(np.sum(gap * gap)))
+    out = float(np.sqrt(n / w) * np.sqrt(np.sum(gap * gap)))
+    if _KERNELS.enabled:
+        _KERNELS.record("mindist", elements=w,
+                        seconds=perf_counter() - t0)
+    return out
 
 
 def mindist_word_to_word(

@@ -18,8 +18,11 @@ the inequality for arbitrary lengths.
 from __future__ import annotations
 
 from functools import lru_cache
+from time import perf_counter
 
 import numpy as np
+
+from ..telemetry.perf import KERNELS as _KERNELS
 
 __all__ = ["paa_transform", "paa_distance"]
 
@@ -60,12 +63,18 @@ def paa_transform(values: np.ndarray, word_length: int) -> np.ndarray:
         raise ValueError(
             f"series length {n} is shorter than word length {word_length}"
         )
+    t0 = perf_counter() if _KERNELS.enabled else 0.0
     if n % word_length == 0:
         segment = n // word_length
         new_shape = values.shape[:-1] + (word_length, segment)
-        return values.reshape(new_shape).mean(axis=-1)
-    weights = _fractional_weights(n, word_length)
-    return (values @ weights.T) / (n / word_length)
+        out = values.reshape(new_shape).mean(axis=-1)
+    else:
+        weights = _fractional_weights(n, word_length)
+        out = (values @ weights.T) / (n / word_length)
+    if _KERNELS.enabled:
+        _KERNELS.record("paa", elements=values.size,
+                        seconds=perf_counter() - t0)
+    return out
 
 
 def paa_distance(paa_x: np.ndarray, paa_y: np.ndarray, n: int) -> float:

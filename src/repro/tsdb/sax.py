@@ -15,9 +15,12 @@ that makes iSAX/iSAX-T cardinality reduction a pure bit operation.
 from __future__ import annotations
 
 from functools import lru_cache
+from time import perf_counter
 
 import numpy as np
 from scipy.stats import norm
+
+from ..telemetry.perf import KERNELS as _KERNELS
 
 __all__ = [
     "MAX_CARDINALITY_BITS",
@@ -53,9 +56,14 @@ def sax_symbols(paa_values: np.ndarray, bits: int) -> np.ndarray:
     the same shape.  A value exactly on a breakpoint belongs to the upper
     stripe.
     """
+    t0 = perf_counter() if _KERNELS.enabled else 0.0
     paa_values = np.asarray(paa_values, dtype=np.float64)
     bps = breakpoints(bits)
-    return np.searchsorted(bps, paa_values, side="right").astype(np.uint32)
+    out = np.searchsorted(bps, paa_values, side="right").astype(np.uint32)
+    if _KERNELS.enabled:
+        _KERNELS.record("sax", elements=out.size,
+                        seconds=perf_counter() - t0)
+    return out
 
 
 def symbol_bounds(symbol: int, bits: int) -> tuple[float, float]:

@@ -1,0 +1,148 @@
+"""End-to-end ``repro bench run/ingest/compare/history`` through the CLI."""
+
+from __future__ import annotations
+
+import copy
+import json
+import logging
+
+import pytest
+
+from repro.bench import TrajectoryStore, make_record
+from repro.cli import main
+from repro.telemetry import log
+
+
+@pytest.fixture(autouse=True)
+def _detach_cli_log_handler():
+    """Drop the handler ``cli.main`` installs on the shared logger.
+
+    Each ``main()`` call binds a stream handler to the *current*
+    ``sys.stderr`` — under pytest that is a per-test capture object
+    which gets closed at teardown.  Leaving it attached would poison
+    later logging tests with emits into a closed stream.
+    """
+    yield
+    if log._handler is not None:
+        logging.getLogger(log.LOGGER_NAME).removeHandler(log._handler)
+        log._handler = None
+
+
+@pytest.fixture(scope="module")
+def bench_workspace(tmp_path_factory):
+    """One tiny ``bench run`` (record on disk + trajectory append)."""
+    root = tmp_path_factory.mktemp("bench")
+    out = root / "run.json"
+    code = main([
+        "bench", "run", "--suite", "micro", "--repeats", "1",
+        "--series", "400", "--queries", "8", "--k", "3",
+        "--dir", str(root / "trajectory"), "--out", str(out),
+    ])
+    assert code == 0
+    return root, out
+
+
+def test_run_writes_valid_record_with_attribution(bench_workspace, capsys):
+    root, out = bench_workspace
+    record = json.loads(out.read_text())
+    assert record["schema"] == "repro.bench/v1"
+    assert set(record["metrics"]) == {
+        "build_s", "batch_knn_s", "exact_match_s",
+    }
+    assert record["answers"].startswith("sha256:")
+    assert record["host"]["cpu_affinity"] >= 1
+    # The attribution block must explain the counters-enabled kNN pass.
+    attribution = record["attribution"]
+    assert attribution["fraction"] > 0
+    assert "exec_compute" in attribution["kernels"]
+
+
+def test_run_appended_to_trajectory(bench_workspace):
+    root, _out = bench_workspace
+    store = TrajectoryStore(root / "trajectory")
+    assert [p.name for p in store.history("micro")] == ["0001.json"]
+
+
+def test_compare_same_run_exits_zero(bench_workspace, capsys):
+    root, out = bench_workspace
+    code = main(["bench", "compare", str(out), str(out)])
+    assert code == 0
+    assert "PASS" in capsys.readouterr().out
+
+
+def test_compare_default_candidate_is_latest_trajectory_run(
+    bench_workspace, capsys
+):
+    root, out = bench_workspace
+    code = main([
+        "bench", "compare", str(out), "--dir", str(root / "trajectory"),
+        "--timing", "warn",
+    ])
+    assert code == 0
+
+
+def test_compare_injected_accounting_regression_exits_nonzero(
+    bench_workspace, tmp_path, capsys
+):
+    root, out = bench_workspace
+    record = json.loads(out.read_text())
+    record["accounting"]["candidates_examined"] += 1
+    doctored = tmp_path / "regressed.json"
+    doctored.write_text(json.dumps(record))
+    code = main([
+        "bench", "compare", str(out), str(doctored), "--timing", "warn",
+    ])
+    assert code == 1
+    assert "FAIL" in capsys.readouterr().out
+
+
+def test_compare_missing_baseline_is_an_error(tmp_path):
+    with pytest.raises(SystemExit, match="cannot read baseline"):
+        main(["bench", "compare", str(tmp_path / "nope.json")])
+
+
+def test_compare_without_candidate_or_trajectory_is_an_error(
+    bench_workspace, tmp_path
+):
+    _root, out = bench_workspace
+    with pytest.raises(SystemExit, match="no trajectory runs"):
+        main(["bench", "compare", str(out), "--dir", str(tmp_path)])
+
+
+def test_ingest_unwraps_benchmark_reports(tmp_path, capsys):
+    record = make_record(
+        bench="parallel",
+        metrics={"serial_batch_knn_s": 0.2},
+        accounting={"partitions": 7},
+    )
+    report = tmp_path / "BENCH_parallel.json"
+    report.write_text(json.dumps({"benchmark": "bench_parallel",
+                                  "record": record}))
+    code = main([
+        "bench", "ingest", str(report), "--dir", str(tmp_path / "traj"),
+    ])
+    assert code == 0
+    stored = TrajectoryStore(tmp_path / "traj").latest("parallel")
+    assert stored["metrics"]["serial_batch_knn_s"] == 0.2
+
+
+def test_ingest_rejects_invalid_report(tmp_path):
+    bad = tmp_path / "bad.json"
+    bad.write_text(json.dumps({"benchmark": "x"}))
+    with pytest.raises(SystemExit, match="cannot ingest"):
+        main(["bench", "ingest", str(bad), "--dir", str(tmp_path / "t")])
+
+
+def test_history_lists_runs_with_host_cores(bench_workspace, capsys):
+    root, _out = bench_workspace
+    code = main(["bench", "history", "--dir", str(root / "trajectory")])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "micro: 1 run(s)" in out
+    assert "0001.json" in out
+    assert "cores" in out
+
+
+def test_history_empty_dir_reports_nothing(tmp_path, capsys):
+    assert main(["bench", "history", "--dir", str(tmp_path)]) == 0
+    assert "no trajectory runs" in capsys.readouterr().out

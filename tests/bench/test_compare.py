@@ -1,0 +1,143 @@
+"""``repro.bench.compare``: the noise-tolerant regression gate.
+
+The policy under test (docs/EXPERIMENTS.md, "Benchmark trajectory"):
+
+* answers and accounting drift are **hard failures**, always — even
+  under ``timing="warn"`` — because they mean the work changed, not
+  the clock;
+* timing regressions fail past ``fail_pct``, warn past ``warn_pct``,
+  and improvements are informational;
+* ``timing="warn"`` downgrades timing failures only (cross-host runs).
+"""
+
+from __future__ import annotations
+
+import copy
+
+import pytest
+
+from repro.bench import answers_digest, compare_records, make_record
+
+
+def _baseline():
+    return make_record(
+        bench="micro",
+        metrics={"build_s": 1.0, "batch_knn_s": 0.10},
+        accounting={"partitions": 12, "candidates_examined": 900},
+        answers=answers_digest([[1, 2, 3]]),
+        repeats=3,
+    )
+
+
+def _variant(**metric_overrides):
+    record = copy.deepcopy(_baseline())
+    record["metrics"].update(metric_overrides)
+    return record
+
+
+def test_identical_records_pass():
+    result = compare_records(_baseline(), _baseline())
+    assert result.ok
+    assert result.exit_code == 0
+    assert "PASS" in result.summary()
+
+
+def test_timing_within_noise_passes():
+    result = compare_records(_baseline(), _variant(build_s=1.05))
+    assert result.ok
+    assert not result.failures
+
+
+def test_timing_in_warn_band_warns_but_passes():
+    result = compare_records(
+        _baseline(), _variant(build_s=1.2), warn_pct=10.0, fail_pct=30.0
+    )
+    assert result.ok
+    assert result.warnings
+    assert result.exit_code == 0
+
+
+def test_timing_past_fail_threshold_fails():
+    result = compare_records(
+        _baseline(), _variant(build_s=1.5), warn_pct=10.0, fail_pct=30.0
+    )
+    assert not result.ok
+    assert result.exit_code == 1
+    assert any("build_s" in str(f) for f in result.failures)
+
+
+def test_timing_improvement_is_informational():
+    result = compare_records(_baseline(), _variant(build_s=0.5))
+    assert result.ok
+    assert not result.warnings
+
+
+def test_warn_policy_downgrades_timing_failures():
+    result = compare_records(
+        _baseline(), _variant(build_s=2.0), timing="warn"
+    )
+    assert result.ok
+    assert result.warnings
+
+
+def test_accounting_drift_hard_fails_even_under_warn_policy():
+    candidate = copy.deepcopy(_baseline())
+    candidate["accounting"]["candidates_examined"] = 901
+    result = compare_records(_baseline(), candidate, timing="warn")
+    assert not result.ok
+    assert any("candidates_examined" in str(f) for f in result.failures)
+
+
+def test_answers_drift_hard_fails():
+    candidate = copy.deepcopy(_baseline())
+    candidate["answers"] = answers_digest([[1, 2, 4]])
+    result = compare_records(_baseline(), candidate, timing="warn")
+    assert not result.ok
+
+
+def test_dropped_answers_digest_fails():
+    candidate = copy.deepcopy(_baseline())
+    del candidate["answers"]
+    result = compare_records(_baseline(), candidate)
+    assert not result.ok
+
+
+def test_missing_metric_fails():
+    candidate = copy.deepcopy(_baseline())
+    del candidate["metrics"]["batch_knn_s"]
+    result = compare_records(_baseline(), candidate)
+    assert not result.ok
+
+
+def test_new_metric_and_accounting_fields_are_informational():
+    candidate = copy.deepcopy(_baseline())
+    candidate["metrics"]["exact_match_s"] = 0.01
+    candidate["accounting"]["new_counter"] = 7
+    result = compare_records(_baseline(), candidate)
+    assert result.ok
+
+
+def test_bench_name_mismatch_raises():
+    other = copy.deepcopy(_baseline())
+    other["bench"] = "parallel"
+    with pytest.raises(ValueError, match="bench"):
+        compare_records(_baseline(), other)
+
+
+def test_invalid_document_raises():
+    broken = copy.deepcopy(_baseline())
+    broken["metrics"] = {}
+    with pytest.raises(ValueError):
+        compare_records(broken, _baseline())
+
+
+def test_bad_threshold_ordering_raises():
+    with pytest.raises(ValueError):
+        compare_records(
+            _baseline(), _baseline(), warn_pct=50.0, fail_pct=10.0
+        )
+
+
+def test_bad_timing_policy_raises():
+    with pytest.raises(ValueError):
+        compare_records(_baseline(), _baseline(), timing="ignore")

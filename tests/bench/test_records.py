@@ -1,0 +1,102 @@
+"""``repro.bench.records``: record construction, validation, digests."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.bench import (
+    BENCH_SCHEMA,
+    answers_digest,
+    host_info,
+    make_record,
+    validate_bench,
+)
+
+
+def _record(**overrides):
+    kwargs = dict(
+        bench="micro",
+        metrics={"build_s": 0.5, "batch_knn_s": 0.1},
+        accounting={"partitions": 12, "candidates": 900},
+        answers=answers_digest([{"ids": [1, 2], "distances": [0.0, 1.5]}]),
+        params={"series": 1200},
+        repeats=3,
+    )
+    kwargs.update(overrides)
+    return make_record(**kwargs)
+
+
+def test_make_record_is_schema_tagged_and_valid():
+    record = _record()
+    assert record["schema"] == BENCH_SCHEMA
+    assert validate_bench(record) == 2  # metric count
+    assert record["bench"] == "micro"
+    assert record["repeats"] == 3
+
+
+def test_validate_rejects_wrong_schema():
+    record = _record()
+    record["schema"] = "repro.bench/v0"
+    with pytest.raises(ValueError, match="schema"):
+        validate_bench(record)
+
+
+def test_validate_rejects_empty_metrics():
+    record = _record()
+    record["metrics"] = {}
+    with pytest.raises(ValueError):
+        validate_bench(record)
+
+
+def test_validate_rejects_non_numeric_metric():
+    record = _record()
+    record["metrics"]["build_s"] = "fast"
+    with pytest.raises(ValueError):
+        validate_bench(record)
+
+
+def test_validate_rejects_boolean_accounting():
+    record = _record()
+    record["accounting"]["partitions"] = True
+    with pytest.raises(ValueError):
+        validate_bench(record)
+
+
+def test_validate_rejects_float_accounting():
+    record = _record()
+    record["accounting"]["partitions"] = 12.5
+    with pytest.raises(ValueError):
+        validate_bench(record)
+
+
+def test_answers_digest_is_order_and_noise_stable():
+    a = answers_digest({"ids": [3, 1], "distances": [0.123456701, 2.0]})
+    # sub-rounding float jitter (beyond 6 decimals) digests identically
+    b = answers_digest({"distances": [0.123456699, 2.0], "ids": [3, 1]})
+    assert a == b
+    assert a.startswith("sha256:")
+
+
+def test_answers_digest_detects_real_drift():
+    a = answers_digest({"ids": [3, 1]})
+    b = answers_digest({"ids": [3, 2]})
+    assert a != b
+
+
+def test_host_info_records_count_and_affinity():
+    host = host_info()
+    assert host["cpu_count"] == os.cpu_count()
+    assert host["cpu_affinity"] >= 1
+    assert host["cpu_affinity"] <= host["cpu_count"]
+    assert "jobs" not in host
+
+
+def test_host_info_flags_oversubscription():
+    cores = host_info()["cpu_affinity"]
+    over = host_info(jobs=cores + 1)
+    assert over["jobs"] == cores + 1
+    assert over["oversubscribed"] is True
+    under = host_info(jobs=cores)
+    assert under["oversubscribed"] is False

@@ -1,0 +1,73 @@
+"""``repro.bench.trajectory``: append-only numbered run store."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench import TrajectoryStore, make_record
+
+
+def _record(bench="micro", build_s=0.5):
+    return make_record(
+        bench=bench,
+        metrics={"build_s": build_s},
+        accounting={"partitions": 4},
+    )
+
+
+def test_append_numbers_runs_sequentially(tmp_path):
+    store = TrajectoryStore(tmp_path)
+    first = store.append(_record())
+    second = store.append(_record(build_s=0.6))
+    assert first.name == "0001.json"
+    assert second.name == "0002.json"
+    assert [p.name for p in store.history("micro")] == [
+        "0001.json", "0002.json",
+    ]
+
+
+def test_benches_are_separate_directories(tmp_path):
+    store = TrajectoryStore(tmp_path)
+    store.append(_record(bench="micro"))
+    store.append(_record(bench="parallel"))
+    assert store.benches() == ["micro", "parallel"]
+    assert len(store.history("micro")) == 1
+    assert store.history("unknown") == []
+
+
+def test_latest_returns_newest_record(tmp_path):
+    store = TrajectoryStore(tmp_path)
+    assert store.latest("micro") is None
+    store.append(_record(build_s=0.5))
+    store.append(_record(build_s=0.7))
+    latest = store.latest("micro")
+    assert latest["metrics"]["build_s"] == 0.7
+
+
+def test_append_validates_before_writing(tmp_path):
+    store = TrajectoryStore(tmp_path)
+    bad = _record()
+    bad["metrics"] = {}
+    with pytest.raises(ValueError):
+        store.append(bad)
+    assert store.history("micro") == []
+
+
+def test_load_validates_on_read(tmp_path):
+    store = TrajectoryStore(tmp_path)
+    path = store.append(_record())
+    doc = json.loads(path.read_text())
+    doc["schema"] = "bogus"
+    path.write_text(json.dumps(doc))
+    with pytest.raises(ValueError):
+        store.load(path)
+
+
+def test_stray_files_are_ignored_by_history(tmp_path):
+    store = TrajectoryStore(tmp_path)
+    store.append(_record())
+    (tmp_path / "micro" / "notes.txt").write_text("scratch")
+    (tmp_path / "micro" / "12345.json").write_text("{}")
+    assert [p.name for p in store.history("micro")] == ["0001.json"]

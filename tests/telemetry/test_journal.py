@@ -5,8 +5,10 @@ import json
 import pytest
 
 from repro.telemetry.journal import (
+    JOURNAL_SCHEMA,
     EventJournal,
     SlowQueryLog,
+    validate_journal_header,
     validate_journal_lines,
     validate_journal_record,
     write_journal,
@@ -115,10 +117,51 @@ class TestValidators:
                     partitions=[0])
         journal.record("batch", n_queries=2, n_groups=1)
         path = write_journal(journal, tmp_path / "journal.jsonl")
-        text = path.read_text()
-        assert validate_journal_lines(text) == 2
-        for line in text.splitlines():
+        lines = path.read_text().splitlines()
+        assert validate_journal_lines(path.read_text()) == 2
+        header = json.loads(lines[0])
+        assert header["schema"] == JOURNAL_SCHEMA
+        assert header["retained"] == 2 and header["dropped"] == 0
+        validate_journal_header(header)
+        for line in lines[1:]:
             validate_journal_record(json.loads(line))
+
+    def test_header_reports_dropped_events(self, tmp_path):
+        journal = EventJournal(capacity=4)
+        for i in range(10):
+            journal.record("batch", i=i)
+        path = write_journal(journal, tmp_path / "journal.jsonl")
+        header = json.loads(path.read_text().splitlines()[0])
+        assert header["total"] == 10
+        assert header["retained"] == 4
+        assert header["dropped"] == 6
+        # The dump remains valid: header + 4 records.
+        assert validate_journal_lines(path.read_text()) == 4
+
+    def test_headerless_dump_stays_valid(self):
+        lines = "\n".join([
+            json.dumps({"seq": 1, "ts": 1.0, "kind": "batch"}),
+            json.dumps({"seq": 2, "ts": 1.0, "kind": "batch"}),
+        ])
+        assert validate_journal_lines(lines) == 2
+
+    def test_header_retained_mismatch_rejected(self):
+        lines = "\n".join([
+            json.dumps({
+                "schema": JOURNAL_SCHEMA, "capacity": 8,
+                "retained": 3, "total": 3, "dropped": 0,
+            }),
+            json.dumps({"seq": 1, "ts": 1.0, "kind": "batch"}),
+        ])
+        with pytest.raises(ValueError, match="retained"):
+            validate_journal_lines(lines)
+
+    def test_header_accounting_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="accounting"):
+            validate_journal_header({
+                "schema": JOURNAL_SCHEMA, "capacity": 8,
+                "retained": 2, "total": 5, "dropped": 1,
+            })
 
     def test_rejects_malformed_records(self):
         with pytest.raises(ValueError):
