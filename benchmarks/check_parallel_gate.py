@@ -1,0 +1,192 @@
+#!/usr/bin/env python
+"""CI gate over a ``bench_parallel.py`` report (docs/PARALLELISM.md).
+
+Reads the JSON report and fails (exit 1) unless the structural
+guarantees of the batch tier hold — the ones that do not depend on how
+many cores the host happens to have:
+
+* answers were bit-identical across backends;
+* batch-kNN kernel attribution reached the target on every backend;
+* conversion/routing was *batched*: exactly one ``route`` kernel call
+  per batch pass (the vectorized ``group_queries_by_partition``), with
+  per-query scoring showing up as ``euclidean`` work;
+* on the ``processes`` backend with >1 job, results crossed the pipes
+  as pickle bytes, and the zero-copy collapse kept the batch-kNN
+  pickle traffic well under the raw dataset size (shared-memory
+  export, not array-by-value pickling).
+
+The *speedup* gate is conditional: parallel backends can only beat
+serial when the host really has cores (``host.cpu_affinity``) and jobs
+were not oversubscribed.  On a 1-core or oversubscribed host the gate
+is reported as skipped — the report's own host block is the evidence.
+
+Usage::
+
+    python benchmarks/check_parallel_gate.py bench_parallel_perf.json
+    python benchmarks/check_parallel_gate.py report.json --min-speedup 1.5
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+#: Parallel batch-kNN must beat serial by this factor — when cores exist.
+DEFAULT_MIN_SPEEDUP = 1.5
+
+#: Zero-copy collapse bound: batch-kNN pickle traffic on the processes
+#: backend must stay under this fraction of the raw dataset bytes.  With
+#: array-by-value pickling the partition blocks alone exceed the dataset.
+COLLAPSE_FRACTION = 0.25
+
+
+def _fail(errors: list[str], message: str) -> None:
+    errors.append(message)
+    print(f"  FAIL  {message}")
+
+
+def _ok(message: str) -> None:
+    print(f"  ok    {message}")
+
+
+def _skip(message: str) -> None:
+    print(f"  skip  {message}")
+
+
+def check(doc: dict, min_speedup: float) -> int:
+    errors: list[str] = []
+    host = doc.get("host", {})
+    workload = doc.get("workload", {})
+    backends = sorted(doc.get("results", {}))
+    if not backends:
+        print("  FAIL  report has no results section")
+        return 1
+
+    # -- correctness and attribution ------------------------------------
+    if doc.get("answers_identical_across_backends"):
+        _ok("answers identical across backends")
+    else:
+        _fail(errors, "answers differed across backends")
+
+    target = doc.get("attribution_target", 0.0)
+    if doc.get("attribution_ok"):
+        _ok(f"batch-knn attribution >= {target:.0%} on all backends")
+    else:
+        fractions = {
+            kind: doc["attribution"][kind]["batch_knn"]["fraction"]
+            for kind in backends
+        }
+        _fail(errors, f"attribution under {target:.0%}: {fractions}")
+
+    # -- batched kernel shapes ------------------------------------------
+    for kind in backends:
+        for stage in ("batch_knn", "batch_exact"):
+            kernels = doc["attribution"][kind][stage]["kernels"]
+            route = kernels.get("route")
+            if route is None:
+                _fail(errors, f"{kind}/{stage}: no route kernel recorded")
+            elif route["calls"] != 1:
+                _fail(
+                    errors,
+                    f"{kind}/{stage}: route ran {route['calls']} times — "
+                    f"conversion was not batched",
+                )
+        knn_kernels = doc["attribution"][kind]["batch_knn"]["kernels"]
+        euclidean = knn_kernels.get("euclidean")
+        n_queries = workload.get("queries", 0)
+        if euclidean is None or euclidean["elements"] <= 0:
+            _fail(errors, f"{kind}/batch_knn: no euclidean kernel work")
+        elif n_queries and euclidean["calls"] > n_queries:
+            _fail(
+                errors,
+                f"{kind}/batch_knn: {euclidean['calls']} euclidean calls "
+                f"for {n_queries} queries — scoring is not one pass per "
+                f"query",
+            )
+    if not errors:
+        _ok("route batched (1 call/pass), euclidean scoring vectorized")
+
+    # -- zero-copy collapse on the processes backend --------------------
+    knn_attr = doc.get("attribution", {}).get("processes", {}).get(
+        "batch_knn", {}
+    )
+    jobs = host.get("jobs", 1)
+    if jobs < 2:
+        _skip("pickle checks need --jobs >= 2 (processes ran inline)")
+    elif "pickle_bytes" not in knn_attr:
+        _fail(errors, "processes/batch_knn recorded no pickle traffic")
+    else:
+        pickle_bytes = knn_attr["pickle_bytes"]
+        if pickle_bytes <= 0:
+            _fail(errors, "processes/batch_knn pickle_bytes is zero")
+        if knn_attr.get("serialize_s", -1.0) < 0:
+            _fail(errors, "processes/batch_knn serialize_s missing")
+        dataset_bytes = (
+            workload.get("series", 0) * workload.get("length", 0) * 8
+        )
+        bound = dataset_bytes * COLLAPSE_FRACTION
+        if dataset_bytes and pickle_bytes > bound:
+            _fail(
+                errors,
+                f"zero-copy collapse broken: batch-knn moved "
+                f"{pickle_bytes:,} pickle bytes (> {bound:,.0f}; dataset "
+                f"is {dataset_bytes:,}B) — blocks are pickling by value",
+            )
+        elif dataset_bytes:
+            _ok(
+                f"zero-copy collapse held: {pickle_bytes:,}B pickled vs "
+                f"{dataset_bytes:,}B dataset"
+            )
+
+    # -- conditional speedup gate ---------------------------------------
+    affinity = host.get("cpu_affinity", 1)
+    oversubscribed = host.get("oversubscribed", False)
+    if affinity < 2:
+        _skip(
+            f"speedup gate needs >= 2 cores (cpu_affinity={affinity}); "
+            f"parallel backends degenerate to ~1x here by construction"
+        )
+    elif oversubscribed:
+        _skip("speedup gate skipped: jobs oversubscribed the cpuset")
+    else:
+        best = max(
+            doc["results"][kind]["speedup_vs_serial"].get("batch_knn", 0.0)
+            for kind in backends
+            if kind != "serial"
+        )
+        if best >= min_speedup:
+            _ok(
+                f"parallel batch-knn {best:.2f}x serial "
+                f"(>= {min_speedup:.1f}x on {affinity} cores)"
+            )
+        else:
+            _fail(
+                errors,
+                f"parallel batch-knn only {best:.2f}x serial on "
+                f"{affinity} cores (need >= {min_speedup:.1f}x)",
+            )
+
+    if errors:
+        print(f"parallel gate: FAIL ({len(errors)} problem(s))")
+        return 1
+    print("parallel gate: PASS")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("report", help="bench_parallel.py JSON report")
+    parser.add_argument(
+        "--min-speedup", type=float, default=DEFAULT_MIN_SPEEDUP,
+        help=f"required parallel/serial batch-knn ratio when the host "
+        f"has cores (default {DEFAULT_MIN_SPEEDUP})",
+    )
+    args = parser.parse_args(argv)
+    doc = json.loads(Path(args.report).read_text())
+    return check(doc, args.min_speedup)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

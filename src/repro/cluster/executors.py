@@ -47,6 +47,7 @@ import time
 from concurrent.futures import ThreadPoolExecutor
 
 from ..telemetry.perf import KERNELS as _KERNELS
+from . import shm as _shm
 
 __all__ = [
     "EXECUTOR_KINDS",
@@ -259,6 +260,7 @@ class ForkProcessExecutor:
 
     def _fork_and_gather(self, fn, items: list, n_children: int) -> list[dict]:
         counters = _KERNELS.enabled
+        _shm.ensure_tracker()
         t_fork = time.perf_counter() if counters else 0.0
         read_fds, pids = [], []
         for rank in range(n_children):
@@ -305,6 +307,12 @@ class ForkProcessExecutor:
         t_reap = time.perf_counter() if counters else 0.0
         for pid in pids:
             os.waitpid(pid, 0)
+        # Every segment referenced by a successfully read payload was
+        # attached (and unlinked) in _read_payload above, so anything
+        # still named under a child's prefix is an orphan — left by a
+        # crash between export and attach — and is swept here.
+        for pid in pids:
+            _shm.cleanup_orphans(pid)
         if counters:
             # Fork setup plus child reaping: the driver-side overhead of
             # running this stage on processes, separate from the pickle
@@ -391,10 +399,17 @@ def _write_payload(out, payload: dict) -> None:
     (``exec_serialize``) without measuring its own measurement.  An
     unpicklable task result degrades to the deterministic error payload,
     keeping the pre-envelope contract.
+
+    Pickling runs inside :class:`repro.cluster.shm.exporting`, so
+    shared-memory-aware results (columnar partition blocks) replace their
+    large arrays with segment descriptors: the bytes crossing the pipe
+    collapse to metadata and the driver re-attaches the segments without
+    copying.  Plain results are byte-identical to the non-shm path.
     """
     t0 = time.perf_counter()
     try:
-        blob = pickle.dumps(payload, pickle.HIGHEST_PROTOCOL)
+        with _shm.exporting():
+            blob = pickle.dumps(payload, pickle.HIGHEST_PROTOCOL)
     except Exception as exc:  # unpicklable task output
         results = payload.get("results") or []
         payload = {

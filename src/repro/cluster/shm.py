@@ -1,0 +1,228 @@
+"""Zero-copy array transport over POSIX shared memory.
+
+The fork-process executor returns task results through a pipe; before
+this module, a built partition crossed that pipe as a multi-megabyte
+pickle (the raw series matrix re-serialized byte by byte), which is why
+``BENCH_parallel.json`` showed the ``processes`` backend *losing* to
+serial on build.  Columnar blocks now ship as *descriptors*: the child
+copies each large array into a ``multiprocessing.shared_memory`` segment
+and pickles only ``(name, shape, dtype)``; the driver attaches by name,
+wraps the mapped buffer in a numpy view without copying, and unlinks the
+segment immediately so nothing outlives the process tree.
+
+Protocol (one segment per exported array):
+
+1. **Child** (inside :func:`exporting` — only the executor result pipe
+   turns the protocol on): ``create_segment`` allocates and fills a
+   segment named ``repro_shm_{pid}_{seq}_{rand}``; the handle is parked
+   in a module registry so the segment survives until the child's
+   ``os._exit`` (which skips destructors and leaves the file in place).
+2. **Driver**: ``attach_array`` maps the segment, builds the array view,
+   and *unlinks at once* — the memory stays valid for the life of the
+   mapping, but the name disappears, so a crash after this point cannot
+   leak.  The ``SharedMemory`` handle rides along with the array (the
+   caller keeps it referenced) and is closed by an ``atexit`` sweep.
+3. **Crash path**: a child that dies between (1) and (2) leaves named
+   segments behind; ``cleanup_orphans`` removes everything matching this
+   process family's prefix and is invoked by the executor whenever a
+   child returns no payload.
+
+``available()`` is False on platforms without POSIX shared memory (or
+when the stdlib module is missing); every caller falls back to plain
+pickling, so the protocol is an optimization, never a requirement.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import secrets
+import threading
+
+import numpy as np
+
+try:  # POSIX shared memory; absent on some minimal builds
+    from multiprocessing import shared_memory as _shared_memory
+except ImportError:  # pragma: no cover - platform without shm
+    _shared_memory = None
+
+__all__ = [
+    "available",
+    "ensure_tracker",
+    "create_segment",
+    "attach_array",
+    "release_all",
+    "cleanup_orphans",
+    "exporting",
+    "export_enabled",
+    "segment_prefix",
+]
+
+#: Where POSIX shm segments appear as files (Linux); used only by the
+#: orphan sweeper, which degrades to a no-op elsewhere.
+_SHM_DIR = "/dev/shm"
+
+_lock = threading.Lock()
+#: Child side: handles that must stay open (and *not* be unlinked) until
+#: the process exits so the driver can attach.
+_exported: list = []
+#: Driver side: handles backing live zero-copy views; closed at exit.
+_attached: list = []
+_counter = 0
+
+_export_flag = threading.local()
+
+
+def available() -> bool:
+    """True when the shared-memory transport can be used at all."""
+    return _shared_memory is not None
+
+
+def ensure_tracker() -> None:
+    """Spawn the multiprocessing resource tracker from THIS process.
+
+    Fork executors must call this before forking: if the tracker were
+    first spawned inside a short-lived child, it would die with the child
+    and unlink the child's exported segments before the driver attaches.
+    Spawned from the driver, the tracker's pipe stays open (inherited by
+    every child) for the driver's whole lifetime.
+    """
+    if _shared_memory is None:
+        return
+    try:
+        from multiprocessing import resource_tracker
+
+        resource_tracker.ensure_running()
+    except Exception:  # pragma: no cover - tracker internals shifted
+        pass
+
+
+def segment_prefix(pid: int | None = None) -> str:
+    """Name prefix of every segment created by ``pid`` (default: us)."""
+    return f"repro_shm_{os.getpid() if pid is None else pid}_"
+
+
+def create_segment(array: np.ndarray) -> dict:
+    """Copy ``array`` into a fresh named segment; return its descriptor.
+
+    The handle is parked in the module registry — the caller must *not*
+    close or unlink it; the receiving process owns the unlink.
+    """
+    if _shared_memory is None:
+        raise RuntimeError("shared memory is not available on this platform")
+    global _counter
+    array = np.ascontiguousarray(array)
+    with _lock:
+        _counter += 1
+        name = f"{segment_prefix()}{_counter}_{secrets.token_hex(4)}"
+    segment = _shared_memory.SharedMemory(
+        name=name, create=True, size=max(1, array.nbytes)
+    )
+    view = np.ndarray(array.shape, dtype=array.dtype, buffer=segment.buf)
+    view[...] = array
+    with _lock:
+        _exported.append(segment)
+    return {
+        "name": name,
+        "shape": array.shape,
+        "dtype": array.dtype.str,
+        "nbytes": int(array.nbytes),
+    }
+
+
+def attach_array(descriptor: dict) -> tuple[np.ndarray, object]:
+    """Map a descriptor back into a zero-copy array view.
+
+    The segment is unlinked immediately (the mapping keeps the memory
+    alive; the *name* must not outlive this call, or a later crash could
+    leak it).  Returns ``(array, handle)`` — the caller must keep the
+    handle referenced as long as the array is in use.
+    """
+    if _shared_memory is None:
+        raise RuntimeError("shared memory is not available on this platform")
+    segment = _shared_memory.SharedMemory(name=descriptor["name"], create=False)
+    array = np.ndarray(
+        tuple(descriptor["shape"]),
+        dtype=np.dtype(descriptor["dtype"]),
+        buffer=segment.buf,
+    )
+    try:
+        segment.unlink()
+    except FileNotFoundError:  # pragma: no cover - already swept
+        pass
+    with _lock:
+        _attached.append(segment)
+    return array, segment
+
+
+def release_all() -> None:
+    """Close every handle this process still holds (atexit sweep).
+
+    Attached handles may still back live numpy views at interpreter
+    shutdown; ``BufferError`` from the underlying mmap is expected then
+    and suppressed — the OS reclaims the (already unlinked) memory when
+    the process exits regardless.
+    """
+    with _lock:
+        handles = _exported + _attached
+        _exported.clear()
+        _attached.clear()
+    for handle in handles:
+        try:
+            handle.close()
+        except BufferError:
+            pass
+        except Exception:  # pragma: no cover - platform-specific teardown
+            pass
+
+
+atexit.register(release_all)
+
+
+def cleanup_orphans(pid: int | None = None) -> list[str]:
+    """Unlink segments left behind by a crashed child; returns their names.
+
+    Only segments matching :func:`segment_prefix` for ``pid`` (default:
+    this process — fork children share our pid-based prefix namespace
+    via their own pids, so the executor passes the child pid) are
+    touched.  A no-op where ``/dev/shm`` does not exist.
+    """
+    if _shared_memory is None or not os.path.isdir(_SHM_DIR):
+        return []
+    prefix = segment_prefix(pid)
+    removed = []
+    for entry in os.listdir(_SHM_DIR):
+        if not entry.startswith(prefix):
+            continue
+        try:
+            segment = _shared_memory.SharedMemory(name=entry, create=False)
+            segment.close()
+            segment.unlink()
+            removed.append(entry)
+        except FileNotFoundError:
+            continue
+        except Exception:  # pragma: no cover - permission races
+            continue
+    return removed
+
+
+class exporting:
+    """Context manager enabling descriptor export for the current thread.
+
+    Only the executor's result-pipe serialization runs inside it, so
+    ordinary pickling (persistence, ``copy.deepcopy``, tests) never
+    creates segments by accident.
+    """
+
+    def __enter__(self):
+        _export_flag.enabled = getattr(_export_flag, "enabled", 0) + 1
+        return self
+
+    def __exit__(self, *exc):
+        _export_flag.enabled -= 1
+        return False
+
+
+def export_enabled() -> bool:
+    """True inside an :class:`exporting` block (and shm is usable)."""
+    return bool(getattr(_export_flag, "enabled", 0)) and available()

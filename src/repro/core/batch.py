@@ -34,10 +34,11 @@ from ..cluster.costmodel import timed_stage
 from ..cluster.executors import resolve_executor
 from ..faults.errors import PartialResultError, PartitionUnavailableError
 from ..telemetry.perf import KERNELS as _KERNELS
-from ..tsdb.distance import batch_euclidean
+from ..tsdb.paa import paa_transform
+from ..tsdb.sax import sax_symbols
 from .builder import TardisIndex
-from .local_index import ScanStats
-from .queries import ExactMatchResult, KnnResult, Neighbor, query_signature
+from .isaxt import batch_signatures
+from .queries import ExactMatchResult, KnnResult, Neighbor
 
 __all__ = [
     "BatchReport",
@@ -69,13 +70,23 @@ def group_queries_by_partition(
     This is *the* grouping rule of the batch tier — the serving
     micro-batcher (:mod:`repro.serving.batcher`) calls it too, so a
     request's batch group always matches where a batch pass would have
-    placed it."""
+    placed it.
+
+    Conversion is one PAA → SAX → transpose-encode pass over the whole
+    query matrix (identical, row for row, to :func:`query_signature` —
+    the equivalence suite pins it); only the routing table walk remains
+    per query."""
+    if len(queries) == 0:
+        return {}, []
+    config = index.config
+    values = np.asarray(queries, dtype=np.float64)
+    paa = paa_transform(values, config.word_length)
+    symbols = sax_symbols(paa, config.cardinality_bits)
+    signatures = batch_signatures(symbols, config.cardinality_bits)
+    converted = list(zip(signatures, paa))
     t0 = perf_counter() if _KERNELS.enabled else 0.0
     groups: dict[int, list[int]] = {}
-    converted = []
-    for i, query in enumerate(queries):
-        signature, paa = query_signature(index, query)
-        converted.append((signature, paa))
+    for i, signature in enumerate(signatures):
         pid = index.global_index.route(signature)
         groups.setdefault(pid, []).append(i)
     if _KERNELS.enabled:
@@ -150,7 +161,7 @@ def batch_exact_match(
             else:
                 pending.append(i)
         if not pending:
-            return results, 0.0, False
+            return results, 0.0, "skipped"
         load_ledger = SimulationLedger()
         try:
             index.load_partition(pid, ledger=load_ledger)
@@ -162,7 +173,7 @@ def batch_exact_match(
                 results[i] = PartialResultError(
                     [pid], detail="batch exact-match"
                 )
-            return results, load_ledger.clock_s, False
+            return results, load_ledger.clock_s, "failed"
         scratch = SimulationLedger()
         with timed_stage(scratch, "lookup"):
             for i in pending:
@@ -178,15 +189,19 @@ def batch_exact_match(
                     result, load_ledger.clock_s, len(pending), pid
                 )
                 results[i] = result
-        return results, load_ledger.clock_s + scratch.clock_s, True
+        return results, load_ledger.clock_s + scratch.clock_s, "loaded"
 
     outcomes = _run_groups(groups, match_group, executor)
     partition_times: list[float] = []
-    for results, group_time, loaded in outcomes:
+    for results, group_time, status in outcomes:
         for i, result in results.items():
             report.results[i] = result
-        if loaded:
+        if status == "loaded":
             report.partitions_loaded += 1
+        if status != "skipped":
+            # Failed loads still consumed retry/backoff wall time; the
+            # batch pass must account for it even though no partition
+            # became available.
             partition_times.append(group_time)
     wall = _parallel_wall(partition_times, index.config.n_workers)
     report.ledger.record_stage(
@@ -215,6 +230,7 @@ def batch_knn_target_node(
     report = BatchReport(results=[None] * len(queries))
     with timed_stage(report.ledger, "batch/route"):
         groups, converted = group_queries_by_partition(index, queries)
+    qmat = np.asarray(queries, dtype=np.float64)
 
     def knn_group(pid: int, indices: list[int]):
         load_ledger = SimulationLedger()
@@ -229,41 +245,55 @@ def batch_knn_target_node(
                     missing_partitions=[pid],
                 )
                 for i in indices
-            }, load_ledger.clock_s, False
+            }, load_ledger.clock_s, "failed"
         results: dict[int, KnnResult] = {}
         scratch = SimulationLedger()
         with timed_stage(scratch, "search"):
             for i in indices:
                 signature = converted[i][0]
-                scan = ScanStats()
                 target = partition.target_node(signature, k)
-                candidates = partition.entries_under(target, stats=scan)
+                candidates = partition.entries_under(target)
                 result = KnnResult(neighbors=[], strategy="target-node")
                 result.candidates_examined = len(candidates)
-                result.nodes_visited = (target.layer + 1) + scan.visited
+                # entries_under just (re)filled the node's subtree cache;
+                # its node count is the visited count a traversal reports.
+                result.nodes_visited = (
+                    (target.layer + 1) + target.subtree_rows[2]
+                )
                 _charge_shared_load(
                     result, load_ledger.clock_s, len(indices), pid
                 )
-                if candidates:
-                    values = np.vstack([e[2] for e in candidates])
-                    distances = batch_euclidean(
-                        np.asarray(queries[i], dtype=np.float64), values
-                    )
-                    order = np.argsort(distances, kind="stable")[:k]
+                if len(candidates):
+                    # The node cache hands back the subtree's value rows
+                    # already gathered, so scoring is the same subtract /
+                    # row-reduce / sqrt as :func:`batch_euclidean`
+                    # (bit-identical answers) without the per-query copy.
+                    values, rids = partition.node_candidates(target)
+                    t0 = perf_counter() if _KERNELS.enabled else 0.0
+                    diff = values - qmat[i]
+                    distances = np.sqrt(np.einsum("ij,ij->i", diff, diff))
+                    if _KERNELS.enabled:
+                        _KERNELS.record("euclidean", elements=diff.size,
+                                        seconds=perf_counter() - t0)
+                    order = np.lexsort((rids, distances))[:k]
                     result.neighbors = [
-                        Neighbor(float(distances[j]), candidates[j][1])
-                        for j in order
+                        Neighbor(d, r)
+                        for d, r in zip(distances[order].tolist(),
+                                        rids[order].tolist())
                     ]
                 results[i] = result
-        return results, load_ledger.clock_s + scratch.clock_s, True
+        return results, load_ledger.clock_s + scratch.clock_s, "loaded"
 
     outcomes = _run_groups(groups, knn_group, executor)
     partition_times: list[float] = []
-    for results, group_time, loaded in outcomes:
+    for results, group_time, status in outcomes:
         for i, result in results.items():
             report.results[i] = result
-        if loaded:
+        if status == "loaded":
             report.partitions_loaded += 1
+        if status != "skipped":
+            # A failed load's retry/backoff time still belongs to the
+            # batch pass even though no partition became available.
             partition_times.append(group_time)
     wall = _parallel_wall(partition_times, index.config.n_workers)
     report.ledger.record_stage(

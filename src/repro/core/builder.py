@@ -234,16 +234,10 @@ class TardisIndex:
         signature, rid, values = converted[0]
         partition_id = self.global_index.route(signature)
         partition = self.partitions[partition_id]
-        partition.tree.insert_entry(
-            (signature, rid, values if self.clustered else None)
-        )
-        partition.bloom.add(signature)
-        partition.register_region(signature)
+        partition.insert_record(signature, rid, values)
         cache = getattr(self, "_partition_cache", None)
         if cache is not None:
             cache.invalidate(partition_id)
-        partition.n_records += 1
-        partition.nbytes += len(signature) + 8 + int(values.nbytes)
         self.n_records += 1
         return rid
 
@@ -260,22 +254,11 @@ class TardisIndex:
         converted = convert_records([(record_id, series)], self.config)
         signature = converted[0][0]
         partition = self.partitions[self.global_index.route(signature)]
-        leaf = partition.tree.descend(signature)
-        if not leaf.is_leaf:
+        removed = partition.remove_record(record_id, series=series)
+        if removed is None:
             return False
-        for i, (sig, rid, values) in enumerate(leaf.entries):
-            if sig == signature and rid == record_id and np.array_equal(
-                values, series
-            ):
-                del leaf.entries[i]
-                node = leaf
-                while node is not None:
-                    node.count -= 1
-                    node = node.parent
-                partition.n_records -= 1
-                self.n_records -= 1
-                return True
-        return False
+        self.n_records -= 1
+        return True
 
     def rebalance(self, overflow_factor: float = 1.5):
         """Split partitions that overflowed after heavy insertion.
@@ -293,9 +276,9 @@ class TardisIndex:
         if rid is None:
             rid = max(
                 (
-                    entry[1]
+                    int(partition.block.record_ids.max())
                     for partition in self.partitions.values()
-                    for entry in partition.all_entries()
+                    if partition.block.n_rows
                 ),
                 default=-1,
             )

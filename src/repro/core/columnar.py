@@ -1,0 +1,191 @@
+"""Columnar storage behind every Tardis-L partition.
+
+The seed kept one Python tuple ``(signature, record_id, series)`` per
+record, scattered across sigTree leaves; every query then paid
+per-tuple costs — ``np.vstack`` over tuple lists, per-entry signature
+decodes, per-node MINDIST calls.  A :class:`ColumnarBlock` stores the
+partition's records once, contiguously:
+
+* ``values`` — one ``(n_records, series_length)`` float64 matrix (None
+  for un-clustered partitions);
+* ``record_ids`` — parallel int64 ids;
+* ``signatures`` — parallel fixed-width unicode array of full-cardinality
+  iSAX-T strings;
+* ``symbols`` — the pre-decoded ``(n_records, w)`` SAX symbol matrix, so
+  signature-space scoring (un-clustered kNN, equivalence checks) never
+  re-parses hex strings.
+
+sigTree leaves hold *row indices* into the block, so candidate
+collection returns index arrays and ranking is one ``batch_euclidean``
+over a fancy-indexed slice — the ParIS+/MESSI-style move from
+per-record Python to whole-frontier numpy.  The block is also the unit
+of zero-copy transport: when the fork executor ships a built partition
+back to the driver, these arrays travel as shared-memory descriptors
+instead of pickle bytes (see :mod:`repro.cluster.shm`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .isaxt import batch_decode_signatures
+
+__all__ = ["ColumnarBlock"]
+
+#: Arrays smaller than this pickle faster than a segment round-trip.
+_SHM_MIN_BYTES = 16 * 1024
+
+
+class ColumnarBlock:
+    """Contiguous column arrays for one partition's records.
+
+    Rows are append-only: deletes detach rows from the sigTree (the row
+    becomes unreferenced and is reclaimed on the next rebuild), inserts
+    append. ``n_rows`` therefore bounds — but after deletes may exceed —
+    the partition's live record count.
+    """
+
+    __slots__ = (
+        "record_ids", "values", "signatures", "symbols", "_shm_handles",
+    )
+
+    def __init__(
+        self,
+        record_ids: np.ndarray,
+        values: np.ndarray | None,
+        signatures: np.ndarray,
+        symbols: np.ndarray,
+    ):
+        self.record_ids = record_ids
+        self.values = values
+        self.signatures = signatures
+        self.symbols = symbols
+        self._shm_handles: list = []
+
+    # -- construction -----------------------------------------------------------
+
+    @classmethod
+    def from_records(
+        cls, records: list, word_length: int, clustered: bool = True
+    ) -> "ColumnarBlock":
+        """Build from ``(signature, record_id, series)`` tuples in order."""
+        n = len(records)
+        if n == 0:
+            return cls.empty(word_length, series_length=0, clustered=clustered)
+        record_ids = np.fromiter(
+            (r[1] for r in records), dtype=np.int64, count=n
+        )
+        signatures = np.asarray([r[0] for r in records])
+        symbols, _bits = batch_decode_signatures(signatures, word_length)
+        values = None
+        if clustered:
+            values = np.vstack(
+                [np.asarray(r[2], dtype=np.float64) for r in records]
+            )
+        return cls(record_ids, values, signatures, symbols)
+
+    @classmethod
+    def empty(
+        cls, word_length: int, series_length: int, clustered: bool = True
+    ) -> "ColumnarBlock":
+        return cls(
+            record_ids=np.zeros(0, dtype=np.int64),
+            values=(
+                np.zeros((0, series_length), dtype=np.float64)
+                if clustered else None
+            ),
+            signatures=np.zeros(0, dtype="<U1"),
+            symbols=np.zeros((0, word_length), dtype=np.uint32),
+        )
+
+    # -- shape ------------------------------------------------------------------
+
+    @property
+    def n_rows(self) -> int:
+        return int(self.record_ids.shape[0])
+
+    @property
+    def clustered(self) -> bool:
+        return self.values is not None
+
+    @property
+    def nbytes(self) -> int:
+        total = (
+            self.record_ids.nbytes + self.signatures.nbytes
+            + self.symbols.nbytes
+        )
+        if self.values is not None:
+            total += self.values.nbytes
+        return total
+
+    def signature_at(self, row: int) -> str:
+        return str(self.signatures[row])
+
+    def entry_at(self, row: int) -> tuple:
+        """Materialize one legacy ``(signature, record_id, series)`` tuple."""
+        series = self.values[row] if self.values is not None else None
+        return (str(self.signatures[row]), int(self.record_ids[row]), series)
+
+    # -- maintenance ------------------------------------------------------------
+
+    def append(
+        self,
+        signature: str,
+        record_id: int,
+        series: np.ndarray | None,
+        symbols: np.ndarray,
+    ) -> int:
+        """Append one record; returns its row index.
+
+        Row-level inserts are the maintenance path (bulk construction
+        goes through :meth:`from_records`), so plain reallocation keeps
+        the arrays contiguous without growth bookkeeping.
+        """
+        row = self.n_rows
+        self.record_ids = np.append(self.record_ids, np.int64(record_id))
+        if len(signature) > self.signatures.dtype.itemsize // 4:
+            self.signatures = self.signatures.astype(f"<U{len(signature)}")
+        self.signatures = np.append(self.signatures, signature)
+        self.symbols = np.vstack(
+            [self.symbols, np.asarray(symbols, dtype=np.uint32)[None, :]]
+        )
+        if self.values is not None:
+            if series is None:
+                raise ValueError("clustered block needs the raw series")
+            series = np.asarray(series, dtype=np.float64)
+            if self.values.shape[0] == 0 and self.values.shape[1] != series.shape[0]:
+                self.values = np.zeros((0, series.shape[0]))
+            self.values = np.vstack([self.values, series[None, :]])
+        return row
+
+    # -- zero-copy transport ------------------------------------------------------
+
+    def __getstate__(self) -> dict:
+        from ..cluster import shm
+
+        state = {
+            "record_ids": self.record_ids,
+            "values": self.values,
+            "signatures": self.signatures,
+            "symbols": self.symbols,
+        }
+        if not shm.export_enabled():
+            return state
+        for key in ("record_ids", "values", "signatures", "symbols"):
+            array = state[key]
+            if array is None or array.nbytes < _SHM_MIN_BYTES:
+                continue
+            state[key] = {"__shm__": shm.create_segment(array)}
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        from ..cluster import shm
+
+        self._shm_handles = []
+        for key in ("record_ids", "values", "signatures", "symbols"):
+            value = state[key]
+            if isinstance(value, dict) and "__shm__" in value:
+                array, handle = shm.attach_array(value["__shm__"])
+                self._shm_handles.append(handle)
+                value = array
+            setattr(self, key, value)

@@ -86,20 +86,30 @@ def _partition_bounds(index: TardisIndex, paa: np.ndarray) -> dict[int, float]:
 
 
 def _rank_entries(
-    query: np.ndarray, entries: list, k_heap: list, k: int, counter
+    query: np.ndarray, partition: LocalPartition, rows, k_heap: list, k: int
 ) -> int:
-    """Fold entries into the max-heap of current best k; returns count."""
-    if not entries:
+    """Fold block rows into the max-heap of current best k; returns count.
+
+    Heap items are ``(-distance, -record_id)``: the root is the worst
+    kept neighbor, and among equal distances the *largest* record id is
+    evicted first, so the surviving set (and thus the final answer)
+    breaks ties by ascending record id like every other strategy.
+    """
+    rows = np.asarray(rows, dtype=np.int64)
+    if rows.size == 0:
         return 0
-    values = np.vstack([entry[2] for entry in entries])
-    distances = batch_euclidean(np.asarray(query, dtype=np.float64), values)
-    for dist, entry in zip(distances, entries):
-        item = (-float(dist), next(counter), entry[1])
+    block = partition.block
+    distances = batch_euclidean(
+        np.asarray(query, dtype=np.float64), block.values[rows]
+    )
+    rids = block.record_ids[rows]
+    for dist, rid in zip(distances, rids):
+        item = (-float(dist), -int(rid))
         if len(k_heap) < k:
             heapq.heappush(k_heap, item)
-        elif item[0] > k_heap[0][0]:  # smaller distance than current worst
+        elif item > k_heap[0]:  # beats the current worst (distance, then id)
             heapq.heapreplace(k_heap, item)
-    return len(entries)
+    return int(rows.size)
 
 
 def knn_exact(index: TardisIndex, query: np.ndarray, k: int) -> ExactSearchResult:
@@ -123,7 +133,7 @@ def knn_exact(index: TardisIndex, query: np.ndarray, k: int) -> ExactSearchResul
                 (bound, pid)
                 for pid, bound in _partition_bounds(index, paa).items()
             )
-        k_heap: list[tuple[float, int, int]] = []  # (-distance, tiebreak, rid)
+        k_heap: list[tuple[float, int]] = []  # (-distance, -record_id)
 
         def kth_distance() -> float:
             if len(k_heap) < k:
@@ -142,7 +152,7 @@ def knn_exact(index: TardisIndex, query: np.ndarray, k: int) -> ExactSearchResul
                 result.candidates_examined += _search_partition(
                     index, partition, query, paa, k, k_heap, result, counter
                 )
-        ordered = sorted((-d, rid) for d, _tie, rid in k_heap)
+        ordered = sorted((-d, -negated_rid) for d, negated_rid in k_heap)
         result.neighbors = [Neighbor(dist, rid) for dist, rid in ordered]
         _annotate_exact_span(span, result)
     _record_query_metrics(
@@ -191,7 +201,7 @@ def _search_partition(
             continue
         result.nodes_visited += 1
         if node.entries:
-            examined += _rank_entries(query, node.entries, k_heap, k, counter)
+            examined += _rank_entries(query, partition, node.entries, k_heap, k)
         for child in node.children.values():
             child_bound = node_mindist(
                 child, paa, index.series_length, index.config.word_length
@@ -233,14 +243,18 @@ def range_query(
                     paa, radius, index.series_length, stats=scan
                 )
                 result.candidates_examined += len(survivors)
-                if survivors:
-                    values = np.vstack([e[2] for e in survivors])
+                if len(survivors):
+                    block = partition.block
                     distances = batch_euclidean(
-                        np.asarray(query, dtype=np.float64), values
+                        np.asarray(query, dtype=np.float64),
+                        block.values[survivors],
                     )
-                    for dist, entry in zip(distances, survivors):
-                        if dist <= radius:
-                            hits.append(Neighbor(float(dist), entry[1]))
+                    rids = block.record_ids[survivors]
+                    within = distances <= radius
+                    hits.extend(
+                        Neighbor(float(d), int(r))
+                        for d, r in zip(distances[within], rids[within])
+                    )
         result.nodes_visited += scan.visited
         result.nodes_pruned += scan.pruned
         hits.sort(key=lambda n: (n.distance, n.record_id))

@@ -129,6 +129,9 @@ class TardisGlobalIndex:
             split_threshold=config.g_max_size,
         )
         self.n_partitions = 0
+        #: signature → partition id memo; the routing table is static
+        #: between partition reassignments (see :meth:`invalidate_routes`).
+        self._route_cache: dict[str, int] = {}
 
     # -- construction ----------------------------------------------------------
 
@@ -162,6 +165,9 @@ class TardisGlobalIndex:
         nearest in value space because the leading bit planes are the most
         significant bits of every segment.
         """
+        cached = self._route_cache.get(full_signature)
+        if cached is not None:
+            return cached
         node = self.locate(full_signature)
         while not node.is_leaf:
             target = self.tree._prefix(full_signature, node.layer + 1)
@@ -176,7 +182,16 @@ class TardisGlobalIndex:
             raise RuntimeError(
                 f"leaf {node.signature!r} has no partition assignment"
             )
+        self._route_cache[full_signature] = node.partition_id
         return node.partition_id
+
+    def invalidate_routes(self) -> None:
+        """Drop memoized routes after the partition map changes.
+
+        Must be called by anything that reassigns ``partition_id`` on the
+        global tree (rebalancing) or restructures its nodes post-build.
+        """
+        self._route_cache.clear()
 
     def sibling_partition_ids(self, full_signature: str) -> list[int]:
         """Partition id list of the routed node's parent (Alg. 1, line 4).

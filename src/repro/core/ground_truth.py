@@ -36,9 +36,10 @@ def brute_force_knn(
     if k <= 0:
         raise ValueError("k must be positive")
     distances = batch_euclidean(np.asarray(query, dtype=np.float64), dataset.values)
-    order = np.argsort(distances, kind="stable")[:k]
+    rids = np.asarray(dataset.record_ids)
+    order = np.lexsort((rids, distances))[:k]
     return [
-        Neighbor(float(distances[i]), int(dataset.record_ids[i])) for i in order
+        Neighbor(float(distances[i]), int(rids[i])) for i in order
     ]
 
 
@@ -68,22 +69,32 @@ def pruned_ground_truth(
     # records fallback-routed into partitions their leaf regions do not
     # cover; the per-partition region synopsis gives the sound equivalent
     # (see EXPERIMENTS.md methodology notes).
-    candidates = []
+    per_partition_distances = []
+    per_partition_rids = []
+    n_candidates = 0
     for pid in sorted(index.partitions):
         partition = index.partitions[pid]
         if partition.region_bound(paa, index.series_length) > threshold:
             continue
-        candidates.extend(
-            partition.pruned_entries(paa, threshold, index.series_length)
+        rows = partition.pruned_entries(paa, threshold, index.series_length)
+        if not len(rows):
+            continue
+        n_candidates += len(rows)
+        per_partition_distances.append(
+            batch_euclidean(
+                np.asarray(query, dtype=np.float64),
+                partition.block.values[rows],
+            )
         )
-    if len(candidates) < k:
+        per_partition_rids.append(partition.block.record_ids[rows])
+    if n_candidates < k:
         raise GroundTruthError(
-            f"only {len(candidates)} candidates survive threshold {threshold}; "
+            f"only {n_candidates} candidates survive threshold {threshold}; "
             "raise the threshold"
         )
-    values = np.vstack([entry[2] for entry in candidates])
-    distances = batch_euclidean(np.asarray(query, dtype=np.float64), values)
-    order = np.argsort(distances, kind="stable")[:k]
+    distances = np.concatenate(per_partition_distances)
+    rids = np.concatenate(per_partition_rids)
+    order = np.lexsort((rids, distances))[:k]
     kth = float(distances[order[-1]])
     if kth > threshold:
         raise GroundTruthError(
@@ -91,5 +102,5 @@ def pruned_ground_truth(
             "result not certifiably exact — raise the threshold"
         )
     return [
-        Neighbor(float(distances[i]), int(candidates[i][1])) for i in order
+        Neighbor(float(distances[i]), int(rids[i])) for i in order
     ]

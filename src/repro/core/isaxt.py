@@ -31,6 +31,7 @@ __all__ = [
     "chars_per_plane",
     "encode_symbols",
     "decode_signature",
+    "batch_decode_signatures",
     "signature_of_paa",
     "signature_of_series",
     "batch_signatures",
@@ -128,6 +129,57 @@ def decode_signature(signature: str, word_length: int) -> tuple[np.ndarray, int]
                 bit = (nibble >> (3 - offset)) & 1
                 segment = group * 4 + offset
                 symbols[segment] = (symbols[segment] << 1) | bit
+    return symbols, bits
+
+
+#: Codepoint → nibble value for the 22 codepoints spanning '0'..'f'.
+_NIBBLE_OF_CHAR = np.full(128, 255, dtype=np.uint32)
+for _i, _c in enumerate("0123456789abcdef"):
+    _NIBBLE_OF_CHAR[ord(_c)] = _i
+
+
+def batch_decode_signatures(
+    signatures: np.ndarray, word_length: int
+) -> tuple[np.ndarray, int]:
+    """Vectorized :func:`decode_signature` over equal-length signatures.
+
+    ``signatures`` is a sequence of ``m`` iSAX-T strings, all encoding the
+    same cardinality.  Returns ``(symbols, bits)`` with ``symbols`` of
+    shape ``(m, word_length)`` — the columnar symbol matrix that the
+    batched MINDIST kernel scores in one call.
+    """
+    validate_word_length(word_length)
+    signatures = np.asarray(signatures)
+    m = signatures.shape[0]
+    per_plane = word_length // 4
+    if m == 0:
+        return np.zeros((0, word_length), dtype=np.uint32), 0
+    n_chars = signatures.dtype.itemsize // 4  # '<U{n}' stores UCS-4
+    if n_chars % per_plane != 0:
+        raise ValueError(
+            f"signature length {n_chars} is not a multiple of {per_plane}"
+        )
+    bits = n_chars // per_plane
+    if bits == 0:
+        return np.zeros((m, word_length), dtype=np.uint32), 0
+    t0 = perf_counter() if _KERNELS.enabled else 0.0
+    codepoints = signatures.view(np.uint32).reshape(m, n_chars)
+    nibbles = _NIBBLE_OF_CHAR[codepoints]
+    if np.any(nibbles == 255):
+        raise ValueError("signatures contain non-hex characters")
+    # nibble layout: (m, bits planes, w/4 groups); expand each nibble to
+    # its 4 bits, giving bit (bits-1-p) of every segment per plane p.
+    plane_bits = (
+        nibbles[:, :, None] >> np.array([3, 2, 1, 0], dtype=np.uint32)
+    ) & 1
+    plane_bits = plane_bits.reshape(m, bits, word_length)
+    weights = 1 << np.arange(bits - 1, -1, -1, dtype=np.uint32)
+    symbols = (plane_bits * weights[None, :, None]).sum(
+        axis=1, dtype=np.uint32
+    )
+    if _KERNELS.enabled:
+        _KERNELS.record("decode", elements=m * word_length,
+                        seconds=perf_counter() - t0)
     return symbols, bits
 
 

@@ -1,18 +1,24 @@
 """Tardis-L: per-partition local index + Bloom filter (paper §IV-C).
 
-Each partition produced by the Tardis-G shuffle gets its own sigTree whose
-leaves store the actual data entries ``(isaxt(b), record_id, series)`` — a
-*clustered* index (the un-clustered variant stores ``None`` in place of the
-series, keeping only signatures and record ids, as DPiSAX does natively).
+Each partition produced by the Tardis-G shuffle owns a *columnar block*
+(:class:`~repro.core.columnar.ColumnarBlock`): one contiguous
+``(n_records, series_length)`` value matrix plus parallel record-id,
+signature, and pre-decoded SAX-symbol arrays.  The partition's sigTree
+leaves store *row indices* into that block, so candidate collection
+returns integer index arrays and distance ranking is a single
+``batch_euclidean`` over a matrix slice — no per-entry tuples, no
+``np.vstack`` on the query path.  The un-clustered variant keeps the
+block without its value matrix (signatures and ids only, as DPiSAX does
+natively).
 
-A Bloom filter over the ``isaxt(b)`` signatures is populated synchronously
-with tree insertion, giving exact-match queries a cheap in-memory
-existence test before paying the partition-load latency.
+A Bloom filter over the ``isaxt(b)`` signatures is populated
+synchronously with tree insertion, giving exact-match queries a cheap
+in-memory existence test before paying the partition-load latency.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from time import perf_counter
 
 import numpy as np
@@ -20,9 +26,10 @@ import numpy as np
 from ..bloom import BloomFilter
 from ..cluster.costmodel import estimate_bytes
 from ..telemetry.perf import KERNELS as _KERNELS
-from ..tsdb.distance import mindist_paa_to_word
+from ..tsdb.distance import mindist_paa_to_word, mindist_paa_to_words
+from .columnar import ColumnarBlock
 from .config import TardisConfig
-from .isaxt import decode_signature, reduce_signature
+from .isaxt import batch_decode_signatures, decode_signature, reduce_signature
 from .sigtree import SigTree, SigTreeNode
 
 __all__ = [
@@ -41,7 +48,8 @@ __all__ = [
 #: such records (see EXPERIMENTS.md methodology notes).
 REGION_PREFIX_BITS = 2
 
-#: Entry layout: (full-cardinality signature, record id, series-or-None).
+#: Legacy entry layout, still used at API edges (persistence, validate):
+#: (full-cardinality signature, record id, series-or-None).
 Entry = tuple[str, int, "np.ndarray | None"]
 
 
@@ -59,6 +67,13 @@ class ScanStats:
     pruned: int = 0
 
 
+def _node_decoded(node: SigTreeNode, word_length: int) -> tuple:
+    """Cached ``(symbols, bits)`` of a node's signature."""
+    if node.decoded is None:
+        node.decoded = decode_signature(node.signature, word_length)
+    return node.decoded
+
+
 def node_mindist(node: SigTreeNode, query_paa: np.ndarray, n: int, word_length: int) -> float:
     """MINDIST lower bound from a query's PAA word to a sigTree node region.
 
@@ -66,13 +81,29 @@ def node_mindist(node: SigTreeNode, query_paa: np.ndarray, n: int, word_length: 
     """
     if node.layer == 0:
         return 0.0
-    symbols, bits = decode_signature(node.signature, word_length)
+    symbols, bits = _node_decoded(node, word_length)
     return mindist_paa_to_word(query_paa, symbols, bits, n)
+
+
+def _level_symbols(nodes: list, word_length: int) -> np.ndarray:
+    """Stacked symbol matrix for same-layer nodes, filling decode caches.
+
+    All nodes of one sigTree layer share a signature length, so the
+    uncached ones decode in a single :func:`batch_decode_signatures`
+    call instead of one triple-nested scalar decode per node.
+    """
+    missing = [n for n in nodes if n.decoded is None]
+    if missing:
+        signatures = np.asarray([n.signature for n in missing])
+        symbols, bits = batch_decode_signatures(signatures, word_length)
+        for i, node in enumerate(missing):
+            node.decoded = (symbols[i], bits)
+    return np.stack([n.decoded[0] for n in nodes])
 
 
 @dataclass
 class LocalPartition:
-    """One partition: its local sigTree, Bloom filter, and bookkeeping."""
+    """One partition: columnar block, local sigTree, Bloom filter."""
 
     partition_id: int
     tree: SigTree
@@ -86,6 +117,13 @@ class LocalPartition:
     #: the number of distinct coarse regions), kept in memory with the
     #: Bloom filter, and the basis of sound pre-load pruning.
     region_prefixes: set = None  # type: ignore[assignment]
+    #: Columnar record storage; sigTree leaves index into it.
+    block: ColumnarBlock = None  # type: ignore[assignment]
+    #: Cached (n_prefixes, symbols, bits) decode of the region synopsis;
+    #: rebuilt whenever the synopsis has grown.
+    _region_cache: tuple | None = field(
+        default=None, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         if self.region_prefixes is None:
@@ -98,19 +136,24 @@ class LocalPartition:
             reduce_signature(full_signature, bits, self.tree.word_length)
         )
 
+    def _region_symbols(self) -> tuple[np.ndarray, int]:
+        """Decoded synopsis matrix; cached until the synopsis grows."""
+        cache = self._region_cache
+        if cache is not None and cache[0] == len(self.region_prefixes):
+            return cache[1], cache[2]
+        prefixes = np.asarray(sorted(self.region_prefixes))
+        symbols, bits = batch_decode_signatures(prefixes, self.tree.word_length)
+        self._region_cache = (len(self.region_prefixes), symbols, bits)
+        return symbols, bits
+
     def region_bound(self, query_paa: np.ndarray, series_length: int) -> float:
         """Sound lower bound on the distance from the query to ANY record
         in this partition (min MINDIST over the synopsis regions)."""
-        best = np.inf
-        w = self.tree.word_length
-        for prefix in self.region_prefixes:
-            symbols, bits = decode_signature(prefix, w)
-            bound = mindist_paa_to_word(query_paa, symbols, bits, series_length)
-            if bound < best:
-                best = bound
-                if best == 0.0:
-                    break
-        return best
+        if not self.region_prefixes:
+            return float(np.inf)
+        symbols, bits = self._region_symbols()
+        bounds = mindist_paa_to_words(query_paa, symbols, bits, series_length)
+        return float(bounds.min())
 
     # -- exact match ------------------------------------------------------------
 
@@ -121,19 +164,25 @@ class LocalPartition:
     def exact_lookup(self, signature: str, query: np.ndarray) -> list[int]:
         """Record ids of series identical to ``query`` (paper §V-A step 4).
 
-        Traverses Tardis-L to the covering leaf and compares raw values;
-        requires a clustered partition (raw series present).
+        Traverses Tardis-L to the covering leaf and compares the leaf's
+        block rows against the query in one vectorized pass; requires a
+        clustered partition (raw series present).
         """
         if not self.clustered:
             raise RuntimeError("exact lookup needs a clustered partition")
         node = self.tree.descend(signature)
-        if not node.is_leaf:
+        if not node.is_leaf or not node.entries:
             return []
-        matches = []
-        for sig, rid, series in node.entries:
-            if sig == signature and series is not None and np.array_equal(series, query):
-                matches.append(rid)
-        return matches
+        rows = np.fromiter(node.entries, dtype=np.int64, count=len(node.entries))
+        query = np.asarray(query, dtype=np.float64)
+        if self.block.values.shape[1] != query.shape[0]:
+            return []
+        hit = self.block.signatures[rows] == signature
+        if not hit.any():
+            return []
+        rows = rows[hit]
+        equal = (self.block.values[rows] == query[None, :]).all(axis=1)
+        return [int(r) for r in self.block.record_ids[rows[equal]]]
 
     # -- kNN support ---------------------------------------------------------------
 
@@ -159,21 +208,62 @@ class LocalPartition:
 
     def entries_under(
         self, node: SigTreeNode, stats: ScanStats | None = None
-    ) -> list[Entry]:
-        """All data entries in the subtree rooted at ``node``."""
+    ) -> np.ndarray:
+        """Block row indices of all entries in the subtree under ``node``.
+
+        The row array (and the subtree's node count, so ``stats`` stays
+        exact) is cached on the node, keyed on the tree's mutation
+        version — repeated target-node scans cost one dict hit instead of
+        a traversal.  The cached array is frozen; callers only read it.
+        """
         t0 = perf_counter() if _KERNELS.enabled else 0.0
-        collected: list[Entry] = []
+        cached = node.subtree_rows
+        if cached is not None and cached[0] == self.tree.version:
+            _version, rows, n_nodes = cached
+            if stats is not None:
+                stats.visited += n_nodes
+            if _KERNELS.enabled:
+                _KERNELS.record("leaf_scan", elements=len(rows),
+                                seconds=perf_counter() - t0)
+            return rows
+        collected: list[int] = []
+        n_nodes = 0
         stack = [node]
         while stack:
             current = stack.pop()
-            if stats is not None:
-                stats.visited += 1
+            n_nodes += 1
             collected.extend(current.entries)
             stack.extend(current.children.values())
+        if stats is not None:
+            stats.visited += n_nodes
+        rows = np.fromiter(collected, dtype=np.int64, count=len(collected))
+        rows.setflags(write=False)
+        node.subtree_rows = (self.tree.version, rows, n_nodes)
         if _KERNELS.enabled:
             _KERNELS.record("leaf_scan", elements=len(collected),
                             seconds=perf_counter() - t0)
-        return collected
+        return rows
+
+    def node_candidates(
+        self, node: SigTreeNode
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """``(values, record_ids)`` of the subtree's rows, gathered once.
+
+        The fancy-index copy out of the block dominates repeated
+        target-node scans; caching it per node (version-keyed, like
+        :meth:`entries_under`) turns each later scan into a pure
+        distance pass over an already-contiguous matrix.
+        """
+        cached = node.subtree_values
+        if cached is not None and cached[0] == self.tree.version:
+            return cached[1], cached[2]
+        rows = self.entries_under(node)
+        values = self.block.values[rows]
+        values.setflags(write=False)
+        rids = self.block.record_ids[rows]
+        rids.setflags(write=False)
+        node.subtree_values = (self.tree.version, values, rids)
+        return values, rids
 
     def pruned_entries(
         self,
@@ -182,39 +272,116 @@ class LocalPartition:
         series_length: int,
         skip: SigTreeNode | None = None,
         stats: ScanStats | None = None,
-    ) -> list[Entry]:
-        """Entries in all subtrees whose MINDIST ≤ ``threshold``.
+    ) -> np.ndarray:
+        """Row indices in all subtrees whose MINDIST ≤ ``threshold``.
 
         The lower-bound property guarantees no series closer than
         ``threshold`` is pruned.  ``skip`` (typically the already-scanned
         target node) is excluded to avoid recollecting its entries.
         ``stats`` (when given) counts visited vs. MINDIST-pruned nodes.
+
+        The walk is level-synchronous: every frontier level holds nodes
+        of one layer (children extend parents by exactly one bit plane),
+        so each level's bounds come from a single batched
+        :func:`mindist_paa_to_words` call over the level's symbol matrix.
         """
         t0 = perf_counter() if _KERNELS.enabled else 0.0
-        collected: list[Entry] = []
-        stack = [self.tree.root]
-        while stack:
-            node = stack.pop()
-            if node is skip:
-                continue
-            if (
-                node_mindist(node, query_paa, series_length, self.tree.word_length)
-                > threshold
-            ):
-                if stats is not None:
-                    stats.pruned += 1
-                continue
+        collected: list[int] = []
+        root = self.tree.root
+        frontier: list[SigTreeNode] = []
+        if root is not skip:
+            # The root's bound is 0, never above a (non-negative) threshold.
             if stats is not None:
                 stats.visited += 1
-            collected.extend(node.entries)
-            stack.extend(node.children.values())
+            collected.extend(root.entries)
+            frontier = [c for c in root.children.values() if c is not skip]
+        w = self.tree.word_length
+        while frontier:
+            symbols = _level_symbols(frontier, w)
+            bits = frontier[0].decoded[1]
+            bounds = mindist_paa_to_words(query_paa, symbols, bits, series_length)
+            next_frontier: list[SigTreeNode] = []
+            for node, bound in zip(frontier, bounds):
+                if bound > threshold:
+                    if stats is not None:
+                        stats.pruned += 1
+                    continue
+                if stats is not None:
+                    stats.visited += 1
+                collected.extend(node.entries)
+                next_frontier.extend(
+                    c for c in node.children.values() if c is not skip
+                )
+            frontier = next_frontier
+        rows = np.fromiter(collected, dtype=np.int64, count=len(collected))
         if _KERNELS.enabled:
             _KERNELS.record("leaf_scan", elements=len(collected),
                             seconds=perf_counter() - t0)
-        return collected
+        return rows
 
     def all_entries(self) -> list[Entry]:
-        return self.entries_under(self.tree.root)
+        """Legacy tuple materialization, in tree-traversal order.
+
+        Kept for the structural consumers (persistence, validate,
+        rebalance, tests); the query path never calls it.
+        """
+        rows = self.entries_under(self.tree.root)
+        return [self.block.entry_at(int(row)) for row in rows]
+
+    # -- maintenance ------------------------------------------------------------
+
+    def insert_record(
+        self,
+        signature: str,
+        record_id: int,
+        series: np.ndarray | None,
+        with_bloom: bool = True,
+    ) -> SigTreeNode:
+        """Append one record to the block and index it; returns its leaf."""
+        symbols, _bits = decode_signature(signature, self.tree.word_length)
+        row = self.block.append(
+            signature, record_id, series if self.clustered else None, symbols
+        )
+        leaf = self.tree.insert_entry(row)
+        if with_bloom:
+            self.bloom.add(signature)
+        self.register_region(signature)
+        self.n_records += 1
+        self.nbytes += len(signature) + 8 + estimate_bytes(series)
+        return leaf
+
+    def remove_record(
+        self, record_id: int, series: np.ndarray | None = None
+    ) -> Entry | None:
+        """Detach a record's row from the tree (block row becomes dead).
+
+        ``series``, when given, must also match the stored values (the
+        exact-delete contract).  Returns the removed entry tuple, or None
+        when no live row matches.  Counts along the leaf's ancestor path
+        are decremented; the Bloom filter and region synopsis are
+        conservative structures and keep the stale signature (no false
+        negatives are introduced).
+        """
+        matches = np.flatnonzero(self.block.record_ids == record_id)
+        for row in matches:
+            if series is not None and not np.array_equal(
+                self.block.values[row], series
+            ):
+                continue
+            leaf = self.tree.descend(self.block.signature_at(int(row)))
+            if int(row) not in leaf.entries:
+                continue
+            leaf.entries.remove(int(row))
+            self.tree.version += 1  # stale per-node row caches
+            node = leaf
+            while node is not None:
+                node.count -= 1
+                node = node.parent
+            self.n_records -= 1
+            entry = self.block.entry_at(int(row))
+            self.nbytes -= len(entry[0]) + 8 + estimate_bytes(entry[2])
+            return entry
+        return None
 
     def index_nbytes(self) -> int:
         """Local index size excluding the indexed data (Fig. 13b)."""
@@ -230,10 +397,13 @@ def build_local_partition(
 ) -> LocalPartition:
     """Construct Tardis-L for one partition (the ``mapPartition`` of Fig. 8).
 
-    Tree insertion and Bloom-filter encoding happen in the same pass, as the
-    paper's pipeline does.  ``with_bloom=False`` models the NoBF variant —
-    a (tiny) filter is still allocated so the structure stays uniform, but
-    nothing is inserted and queries must not consult it.
+    The columnar block is built first — one pass assembles the value
+    matrix, record ids, and the batch-decoded symbol matrix — then rows
+    are threaded through the sigTree while the Bloom filter and region
+    synopsis are encoded from the same signature array, as the paper's
+    single-pass pipeline does.  ``with_bloom=False`` models the NoBF
+    variant — a (tiny) filter is still allocated so the structure stays
+    uniform, but nothing is inserted and queries must not consult it.
     """
     tree = SigTree(
         word_length=config.word_length,
@@ -243,7 +413,10 @@ def build_local_partition(
     bloom = BloomFilter.with_capacity(
         expected_items=max(1, len(records)), fp_rate=config.bloom_fp_rate
     )
-    nbytes = 0
+    block = ColumnarBlock.from_records(
+        records, config.word_length, clustered=clustered
+    )
+    tree.attach_block(block)
     partition = LocalPartition(
         partition_id=partition_id,
         tree=tree,
@@ -251,16 +424,19 @@ def build_local_partition(
         n_records=len(records),
         clustered=clustered,
         nbytes=0,
+        block=block,
     )
-    for record in records:
-        signature, rid, series = record
-        if clustered:
-            tree.insert_entry((signature, rid, series))
-        else:
-            tree.insert_entry((signature, rid, None))
-        if with_bloom:
+    for row in range(block.n_rows):
+        tree.insert_entry(row)
+    signatures = block.signatures.tolist()
+    if with_bloom:
+        for signature in signatures:
             bloom.add(signature)
-        partition.register_region(signature)
-        nbytes += len(signature) + 8 + estimate_bytes(series)
+    region_bits = min(REGION_PREFIX_BITS, tree.max_bits)
+    prefix_chars = region_bits * tree.per_plane
+    partition.region_prefixes = {s[:prefix_chars] for s in signatures}
+    nbytes = 0
+    for record in records:
+        nbytes += len(record[0]) + 8 + estimate_bytes(record[2])
     partition.nbytes = nbytes
     return partition

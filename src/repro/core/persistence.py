@@ -28,8 +28,10 @@ import numpy as np
 
 from ..bloom import BloomFilter
 from .builder import TardisIndex
+from .columnar import ColumnarBlock
 from .config import TardisConfig
 from .global_index import TardisGlobalIndex
+from .isaxt import batch_decode_signatures
 from .local_index import LocalPartition
 from .sigtree import SigTree
 
@@ -161,9 +163,20 @@ def load_index(path: str | Path) -> TardisIndex:
         rids = payload["record_ids"]
         values = payload["values"]
         clustered = meta["clustered"] and len(values) == len(rids)
-        for i in range(len(rids)):
-            series = values[i] if clustered else None
-            tree.insert_entry((str(signatures[i]), int(rids[i]), series))
+        symbols, _bits = batch_decode_signatures(
+            signatures, config.word_length
+        )
+        block = ColumnarBlock(
+            record_ids=np.asarray(rids, dtype=np.int64),
+            values=(
+                np.asarray(values, dtype=np.float64) if clustered else None
+            ),
+            signatures=np.asarray(signatures),
+            symbols=symbols,
+        )
+        tree.attach_block(block)
+        for row in range(block.n_rows):
+            tree.insert_entry(row)
         n_bits, n_hashes, n_items = payload["bloom_geometry"]
         bloom = BloomFilter(n_bits=int(n_bits), n_hashes=int(n_hashes))
         bloom.bits = payload["bloom_bits"].copy()
@@ -176,6 +189,7 @@ def load_index(path: str | Path) -> TardisIndex:
             clustered=meta["clustered"],
             nbytes=int(payload["nbytes"][0]),
             region_prefixes={str(p) for p in payload["region_prefixes"]},
+            block=block,
         )
 
     logger.info(

@@ -33,7 +33,7 @@ from ..tsdb.distance import batch_euclidean
 from ..tsdb.paa import paa_transform
 from .builder import TardisIndex
 from .isaxt import signature_of_paa
-from .local_index import Entry, LocalPartition, ScanStats
+from .local_index import LocalPartition, ScanStats
 
 __all__ = [
     "Neighbor",
@@ -250,14 +250,27 @@ def exact_match(
 # ---------------------------------------------------------------------------
 
 
-def _top_k(query: np.ndarray, entries: list[Entry], k: int) -> list[Neighbor]:
-    """k nearest entries to the query by true Euclidean distance."""
-    if not entries:
+def _top_k(
+    query: np.ndarray, partition: LocalPartition, rows: np.ndarray, k: int
+) -> list[Neighbor]:
+    """k nearest block rows to the query by true Euclidean distance.
+
+    One vectorized distance pass over the columnar value matrix; ties in
+    distance break by ascending record id so every strategy (and every
+    executor backend) returns the identical neighbor list.
+    """
+    if len(rows) == 0:
         return []
-    values = np.vstack([entry[2] for entry in entries])
-    distances = batch_euclidean(np.asarray(query, dtype=np.float64), values)
-    order = np.argsort(distances, kind="stable")[:k]
-    return [Neighbor(float(distances[i]), entries[i][1]) for i in order]
+    block = partition.block
+    distances = batch_euclidean(
+        np.asarray(query, dtype=np.float64), block.values[rows]
+    )
+    rids = block.record_ids[rows]
+    order = np.lexsort((rids, distances))[:k]
+    return [
+        Neighbor(d, r)
+        for d, r in zip(distances[order].tolist(), rids[order].tolist())
+    ]
 
 
 def _require_clustered(index: TardisIndex) -> None:
@@ -297,7 +310,7 @@ def knn_target_node_access(
             candidates = partition.entries_under(target, stats=scan)
             result.candidates_examined = len(candidates)
             result.nodes_visited = (target.layer + 1) + scan.visited
-            result.neighbors = _top_k(query, candidates, k)
+            result.neighbors = _top_k(query, partition, candidates, k)
         _annotate_knn_span(span, result)
     _record_query_metrics(
         candidates=result.candidates_examined,
@@ -333,16 +346,16 @@ def knn_one_partition_access(
             scan = ScanStats()
             target = partition.target_node(signature, k)
             seed_entries = partition.entries_under(target, stats=scan)
-            seed = _top_k(query, seed_entries, k)
+            seed = _top_k(query, partition, seed_entries, k)
             threshold = seed[-1].distance if len(seed) >= k else np.inf
             extra = partition.pruned_entries(
                 paa, threshold, index.series_length, skip=target, stats=scan
             )
-            candidates = seed_entries + extra
+            candidates = np.concatenate([seed_entries, extra])
             result.candidates_examined = len(candidates)
             result.nodes_visited = (target.layer + 1) + scan.visited
             result.nodes_pruned = scan.pruned
-            result.neighbors = _top_k(query, candidates, k)
+            result.neighbors = _top_k(query, partition, candidates, k)
         _annotate_knn_span(span, result)
     _record_query_metrics(
         candidates=result.candidates_examined,
@@ -420,16 +433,14 @@ def knn_multi_partitions_access(
             home = loaded[home_pid]
             target = home.target_node(signature, k)
             seed_entries = home.entries_under(target, stats=scan)
-            seed_top = _top_k(query, seed_entries, k)
+            seed_top = _top_k(query, home, seed_entries, k)
             threshold = seed_top[-1].distance if len(seed_top) >= k else np.inf
         # Scan + rank each partition with the threshold, in parallel (lines
         # 15-16: ``partitions.scan(th).calEuSort(qts)``).  Each worker scans
         # and distance-sorts its own partition, so the charged latency is the
         # slowest single partition, and only per-partition top-k lists reach
         # the driver for the final cheap merge (line 17's ``take(k)``).
-        per_partition_tops: list[list[Neighbor]] = [
-            _top_k(query, seed_entries, k)
-        ]
+        per_partition_tops: list[list[Neighbor]] = [seed_top]
         total_candidates = len(seed_entries)
         scan_times = []
         for pid, partition in loaded.items():
@@ -439,7 +450,7 @@ def knn_multi_partitions_access(
                 survivors = partition.pruned_entries(
                     paa, threshold, index.series_length, skip=skip, stats=scan
                 )
-                per_partition_tops.append(_top_k(query, survivors, k))
+                per_partition_tops.append(_top_k(query, partition, survivors, k))
             total_candidates += len(survivors)
             scan_times.append(scratch.clock_s)
         result.ledger.record_stage(

@@ -153,6 +153,7 @@ def rebalance_index(index, overflow_factor: float = 1.5) -> RebalanceReport:
             node.partition_ids.clear()
         _synchronize_id_lists(global_index.tree)
         global_index.n_partitions = len(index.partitions)
+        global_index.invalidate_routes()
         logger.info(
             "rebalance: split %d partition(s), created %d, moved %d records",
             report.partitions_split, report.partitions_created,

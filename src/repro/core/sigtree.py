@@ -45,13 +45,28 @@ class SigTreeNode:
     parent: "SigTreeNode | None" = None
     children: dict[str, "SigTreeNode"] = field(default_factory=dict)
     count: int = 0
-    #: Data entries (leaf nodes of Tardis-L).  Each entry is a tuple whose
-    #: first element is the full-cardinality iSAX-T signature.
+    #: Data entries (leaf nodes of Tardis-L).  With a columnar block
+    #: attached to the tree these are *row indices* into the block;
+    #: legacy trees hold tuples whose first element is the
+    #: full-cardinality iSAX-T signature.
     entries: list = field(default_factory=list)
     #: Partition id of a Tardis-G leaf (None until assignment).
     partition_id: int | None = None
     #: Union of descendant partition ids ("id list" synchronized upward).
     partition_ids: set[int] = field(default_factory=set)
+    #: Lazily cached ``(symbols, bits)`` of this node's signature; node
+    #: signatures are immutable, so the decode never goes stale.
+    decoded: tuple | None = field(default=None, repr=False, compare=False)
+    #: Lazily cached ``(tree_version, row_array, n_subtree_nodes)`` of the
+    #: entries under this node — entries *do* change, so the cache is
+    #: keyed on :attr:`SigTree.version` and goes stale with the tree.
+    subtree_rows: tuple | None = field(default=None, repr=False, compare=False)
+    #: Lazily cached ``(tree_version, values_matrix, record_ids)`` — the
+    #: block columns gathered for this subtree's rows, so repeated
+    #: target-node scans skip the fancy-index copy.
+    subtree_values: tuple | None = field(
+        default=None, repr=False, compare=False
+    )
 
     @property
     def is_leaf(self) -> bool:
@@ -101,8 +116,28 @@ class SigTree:
         self.max_bits = max_bits
         self.split_threshold = split_threshold
         self.root = SigTreeNode(signature="", layer=0)
+        #: Columnar block backing this tree's entries (Tardis-L only).
+        #: When set, leaf entries are row indices into the block.
+        self.block = None
+        #: Bumped on every entry mutation; per-node subtree caches carry
+        #: the version they were built under and ignore stale snapshots.
+        self.version = 0
 
     # -- shared helpers --------------------------------------------------------
+
+    def attach_block(self, block) -> None:
+        """Back this tree's entries with a :class:`ColumnarBlock`.
+
+        From this point on, :meth:`insert_entry` accepts row indices and
+        resolves their signatures through the block.
+        """
+        self.block = block
+
+    def entry_signature(self, entry) -> str:
+        """Full-cardinality signature of a leaf entry (row index or tuple)."""
+        if self.block is not None and not isinstance(entry, tuple):
+            return self.block.signature_at(int(entry))
+        return entry[0]
 
     def _prefix(self, signature: str, layer: int) -> str:
         """The ``layer``-bit-cardinality prefix of a full signature."""
@@ -134,16 +169,17 @@ class SigTree:
 
     # -- Tardis-L style construction (data entries) ------------------------------
 
-    def insert_entry(self, entry: tuple) -> SigTreeNode:
-        """Insert a data entry (``entry[0]`` is its full signature).
+    def insert_entry(self, entry) -> SigTreeNode:
+        """Insert a data entry (a block row index, or a legacy tuple).
 
         Traverses to the covering leaf, appends, and splits the leaf by one
         bit plane whenever it exceeds ``split_threshold`` and can still be
         refined (layer < ``max_bits``).  Every node on the path increments
         its count.
         """
-        signature = entry[0]
+        signature = self.entry_signature(entry)
         self._check_full_signature(signature)
+        self.version += 1
         node = self.root
         node.count += 1
         # The root holds no entries (paper §III-B): it always routes to a
@@ -183,7 +219,7 @@ class SigTree:
         """
         next_layer = leaf.layer + 1
         for entry in leaf.entries:
-            child_key = self._prefix(entry[0], next_layer)
+            child_key = self._prefix(self.entry_signature(entry), next_layer)
             child = leaf.children.get(child_key)
             if child is None:
                 child = SigTreeNode(
@@ -269,7 +305,7 @@ class SigTree:
             total += _POINTER_BYTES * len(node.partition_ids)
             if include_entries:
                 for entry in node.entries:
-                    total += len(entry[0]) + _POINTER_BYTES
+                    total += len(self.entry_signature(entry)) + _POINTER_BYTES
         return total
 
     def validate(self) -> None:

@@ -21,10 +21,9 @@ import numpy as np
 
 from ..baseline.dpisax import BaselineQueryResult, DpisaxIndex
 from ..cluster.costmodel import timed_stage
-from ..tsdb.distance import mindist_paa_to_word
+from ..tsdb.distance import mindist_paa_to_word, mindist_paa_to_words
 from ..tsdb.paa import paa_transform
 from .builder import TardisIndex
-from .isaxt import decode_signature
 from .queries import KnnResult, Neighbor, query_signature
 
 __all__ = [
@@ -53,13 +52,21 @@ def knn_signature_only_tardis(
         target = partition.target_node(signature, k)
         candidates = partition.entries_under(target)
         result.candidates_examined = len(candidates)
-        scored = []
-        for sig, rid, _series in candidates:
-            symbols, bits = decode_signature(sig, index.config.word_length)
-            bound = mindist_paa_to_word(paa, symbols, bits, index.series_length)
-            scored.append((bound, rid))
-        scored.sort()
-        result.neighbors = [Neighbor(d, rid) for d, rid in scored[:k]]
+        if len(candidates):
+            # The block's pre-decoded symbol matrix makes the candidate
+            # ranking a single batched lower-bound call.
+            block = partition.block
+            bounds = mindist_paa_to_words(
+                paa,
+                block.symbols[candidates],
+                index.config.cardinality_bits,
+                index.series_length,
+            )
+            rids = block.record_ids[candidates]
+            order = np.lexsort((rids, bounds))[:k]
+            result.neighbors = [
+                Neighbor(float(bounds[i]), int(rids[i])) for i in order
+            ]
     return result
 
 

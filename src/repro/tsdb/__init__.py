@@ -9,6 +9,7 @@ from .distance import (
     batch_euclidean,
     euclidean,
     mindist_paa_to_word,
+    mindist_paa_to_words,
     mindist_word_to_word,
     squared_euclidean,
     word_region_bounds,
@@ -52,6 +53,7 @@ __all__ = [
     "batch_euclidean",
     "word_region_bounds",
     "mindist_paa_to_word",
+    "mindist_paa_to_words",
     "mindist_word_to_word",
     "random_walk",
     "sift_like",

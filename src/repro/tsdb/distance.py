@@ -22,6 +22,7 @@ __all__ = [
     "batch_euclidean",
     "word_region_bounds",
     "mindist_paa_to_word",
+    "mindist_paa_to_words",
     "mindist_word_to_word",
 ]
 
@@ -92,6 +93,37 @@ def mindist_paa_to_word(
     out = float(np.sqrt(n / w) * np.sqrt(np.sum(gap * gap)))
     if _KERNELS.enabled:
         _KERNELS.record("mindist", elements=w,
+                        seconds=perf_counter() - t0)
+    return out
+
+
+def mindist_paa_to_words(
+    paa: np.ndarray, symbols: np.ndarray, bits: int, n: int
+) -> np.ndarray:
+    """Batched :func:`mindist_paa_to_word`: score a whole node frontier.
+
+    ``symbols`` has shape ``(m, w)`` — one SAX word per row, all at
+    cardinality ``2^bits`` — and the return value is the ``(m,)`` array of
+    lower bounds.  Row ``i`` equals
+    ``mindist_paa_to_word(paa, symbols[i], bits, n)`` bit for bit (the
+    per-segment arithmetic and the reduction order are identical), which
+    the equivalence suite pins down.  This is the query-path analogue of
+    the SIMD lower-bound batching in ParIS+/MESSI: one call prices every
+    candidate sigTree node / synopsis region instead of one call per node.
+    """
+    t0 = perf_counter() if _KERNELS.enabled else 0.0
+    paa = np.asarray(paa, dtype=np.float64)
+    symbols = np.asarray(symbols, dtype=np.int64)
+    if symbols.ndim != 2:
+        raise ValueError("expected a (m, w) batch of SAX words")
+    lower, upper = word_region_bounds(symbols, bits)
+    below = np.maximum(lower - paa[None, :], 0.0)
+    above = np.maximum(paa[None, :] - upper, 0.0)
+    gap = np.maximum(below, above)
+    w = paa.shape[-1]
+    out = np.sqrt(n / w) * np.sqrt(np.sum(gap * gap, axis=1))
+    if _KERNELS.enabled:
+        _KERNELS.record("mindist", elements=symbols.size,
                         seconds=perf_counter() - t0)
     return out
 

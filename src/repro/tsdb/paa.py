@@ -39,6 +39,8 @@ def _fractional_weights(n: int, w: int) -> np.ndarray:
             overlap = min(end, t + 1) - max(start, t)
             if overlap > 0:
                 weights[j, t] = overlap
+    # Shared cached array: freeze so a caller cannot poison the cache.
+    weights.setflags(write=False)
     return weights
 
 

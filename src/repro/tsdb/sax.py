@@ -46,7 +46,11 @@ def breakpoints(bits: int) -> np.ndarray:
         raise ValueError(f"bits must be in [0, {MAX_CARDINALITY_BITS}]")
     cardinality = 1 << bits
     quantiles = np.arange(1, cardinality) / cardinality
-    return norm.ppf(quantiles)
+    bps = np.asarray(norm.ppf(quantiles))
+    # The cached array is shared by every caller; one in-place mutation
+    # would silently corrupt all later SAX conversions, so it is frozen.
+    bps.setflags(write=False)
+    return bps
 
 
 def sax_symbols(paa_values: np.ndarray, bits: int) -> np.ndarray:

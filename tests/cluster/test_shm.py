@@ -1,0 +1,159 @@
+"""Shared-memory transport lifecycle: segments never leak, the export
+protocol only fires on the executor result pipe, and crash orphans get
+swept.
+
+The invariant under test is the one that matters operationally: after
+any sequence of builds/queries — including a child that dies mid-write —
+``/dev/shm`` holds zero ``repro_shm_*`` segments belonging to this
+process tree.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.cluster import shm
+from repro.core.columnar import ColumnarBlock
+from repro.core.config import TardisConfig
+from repro.core.isaxt import signature_of_series
+from repro.tsdb.series import z_normalize
+
+pytestmark = pytest.mark.skipif(
+    not shm.available(), reason="POSIX shared memory unavailable"
+)
+
+_SHM_DIR = "/dev/shm"
+
+
+def our_segments() -> list[str]:
+    if not os.path.isdir(_SHM_DIR):
+        return []
+    prefix = shm.segment_prefix()
+    return [f for f in os.listdir(_SHM_DIR) if f.startswith(prefix)]
+
+
+def make_block(n: int, length: int = 64) -> ColumnarBlock:
+    cfg = TardisConfig(word_length=8, cardinality_bits=4)
+    rng = np.random.default_rng(0)
+    values = z_normalize(np.cumsum(rng.standard_normal((n, length)), axis=1))
+    records = [
+        (signature_of_series(values[i], cfg.word_length,
+                             cfg.cardinality_bits), i, values[i])
+        for i in range(n)
+    ]
+    return ColumnarBlock.from_records(records, cfg.word_length)
+
+
+class TestSegmentLifecycle:
+    def test_create_attach_round_trip(self):
+        array = np.arange(1000, dtype=np.float64).reshape(50, 20)
+        descriptor = shm.create_segment(array)
+        assert descriptor["name"].startswith(shm.segment_prefix())
+        view, handle = shm.attach_array(descriptor)
+        np.testing.assert_array_equal(view, array)
+        assert view.dtype == array.dtype and view.shape == array.shape
+
+    def test_attach_unlinks_immediately(self):
+        """The segment *name* must not outlive the attach — a later crash
+        can then never leak it, even while the view stays readable."""
+        array = np.ones(512)
+        descriptor = shm.create_segment(array)
+        assert descriptor["name"] in our_segments()
+        view, _handle = shm.attach_array(descriptor)
+        assert descriptor["name"] not in our_segments()
+        assert view.sum() == 512  # memory outlives the unlink
+
+    def test_release_all_leaves_nothing(self):
+        for _ in range(3):
+            descriptor = shm.create_segment(np.zeros(64))
+            shm.attach_array(descriptor)
+        shm.release_all()
+        assert our_segments() == []
+
+    def test_cleanup_orphans_sweeps_stale_segment(self):
+        """Simulate a child that created a segment and died before the
+        driver attached: the named file lingers until the orphan sweep."""
+        descriptor = shm.create_segment(np.arange(256, dtype=np.int64))
+        assert descriptor["name"] in our_segments()
+        removed = shm.cleanup_orphans(os.getpid())
+        assert descriptor["name"] in removed
+        assert our_segments() == []
+        # Sweeping again is a harmless no-op.
+        assert shm.cleanup_orphans(os.getpid()) == []
+
+
+class TestExportGating:
+    def test_disabled_by_default(self):
+        assert not shm.export_enabled()
+
+    def test_enabled_only_inside_context(self):
+        with shm.exporting():
+            assert shm.export_enabled()
+            with shm.exporting():  # re-entrant
+                assert shm.export_enabled()
+            assert shm.export_enabled()
+        assert not shm.export_enabled()
+
+    def test_plain_pickle_never_creates_segments(self):
+        block = make_block(200)
+        assert block.nbytes > 16 * 1024
+        before = our_segments()
+        pickle.loads(pickle.dumps(block))
+        assert our_segments() == before
+
+    def test_export_ships_descriptors_and_collapses_pickle(self):
+        """Inside ``exporting``, large arrays leave the pickle stream —
+        the payload shrinks to descriptor size — and the receiving side
+        reconstructs them bit-for-bit while unlinking every segment."""
+        block = make_block(2000)
+        plain = pickle.dumps(block)
+        with shm.exporting():
+            exported = pickle.dumps(block)
+        try:
+            assert len(exported) < len(plain) / 10
+            assert len(our_segments()) > 0
+        finally:
+            clone = pickle.loads(exported)  # attaches + unlinks
+        np.testing.assert_array_equal(clone.values, block.values)
+        np.testing.assert_array_equal(clone.record_ids, block.record_ids)
+        np.testing.assert_array_equal(clone.signatures, block.signatures)
+        np.testing.assert_array_equal(clone.symbols, block.symbols)
+        assert our_segments() == []
+
+    def test_small_arrays_stay_inline(self):
+        """Below the size floor a segment round-trip costs more than the
+        pickle bytes it saves, so tiny blocks ship inline."""
+        block = make_block(3)
+        with shm.exporting():
+            payload = pickle.dumps(block)
+        assert our_segments() == []
+        clone = pickle.loads(payload)
+        np.testing.assert_array_equal(clone.values, block.values)
+
+
+class TestExecutorIntegration:
+    def test_fork_build_leaves_no_segments(self):
+        """End to end: a processes-backend build ships its blocks through
+        shm and the driver ends with zero residual segments."""
+        from repro.cluster import SimCluster
+        from repro.cluster.executors import make_executor
+        from repro.core import build_tardis_index
+        from repro.tsdb import random_walk
+
+        dataset = random_walk(600, length=64, seed=21).z_normalized()
+        config = TardisConfig(g_max_size=150, l_max_size=25, pth=4,
+                              n_workers=2)
+        cluster = SimCluster(
+            n_workers=2, executor=make_executor("processes", jobs=2)
+        )
+        before = our_segments()
+        index = build_tardis_index(dataset, config, cluster=cluster)
+        assert our_segments() == before
+        index.validate()
+        # Blocks arrived intact across the pipe.
+        total = sum(p.block.n_rows for p in index.partitions.values())
+        assert total == 600

@@ -139,7 +139,8 @@ class TestPrunedEntries:
         query = z_normalize(np.cumsum(rng.standard_normal(LENGTH)))
         paa = paa_transform(query, CFG.word_length)
         threshold = 4.0
-        survivors = {e[1] for e in partition.pruned_entries(paa, threshold, LENGTH)}
+        rows = partition.pruned_entries(paa, threshold, LENGTH)
+        survivors = set(partition.block.record_ids[rows].tolist())
         for i in range(120):
             if euclidean(query, values[i]) <= threshold:
                 assert i in survivors
@@ -164,7 +165,8 @@ class TestPrunedEntries:
         records, values = make_records(40)
         partition = build_local_partition(0, records, CFG)
         paa = paa_transform(values[0], CFG.word_length)
-        survivors = {e[1] for e in partition.pruned_entries(paa, 0.0, LENGTH)}
+        rows = partition.pruned_entries(paa, 0.0, LENGTH)
+        survivors = set(partition.block.record_ids[rows].tolist())
         assert 0 in survivors  # own region has MINDIST 0
 
 

@@ -43,19 +43,11 @@ class TestValidate:
         pids = sorted(index.partitions)
         src, dst = index.partitions[pids[0]], index.partitions[pids[-1]]
         entry = src.all_entries()[0]
-        # Teleport an entry into the wrong partition (fix the counts so the
-        # misplacement itself is the first violation detected).
-        leaf = src.tree.descend(entry[0])
-        leaf.entries.remove(entry)
-        node = leaf
-        while node is not None:
-            node.count -= 1
-            node = node.parent
-        src.n_records -= 1
-        dst.tree.insert_entry(entry)
-        dst.n_records += 1
-        dst.bloom.add(entry[0])
-        dst.register_region(entry[0])
+        # Teleport an entry into the wrong partition (counts stay
+        # consistent so the misplacement itself is the first violation
+        # detected).
+        src.remove_record(entry[1])
+        dst.insert_record(entry[0], entry[1], entry[2])
         with pytest.raises(AssertionError, match="routes"):
             index.validate()
 

@@ -1,0 +1,111 @@
+"""Batch-pass accounting under partition loss.
+
+Regression suite for the ledger undercount: a batch group whose
+partition load exhausts its retries still *spent* the retry/backoff wall
+time, so that time must appear in the ``batch/partition pass`` stage —
+previously failed groups vanished from the accounting entirely and a
+lossy run looked cheaper than a healthy one.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import batch_exact_match, batch_knn_target_node
+from repro.core.batch import group_queries_by_partition
+from repro.faults import PartialResultError, active_plan
+
+
+def loss_plan(lost: list[int]) -> dict:
+    return {
+        "schema": "repro.faults/v1",
+        "seed": 5,
+        "rules": [
+            {"kind": "partition-load-error", "partition_id": sorted(lost)},
+        ],
+    }
+
+
+@pytest.fixture(scope="module")
+def routed(chaos_index, chaos_queries):
+    """Queries spread over several partitions, with the group map."""
+    queries = np.asarray(chaos_queries)
+    groups, _converted = group_queries_by_partition(chaos_index, queries)
+    assert len(groups) >= 2, "need multiple groups to lose one of them"
+    return queries, groups
+
+
+class TestFailedGroupCharged:
+    def test_knn_failed_load_time_in_partition_pass(
+        self, chaos_index, routed
+    ):
+        queries, groups = routed
+        lost = [sorted(groups)[0]]
+        with active_plan(loss_plan(lost)):
+            report = batch_knn_target_node(chaos_index, queries, k=5)
+        stage = report.ledger.stages["batch/partition pass"]
+        # The failed group is a task of the pass, like the loaded ones.
+        assert stage.tasks == len(groups)
+        assert report.partitions_loaded == len(groups) - 1
+        # Its queries degraded but its retry/backoff time was spent.
+        degraded = [r for r in report.results if r.degraded]
+        assert {pid for r in degraded for pid in r.missing_partitions} == set(
+            lost
+        )
+        assert stage.io_s > 0.0
+
+    def test_all_partitions_lost_still_costs_time(self, chaos_index, routed):
+        """The pure undercount case: nothing loads, so before the fix the
+        partition pass reported zero tasks and zero seconds."""
+        queries, groups = routed
+        with active_plan(loss_plan(sorted(groups))):
+            report = batch_knn_target_node(chaos_index, queries, k=5)
+        assert report.partitions_loaded == 0
+        stage = report.ledger.stages["batch/partition pass"]
+        assert stage.tasks == len(groups)
+        assert stage.io_s > 0.0
+        assert report.simulated_seconds > 0.0
+        assert all(r.degraded for r in report.results)
+
+    def test_exact_match_failed_group_charged(self, chaos_index, routed):
+        queries, groups = routed
+        lost = [sorted(groups)[-1]]
+        with active_plan(loss_plan(lost)):
+            report = batch_exact_match(chaos_index, queries, use_bloom=False)
+        stage = report.ledger.stages["batch/partition pass"]
+        assert stage.tasks == len(groups)
+        assert report.partitions_loaded == len(groups) - 1
+        # Queries of the lost group hold the typed partial-result error.
+        failed_idx = groups[lost[0]]
+        for i in failed_idx:
+            assert isinstance(report.results[i], PartialResultError)
+            assert report.results[i].missing_partitions == lost
+
+    def test_lossy_run_never_cheaper_than_healthy(self, chaos_index, routed):
+        """Monotonicity the undercount violated: losing a partition adds
+        retry/backoff time, so the batch clock must not shrink."""
+        queries, groups = routed
+        healthy = batch_knn_target_node(chaos_index, queries, k=5)
+        with active_plan(loss_plan([sorted(groups)[0]])):
+            lossy = batch_knn_target_node(chaos_index, queries, k=5)
+        healthy_stage = healthy.ledger.stages["batch/partition pass"]
+        lossy_stage = lossy.ledger.stages["batch/partition pass"]
+        assert lossy_stage.tasks == healthy_stage.tasks
+
+
+class TestSkippedGroupsStayFree:
+    def test_bloom_skipped_groups_not_counted(self, chaos_index):
+        """All-rejected groups never load, so they are *not* partition
+        pass tasks — only genuinely attempted loads are."""
+        rng = np.random.default_rng(123)
+        # Foreign queries: almost surely absent from every partition.
+        from repro.tsdb.series import z_normalize
+
+        ghosts = z_normalize(
+            np.cumsum(rng.standard_normal((6, chaos_index.series_length)),
+                      axis=1)
+        )
+        report = batch_exact_match(chaos_index, ghosts, use_bloom=True)
+        stage = report.ledger.stages["batch/partition pass"]
+        assert stage.tasks == report.partitions_loaded

@@ -49,6 +49,17 @@ class TestPaaTransform:
             # ...and every sample is fully covered exactly once.
             np.testing.assert_allclose(weights.sum(axis=0), 1.0)
 
+    def test_fractional_weights_cache_is_frozen(self):
+        """The cached weight matrix is shared by every PAA call with the
+        same (n, w); mutating it in place must raise, not poison every
+        subsequent transform."""
+        from repro.tsdb.paa import _fractional_weights
+
+        weights = _fractional_weights(10, 4)
+        with pytest.raises(ValueError):
+            weights[0, 0] = 7.0
+        np.testing.assert_allclose(_fractional_weights(10, 4).sum(axis=0), 1.0)
+
     def test_fractional_constant_series(self):
         out = paa_transform(np.full(13, 2.5), 8)
         np.testing.assert_allclose(out, 2.5)

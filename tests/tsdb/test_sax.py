@@ -48,6 +48,23 @@ class TestBreakpoints:
         with pytest.raises(ValueError):
             breakpoints(MAX_CARDINALITY_BITS + 1)
 
+    def test_cached_array_is_frozen(self):
+        """The lru-cached array is shared by every caller; in-place
+        mutation must raise instead of silently corrupting every later
+        SAX conversion."""
+        bps = breakpoints(4)
+        with pytest.raises(ValueError):
+            bps[0] = 99.0
+        with pytest.raises(ValueError):
+            bps += 1.0
+        # The cache stayed clean.
+        assert breakpoints(4)[0] == pytest.approx(bps[0])
+
+    def test_frozen_copy_is_writable(self):
+        bps = breakpoints(3).copy()
+        bps[0] = 42.0  # a copy must not inherit the freeze
+        assert breakpoints(3)[0] != 42.0
+
 
 class TestSaxSymbols:
     def test_symbol_range(self):
