@@ -101,6 +101,15 @@ def compare_records(
             f"cannot compare different benchmarks: "
             f"{baseline['bench']!r} vs {candidate['bench']!r}"
         )
+    base_topology = baseline.get("host", {}).get("topology")
+    cand_topology = candidate.get("host", {}).get("topology")
+    if base_topology != cand_topology:
+        # A 1-shard p99 vs a 4-shard p99 is not a regression signal in
+        # either direction — unlike topologies never diff.
+        raise ValueError(
+            f"cannot compare across serving topologies: "
+            f"{base_topology!r} vs {cand_topology!r}"
+        )
     result = CompareResult(bench=baseline["bench"])
     add = result.findings.append
 

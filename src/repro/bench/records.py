@@ -38,7 +38,9 @@ __all__ = [
 BENCH_SCHEMA = "repro.bench/v1"
 
 
-def host_info(jobs: int | None = None) -> dict:
+def host_info(
+    jobs: int | None = None, topology: dict | None = None
+) -> dict:
     """Describe the machine a benchmark ran on.
 
     ``cpu_affinity`` is the honest core count: ``os.cpu_count()`` sees
@@ -46,6 +48,11 @@ def host_info(jobs: int | None = None) -> dict:
     process may schedule on.  When ``jobs`` is given and exceeds the
     affinity set, the run was oversubscribed and its parallel timings
     measure contention, not speedup — recorded, not hidden.
+
+    ``topology`` records the sharded-serving shape of the run
+    (``{"shards": N, "replicas": R, "pth": P}``): timings at one shard
+    count say nothing about another, so :func:`compare_records` refuses
+    to diff records whose topologies differ.
     """
     cpu_count = os.cpu_count() or 1
     try:
@@ -61,6 +68,8 @@ def host_info(jobs: int | None = None) -> dict:
     if jobs is not None:
         info["jobs"] = int(jobs)
         info["oversubscribed"] = int(jobs) > cpu_affinity
+    if topology is not None:
+        info["topology"] = {k: int(v) for k, v in sorted(topology.items())}
     return info
 
 

@@ -309,27 +309,118 @@ def _cmd_serve(args) -> int:
     return 0
 
 
+def _cmd_serve_sharded(args) -> int:
+    from .serving import TardisServer
+    from .sharding import (
+        RouterIndex,
+        RouterService,
+        ShardCluster,
+        plan_shards,
+    )
+
+    index = _load_query_index(args)
+    if not args.no_trace_requests:
+        tracer = telemetry.enable_tracing()
+        tracer.set_root_limit(args.trace_roots)
+    plan = plan_shards(
+        {pid: p.n_records for pid, p in index.partitions.items()},
+        args.shards, args.replicas,
+    )
+    service_kwargs = {
+        "result_cache_size": args.result_cache,
+        "slow_query_threshold_ms": args.slow_query_ms,
+    }
+    if args.mode == "threads":
+        cluster = ShardCluster(
+            plan, mode="threads", index=index,
+            service_kwargs=service_kwargs,
+        )
+    else:
+        cluster = ShardCluster(
+            plan, mode="processes", index_dir=args.index,
+            faults_path=args.faults, service_kwargs=service_kwargs,
+        )
+    try:
+        cluster.start()
+        router = RouterService(
+            RouterIndex.from_index(index), plan, cluster.addresses,
+            queue_capacity=args.queue,
+            policy=args.policy,
+            workers=args.workers,
+            result_cache_size=args.result_cache,
+            slow_query_threshold_ms=args.slow_query_ms,
+            journal_sample=args.journal_sample,
+            default_deadline_ms=args.deadline_ms,
+            call_timeout_s=args.call_timeout,
+        )
+        server = TardisServer(router, args.host, args.port)
+    except (ValueError, OSError, RuntimeError) as exc:
+        cluster.stop()
+        raise SystemExit(str(exc))
+    server.start()
+    host, port = server.address
+    shard_ports = [port for _host, port in cluster.addresses]
+    print(
+        f"serving {args.index} on {host}:{port} "
+        f"(shards={args.shards} R={args.replicas} mode={args.mode} "
+        f"ports={shard_ports}, policy={args.policy}, queue={args.queue}; "
+        f"Ctrl-C to stop)",
+        flush=True,
+    )
+    stop = threading.Event()
+    if threading.current_thread() is threading.main_thread():
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            signal.signal(signum, lambda *_: stop.set())
+    try:
+        stop.wait(args.max_seconds)
+    except KeyboardInterrupt:
+        pass
+    server.close(drain=True)
+    cluster.stop()
+    report = router.stats()
+    if args.report:
+        Path(args.report).write_text(json.dumps(report, indent=2) + "\n")
+        logger.info("wrote SLO report to %s", args.report)
+    if args.journal:
+        telemetry.write_journal(router.journal, args.journal)
+        logger.info("wrote event journal to %s", args.journal)
+    latency = report["latency"]
+    print(
+        f"served {report['requests_completed']} requests "
+        f"({report['requests_shed']} shed, "
+        f"{report['requests_degraded']} degraded); p50/p95/p99 "
+        f"{latency['p50_s'] * 1000:.2f}/{latency['p95_s'] * 1000:.2f}/"
+        f"{latency['p99_s'] * 1000:.2f} ms"
+    )
+    return 0
+
+
 def _cmd_query_remote(args) -> int:
     from .faults.errors import PartialResultError
-    from .serving import DeadlineExceededError, OverloadedError, ServingClient
+    from .serving import (
+        DeadlineExceededError,
+        OverloadedError,
+        RequestTimeoutError,
+        ServingClient,
+    )
 
     try:
         client = ServingClient(args.host, args.port, timeout=args.timeout)
     except OSError as exc:
         raise SystemExit(f"cannot connect to {args.host}:{args.port}: {exc}")
     with client:
-        if args.ping:
-            ok = client.ping()
-            print("pong" if ok else "no pong")
-            return 0 if ok else 1
-        if args.stats:
-            print(json.dumps(client.stats(), indent=2))
-            return 0
-        if args.journal is not None:
-            print(json.dumps(client.journal(n=args.journal), indent=2))
-            return 0
-        query = _load_query(args)
         try:
+            if args.ping:
+                ok = client.ping()
+                print("pong" if ok else "no pong")
+                return 0 if ok else 1
+            if args.stats:
+                print(json.dumps(client.stats(), indent=2))
+                return 0
+            if args.journal is not None:
+                print(json.dumps(client.journal(n=args.journal), indent=2))
+                return 0
+            query = _load_query(args)
             if args.op == "exact":
                 result = client.exact_match(
                     query, use_bloom=not args.no_bloom, trace=args.trace,
@@ -375,6 +466,14 @@ def _cmd_query_remote(args) -> int:
         except PartialResultError as exc:
             print(f"partial result: {exc}", file=sys.stderr)
             return 2
+        except RequestTimeoutError as exc:
+            # Distinct from a server-side deadline: the *socket* timed
+            # out, so the answer (if any) is unknowable client-side.
+            print(f"timeout: {exc}", file=sys.stderr)
+            return 3
+        except ConnectionError as exc:
+            print(f"connection lost: {exc}", file=sys.stderr)
+            return 3
 
 
 def _print_remote_trace(trace: dict | None) -> None:
@@ -450,6 +549,17 @@ def _cmd_top(args) -> int:
                 f"slow {slow}" + hot,
                 flush=True,
             )
+            for shard in report.get("shards", []):
+                status = "up  " if shard.get("up") else "DOWN"
+                host, port = shard.get("address", ("?", 0))
+                print(
+                    f"  shard {shard['shard_id']} [{status}] "
+                    f"{host}:{port} | "
+                    f"in-flight {shard.get('in_flight', 0):3d} | "
+                    f"calls {shard.get('requests', 0)} | "
+                    f"failures {shard.get('failures', 0)}",
+                    flush=True,
+                )
             if iterations is not None:
                 iterations -= 1
                 if iterations <= 0:
@@ -639,6 +749,54 @@ def build_parser() -> argparse.ArgumentParser:
                           "shutdown (repro top shows the hot kernel live)")
     _add_profile_flag(srv)
     srv.set_defaults(fn=_cmd_serve)
+
+    shrv = add_parser("serve-sharded",
+                      help="serve queries through a sharded cluster "
+                           "(N shard servers + a scatter/gather router)")
+    shrv.add_argument("--index", required=True,
+                      help="persisted index directory (shards load their "
+                           "subsets from it)")
+    shrv.add_argument("--shards", type=int, default=2, metavar="N",
+                      help="shard server count")
+    shrv.add_argument("--replicas", type=int, default=0, metavar="R",
+                      help="replica copies per partition (0..N-1)")
+    shrv.add_argument("--mode", choices=("processes", "threads"),
+                      default="processes",
+                      help="shard isolation: spawned processes (default) "
+                           "or in-process threads")
+    shrv.add_argument("--host", default="127.0.0.1")
+    shrv.add_argument("--port", type=int, default=0,
+                      help="router TCP port (0 picks a free one)")
+    shrv.add_argument("--workers", type=int, default=8, metavar="N",
+                      help="router worker threads")
+    shrv.add_argument("--queue", type=int, default=256, metavar="N",
+                      help="router admission-queue capacity")
+    shrv.add_argument("--policy", choices=("block", "shed"), default="block",
+                      help="backpressure when the router queue is full")
+    shrv.add_argument("--result-cache", type=int, default=1024, metavar="N",
+                      help="keyed result-cache entries (0 disables)")
+    shrv.add_argument("--call-timeout", type=float, default=30.0,
+                      metavar="S", help="router→shard socket timeout")
+    shrv.add_argument("--max-seconds", type=float, default=None, metavar="S",
+                      help="stop after S seconds (default: run until signal)")
+    shrv.add_argument("--report", metavar="FILE",
+                      help="write the router SLO report as JSON on shutdown")
+    shrv.add_argument("--no-trace-requests", action="store_true",
+                      help="disable per-request tracing (on by default)")
+    shrv.add_argument("--trace-roots", type=int, default=512, metavar="N",
+                      help="finished request traces kept in memory")
+    shrv.add_argument("--slow-query-ms", type=float, default=100.0,
+                      metavar="MS",
+                      help="journal requests slower than MS as slow-query")
+    shrv.add_argument("--journal-sample", type=float, default=0.0,
+                      metavar="P",
+                      help="also journal a P fraction of all requests")
+    shrv.add_argument("--journal", metavar="FILE",
+                      help="write the event journal as JSON lines on "
+                           "shutdown")
+    shrv.add_argument("--deadline-ms", type=float, default=None, metavar="MS",
+                      help="default per-request latency budget")
+    shrv.set_defaults(fn=_cmd_serve_sharded)
 
     remote = add_parser("query-remote", help="query a running serve process")
     remote.add_argument("--host", default="127.0.0.1")

@@ -44,6 +44,7 @@ __all__ = [
     "knn_target_node_access",
     "knn_one_partition_access",
     "knn_multi_partitions_access",
+    "select_mpa_partitions",
     "KNN_STRATEGIES",
 ]
 
@@ -366,6 +367,31 @@ def knn_one_partition_access(
     return result
 
 
+def select_mpa_partitions(global_index, signature, pth, bound_of):
+    """Candidate partitions for one Multi-Partitions Access query.
+
+    Starts from the routed node's sibling id list in Tardis-G (Alg. 1
+    line 4) plus the home partition.  When the list exceeds ``pth``, the
+    cap keeps the home partition plus the ``pth - 1`` other candidates
+    with the smallest MINDIST lower bound — ``bound_of(pid)``, computed
+    from the partition's region synopsis — ties broken by partition id.
+    Deterministic, so a sharded router holding only Tardis-G plus the
+    per-partition synopses selects the same fan-out as single-process
+    serving (the bit-equivalence contract of ``repro.sharding``).
+    """
+    home_pid = global_index.route(signature)
+    pid_list = global_index.sibling_partition_ids(signature)
+    if home_pid not in pid_list:
+        pid_list.append(home_pid)
+    if len(pid_list) > pth:
+        others = sorted(
+            (pid for pid in pid_list if pid != home_pid),
+            key=lambda pid: (bound_of(pid), pid),
+        )
+        pid_list = [home_pid] + others[: pth - 1]
+    return home_pid, pid_list
+
+
 def knn_multi_partitions_access(
     index: TardisIndex,
     query: np.ndarray,
@@ -376,10 +402,13 @@ def knn_multi_partitions_access(
     """Multi-Partitions Access (Alg. 1): prune across sibling partitions.
 
     The sibling partition list comes from the routed node's parent in
-    Tardis-G; when it exceeds ``pth``, a random subset is drawn (always
-    keeping the home partition, which supplies the pruning threshold).
+    Tardis-G; when it exceeds ``pth``, the candidates with the smallest
+    region-synopsis MINDIST bound are kept (always including the home
+    partition, which supplies the pruning threshold).  ``seed`` is
+    retained for API compatibility; selection is fully deterministic.
     """
     _require_clustered(index)
+    del seed
     pth = pth or index.config.pth
     result = KnnResult(neighbors=[], strategy="multi-partitions")
     with get_tracer().span(
@@ -387,15 +416,14 @@ def knn_multi_partitions_access(
     ) as span:
         with timed_stage(result.ledger, "query/route"):
             signature, paa = query_signature(index, query)
-            home_pid = index.global_index.route(signature)
-            pid_list = index.global_index.sibling_partition_ids(signature)
-        if home_pid not in pid_list:
-            pid_list.append(home_pid)
-        if len(pid_list) > pth:
-            rng = np.random.default_rng(seed)
-            others = [pid for pid in pid_list if pid != home_pid]
-            chosen = rng.choice(len(others), size=pth - 1, replace=False)
-            pid_list = [home_pid] + [others[i] for i in chosen]
+            home_pid, pid_list = select_mpa_partitions(
+                index.global_index,
+                signature,
+                pth,
+                bound_of=lambda pid: index.partitions[pid].region_bound(
+                    paa, index.series_length
+                ),
+            )
         # Load all partitions (workers pull blocks in parallel → latency is
         # the max single load, matching Alg. 1's concurrent readHdfsBlock).
         # Partitions still unavailable after retries are collected and the

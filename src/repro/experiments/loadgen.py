@@ -54,6 +54,9 @@ class LoadReport:
     shed: int = 0
     deadline_shed: int = 0
     errors: int = 0
+    #: Completed answers flagged degraded (sharded serving: partitions
+    #: unavailable after replica failover; still counted as completed).
+    degraded: int = 0
     duration_s: float = 0.0
     offered_qps: float = 0.0
     latencies_s: list[float] = field(default_factory=list)
@@ -78,6 +81,7 @@ class LoadReport:
             "shed": self.shed,
             "deadline_shed": self.deadline_shed,
             "errors": self.errors,
+            "degraded": self.degraded,
             "duration_s": self.duration_s,
             "offered_qps": self.offered_qps,
             "achieved_qps": self.achieved_qps,
@@ -87,6 +91,13 @@ class LoadReport:
 
 def _make_requests(queries: np.ndarray, **request_kwargs) -> list[QueryRequest]:
     return [QueryRequest(q, **request_kwargs) for q in np.asarray(queries)]
+
+
+def _is_degraded(result) -> bool:
+    """True for a degraded answer, wire dict or result object alike."""
+    if isinstance(result, dict):
+        return bool(result.get("degraded"))
+    return bool(getattr(result, "degraded", False))
 
 
 def closed_loop(
@@ -122,7 +133,7 @@ def closed_loop(
             request = requests[int(rng.integers(len(requests)))]
             started = time.monotonic()
             try:
-                service.submit(request).result()
+                result = service.submit(request).result()
             except OverloadedError:
                 with lock:
                     report.shed += 1
@@ -138,6 +149,8 @@ def closed_loop(
             elapsed = time.monotonic() - started
             with lock:
                 report.completed += 1
+                if _is_degraded(result):
+                    report.degraded += 1
                 report.latencies_s.append(elapsed)
 
     threads = [
@@ -197,6 +210,8 @@ def open_loop(
                     report.errors += 1
                 else:
                     report.completed += 1
+                    if _is_degraded(future.result()):
+                        report.degraded += 1
                     report.latencies_s.append(finished_at - submitted_at)
 
         return done
@@ -326,6 +341,8 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--op", choices=("knn", "exact-match"), default="knn")
     parser.add_argument("--strategy", default="target-node")
     parser.add_argument("--k", type=int, default=10)
+    parser.add_argument("--pth", type=int, default=None,
+                        help="multi-partitions fan-out cap")
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--deadline-ms", type=float, default=None,
                         help="per-request latency budget forwarded to the "
@@ -340,6 +357,8 @@ def main(argv: list[str] | None = None) -> int:
     request_kwargs: dict = {"op": args.op}
     if args.op == "knn":
         request_kwargs.update(strategy=args.strategy, k=args.k)
+        if args.pth is not None:
+            request_kwargs["pth"] = args.pth
     if args.deadline_ms is not None:
         request_kwargs["deadline_ms"] = args.deadline_ms
 

@@ -16,6 +16,7 @@ Site keys are built from stable coordinates:
 * cached-copy checks:   ``cache/<pid>/<admit#>``
 * storage block reads:  ``storage/<block>/<read#>/<attempt>``
 * serving groups:       ``serve/<op>/<pid>/<group#>/<attempt>``
+* router→shard calls:   ``shard/<sid>/<op>/<call#>/<attempt>``
 * socket replies:       ``socket/<digest>/<reply#>``
 
 The ``#`` counters are per-key tallies kept by the injector; on the
@@ -100,6 +101,7 @@ class FaultInjector:
         partition_id: int | None = None,
         block_id: int | None = None,
         attempt: int | None = None,
+        shard_id: int | None = None,
         cached: bool = False,
     ) -> FaultRule | None:
         """First rule whose kind, scope, and probability draw fire here."""
@@ -110,7 +112,7 @@ class FaultInjector:
                 continue
             if not rule.matches(
                 label=label, partition_id=partition_id,
-                block_id=block_id, attempt=attempt,
+                block_id=block_id, attempt=attempt, shard_id=shard_id,
             ):
                 continue
             if rule.probability < 1.0:
@@ -118,7 +120,7 @@ class FaultInjector:
                     continue
             self._record(
                 rule, site, label=label, partition_id=partition_id,
-                block_id=block_id, attempt=attempt,
+                block_id=block_id, attempt=attempt, shard_id=shard_id,
             )
             return rule
         return None
@@ -126,6 +128,7 @@ class FaultInjector:
     def _record(
         self, rule: FaultRule, site: tuple,
         label=None, partition_id=None, block_id=None, attempt=None,
+        shard_id=None,
     ) -> None:
         entry = {"kind": rule.kind, "site": "/".join(str(p) for p in site)}
         if label is not None:
@@ -134,6 +137,8 @@ class FaultInjector:
             entry["partition_id"] = int(partition_id)
         if block_id is not None:
             entry["block_id"] = int(block_id)
+        if shard_id is not None:
+            entry["shard_id"] = int(shard_id)
         if attempt is not None:
             entry["attempt"] = int(attempt)
         if rule.delay_ms:
@@ -215,6 +220,21 @@ class FaultInjector:
             ("task-crash", "task-slow"),
             ("serve", op, partition_id, group_seq, attempt),
             label=f"serve/{op}", partition_id=partition_id, attempt=attempt,
+        )
+
+    def shard_fault(
+        self, shard_id: int, op: str, call_seq: int, attempt: int
+    ) -> FaultRule | None:
+        """One router→shard call attempt: dead shard or slow network?
+
+        ``task-crash`` models the shard being unreachable for this call
+        (the router treats it like a connection failure and falls over
+        to a replica); ``task-slow`` delays the call by ``delay_ms``.
+        """
+        return self._match(
+            ("task-crash", "task-slow"),
+            ("shard", shard_id, op, call_seq, attempt),
+            label=f"shard/{op}", shard_id=shard_id, attempt=attempt,
         )
 
     def drop_reply(self, payload: bytes) -> bool:

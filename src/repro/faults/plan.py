@@ -48,8 +48,10 @@ FAULT_PLAN_SCHEMA = "repro.faults/v1"
 
 #: Failure kinds the injector understands and the sites they apply to:
 #:
-#: * ``task-crash``     — engine stage tasks, serving batch groups
-#: * ``task-slow``      — stage tasks, partition loads, serving groups
+#: * ``task-crash``     — engine stage tasks, serving batch groups,
+#:   router→shard calls (``stage: "shard/*"`` / ``shard_id`` scopes)
+#: * ``task-slow``      — stage tasks, partition loads, serving groups,
+#:   router→shard calls
 #: * ``partition-load-error`` — partition loads (plus the cached copy
 #:   when the rule sets ``"cached": true``)
 #: * ``storage-read-error``   — storage block reads
@@ -63,8 +65,8 @@ FAULT_KINDS = (
 )
 
 _RULE_FIELDS = {
-    "kind", "stage", "partition_id", "block_id", "attempt", "probability",
-    "delay_ms", "cached",
+    "kind", "stage", "partition_id", "block_id", "shard_id", "attempt",
+    "probability", "delay_ms", "cached",
 }
 _RETRY_FIELDS = {
     "max_attempts", "backoff_ms", "multiplier", "jitter", "max_backoff_ms",
@@ -105,6 +107,9 @@ class FaultRule:
     stage: str | None = None
     partition_id: frozenset | None = None
     block_id: frozenset | None = None
+    #: Restricts the rule to router→shard call sites targeting these
+    #: shard ids (``stage: "shard/*"`` scopes by op instead).
+    shard_id: frozenset | None = None
     attempt: frozenset | None = None
     probability: float = 1.0
     delay_ms: float = 0.0
@@ -128,6 +133,7 @@ class FaultRule:
         partition_id: int | None = None,
         block_id: int | None = None,
         attempt: int | None = None,
+        shard_id: int | None = None,
     ) -> bool:
         """Does this rule's scope cover the given site coordinates?"""
         if self.stage is not None:
@@ -136,6 +142,8 @@ class FaultRule:
         if self.partition_id is not None and partition_id not in self.partition_id:
             return False
         if self.block_id is not None and block_id not in self.block_id:
+            return False
+        if self.shard_id is not None and shard_id not in self.shard_id:
             return False
         if self.attempt is not None and attempt not in self.attempt:
             return False
@@ -155,6 +163,7 @@ class FaultRule:
             stage=doc.get("stage"),
             partition_id=_as_id_set(doc.get("partition_id"), "partition_id"),
             block_id=_as_id_set(doc.get("block_id"), "block_id"),
+            shard_id=_as_id_set(doc.get("shard_id"), "shard_id"),
             attempt=_as_id_set(doc.get("attempt"), "attempt"),
             probability=float(doc.get("probability", 1.0)),
             delay_ms=float(doc.get("delay_ms", 0.0)),
@@ -165,7 +174,7 @@ class FaultRule:
         doc: dict = {"kind": self.kind}
         if self.stage is not None:
             doc["stage"] = self.stage
-        for name in ("partition_id", "block_id", "attempt"):
+        for name in ("partition_id", "block_id", "shard_id", "attempt"):
             ids = getattr(self, name)
             if ids is not None:
                 doc[name] = sorted(ids)

@@ -41,9 +41,15 @@ from .admission import (
     DeadlineExceededError,
     OverloadedError,
 )
-from .requests import OPS, QueryRequest, result_to_wire
+from .requests import OPS, QueryRequest, result_to_wire, wire_to_result
 from .result_cache import ResultCache
-from .server import ServingClient, TardisServer, serve
+from .server import (
+    PROTO_VERSION,
+    RequestTimeoutError,
+    ServingClient,
+    TardisServer,
+    serve,
+)
 from .service import QueryService
 from .slo import SLOTracker
 
@@ -53,8 +59,11 @@ __all__ = [
     "DeadlineExceededError",
     "OverloadedError",
     "OPS",
+    "PROTO_VERSION",
     "QueryRequest",
+    "RequestTimeoutError",
     "result_to_wire",
+    "wire_to_result",
     "ResultCache",
     "ServingClient",
     "TardisServer",

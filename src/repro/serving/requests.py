@@ -24,7 +24,7 @@ import numpy as np
 
 from ..core.queries import KNN_STRATEGIES
 
-__all__ = ["OPS", "QueryRequest", "result_to_wire"]
+__all__ = ["OPS", "QueryRequest", "result_to_wire", "wire_to_result"]
 
 #: Operations the serving tier accepts.
 OPS = ("exact-match", "knn")
@@ -124,3 +124,38 @@ def result_to_wire(result) -> dict:
         "degraded": bool(getattr(result, "degraded", False)),
         "missing_partitions": list(getattr(result, "missing_partitions", [])),
     }
+
+
+def wire_to_result(doc: dict):
+    """Rebuild a core query result object from its wire payload.
+
+    The inverse of :func:`result_to_wire` — used by the sharded router
+    to turn a shard's reply back into the object a single-process
+    :class:`~repro.serving.service.QueryService` future would resolve
+    to.  Floats round-trip exactly, so a re-serialized answer stays
+    bit-identical.
+    """
+    from ..core.queries import ExactMatchResult, KnnResult, Neighbor
+
+    if doc.get("op") == "exact-match":
+        return ExactMatchResult(
+            record_ids=list(doc.get("record_ids", [])),
+            bloom_rejected=bool(doc.get("bloom_rejected", False)),
+            partitions_loaded=int(doc.get("partitions_loaded", 0)),
+            partition_ids_loaded=list(doc.get("partition_ids_loaded", [])),
+            nodes_visited=int(doc.get("nodes_visited", 0)),
+        )
+    return KnnResult(
+        neighbors=[
+            Neighbor(float(d), int(r))
+            for d, r in zip(doc.get("distances", []), doc.get("record_ids", []))
+        ],
+        partitions_loaded=int(doc.get("partitions_loaded", 0)),
+        candidates_examined=int(doc.get("candidates_examined", 0)),
+        strategy=doc.get("strategy", ""),
+        partition_ids_loaded=list(doc.get("partition_ids_loaded", [])),
+        nodes_visited=int(doc.get("nodes_visited", 0)),
+        nodes_pruned=int(doc.get("nodes_pruned", 0)),
+        degraded=bool(doc.get("degraded", False)),
+        missing_partitions=list(doc.get("missing_partitions", [])),
+    )

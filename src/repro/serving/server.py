@@ -25,9 +25,16 @@ expose the server's recent request traces and event-journal tail for
 ``repro top`` and post-hoc debugging.
 
 Error types: ``overloaded`` (shed by admission control — back off and
-retry), ``bad-request`` (malformed JSON / invalid plan), ``internal``.
-Floats survive the JSON round trip exactly (``repr`` semantics), so a
-remote kNN answer is bit-identical to the local one.
+retry), ``bad-request`` (malformed JSON / invalid plan), ``deadline``,
+``partial-result``, ``timeout`` (an upstream hop timed out — returned by
+the sharded router when a shard call exceeds its budget; the client also
+raises :class:`RequestTimeoutError` locally on a socket timeout),
+``internal``.  Floats survive the JSON round trip exactly (``repr``
+semantics), so a remote kNN answer is bit-identical to the local one.
+
+Version skew: every reply carries ``"proto": PROTO_VERSION`` and every
+request parser ignores unknown fields, so a newer router can talk to an
+older shard (and vice versa) as long as the fields it relies on exist.
 
 :class:`TardisServer` wraps a ``ThreadingTCPServer`` around a running
 :class:`~repro.serving.service.QueryService`; each connection gets a
@@ -51,7 +58,13 @@ from .admission import DeadlineExceededError, OverloadedError
 from .requests import QueryRequest, result_to_wire
 from .service import QueryService
 
-__all__ = ["TardisServer", "ServingClient", "serve"]
+__all__ = [
+    "TardisServer",
+    "ServingClient",
+    "RequestTimeoutError",
+    "serve",
+    "PROTO_VERSION",
+]
 
 logger = logging.getLogger(__name__)
 
@@ -59,12 +72,37 @@ logger = logging.getLogger(__name__)
 #: server by streaming an unterminated line.
 MAX_LINE_BYTES = 16 * 1024 * 1024
 
+#: Wire-protocol version, stamped into every reply envelope.  Bump on
+#: incompatible changes; additive fields do NOT bump it (both sides
+#: ignore unknown fields).
+PROTO_VERSION = 1
+
+
+class RequestTimeoutError(RuntimeError):
+    """A request timed out on the wire.
+
+    Raised client-side when the socket times out waiting for a reply
+    (after which the stream may be desynchronized — close and reconnect
+    before reusing the connection), and for server replies of wire-error
+    kind ``timeout`` (e.g. the sharded router reporting that a shard
+    call exceeded its budget).
+    """
+
+    def __init__(self, message: str, timeout_s: float | None = None):
+        super().__init__(message)
+        self.timeout_s = timeout_s
+
 
 def _error(kind: str, message: str, **extra) -> dict:
     return {"ok": False, "error": {"type": kind, "message": message, **extra}}
 
 
 def _parse_request(doc: dict) -> QueryRequest:
+    """Build a :class:`QueryRequest` from a wire document.
+
+    Only known fields are read; unknown fields are ignored (forward
+    compatibility across router/shard version skew).
+    """
     series = doc.get("series")
     if not isinstance(series, list) or not series:
         raise ValueError("'series' must be a non-empty list of numbers")
@@ -142,6 +180,23 @@ class _Handler(socketserver.StreamRequestHandler):
                 ),
                 "stats": service.journal.stats(),
             }}
+        extra_ops = getattr(service, "extra_ops", None)
+        if extra_ops and op in extra_ops:
+            # Service-specific ops (e.g. a shard's "shard-knn" scatter
+            # target) run in the handler thread: admission control and
+            # caching for these live at the caller (the router).
+            try:
+                return {"ok": True, "result": extra_ops[op](doc)}
+            except PartialResultError as exc:
+                return _error(
+                    "partial-result", str(exc),
+                    missing_partitions=list(exc.missing_partitions),
+                )
+            except (ValueError, TypeError) as exc:
+                return _error("bad-request", str(exc))
+            except Exception as exc:
+                logger.exception("internal error in op %r", op)
+                return _error("internal", f"{type(exc).__name__}: {exc}")
         try:
             request = _parse_request(doc)
         except (ValueError, TypeError) as exc:
@@ -166,6 +221,14 @@ class _Handler(socketserver.StreamRequestHandler):
                 "partial-result", str(exc),
                 missing_partitions=list(exc.missing_partitions),
             )
+        except RequestTimeoutError as exc:
+            # An upstream hop (router → shard) timed out with no usable
+            # fallback: distinct from "deadline" (this request's own
+            # budget) so clients can tell the two apart.
+            return _error(
+                "timeout", str(exc),
+                timeout_s=exc.timeout_s,
+            )
         except ValueError as exc:
             # Validation failures (wrong length, bad plan) are the
             # client's fault.  RuntimeError is NOT caught here: the
@@ -185,6 +248,7 @@ class _Handler(socketserver.StreamRequestHandler):
         return envelope
 
     def _reply(self, doc: dict) -> None:
+        doc.setdefault("proto", PROTO_VERSION)
         try:
             self.wfile.write(json.dumps(doc).encode() + b"\n")
             self.wfile.flush()
@@ -195,6 +259,31 @@ class _Handler(socketserver.StreamRequestHandler):
 class _TCPServer(socketserver.ThreadingTCPServer):
     allow_reuse_address = True
     daemon_threads = True
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self._connections: set = set()
+        self._connections_lock = threading.Lock()
+
+    def process_request(self, request, client_address):
+        with self._connections_lock:
+            self._connections.add(request)
+        super().process_request(request, client_address)
+
+    def shutdown_request(self, request):
+        with self._connections_lock:
+            self._connections.discard(request)
+        super().shutdown_request(request)
+
+    def abort_connections(self) -> None:
+        """Cut every live connection mid-stream (crash simulation)."""
+        with self._connections_lock:
+            connections = list(self._connections)
+        for sock in connections:
+            try:
+                sock.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
 
 
 class TardisServer:
@@ -237,6 +326,22 @@ class TardisServer:
             self._thread.join(5.0)
         self.service.stop(drain=drain)
 
+    def abort(self) -> None:
+        """Ungraceful stop: what a crashed server looks like to clients.
+
+        New connections are refused, live connections are reset
+        mid-stream, and queued work is failed instead of drained —
+        the failover drills in :mod:`repro.sharding.cluster` use this
+        so threads-mode shard death exercises the same
+        connection-error path a SIGKILLed process produces.
+        """
+        self._tcp.shutdown()
+        self._tcp.abort_connections()
+        self._tcp.server_close()
+        if self._thread is not None:
+            self._thread.join(5.0)
+        self.service.stop(drain=False)
+
     def __enter__(self) -> "TardisServer":
         return self.start()
 
@@ -259,16 +364,29 @@ class ServingClient:
     """
 
     def __init__(self, host: str, port: int, timeout: float | None = 30.0):
+        self.timeout = timeout
         self._sock = socket.create_connection((host, port), timeout=timeout)
         self._file = self._sock.makefile("rwb")
         #: Span tree from the last ``trace=True`` query (None otherwise).
         self.last_trace: dict | None = None
 
     def call(self, doc: dict) -> dict:
-        """Send one request object; returns the raw response envelope."""
-        self._file.write(json.dumps(doc).encode() + b"\n")
-        self._file.flush()
-        line = self._file.readline(MAX_LINE_BYTES)
+        """Send one request object; returns the raw response envelope.
+
+        Raises :class:`RequestTimeoutError` when the socket times out —
+        after which the stream may hold a late reply, so close and
+        reconnect before reusing this client.
+        """
+        try:
+            self._file.write(json.dumps(doc).encode() + b"\n")
+            self._file.flush()
+            line = self._file.readline(MAX_LINE_BYTES)
+        except socket.timeout as exc:
+            raise RequestTimeoutError(
+                f"no reply within {self.timeout}s for op "
+                f"{doc.get('op', '?')!r}",
+                timeout_s=self.timeout,
+            ) from exc
         if not line:
             raise ConnectionError("server closed the connection")
         return json.loads(line)
@@ -292,6 +410,11 @@ class ServingClient:
             raise PartialResultError(
                 error.get("missing_partitions", []),
                 detail=error.get("message", ""),
+            )
+        if error.get("type") == "timeout":
+            raise RequestTimeoutError(
+                error.get("message", "upstream timeout"),
+                timeout_s=error.get("timeout_s"),
             )
         raise RuntimeError(
             f"{error.get('type', 'unknown')}: {error.get('message', '')}"

@@ -1,0 +1,57 @@
+"""Sharded serving tier: shard servers + a scatter/gather router.
+
+TARDIS's core design bet (paper §IV) is a *small* centralized global
+index routing queries to many independently-owned partitions.  This
+package turns that into a multi-process serving topology
+(docs/SERVING.md "Topology"):
+
+* :mod:`~repro.sharding.assignment` — :class:`ShardPlan`: partitions
+  packed onto N shards by First-Fit-Decreasing over partition sizes
+  (the same packer Tardis-G uses for leaves), plus chained replica
+  placement — shard ``s``'s primaries are replicated on shards
+  ``s+1 … s+R (mod N)``.
+* :mod:`~repro.sharding.synopsis` — :class:`RouterIndex`: everything
+  the router holds.  Tardis-G plus one tiny region synopsis per
+  partition; no partition data, no raw series.
+* :mod:`~repro.sharding.shard` — :class:`ShardService`: a
+  :class:`~repro.serving.service.QueryService` over the subset of
+  partitions a shard hosts, extended with the ``shard-knn`` wire op
+  (the scatter target of distributed Multi-Partitions Access).
+* :mod:`~repro.sharding.router` — :class:`RouterService`: admission
+  queue, result cache and SLO tracking up front; exact-match and
+  single-partition kNN forwarded to the home partition's least-loaded
+  live replica; MPA kNN run as scatter/gather with the ``pth`` fan-out
+  cap applied at the router by MINDIST-ranking candidate partitions.
+  Answers are bit-identical to single-process serving
+  (tests/sharding/test_equivalence.py).
+* :mod:`~repro.sharding.cluster` — :class:`ShardCluster`: shard
+  lifecycle, in-process (threads) for tests and spawned processes for
+  ``repro serve-sharded`` / benchmarks; ``kill_shard`` powers failover
+  drills.
+
+Failure semantics: a dead or timed-out shard with no live replica
+degrades kNN exactly like a missing partition (``degraded=true`` +
+``missing_partitions``, answers a provably-correct prefix of the
+baseline, never cached); exact-match surfaces a typed
+``partial-result``.  The router retries replicas under the installed
+:class:`~repro.faults.plan.RetryPolicy` and the request's deadline
+budget (docs/ROBUSTNESS.md).
+"""
+
+from .assignment import ShardPlan, plan_shards
+from .cluster import ShardCluster
+from .router import RouterService, ShardUnavailableError
+from .shard import ShardService, subset_index
+from .synopsis import PartitionSynopsis, RouterIndex
+
+__all__ = [
+    "ShardPlan",
+    "plan_shards",
+    "PartitionSynopsis",
+    "RouterIndex",
+    "ShardService",
+    "subset_index",
+    "RouterService",
+    "ShardUnavailableError",
+    "ShardCluster",
+]

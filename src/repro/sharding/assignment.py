@@ -1,0 +1,164 @@
+"""Partition→shard assignment: FFD packing + chained replica placement.
+
+A :class:`ShardPlan` says, for every partition, which shard *owns* it
+(serves it as a primary) and which shards hold replica copies.  The
+packer reuses :func:`repro.core.partitioning.first_fit_decreasing` —
+the same bin packer Tardis-G uses to group sibling leaves into
+partitions and that ``core/rebalance.py`` uses to split hot partitions
+— over partition record counts, so shard record totals stay balanced
+even with skewed partition sizes.
+
+Replicas are placed by *chaining*: shard ``s``'s primaries are copied
+onto shards ``s+1 … s+R (mod N)``.  Chaining keeps every partition's
+host list disjoint in failure domains (losing one shard removes exactly
+one host from each affected partition) and makes the host list of a
+partition a pure function of the plan — the router recomputes it
+without any extra state.
+
+Plans serialize to plain JSON (:meth:`ShardPlan.to_dict`) so a spawned
+shard process and the router agree on the topology byte-for-byte.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.partitioning import first_fit_decreasing
+
+__all__ = ["ShardPlan", "plan_shards"]
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """Immutable shard topology: who owns what, who replicates what."""
+
+    n_shards: int
+    replication: int
+    #: ``shards[s]`` = sorted tuple of partition ids shard ``s`` owns.
+    shards: tuple
+
+    def __post_init__(self) -> None:
+        if self.n_shards < 1:
+            raise ValueError("n_shards must be at least 1")
+        if len(self.shards) != self.n_shards:
+            raise ValueError(
+                f"plan lists {len(self.shards)} shards, expected "
+                f"{self.n_shards}"
+            )
+        if not 0 <= self.replication <= self.n_shards - 1:
+            raise ValueError(
+                "replication must be within [0, n_shards - 1] "
+                f"(got R={self.replication} for N={self.n_shards})"
+            )
+        seen: set[int] = set()
+        for owned in self.shards:
+            for pid in owned:
+                if pid in seen:
+                    raise ValueError(f"partition {pid} owned by two shards")
+                seen.add(pid)
+
+    # -- placement queries --------------------------------------------------
+
+    def owner_of(self, partition_id: int) -> int:
+        """The shard that owns ``partition_id`` as a primary."""
+        for shard_id, owned in enumerate(self.shards):
+            if partition_id in owned:
+                return shard_id
+        raise KeyError(f"partition {partition_id} is not in the plan")
+
+    def hosts_of(self, partition_id: int) -> list[int]:
+        """Every shard holding ``partition_id``, owner first.
+
+        The chained replicas follow the owner in ring order, so the
+        list doubles as the router's replica preference order.
+        """
+        owner = self.owner_of(partition_id)
+        return [
+            (owner + i) % self.n_shards for i in range(self.replication + 1)
+        ]
+
+    def replica_sources(self, shard_id: int) -> list[int]:
+        """Shards whose primaries ``shard_id`` holds replica copies of."""
+        return [
+            (shard_id - i) % self.n_shards
+            for i in range(1, self.replication + 1)
+        ]
+
+    def hosted(self, shard_id: int) -> list[int]:
+        """All partition ids shard ``shard_id`` must load (primaries +
+        replicas), sorted."""
+        pids = set(self.shards[shard_id])
+        for source in self.replica_sources(shard_id):
+            pids.update(self.shards[source])
+        return sorted(pids)
+
+    @property
+    def all_partitions(self) -> list[int]:
+        return sorted(pid for owned in self.shards for pid in owned)
+
+    # -- wire form ----------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "n_shards": self.n_shards,
+            "replication": self.replication,
+            "shards": [list(owned) for owned in self.shards],
+        }
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "ShardPlan":
+        return cls(
+            n_shards=int(doc["n_shards"]),
+            replication=int(doc["replication"]),
+            shards=tuple(
+                tuple(int(pid) for pid in owned) for owned in doc["shards"]
+            ),
+        )
+
+
+def plan_shards(
+    sizes: dict, n_shards: int, replication: int = 0
+) -> ShardPlan:
+    """Pack partitions onto ``n_shards`` shards by record count.
+
+    ``sizes`` maps partition id → record count.  FFD packs into bins of
+    ``ceil(total / n_shards)`` capacity (so bins approach equal record
+    totals); if FFD opens more bins than shards, the smallest bins are
+    merged, and missing bins are padded empty — the plan always has
+    exactly ``n_shards`` entries.  Deterministic for a given input.
+    """
+    if n_shards < 1:
+        raise ValueError("n_shards must be at least 1")
+    if not 0 <= replication <= n_shards - 1:
+        raise ValueError(
+            "replication must be within [0, n_shards - 1] "
+            f"(got R={replication} for N={n_shards})"
+        )
+    items = sorted((int(pid), int(size)) for pid, size in sizes.items())
+    total = sum(size for _pid, size in items)
+    capacity = max(1, -(-total // n_shards)) if items else 1
+    bins = first_fit_decreasing(items, capacity)
+    totals = [sum(sizes[pid] for pid in group) for group in bins]
+    while len(bins) > n_shards:
+        # Merge the two lightest bins (ties by smallest member pid) —
+        # FFD overshoots the bin count only marginally, so this stays a
+        # near-balanced packing.
+        order = sorted(
+            range(len(bins)),
+            key=lambda i: (totals[i], min(bins[i], default=-1)),
+        )
+        a, b = sorted(order[:2])
+        bins[a] = bins[a] + bins[b]
+        totals[a] += totals[b]
+        del bins[b], totals[b]
+    while len(bins) < n_shards:
+        bins.append([])
+    # Heaviest shard first so shard 0 is the natural "home" of hot data;
+    # ties break on the smallest owned pid for determinism.
+    order = sorted(
+        range(len(bins)),
+        key=lambda i: (-sum(sizes[pid] for pid in bins[i]),
+                       min(bins[i], default=1 << 60)),
+    )
+    shards = tuple(tuple(sorted(bins[i])) for i in order)
+    return ShardPlan(n_shards=n_shards, replication=replication, shards=shards)

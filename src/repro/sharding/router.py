@@ -1,0 +1,991 @@
+"""The scatter/gather router: all of serving's brains, none of its data.
+
+:class:`RouterService` exposes the exact public surface of
+:class:`~repro.serving.service.QueryService` (``submit`` → future,
+``stats``, ``recent_traces``, ``start``/``stop``) so
+:class:`~repro.serving.server.TardisServer` hosts it unchanged — but
+instead of executing queries it *places* them:
+
+* **exact-match / target-node / one-partition kNN** route to the home
+  partition's least-loaded live replica and are forwarded whole: the
+  shard runs the single-process code path over its subset index, so the
+  answer is bit-identical by construction.
+* **multi-partitions kNN** runs as scatter/gather.  The router applies
+  the paper's ``pth`` fan-out cap by MINDIST-ranking candidate
+  partitions (:func:`repro.core.queries.select_mpa_partitions` over the
+  region synopses), sends one *seed* call to the home partition's shard
+  (threshold from the home target node, Alg. 1 lines 10-14), scatters
+  the threshold to the remaining hosts in parallel, and merges the
+  returned per-partition top-k lists with the ``(distance, record_id)``
+  tie-break — the same merge the single-process loop performs.
+
+Failure handling (docs/ROBUSTNESS.md): every shard call retries across
+replicas under the active :class:`~repro.faults.plan.RetryPolicy` and
+the request's deadline budget; calls are faultable via the injector's
+``shard/<op>`` sites.  A partition whose every host is exhausted
+degrades kNN exactly like a missing partition in single-process
+serving — ``degraded=true`` + ``missing_partitions`` with the answer a
+provably-correct prefix (region-synopsis bound), never cached — and
+turns exact-match into a typed ``partial-result``.  Shard health is
+tracked by ping (``serving_shard_*`` metrics) and used for replica
+choice.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import threading
+import time
+from concurrent.futures import Future, ThreadPoolExecutor
+
+import numpy as np
+
+from ..core.queries import KnnResult, Neighbor, select_mpa_partitions
+from ..core.isaxt import signature_of_paa
+from ..faults.errors import PartialResultError
+from ..faults.injector import get_injector
+from ..faults.plan import RetryPolicy
+from ..serving.admission import (
+    AdmissionQueue,
+    DeadlineExceededError,
+    OverloadedError,
+)
+from ..serving.requests import QueryRequest, wire_to_result
+from ..serving.result_cache import ResultCache
+from ..serving.server import RequestTimeoutError, ServingClient
+from ..serving.service import Ticket
+from ..serving.slo import SLOTracker
+from ..telemetry.context import trace_id_of
+from ..telemetry.journal import EventJournal, SlowQueryLog, get_journal
+from ..telemetry.metrics import get_registry
+from ..telemetry.spans import Span, get_tracer, span_from_dict
+from ..tsdb.paa import paa_transform
+from .assignment import ShardPlan
+from .synopsis import RouterIndex
+
+__all__ = ["RouterService", "ShardUnavailableError"]
+
+logger = logging.getLogger(__name__)
+
+
+class ShardUnavailableError(RuntimeError):
+    """Every replica of a partition's host set is unreachable."""
+
+    def __init__(self, partition_id: int, tried, last_error=None):
+        super().__init__(
+            f"no live replica for partition {partition_id} "
+            f"(tried shards {sorted(set(tried))})"
+        )
+        self.partition_id = partition_id
+        self.tried = sorted(set(tried))
+        self.last_error = last_error
+
+
+class _ShardCallError(RuntimeError):
+    """One shard call failed (connection, timeout, injected crash)."""
+
+
+class _ShardState:
+    """Mutable per-shard health + load bookkeeping (lock-protected)."""
+
+    __slots__ = ("shard_id", "address", "up", "in_flight", "requests",
+                 "failures", "last_error")
+
+    def __init__(self, shard_id: int, address):
+        self.shard_id = shard_id
+        self.address = tuple(address)
+        self.up = True
+        self.in_flight = 0
+        self.requests = 0
+        self.failures = 0
+        self.last_error: str | None = None
+
+    def snapshot(self) -> dict:
+        return {
+            "shard_id": self.shard_id,
+            "address": list(self.address),
+            "up": self.up,
+            "in_flight": self.in_flight,
+            "requests": self.requests,
+            "failures": self.failures,
+            "last_error": self.last_error,
+        }
+
+
+class RouterService:
+    """Scatter/gather front-end over a :class:`ShardCluster`'s servers."""
+
+    def __init__(
+        self,
+        index: RouterIndex,
+        plan: ShardPlan,
+        addresses,
+        *,
+        queue_capacity: int = 256,
+        policy: str = "block",
+        workers: int = 8,
+        result_cache_size: int | None = 1024,
+        slow_query_threshold_ms: float = 100.0,
+        journal_sample: float = 0.0,
+        journal: EventJournal | None = None,
+        default_deadline_ms: float | None = None,
+        call_timeout_s: float = 30.0,
+        retry: RetryPolicy | None = None,
+        health_interval_s: float = 1.0,
+    ):
+        if len(addresses) != plan.n_shards:
+            raise ValueError(
+                f"{len(addresses)} addresses for {plan.n_shards} shards"
+            )
+        if workers < 1:
+            raise ValueError("workers must be at least 1")
+        self.index = index
+        self.plan = plan
+        self.call_timeout_s = call_timeout_s
+        self.health_interval_s = health_interval_s
+        self._retry = retry
+        self.queue = AdmissionQueue(queue_capacity, policy=policy)
+        self.workers = workers
+        self.slo = SLOTracker()
+        self.journal = journal if journal is not None else get_journal()
+        self.slow_log = SlowQueryLog(
+            threshold_s=slow_query_threshold_ms / 1000.0,
+            sample_rate=journal_sample,
+            journal=self.journal,
+        )
+        self.result_cache = (
+            ResultCache(result_cache_size) if result_cache_size else None
+        )
+        self.default_deadline_s = (
+            None if default_deadline_ms is None
+            else default_deadline_ms / 1000.0
+        )
+        self._shards = {
+            shard_id: _ShardState(shard_id, address)
+            for shard_id, address in enumerate(addresses)
+        }
+        self._state_lock = threading.Lock()
+        self._local = threading.local()
+        self._threads: list[threading.Thread] = []
+        self._fanout = ThreadPoolExecutor(
+            max_workers=max(4, 2 * plan.n_shards),
+            thread_name_prefix="repro-router-fanout",
+        )
+        self._health_stop = threading.Event()
+        self._health_thread: threading.Thread | None = None
+        self._started = False
+        self._stopped = False
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def start(self) -> "RouterService":
+        if self._started:
+            return self
+        self._started = True
+        for i in range(self.workers):
+            thread = threading.Thread(
+                target=self._worker_loop,
+                name=f"repro-router-worker-{i}",
+                daemon=True,
+            )
+            thread.start()
+            self._threads.append(thread)
+        if self.health_interval_s > 0:
+            self._health_thread = threading.Thread(
+                target=self._health_loop,
+                name="repro-router-health",
+                daemon=True,
+            )
+            self._health_thread.start()
+        logger.info(
+            "router started: %d shards, R=%d, %d workers, policy=%s",
+            self.plan.n_shards, self.plan.replication, self.workers,
+            self.queue.policy,
+        )
+        return self
+
+    def stop(self, drain: bool = True, timeout: float | None = 30.0) -> None:
+        if not self._started or self._stopped:
+            self._stopped = True
+            return
+        self._stopped = True
+        self._health_stop.set()
+        if not drain:
+            self.queue.close()
+            while True:
+                leftovers = self.queue.take_batch(64, 0.0)
+                if not leftovers:
+                    break
+                for ticket in leftovers:
+                    ticket.future.set_exception(
+                        RuntimeError("router stopped without draining")
+                    )
+        else:
+            self.queue.close()
+        for thread in self._threads:
+            thread.join(timeout)
+        if self._health_thread is not None:
+            self._health_thread.join(2.0)
+        self._fanout.shutdown(wait=False)
+        logger.info("router stopped (drained=%s)", drain)
+
+    def __enter__(self) -> "RouterService":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop(drain=True)
+
+    # -- request path (mirrors QueryService.submit) -------------------------
+
+    def submit(self, request: QueryRequest) -> Future:
+        if not self._started or self._stopped:
+            raise RuntimeError("router is not running (use start()/with)")
+        if len(request.series) != self.index.series_length:
+            raise ValueError(
+                f"query length {len(request.series)} != indexed length "
+                f"{self.index.series_length}"
+            )
+        tracer = get_tracer()
+        root = tracer.start_span(
+            "serve/request", op=request.op, router=True,
+            **({"strategy": request.strategy} if request.op == "knn" else {}),
+        )
+        future: Future = Future()
+        if isinstance(root, Span):
+            future.trace_root = root
+        if self.result_cache is not None:
+            cached = self.result_cache.get(request.cache_key())
+            if cached is not None:
+                tracer.end_span(tracer.start_span("serve/cache", parent=root))
+                root.set("cached", True)
+                tracer.end_span(root)
+                future.set_result(cached)
+                self.slo.record_completed(0.0, cached=True)
+                self.slow_log.observe(
+                    0.0, trace_id=trace_id_of(root), op=request.op,
+                    cached=True,
+                )
+                return future
+        queue_span = tracer.start_span("serve/queue-wait", parent=root)
+        deadline_s = (
+            request.deadline_ms / 1000.0
+            if request.deadline_ms is not None
+            else self.default_deadline_s
+        )
+        enqueued_at = time.monotonic()
+        ticket = Ticket(
+            request, future, enqueued_at,
+            span=root, queue_span=queue_span,
+            deadline_at=(
+                None if deadline_s is None else enqueued_at + deadline_s
+            ),
+        )
+        try:
+            self.queue.put(ticket)
+        except OverloadedError:
+            queue_span.set("error", "overloaded")
+            tracer.end_span(queue_span)
+            root.set("error", "overloaded")
+            tracer.end_span(root)
+            self.journal.record(
+                "shed", trace_id=trace_id_of(root), op=request.op,
+                queue_depth=self.queue.depth,
+            )
+            self.slo.record_shed()
+            raise
+        self.slo.record_admitted(self.queue.depth)
+        return future
+
+    def query(self, request: QueryRequest, timeout: float | None = None):
+        return self.submit(request).result(timeout)
+
+    # -- worker loop --------------------------------------------------------
+
+    def _worker_loop(self) -> None:
+        while True:
+            window = self.queue.take_batch(1, 0.05)
+            if not window:
+                return  # queue closed and drained
+            for ticket in window:
+                try:
+                    self._serve_ticket(ticket)
+                except BaseException as exc:  # never kill the worker
+                    logger.exception("router request failed")
+                    if not ticket.future.done():
+                        self._finish(ticket, error=exc)
+
+    def _serve_ticket(self, ticket: Ticket) -> None:
+        tracer = get_tracer()
+        now = time.monotonic()
+        ticket.dequeued_at = now
+        if ticket.deadline_at is not None and now >= ticket.deadline_at:
+            self._shed_expired(ticket, now)
+            return
+        tracer.end_span(ticket.queue_span)
+        exec_span = tracer.start_span("route/execute", parent=ticket.span)
+        ticket.exec_started_at = now
+        request = ticket.request
+        try:
+            if request.op == "knn" and request.strategy == "multi-partitions":
+                result = self._execute_mpa(request, exec_span, ticket.deadline_at)
+            else:
+                result = self._execute_forward(
+                    request, exec_span, ticket.deadline_at
+                )
+        except BaseException as exc:
+            tracer.end_span(exec_span)
+            ticket.exec_finished_at = time.monotonic()
+            self._finish(ticket, error=exc)
+            return
+        tracer.end_span(exec_span)
+        ticket.exec_finished_at = time.monotonic()
+        degraded = bool(getattr(result, "degraded", False))
+        if self.result_cache is not None and not degraded:
+            # Degraded answers are never cached (transient unavailability
+            # is not the index's truth) — same rule as single-process.
+            pids = result.partition_ids_loaded or (
+                self._home_partition(request),
+            )
+            self.result_cache.put(request.cache_key(), result, pids)
+        self._finish(ticket, result=result, degraded=degraded)
+
+    def _home_partition(self, request: QueryRequest) -> int:
+        signature, _paa = self._signature(request.series)
+        return self.index.global_index.route(signature)
+
+    def _signature(self, series) -> tuple[str, np.ndarray]:
+        config = self.index.config
+        paa = paa_transform(
+            np.asarray(series, dtype=np.float64), config.word_length
+        )
+        return signature_of_paa(paa, config.cardinality_bits), paa
+
+    def _shed_expired(self, ticket: Ticket, now: float) -> None:
+        tracer = get_tracer()
+        waited_s = now - ticket.enqueued_at
+        deadline_s = ticket.deadline_at - ticket.enqueued_at
+        ticket.queue_span.set("error", "deadline")
+        tracer.end_span(ticket.queue_span)
+        ticket.span.set("error", "deadline")
+        tracer.end_span(ticket.span)
+        self.journal.record(
+            "deadline", trace_id=trace_id_of(ticket.span),
+            op=ticket.request.op,
+            waited_ms=waited_s * 1000.0, deadline_ms=deadline_s * 1000.0,
+        )
+        self.slo.record_deadline_shed()
+        ticket.future.set_exception(DeadlineExceededError(waited_s, deadline_s))
+
+    def _finish(
+        self, ticket: Ticket, result=None, error=None, degraded: bool = False
+    ) -> None:
+        tracer = get_tracer()
+        now = time.monotonic()
+        latency_s = now - ticket.enqueued_at
+        root = ticket.span
+        if error is not None:
+            root.set("error", f"{type(error).__name__}: {error}")
+        if degraded:
+            root.set("degraded", True)
+        tracer.end_span(root)
+        if error is not None:
+            ticket.future.set_exception(error)
+            self.slo.record_completed(latency_s, failed=True)
+        else:
+            ticket.future.set_result(result)
+            self.slo.record_completed(latency_s, degraded=degraded)
+        fields = dict(
+            trace_id=ticket.trace_id,
+            op=ticket.request.op,
+            queue_wait_s=max(0.0, ticket.dequeued_at - ticket.enqueued_at),
+            execute_s=max(
+                0.0, ticket.exec_finished_at - ticket.exec_started_at
+            ),
+        )
+        if ticket.request.op == "knn":
+            fields["strategy"] = ticket.request.strategy
+        if error is not None:
+            fields["error"] = repr(error)
+        if degraded:
+            fields["degraded"] = True
+            fields["missing_partitions"] = list(
+                getattr(result, "missing_partitions", [])
+            )
+        self.slow_log.observe(latency_s, **fields)
+
+    # -- shard calls --------------------------------------------------------
+
+    def _retry_policy(self) -> RetryPolicy:
+        if self._retry is not None:
+            return self._retry
+        injector = get_injector()
+        if injector is not None:
+            return injector.retry
+        return RetryPolicy()
+
+    def _client(self, shard_id: int) -> ServingClient:
+        clients = getattr(self._local, "clients", None)
+        if clients is None:
+            clients = self._local.clients = {}
+        client = clients.get(shard_id)
+        if client is None:
+            host, port = self._shards[shard_id].address
+            client = ServingClient(host, port, timeout=self.call_timeout_s)
+            clients[shard_id] = client
+        return client
+
+    def _drop_client(self, shard_id: int) -> None:
+        clients = getattr(self._local, "clients", None)
+        if clients is None:
+            return
+        client = clients.pop(shard_id, None)
+        if client is not None:
+            try:
+                client.close()
+            except OSError:
+                pass
+
+    def _mark(self, shard_id: int, ok: bool, error: str | None = None) -> None:
+        state = self._shards[shard_id]
+        registry = get_registry()
+        with self._state_lock:
+            state.requests += 1
+            if ok:
+                was_down = not state.up
+                state.up = True
+                state.last_error = None
+            else:
+                state.up = False
+                state.failures += 1
+                state.last_error = error
+        registry.counter(
+            "serving_shard_requests_total", "Router→shard calls attempted"
+        ).inc()
+        if not ok:
+            registry.counter(
+                "serving_shard_failures_total", "Router→shard calls failed"
+            ).inc()
+        registry.gauge(
+            f"serving_shard_{shard_id}_up",
+            f"1 when shard {shard_id} answered its last call/ping",
+        ).set(1.0 if ok else 0.0)
+
+    def _call_once(self, shard_id: int, op: str, doc: dict, attempt: int) -> dict:
+        """One physical call attempt; returns the raw reply envelope.
+
+        Raises :class:`_ShardCallError` on connection/timeout failure
+        (real or injected) — callers decide whether a replica retry is
+        possible.
+        """
+        injector = get_injector()
+        if injector is not None:
+            seq = injector.next_seq("shard", shard_id, op)
+            fault = injector.shard_fault(shard_id, op, seq, attempt)
+            if fault is not None:
+                if fault.kind == "task-slow":
+                    time.sleep(fault.delay_ms / 1000.0)
+                else:
+                    self._mark(shard_id, False, "injected shard crash")
+                    raise _ShardCallError(
+                        f"injected: shard {shard_id} unreachable"
+                    )
+        state = self._shards[shard_id]
+        with self._state_lock:
+            state.in_flight += 1
+        try:
+            envelope = self._client(shard_id).call(doc)
+        except (RequestTimeoutError, ConnectionError, OSError,
+                json.JSONDecodeError) as exc:
+            self._drop_client(shard_id)
+            self._mark(shard_id, False, f"{type(exc).__name__}: {exc}")
+            raise _ShardCallError(
+                f"shard {shard_id} ({op}): {type(exc).__name__}: {exc}"
+            ) from exc
+        finally:
+            with self._state_lock:
+                state.in_flight -= 1
+        self._mark(shard_id, True)
+        return envelope
+
+    def _unwrap(self, envelope: dict):
+        """Envelope → result payload, or raise the typed shard error."""
+        if envelope.get("ok"):
+            return envelope["result"]
+        error = envelope.get("error") or {}
+        kind = error.get("type")
+        if kind == "overloaded":
+            raise OverloadedError(
+                error.get("queue_depth", 0), error.get("capacity", 0)
+            )
+        if kind == "deadline":
+            raise DeadlineExceededError(
+                error.get("waited_ms", 0.0) / 1000.0,
+                error.get("deadline_ms", 0.0) / 1000.0,
+            )
+        if kind == "partial-result":
+            raise PartialResultError(
+                error.get("missing_partitions", []),
+                detail=error.get("message", ""),
+            )
+        raise RuntimeError(f"{kind}: {error.get('message', '')}")
+
+    def _pick_host(self, partition_id: int, excluded) -> int | None:
+        """Least-loaded live host of a partition, honoring exclusions.
+
+        Live shards win over down ones; among live hosts the one with
+        the fewest in-flight calls (ties: replica chain order).  With
+        every live host excluded, a down host is still returned — it
+        may have recovered and a failed retry costs one timeout.
+        """
+        hosts = self.plan.hosts_of(partition_id)
+        usable = [s for s in hosts if s not in excluded]
+        if not usable:
+            return None
+        with self._state_lock:
+            live = [s for s in usable if self._shards[s].up]
+            pool = live or usable
+            return min(
+                pool,
+                key=lambda s: (self._shards[s].in_flight, hosts.index(s)),
+            )
+
+    def _check_deadline(self, deadline_at: float | None) -> float | None:
+        """Remaining seconds in the budget; raises when it ran out."""
+        if deadline_at is None:
+            return None
+        remaining = deadline_at - time.monotonic()
+        if remaining <= 0:
+            raise DeadlineExceededError(0.0, 0.0)
+        return remaining
+
+    def _backoff(
+        self, attempt: int, deadline_at: float | None, *site
+    ) -> None:
+        retry = self._retry_policy()
+        injector = get_injector()
+        draw = injector._draw("backoff", *site) if injector is not None else 0.0
+        pause = retry.backoff_s(attempt, draw)
+        remaining = self._check_deadline(deadline_at)
+        if remaining is not None:
+            pause = min(pause, max(0.0, remaining - 0.001))
+        if pause > 0:
+            time.sleep(pause)
+
+    # -- forwarded ops (exact-match, TNA/OPA kNN) ---------------------------
+
+    def _forward(
+        self, partition_id: int, doc: dict, op: str,
+        parent_span, deadline_at: float | None,
+    ):
+        """Forward one whole request to a replica of ``partition_id``.
+
+        Retries across the host set under the retry policy; a shard
+        reply of ``partial-result`` is retried too (a replica may still
+        load the partition the first host lost).  Exhaustion raises
+        :class:`ShardUnavailableError` (or re-raises the last typed
+        partial-result).
+        """
+        retry = self._retry_policy()
+        tracer = get_tracer()
+        excluded: set[int] = set()
+        tried: list[int] = []
+        last_error: BaseException | None = None
+        for attempt in range(1, retry.max_attempts + 1):
+            remaining = self._check_deadline(deadline_at)
+            if remaining is not None:
+                doc = dict(doc, deadline_ms=remaining * 1000.0)
+            shard_id = self._pick_host(partition_id, excluded)
+            if shard_id is None:
+                # Whole host set failed this round — clear and allow the
+                # next attempt to revisit (transient faults recover).
+                excluded.clear()
+                shard_id = self._pick_host(partition_id, excluded)
+                if shard_id is None:  # pragma: no cover - empty host set
+                    break
+            tried.append(shard_id)
+            call_span = tracer.start_span(
+                "route/shard-call", parent=parent_span,
+                shard_id=shard_id, op=op, attempt=attempt,
+            )
+            try:
+                envelope = self._call_once(shard_id, op, doc, attempt)
+                result = self._unwrap(envelope)
+            except _ShardCallError as exc:
+                call_span.set("error", str(exc))
+                tracer.end_span(call_span)
+                last_error = exc
+                excluded.add(shard_id)
+                if attempt < retry.max_attempts:
+                    self._count_retry()
+                    self._backoff(
+                        attempt, deadline_at, "shard", partition_id, op
+                    )
+                continue
+            except PartialResultError as exc:
+                call_span.set("error", "partial-result")
+                tracer.end_span(call_span)
+                last_error = exc
+                excluded.add(shard_id)
+                if attempt < retry.max_attempts:
+                    self._count_retry()
+                    self._backoff(
+                        attempt, deadline_at, "shard", partition_id, op
+                    )
+                continue
+            self._adopt_trace(envelope.get("trace"), call_span)
+            tracer.end_span(call_span)
+            return result
+        if isinstance(last_error, PartialResultError):
+            raise last_error
+        raise ShardUnavailableError(partition_id, tried, last_error)
+
+    def _count_retry(self) -> None:
+        injector = get_injector()
+        if injector is not None:
+            injector.count_retry()
+        get_registry().counter(
+            "serving_shard_retries_total",
+            "Router replica-failover retry attempts",
+        ).inc()
+
+    def _adopt_trace(self, trace_doc, parent_span) -> None:
+        """Stitch a shard-returned span tree under the router's call span."""
+        tracer = get_tracer()
+        if not trace_doc or not tracer.enabled:
+            return
+        if not isinstance(parent_span, Span):
+            return
+        tracer.adopt([span_from_dict(trace_doc)], parent=parent_span)
+
+    def _execute_forward(
+        self, request: QueryRequest, parent_span, deadline_at: float | None
+    ):
+        signature, _paa = self._signature(request.series)
+        partition_id = self.index.global_index.route(signature)
+        want_trace = get_tracer().enabled
+        series = request.series.tolist()
+        if request.op == "exact-match":
+            doc = {
+                "op": "exact-match", "series": series,
+                "use_bloom": request.use_bloom, "trace": want_trace,
+            }
+        else:
+            doc = {
+                "op": "knn", "series": series, "strategy": request.strategy,
+                "k": request.k, "pth": request.pth, "trace": want_trace,
+            }
+        try:
+            payload = self._forward(
+                partition_id, doc, request.op, parent_span, deadline_at
+            )
+        except ShardUnavailableError as exc:
+            if request.op == "exact-match":
+                # Same contract as a lost home partition: exact match
+                # has no sound partial answer.
+                raise PartialResultError(
+                    [partition_id], detail="exact-match home shard"
+                ) from exc
+            self._count_degraded()
+            return KnnResult(
+                neighbors=[], strategy=request.strategy, degraded=True,
+                missing_partitions=[partition_id],
+            )
+        result = wire_to_result(payload)
+        if getattr(result, "degraded", False):
+            self._count_degraded()
+        return result
+
+    def _count_degraded(self) -> None:
+        get_registry().counter(
+            "serving_shard_degraded_total",
+            "Router answers degraded by unreachable shards/partitions",
+        ).inc()
+
+    # -- distributed MPA ----------------------------------------------------
+
+    def _execute_mpa(
+        self, request: QueryRequest, parent_span, deadline_at: float | None
+    ) -> KnnResult:
+        signature, paa = self._signature(request.series)
+        pth = request.pth or self.index.config.pth
+        home_pid, pid_list = select_mpa_partitions(
+            self.index.global_index, signature, pth,
+            bound_of=lambda pid: self.index.bound_of(pid, paa),
+        )
+        k = request.k
+        series = request.series.tolist()
+        want_trace = get_tracer().enabled
+        retry = self._retry_policy()
+        missing: set[int] = set()
+
+        # Phase 1: seed call to a shard hosting the home partition.  The
+        # call piggybacks every capped pid that shard also hosts, so the
+        # common no-fault case is (home shard) + (one call per remaining
+        # host).  Call failures (dead/slow shard) may recover on a later
+        # attempt, so their exclusions are cleared when the host set is
+        # exhausted; load failures already burned the shard's in-process
+        # retry budget and are excluded for good.
+        seed_reply = None
+        seed_shard = None
+        call_failed: set[int] = set()
+        load_failed: set[int] = set()
+        for attempt in range(1, retry.max_attempts + 1):
+            self._check_deadline(deadline_at)
+            home_shard = self._pick_host(home_pid, call_failed | load_failed)
+            if home_shard is None:
+                call_failed.clear()
+                home_shard = self._pick_host(home_pid, load_failed)
+                if home_shard is None:
+                    break  # home partition lost on every host
+            hosted = set(self.plan.hosted(home_shard))
+            seed_pids = [pid for pid in pid_list if pid in hosted]
+            reply = self._shard_knn_call(
+                home_shard, series, k, seed_pids, parent_span,
+                home_pid=home_pid, attempt=attempt, trace=want_trace,
+            )
+            if reply is None:
+                call_failed.add(home_shard)
+                if attempt < retry.max_attempts:
+                    self._count_retry()
+                    self._backoff(
+                        attempt, deadline_at, "shard", home_pid, "shard-knn"
+                    )
+                continue
+            if reply.get("home_lost"):
+                # The shard answered but its copy of the home partition
+                # would not load: a replica may still hold a good copy.
+                load_failed.add(home_shard)
+                self._count_retry()
+                continue
+            seed_reply = reply
+            seed_shard = home_shard
+            break
+        home_lost = seed_reply is None
+        if home_lost:
+            # The threshold partition is gone everywhere: the answer
+            # degrades to the empty (trivially correct) subset, exactly
+            # like a failed home load in single-process MPA.  The
+            # scatter below still runs — with an open threshold and its
+            # answers discarded — so ``missing_partitions`` names every
+            # unreachable partition of the capped list and
+            # ``partition_ids_loaded`` the reachable ones, matching the
+            # in-process loader's accounting.
+            missing.add(home_pid)
+            threshold = None
+            replies: list = []
+            loaded: set[int] = set()
+        else:
+            threshold = seed_reply.get("threshold")
+            replies = [seed_reply]
+            loaded = set(seed_reply.get("loaded", []))
+
+        # Phase 2: scatter the threshold to the remaining partitions,
+        # grouped per host, calls in parallel; failed groups re-pick
+        # replicas round by round.  Same two-tier exclusion as the seed:
+        # call failures recover, in-shard load failures do not.
+        pending = [
+            pid for pid in pid_list
+            if pid not in loaded and pid not in missing
+        ]
+        calls_failed: dict[int, set] = {pid: set() for pid in pending}
+        loads_failed: dict[int, set] = {pid: set() for pid in pending}
+        if seed_reply is not None:
+            for pid in seed_reply.get("missing", []):
+                loads_failed[pid].add(seed_shard)
+        for round_no in range(1, retry.max_attempts + 1):
+            if not pending:
+                break
+            self._check_deadline(deadline_at)
+            groups: dict[int, list] = {}
+            for pid in pending:
+                host = self._pick_host(
+                    pid, calls_failed[pid] | loads_failed[pid]
+                )
+                if host is None:
+                    # Every host failed a *call* — clear those and let
+                    # the next round revisit (transient faults recover).
+                    calls_failed[pid].clear()
+                    host = self._pick_host(pid, loads_failed[pid])
+                if host is None:
+                    missing.add(pid)  # partition lost on every host
+                    continue
+                groups.setdefault(host, []).append(pid)
+            pending = []
+            futures = {
+                host: self._fanout.submit(
+                    self._shard_knn_call, host, series, k, pids,
+                    parent_span, None, threshold, round_no, want_trace,
+                )
+                for host, pids in groups.items()
+            }
+            for host, future in futures.items():
+                reply = future.result()
+                if reply is None:
+                    for pid in groups[host]:
+                        calls_failed[pid].add(host)
+                        pending.append(pid)
+                    continue
+                replies.append(reply)
+                loaded.update(reply.get("loaded", []))
+                for pid in reply.get("missing", []):
+                    # The shard was up but its copy failed to load —
+                    # another replica may still serve it.
+                    loads_failed[pid].add(host)
+                    pending.append(pid)
+            if pending and round_no < retry.max_attempts:
+                self._count_retry()
+                self._backoff(
+                    round_no, deadline_at, "shard", "scan", "shard-knn"
+                )
+        missing.update(pending)
+        if home_lost:
+            self._count_degraded()
+            return KnnResult(
+                neighbors=[], strategy="multi-partitions",
+                partitions_loaded=len(loaded),
+                partition_ids_loaded=[
+                    pid for pid in pid_list if pid in loaded
+                ],
+                degraded=True, missing_partitions=sorted(missing),
+            )
+
+        # Gather: identical merge to the single-process MPA loop —
+        # (distance, record_id) sort, record-id dedup, k-truncate, then
+        # the synopsis-bound prefix cut when partitions went missing.
+        neighbors = [
+            (float(d), int(r))
+            for reply in replies for d, r in reply.get("neighbors", [])
+        ]
+        neighbors.sort()
+        deduped = []
+        seen_ids: set[int] = set()
+        for distance, record_id in neighbors:
+            if record_id not in seen_ids:
+                seen_ids.add(record_id)
+                deduped.append((distance, record_id))
+            if len(deduped) == k:
+                break
+        degraded = False
+        missing_list = sorted(missing)
+        if missing_list:
+            safe_bound = min(
+                self.index.bound_of(pid, paa) for pid in missing_list
+            )
+            deduped = [
+                (d, r) for d, r in deduped if d < safe_bound
+            ]
+            degraded = True
+            self._count_degraded()
+        result = KnnResult(
+            neighbors=[Neighbor(d, r) for d, r in deduped],
+            partitions_loaded=len(loaded),
+            candidates_examined=sum(
+                int(reply.get("candidates", 0)) for reply in replies
+            ),
+            strategy="multi-partitions",
+            partition_ids_loaded=[pid for pid in pid_list if pid in loaded],
+            nodes_visited=(
+                int(seed_reply.get("target_layer", -1)) + 1
+                + sum(int(reply.get("visited", 0)) for reply in replies)
+            ),
+            nodes_pruned=sum(
+                int(reply.get("pruned", 0)) for reply in replies
+            ),
+            degraded=degraded,
+            missing_partitions=missing_list,
+        )
+        return result
+
+    def _shard_knn_call(
+        self, shard_id: int, series, k: int, pids, parent_span,
+        home_pid: int | None = None, threshold: float | None = None,
+        attempt: int = 1, trace: bool = False,
+    ) -> dict | None:
+        """One shard-knn call; ``None`` on a (retryable) call failure."""
+        doc: dict = {
+            "op": "shard-knn", "series": series, "k": k,
+            "partitions": list(pids),
+        }
+        if home_pid is not None:
+            doc["home"] = home_pid
+        else:
+            doc["threshold"] = threshold
+        if trace:
+            doc["trace"] = True
+        tracer = get_tracer()
+        call_span = tracer.start_span(
+            "route/shard-call", parent=parent_span,
+            shard_id=shard_id, op="shard-knn", attempt=attempt,
+            n_partitions=len(pids), seed=home_pid is not None,
+        )
+        try:
+            envelope = self._call_once(shard_id, "shard-knn", doc, attempt)
+            reply = self._unwrap(envelope)
+        except (_ShardCallError, OverloadedError, DeadlineExceededError,
+                RuntimeError) as exc:
+            call_span.set("error", f"{type(exc).__name__}: {exc}")
+            tracer.end_span(call_span)
+            return None
+        self._adopt_trace(reply.get("trace"), call_span)
+        tracer.end_span(call_span)
+        return reply
+
+    # -- health -------------------------------------------------------------
+
+    def _health_loop(self) -> None:
+        while not self._health_stop.wait(self.health_interval_s):
+            self.check_health()
+
+    def check_health(self) -> dict:
+        """Ping every shard once; returns ``{shard_id: up}``."""
+        status = {}
+        for shard_id in self._shards:
+            try:
+                envelope = self._call_once(
+                    shard_id, "ping", {"op": "ping"}, attempt=1
+                )
+                status[shard_id] = bool(envelope.get("ok"))
+            except _ShardCallError:
+                status[shard_id] = False
+        return status
+
+    # -- introspection ------------------------------------------------------
+
+    def stats(self) -> dict:
+        report = self.slo.report(queue_depth=self.queue.depth)
+        report["config"] = {
+            "policy": self.queue.policy,
+            "queue_capacity": self.queue.capacity,
+            "workers": self.workers,
+            "call_timeout_s": self.call_timeout_s,
+            "default_deadline_ms": (
+                None if self.default_deadline_s is None
+                else self.default_deadline_s * 1000.0
+            ),
+        }
+        report["topology"] = {
+            "shards": self.plan.n_shards,
+            "replicas": self.plan.replication,
+            "pth": self.index.config.pth,
+        }
+        with self._state_lock:
+            report["shards"] = [
+                self._shards[shard_id].snapshot()
+                for shard_id in sorted(self._shards)
+            ]
+        if self.result_cache is not None:
+            report["result_cache"] = self.result_cache.stats()
+        report["journal"] = self.journal.stats()
+        report["tracing"] = get_tracer().enabled
+        return report
+
+    def recent_traces(
+        self, n: int = 10, trace_id: str | None = None
+    ) -> list[dict]:
+        tracer = get_tracer()
+        if trace_id:
+            root = tracer.find_trace(trace_id)
+            return [root.to_dict()] if root is not None else []
+        roots = tracer.roots
+        return [root.to_dict() for root in roots[-max(0, n):]] if n > 0 else []

@@ -1,0 +1,200 @@
+"""Shard-side serving: a QueryService over a subset of partitions.
+
+A shard owns its assigned primaries plus any chained replica copies
+(:meth:`ShardPlan.hosted`).  Because Tardis-G is tiny, every shard
+keeps the *full* global sigTree — routing an exact-match or a
+single-partition kNN inside a shard is exactly the single-process code
+path, which is what makes forwarded answers bit-identical by
+construction.
+
+The shard adds one wire op, ``shard-knn`` — the scatter target of
+distributed Multi-Partitions Access.  The router decides *which*
+partitions participate (the ``pth`` fan-out cap) and splits them by
+host; each shard then executes the same per-partition work the
+single-process MPA loop would: load, seed-phase threshold from the
+home target node (home shard only), MINDIST-pruned scan, vectorized
+per-partition top-k (:func:`repro.core.queries._top_k` — shared, not
+reimplemented).  Only per-partition top-k lists travel back; the
+router's merge applies the ``(distance, record_id)`` tie-break.
+
+``shard-knn`` runs in the connection handler thread and bypasses the
+shard's admission queue: backpressure, deadlines, caching and SLO
+accounting for distributed kNN live at the router, which sees the
+whole query.
+"""
+
+from __future__ import annotations
+
+import logging
+
+import numpy as np
+
+from ..core.builder import TardisIndex
+from ..core.local_index import ScanStats
+from ..core.queries import _top_k, query_signature
+from ..faults.errors import PartitionUnavailableError
+from ..telemetry.spans import Span, get_tracer
+from ..serving.service import QueryService
+
+__all__ = ["ShardService", "subset_index", "run_shard_knn"]
+
+logger = logging.getLogger(__name__)
+
+
+def subset_index(index: TardisIndex, partition_ids) -> TardisIndex:
+    """An index view holding only ``partition_ids``.
+
+    Shares the config and the (small) global sigTree with the source;
+    the partitions dict is restricted to what this shard hosts.  A
+    lookup outside the subset raises ``KeyError`` — shards must never
+    silently answer for partitions they do not hold.
+    """
+    partition_ids = sorted(partition_ids)
+    missing = [pid for pid in partition_ids if pid not in index.partitions]
+    if missing:
+        raise KeyError(f"partitions not in index: {missing}")
+    partitions = {pid: index.partitions[pid] for pid in partition_ids}
+    return TardisIndex(
+        config=index.config,
+        global_index=index.global_index,
+        partitions=partitions,
+        dataset_name=index.dataset_name,
+        n_records=sum(p.n_records for p in partitions.values()),
+        series_length=index.series_length,
+        clustered=index.clustered,
+    )
+
+
+def run_shard_knn(
+    index: TardisIndex,
+    series: np.ndarray,
+    k: int,
+    partition_ids,
+    home_pid: int | None = None,
+    threshold: float | None = None,
+) -> dict:
+    """One shard's slice of a distributed MPA query.
+
+    With ``home_pid`` given (the seed call), the pruning threshold is
+    computed from the home partition's target node exactly as Alg. 1
+    lines 10-14 do; otherwise ``threshold`` must carry the value the
+    seed call returned (``None`` meaning +inf: fewer than ``k`` seed
+    candidates).  Partitions that fail to load after the injector's
+    retries are reported in ``missing`` — the router decides whether a
+    replica can still serve them.
+    """
+    signature, paa = query_signature(index, series)
+    loaded = {}
+    missing: list[int] = []
+    for pid in partition_ids:
+        try:
+            loaded[pid] = index.load_partition(pid)
+        except PartitionUnavailableError:
+            missing.append(pid)
+    reply: dict = {
+        "loaded": sorted(loaded),
+        "missing": sorted(missing),
+        "neighbors": [],
+        "candidates": 0,
+        "visited": 0,
+        "pruned": 0,
+    }
+    scan = ScanStats()
+    tops: list = []
+    candidates = 0
+    target = None
+    if home_pid is not None:
+        if home_pid not in loaded:
+            # No threshold can be computed: the router degrades the
+            # whole query (same as the single-process home-lost path).
+            reply["home_lost"] = True
+            return reply
+        home = loaded[home_pid]
+        target = home.target_node(signature, k)
+        seed_entries = home.entries_under(target, stats=scan)
+        seed_top = _top_k(series, home, seed_entries, k)
+        candidates += len(seed_entries)
+        tops.append(seed_top)
+        threshold = seed_top[-1].distance if len(seed_top) >= k else None
+        reply["threshold"] = threshold
+        reply["target_layer"] = target.layer
+    th = np.inf if threshold is None else float(threshold)
+    for pid, partition in loaded.items():
+        skip = target if pid == home_pid else None
+        survivors = partition.pruned_entries(
+            paa, th, index.series_length, skip=skip, stats=scan
+        )
+        tops.append(_top_k(series, partition, survivors, k))
+        candidates += len(survivors)
+    reply["neighbors"] = [
+        [n.distance, n.record_id] for top in tops for n in top
+    ]
+    reply["candidates"] = candidates
+    reply["visited"] = scan.visited
+    reply["pruned"] = scan.pruned
+    return reply
+
+
+class ShardService(QueryService):
+    """A QueryService for one shard, plus the ``shard-knn`` scatter op."""
+
+    def __init__(self, index: TardisIndex, *, shard_id: int = 0, **kwargs):
+        super().__init__(index, **kwargs)
+        self.shard_id = int(shard_id)
+        #: Dispatched by the wire handler before the standard request
+        #: path (see serving.server._Handler._answer).
+        self.extra_ops = {"shard-knn": self._op_shard_knn}
+
+    def _op_shard_knn(self, doc: dict) -> dict:
+        series = doc.get("series")
+        if not isinstance(series, list) or not series:
+            raise ValueError("'series' must be a non-empty list of numbers")
+        series = np.asarray(series, dtype=np.float64)
+        if len(series) != self.index.series_length:
+            raise ValueError(
+                f"query length {len(series)} != indexed length "
+                f"{self.index.series_length}"
+            )
+        k = int(doc.get("k", 10))
+        if k <= 0:
+            raise ValueError("k must be positive")
+        partition_ids = doc.get("partitions")
+        if not isinstance(partition_ids, list) or not partition_ids:
+            raise ValueError("'partitions' must be a non-empty list of ids")
+        partition_ids = [int(pid) for pid in partition_ids]
+        foreign = [
+            pid for pid in partition_ids if pid not in self.index.partitions
+        ]
+        if foreign:
+            raise ValueError(
+                f"shard {self.shard_id} does not host partitions {foreign}"
+            )
+        home_pid = doc.get("home")
+        threshold = doc.get("threshold")
+        tracer = get_tracer()
+        root = tracer.start_span(
+            "shard/request", op="shard-knn", shard_id=self.shard_id,
+            n_partitions=len(partition_ids),
+        )
+        token = tracer.attach(root)
+        try:
+            reply = run_shard_knn(
+                self.index, series, k, partition_ids,
+                home_pid=None if home_pid is None else int(home_pid),
+                threshold=threshold,
+            )
+        finally:
+            tracer.detach(token)
+            tracer.end_span(root)
+        if doc.get("trace") and isinstance(root, Span):
+            reply["trace"] = root.to_dict()
+        return reply
+
+    def stats(self) -> dict:
+        report = super().stats()
+        report["shard"] = {
+            "shard_id": self.shard_id,
+            "partitions": sorted(self.index.partitions),
+            "n_records": self.index.n_records,
+        }
+        return report

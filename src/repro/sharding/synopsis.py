@@ -1,0 +1,123 @@
+"""What the router holds: Tardis-G plus per-partition region synopses.
+
+The router deliberately owns *no partition data* — the TARDIS argument
+is that the global index is small enough to centralize.  But the
+``pth`` fan-out cap and the degraded-answer guarantee both need a
+MINDIST lower bound per candidate partition, which single-process
+serving computes from :meth:`LocalPartition.region_bound`.  The
+:class:`PartitionSynopsis` is the wire-sized extract that makes the
+same bound computable router-side: the partition's distinct
+``REGION_PREFIX_BITS``-level signature prefixes (a handful of short
+strings) plus the word length.  The decode + ``mindist_paa_to_words``
+pipeline is shared with the partition implementation, so router bounds
+are bit-identical to in-process bounds — the foundation of the
+cross-topology equivalence guarantee.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.builder import TardisIndex
+from ..core.isaxt import batch_decode_signatures
+from ..tsdb.distance import mindist_paa_to_words
+
+__all__ = ["PartitionSynopsis", "RouterIndex"]
+
+
+class PartitionSynopsis:
+    """Region synopsis of one partition, detached from its data."""
+
+    __slots__ = ("partition_id", "n_records", "word_length",
+                 "region_prefixes", "_decoded")
+
+    def __init__(
+        self, partition_id: int, n_records: int, word_length: int,
+        region_prefixes,
+    ):
+        self.partition_id = int(partition_id)
+        self.n_records = int(n_records)
+        self.word_length = int(word_length)
+        #: Sorted — the same order LocalPartition._region_symbols uses,
+        #: so the decoded matrix (and thus the min) matches exactly.
+        self.region_prefixes = tuple(sorted(region_prefixes))
+        self._decoded = None
+
+    def bound(self, query_paa: np.ndarray, series_length: int) -> float:
+        """Sound lower bound on the distance from the query to ANY
+        record in the partition — identical to
+        :meth:`LocalPartition.region_bound`."""
+        if not self.region_prefixes:
+            return float(np.inf)
+        if self._decoded is None:
+            self._decoded = batch_decode_signatures(
+                np.asarray(self.region_prefixes), self.word_length
+            )
+        symbols, bits = self._decoded
+        bounds = mindist_paa_to_words(query_paa, symbols, bits, series_length)
+        return float(bounds.min())
+
+    def to_dict(self) -> dict:
+        return {
+            "partition_id": self.partition_id,
+            "n_records": self.n_records,
+            "word_length": self.word_length,
+            "region_prefixes": list(self.region_prefixes),
+        }
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "PartitionSynopsis":
+        return cls(
+            partition_id=doc["partition_id"],
+            n_records=doc["n_records"],
+            word_length=doc["word_length"],
+            region_prefixes=doc["region_prefixes"],
+        )
+
+
+class RouterIndex:
+    """The router's world view: config, Tardis-G, synopses — no data."""
+
+    def __init__(
+        self, config, global_index, series_length: int,
+        synopses: dict, dataset_name: str = "",
+    ):
+        self.config = config
+        self.global_index = global_index
+        self.series_length = int(series_length)
+        self.synopses = dict(synopses)
+        self.dataset_name = dataset_name
+
+    @classmethod
+    def from_index(cls, index: TardisIndex) -> "RouterIndex":
+        """Extract the router state from a fully-loaded index.
+
+        The extraction is the only moment the router process touches
+        partition objects; afterwards the index can be dropped (spawned
+        shard processes load their own subsets from disk).
+        """
+        synopses = {
+            pid: PartitionSynopsis(
+                partition_id=pid,
+                n_records=partition.n_records,
+                word_length=partition.tree.word_length,
+                region_prefixes=partition.region_prefixes,
+            )
+            for pid, partition in index.partitions.items()
+        }
+        return cls(
+            config=index.config,
+            global_index=index.global_index,
+            series_length=index.series_length,
+            synopses=synopses,
+            dataset_name=index.dataset_name,
+        )
+
+    def bound_of(self, partition_id: int, query_paa: np.ndarray) -> float:
+        return self.synopses[partition_id].bound(
+            query_paa, self.series_length
+        )
+
+    @property
+    def n_records(self) -> int:
+        return sum(s.n_records for s in self.synopses.values())

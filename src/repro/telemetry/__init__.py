@@ -90,6 +90,7 @@ from .spans import (
     enable_tracing,
     get_tracer,
     new_trace_id,
+    span_from_dict,
     traced,
 )
 
@@ -103,6 +104,7 @@ __all__ = [
     "disable_tracing",
     "traced",
     "new_trace_id",
+    "span_from_dict",
     "current_span",
     "attach",
     "detach",

@@ -55,6 +55,7 @@ __all__ = [
     "disable_tracing",
     "traced",
     "new_trace_id",
+    "span_from_dict",
 ]
 
 
@@ -150,6 +151,32 @@ class Span:
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Span({self.name!r}, {self.duration_s * 1e3:.3f} ms, " \
                f"{len(self.children)} children)"
+
+
+def span_from_dict(doc: dict) -> Span:
+    """Rebuild a span tree from its :meth:`Span.to_dict` wire form.
+
+    The sharded router uses this to adopt the span tree a shard returned
+    in a reply envelope (:meth:`Tracer.adopt` with the router's call
+    span as parent then re-stamps the trace id across the subtree).
+    Durations survive the round trip; absolute wall-clock instants do
+    not cross the wire, so ``start_s`` is rebased to zero.
+    """
+    span = Span(
+        doc.get("name", "?"),
+        doc.get("attributes") or {},
+        trace_id=doc.get("trace_id"),
+        parent_id=doc.get("parent_id"),
+    )
+    if doc.get("span_id"):
+        span.span_id = doc["span_id"]
+    span.start_s = 0.0
+    span.end_s = float(doc.get("duration_s", 0.0))
+    for child in doc.get("children") or []:
+        child_span = span_from_dict(child)
+        child_span.parent_id = span.span_id
+        span.children.append(child_span)
+    return span
 
 
 def _jsonable(value):

@@ -1,0 +1,67 @@
+"""Topology fencing: unlike serving shapes never get diffed.
+
+A 1-shard p99 against a 4-shard p99 is not a regression signal in
+either direction, so ``host_info`` records the sharded-serving shape
+and ``compare_records`` refuses mismatches outright (a harness bug,
+not a benchmark outcome) — same contract as comparing two different
+benchmarks.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import answers_digest, compare_records, host_info, make_record
+
+
+def _record(topology=None):
+    return make_record(
+        bench="serving",
+        metrics={"p99_s": 0.05},
+        accounting={"completed": 200},
+        answers=answers_digest([[1, 2]]),
+        host=host_info(topology=topology),
+    )
+
+
+def test_host_info_normalizes_topology():
+    info = host_info(topology={"shards": "4", "replicas": 1, "pth": 6})
+    assert info["topology"] == {"pth": 6, "replicas": 1, "shards": 4}
+    assert all(isinstance(v, int) for v in info["topology"].values())
+
+
+def test_host_info_without_topology_has_no_key():
+    assert "topology" not in host_info()
+
+
+def test_same_topology_compares():
+    shape = {"shards": 3, "replicas": 1, "pth": 4}
+    result = compare_records(_record(shape), _record(dict(shape)))
+    assert result.ok
+
+
+def test_mismatched_topology_refused():
+    with pytest.raises(ValueError, match="topolog"):
+        compare_records(
+            _record({"shards": 1, "replicas": 0, "pth": 4}),
+            _record({"shards": 4, "replicas": 0, "pth": 4}),
+        )
+
+
+def test_topology_vs_no_topology_refused():
+    """A sharded record never diffs against a single-process one —
+    absence of the block is itself a topology."""
+    with pytest.raises(ValueError, match="topolog"):
+        compare_records(
+            _record(None), _record({"shards": 2, "replicas": 0, "pth": 4})
+        )
+
+
+def test_replica_count_alone_fences():
+    """R changes failover cost, so R=0 vs R=1 runs are incomparable
+    even at the same shard count."""
+    with pytest.raises(ValueError, match="topolog"):
+        compare_records(
+            _record({"shards": 2, "replicas": 0, "pth": 4}),
+            _record({"shards": 2, "replicas": 1, "pth": 4}),
+        )

@@ -1,0 +1,180 @@
+"""Seeded chaos at the shard layer: the router's two invariants.
+
+Extends the chaos suite (`test_chaos.py`) to the sharded serving tier
+with fault rules scoped to router→shard calls (``stage: "shard/*"``)
+and to whole shards (``shard_id``):
+
+* **Retry-equals-baseline** — under transient shard-call faults
+  (attempt-scoped crashes, slow calls) with replicas available, every
+  routed answer is byte-equal to the fault-free single-process
+  baseline.  Failover may cost retries; it may never change results.
+* **Degraded-subset** — under permanent whole-shard loss with no
+  replicas, MPA kNN returns ``degraded=True`` with exactly the
+  lost-and-needed partitions in ``missing_partitions`` and a neighbor
+  list that is a *prefix* of the baseline (region-synopsis bound) —
+  while the same dead shard with R=1 changes nothing at all.
+"""
+
+from contextlib import contextmanager
+
+import pytest
+
+from repro.core.queries import knn_multi_partitions_access
+from repro.faults import active_plan
+from repro.serving import QueryRequest
+from repro.sharding import RouterIndex, RouterService, ShardCluster
+
+SHARD_TRANSIENT_SEEDS = range(18)
+SHARD_LOSS_SEEDS = range(12)
+N_SHARDS = 3
+
+
+@contextmanager
+def sharded(index, replication, **router_kwargs):
+    router_kwargs.setdefault("result_cache_size", None)
+    router_kwargs.setdefault("health_interval_s", 0.0)
+    router_kwargs.setdefault("call_timeout_s", 5.0)
+    with ShardCluster.for_index(
+        index, N_SHARDS, replication, mode="threads",
+        service_kwargs={"result_cache_size": None, "max_delay_ms": 1.0},
+    ) as cluster:
+        with RouterService(
+            RouterIndex.from_index(index), cluster.plan,
+            cluster.addresses, **router_kwargs,
+        ) as router:
+            yield router, cluster
+
+
+def shard_transient_plan(seed: int) -> dict:
+    """Shard calls that fail or stall on their first attempt only —
+    dense enough that a silent run means the hook is unwired."""
+    return {
+        "schema": "repro.faults/v1",
+        "seed": seed,
+        "rules": [
+            {"kind": "task-crash", "stage": "shard/*",
+             "attempt": [1], "probability": 0.6},
+            {"kind": "task-slow", "stage": "shard/*",
+             "delay_ms": 0.05, "probability": 0.5},
+        ],
+    }
+
+
+def shard_loss_plan(seed: int, shard_id: int) -> dict:
+    """One whole shard permanently unreachable at the call layer."""
+    return {
+        "schema": "repro.faults/v1",
+        "seed": seed,
+        "rules": [
+            {"kind": "task-crash", "stage": "shard/*",
+             "shard_id": shard_id},
+        ],
+    }
+
+
+def _mpa(router, query, k=10):
+    return router.query(
+        QueryRequest(query, op="knn", strategy="multi-partitions", k=k),
+        timeout=60,
+    )
+
+
+@pytest.fixture(scope="module")
+def baselines(chaos_index, chaos_queries):
+    return [
+        knn_multi_partitions_access(chaos_index, q, 10)
+        for q in chaos_queries
+    ]
+
+
+class TestShardRetryEqualsBaseline:
+    @pytest.mark.parametrize("seed", SHARD_TRANSIENT_SEEDS)
+    def test_routed_answers_unchanged(self, chaos_index, chaos_queries,
+                                      baselines, seed):
+        with active_plan(shard_transient_plan(seed)) as injector:
+            with sharded(chaos_index, replication=1) as (router, _cluster):
+                for q, want in zip(chaos_queries[:3], baselines[:3]):
+                    got = _mpa(router, q)
+                    assert got.record_ids == want.record_ids
+                    assert got.distances == want.distances
+                    assert not got.degraded
+                    assert got.missing_partitions == []
+                report = router.stats()
+            assert injector.stats()["injected"] > 0
+        assert report["requests_failed"] == 0
+        assert report["requests_degraded"] == 0
+
+    def test_retries_journaled_with_shard_ids(self, chaos_index,
+                                              chaos_queries):
+        with active_plan(shard_transient_plan(0)) as injector:
+            with sharded(chaos_index, replication=1) as (router, _cluster):
+                _mpa(router, chaos_queries[0])
+            journal = injector.journal()
+        shard_entries = [
+            e for e in journal if e["site"].startswith("shard/")
+        ]
+        assert shard_entries
+        assert all("shard_id" in e for e in shard_entries)
+        assert all(
+            e["kind"] in ("task-crash", "task-slow") for e in shard_entries
+        )
+
+
+class TestShardLossDegradesSoundly:
+    @pytest.mark.parametrize("seed", SHARD_LOSS_SEEDS)
+    def test_unreplicated_loss_is_a_prefix(self, chaos_index, chaos_queries,
+                                           baselines, seed):
+        dead = seed % N_SHARDS
+        with active_plan(shard_loss_plan(seed, dead)):
+            with sharded(chaos_index, replication=0) as (router, cluster):
+                lost = set(cluster.plan.shards[dead])
+                for q, want in zip(chaos_queries[:3], baselines[:3]):
+                    got = _mpa(router, q)
+                    needed = sorted(
+                        lost & set(want.partition_ids_loaded)
+                    )
+                    if not needed:
+                        assert not got.degraded
+                        assert got.record_ids == want.record_ids
+                        assert got.distances == want.distances
+                        continue
+                    assert got.degraded
+                    assert got.missing_partitions == needed
+                    n = len(got.record_ids)
+                    assert got.record_ids == want.record_ids[:n]
+                    assert got.distances == want.distances[:n]
+
+    @pytest.mark.parametrize("seed", (0, 1, 2))
+    def test_replicated_loss_changes_nothing(self, chaos_index,
+                                             chaos_queries, baselines,
+                                             seed):
+        dead = seed % N_SHARDS
+        with active_plan(shard_loss_plan(seed, dead)):
+            with sharded(chaos_index, replication=1) as (router, _cluster):
+                for q, want in zip(chaos_queries[:3], baselines[:3]):
+                    got = _mpa(router, q)
+                    assert got.record_ids == want.record_ids
+                    assert got.distances == want.distances
+                    assert not got.degraded
+
+    def test_degraded_loss_never_cached(self, chaos_index, chaos_queries,
+                                        baselines):
+        victim = None
+        with active_plan(shard_loss_plan(0, 0)):
+            with sharded(
+                chaos_index, replication=0, result_cache_size=128
+            ) as (router, cluster):
+                lost = set(cluster.plan.shards[0])
+                for q, want in zip(chaos_queries, baselines):
+                    if lost & set(want.partition_ids_loaded):
+                        victim = q
+                        break
+                assert victim is not None
+                request = QueryRequest(
+                    victim, op="knn", strategy="multi-partitions", k=10
+                )
+                first = router.query(request, timeout=60)
+                second = router.query(request, timeout=60)
+                report = router.stats()
+        assert first.degraded and second.degraded
+        assert report["result_cache_hits"] == 0

@@ -1,0 +1,56 @@
+"""Sharding-suite fixtures: thread-mode clusters over the shared index.
+
+A threads-mode :class:`ShardCluster` plus :class:`RouterService` is the
+workhorse here — real sockets, real wire protocol, real scatter/gather,
+but no process spawns, so a cluster spins up in tens of milliseconds
+and each test can build its own topology.  Health polling is disabled
+(``health_interval_s=0``) so shard up/down state changes only when the
+test makes it change.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+import pytest
+
+from repro.faults import clear_injector
+from repro.sharding import RouterIndex, RouterService, ShardCluster
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_injector():
+    """Never let one test's fault plan bleed into the next."""
+    clear_injector()
+    yield
+    clear_injector()
+
+
+@pytest.fixture(scope="session")
+def router_factory():
+    """Factory: ``with make_router(index, n_shards=3) as (router, cluster)``.
+
+    The router is started, cache-disabled by default (execution
+    comparisons, not memoization), and torn down with the cluster.
+    """
+
+    @contextmanager
+    def make_router(index, n_shards=3, replication=0, *,
+                    service_kwargs=None, **router_kwargs):
+        kwargs = dict(service_kwargs or {})
+        kwargs.setdefault("result_cache_size", None)
+        kwargs.setdefault("max_delay_ms", 1.0)
+        router_kwargs.setdefault("result_cache_size", None)
+        router_kwargs.setdefault("health_interval_s", 0.0)
+        with ShardCluster.for_index(
+            index, n_shards, replication,
+            mode="threads", service_kwargs=kwargs,
+        ) as cluster:
+            router = RouterService(
+                RouterIndex.from_index(index), cluster.plan,
+                cluster.addresses, **router_kwargs,
+            )
+            with router:
+                yield router, cluster
+
+    return make_router

@@ -1,0 +1,110 @@
+"""Shard plans: FFD balance, chained replicas, wire round-trip."""
+
+import pytest
+
+from repro.sharding import ShardPlan, plan_shards
+
+
+def sizes(n=19, seed=5):
+    """Deterministic skewed partition sizes (ids not contiguous)."""
+    return {3 * i + 1: 40 + ((seed + i * i * 31) % 260) for i in range(n)}
+
+
+class TestPlanShards:
+    @pytest.mark.parametrize("n_shards", (1, 2, 3, 4, 7))
+    def test_disjoint_and_complete(self, n_shards):
+        table = sizes()
+        plan = plan_shards(table, n_shards)
+        assert plan.n_shards == n_shards
+        assert plan.all_partitions == sorted(table)
+        owned = [pid for group in plan.shards for pid in group]
+        assert len(owned) == len(set(owned))
+
+    @pytest.mark.parametrize("n_shards", (2, 3, 4))
+    def test_record_totals_balanced(self, n_shards):
+        table = sizes()
+        plan = plan_shards(table, n_shards)
+        total = sum(table.values())
+        capacity = -(-total // n_shards)
+        totals = [sum(table[pid] for pid in group) for group in plan.shards]
+        # FFD with one merge pass: no shard carries more than twice the
+        # ideal share (the classic FFD bound survives the merge because
+        # the two merged bins are the lightest).
+        assert max(totals) <= 2 * capacity
+        # Heaviest-first ordering: shard 0 is the hottest.
+        assert totals == sorted(totals, reverse=True)
+
+    def test_more_shards_than_partitions_pads_empty(self):
+        plan = plan_shards({1: 10, 2: 20}, 5)
+        assert plan.n_shards == 5
+        assert sum(1 for group in plan.shards if group) <= 2
+        assert plan.all_partitions == [1, 2]
+
+    def test_deterministic(self):
+        assert plan_shards(sizes(), 3) == plan_shards(sizes(), 3)
+
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(ValueError, match="n_shards"):
+            plan_shards(sizes(), 0)
+        with pytest.raises(ValueError, match="replication"):
+            plan_shards(sizes(), 3, replication=3)
+        with pytest.raises(ValueError, match="replication"):
+            plan_shards(sizes(), 3, replication=-1)
+
+
+class TestChainedReplicas:
+    @pytest.fixture(scope="class")
+    def plan(self):
+        return plan_shards(sizes(), 4, replication=2)
+
+    def test_hosts_owner_first_ring_order(self, plan):
+        for pid in plan.all_partitions:
+            hosts = plan.hosts_of(pid)
+            owner = plan.owner_of(pid)
+            assert hosts[0] == owner
+            assert len(hosts) == plan.replication + 1
+            assert len(set(hosts)) == len(hosts)
+            assert hosts == [(owner + i) % 4 for i in range(3)]
+
+    def test_hosted_is_primaries_plus_chained_copies(self, plan):
+        for shard_id in range(plan.n_shards):
+            hosted = set(plan.hosted(shard_id))
+            expected = set(plan.shards[shard_id])
+            for source in plan.replica_sources(shard_id):
+                expected.update(plan.shards[source])
+            assert hosted == expected
+
+    def test_losing_one_shard_removes_one_host_per_partition(self, plan):
+        # The failure-domain property chaining buys: any single shard
+        # death costs every partition at most one replica.
+        for dead in range(plan.n_shards):
+            for pid in plan.all_partitions:
+                hosts = plan.hosts_of(pid)
+                assert sum(1 for h in hosts if h == dead) <= 1
+
+    def test_replication_zero_means_owner_only(self):
+        plan = plan_shards(sizes(), 3, replication=0)
+        for pid in plan.all_partitions:
+            assert plan.hosts_of(pid) == [plan.owner_of(pid)]
+            assert plan.hosted(plan.owner_of(pid)).count(pid) == 1
+
+
+class TestWireForm:
+    def test_round_trip(self):
+        plan = plan_shards(sizes(), 3, replication=1)
+        doc = plan.to_dict()
+        assert ShardPlan.from_dict(doc) == plan
+        # JSON-safe: only ints and lists.
+        import json
+
+        assert ShardPlan.from_dict(json.loads(json.dumps(doc))) == plan
+
+    def test_validation_on_load(self):
+        with pytest.raises(ValueError, match="owned by two shards"):
+            ShardPlan.from_dict(
+                {"n_shards": 2, "replication": 0, "shards": [[1, 2], [2]]}
+            )
+        with pytest.raises(ValueError, match="expected"):
+            ShardPlan.from_dict(
+                {"n_shards": 3, "replication": 0, "shards": [[1], [2]]}
+            )

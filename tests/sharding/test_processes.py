@@ -1,0 +1,101 @@
+"""Spawned shard processes: the real topology, end to end.
+
+One deliberately small cluster (spawn + per-shard index load is the
+expensive part) proving the process path carries the same guarantees
+the threads-mode suite pins exhaustively: bit-identical answers, and
+replica failover across a genuine ``SIGKILL``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import TardisConfig, build_tardis_index
+from repro.core.persistence import save_index
+from repro.core.queries import exact_match, knn_multi_partitions_access
+from repro.serving import QueryRequest
+from repro.sharding import RouterIndex, RouterService, ShardCluster
+from repro.tsdb import random_walk
+
+
+@pytest.fixture(scope="module")
+def proc_dataset():
+    return random_walk(900, length=48, seed=31).z_normalized()
+
+
+@pytest.fixture(scope="module")
+def proc_index(proc_dataset):
+    return build_tardis_index(
+        proc_dataset, TardisConfig(g_max_size=120, l_max_size=24, pth=4)
+    )
+
+
+@pytest.fixture(scope="module")
+def index_dir(proc_index, tmp_path_factory):
+    path = tmp_path_factory.mktemp("proc-shards") / "index"
+    save_index(proc_index, path)
+    return str(path)
+
+
+def test_process_cluster_equivalence_and_sigkill_failover(
+    proc_index, proc_dataset, index_dir
+):
+    from repro.sharding.assignment import plan_shards
+
+    plan = plan_shards(
+        {pid: p.n_records for pid, p in proc_index.partitions.items()},
+        2, replication=1,
+    )
+    queries = random_walk(6, length=48, seed=32).z_normalized().values
+    knn_refs = [
+        knn_multi_partitions_access(proc_index, q, 10) for q in queries
+    ]
+    row = proc_dataset.values[5]
+    exact_ref = exact_match(proc_index, row)
+
+    with ShardCluster(
+        plan, mode="processes", index_dir=index_dir,
+        service_kwargs={"result_cache_size": None, "max_delay_ms": 1.0},
+    ) as cluster:
+        with RouterService(
+            RouterIndex.from_index(proc_index), plan, cluster.addresses,
+            result_cache_size=None, call_timeout_s=15.0,
+            health_interval_s=0.0,
+        ) as router:
+            for q, want in zip(queries, knn_refs):
+                got = router.query(QueryRequest(
+                    q, op="knn", strategy="multi-partitions", k=10
+                ), timeout=60)
+                assert got.record_ids == want.record_ids
+                assert got.distances == want.distances
+                assert not got.degraded
+            got_exact = router.query(
+                QueryRequest(row, op="exact-match"), timeout=60
+            )
+            assert got_exact.record_ids == exact_ref.record_ids
+
+            # SIGKILL one shard: R=1 keeps every partition served.
+            cluster.kill_shard(0)
+            assert not cluster.alive(0)
+            for q, want in zip(queries, knn_refs):
+                got = router.query(QueryRequest(
+                    q, op="knn", strategy="multi-partitions", k=10
+                ), timeout=60)
+                assert got.record_ids == want.record_ids
+                assert got.distances == want.distances
+                assert not got.degraded
+            report = router.stats()
+    assert report["requests_degraded"] == 0
+    assert report["requests_failed"] == 0
+
+
+def test_dead_process_startup_is_a_typed_error(index_dir):
+    """A shard that dies during startup surfaces a RuntimeError naming
+    the shard, not a hang on the address pipe."""
+    from repro.sharding.assignment import ShardPlan
+
+    plan = ShardPlan(n_shards=1, replication=0, shards=((),))
+    cluster = ShardCluster(
+        plan, mode="processes", index_dir=index_dir + "-nonexistent",
+    )
+    with pytest.raises(RuntimeError, match="shard 0"):
+        cluster.start()
