@@ -25,6 +25,13 @@ null spans, so two identical disabled configurations must agree to <3%
 within run noise.  The enabled-tracing overhead is reported alongside
 for sizing.
 
+The *trace-overhead* section repeats that discipline on the sharded
+scatter/gather path: the same multi-partitions workload against a
+2-shard cluster with the distributed-tracing plane off, sampled at 10%
+and fully on.  Carrier stamping and compact span shipping only run for
+sampled-in traces, so the off/sampled/full spread prices the cluster
+observability plane; only the disabled A/B delta gates (<3%).
+
 A final *attribution* pass re-runs the batched closed loop with the
 kernel cost counters on (docs/OBSERVABILITY.md, "Cost attribution &
 profiling") and reports how much of the pass's wall the named kernels
@@ -349,6 +356,113 @@ def shard_scaling(index, pool, args) -> dict:
     return {"scaling": rows, "failover": failover_row}
 
 
+def trace_overhead(index, pool, args) -> dict:
+    """Distributed-tracing cost on the *sharded* path, off/sampled/full.
+
+    The single-service overhead pass above prices span bookkeeping; this
+    one prices the cluster plane the scatter/gather path adds on top —
+    carrier stamping on every shard call, compact span shipping in
+    replies, and router-side re-parenting (docs/OBSERVABILITY.md,
+    "Distributed tracing across shards").  Three configurations over the
+    identical multi-partitions workload: tracing disabled (no-op null
+    spans, no carrier on the wire), sampled at 10% (the production
+    default posture — only 1 in 10 traces ships shard summaries), and
+    full (every trace ships).  Like the single-service pass, only the
+    disabled A/B delta gates: with tracing off the sharded hot path must
+    be indistinguishable from itself.
+    """
+    from repro.sharding import RouterIndex, RouterService, ShardCluster
+    from repro.telemetry.spans import disable_tracing, enable_tracing
+
+    router_index = RouterIndex.from_index(index)
+    topology = {"shards": 2, "replicas": 0, "pth": index.config.pth}
+
+    off_a: list[float] = []
+    off_b: list[float] = []
+    sampled: list[float] = []
+    full: list[float] = []
+    # One cluster serves every pass: cluster spin-up and first-touch
+    # partition loads are far noisier than the instrumentation being
+    # measured, so rebuilding per pass (as the single-service overhead
+    # pass does) would drown the signal.  The sampling rate is flipped
+    # on the live router between passes — it is read per call.
+    with ShardCluster.for_index(
+        index, topology["shards"], topology["replicas"], mode="threads",
+        service_kwargs={"result_cache_size": None, "max_delay_ms": 1.0},
+    ) as cluster:
+        with RouterService(
+            router_index, cluster.plan, cluster.addresses,
+            result_cache_size=None, call_timeout_s=20.0,
+            health_interval_s=0.0, trace_sample=1.0,
+        ) as router:
+
+            # Sharded passes run an order of magnitude slower than the
+            # single-service ones (socket hops per scatter leg), so the
+            # per-pass qps estimate is noisier: longer passes and two
+            # extra repetitions buy the medians back their stability.
+            total = max(args.shard_total, 320)
+            reps = args.overhead_reps + 2
+
+            def one_pass(trace_sample: float) -> float:
+                router.trace_sample = trace_sample
+                report = closed_loop(
+                    router, pool, total=total, concurrency=8,
+                    seed=37, op="knn", strategy="multi-partitions", k=10,
+                )
+                return report.achieved_qps
+
+            disable_tracing()
+            one_pass(1.0)  # warm partition caches and thread pools
+            one_pass(1.0)
+            for _ in range(reps):
+                disable_tracing()
+                off_a.append(one_pass(1.0))  # tracer off: no carrier
+                off_b.append(one_pass(1.0))
+                tracer = enable_tracing(reset=True)
+                tracer.set_root_limit(64)
+                sampled.append(one_pass(0.1))
+                tracer = enable_tracing(reset=True)
+                tracer.set_root_limit(64)
+                full.append(one_pass(1.0))
+            disable_tracing()
+
+    off = off_a + off_b
+    qps_off = float(np.median(off))
+    qps_sampled = float(np.median(sampled))
+    qps_full = float(np.median(full))
+    disabled_delta_pct = (
+        100.0 * abs(float(np.median(off_a)) - float(np.median(off_b)))
+        / qps_off
+    )
+    row = {
+        "scenario": "trace-overhead-sharded",
+        "topology": topology,
+        "reps": reps,
+        "total_per_pass": total,
+        "trace_sample_rate": 0.1,
+        "qps_tracing_off": round(qps_off, 1),
+        "qps_trace_sampled": round(qps_sampled, 1),
+        "qps_trace_full": round(qps_full, 1),
+        "tracing_off_reps_qps": [round(v, 1) for v in off],
+        "sampled_reps_qps": [round(v, 1) for v in sampled],
+        "full_reps_qps": [round(v, 1) for v in full],
+        "disabled_delta_pct": round(disabled_delta_pct, 2),
+        "sampled_overhead_pct": round(
+            100.0 * (qps_off - qps_sampled) / qps_off, 2
+        ),
+        "full_overhead_pct": round(
+            100.0 * (qps_off - qps_full) / qps_off, 2
+        ),
+    }
+    print(
+        f"  trace-ovh  sharded off {qps_off:8.0f} q/s  "
+        f"sampled {qps_sampled:8.0f} q/s ({row['sampled_overhead_pct']:+.2f}%)  "
+        f"full {qps_full:8.0f} q/s ({row['full_overhead_pct']:+.2f}%)  "
+        f"disabled A/B delta {disabled_delta_pct:.2f}%"
+    )
+    return row
+
+
 def run(args) -> dict:
     dataset = random_walk(args.series, length=args.length, seed=97)
     dataset = dataset.z_normalized()
@@ -372,11 +486,22 @@ def run(args) -> dict:
         f"query pool {len(pool)}"
     )
 
-    closed = closed_loop_scenarios(index, pool, args)
-    open_row = open_loop_scenario(index, pool, args)
-    overhead_row = observability_overhead(index, pool, args)
-    attribution_row = kernel_attribution(index, pool, args)
-    sharded = shard_scaling(index, pool, args)
+    # Sections run selectively (--sections) so CI jobs can gate one
+    # surface — e.g. the sharded tracing-overhead check — without
+    # paying for the whole suite.  Checks over a skipped section record
+    # null, the same "skipped, not passed" convention as the host gate.
+    on = args.sections
+    closed = closed_loop_scenarios(index, pool, args) \
+        if "closed" in on else []
+    open_row = open_loop_scenario(index, pool, args) \
+        if "open" in on else None
+    overhead_row = observability_overhead(index, pool, args) \
+        if "overhead" in on else None
+    trace_row = trace_overhead(index, pool, args) \
+        if "trace" in on else None
+    attribution_row = kernel_attribution(index, pool, args) \
+        if "attribution" in on else None
+    sharded = shard_scaling(index, pool, args) if "shards" in on else None
 
     def ratio(concurrency: int, scenario: str) -> float:
         for row in closed:
@@ -387,39 +512,44 @@ def run(args) -> dict:
 
     high = [c for c in args.concurrencies if c >= 8]
     checks = {
-        "open_loop_zero_shed": open_row["shed"] == 0
-        and open_row["errors"] == 0,
+        "open_loop_zero_shed": (
+            open_row["shed"] == 0 and open_row["errors"] == 0
+        ) if open_row else None,
         "batching_reduces_partition_loads": all(
             ratio(c, "batched") < ratio(c, "unbatched") for c in high
-        ),
+        ) if closed else None,
         "all_queries_answered": all(
             row["completed"] == row["sent"] for row in closed
-        ),
+        ) if closed else None,
         "disabled_tracing_overhead_in_noise": (
             overhead_row["disabled_delta_pct"] < 3.0
-        ),
+        ) if overhead_row else None,
+        "sharded_disabled_tracing_in_noise": (
+            trace_row["disabled_delta_pct"] < 3.0
+        ) if trace_row else None,
         # Shard scaling needs real cores: on a box with fewer than 4
         # schedulable CPUs, extra shard processes only add context
         # switches, so the monotonic-QPS claim is untestable there —
         # recorded as null (skipped), same spirit as bench_parallel's
         # oversubscription flag.
-        "shard_qps_monotonic": all(
+        "shard_qps_monotonic": (all(
             later["achieved_qps"] > earlier["achieved_qps"]
             for earlier, later in zip(
                 sharded["scaling"], sharded["scaling"][1:]
             )
-        ) if host_info()["cpu_affinity"] >= 4 else None,
+        ) if host_info()["cpu_affinity"] >= 4 else None)
+        if sharded else None,
         "shard_p99_within_slo": all(
             row["latency"]["p99_s"] * 1000.0 <= args.slo_ms
             for row in sharded["scaling"]
-        ),
+        ) if sharded else None,
         "shard_failover_zero_failures": (
             sharded["failover"]["errors"] == 0
             and sharded["failover"]["shed"] == 0
             and sharded["failover"]["degraded"] == 0
             and sharded["failover"]["completed"]
             == sharded["failover"]["sent"]
-        ),
+        ) if sharded else None,
     }
     return {
         "benchmark": "serving",
@@ -437,12 +567,14 @@ def run(args) -> dict:
             "batch_max": args.batch,
             "batch_delay_ms": 2.0,
         },
+        "sections": sorted(on),
         "closed_loop": closed,
         "open_loop": open_row,
         "observability_overhead": overhead_row,
+        "trace_overhead": trace_row,
         "attribution": attribution_row,
-        "shard_scaling": sharded["scaling"],
-        "shard_failover": sharded["failover"],
+        "shard_scaling": sharded["scaling"] if sharded else None,
+        "shard_failover": sharded["failover"] if sharded else None,
         "checks": checks,
     }
 
@@ -468,7 +600,20 @@ def main() -> int:
                         help="requests per shard-scaling run")
     parser.add_argument("--slo-ms", type=float, default=500.0,
                         help="p99 bound for the shard-scaling check")
+    parser.add_argument(
+        "--sections", default="closed,open,overhead,trace,attribution,shards",
+        metavar="LIST",
+        help="comma list of sections to run (checks over skipped "
+             "sections record null)")
     args = parser.parse_args()
+    known = {"closed", "open", "overhead", "trace", "attribution", "shards"}
+    args.sections = {
+        s.strip() for s in args.sections.split(",") if s.strip()
+    }
+    unknown = args.sections - known
+    if unknown:
+        parser.error(f"unknown sections {sorted(unknown)}; "
+                     f"choose from {sorted(known)}")
     args.series = args.series or (1500 if args.smoke else 4000)
     args.pool = args.pool or (32 if args.smoke else 64)
     args.total = args.total or (240 if args.smoke else 800)

@@ -339,6 +339,7 @@ def _cmd_serve_sharded(args) -> int:
         cluster = ShardCluster(
             plan, mode="processes", index_dir=args.index,
             faults_path=args.faults, service_kwargs=service_kwargs,
+            tracing=not args.no_trace_requests,
         )
     try:
         cluster.start()
@@ -352,6 +353,8 @@ def _cmd_serve_sharded(args) -> int:
             journal_sample=args.journal_sample,
             default_deadline_ms=args.deadline_ms,
             call_timeout_s=args.call_timeout,
+            trace_sample=args.trace_sample,
+            scrape_interval_s=args.scrape_interval,
         )
         server = TardisServer(router, args.host, args.port)
     except (ValueError, OSError, RuntimeError) as exc:
@@ -376,14 +379,19 @@ def _cmd_serve_sharded(args) -> int:
     except KeyboardInterrupt:
         pass
     server.close(drain=True)
+    if args.journal:
+        # Drain the shards before they go away: the merged journal
+        # carries router records plus every shard's, provenance-tagged.
+        router.write_cluster_journal(args.journal)
+        logger.info("wrote merged cluster journal to %s", args.journal)
     cluster.stop()
     report = router.stats()
     if args.report:
         Path(args.report).write_text(json.dumps(report, indent=2) + "\n")
         logger.info("wrote SLO report to %s", args.report)
-    if args.journal:
-        telemetry.write_journal(router.journal, args.journal)
-        logger.info("wrote event journal to %s", args.journal)
+    if args.trace_file:
+        telemetry.write_trace(telemetry.get_tracer(), args.trace_file)
+        logger.info("wrote cluster traces to %s", args.trace_file)
     latency = report["latency"]
     print(
         f"served {report['requests_completed']} requests "
@@ -493,6 +501,41 @@ def _print_remote_trace(trace: dict | None) -> None:
     print("\n".join(summary.splitlines()[1:]))
 
 
+def _cmd_trace(args) -> int:
+    """Render a cluster request's scatter/gather waterfall.
+
+    With a trace id, fetches that request's stitched span tree from the
+    server (router traces include the re-parented shard segments);
+    without one, renders the slowest of the last N retained traces.
+    """
+    from .serving import ServingClient
+
+    try:
+        client = ServingClient(args.host, args.port, timeout=args.timeout)
+    except OSError as exc:
+        raise SystemExit(f"cannot connect to {args.host}:{args.port}: {exc}")
+    with client:
+        try:
+            payload = client.traces(n=args.n, trace_id=args.trace_id)
+        except (ConnectionError, RuntimeError, OSError) as exc:
+            raise SystemExit(f"trace fetch failed: {exc}")
+    if not payload.get("enabled"):
+        print("tracing is disabled on the server "
+              "(started with --no-trace-requests?)", file=sys.stderr)
+        return 1
+    traces = payload.get("traces") or []
+    if not traces:
+        what = args.trace_id or "any recent trace"
+        print(f"no trace found for {what}", file=sys.stderr)
+        return 1
+    if args.trace_id:
+        doc = traces[0]
+    else:
+        doc = max(traces, key=lambda t: t.get("duration_s", 0.0))
+    print(telemetry.render_waterfall(doc, width=args.width))
+    return 0
+
+
 def _cmd_top(args) -> int:
     """Poll a running server's SLO/journal state and print live rows."""
     from .serving import ServingClient
@@ -560,6 +603,11 @@ def _cmd_top(args) -> int:
                     f"failures {shard.get('failures', 0)}",
                     flush=True,
                 )
+            cluster = report.get("cluster")
+            if cluster:
+                _print_cluster_view(cluster)
+                if not args.no_waterfall and report.get("tracing"):
+                    _print_slowest_waterfall(client)
             if iterations is not None:
                 iterations -= 1
                 if iterations <= 0:
@@ -568,6 +616,54 @@ def _cmd_top(args) -> int:
                 _time.sleep(args.interval)
             except KeyboardInterrupt:
                 return 0
+
+
+def _print_cluster_view(cluster: dict) -> None:
+    """The federated per-shard rows of cluster ``top`` (scraped shard
+    registries: true per-process numbers, unlike the router-side call
+    counters above)."""
+    latency = cluster.get("shard_latency")
+    tail = ""
+    if latency:
+        tail = (
+            f" | shard p50/p95/p99 "
+            f"{latency['p50_s'] * 1e3:.2f}/{latency['p95_s'] * 1e3:.2f}/"
+            f"{latency['p99_s'] * 1e3:.2f} ms "
+            f"({latency['samples']} merged samples)"
+        )
+    print(
+        f"  cluster: {cluster.get('scrapes', 0)} scrapes "
+        f"({cluster.get('failed_scrapes', 0)} failed)" + tail,
+        flush=True,
+    )
+    for row in cluster.get("shards", []):
+        hot = row.get("hot_kernel")
+        queue = row.get("queue_depth")
+        print(
+            f"    shard {row['shard_id']} | "
+            f"qps {row.get('qps', 0.0):7.1f} | "
+            f"shard-knn {row.get('shard_knn_requests', 0):.0f} | "
+            f"queue {'-' if queue is None else int(queue)} | "
+            f"journal {row.get('journal_events', 0)}"
+            + (f" | hot {hot}" if hot else ""),
+            flush=True,
+        )
+
+
+def _print_slowest_waterfall(client) -> None:
+    """Cluster ``top``'s timeline pane: the slowest recent request's
+    cross-shard waterfall (router segments + re-parented shard spans)."""
+    try:
+        payload = client.traces(n=16)
+    except (ConnectionError, RuntimeError, OSError):
+        return
+    traces = payload.get("traces") or []
+    if not traces:
+        return
+    doc = max(traces, key=lambda t: t.get("duration_s", 0.0))
+    rendered = telemetry.render_waterfall(doc, width=40)
+    for line in rendered.splitlines():
+        print(f"  {line}", flush=True)
 
 
 def _cmd_stats(args) -> int:
@@ -785,6 +881,17 @@ def build_parser() -> argparse.ArgumentParser:
                       help="disable per-request tracing (on by default)")
     shrv.add_argument("--trace-roots", type=int, default=512, metavar="N",
                       help="finished request traces kept in memory")
+    shrv.add_argument("--trace-sample", type=float, default=1.0, metavar="P",
+                      help="fraction of traces whose shard span summaries "
+                           "ship back in replies (0..1, deterministic in "
+                           "the trace id)")
+    shrv.add_argument("--trace-file", metavar="FILE",
+                      help="write retained cluster traces as JSON on "
+                           "shutdown")
+    shrv.add_argument("--scrape-interval", type=float, default=2.0,
+                      metavar="S",
+                      help="seconds between federation scrapes of shard "
+                           "journals/metrics/kernels (0 disables)")
     shrv.add_argument("--slow-query-ms", type=float, default=100.0,
                       metavar="MS",
                       help="journal requests slower than MS as slow-query")
@@ -792,8 +899,9 @@ def build_parser() -> argparse.ArgumentParser:
                       metavar="P",
                       help="also journal a P fraction of all requests")
     shrv.add_argument("--journal", metavar="FILE",
-                      help="write the event journal as JSON lines on "
-                           "shutdown")
+                      help="write the merged cluster journal (router + "
+                           "every shard, provenance-tagged) as JSON lines "
+                           "on shutdown")
     shrv.add_argument("--deadline-ms", type=float, default=None, metavar="MS",
                       help="default per-request latency budget")
     shrv.set_defaults(fn=_cmd_serve_sharded)
@@ -836,7 +944,24 @@ def build_parser() -> argparse.ArgumentParser:
                      help="seconds between refreshes")
     top.add_argument("--iterations", type=int, default=None, metavar="N",
                      help="stop after N rows (default: until Ctrl-C)")
+    top.add_argument("--no-waterfall", action="store_true",
+                     help="skip the slowest-request timeline pane in the "
+                          "cluster view")
     top.set_defaults(fn=_cmd_top)
+
+    trc = add_parser("trace",
+                     help="render a request's scatter/gather waterfall "
+                          "from a running server")
+    trc.add_argument("trace_id", nargs="?", default=None,
+                     help="trace id (default: slowest recent request)")
+    trc.add_argument("--host", default="127.0.0.1")
+    trc.add_argument("--port", type=int, required=True)
+    trc.add_argument("--timeout", type=float, default=10.0)
+    trc.add_argument("-n", type=int, default=32, metavar="N",
+                     help="recent traces to consider when no id is given")
+    trc.add_argument("--width", type=int, default=56,
+                     help="timeline bar width in characters")
+    trc.set_defaults(fn=_cmd_trace)
 
     stats = add_parser("stats",
                        help="pretty-print a saved --trace or --perf file")

@@ -45,6 +45,12 @@ class QueryRequest:
     #: part of plan_key/cache_key — a deadline changes *when* work is
     #: abandoned, never the answer.
     deadline_ms: float | None = None
+    #: Remote trace context (``repro.tracectx/v1`` carrier extracted by
+    #: the server): when set, the service roots this request's span tree
+    #: under the caller's trace instead of minting a fresh one.  Like
+    #: the deadline, it is identity-irrelevant — never part of
+    #: plan_key/cache_key.
+    trace_ctx: "object | None" = field(default=None, compare=False)
     _digest: str = field(default="", repr=False, compare=False)
 
     def __post_init__(self) -> None:

@@ -103,6 +103,8 @@ def _parse_request(doc: dict) -> QueryRequest:
     Only known fields are read; unknown fields are ignored (forward
     compatibility across router/shard version skew).
     """
+    from ..telemetry.carrier import extract
+
     series = doc.get("series")
     if not isinstance(series, list) or not series:
         raise ValueError("'series' must be a non-empty list of numbers")
@@ -114,7 +116,36 @@ def _parse_request(doc: dict) -> QueryRequest:
         pth=doc.get("pth"),
         use_bloom=bool(doc.get("use_bloom", True)),
         deadline_ms=doc.get("deadline_ms"),
+        trace_ctx=extract(doc),
     )
+
+
+def _telemetry_payload(service: QueryService, doc: dict) -> dict:
+    """Answer the ``telemetry`` wire op: journal drain + metrics + kernels.
+
+    The router's federation scraper calls this periodically.  The
+    journal ships incrementally (``since_seq`` is the caller's
+    watermark; only newer events return), the metrics registry ships as
+    its full :meth:`MetricsRegistry.to_wire` state (the scraper diffs
+    against its previous scrape), and kernel-profiler totals ride along
+    when counters are enabled.
+    """
+    from ..telemetry.metrics import get_registry
+    from ..telemetry.perf import KERNELS
+
+    since = int(doc.get("since_seq", 0) or 0)
+    events = [e for e in service.journal.snapshot() if e["seq"] > since]
+    payload = {
+        "shard_id": getattr(service, "shard_id", None),
+        "journal": {
+            "events": events,
+            "stats": service.journal.stats(),
+        },
+        "metrics": get_registry().to_wire(),
+    }
+    if KERNELS.enabled:
+        payload["kernels"] = KERNELS.totals()
+    return payload
 
 
 class _Handler(socketserver.StreamRequestHandler):
@@ -180,6 +211,11 @@ class _Handler(socketserver.StreamRequestHandler):
                 ),
                 "stats": service.journal.stats(),
             }}
+        if op == "telemetry":
+            try:
+                return {"ok": True, "result": _telemetry_payload(service, doc)}
+            except (ValueError, TypeError) as exc:
+                return _error("bad-request", str(exc))
         extra_ops = getattr(service, "extra_ops", None)
         if extra_ops and op in extra_ops:
             # Service-specific ops (e.g. a shard's "shard-knn" scatter
@@ -244,7 +280,24 @@ class _Handler(socketserver.StreamRequestHandler):
             # The service ends the root span before resolving the future,
             # so the tree is complete here; None when tracing is off.
             root = getattr(future, "trace_root", None)
-            envelope["trace"] = root.to_dict() if root is not None else None
+            if root is None:
+                envelope["trace"] = None
+            elif request.trace_ctx is not None:
+                # Router-originated call: ship the capped compact form
+                # under the deterministic sampling knob, never the full
+                # recursive tree (reply size must stay bounded no
+                # matter the fan-out).
+                from ..telemetry.carrier import compact_spans, should_ship
+
+                rate = float(doc.get("trace_sample", 1.0))
+                envelope["trace"] = (
+                    compact_spans(root)
+                    if should_ship(root.trace_id, rate) else None
+                )
+            else:
+                # Direct (human) client: the full tree drives the
+                # query-remote --trace timeline.
+                envelope["trace"] = root.to_dict()
         return envelope
 
     def _reply(self, doc: dict) -> None:
@@ -437,6 +490,15 @@ class ServingClient:
         if kind:
             doc["kind"] = kind
         return self._result(doc)
+
+    def telemetry(self, since_seq: int = 0) -> dict:
+        """Drain the server's observability state (federation scrape).
+
+        Returns journal events newer than ``since_seq``, the full
+        metrics registry in wire form, and kernel totals when profiling
+        is enabled — see ``_telemetry_payload``.
+        """
+        return self._result({"op": "telemetry", "since_seq": since_seq})
 
     def exact_match(
         self, series, use_bloom: bool = True, trace: bool = False,

@@ -222,10 +222,25 @@ class QueryService:
             raise RuntimeError("service is not running (use start()/with)")
         self._validate(request)
         tracer = get_tracer()
-        root = tracer.start_span(
-            "serve/request", op=request.op,
-            **({"strategy": request.strategy} if request.op == "knn" else {}),
+        attrs = (
+            {"strategy": request.strategy} if request.op == "knn" else {}
         )
+        ctx = getattr(request, "trace_ctx", None)
+        if ctx is not None:
+            # Forwarded from a router: join the remote trace instead of
+            # minting a new one.  The root's parent lives in the router
+            # process, so end_span will not collect it locally — it ships
+            # back in the reply for re-parenting (shard-side half of the
+            # repro.tracectx/v1 carrier; see telemetry.carrier).
+            shard_id = getattr(self, "shard_id", None)
+            if shard_id is not None:
+                attrs["shard_id"] = shard_id
+            root = tracer.start_remote_span(
+                "shard/request", ctx.trace_id, ctx.parent_span_id,
+                op=request.op, **attrs,
+            )
+        else:
+            root = tracer.start_span("serve/request", op=request.op, **attrs)
         future: Future = Future()
         if isinstance(root, Span):
             future.trace_root = root

@@ -43,12 +43,20 @@ _ADDRESS_WAIT_S = 120.0
 def _shard_main(
     conn, index_dir: str, hosted, shard_id: int, host: str,
     faults_path: str | None, service_kwargs: dict | None,
+    tracing: bool = False,
 ) -> None:
     """Entry point of a spawned shard process (module-level for spawn)."""
     if faults_path:
         from ..faults.injector import install_plan
 
         install_plan(faults_path)
+    if tracing:
+        # The child has its own tracer: without this, carrier-stamped
+        # shard-knn calls would execute untraced and the router's
+        # waterfall would show bare route/shard-call legs.
+        from ..telemetry.spans import enable_tracing
+
+        enable_tracing().set_root_limit(256)
     from ..core.persistence import load_index
 
     index = load_index(index_dir)
@@ -102,6 +110,7 @@ class ShardCluster:
         host: str = "127.0.0.1",
         faults_path: str | None = None,
         service_kwargs: dict | None = None,
+        tracing: bool = False,
     ):
         if mode not in ("threads", "processes"):
             raise ValueError(f"unknown cluster mode {mode!r}")
@@ -116,6 +125,9 @@ class ShardCluster:
         self.host = host
         self.faults_path = None if faults_path is None else str(faults_path)
         self.service_kwargs = dict(service_kwargs or {})
+        #: Enable tracing inside spawned shard processes (threads mode
+        #: shares the parent's tracer, so the flag is a no-op there).
+        self.tracing = bool(tracing)
         self._shards: list = []
         self._addresses: list[tuple[str, int]] = []
         self._started = False
@@ -169,7 +181,7 @@ class ShardCluster:
                 args=(
                     child_conn, self.index_dir, self.plan.hosted(shard_id),
                     shard_id, self.host, self.faults_path,
-                    self.service_kwargs,
+                    self.service_kwargs, self.tracing,
                 ),
                 name=f"repro-shard-{shard_id}",
                 daemon=True,

@@ -56,12 +56,19 @@ from ..serving.result_cache import ResultCache
 from ..serving.server import RequestTimeoutError, ServingClient
 from ..serving.service import Ticket
 from ..serving.slo import SLOTracker
+from ..telemetry.carrier import inject, spans_from_compact
 from ..telemetry.context import trace_id_of
-from ..telemetry.journal import EventJournal, SlowQueryLog, get_journal
+from ..telemetry.journal import (
+    EventJournal,
+    SlowQueryLog,
+    get_journal,
+    write_merged_journal,
+)
 from ..telemetry.metrics import get_registry
 from ..telemetry.spans import Span, get_tracer, span_from_dict
 from ..tsdb.paa import paa_transform
 from .assignment import ShardPlan
+from .federation import ClusterTelemetry
 from .synopsis import RouterIndex
 
 __all__ = ["RouterService", "ShardUnavailableError"]
@@ -133,6 +140,8 @@ class RouterService:
         call_timeout_s: float = 30.0,
         retry: RetryPolicy | None = None,
         health_interval_s: float = 1.0,
+        trace_sample: float = 1.0,
+        scrape_interval_s: float = 0.0,
     ):
         if len(addresses) != plan.n_shards:
             raise ValueError(
@@ -161,6 +170,12 @@ class RouterService:
             None if default_deadline_ms is None
             else default_deadline_ms / 1000.0
         )
+        if not 0.0 <= trace_sample <= 1.0:
+            raise ValueError("trace_sample must be within [0, 1]")
+        #: Fraction of traces whose shard span summaries ship back in
+        #: replies (deterministic in the trace id; see telemetry.carrier).
+        self.trace_sample = trace_sample
+        self.scrape_interval_s = scrape_interval_s
         self._shards = {
             shard_id: _ShardState(shard_id, address)
             for shard_id, address in enumerate(addresses)
@@ -174,6 +189,11 @@ class RouterService:
         )
         self._health_stop = threading.Event()
         self._health_thread: threading.Thread | None = None
+        self.telemetry = ClusterTelemetry(
+            self._telemetry_fetch, list(self._shards)
+        )
+        self._scrape_stop = threading.Event()
+        self._scrape_thread: threading.Thread | None = None
         self._started = False
         self._stopped = False
 
@@ -198,6 +218,13 @@ class RouterService:
                 daemon=True,
             )
             self._health_thread.start()
+        if self.scrape_interval_s > 0:
+            self._scrape_thread = threading.Thread(
+                target=self._scrape_loop,
+                name="repro-router-scrape",
+                daemon=True,
+            )
+            self._scrape_thread.start()
         logger.info(
             "router started: %d shards, R=%d, %d workers, policy=%s",
             self.plan.n_shards, self.plan.replication, self.workers,
@@ -211,6 +238,7 @@ class RouterService:
             return
         self._stopped = True
         self._health_stop.set()
+        self._scrape_stop.set()
         if not drain:
             self.queue.close()
             while True:
@@ -227,6 +255,8 @@ class RouterService:
             thread.join(timeout)
         if self._health_thread is not None:
             self._health_thread.join(2.0)
+        if self._scrape_thread is not None:
+            self._scrape_thread.join(2.0)
         self._fanout.shutdown(wait=False)
         logger.info("router stopped (drained=%s)", drain)
 
@@ -608,14 +638,29 @@ class RouterService:
                 "route/shard-call", parent=parent_span,
                 shard_id=shard_id, op=op, attempt=attempt,
             )
+            if attempt > 1:
+                # A re-route after a failed replica: tag the span so the
+                # waterfall shows the failover leg explicitly.
+                call_span.set("failover", True)
+            call_doc = doc
+            carrier = inject(call_span)
+            if carrier is not None:
+                call_doc = dict(
+                    doc, ctx=carrier, trace_sample=self.trace_sample
+                )
             try:
-                envelope = self._call_once(shard_id, op, doc, attempt)
+                envelope = self._call_once(shard_id, op, call_doc, attempt)
                 result = self._unwrap(envelope)
             except _ShardCallError as exc:
                 call_span.set("error", str(exc))
                 tracer.end_span(call_span)
                 last_error = exc
                 excluded.add(shard_id)
+                self._journal_failover(
+                    shard_id, op, str(exc), attempt,
+                    partition_ids=[partition_id],
+                    trace_id=trace_id_of(parent_span),
+                )
                 if attempt < retry.max_attempts:
                     self._count_retry()
                     self._backoff(
@@ -627,6 +672,11 @@ class RouterService:
                 tracer.end_span(call_span)
                 last_error = exc
                 excluded.add(shard_id)
+                self._journal_failover(
+                    shard_id, op, "partial-result", attempt,
+                    partition_ids=[partition_id],
+                    trace_id=trace_id_of(parent_span),
+                )
                 if attempt < retry.max_attempts:
                     self._count_retry()
                     self._backoff(
@@ -649,14 +699,44 @@ class RouterService:
             "Router replica-failover retry attempts",
         ).inc()
 
+    def _journal_failover(
+        self, shard_id: int, op: str, reason: str, attempt: int,
+        partition_ids=None, trace_id: str | None = None,
+    ) -> None:
+        """Record a failover event: shard ``shard_id`` failed ``op`` and
+        the router is re-routing (or giving up).  ``shard_id`` is the
+        shard the event is *about* — provenance the merged cluster
+        journal preserves even though the record originates here."""
+        fields: dict = {
+            "shard_id": int(shard_id), "op": op,
+            "reason": reason, "attempt": int(attempt),
+        }
+        if partition_ids:
+            fields["partition_ids"] = sorted(int(p) for p in partition_ids)
+        if trace_id:
+            fields["trace_id"] = trace_id
+        self.journal.record("failover", **fields)
+
     def _adopt_trace(self, trace_doc, parent_span) -> None:
-        """Stitch a shard-returned span tree under the router's call span."""
+        """Stitch a shard-returned span tree under the router's call span.
+
+        Handles both reply forms: the compact flat summary shards ship
+        on the carrier path (rebuilt via ``spans_from_compact``) and the
+        full recursive tree older shards / direct traces return.  Either
+        way the subtree is rebased onto the call span's start, so
+        cluster waterfalls lay router and shard segments on one axis.
+        """
         tracer = get_tracer()
         if not trace_doc or not tracer.enabled:
             return
         if not isinstance(parent_span, Span):
             return
-        tracer.adopt([span_from_dict(trace_doc)], parent=parent_span)
+        if isinstance(trace_doc, dict) and trace_doc.get("compact"):
+            root = spans_from_compact(trace_doc, base_s=parent_span.start_s)
+        else:
+            root = span_from_dict(trace_doc, base_s=parent_span.start_s)
+        if root is not None:
+            tracer.adopt([root], parent=parent_span)
 
     def _execute_forward(
         self, request: QueryRequest, parent_span, deadline_at: float | None
@@ -726,10 +806,14 @@ class RouterService:
         # attempt, so their exclusions are cleared when the host set is
         # exhausted; load failures already burned the shard's in-process
         # retry budget and are excluded for good.
+        tracer = get_tracer()
         seed_reply = None
         seed_shard = None
         call_failed: set[int] = set()
         load_failed: set[int] = set()
+        seed_span = tracer.start_span(
+            "route/seed", parent=parent_span, home_partition=home_pid,
+        )
         for attempt in range(1, retry.max_attempts + 1):
             self._check_deadline(deadline_at)
             home_shard = self._pick_host(home_pid, call_failed | load_failed)
@@ -741,7 +825,7 @@ class RouterService:
             hosted = set(self.plan.hosted(home_shard))
             seed_pids = [pid for pid in pid_list if pid in hosted]
             reply = self._shard_knn_call(
-                home_shard, series, k, seed_pids, parent_span,
+                home_shard, series, k, seed_pids, seed_span,
                 home_pid=home_pid, attempt=attempt, trace=want_trace,
             )
             if reply is None:
@@ -756,12 +840,20 @@ class RouterService:
                 # The shard answered but its copy of the home partition
                 # would not load: a replica may still hold a good copy.
                 load_failed.add(home_shard)
+                self._journal_failover(
+                    home_shard, "shard-knn", "home-lost", attempt,
+                    partition_ids=[home_pid],
+                    trace_id=trace_id_of(parent_span),
+                )
                 self._count_retry()
                 continue
             seed_reply = reply
             seed_shard = home_shard
             break
         home_lost = seed_reply is None
+        if home_lost:
+            seed_span.set("error", "home-lost")
+        tracer.end_span(seed_span)
         if home_lost:
             # The threshold partition is gone everywhere: the answer
             # degrades to the empty (trivially correct) subset, exactly
@@ -793,9 +885,15 @@ class RouterService:
         if seed_reply is not None:
             for pid in seed_reply.get("missing", []):
                 loads_failed[pid].add(seed_shard)
+        scatter_span = tracer.start_span(
+            "route/scatter", parent=parent_span,
+            n_partitions=len(pending),
+        )
+        rounds = 0
         for round_no in range(1, retry.max_attempts + 1):
             if not pending:
                 break
+            rounds = round_no
             self._check_deadline(deadline_at)
             groups: dict[int, list] = {}
             for pid in pending:
@@ -815,7 +913,7 @@ class RouterService:
             futures = {
                 host: self._fanout.submit(
                     self._shard_knn_call, host, series, k, pids,
-                    parent_span, None, threshold, round_no, want_trace,
+                    scatter_span, None, threshold, round_no, want_trace,
                 )
                 for host, pids in groups.items()
             }
@@ -828,9 +926,16 @@ class RouterService:
                     continue
                 replies.append(reply)
                 loaded.update(reply.get("loaded", []))
-                for pid in reply.get("missing", []):
+                failed_loads = reply.get("missing", [])
+                if failed_loads:
                     # The shard was up but its copy failed to load —
                     # another replica may still serve it.
+                    self._journal_failover(
+                        host, "shard-knn", "load-failed", round_no,
+                        partition_ids=failed_loads,
+                        trace_id=trace_id_of(parent_span),
+                    )
+                for pid in failed_loads:
                     loads_failed[pid].add(host)
                     pending.append(pid)
             if pending and round_no < retry.max_attempts:
@@ -839,6 +944,8 @@ class RouterService:
                     round_no, deadline_at, "shard", "scan", "shard-knn"
                 )
         missing.update(pending)
+        scatter_span.set("rounds", rounds)
+        tracer.end_span(scatter_span)
         if home_lost:
             self._count_degraded()
             return KnnResult(
@@ -853,6 +960,9 @@ class RouterService:
         # Gather: identical merge to the single-process MPA loop —
         # (distance, record_id) sort, record-id dedup, k-truncate, then
         # the synopsis-bound prefix cut when partitions went missing.
+        gather_span = tracer.start_span(
+            "route/gather", parent=parent_span, replies=len(replies),
+        )
         neighbors = [
             (float(d), int(r))
             for reply in replies for d, r in reply.get("neighbors", [])
@@ -872,11 +982,19 @@ class RouterService:
             safe_bound = min(
                 self.index.bound_of(pid, paa) for pid in missing_list
             )
+            cut_span = tracer.start_span(
+                "route/degraded-cut", parent=gather_span,
+                degraded=True, missing_partitions=missing_list,
+                safe_bound=float(safe_bound),
+            )
             deduped = [
                 (d, r) for d, r in deduped if d < safe_bound
             ]
+            tracer.end_span(cut_span)
             degraded = True
             self._count_degraded()
+        gather_span.set("merged", len(deduped))
+        tracer.end_span(gather_span)
         result = KnnResult(
             neighbors=[Neighbor(d, r) for d, r in deduped],
             partitions_loaded=len(loaded),
@@ -919,6 +1037,12 @@ class RouterService:
             shard_id=shard_id, op="shard-knn", attempt=attempt,
             n_partitions=len(pids), seed=home_pid is not None,
         )
+        if attempt > 1:
+            call_span.set("failover", True)
+        carrier = inject(call_span)
+        if carrier is not None:
+            doc["ctx"] = carrier
+            doc["trace_sample"] = self.trace_sample
         try:
             envelope = self._call_once(shard_id, "shard-knn", doc, attempt)
             reply = self._unwrap(envelope)
@@ -926,10 +1050,48 @@ class RouterService:
                 RuntimeError) as exc:
             call_span.set("error", f"{type(exc).__name__}: {exc}")
             tracer.end_span(call_span)
+            self._journal_failover(
+                shard_id, "shard-knn", f"{type(exc).__name__}: {exc}",
+                attempt, partition_ids=pids,
+                trace_id=trace_id_of(parent_span),
+            )
             return None
         self._adopt_trace(reply.get("trace"), call_span)
         tracer.end_span(call_span)
         return reply
+
+    # -- cluster telemetry (federation scrape) ------------------------------
+
+    def _telemetry_fetch(self, shard_id: int, since_seq: int):
+        """Fetch one shard's ``telemetry`` payload; ``None`` on failure
+        (the scraper keeps stale state and an untouched watermark)."""
+        try:
+            envelope = self._call_once(
+                shard_id, "telemetry",
+                {"op": "telemetry", "since_seq": int(since_seq)},
+                attempt=1,
+            )
+            return self._unwrap(envelope)
+        except (_ShardCallError, RuntimeError):
+            return None
+
+    def _scrape_loop(self) -> None:
+        while not self._scrape_stop.wait(self.scrape_interval_s):
+            self.telemetry.scrape()
+
+    def scrape_now(self) -> dict:
+        """One synchronous federation scrape (CLI/top and shutdown)."""
+        return self.telemetry.scrape()
+
+    def write_cluster_journal(self, path) -> dict:
+        """Drain every shard once more, then write the provenance-tagged
+        merged cluster journal (router + all shards) to ``path``."""
+        self.scrape_now()
+        sources = {"router": self.journal.snapshot()}
+        sources.update(self.telemetry.shard_journals())
+        stats = {"router": self.journal.stats()}
+        stats.update(self.telemetry.shard_journal_stats())
+        return write_merged_journal(path, sources, stats)
 
     # -- health -------------------------------------------------------------
 
@@ -963,6 +1125,8 @@ class RouterService:
                 None if self.default_deadline_s is None
                 else self.default_deadline_s * 1000.0
             ),
+            "trace_sample": self.trace_sample,
+            "scrape_interval_s": self.scrape_interval_s,
         }
         report["topology"] = {
             "shards": self.plan.n_shards,
@@ -978,6 +1142,8 @@ class RouterService:
             report["result_cache"] = self.result_cache.stats()
         report["journal"] = self.journal.stats()
         report["tracing"] = get_tracer().enabled
+        if self.telemetry.scrapes > 0:
+            report["cluster"] = self.telemetry.cluster_report()
         return report
 
     def recent_traces(
@@ -989,3 +1155,12 @@ class RouterService:
             return [root.to_dict()] if root is not None else []
         roots = tracer.roots
         return [root.to_dict() for root in roots[-max(0, n):]] if n > 0 else []
+
+    def slowest_recent_trace(self, window: int = 32) -> dict | None:
+        """Full span tree of the slowest request among the last
+        ``window`` retained roots — cluster ``top``'s timeline pane."""
+        roots = get_tracer().roots[-max(1, window):]
+        if not roots:
+            return None
+        slowest = max(roots, key=lambda r: r.duration_s or 0.0)
+        return slowest.to_dict()

@@ -26,6 +26,7 @@ whole query.
 from __future__ import annotations
 
 import logging
+import time
 
 import numpy as np
 
@@ -33,8 +34,11 @@ from ..core.builder import TardisIndex
 from ..core.local_index import ScanStats
 from ..core.queries import _top_k, query_signature
 from ..faults.errors import PartitionUnavailableError
+from ..telemetry.carrier import compact_spans, extract, should_ship
+from ..telemetry.metrics import get_registry
 from ..telemetry.spans import Span, get_tracer
 from ..serving.service import QueryService
+from ..serving.slo import LATENCY_BUCKETS
 
 __all__ = ["ShardService", "subset_index", "run_shard_knn"]
 
@@ -171,12 +175,24 @@ class ShardService(QueryService):
             )
         home_pid = doc.get("home")
         threshold = doc.get("threshold")
+        ctx = extract(doc)
         tracer = get_tracer()
-        root = tracer.start_span(
-            "shard/request", op="shard-knn", shard_id=self.shard_id,
-            n_partitions=len(partition_ids),
-        )
+        if ctx is not None:
+            # Carrier present: join the router's trace.  The remote
+            # parent keeps this root out of the shard's local root
+            # collection — it travels back in the reply instead.
+            root = tracer.start_remote_span(
+                "shard/request", ctx.trace_id, ctx.parent_span_id,
+                op="shard-knn", shard_id=self.shard_id,
+                n_partitions=len(partition_ids),
+            )
+        else:
+            root = tracer.start_span(
+                "shard/request", op="shard-knn", shard_id=self.shard_id,
+                n_partitions=len(partition_ids),
+            )
         token = tracer.attach(root)
+        started = time.perf_counter()
         try:
             reply = run_shard_knn(
                 self.index, series, k, partition_ids,
@@ -186,9 +202,46 @@ class ShardService(QueryService):
         finally:
             tracer.detach(token)
             tracer.end_span(root)
+            latency_s = time.perf_counter() - started
+            self._mark_shard_knn(latency_s, len(partition_ids))
+        self.slow_log.observe(
+            latency_s,
+            trace_id=root.trace_id if isinstance(root, Span) else None,
+            op="shard-knn", shard_id=self.shard_id,
+            partitions=sorted(partition_ids),
+        )
         if doc.get("trace") and isinstance(root, Span):
-            reply["trace"] = root.to_dict()
+            if ctx is not None:
+                # Never the full recursive tree on the router path: a
+                # large fan-out shard-knn can open hundreds of load/scan
+                # spans, so replies carry the capped compact summary,
+                # and only for deterministically sampled traces.
+                rate = float(doc.get("trace_sample", 1.0))
+                reply["trace"] = (
+                    compact_spans(root)
+                    if should_ship(root.trace_id, rate) else None
+                )
+            else:
+                reply["trace"] = root.to_dict()
         return reply
+
+    def _mark_shard_knn(self, latency_s: float, n_partitions: int) -> None:
+        """Per-shard scatter-op accounting (the federation scrape feeds
+        cluster QPS and merged latency percentiles from these)."""
+        registry = get_registry()
+        registry.counter(
+            "shard_knn_requests_total",
+            "shard-knn scatter calls answered by this shard",
+        ).inc()
+        registry.counter(
+            "shard_knn_partitions_total",
+            "Partitions scanned by shard-knn scatter calls",
+        ).inc(n_partitions)
+        registry.histogram(
+            "shard_request_seconds",
+            "shard-knn wall latency on the shard (handler thread)",
+            buckets=LATENCY_BUCKETS,
+        ).observe(latency_s)
 
     def stats(self) -> dict:
         report = super().stats()

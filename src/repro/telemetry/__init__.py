@@ -30,12 +30,23 @@ Typical use::
 """
 
 from . import context, log
+from .carrier import (
+    CARRIER_SCHEMA,
+    COMPACT_SPAN_CAP,
+    TraceContext,
+    compact_spans,
+    extract,
+    inject,
+    should_ship,
+    spans_from_compact,
+)
 from .context import attach, current_span, detach, trace_id_of, under_parent
 from .exporters import (
     TRACE_SCHEMA,
     aggregate_spans,
     metrics_to_text,
     orphan_roots,
+    render_waterfall,
     summarize_trace,
     trace_to_dict,
     validate_metrics_text,
@@ -43,15 +54,24 @@ from .exporters import (
     write_metrics,
     write_trace,
 )
+from .federation import (
+    federated_percentiles,
+    federated_quantile,
+    federation_to_text,
+    histogram_from_wire,
+    merge_registry_wires,
+)
 from .journal import (
     JOURNAL_SCHEMA,
     EventJournal,
     SlowQueryLog,
     get_journal,
+    merge_journal_events,
     validate_journal_header,
     validate_journal_lines,
     validate_journal_record,
     write_journal,
+    write_merged_journal,
 )
 from .perf import (
     KERNELS,
@@ -105,6 +125,14 @@ __all__ = [
     "traced",
     "new_trace_id",
     "span_from_dict",
+    "CARRIER_SCHEMA",
+    "COMPACT_SPAN_CAP",
+    "TraceContext",
+    "inject",
+    "extract",
+    "should_ship",
+    "compact_spans",
+    "spans_from_compact",
     "current_span",
     "attach",
     "detach",
@@ -127,6 +155,12 @@ __all__ = [
     "validate_metrics_text",
     "aggregate_spans",
     "summarize_trace",
+    "render_waterfall",
+    "merge_registry_wires",
+    "histogram_from_wire",
+    "federated_quantile",
+    "federated_percentiles",
+    "federation_to_text",
     "JOURNAL_SCHEMA",
     "EventJournal",
     "SlowQueryLog",
@@ -135,6 +169,8 @@ __all__ = [
     "validate_journal_record",
     "validate_journal_header",
     "validate_journal_lines",
+    "merge_journal_events",
+    "write_merged_journal",
     "PERF_SCHEMA",
     "TOP_LEVEL_KERNELS",
     "KERNELS",

@@ -38,6 +38,7 @@ from __future__ import annotations
 
 from contextlib import contextmanager
 
+from .carrier import CARRIER_SCHEMA, TraceContext, extract, inject
 from .spans import NULL_SPAN, NULL_TOKEN, Span, get_tracer, new_trace_id
 
 __all__ = [
@@ -48,6 +49,14 @@ __all__ = [
     "trace_id_of",
     "new_trace_id",
     "NULL_TOKEN",
+    # cross-process propagation (re-exported from .carrier): the wire
+    # form of the same explicit-parent handoff this module does between
+    # threads — inject() on the caller, extract() + start_remote_span()
+    # on the remote side.
+    "CARRIER_SCHEMA",
+    "TraceContext",
+    "inject",
+    "extract",
 ]
 
 

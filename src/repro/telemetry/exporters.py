@@ -39,6 +39,7 @@ __all__ = [
     "validate_metrics_text",
     "aggregate_spans",
     "summarize_trace",
+    "render_waterfall",
 ]
 
 TRACE_SCHEMA = "repro.trace/v1"
@@ -97,6 +98,11 @@ def _validate_span(span: object, path: str) -> int:
     duration = span.get("duration_s")
     if not isinstance(duration, (int, float)) or duration < 0:
         raise ValueError(f"{path}/{name}: duration_s must be a number >= 0")
+    offset = span.get("offset_s")
+    if offset is not None and (
+        not isinstance(offset, (int, float)) or offset < 0
+    ):
+        raise ValueError(f"{path}/{name}: offset_s must be a number >= 0")
     attributes = span.get("attributes", {})
     if not isinstance(attributes, dict):
         raise ValueError(f"{path}/{name}: attributes must be an object")
@@ -338,4 +344,57 @@ def summarize_trace(doc: dict, max_depth: int | None = None) -> str:
 
     for root in doc["spans"]:
         walk(root, 0)
+    return "\n".join(lines)
+
+
+def render_waterfall(span_doc: dict, width: int = 56,
+                     min_fraction: float = 0.0) -> str:
+    """Render one span tree as a scatter/gather waterfall timeline.
+
+    Each line places a span on the root's timeline using the additive
+    ``offset_s`` fields (children of re-parented shard subtrees carry
+    their rebased offsets, so router queue-wait, per-shard execute, and
+    gather-merge line up on one axis)::
+
+        serve/request                 12.41 ms |############################|
+          serve/queue-wait             0.32 ms |#                           |
+          route/shard-call shard=1     4.80 ms |    ########                |
+
+    ``min_fraction`` drops spans shorter than that fraction of the root
+    (declutters huge fan-outs); the root and first level always render.
+    """
+    total = max(float(span_doc.get("duration_s", 0.0)), 1e-12)
+    width = max(10, int(width))
+    rows: list[tuple[int, str, str, float, float]] = []
+
+    def walk(doc: dict, depth: int, abs_start: float) -> None:
+        start = abs_start + float(doc.get("offset_s", 0.0))
+        duration = float(doc.get("duration_s", 0.0))
+        if depth > 1 and duration < min_fraction * total:
+            return
+        attrs = doc.get("attributes", {}) or {}
+        tags = []
+        for key in ("shard_id", "op", "attempt", "failover", "degraded"):
+            if key in attrs:
+                tags.append(f"{key}={attrs[key]}")
+        label = doc.get("name", "?") + (f" [{', '.join(tags)}]" if tags
+                                        else "")
+        rows.append((depth, label, "", start, duration))
+        for child in doc.get("children", []) or []:
+            walk(child, depth + 1, start)
+
+    walk(span_doc, 0, 0.0)
+    label_width = min(48, max(len("  " * d + label) for d, label, *_ in rows))
+    lines = [
+        f"trace {span_doc.get('trace_id', '?')}  "
+        f"({span_doc.get('duration_s', 0.0) * 1e3:.2f} ms, "
+        f"{len(rows)} spans)"
+    ]
+    for depth, label, _, start, duration in rows:
+        text = ("  " * depth + label)[: label_width].ljust(label_width)
+        lead = int(round(width * min(start, total) / total))
+        bar = max(1, int(round(width * min(duration, total) / total)))
+        bar = min(bar, width - min(lead, width - 1))
+        lane = (" " * lead + "#" * bar).ljust(width)[:width]
+        lines.append(f"{text} {duration * 1e3:9.2f} ms |{lane}|")
     return "\n".join(lines)

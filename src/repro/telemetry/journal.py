@@ -46,6 +46,8 @@ __all__ = [
     "validate_journal_header",
     "validate_journal_lines",
     "write_journal",
+    "merge_journal_events",
+    "write_merged_journal",
 ]
 
 JOURNAL_SCHEMA = "repro.journal/v1"
@@ -201,6 +203,84 @@ def write_journal(journal: EventJournal, path: str | Path) -> Path:
     return path
 
 
+def merge_journal_events(sources: dict) -> list[dict]:
+    """Interleave per-process journals into one cluster-wide event list.
+
+    ``sources`` maps a source label — an integer shard id, or the string
+    ``"router"`` — to that process's event list (:meth:`EventJournal.
+    snapshot` or a ``telemetry``-op drain).  Every merged record gains:
+
+    * ``source`` — ``"router"`` or ``"shard-<id>"`` provenance;
+    * ``shard_id`` — the integer shard id for shard-sourced records
+      that do not already carry one (router records such as ``failover``
+      keep the shard id they named — the shard the event is *about*);
+    * ``src_seq`` — the sequence number in the originating journal.
+
+    Records sort by timestamp (ties broken by source then origin seq —
+    cross-host clocks are close enough for an operator timeline, and the
+    deterministic tie-break keeps re-merges byte-stable) and are
+    re-stamped with a fresh monotone ``seq`` so the merged dump still
+    satisfies :func:`validate_journal_lines`.
+    """
+    tagged: list[tuple] = []
+    for label, events in sources.items():
+        is_shard = isinstance(label, int)
+        source = f"shard-{label}" if is_shard else str(label)
+        for event in events or []:
+            record = dict(event)
+            record["source"] = source
+            record["src_seq"] = record.pop("seq", 0)
+            if is_shard and "shard_id" not in record:
+                record["shard_id"] = label
+            tagged.append(
+                (record.get("ts", 0.0), source, record["src_seq"], record)
+            )
+    tagged.sort(key=lambda row: row[:3])
+    merged = []
+    for seq, (_ts, _src, _n, record) in enumerate(tagged, start=1):
+        record["seq"] = seq
+        merged.append(record)
+    return merged
+
+
+def write_merged_journal(path: str | Path, sources: dict,
+                         source_stats: dict | None = None) -> Path:
+    """Dump a cluster-merged journal as JSON lines; returns the path.
+
+    Same format as :func:`write_journal` with the header extended for
+    provenance: ``sources`` lists every contributing process and the
+    ring accounting (``capacity``/``total``/``dropped``) sums over them,
+    so ``dropped > 0`` still means "this dump is a suffix of cluster
+    history".  ``source_stats`` maps the same labels as ``sources`` to
+    each journal's :meth:`EventJournal.stats` dict; without it the
+    header assumes nothing was evicted before the merge.
+    """
+    path = Path(path)
+    merged = merge_journal_events(sources)
+    retained = len(merged)
+    if source_stats:
+        capacity = sum(s.get("capacity", 0) for s in source_stats.values())
+        total = sum(s.get("total", 0) for s in source_stats.values())
+    else:
+        capacity = retained
+        total = retained
+    header = {
+        "schema": JOURNAL_SCHEMA,
+        "capacity": max(capacity, retained),
+        "retained": retained,
+        "total": max(total, retained),
+        "dropped": max(total, retained) - retained,
+        "sources": sorted(
+            f"shard-{label}" if isinstance(label, int) else str(label)
+            for label in sources
+        ),
+    }
+    lines = [json.dumps(header)]
+    lines += [json.dumps(event) for event in merged]
+    path.write_text("\n".join(lines) + "\n")
+    return path
+
+
 def validate_journal_record(doc: object) -> None:
     """Schema-check one journal record; raises ``ValueError`` on violation."""
     if not isinstance(doc, dict):
@@ -232,6 +312,21 @@ def validate_journal_record(doc: object) -> None:
             raise ValueError(
                 "fault record needs a non-empty 'injected' fault kind"
             )
+    if doc["kind"] == "failover":
+        shard_id = doc.get("shard_id")
+        if not isinstance(shard_id, int) or shard_id < 0:
+            raise ValueError(
+                "failover record needs an integer shard_id >= 0"
+            )
+    if "shard_id" in doc:
+        shard_id = doc["shard_id"]
+        if not isinstance(shard_id, int) or isinstance(shard_id, bool) \
+                or shard_id < 0:
+            raise ValueError("'shard_id' must be an integer >= 0 when present")
+    if "source" in doc and (
+        not isinstance(doc["source"], str) or not doc["source"]
+    ):
+        raise ValueError("'source' must be a non-empty string when present")
 
 
 def validate_journal_header(doc: dict) -> None:
@@ -248,6 +343,14 @@ def validate_journal_header(doc: dict) -> None:
         raise ValueError(
             "header accounting broken: dropped != total - retained"
         )
+    sources = doc.get("sources")
+    if sources is not None:
+        if not isinstance(sources, list) or not all(
+            isinstance(s, str) and s for s in sources
+        ):
+            raise ValueError(
+                "header 'sources' must be a list of non-empty strings"
+            )
 
 
 def validate_journal_lines(text: str) -> int:

@@ -216,6 +216,40 @@ class Histogram(_Instrument):
             lower = bound
         return self.bounds[-1]
 
+    def merge(self, other: "Histogram") -> None:
+        """Fold ``other``'s observations into this histogram, losslessly.
+
+        Bucket counts, sum, and count add element-wise — the federation
+        primitive that makes cluster percentiles correct: merging the
+        per-shard *buckets* and then taking :meth:`quantile` is exactly
+        equivalent to having observed the concatenated samples into one
+        histogram, whereas averaging per-shard percentiles is not a
+        percentile of anything.  Requires identical bucket bounds
+        (always true for instruments created from the same code path).
+        """
+        if not isinstance(other, Histogram):
+            raise TypeError("can only merge another Histogram")
+        if other.bounds != self.bounds:
+            raise ValueError(
+                f"cannot merge histograms with different buckets: "
+                f"{self.name!r} has {len(self.bounds)} bounds, "
+                f"{other.name!r} has {len(other.bounds)}"
+            )
+        with other._lock:
+            counts = list(other._bucket_counts)
+            other_sum = other._sum
+            other_count = other._count
+        with self._lock:
+            for i, n in enumerate(counts):
+                self._bucket_counts[i] += n
+            self._sum += other_sum
+            self._count += other_count
+
+    def bucket_counts(self) -> list[int]:
+        """Per-bucket (non-cumulative) counts, ``+Inf`` last (a copy)."""
+        with self._lock:
+            return list(self._bucket_counts)
+
     def reset(self) -> None:
         with self._lock:
             self._bucket_counts = [0] * (len(self.bounds) + 1)
@@ -328,6 +362,35 @@ class MetricsRegistry:
                         instrument.kind, instrument.help, change
                     )
         return deltas
+
+    def to_wire(self) -> dict:
+        """Full instrument state in JSON-safe form, keyed by name.
+
+        The federation scrape payload (see
+        :mod:`repro.telemetry.federation`): unlike :meth:`snapshot`,
+        this form carries kind/help/bounds so the *receiving* side can
+        reconstruct instruments it has never seen, and it is plain
+        lists/dicts so it survives the JSON wire.
+        """
+        wire: dict = {}
+        for instrument in self.instruments():
+            if isinstance(instrument, Histogram):
+                with instrument._lock:
+                    wire[instrument.name] = {
+                        "kind": "histogram",
+                        "help": instrument.help,
+                        "bounds": list(instrument.bounds),
+                        "buckets": list(instrument._bucket_counts),
+                        "sum": instrument._sum,
+                        "count": instrument._count,
+                    }
+            else:
+                wire[instrument.name] = {
+                    "kind": instrument.kind,
+                    "help": instrument.help,
+                    "value": instrument.value,
+                }
+        return wire
 
     def absorb(self, deltas: dict) -> None:
         """Apply a delta_since() document from another process."""

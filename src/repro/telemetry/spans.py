@@ -134,16 +134,23 @@ class Span:
         for child in self.children:
             yield from child.iter_spans()
 
-    def to_dict(self) -> dict:
-        """JSON-serializable form (see docs/OBSERVABILITY.md for schema)."""
+    def to_dict(self, _parent_start: float | None = None) -> dict:
+        """JSON-serializable form (see docs/OBSERVABILITY.md for schema).
+
+        Children additionally carry ``offset_s`` — their start relative
+        to the parent's start — so waterfall renderers can lay spans out
+        on a shared timeline without shipping absolute clock readings.
+        """
         doc = {
             "name": self.name,
             "trace_id": self.trace_id,
             "span_id": self.span_id,
             "duration_s": round(self.duration_s, 9),
             "attributes": {k: _jsonable(v) for k, v in self.attributes.items()},
-            "children": [child.to_dict() for child in self.children],
+            "children": [child.to_dict(self.start_s) for child in self.children],
         }
+        if _parent_start is not None:
+            doc["offset_s"] = round(max(0.0, self.start_s - _parent_start), 9)
         if self.parent_id is not None:
             doc["parent_id"] = self.parent_id
         return doc
@@ -153,14 +160,16 @@ class Span:
                f"{len(self.children)} children)"
 
 
-def span_from_dict(doc: dict) -> Span:
+def span_from_dict(doc: dict, base_s: float = 0.0) -> Span:
     """Rebuild a span tree from its :meth:`Span.to_dict` wire form.
 
     The sharded router uses this to adopt the span tree a shard returned
     in a reply envelope (:meth:`Tracer.adopt` with the router's call
     span as parent then re-stamps the trace id across the subtree).
-    Durations survive the round trip; absolute wall-clock instants do
-    not cross the wire, so ``start_s`` is rebased to zero.
+    Durations and relative ``offset_s`` positions survive the round
+    trip; absolute wall-clock instants do not cross the wire, so the
+    rebuilt tree is rebased to ``base_s`` (the adopting side passes its
+    call span's start so the subtree lands on the local timeline).
     """
     span = Span(
         doc.get("name", "?"),
@@ -170,10 +179,10 @@ def span_from_dict(doc: dict) -> Span:
     )
     if doc.get("span_id"):
         span.span_id = doc["span_id"]
-    span.start_s = 0.0
-    span.end_s = float(doc.get("duration_s", 0.0))
+    span.start_s = base_s + float(doc.get("offset_s", 0.0))
+    span.end_s = span.start_s + float(doc.get("duration_s", 0.0))
     for child in doc.get("children") or []:
-        child_span = span_from_dict(child)
+        child_span = span_from_dict(child, base_s=span.start_s)
         child_span.parent_id = span.span_id
         span.children.append(child_span)
     return span
@@ -321,6 +330,25 @@ class Tracer:
         if parent is not None and isinstance(parent, Span):
             parent.link_child(span)
         return span
+
+    def start_remote_span(self, name: str, trace_id: str,
+                          parent_span_id: str, **attributes):
+        """Begin a span whose parent lives in another process.
+
+        The distributed-tracing entry point on the *receiving* side of a
+        ``repro.tracectx/v1`` carrier (see
+        :mod:`repro.telemetry.carrier`): the span joins the remote
+        request's ``trace_id`` and names the caller's span as its
+        parent.  Because ``parent_id`` is set, :meth:`end_span` will
+        *not* collect it as a local root — the shard ships it back in
+        the reply for the router to re-parent, so remote-rooted work
+        never pollutes the local orphan gate.  Returns
+        :data:`NULL_SPAN` when disabled.
+        """
+        if not self.enabled:
+            return NULL_SPAN
+        return Span(name, attributes, trace_id=trace_id,
+                    parent_id=parent_span_id)
 
     def end_span(self, span) -> None:
         """Finish a :meth:`start_span` span; roots join the collection.

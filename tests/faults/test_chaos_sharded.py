@@ -15,7 +15,9 @@ and to whole shards (``shard_id``):
   while the same dead shard with R=1 changes nothing at all.
 """
 
+import json
 from contextlib import contextmanager
+from pathlib import Path
 
 import pytest
 
@@ -156,6 +158,68 @@ class TestShardLossDegradesSoundly:
                     assert got.record_ids == want.record_ids
                     assert got.distances == want.distances
                     assert not got.degraded
+
+    def test_killed_shard_chaos_journals_failovers_without_orphans(
+        self, chaos_index, chaos_queries, baselines, tmp_path
+    ):
+        """The CI chaos plan plus a hard-killed shard: the *merged*
+        cluster journal must carry the failover re-route events with
+        the dead shard's id as provenance, and the stitched cluster
+        trace must stay orphan-free — failover legs are tagged child
+        spans of the one request trace, never roots of their own."""
+        from repro.telemetry import write_trace
+        from repro.telemetry.journal import validate_journal_lines
+        from repro.telemetry.spans import disable_tracing, enable_tracing
+        from repro.telemetry.validate import main as validate_main
+
+        plan_doc = json.loads(
+            (Path(__file__).parents[2] / "examples" / "faults_5pct.json")
+            .read_text()
+        )
+        dead = 1
+        tracer = enable_tracing()
+        try:
+            with active_plan(plan_doc):
+                with sharded(chaos_index, replication=1) as (
+                    router, cluster
+                ):
+                    cluster.kill_shard(dead)
+                    for q, want in zip(chaos_queries[:4], baselines[:4]):
+                        got = _mpa(router, q)
+                        assert got.record_ids == want.record_ids
+                        assert not got.degraded
+                    journal_path = tmp_path / "cluster.journal.jsonl"
+                    router.write_cluster_journal(journal_path)
+
+            text = journal_path.read_text()
+            assert validate_journal_lines(text) > 0
+            records = [json.loads(line) for line in text.splitlines()[1:]]
+            failovers = [r for r in records if r["kind"] == "failover"]
+            assert failovers, "killed shard produced no failover events"
+            assert any(r["shard_id"] == dead for r in failovers)
+            assert all(
+                isinstance(r["shard_id"], int) and r["shard_id"] >= 0
+                for r in failovers
+            )
+            # a failover re-route is visible in the trace as a tagged
+            # child span, and the forest stays orphan-free cluster-wide
+            trace_path = tmp_path / "trace.json"
+            write_trace(tracer, trace_path)
+            assert validate_main(
+                ["--trace", str(trace_path),
+                 "--expect-roots", "serve/request"]
+            ) == 0
+            failover_spans = [
+                span for root in tracer.roots
+                for span in root.iter_spans()
+                if span.attributes.get("failover")
+            ]
+            assert failover_spans
+            assert all(
+                span.name == "route/shard-call" for span in failover_spans
+            )
+        finally:
+            disable_tracing()
 
     def test_degraded_loss_never_cached(self, chaos_index, chaos_queries,
                                         baselines):

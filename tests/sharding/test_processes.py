@@ -88,6 +88,71 @@ def test_process_cluster_equivalence_and_sigkill_failover(
     assert report["requests_failed"] == 0
 
 
+def test_process_cluster_produces_one_stitched_trace(
+    proc_index, index_dir, tmp_path
+):
+    """Acceptance bar for the observability plane: 3 shards, R=1,
+    processes backend — one kNN produces exactly one trace with the
+    router's queue/scatter/gather segments and every shard's execute
+    segment re-parented across the process boundary, orphan-free."""
+    from repro.sharding.assignment import plan_shards
+    from repro.telemetry import write_trace
+    from repro.telemetry.spans import disable_tracing, enable_tracing
+    from repro.telemetry.validate import main as validate_main
+
+    plan = plan_shards(
+        {pid: p.n_records for pid, p in proc_index.partitions.items()},
+        3, replication=1,
+    )
+    query = random_walk(1, length=48, seed=33).z_normalized().values[0]
+    tracer = enable_tracing()
+    try:
+        with ShardCluster(
+            plan, mode="processes", index_dir=index_dir, tracing=True,
+            service_kwargs={"result_cache_size": None, "max_delay_ms": 1.0},
+        ) as cluster:
+            with RouterService(
+                RouterIndex.from_index(proc_index), plan, cluster.addresses,
+                result_cache_size=None, call_timeout_s=15.0,
+                health_interval_s=0.0,
+            ) as router:
+                result = router.query(QueryRequest(
+                    query, op="knn", strategy="multi-partitions", k=10
+                ), timeout=60)
+                assert result.neighbors and not result.degraded
+                telemetry_status = router.scrape_now()
+        assert all(telemetry_status.values())
+
+        roots = tracer.roots
+        assert [r.name for r in roots] == ["serve/request"]
+        doc = roots[0].to_dict()
+
+        def walk(span, parent=None):
+            yield span, parent
+            for child in span.get("children", []):
+                yield from walk(child, span)
+
+        names = {s["name"] for s, _ in walk(doc)}
+        for want in ("serve/queue-wait", "route/seed", "route/scatter",
+                     "route/gather", "route/shard-call", "shard/request"):
+            assert want in names, f"missing {want}"
+        shard_ids = set()
+        for span, parent in walk(doc):
+            assert span["trace_id"] == doc["trace_id"]
+            if span["name"] == "shard/request":
+                assert parent["name"] == "route/shard-call"
+                shard_ids.add(span["attributes"]["shard_id"])
+        assert len(shard_ids) >= 2  # execute segments from 2+ processes
+
+        path = tmp_path / "trace.json"
+        write_trace(tracer, path)
+        assert validate_main(
+            ["--trace", str(path), "--expect-roots", "serve/request"]
+        ) == 0
+    finally:
+        disable_tracing()
+
+
 def test_dead_process_startup_is_a_typed_error(index_dir):
     """A shard that dies during startup surfaces a RuntimeError naming
     the shard, not a hang on the address pipe."""

@@ -1,0 +1,149 @@
+"""Carrier round trips, deterministic sampling, and compact payloads.
+
+The ``repro.tracectx/v1`` carrier is what turns N per-process traces
+into one cluster trace: the router stamps it into shard-bound docs, the
+shard opens a *remote* root from it (which never lands in the shard's
+local root ring), and the subtree travels back as a capped compact
+payload the router rebases and re-parents.  Every leg of that contract
+is pinned here at the unit level; the cluster-shaped end-to-end checks
+live in ``tests/sharding/test_distributed_trace.py``.
+"""
+
+import pytest
+
+from repro.telemetry.carrier import (
+    CARRIER_SCHEMA,
+    COMPACT_SPAN_CAP,
+    TraceContext,
+    compact_spans,
+    extract,
+    inject,
+    should_ship,
+    spans_from_compact,
+)
+from repro.telemetry.spans import Span, Tracer
+
+
+@pytest.fixture
+def tracer():
+    return Tracer(enabled=True)
+
+
+class TestCarrierRoundTrip:
+    def test_inject_extract_round_trip(self, tracer):
+        span = tracer.start_span("route/shard-call", shard_id=1)
+        carrier = inject(span)
+        assert carrier["schema"] == CARRIER_SCHEMA
+        ctx = extract({"op": "shard-knn", "ctx": carrier})
+        assert ctx == TraceContext(span.trace_id, span.span_id)
+
+    def test_inject_null_span_returns_none(self):
+        disabled = Tracer(enabled=False)
+        assert inject(disabled.start_span("x")) is None
+
+    @pytest.mark.parametrize("doc", [
+        None,
+        {},
+        {"ctx": None},
+        {"ctx": "not-a-dict"},
+        {"ctx": {"schema": "wrong/v9", "trace_id": "t", "parent_span_id": "p"}},
+        {"ctx": {"schema": CARRIER_SCHEMA, "trace_id": "",
+                 "parent_span_id": "p"}},
+        {"ctx": {"schema": CARRIER_SCHEMA, "trace_id": "t",
+                 "parent_span_id": 7}},
+    ])
+    def test_extract_tolerates_malformed(self, doc):
+        assert extract(doc) is None
+
+    def test_remote_root_is_not_a_local_root(self, tracer):
+        """The load-bearing invariant: a root opened from a carrier has
+        a (remote) parent, so ``end_span`` never collects it locally —
+        it ships back in the reply instead of orphaning the trace."""
+        remote = tracer.start_remote_span("shard/request", "tid", "pid")
+        tracer.end_span(remote)
+        assert remote not in tracer.roots
+        assert remote.trace_id == "tid"
+        assert remote.parent_id == "pid"
+
+
+class TestShouldShip:
+    def test_edges(self):
+        assert should_ship("anything", 1.0) is True
+        assert should_ship("anything", 1.5) is True
+        assert should_ship("anything", 0.0) is False
+        assert should_ship(None, 0.5) is False
+        assert should_ship("", 0.5) is False
+
+    def test_deterministic_across_calls(self):
+        ids = [f"trace-{i:04x}" for i in range(500)]
+        first = [should_ship(t, 0.3) for t in ids]
+        second = [should_ship(t, 0.3) for t in ids]
+        assert first == second
+
+    def test_rate_roughly_proportional(self):
+        ids = [f"trace-{i:04x}" for i in range(2000)]
+        hits = sum(should_ship(t, 0.3) for t in ids)
+        assert 450 < hits < 750  # 600 expected; loose deterministic band
+
+    def test_monotone_in_rate(self):
+        """A trace shipped at a low rate is shipped at every higher one
+        (the hash threshold only moves up)."""
+        for trace_id in (f"t{i}" for i in range(200)):
+            if should_ship(trace_id, 0.2):
+                assert should_ship(trace_id, 0.7)
+
+
+def _tree(n_children: int) -> Span:
+    root = Span("shard/request", {"shard_id": 2})
+    root.end_s = root.start_s + 1.0
+    for i in range(n_children):
+        child = Span(f"query/load partition", {"partition_id": i},
+                     trace_id=root.trace_id, parent_id=root.span_id)
+        child.start_s = root.start_s + 0.001 * i
+        child.end_s = child.start_s + 0.0005
+        root.children.append(child)
+    return root
+
+
+class TestCompactSpans:
+    def test_round_trip_preserves_structure(self):
+        root = _tree(5)
+        payload = compact_spans(root)
+        assert payload["compact"] is True
+        assert payload["truncated"] == 0
+        rebuilt = spans_from_compact(payload, base_s=100.0)
+        assert rebuilt.name == "shard/request"
+        assert len(rebuilt.children) == 5
+        assert rebuilt.start_s == pytest.approx(100.0)
+        # rebased child offsets keep their relative layout
+        assert rebuilt.children[3].start_s == pytest.approx(100.0 + 0.003)
+        assert rebuilt.children[3].duration_s == pytest.approx(0.0005)
+        assert rebuilt.attributes["shard_id"] == 2
+
+    def test_cap_truncates_and_counts(self):
+        root = _tree(300)
+        payload = compact_spans(root)
+        assert len(payload["spans"]) == COMPACT_SPAN_CAP
+        assert payload["truncated"] == 301 - COMPACT_SPAN_CAP
+        rebuilt = spans_from_compact(payload)
+        assert rebuilt.attributes["spans_truncated"] == payload["truncated"]
+        assert len(rebuilt.children) == COMPACT_SPAN_CAP - 1
+
+    def test_payload_stays_bounded_regardless_of_fanout(self):
+        """Satellite regression: the wire payload for a huge fan-out
+        trace must not scale with the fan-out."""
+        import json
+
+        small = len(json.dumps(compact_spans(_tree(COMPACT_SPAN_CAP))))
+        huge = len(json.dumps(compact_spans(_tree(5000))))
+        assert huge <= small + 64  # only the truncated counter differs
+
+    def test_malformed_payloads_yield_none(self):
+        assert spans_from_compact(None) is None
+        assert spans_from_compact({"compact": True, "spans": []}) is None
+        assert spans_from_compact({"spans": [["a", 0, 0, "s", None, None]]}) \
+            is None
+
+    def test_compact_of_non_span_is_none(self):
+        assert compact_spans(None) is None
+        assert compact_spans({"name": "not-a-span"}) is None

@@ -1,0 +1,145 @@
+"""Merged cluster journal: provenance tagging, ordering, validation.
+
+The router drains every shard's journal over the ``telemetry`` wire op
+and folds the set — plus its own — into one timeline.  The merge must
+(a) preserve where each record came from and which shard it is about,
+(b) stay byte-stable under re-merge, and (c) still satisfy the
+``repro.journal/v1`` validator, header included.
+"""
+
+import json
+
+import pytest
+
+from repro.telemetry.journal import (
+    EventJournal,
+    merge_journal_events,
+    validate_journal_header,
+    validate_journal_lines,
+    validate_journal_record,
+    write_merged_journal,
+)
+
+
+def _journal_events(kinds, ts_start=100.0, **fields):
+    journal = EventJournal(capacity=64)
+    for i, kind in enumerate(kinds):
+        journal.record(kind, **fields)
+    events = journal.snapshot()
+    for i, event in enumerate(events):
+        event["ts"] = ts_start + i  # deterministic cross-source ordering
+    return events
+
+
+class TestMergeJournalEvents:
+    def test_provenance_tagging(self):
+        merged = merge_journal_events({
+            "router": _journal_events(["shed"], ts_start=100.0),
+            0: _journal_events(["slow-query"], ts_start=50.0),
+        })
+        assert [r["source"] for r in merged] == ["shard-0", "router"]
+        shard_record = merged[0]
+        assert shard_record["shard_id"] == 0
+        assert shard_record["src_seq"] == 1
+
+    def test_router_failover_keeps_named_shard(self):
+        """A router-recorded failover is *about* a shard: the merge must
+        not overwrite that shard id with router provenance."""
+        journal = EventJournal(capacity=8)
+        journal.record("failover", shard_id=2, op="shard-knn",
+                       reason="connection reset", attempt=1)
+        merged = merge_journal_events({"router": journal.snapshot()})
+        assert merged[0]["source"] == "router"
+        assert merged[0]["shard_id"] == 2
+
+    def test_sorted_by_ts_and_restamped_monotone(self):
+        merged = merge_journal_events({
+            0: _journal_events(["a", "b"], ts_start=10.0),
+            1: _journal_events(["c", "d"], ts_start=9.5),
+        })
+        assert [r["seq"] for r in merged] == [1, 2, 3, 4]
+        assert [r["ts"] for r in merged] == sorted(r["ts"] for r in merged)
+
+    def test_remerge_is_byte_stable(self):
+        sources = {
+            "router": _journal_events(["x", "y"], ts_start=5.0),
+            3: _journal_events(["z"], ts_start=5.0),  # ts tie with router
+        }
+        first = merge_journal_events(
+            {k: [dict(e) for e in v] for k, v in sources.items()}
+        )
+        second = merge_journal_events(
+            {k: [dict(e) for e in v] for k, v in sources.items()}
+        )
+        assert json.dumps(first) == json.dumps(second)
+
+    def test_every_merged_record_validates(self):
+        merged = merge_journal_events({
+            "router": _journal_events(["shed"]),
+            1: _journal_events(["slow-query", "slow-query"],
+                               latency_s=0.2),
+        })
+        for record in merged:
+            validate_journal_record(record)
+
+
+class TestWriteMergedJournal:
+    def test_written_dump_passes_validator(self, tmp_path):
+        path = tmp_path / "cluster.jsonl"
+        write_merged_journal(path, {
+            "router": _journal_events(["shed"]),
+            0: _journal_events(["slow-query"], latency_s=0.3),
+            1: [],
+        })
+        text = path.read_text()
+        assert validate_journal_lines(text) == 2
+        header = json.loads(text.splitlines()[0])
+        assert header["sources"] == ["router", "shard-0", "shard-1"]
+
+    def test_header_sums_ring_accounting(self, tmp_path):
+        path = tmp_path / "cluster.jsonl"
+        stats = {
+            "router": {"capacity": 100, "total": 150, "retained": 100},
+            0: {"capacity": 50, "total": 50, "retained": 50},
+        }
+        write_merged_journal(path, {
+            "router": _journal_events(["a"]),
+            0: _journal_events(["b"]),
+        }, stats)
+        header = json.loads(path.read_text().splitlines()[0])
+        assert header["capacity"] == 150
+        assert header["total"] == 200
+        assert header["dropped"] == 200 - header["retained"]
+        validate_journal_header(header)
+
+
+class TestValidatorExtensions:
+    def _base(self, **extra):
+        record = {"seq": 1, "ts": 1.0, "kind": "failover", "shard_id": 0}
+        record.update(extra)
+        return record
+
+    def test_failover_requires_shard_id(self):
+        record = self._base()
+        del record["shard_id"]
+        with pytest.raises(ValueError, match="shard_id"):
+            validate_journal_record(record)
+
+    @pytest.mark.parametrize("bad", [-1, "0", 1.5, True])
+    def test_shard_id_must_be_nonnegative_int(self, bad):
+        with pytest.raises(ValueError):
+            validate_journal_record(self._base(shard_id=bad))
+
+    def test_source_must_be_nonempty_string(self):
+        validate_journal_record(self._base(source="shard-0"))
+        with pytest.raises(ValueError):
+            validate_journal_record(self._base(source=""))
+        with pytest.raises(ValueError):
+            validate_journal_record(self._base(source=7))
+
+    def test_header_sources_must_be_nonempty_strings(self):
+        header = {"schema": "repro.journal/v1", "capacity": 1,
+                  "retained": 0, "total": 0, "dropped": 0,
+                  "sources": ["router", ""]}
+        with pytest.raises(ValueError):
+            validate_journal_header(header)
