@@ -12,6 +12,10 @@ code:
 * ``stats`` — pretty-print a trace (or ``repro.perf/v1`` kernel
   report) previously saved with ``--trace``/``--perf``
 * ``serve`` — long-lived JSON-lines TCP query server over an index
+  (``--wal``/``--rebalance`` enable streamed writes with durability
+  and online re-packing)
+* ``replay`` — reconstruct an index from a base directory plus a
+  serve WAL (crash recovery; ``--check`` deep-validates the result)
 * ``query-remote`` — query (or fetch SLO stats from) a running server
 * ``top`` — live operational view of a running server (SLO, queue,
   caches, partition skew), refreshed on an interval
@@ -268,16 +272,26 @@ def _cmd_serve(args) -> int:
             slow_query_threshold_ms=args.slow_query_ms,
             journal_sample=args.journal_sample,
             default_deadline_ms=args.deadline_ms,
+            wal=args.wal,
+            rebalance=args.rebalance,
+            rebalance_overflow=args.rebalance_overflow,
+            rebalance_interval_s=args.rebalance_interval,
         )
         server = TardisServer(service, args.host, args.port)
     except (ValueError, OSError) as exc:
         raise SystemExit(str(exc))
     server.start()
     host, port = server.address
+    ingest = ""
+    if args.wal:
+        ingest = f", wal={args.wal}"
+        if args.rebalance:
+            ingest += f", rebalance@{args.rebalance_overflow}x"
     print(
         f"serving {args.index} on {host}:{port} "
         f"(policy={args.policy}, queue={args.queue}, "
-        f"batch<={args.batch_max}/{args.batch_delay_ms}ms; Ctrl-C to stop)",
+        f"batch<={args.batch_max}/{args.batch_delay_ms}ms{ingest}; "
+        "Ctrl-C to stop)",
         flush=True,
     )
     stop = threading.Event()
@@ -307,6 +321,49 @@ def _cmd_serve(args) -> int:
         f"{latency['p99_s'] * 1000:.2f} ms"
     )
     return 0
+
+
+def _cmd_replay(args) -> int:
+    """Reconstruct an index from its base directory plus a WAL.
+
+    Appends re-insert with their original record ids; committed
+    rebalance cycles re-run deterministically at their commit points,
+    so the replayed index answers queries bit-identically to the live
+    process over every acknowledged write.  Uncommitted cycles (crash
+    mid-split/mid-swap) are discarded — the pre-split layout stands.
+    """
+    from .core.wal import WalError, replay_wal
+
+    index = load_index(Path(args.index))
+    try:
+        report = replay_wal(index, args.wal)
+    except WalError as exc:
+        raise SystemExit(f"corrupt WAL {args.wal}: {exc}")
+    doc = {
+        "index": str(args.index),
+        "wal": str(args.wal),
+        "lines_read": report.lines_read,
+        "appends_applied": report.appends_applied,
+        "rebalances_replayed": report.rebalances_replayed,
+        "rebalances_discarded": report.rebalances_discarded,
+        "torn_tail": report.torn_tail,
+        "n_records": index.n_records,
+        "n_partitions": len(index.partitions),
+    }
+    code = 0
+    if args.check:
+        try:
+            index.validate()
+            doc["valid"] = True
+        except AssertionError as exc:
+            doc["valid"] = False
+            doc["validation_error"] = str(exc)
+            code = 1
+    print(json.dumps(doc, indent=2))
+    if args.out:
+        save_index(index, Path(args.out))
+        logger.info("persisted replayed index to %s", args.out)
+    return code
 
 
 def _cmd_serve_sharded(args) -> int:
@@ -839,12 +896,41 @@ def build_parser() -> argparse.ArgumentParser:
     srv.add_argument("--deadline-ms", type=float, default=None, metavar="MS",
                      help="default per-request latency budget; queued "
                           "requests past it are shed, never executed")
+    srv.add_argument("--wal", metavar="FILE", default=None,
+                     help="write-ahead log for streamed writes: appends "
+                          "are fsynced here before they are acknowledged, "
+                          "and 'repro replay' reconstructs the index from "
+                          "the base directory plus this log after a crash")
+    srv.add_argument("--rebalance", action="store_true",
+                     help="run the online re-packer: overflowing "
+                          "partitions are split in the background "
+                          "(snapshot/repack/swap) without blocking reads")
+    srv.add_argument("--rebalance-overflow", type=float, default=1.5,
+                     metavar="X",
+                     help="overflow watermark: repack partitions above "
+                          "X times the configured capacity")
+    srv.add_argument("--rebalance-interval", type=float, default=0.25,
+                     metavar="S",
+                     help="seconds between rebalancer watermark checks")
     srv.add_argument("--perf", metavar="FILE",
                      help="enable kernel cost counters for the server's "
                           "lifetime and write a repro.perf/v1 report on "
                           "shutdown (repro top shows the hot kernel live)")
     _add_profile_flag(srv)
     srv.set_defaults(fn=_cmd_serve)
+
+    rpl = add_parser("replay",
+                     help="replay a write-ahead log onto its base index")
+    rpl.add_argument("--index", required=True,
+                     help="base index directory the WAL was opened against")
+    rpl.add_argument("--wal", required=True,
+                     help="WAL file written by serve --wal")
+    rpl.add_argument("--check", action="store_true",
+                     help="deep-validate the replayed index (exit 1 on "
+                          "any violated invariant)")
+    rpl.add_argument("--out", metavar="DIR", default=None,
+                     help="persist the replayed index to DIR")
+    rpl.set_defaults(fn=_cmd_replay)
 
     shrv = add_parser("serve-sharded",
                       help="serve queries through a sharded cluster "

@@ -12,7 +12,12 @@ The paper's primary contribution.  Typical entry points::
 from .batch import BatchReport, batch_exact_match, batch_knn_target_node
 from .cache import PartitionCache
 from .certify import certified_prefix
-from .builder import TardisIndex, build_tardis_index, convert_records
+from .builder import (
+    IngestReport,
+    TardisIndex,
+    build_tardis_index,
+    convert_records,
+)
 from .exact_search import ExactSearchResult, knn_exact, range_query
 from .explain import explain
 from .config import TardisConfig
@@ -47,8 +52,23 @@ from .queries import (
     query_signature,
 )
 from .persistence import load_index, save_index
-from .rebalance import RebalanceReport, rebalance_index
+from .rebalance import (
+    OnlineRebalancer,
+    RebalanceCycle,
+    RebalancePlan,
+    RebalanceReport,
+    StaleRebalancePlan,
+    apply_rebalance,
+    plan_rebalance,
+    rebalance_index,
+)
 from .sigtree import SigTree, SigTreeNode
+from .wal import (
+    WalReplayReport,
+    WriteAheadLog,
+    read_wal,
+    replay_wal,
+)
 from .unclustered import knn_signature_only_baseline, knn_signature_only_tardis
 
 __all__ = [
@@ -100,6 +120,17 @@ __all__ = [
     "explain",
     "PartitionCache",
     "rebalance_index",
+    "plan_rebalance",
+    "apply_rebalance",
     "RebalanceReport",
+    "RebalancePlan",
+    "RebalanceCycle",
+    "OnlineRebalancer",
+    "StaleRebalancePlan",
+    "IngestReport",
+    "WriteAheadLog",
+    "WalReplayReport",
+    "replay_wal",
+    "read_wal",
     "certified_prefix",
 ]

@@ -42,7 +42,12 @@ from .local_index import (
     build_local_partition,
 )
 
-__all__ = ["TardisIndex", "build_tardis_index", "convert_records"]
+__all__ = [
+    "IngestReport",
+    "TardisIndex",
+    "build_tardis_index",
+    "convert_records",
+]
 
 logger = logging.getLogger(__name__)
 
@@ -66,6 +71,24 @@ def convert_records(
     return [
         (signatures[i], rid, ts) for i, (rid, ts) in enumerate(records)
     ]
+
+
+@dataclass
+class IngestReport:
+    """What one batched append did to the index (see :meth:`TardisIndex.ingest`).
+
+    ``regions_added`` names the partitions whose coarse region synopsis
+    *grew* — the signal cache layers need: a new region can shrink a
+    partition's MINDIST bound, so Multi-Partitions Access answers that
+    pruned it are no longer trustworthy (docs/SERVING.md).
+    """
+
+    record_ids: list = field(default_factory=list)
+    partition_ids: list = field(default_factory=list)
+    #: Distinct partitions touched, in first-touch order.
+    touched: list = field(default_factory=list)
+    #: partition id -> new region prefixes its synopsis gained.
+    regions_added: dict = field(default_factory=dict)
 
 
 @dataclass
@@ -230,16 +253,133 @@ class TardisIndex:
             )
         if record_id is None:
             record_id = self._next_record_id()
+        else:
+            self._raise_id_floor(record_id)
         converted = convert_records([(record_id, series)], self.config)
         signature, rid, values = converted[0]
         partition_id = self.global_index.route(signature)
-        partition = self.partitions[partition_id]
+        partition = self.partitions.get(partition_id)
+        if partition is None:
+            raise ValueError(
+                f"record routes to partition {partition_id}, which is not "
+                f"present in this index"
+            )
         partition.insert_record(signature, rid, values)
         cache = getattr(self, "_partition_cache", None)
         if cache is not None:
             cache.invalidate(partition_id)
         self.n_records += 1
         return rid
+
+    def route_batch(self, batch) -> list[int]:
+        """Home partition of each row of a ``(n, length)`` batch.
+
+        Pure: validates shape and routing without touching the index.
+        The serving write path calls this *before* the WAL append so a
+        batch that cannot land (bad length, partition not present in a
+        shard's subset) is rejected before it is made durable.
+        """
+        batch = np.asarray(batch, dtype=np.float64)
+        if batch.ndim == 1:
+            batch = batch[np.newaxis, :]
+        if batch.ndim != 2 or batch.shape[1] != self.series_length:
+            raise ValueError(
+                f"expected a (n, {self.series_length}) batch, got shape "
+                f"{batch.shape}"
+            )
+        converted = convert_records(
+            [(i, batch[i]) for i in range(batch.shape[0])], self.config
+        )
+        partition_ids = []
+        for signature, i, _values in converted:
+            partition_id = self.global_index.route(signature)
+            if partition_id not in self.partitions:
+                raise ValueError(
+                    f"row {i} routes to partition {partition_id}, which is "
+                    f"not present in this index"
+                )
+            partition_ids.append(partition_id)
+        return partition_ids
+
+    def ingest(
+        self, batch, record_ids=None, skip_existing: bool = False,
+    ) -> IngestReport:
+        """Batched append: route a ``(n, length)`` matrix through Tardis-G.
+
+        The streaming-ingest workhorse behind the serving tier's
+        ``write``/``write-batch`` ops: one vectorized signature pass for
+        the whole batch, then per-record insertion into the owning
+        partition's block and Tardis-L (hot leaves split on L-MaxSize
+        overflow inside ``insert_entry``; Bloom filters and region
+        synopses update in place).  Partition-cache residency for every
+        touched partition is invalidated once at the end, which also
+        notifies subscribed result caches.
+
+        ``record_ids``, when given, must be unique and align with the
+        batch (the WAL-replay and router paths pin ids); otherwise ids
+        are assigned from the index's insert counter.
+
+        ``skip_existing`` makes pinned-id appends idempotent: a row
+        whose record id is already present in its routed partition is
+        acknowledged but not re-inserted.  Replica-fan-out writes need
+        this — a retried delivery (or a threads-mode cluster where
+        replicas share partition objects) must not double-insert.
+        """
+        batch = np.asarray(batch, dtype=np.float64)
+        if batch.ndim == 1:
+            batch = batch[np.newaxis, :]
+        if batch.ndim != 2 or batch.shape[1] != self.series_length:
+            raise ValueError(
+                f"expected a (n, {self.series_length}) batch, got shape "
+                f"{batch.shape}"
+            )
+        n = batch.shape[0]
+        if record_ids is None:
+            record_ids = [self._next_record_id() for _ in range(n)]
+        else:
+            record_ids = [int(rid) for rid in record_ids]
+            if len(record_ids) != n:
+                raise ValueError(
+                    f"{len(record_ids)} record ids for {n} series"
+                )
+            for rid in record_ids:
+                self._raise_id_floor(rid)
+        converted = convert_records(
+            [(rid, batch[i]) for i, rid in enumerate(record_ids)],
+            self.config,
+        )
+        report = IngestReport(record_ids=list(record_ids))
+        for signature, rid, values in converted:
+            partition_id = self.global_index.route(signature)
+            partition = self.partitions.get(partition_id)
+            if partition is None:
+                raise ValueError(
+                    f"record {rid} routes to partition {partition_id}, "
+                    f"which is not present in this index"
+                )
+            if (
+                skip_existing
+                and partition.block.n_rows
+                and rid in partition.block.record_ids
+            ):
+                report.partition_ids.append(partition_id)
+                continue
+            region_bits = min(REGION_PREFIX_BITS, partition.tree.max_bits)
+            prefix = signature[: region_bits * partition.tree.per_plane]
+            new_region = prefix not in partition.region_prefixes
+            partition.insert_record(signature, rid, values)
+            self.n_records += 1
+            report.partition_ids.append(partition_id)
+            if partition_id not in report.regions_added:
+                report.touched.append(partition_id)
+                report.regions_added[partition_id] = []
+            if new_region:
+                report.regions_added[partition_id].append(prefix)
+        cache = getattr(self, "_partition_cache", None)
+        if cache is not None:
+            for partition_id in report.touched:
+                cache.invalidate(partition_id)
+        return report
 
     def delete_series(self, series: np.ndarray, record_id: int) -> bool:
         """Delete one exact ``(series, record_id)`` pair; True if found.
@@ -270,6 +410,17 @@ class TardisIndex:
         from .rebalance import rebalance_index
 
         return rebalance_index(self, overflow_factor=overflow_factor)
+
+    def _raise_id_floor(self, record_id: int) -> None:
+        """Keep the auto-id counter above any explicitly pinned id.
+
+        WAL replay and router-forwarded writes insert with pinned ids;
+        without lifting the floor a later auto-assigned id could collide
+        with one of them.
+        """
+        current = getattr(self, "_insert_counter", None)
+        if current is not None and record_id > current:
+            self._insert_counter = record_id
 
     def _next_record_id(self) -> int:
         rid = getattr(self, "_insert_counter", None)

@@ -38,7 +38,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..serving.admission import DeadlineExceededError, OverloadedError
-from ..serving.requests import QueryRequest
+from ..serving.requests import QueryRequest, WriteRequest
 from ..serving.slo import nearest_rank
 
 __all__ = ["LoadReport", "RemoteSubmitter", "closed_loop", "open_loop"]
@@ -59,7 +59,15 @@ class LoadReport:
     degraded: int = 0
     duration_s: float = 0.0
     offered_qps: float = 0.0
+    #: Read latencies only — ``write_latencies_s`` is kept apart so
+    #: "p99 read latency at X% write mix" is directly comparable to a
+    #: read-only run.
     latencies_s: list[float] = field(default_factory=list)
+    writes_sent: int = 0
+    writes_completed: int = 0
+    write_errors: int = 0
+    write_records: int = 0
+    write_latencies_s: list[float] = field(default_factory=list)
 
     @property
     def achieved_qps(self) -> float:
@@ -74,7 +82,7 @@ class LoadReport:
         }
 
     def to_dict(self) -> dict:
-        return {
+        doc = {
             "mode": self.mode,
             "sent": self.sent,
             "completed": self.completed,
@@ -87,6 +95,21 @@ class LoadReport:
             "achieved_qps": self.achieved_qps,
             "latency": {**self.percentiles(), "samples": len(self.latencies_s)},
         }
+        if self.writes_sent:
+            ordered = sorted(self.write_latencies_s)
+            doc["writes"] = {
+                "sent": self.writes_sent,
+                "completed": self.writes_completed,
+                "errors": self.write_errors,
+                "records": self.write_records,
+                "records_per_s": (
+                    self.write_records / self.duration_s
+                    if self.duration_s else 0.0
+                ),
+                "p50_s": nearest_rank(ordered, 0.50),
+                "p99_s": nearest_rank(ordered, 0.99),
+            }
+        return doc
 
 
 def _make_requests(queries: np.ndarray, **request_kwargs) -> list[QueryRequest]:
@@ -100,23 +123,43 @@ def _is_degraded(result) -> bool:
     return bool(getattr(result, "degraded", False))
 
 
+def _draw_write(
+    pool: np.ndarray, rng, batch_size: int, deadline_ms
+) -> WriteRequest:
+    picks = rng.integers(len(pool), size=max(1, batch_size))
+    return WriteRequest(pool[picks], deadline_ms=deadline_ms)
+
+
 def closed_loop(
     service,
     queries: np.ndarray,
     total: int,
     concurrency: int,
     seed: int = 0,
+    write_mix: float = 0.0,
+    writes: np.ndarray | None = None,
+    write_batch: int = 1,
     **request_kwargs,
 ) -> LoadReport:
-    """``concurrency`` workers issue ``total`` queries back-to-back.
+    """``concurrency`` workers issue ``total`` requests back-to-back.
 
     Each worker draws its next query from ``queries`` with a seeded RNG,
     so partition reuse within a batching window mirrors skewed
     production traffic rather than a fixed round-robin.
+
+    With ``write_mix`` > 0 each iteration becomes a write with that
+    probability, drawing ``write_batch`` rows from ``writes`` (default:
+    the query pool) and going through ``service.submit_write``.  Read
+    latencies stay segregated in ``latencies_s`` so "p99 read at X%
+    write mix" compares directly against a read-only run.
     """
     if concurrency <= 0 or total <= 0:
         raise ValueError("concurrency and total must be positive")
+    if not 0.0 <= write_mix <= 1.0:
+        raise ValueError("write_mix must be in [0, 1]")
     requests = _make_requests(queries, **request_kwargs)
+    write_pool = np.asarray(queries if writes is None else writes)
+    write_deadline = request_kwargs.get("deadline_ms")
     report = LoadReport(mode="closed-loop")
     lock = threading.Lock()
     counter = iter(range(total))
@@ -127,9 +170,37 @@ def closed_loop(
             with lock:
                 try:
                     next(counter)
-                    report.sent += 1
                 except StopIteration:
                     return
+            if write_mix > 0.0 and rng.random() < write_mix:
+                request = _draw_write(
+                    write_pool, rng, write_batch, write_deadline
+                )
+                with lock:
+                    report.writes_sent += 1
+                started = time.monotonic()
+                try:
+                    service.submit_write(request).result()
+                except OverloadedError:
+                    with lock:
+                        report.shed += 1
+                    continue
+                except DeadlineExceededError:
+                    with lock:
+                        report.deadline_shed += 1
+                    continue
+                except Exception:
+                    with lock:
+                        report.write_errors += 1
+                    continue
+                elapsed = time.monotonic() - started
+                with lock:
+                    report.writes_completed += 1
+                    report.write_records += len(request.batch)
+                    report.write_latencies_s.append(elapsed)
+                continue
+            with lock:
+                report.sent += 1
             request = requests[int(rng.integers(len(requests)))]
             started = time.monotonic()
             try:
@@ -173,6 +244,9 @@ def open_loop(
     rate_qps: float,
     duration_s: float,
     seed: int = 0,
+    write_mix: float = 0.0,
+    writes: np.ndarray | None = None,
+    write_batch: int = 1,
     **request_kwargs,
 ) -> LoadReport:
     """Poisson arrivals at ``rate_qps`` for ``duration_s`` seconds.
@@ -181,16 +255,25 @@ def open_loop(
     open loop); completions are harvested from futures afterwards.  With
     a ``shed`` service policy, overload shows up in ``report.shed``
     instead of unbounded queueing.
+
+    ``write_mix`` turns each arrival into a write with that probability
+    (``write_batch`` rows from ``writes``, default the query pool);
+    write latencies land in ``write_latencies_s``, keeping the read
+    tail unpolluted.
     """
     if rate_qps <= 0 or duration_s <= 0:
         raise ValueError("rate_qps and duration_s must be positive")
+    if not 0.0 <= write_mix <= 1.0:
+        raise ValueError("write_mix must be in [0, 1]")
     requests = _make_requests(queries, **request_kwargs)
+    write_pool = np.asarray(queries if writes is None else writes)
+    write_deadline = request_kwargs.get("deadline_ms")
     rng = np.random.default_rng(seed)
     report = LoadReport(mode="open-loop", offered_qps=rate_qps)
     in_flight: list = []
     lock = threading.Lock()
 
-    def track(submitted_at: float):
+    def track(submitted_at: float, is_write: bool = False, n_records: int = 0):
         # Completion time is stamped by the done-callback (batcher
         # thread), not at harvest — latencies stay honest even though
         # the arrival loop never blocks on answers.
@@ -207,7 +290,16 @@ def open_loop(
                 elif isinstance(exc, DeadlineExceededError):
                     report.deadline_shed += 1
                 elif exc is not None:
-                    report.errors += 1
+                    if is_write:
+                        report.write_errors += 1
+                    else:
+                        report.errors += 1
+                elif is_write:
+                    report.writes_completed += 1
+                    report.write_records += n_records
+                    report.write_latencies_s.append(
+                        finished_at - submitted_at
+                    )
                 else:
                     report.completed += 1
                     if _is_degraded(future.result()):
@@ -226,15 +318,28 @@ def open_loop(
         if now < next_arrival:
             time.sleep(min(next_arrival - now, deadline - now))
             continue
-        request = requests[int(rng.integers(len(requests)))]
-        report.sent += 1
+        is_write = write_mix > 0.0 and rng.random() < write_mix
         submitted_at = time.monotonic()
         try:
-            future = service.submit(request)
+            if is_write:
+                request = _draw_write(
+                    write_pool, rng, write_batch, write_deadline
+                )
+                report.writes_sent += 1
+                future = service.submit_write(request)
+            else:
+                request = requests[int(rng.integers(len(requests)))]
+                report.sent += 1
+                future = service.submit(request)
         except OverloadedError:
             report.shed += 1
         else:
-            future.add_done_callback(track(submitted_at))
+            future.add_done_callback(
+                track(
+                    submitted_at, is_write=is_write,
+                    n_records=len(request.batch) if is_write else 0,
+                )
+            )
             in_flight.append(future)
         next_arrival += float(rng.exponential(1.0 / rate_qps))
     for future in in_flight:
@@ -292,8 +397,19 @@ class RemoteSubmitter:
             deadline_ms=request.deadline_ms,
         )
 
+    def _call_write(self, request: WriteRequest):
+        client = self._client()
+        return client.write_batch(
+            request.batch.tolist(),
+            record_ids=request.record_ids,
+            deadline_ms=request.deadline_ms,
+        )
+
     def submit(self, request: QueryRequest) -> Future:
         return self._pool.submit(self._call, request)
+
+    def submit_write(self, request: WriteRequest) -> Future:
+        return self._pool.submit(self._call_write, request)
 
     def close(self) -> None:
         self._pool.shutdown(wait=True)
@@ -348,12 +464,23 @@ def main(argv: list[str] | None = None) -> int:
                         help="per-request latency budget forwarded to the "
                              "server (expired requests count as "
                              "deadline_shed)")
+    parser.add_argument("--write-mix", type=float, default=0.0,
+                        help="probability each request is a write batch "
+                             "instead of a query (0 = read-only)")
+    parser.add_argument("--write-data", default=None,
+                        help="dataset .npz whose rows become appended "
+                             "records (default: --data)")
+    parser.add_argument("--write-batch", type=int, default=1,
+                        help="records per write request")
     args = parser.parse_args(argv)
 
     values = read_npz_dataset(args.data).values
     rng = np.random.default_rng(args.seed)
     picks = rng.integers(len(values), size=max(1, args.queries))
     queries = values[picks]
+    write_pool = None
+    if args.write_mix > 0.0 and args.write_data:
+        write_pool = read_npz_dataset(args.write_data).values
     request_kwargs: dict = {"op": args.op}
     if args.op == "knn":
         request_kwargs.update(strategy=args.strategy, k=args.k)
@@ -361,19 +488,26 @@ def main(argv: list[str] | None = None) -> int:
             request_kwargs["pth"] = args.pth
     if args.deadline_ms is not None:
         request_kwargs["deadline_ms"] = args.deadline_ms
+    mix_kwargs = {}
+    if args.write_mix > 0.0:
+        mix_kwargs = dict(
+            write_mix=args.write_mix,
+            writes=values if write_pool is None else write_pool,
+            write_batch=args.write_batch,
+        )
 
     with RemoteSubmitter(args.host, args.port, args.concurrency) as remote:
         if args.mode == "closed":
             report = closed_loop(
                 remote, queries, total=args.total,
                 concurrency=args.concurrency, seed=args.seed,
-                **request_kwargs,
+                **mix_kwargs, **request_kwargs,
             )
         else:
             report = open_loop(
                 remote, queries, rate_qps=args.rate,
                 duration_s=args.duration, seed=args.seed,
-                **request_kwargs,
+                **mix_kwargs, **request_kwargs,
             )
     print(json.dumps(report.to_dict(), indent=2))
     return 0

@@ -17,6 +17,7 @@ Site keys are built from stable coordinates:
 * storage block reads:  ``storage/<block>/<read#>/<attempt>``
 * serving groups:       ``serve/<op>/<pid>/<group#>/<attempt>``
 * router→shard calls:   ``shard/<sid>/<op>/<call#>/<attempt>``
+* ingest writes/cycles: ``ingest/<stage>/<pid>/<seq#>/<attempt>``
 * socket replies:       ``socket/<digest>/<reply#>``
 
 The ``#`` counters are per-key tallies kept by the injector; on the
@@ -235,6 +236,25 @@ class FaultInjector:
             ("task-crash", "task-slow"),
             ("shard", shard_id, op, call_seq, attempt),
             label=f"shard/{op}", shard_id=shard_id, attempt=attempt,
+        )
+
+    def ingest_fault(
+        self, stage: str, partition_id: int | None, seq: int, attempt: int
+    ) -> FaultRule | None:
+        """One streaming-ingest site: ``append``, ``split``, or ``swap``.
+
+        ``ingest/append`` guards the serving write apply (a crash fails
+        the write *before* it is acknowledged); ``ingest/split`` and
+        ``ingest/swap`` guard the online rebalancer's repack and swap
+        phases (a crash aborts the cycle pre-mutation, leaving a
+        dangling WAL begin marker for replay to discard).  Scope rules
+        with ``stage: "ingest/*"`` patterns.
+        """
+        return self._match(
+            ("task-crash", "task-slow"),
+            ("ingest", stage, partition_id, seq, attempt),
+            label=f"ingest/{stage}", partition_id=partition_id,
+            attempt=attempt,
         )
 
     def drop_reply(self, payload: bytes) -> bool:

@@ -24,10 +24,22 @@ import numpy as np
 
 from ..core.queries import KNN_STRATEGIES
 
-__all__ = ["OPS", "QueryRequest", "result_to_wire", "wire_to_result"]
+__all__ = [
+    "OPS",
+    "WRITE_OPS",
+    "QueryRequest",
+    "WriteRequest",
+    "WriteResult",
+    "result_to_wire",
+    "wire_to_result",
+]
 
-#: Operations the serving tier accepts.
+#: Query operations the serving tier accepts.
 OPS = ("exact-match", "knn")
+
+#: Write operations (dispatched through ``extra_ops``, not the query
+#: planner — a write has no plan key and is never cached).
+WRITE_OPS = ("write", "write-batch")
 
 
 @dataclass
@@ -96,6 +108,90 @@ class QueryRequest:
     def cache_key(self) -> tuple:
         """Result-cache identity: series content *and* plan."""
         return (self.digest(), len(self.series)) + self.plan_key()
+
+
+@dataclass
+class WriteRequest:
+    """One batched append to serve: ``(n, length)`` series to insert.
+
+    Writes ride the same admission queue, deadline budget, and batcher
+    thread as queries — which is what makes them safe: the batcher
+    applies them between read windows, so a query never observes a
+    half-applied insert.  ``record_ids``, when given, pin the ids
+    (router fan-out and WAL replay need identical ids on every replica);
+    otherwise the index assigns them at apply time.
+    """
+
+    batch: np.ndarray
+    record_ids: list | None = None
+    deadline_ms: float | None = None
+    op: str = field(default="write", init=False)
+    trace_ctx: "object | None" = field(default=None, compare=False)
+
+    def __post_init__(self) -> None:
+        self.batch = np.ascontiguousarray(self.batch, dtype=np.float64)
+        if self.batch.ndim == 1:
+            self.batch = self.batch[np.newaxis, :]
+        if self.batch.ndim != 2 or self.batch.shape[0] == 0:
+            raise ValueError("write batch must be a non-empty 2-D matrix")
+        if self.record_ids is not None:
+            self.record_ids = [int(rid) for rid in self.record_ids]
+            if len(self.record_ids) != self.batch.shape[0]:
+                raise ValueError(
+                    f"{len(self.record_ids)} record ids for "
+                    f"{self.batch.shape[0]} series"
+                )
+            if len(set(self.record_ids)) != len(self.record_ids):
+                raise ValueError("record ids must be unique")
+        if self.deadline_ms is not None:
+            self.deadline_ms = float(self.deadline_ms)
+            if self.deadline_ms <= 0:
+                raise ValueError("deadline_ms must be positive")
+
+
+@dataclass
+class WriteResult:
+    """Acknowledgement of an applied write batch.
+
+    ``durable`` is True when the batch reached the write-ahead log
+    before the in-memory apply — the replay guarantee of
+    docs/ROBUSTNESS.md.  ``regions_added`` maps partition id to the new
+    coarse region prefixes its synopsis gained (the router uses it to
+    update its own synopses in place).
+    """
+
+    record_ids: list
+    partition_ids: list
+    durable: bool = False
+    regions_added: dict = field(default_factory=dict)
+
+    @property
+    def acknowledged(self) -> int:
+        return len(self.record_ids)
+
+    def to_wire(self) -> dict:
+        return {
+            "op": "write",
+            "record_ids": [int(r) for r in self.record_ids],
+            "partition_ids": [int(p) for p in self.partition_ids],
+            "durable": bool(self.durable),
+            "regions_added": {
+                str(pid): list(prefixes)
+                for pid, prefixes in self.regions_added.items()
+            },
+        }
+
+    @classmethod
+    def from_wire(cls, doc: dict) -> "WriteResult":
+        return cls(
+            record_ids=[int(r) for r in doc.get("record_ids", [])],
+            partition_ids=[int(p) for p in doc.get("partition_ids", [])],
+            durable=bool(doc.get("durable", False)),
+            regions_added={
+                int(pid): list(prefixes)
+                for pid, prefixes in doc.get("regions_added", {}).items()
+            },
+        )
 
 
 def result_to_wire(result) -> dict:

@@ -14,6 +14,17 @@ the entries touching a mutated partition.  :class:`QueryService`
 subscribes this to :meth:`PartitionCache.subscribe_invalidations`, so an
 ``insert_series`` that invalidates a hot partition invalidates the
 answers derived from it in the same call.
+
+Partition indexing alone is not enough for every write, though: a
+Multi-Partitions Access answer may have *pruned* a partition by its
+region-synopsis MINDIST bound, and a write that grows that partition's
+region set can shrink the bound and change which partitions the same
+query would load.  Such entries are not indexed under the pruned
+partition (they never touched it), so the write path additionally calls
+:meth:`invalidate_strategy` whenever an insert added a new region
+prefix — region growth is rare (bounded by the coarse-region alphabet),
+so the sweep almost never runs
+(tests/serving/test_ingest_service.py::test_knn_cache_invalidated_by_write).
 """
 
 from __future__ import annotations
@@ -90,6 +101,27 @@ class ResultCache:
                             del self._by_partition[pid]
             self.invalidations += len(keys)
             return len(keys)
+
+    def invalidate_strategy(self, strategy: str) -> int:
+        """Drop every kNN entry planned with ``strategy``; returns count.
+
+        Cache keys embed the plan (``(digest, length, op, strategy, k,
+        pth)``), so the sweep matches on key structure alone.  Used when
+        index maintenance changes *bounds* rather than contents: region
+        growth and partition splits can alter which partitions a
+        Multi-Partitions Access replan would select, invalidating
+        answers that never loaded the mutated partition at all.
+        """
+        with self._lock:
+            doomed = [
+                key for key in self._entries
+                if len(key) > 3 and key[2] == "knn" and key[3] == strategy
+            ]
+            for key in doomed:
+                _result, pids = self._entries.pop(key)
+                self._unindex(key, pids)
+            self.invalidations += len(doomed)
+            return len(doomed)
 
     def clear(self) -> None:
         with self._lock:

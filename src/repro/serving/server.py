@@ -7,6 +7,8 @@ request::
 
     {"op": "knn", "series": [...], "strategy": "target-node", "k": 10}
     {"op": "exact-match", "series": [...], "use_bloom": true}
+    {"op": "write", "series": [...]}
+    {"op": "write-batch", "batch": [[...], ...], "record_ids": [..]}
     {"op": "stats"}        {"op": "ping"}
     {"op": "trace", "n": 5}          {"op": "trace", "trace_id": "..."}
     {"op": "journal", "n": 50}       {"op": "journal", "kind": "slow-query"}
@@ -227,6 +229,19 @@ class _Handler(socketserver.StreamRequestHandler):
                 return _error(
                     "partial-result", str(exc),
                     missing_partitions=list(exc.missing_partitions),
+                )
+            except OverloadedError as exc:
+                # Writes ride the admission queue too; shed writes get
+                # the same typed envelope as shed queries.
+                return _error(
+                    "overloaded", str(exc),
+                    queue_depth=exc.depth, capacity=exc.capacity,
+                )
+            except DeadlineExceededError as exc:
+                return _error(
+                    "deadline", str(exc),
+                    waited_ms=exc.waited_s * 1000.0,
+                    deadline_ms=exc.deadline_s * 1000.0,
                 )
             except (ValueError, TypeError) as exc:
                 return _error("bad-request", str(exc))
@@ -531,6 +546,35 @@ class ServingClient:
             "pth": pth,
             "trace": trace,
         }
+        if deadline_ms is not None:
+            doc["deadline_ms"] = deadline_ms
+        return self._result(doc)
+
+    def write(
+        self, series, record_id: int | None = None,
+        deadline_ms: float | None = None,
+    ) -> dict:
+        """Append one series; returns the write acknowledgement."""
+        doc: dict = {
+            "op": "write",
+            "series": np.asarray(series, dtype=np.float64).tolist(),
+        }
+        if record_id is not None:
+            doc["record_id"] = int(record_id)
+        if deadline_ms is not None:
+            doc["deadline_ms"] = deadline_ms
+        return self._result(doc)
+
+    def write_batch(
+        self, batch, record_ids=None, deadline_ms: float | None = None,
+    ) -> dict:
+        """Append a ``(n, length)`` batch; returns the acknowledgement."""
+        doc: dict = {
+            "op": "write-batch",
+            "batch": np.asarray(batch, dtype=np.float64).tolist(),
+        }
+        if record_ids is not None:
+            doc["record_ids"] = [int(r) for r in record_ids]
         if deadline_ms is not None:
             doc["deadline_ms"] = deadline_ms
         return self._result(doc)

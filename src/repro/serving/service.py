@@ -38,17 +38,24 @@ import threading
 import time
 from concurrent.futures import Future
 from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
 
 from ..cluster.executors import resolve_executor
 from ..core.builder import TardisIndex
+from ..core.rebalance import OnlineRebalancer
+from ..core.wal import WriteAheadLog
 from ..faults.errors import InjectedTaskCrash
 from ..faults.injector import get_injector
+from ..telemetry.carrier import extract as extract_trace
 from ..telemetry.context import trace_id_of
 from ..telemetry.journal import EventJournal, SlowQueryLog, get_journal
+from ..telemetry.metrics import get_registry
 from ..telemetry.spans import NULL_SPAN, Span, get_tracer
 from .admission import AdmissionQueue, DeadlineExceededError, OverloadedError
 from .batcher import group_tickets, partitions_loaded, run_group
-from .requests import QueryRequest
+from .requests import QueryRequest, WriteRequest, WriteResult
 from .result_cache import ResultCache
 from .slo import SLOTracker
 
@@ -101,6 +108,10 @@ class QueryService:
         journal_sample: float = 0.0,
         journal: EventJournal | None = None,
         default_deadline_ms: float | None = None,
+        wal: WriteAheadLog | str | Path | None = None,
+        rebalance: bool = False,
+        rebalance_overflow: float = 1.5,
+        rebalance_interval_s: float = 0.25,
     ):
         if max_batch <= 0:
             raise ValueError("max_batch must be positive")
@@ -161,6 +172,39 @@ class QueryService:
         self._started = False
         self._stopped = False
         self._submit_lock = threading.Lock()
+        # -- streaming ingest ---------------------------------------------
+        # Writes are applied by the batcher thread under this lock; the
+        # online rebalancer's snapshot and swap phases take it too, so a
+        # read window never observes a half-applied insert or a
+        # half-swapped partition layout.
+        self._maintenance_lock = threading.Lock()
+        self._owns_wal = isinstance(wal, (str, Path))
+        self.wal = WriteAheadLog(wal) if self._owns_wal else wal
+        self._writes_total = 0
+        self._write_records_total = 0
+        self._writes_failed = 0
+        #: Shards set this: pinned-id rows already present in their
+        #: routed partition are acknowledged without re-inserting, so
+        #: replica fan-out and redelivery stay idempotent.
+        self._idempotent_writes = False
+        self._ingest_rate = 0.0
+        self._rate_window_start = time.monotonic()
+        self._rate_acc = 0
+        self.extra_ops = {
+            "write": self._op_write,
+            "write-batch": self._op_write,
+        }
+        self.rebalancer: OnlineRebalancer | None = None
+        if rebalance:
+            self.rebalancer = OnlineRebalancer(
+                index,
+                overflow_factor=rebalance_overflow,
+                interval_s=rebalance_interval_s,
+                wal=self.wal,
+                gate=self._maintenance_gate,
+                on_applied=self._on_rebalanced,
+                journal=self.journal,
+            )
 
     # -- lifecycle ----------------------------------------------------------
 
@@ -172,6 +216,8 @@ class QueryService:
             target=self._batch_loop, name="repro-serving-batcher", daemon=True
         )
         self._thread.start()
+        if self.rebalancer is not None:
+            self.rebalancer.start()
         logger.info(
             "serving started: policy=%s queue=%d max_batch=%d "
             "max_delay=%.1fms executor=%s",
@@ -186,6 +232,8 @@ class QueryService:
             self._stopped = True
             return
         self._stopped = True
+        if self.rebalancer is not None:
+            self.rebalancer.stop()
         if not drain:
             # Fail whatever is still queued, then close.
             self.queue.close()
@@ -201,6 +249,8 @@ class QueryService:
             self.queue.close()
         if self._thread is not None:
             self._thread.join(timeout)
+        if self._owns_wal and self.wal is not None:
+            self.wal.close()
         logger.info("serving stopped (drained=%s)", drain)
 
     def __enter__(self) -> "QueryService":
@@ -293,6 +343,104 @@ class QueryService:
         """Blocking convenience wrapper around :meth:`submit`."""
         return self.submit(request).result(timeout)
 
+    # -- write path ---------------------------------------------------------
+
+    def submit_write(self, request: WriteRequest) -> Future:
+        """Admit one batched append; the future resolves to a
+        :class:`~repro.serving.requests.WriteResult`.
+
+        Writes share the admission queue, backpressure policy, and
+        deadline budget with queries.  The batcher thread applies them
+        between read windows — serialized, never concurrent with a
+        query — and acknowledges only after the batch reached the
+        write-ahead log (when one is attached).
+        """
+        if not self._started or self._stopped:
+            raise RuntimeError("service is not running (use start()/with)")
+        if request.batch.shape[1] != self.index.series_length:
+            raise ValueError(
+                f"write series length {request.batch.shape[1]} != indexed "
+                f"length {self.index.series_length}"
+            )
+        tracer = get_tracer()
+        n_records = int(request.batch.shape[0])
+        ctx = getattr(request, "trace_ctx", None)
+        if ctx is not None:
+            # Forwarded from a router: join the caller's trace (the
+            # shard-side half of the repro.tracectx/v1 carrier).
+            attrs = {"n_records": n_records}
+            shard_id = getattr(self, "shard_id", None)
+            if shard_id is not None:
+                attrs["shard_id"] = shard_id
+            root = tracer.start_remote_span(
+                "shard/write", ctx.trace_id, ctx.parent_span_id, op="write",
+                **attrs,
+            )
+        else:
+            root = tracer.start_span(
+                "serve/write", op="write", n_records=n_records
+            )
+        future: Future = Future()
+        if isinstance(root, Span):
+            future.trace_root = root
+        queue_span = tracer.start_span("serve/queue-wait", parent=root)
+        deadline_s = (
+            request.deadline_ms / 1000.0
+            if request.deadline_ms is not None
+            else self.default_deadline_s
+        )
+        enqueued_at = time.monotonic()
+        ticket = Ticket(
+            request, future, enqueued_at,
+            span=root, queue_span=queue_span,
+            deadline_at=(
+                None if deadline_s is None else enqueued_at + deadline_s
+            ),
+        )
+        try:
+            self.queue.put(ticket)
+        except OverloadedError:
+            queue_span.set("error", "overloaded")
+            tracer.end_span(queue_span)
+            root.set("error", "overloaded")
+            tracer.end_span(root)
+            self.journal.record(
+                "shed", trace_id=trace_id_of(root), op="write",
+                queue_depth=self.queue.depth,
+            )
+            self.slo.record_shed()
+            raise
+        self.slo.record_admitted(self.queue.depth)
+        return future
+
+    def write(
+        self, batch, record_ids=None, deadline_ms: float | None = None,
+        timeout: float | None = None,
+    ) -> WriteResult:
+        """Blocking convenience wrapper around :meth:`submit_write`."""
+        request = WriteRequest(
+            batch=batch, record_ids=record_ids, deadline_ms=deadline_ms
+        )
+        return self.submit_write(request).result(timeout)
+
+    def _op_write(self, doc: dict):
+        """Wire handler for ``write`` / ``write-batch`` (extra_ops)."""
+        payload = doc.get("batch") if "batch" in doc else doc.get("series")
+        if payload is None:
+            raise ValueError("write needs 'series' (one) or 'batch' (many)")
+        record_ids = doc.get("record_ids")
+        if record_ids is None and "record_id" in doc:
+            record_ids = [doc["record_id"]]
+        request = WriteRequest(
+            batch=np.asarray(payload, dtype=np.float64),
+            record_ids=record_ids,
+            deadline_ms=doc.get("deadline_ms"),
+        )
+        ctx = extract_trace(doc)
+        if ctx is not None:
+            request.trace_ctx = ctx
+        return self.submit_write(request).result().to_wire()
+
     def _validate(self, request: QueryRequest) -> None:
         if len(request.series) != self.index.series_length:
             raise ValueError(
@@ -319,6 +467,7 @@ class QueryService:
         tracer = get_tracer()
         dequeued = time.monotonic()
         live: list = []
+        writes: list = []
         for ticket in window:
             # Queue wait is over.  Tickets whose deadline budget already
             # expired are shed here — cancelled without ever being
@@ -332,10 +481,39 @@ class QueryService:
             ticket.wait_span = tracer.start_span(
                 "serve/batch-wait", parent=ticket.span
             )
-            live.append(ticket)
-        if not live:
+            if isinstance(ticket.request, WriteRequest):
+                writes.append(ticket)
+            else:
+                live.append(ticket)
+        if not live and not writes:
             return
-        window = live
+        # The whole window runs under the maintenance lock — the same
+        # lock the online rebalancer's snapshot and swap phases take.
+        # Writes land first, in admission order, so reads in the same
+        # window observe them; neither ever interleaves with a
+        # half-swapped partition layout.  Reads still never wait on a
+        # *rebalance*: the expensive re-pack (plan + partition build)
+        # runs off-lock in the rebalancer thread, and only the brief
+        # pointer swap contends here (measured as rebalance pause).
+        #
+        # WAL lines are written unsynced inside the window and fsynced
+        # once after the reads run — acknowledgements wait for that
+        # barrier (ack ⇒ fsynced), but reads sharing the window never
+        # stall behind a disk flush for writes they can already see
+        # in memory.
+        pending: list = []
+        with self._maintenance_lock:
+            for ticket in writes:
+                self._apply_write(ticket, pending)
+            if live:
+                self._execute_reads(live)
+        if pending:
+            if self.wal is not None:
+                self.wal.sync()
+            for ticket, result in pending:
+                self._finish_write_ticket(ticket, result=result)
+
+    def _execute_reads(self, window: list) -> None:
         groups = group_tickets(self.index, window)
         outcomes = self.executor.map_tasks(
             lambda _i, group: self._run_group_safely(group), groups
@@ -408,6 +586,198 @@ class QueryService:
         ticket.future.set_exception(
             DeadlineExceededError(waited_s, deadline_s)
         )
+
+    # -- write apply (batcher thread, under the maintenance lock) -----------
+
+    def _apply_write(self, ticket, pending: list) -> None:
+        """Apply one write batch: route → fault gate → WAL → index → caches.
+
+        Ordering is the durability contract: the batch reaches the
+        write-ahead log *before* the in-memory apply, and the future is
+        resolved only after the window's group fsync — so an
+        acknowledged write survives a crash, and a crash before the WAL
+        line means the client saw a failure, never a silent loss.
+        Successful applies are staged on ``pending``; the drain loop
+        fsyncs once and resolves them after the window's reads run.
+        Failures resolve immediately (nothing to make durable) —
+        injected ``ingest/append`` faults fire before the WAL line for
+        the same reason: a failed write must not replay.
+        """
+        tracer = get_tracer()
+        ticket.exec_started_at = time.monotonic()
+        tracer.end_span(ticket.wait_span)
+        apply_span = tracer.start_span("serve/apply", parent=ticket.span)
+        request = ticket.request
+        try:
+            batch = request.batch
+            # Route first: a batch that cannot route fails before it can
+            # reach the WAL (replay would hit the same error).
+            partition_ids = self.index.route_batch(batch)
+            self._ingest_fault_gate(int(partition_ids[0]))
+            record_ids = request.record_ids
+            durable = False
+            if self.wal is not None:
+                if record_ids is None:
+                    # Pre-assign so the WAL line carries the ids the
+                    # index will use (replay pins them).
+                    record_ids = [
+                        self.index._next_record_id()
+                        for _ in range(batch.shape[0])
+                    ]
+                self.wal.log_appends(
+                    [(rid, batch[i]) for i, rid in enumerate(record_ids)],
+                    sync=False,
+                )
+                durable = True
+            report = self.index.ingest(
+                batch, record_ids=record_ids,
+                skip_existing=self._idempotent_writes and record_ids is not None,
+            )
+            # index.ingest already invalidated partition-cache residency
+            # (which notifies the result cache); partitions without a
+            # partition cache still need their cached answers dropped.
+            if self.result_cache is not None:
+                cache = getattr(self.index, "_partition_cache", None)
+                if cache is None:
+                    for pid in report.touched:
+                        self.result_cache.invalidate_partition(pid)
+                if any(report.regions_added.values()):
+                    # Region growth shrinks MINDIST bounds: an MPA answer
+                    # that *pruned* a touched partition may now be wrong
+                    # (see result_cache.invalidate_strategy).
+                    self.result_cache.invalidate_strategy("multi-partitions")
+            result = WriteResult(
+                record_ids=report.record_ids,
+                partition_ids=report.partition_ids,
+                durable=durable,
+                regions_added=report.regions_added,
+            )
+            apply_span.set("n_records", len(report.record_ids))
+            apply_span.set("partitions", sorted(set(report.touched)))
+            tracer.end_span(apply_span)
+            self._record_write_metrics(len(report.record_ids))
+            pending.append((ticket, result))
+        except BaseException as exc:
+            apply_span.set("error", f"{type(exc).__name__}: {exc}")
+            tracer.end_span(apply_span)
+            self._writes_failed += 1
+            get_registry().counter(
+                "serving_writes_failed_total",
+                "Write batches rejected or crashed before acknowledgement",
+            ).inc()
+            self._finish_write_ticket(ticket, error=exc)
+
+    def _ingest_fault_gate(self, partition_id: int) -> None:
+        """Fire the ``ingest/append`` fault site for one write batch.
+
+        Mirrors the read path's injected retry loop: ``task-slow`` delays
+        once, ``task-crash`` retries with backoff until the plan stops
+        firing or the budget is spent — then the write fails *before*
+        reaching the WAL (never durable, never acknowledged).
+        """
+        injector = get_injector()
+        if injector is None:
+            return
+        seq = injector.next_seq("ingest", "append", partition_id)
+        attempt = 1
+        while True:
+            fault = injector.ingest_fault("append", partition_id, seq, attempt)
+            if fault is None:
+                return
+            if fault.kind == "task-slow":
+                time.sleep(fault.delay_ms / 1000.0)
+                return
+            if attempt >= injector.retry.max_attempts:
+                raise InjectedTaskCrash(
+                    f"ingest/append/partition {partition_id}", attempt
+                )
+            injector.count_retry()
+            time.sleep(injector.backoff_s(
+                attempt, "ingest", "append", partition_id, seq
+            ))
+            attempt += 1
+
+    def _record_write_metrics(self, n_records: int) -> None:
+        registry = get_registry()
+        registry.counter(
+            "serving_writes_total", "Write batches acknowledged"
+        ).inc()
+        registry.counter(
+            "serving_write_records_total", "Records appended via serving"
+        ).inc(n_records)
+        self._writes_total += 1
+        self._write_records_total += n_records
+        # Records/sec over a rolling ~1s window, published as a gauge.
+        self._rate_acc += n_records
+        now = time.monotonic()
+        elapsed = now - self._rate_window_start
+        if elapsed >= 1.0:
+            self._ingest_rate = self._rate_acc / elapsed
+            registry.gauge(
+                "serving_ingest_records_per_s",
+                "Streaming-ingest throughput (rolling window)",
+            ).set(self._ingest_rate)
+            self._rate_window_start = now
+            self._rate_acc = 0
+
+    def _finish_write_ticket(self, ticket, result=None, error=None) -> None:
+        tracer = get_tracer()
+        now = time.monotonic()
+        ticket.exec_finished_at = now
+        latency_s = now - ticket.enqueued_at
+        root = ticket.span
+        if error is not None:
+            root.set("error", f"{type(error).__name__}: {error}")
+        tracer.end_span(root)
+        if error is not None:
+            ticket.future.set_exception(error)
+            self.slo.record_completed(latency_s, failed=True)
+        else:
+            ticket.future.set_result(result)
+            self.slo.record_completed(latency_s)
+        fields = dict(
+            trace_id=ticket.trace_id,
+            op="write",
+            queue_wait_s=max(0.0, ticket.dequeued_at - ticket.enqueued_at),
+            execute_s=max(
+                0.0, ticket.exec_finished_at - ticket.exec_started_at
+            ),
+        )
+        if result is not None:
+            fields["n_records"] = result.acknowledged
+            fields["durable"] = result.durable
+        if error is not None:
+            fields["error"] = repr(error)
+        self.slow_log.observe(latency_s, **fields)
+
+    # -- rebalancer hooks ----------------------------------------------------
+
+    def _maintenance_gate(self, fn):
+        """Run ``fn`` with the read/write pipeline excluded.
+
+        Handed to the :class:`OnlineRebalancer` as its ``gate``: the
+        snapshot and swap phases run inside, the expensive partition
+        build runs outside — so the serving pause a rebalance causes is
+        the swap alone.
+        """
+        with self._maintenance_lock:
+            return fn()
+
+    def _on_rebalanced(self, report) -> None:
+        """Cache coherence after a committed rebalance cycle.
+
+        Every split or created partition changes both contents and
+        MINDIST bounds, so residency and derived answers go; MPA answers
+        planned against the old layout go wholesale (a replan may select
+        the new partitions even for queries that never loaded the old
+        ones).
+        """
+        for pid in list(report.split_partition_ids) + list(
+            report.created_partition_ids
+        ):
+            self.invalidate_partition(pid)
+        if self.result_cache is not None:
+            self.result_cache.invalidate_strategy("multi-partitions")
 
     def _finish_ticket(
         self, ticket, group, now: float, batch_size: int,
@@ -537,6 +907,21 @@ class QueryService:
         partition_stats = self.index.cache_stats()
         if partition_stats is not None:
             report["partition_cache"] = partition_stats
+        report["ingest"] = {
+            "writes_total": self._writes_total,
+            "write_records_total": self._write_records_total,
+            "writes_failed": self._writes_failed,
+            "records_per_s": self._ingest_rate,
+            "wal": (
+                None if self.wal is None else {
+                    "path": str(self.wal.path),
+                    "appends_logged": self.wal.appends_logged,
+                    "cycles_logged": self.wal.cycles_logged,
+                }
+            ),
+        }
+        if self.rebalancer is not None:
+            report["rebalance"] = self.rebalancer.stats()
         report["journal"] = self.journal.stats()
         report["tracing"] = get_tracer().enabled
         from ..telemetry.perf import KERNELS

@@ -51,7 +51,12 @@ from ..serving.admission import (
     DeadlineExceededError,
     OverloadedError,
 )
-from ..serving.requests import QueryRequest, wire_to_result
+from ..serving.requests import (
+    QueryRequest,
+    WriteRequest,
+    WriteResult,
+    wire_to_result,
+)
 from ..serving.result_cache import ResultCache
 from ..serving.server import RequestTimeoutError, ServingClient
 from ..serving.service import Ticket
@@ -196,6 +201,23 @@ class RouterService:
         self._scrape_thread: threading.Thread | None = None
         self._started = False
         self._stopped = False
+        # -- streaming ingest -----------------------------------------------
+        # The router assigns record ids (replicas of a partition must
+        # agree on them) from a counter seeded past the build-time id
+        # range; pinned ids on shards lift their local floors.
+        self._write_lock = threading.Lock()
+        self._write_counter = self.index.n_records
+        self._writes_total = 0
+        self._write_records_total = 0
+        self._writes_failed = 0
+        self._write_replica_failures = 0
+        #: Wire ops the hosting TardisServer dispatches straight to us —
+        #: writes run in the handler thread (like shard-knn on shards);
+        #: admission control for them lives at each shard's own queue.
+        self.extra_ops = {
+            "write": self._op_write,
+            "write-batch": self._op_write,
+        }
 
     # -- lifecycle ----------------------------------------------------------
 
@@ -1060,6 +1082,203 @@ class RouterService:
         tracer.end_span(call_span)
         return reply
 
+    # -- streaming writes ---------------------------------------------------
+
+    def _op_write(self, doc: dict) -> dict:
+        """Wire handler for ``write`` / ``write-batch`` on the router.
+
+        Routes each row through the router's Tardis-G to its home
+        partition, then forwards one ``write-batch`` per partition to
+        **every** replica in its host chain (reads pick one replica;
+        writes must reach all of them or the copies diverge).  Record
+        ids are router-assigned so replicas agree; shards floor their
+        local counters on the pinned ids.  Acknowledged rows update the
+        router's own region synopses in place — MINDIST bounds stay
+        sound without a re-scrape — and invalidate the affected cached
+        answers.
+
+        Semantics are at-least-once per replica: a retry after a lost
+        ack may re-apply on a replica that already holds the rows.  The
+        reply lists ``replicas_failed`` when some (but not all) hosts of
+        a partition could not be reached; a partition whose entire host
+        chain fails raises, surfacing as a typed wire error.
+        """
+        payload = doc.get("batch") if "batch" in doc else doc.get("series")
+        if payload is None:
+            raise ValueError("write needs 'series' (one) or 'batch' (many)")
+        record_ids = doc.get("record_ids")
+        if record_ids is None and "record_id" in doc:
+            record_ids = [doc["record_id"]]
+        request = WriteRequest(
+            batch=np.asarray(payload, dtype=np.float64),
+            record_ids=record_ids,
+            deadline_ms=doc.get("deadline_ms"),
+        )
+        batch = request.batch
+        if batch.shape[1] != self.index.series_length:
+            raise ValueError(
+                f"write series length {batch.shape[1]} != indexed "
+                f"length {self.index.series_length}"
+            )
+        n = batch.shape[0]
+        deadline_s = (
+            request.deadline_ms / 1000.0
+            if request.deadline_ms is not None
+            else self.default_deadline_s
+        )
+        deadline_at = (
+            None if deadline_s is None else time.monotonic() + deadline_s
+        )
+        if request.record_ids is not None:
+            record_ids = list(request.record_ids)
+        else:
+            with self._write_lock:
+                record_ids = list(range(
+                    self._write_counter, self._write_counter + n
+                ))
+                self._write_counter += n
+        # Group rows by home partition, preserving batch order per group.
+        row_pids: list[int] = []
+        groups: dict[int, list[int]] = {}
+        for i in range(n):
+            signature, _paa = self._signature(batch[i])
+            pid = self.index.global_index.route(signature)
+            if pid not in self.index.synopses:
+                raise ValueError(
+                    f"row {i} routes to partition {pid}, which is not "
+                    f"present in this cluster"
+                )
+            row_pids.append(pid)
+            groups.setdefault(pid, []).append(i)
+        tracer = get_tracer()
+        root = tracer.start_span(
+            "serve/write", op="write", router=True,
+            n_records=n, n_partitions=len(groups),
+        )
+        registry = get_registry()
+        durable = True
+        regions_added: dict[int, list] = {}
+        replicas_failed: list = []
+        try:
+            for pid, rows in groups.items():
+                sub_batch = [batch[i].tolist() for i in rows]
+                sub_ids = [record_ids[i] for i in rows]
+                hosts = self.plan.hosts_of(pid)
+                acks = []
+                for shard_id in hosts:
+                    ack = self._write_to_shard(
+                        shard_id, pid, sub_batch, sub_ids, root, deadline_at
+                    )
+                    if ack is None:
+                        replicas_failed.append([int(pid), int(shard_id)])
+                        self._write_replica_failures += 1
+                        registry.counter(
+                            "router_write_replica_failures_total",
+                            "Write fan-out legs that exhausted retries",
+                        ).inc()
+                    else:
+                        acks.append(ack)
+                if not acks:
+                    raise ShardUnavailableError(pid, hosts)
+                if not all(a.get("durable") for a in acks):
+                    durable = False
+                # Replicas share routing and contents, so any ack's
+                # region report describes the partition; fold it into
+                # the router synopsis and remember it for the reply.
+                new_prefixes: list = []
+                for prefixes in acks[0].get("regions_added", {}).values():
+                    new_prefixes.extend(prefixes)
+                self.index.synopses[pid].absorb(len(rows), new_prefixes)
+                if new_prefixes:
+                    regions_added[int(pid)] = list(new_prefixes)
+                if self.result_cache is not None:
+                    self.result_cache.invalidate_partition(pid)
+            if regions_added and self.result_cache is not None:
+                # Grown regions shrink MINDIST bounds: cached MPA answers
+                # that pruned these partitions may now be wrong.
+                self.result_cache.invalidate_strategy("multi-partitions")
+        except BaseException as exc:
+            root.set("error", f"{type(exc).__name__}: {exc}")
+            tracer.end_span(root)
+            self._writes_failed += 1
+            registry.counter(
+                "router_writes_failed_total",
+                "Router writes failed before full acknowledgement",
+            ).inc()
+            raise
+        if replicas_failed:
+            root.set("replicas_failed", replicas_failed)
+        tracer.end_span(root)
+        self._writes_total += 1
+        self._write_records_total += n
+        registry.counter(
+            "router_writes_total", "Write batches acknowledged by the router"
+        ).inc()
+        registry.counter(
+            "router_write_records_total", "Records written via the router"
+        ).inc(n)
+        result = WriteResult(
+            record_ids=record_ids,
+            partition_ids=row_pids,
+            durable=durable,
+            regions_added=regions_added,
+        )
+        wire = result.to_wire()
+        if replicas_failed:
+            wire["replicas_failed"] = replicas_failed
+        return wire
+
+    def _write_to_shard(
+        self, shard_id: int, partition_id: int, rows, rids,
+        parent_span, deadline_at: float | None,
+    ) -> dict | None:
+        """Deliver one partition's rows to one replica; ``None`` when the
+        retry budget is exhausted (the caller records the failed leg)."""
+        retry = self._retry_policy()
+        tracer = get_tracer()
+        base_doc: dict = {
+            "op": "write-batch", "batch": rows, "record_ids": rids,
+        }
+        for attempt in range(1, retry.max_attempts + 1):
+            try:
+                remaining = self._check_deadline(deadline_at)
+            except DeadlineExceededError:
+                return None
+            doc = base_doc
+            if remaining is not None:
+                doc = dict(base_doc, deadline_ms=remaining * 1000.0)
+            call_span = tracer.start_span(
+                "route/shard-call", parent=parent_span,
+                shard_id=shard_id, op="write-batch", attempt=attempt,
+                partition_id=partition_id,
+            )
+            if attempt > 1:
+                call_span.set("failover", True)
+            carrier = inject(call_span)
+            if carrier is not None:
+                doc = dict(doc, ctx=carrier, trace_sample=self.trace_sample)
+            try:
+                envelope = self._call_once(shard_id, "write-batch", doc, attempt)
+                result = self._unwrap(envelope)
+            except (_ShardCallError, OverloadedError, DeadlineExceededError,
+                    RuntimeError) as exc:
+                call_span.set("error", f"{type(exc).__name__}: {exc}")
+                tracer.end_span(call_span)
+                self._journal_failover(
+                    shard_id, "write-batch", f"{type(exc).__name__}: {exc}",
+                    attempt, partition_ids=[partition_id],
+                    trace_id=trace_id_of(parent_span),
+                )
+                if attempt < retry.max_attempts:
+                    self._count_retry()
+                    self._backoff(
+                        attempt, deadline_at, "shard", partition_id, "write"
+                    )
+                continue
+            tracer.end_span(call_span)
+            return result
+        return None
+
     # -- cluster telemetry (federation scrape) ------------------------------
 
     def _telemetry_fetch(self, shard_id: int, since_seq: int):
@@ -1140,6 +1359,13 @@ class RouterService:
             ]
         if self.result_cache is not None:
             report["result_cache"] = self.result_cache.stats()
+        report["ingest"] = {
+            "writes_total": self._writes_total,
+            "write_records_total": self._write_records_total,
+            "writes_failed": self._writes_failed,
+            "replica_failures": self._write_replica_failures,
+            "next_record_id": self._write_counter,
+        }
         report["journal"] = self.journal.stats()
         report["tracing"] = get_tracer().enabled
         if self.telemetry.scrapes > 0:

@@ -146,8 +146,13 @@ class ShardService(QueryService):
         super().__init__(index, **kwargs)
         self.shard_id = int(shard_id)
         #: Dispatched by the wire handler before the standard request
-        #: path (see serving.server._Handler._answer).
-        self.extra_ops = {"shard-knn": self._op_shard_knn}
+        #: path (see serving.server._Handler._answer).  Extends — never
+        #: replaces — the ops QueryService registered (write/write-batch
+        #: must keep working on a shard: the router forwards them here).
+        self.extra_ops["shard-knn"] = self._op_shard_knn
+        #: Router writes fan out to every replica and may redeliver
+        #: after a lost ack; pinned-id re-insertion must be a no-op.
+        self._idempotent_writes = True
 
     def _op_shard_knn(self, doc: dict) -> dict:
         series = doc.get("series")
@@ -248,6 +253,12 @@ class ShardService(QueryService):
         report["shard"] = {
             "shard_id": self.shard_id,
             "partitions": sorted(self.index.partitions),
-            "n_records": self.index.n_records,
+            # Live sum, not the cached index counter: streamed writes
+            # land in the shared partition objects, and in threads mode
+            # a replica's idempotent skip never bumps its own view's
+            # counter — the blocks are the ground truth.
+            "n_records": sum(
+                p.n_records for p in self.index.partitions.values()
+            ),
         }
         return report

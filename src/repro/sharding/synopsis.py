@@ -57,6 +57,24 @@ class PartitionSynopsis:
         bounds = mindist_paa_to_words(query_paa, symbols, bits, series_length)
         return float(bounds.min())
 
+    def absorb(self, n_new: int, new_prefixes=()) -> None:
+        """Fold an acknowledged write into the synopsis, in place.
+
+        The shard's write ack reports how many records landed in the
+        partition and which coarse region prefixes are new; applying
+        both here keeps router-side MINDIST bounds sound (a grown region
+        set can only *shrink* the bound) without re-scraping the shard.
+        The decoded-matrix cache is dropped so the next bound sees the
+        merged prefix set.
+        """
+        self.n_records += int(n_new)
+        if new_prefixes:
+            merged = set(self.region_prefixes)
+            merged.update(new_prefixes)
+            if len(merged) != len(self.region_prefixes):
+                self.region_prefixes = tuple(sorted(merged))
+                self._decoded = None
+
     def to_dict(self) -> dict:
         return {
             "partition_id": self.partition_id,

@@ -1,0 +1,146 @@
+"""Property tests for streaming ingest: interleaved inserts and queries
+must be indistinguishable from batch-building over the full data.
+
+The comparisons use the layout-independent surfaces — ``exact_match``
+and ``knn_exact`` — because a streamed index and a rebuilt index
+legitimately partition records differently; what must agree is every
+*answer*, including the ``(distance, record_id)`` tie-break order.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    TardisConfig,
+    build_tardis_index,
+    exact_match,
+    knn_exact,
+    plan_rebalance,
+    rebalance_index,
+)
+from repro.tsdb import random_walk
+
+LENGTH = 32
+BASE_N = 240
+POOL_N = 120
+
+_dataset = random_walk(BASE_N + POOL_N, length=LENGTH, seed=123).z_normalized()
+_queries = random_walk(6, length=LENGTH, seed=321).z_normalized().values
+
+
+def _config() -> TardisConfig:
+    return TardisConfig(g_max_size=60, l_max_size=12, seed=7)
+
+
+def _build_base():
+    return build_tardis_index(_dataset.subset(np.arange(BASE_N)), _config())
+
+
+def _rebuilt(n_appended: int):
+    """Batch build over base + the first ``n_appended`` pool rows —
+    record ids match the streamed index by construction (0..n-1)."""
+    return build_tardis_index(_dataset.subset(np.arange(BASE_N + n_appended)),
+                              _config())
+
+
+def _answers(index, query, k=5):
+    exact = exact_match(index, query)
+    knn = knn_exact(index, query, k)
+    return (
+        sorted(exact.record_ids),
+        [(n.distance, n.record_id) for n in knn.neighbors],
+    )
+
+
+class TestInterleavedEquivalence:
+    @given(
+        chunks=st.lists(st.integers(1, 16), min_size=1, max_size=6),
+        rebalance_after=st.integers(0, 5),
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_stream_then_query_equals_rebuild(self, chunks, rebalance_after):
+        index = _build_base()
+        pool = _dataset.values[BASE_N:]
+        cursor = 0
+        for i, size in enumerate(chunks):
+            size = min(size, POOL_N - cursor)
+            if size <= 0:
+                break
+            index.ingest(pool[cursor:cursor + size])
+            cursor += size
+            if i == rebalance_after:
+                rebalance_index(index, overflow_factor=1.1)
+            # Interleaved read: the streamed record is immediately
+            # findable with its assigned id.
+            probe = pool[cursor - 1]
+            assert (BASE_N + cursor - 1) in exact_match(
+                index, probe
+            ).record_ids
+        index.validate()
+        rebuilt = _rebuilt(cursor)
+        assert index.n_records == rebuilt.n_records
+        for query in _queries:
+            assert _answers(index, query) == _answers(rebuilt, query)
+        # Appended rows themselves: identical ids from both paths, and
+        # the kNN tie-break puts the distance-zero self-match first.
+        for offset in (0, cursor - 1):
+            row = pool[offset]
+            got = _answers(index, row)
+            assert got == _answers(rebuilt, row)
+            assert got[1][0][1] == BASE_N + offset
+
+    @given(seed=st.integers(0, 30))
+    @settings(max_examples=10, deadline=None)
+    def test_knn_tiebreak_on_duplicates(self, seed):
+        """Equal-distance neighbors surface in ascending record-id
+        order even when duplicates arrive via streaming."""
+        index = _build_base()
+        rng = np.random.default_rng(seed)
+        row = _dataset.values[int(rng.integers(BASE_N))]
+        dup_ids = index.ingest(np.stack([row, row])).record_ids
+        result = knn_exact(index, row, 4)
+        zero = [n.record_id for n in result.neighbors
+                if n.distance == 0.0]
+        assert zero == sorted(zero)
+        assert set(dup_ids) <= set(zero)
+
+
+class TestRebalanceInvariants:
+    @given(
+        n_extra=st.integers(0, POOL_N),
+        factor=st.sampled_from([1.0, 1.1, 1.5, 2.0]),
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_rebalance_preserves_routing_and_answers(self, n_extra, factor):
+        index = _build_base()
+        if n_extra:
+            index.ingest(_dataset.values[BASE_N:BASE_N + n_extra])
+        before = [_answers(index, q) for q in _queries]
+        report = rebalance_index(index, overflow_factor=factor)
+        # validate() checks the routing invariant: every entry lives in
+        # the partition Tardis-G routes its signature to.
+        index.validate()
+        assert index.n_records == BASE_N + n_extra
+        after = [_answers(index, q) for q in _queries]
+        assert before == after
+        if report.partitions_split:
+            assert report.records_moved > 0
+
+    @given(n_extra=st.integers(1, POOL_N))
+    @settings(max_examples=8, deadline=None)
+    def test_plan_is_pure(self, n_extra):
+        """Planning must not mutate the index — the online rebalancer
+        plans outside the gate and applies inside it."""
+        index = _build_base()
+        index.ingest(_dataset.values[BASE_N:BASE_N + n_extra])
+        snapshot = {
+            pid: sorted(p.block.record_ids.tolist())
+            for pid, p in index.partitions.items()
+        }
+        plan_rebalance(index, overflow_factor=1.0)
+        assert snapshot == {
+            pid: sorted(p.block.record_ids.tolist())
+            for pid, p in index.partitions.items()
+        }
+        index.validate()
